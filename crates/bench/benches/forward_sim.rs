@@ -1,0 +1,41 @@
+//! Criterion microbenchmark: forward Monte-Carlo cascade simulation under
+//! IC and LT (the seed-quality evaluation path).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+use dim_diffusion::forward::{simulate, SimScratch};
+use dim_diffusion::DiffusionModel;
+use dim_graph::DatasetProfile;
+
+fn bench_forward(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let seeds: Vec<u32> = (0..50).map(|i| i * 80).collect();
+
+    let mut group = c.benchmark_group("forward_sim_k50");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for model in [
+        DiffusionModel::IndependentCascade,
+        DiffusionModel::LinearThreshold,
+    ] {
+        group.bench_function(format!("{model}/per_100_cascades"), |b| {
+            b.iter_batched(
+                || (Pcg64::seed_from_u64(3), SimScratch::new(graph.num_nodes())),
+                |(mut rng, mut scratch)| {
+                    let mut total = 0usize;
+                    for _ in 0..100 {
+                        total += simulate(&graph, model, &seeds, &mut rng, &mut scratch);
+                    }
+                    total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion microbenchmark: bucket selector vs CELF vs naive greedy
+//! (DESIGN.md §6.1 — the paper's vector-`D` lazy-update structure).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dim_coverage::greedy::{bucket_greedy, celf_greedy, naive_greedy};
+use dim_coverage::CoverageProblem;
+use dim_graph::DatasetProfile;
+
+fn bench_greedy(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let problem = CoverageProblem::from_graph_neighborhoods(&graph);
+    let k = 50;
+
+    let mut group = c.benchmark_group("greedy_k50");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    type Algo = fn(&mut dim_coverage::CoverageShard, usize) -> dim_coverage::GreedyResult;
+    let algos: Vec<(&str, Algo)> = vec![
+        ("bucket", bucket_greedy),
+        ("celf", celf_greedy),
+        ("naive", naive_greedy),
+    ];
+    for (name, algo) in algos {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || problem.single_shard(),
+                |mut shard| algo(&mut shard, k),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion microbenchmark: one NewGreeDi / GreeDi run across machine
+//! counts on the Fig. 10 workload.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_coverage::greedi::greedi;
+use dim_coverage::{newgreedi, CoverageProblem};
+use dim_graph::DatasetProfile;
+
+fn bench_distributed_coverage(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let problem = CoverageProblem::from_graph_neighborhoods(&graph);
+    let k = 50;
+
+    let mut group = c.benchmark_group("distributed_max_coverage");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for machines in [1usize, 8, 64] {
+        group.bench_function(format!("newgreedi/l{machines}"), |b| {
+            b.iter_batched(
+                || {
+                    SimCluster::new(
+                        problem.shard_elements(machines),
+                        NetworkModel::zero(),
+                        ExecMode::Sequential,
+                    )
+                },
+                |mut cluster| newgreedi(&mut cluster, k),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("greedi/l{machines}"), |b| {
+            b.iter_batched(
+                || {
+                    SimCluster::new(
+                        problem.shard_sets(machines, None),
+                        NetworkModel::zero(),
+                        ExecMode::Sequential,
+                    )
+                },
+                |mut cluster| greedi(&mut cluster, k, k),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_coverage);
+criterion_main!(benches);

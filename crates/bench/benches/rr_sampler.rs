@@ -1,0 +1,55 @@
+//! Criterion microbenchmark: RR-set generation cost per sampler
+//! (the ablation behind Fig. 7 / DESIGN.md §6.4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+use dim_diffusion::rr::{AnySampler, RrSampler};
+use dim_diffusion::visit::VisitTracker;
+use dim_diffusion::DiffusionModel;
+use dim_graph::DatasetProfile;
+
+fn bench_samplers(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let mut group = c.benchmark_group("rr_sampler");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let cases: Vec<(&str, AnySampler)> = vec![
+        (
+            "ic_bfs",
+            AnySampler::for_model(&graph, DiffusionModel::IndependentCascade),
+        ),
+        ("ic_subsim", AnySampler::subsim(&graph)),
+        (
+            "lt_walk",
+            AnySampler::for_model(&graph, DiffusionModel::LinearThreshold),
+        ),
+    ];
+    for (name, sampler) in cases {
+        group.bench_function(format!("{name}/per_1000_sets"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        Pcg64::seed_from_u64(7),
+                        Vec::new(),
+                        VisitTracker::new(graph.num_nodes()),
+                    )
+                },
+                |(mut rng, mut out, mut visited)| {
+                    let mut work = 0u64;
+                    for _ in 0..1000 {
+                        work += sampler.sample(&mut rng, &mut out, &mut visited);
+                    }
+                    work
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbenchmark: the delta-tuple wire codec on the master's
+//! hot path (encode on workers, alloc-free decode on the master).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dim_cluster::wire;
+
+fn bench_wire(c: &mut Criterion) {
+    let deltas: Vec<(u32, u32)> = (0..10_000u32).map(|i| (i * 7 % 50_000, i % 13 + 1)).collect();
+    let encoded = wire::encode_deltas(&deltas);
+
+    let mut group = c.benchmark_group("wire_codec_10k_tuples");
+    group.sample_size(50);
+    group.bench_function("encode", |b| b.iter(|| wire::encode_deltas(&deltas)));
+    group.bench_function("decode_alloc", |b| {
+        b.iter(|| wire::decode_deltas(&encoded).unwrap())
+    });
+    group.bench_function("for_each_no_alloc", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            wire::for_each_delta(&encoded, |v, d| acc += (v + d) as u64).unwrap();
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! Ablations for the design choices called out in DESIGN.md §6.
+
+use std::time::Instant;
+
+use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_core::diimm::diimm_with_options;
+use dim_core::{ImConfig, SamplerKind};
+use dim_coverage::greedy::{bucket_greedy, celf_greedy, naive_greedy};
+use dim_coverage::{newgreedi, CoverageProblem};
+use dim_diffusion::rr::{sample_batch, AnySampler};
+use dim_diffusion::{DiffusionModel, RrStore};
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+use serde::Serialize;
+
+use crate::context::Context;
+use crate::report;
+
+#[derive(Serialize)]
+struct TrafficRow {
+    dataset: &'static str,
+    machines: usize,
+    sparse_bytes: u64,
+    dense_bytes: u64,
+    saving_factor: f64,
+}
+
+/// Sparse `⟨v, Δ⟩` delta messages (what NewGreeDi sends) vs the naive
+/// alternative of re-uploading every node's coverage each round
+/// (§III-B2's "dramatically save the traffic" claim).
+pub fn traffic(ctx: &Context) {
+    let machines = 8;
+    println!("ℓ = {machines}, k = {}\n", ctx.k);
+    report::header(&[
+        ("dataset", 12),
+        ("sparse (KiB)", 13),
+        ("dense (KiB)", 12),
+        ("saving", 9),
+    ]);
+    for &profile in &ctx.datasets {
+        let graph = ctx.graph(profile);
+        let problem = CoverageProblem::from_graph_neighborhoods(&graph);
+        let mut cluster = SimCluster::new(
+            problem.shard_elements(machines),
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let r = newgreedi(&mut cluster, ctx.k);
+        let sparse = cluster.metrics().bytes_to_master;
+        // Dense alternative: every machine uploads all n coverages once for
+        // initialization and once per selected seed (8 bytes per tuple).
+        let n = problem.num_sets() as u64;
+        let rounds = 1 + r.seeds.len() as u64;
+        let dense = machines as u64 * rounds * (4 + 8 * n);
+        let row = TrafficRow {
+            dataset: profile.name(),
+            machines,
+            sparse_bytes: sparse,
+            dense_bytes: dense,
+            saving_factor: dense as f64 / sparse as f64,
+        };
+        println!(
+            "{:>12} {:>13.1} {:>12.1} {:>8.1}x",
+            row.dataset,
+            row.sparse_bytes as f64 / 1024.0,
+            row.dense_bytes as f64 / 1024.0,
+            row.saving_factor,
+        );
+        report::dump_json(&ctx.out_dir, "ablation_traffic", &row);
+    }
+}
+
+#[derive(Serialize)]
+struct GreedyRow {
+    dataset: &'static str,
+    bucket_s: f64,
+    celf_s: f64,
+    naive_s: f64,
+    coverage: u64,
+}
+
+/// The paper's bucket vector `D` with lazy updates vs CELF vs naive rescan.
+pub fn greedy(ctx: &Context) {
+    println!("k = {}\n", ctx.k);
+    report::header(&[
+        ("dataset", 12),
+        ("bucket(s)", 10),
+        ("CELF(s)", 10),
+        ("naive(s)", 10),
+        ("coverage", 10),
+    ]);
+    for &profile in &ctx.datasets {
+        let graph = ctx.graph(profile);
+        let problem = CoverageProblem::from_graph_neighborhoods(&graph);
+
+        let time_of = |f: fn(&mut dim_coverage::CoverageShard, usize) -> dim_coverage::GreedyResult| {
+            let mut shard = problem.single_shard();
+            let start = Instant::now();
+            let r = f(&mut shard, ctx.k);
+            (start.elapsed().as_secs_f64(), r.covered)
+        };
+        let (bucket_s, cov_b) = time_of(bucket_greedy);
+        let (celf_s, _cov_c) = time_of(celf_greedy);
+        let (naive_s, _cov_n) = time_of(naive_greedy);
+        let row = GreedyRow {
+            dataset: profile.name(),
+            bucket_s,
+            celf_s,
+            naive_s,
+            coverage: cov_b,
+        };
+        println!(
+            "{:>12} {:>10.3} {:>10.3} {:>10.3} {:>10}",
+            row.dataset, row.bucket_s, row.celf_s, row.naive_s, row.coverage,
+        );
+        report::dump_json(&ctx.out_dir, "ablation_greedy", &row);
+    }
+}
+
+#[derive(Serialize)]
+struct SamplerRow {
+    dataset: &'static str,
+    rr_sets: usize,
+    bfs_s: f64,
+    bfs_edges: u64,
+    subsim_s: f64,
+    subsim_edges: u64,
+    work_saving: f64,
+}
+
+/// SUBSIM's geometric jumps vs the standard per-edge reverse BFS, on the
+/// same number of RR sets.
+pub fn sampler(ctx: &Context) {
+    let count = 20_000;
+    println!("RR sets per run: {count}\n");
+    report::header(&[
+        ("dataset", 12),
+        ("BFS(s)", 9),
+        ("BFS work", 12),
+        ("SUBSIM(s)", 10),
+        ("SUBSIM work", 12),
+        ("saving", 8),
+    ]);
+    for &profile in &ctx.datasets {
+        let graph = ctx.graph(profile);
+        let run = |sampler: AnySampler| {
+            let mut store = RrStore::new();
+            let mut rng = Pcg64::seed_from_u64(ctx.seed);
+            let start = Instant::now();
+            let edges = sample_batch(&sampler, count, &mut rng, &mut store);
+            (start.elapsed().as_secs_f64(), edges)
+        };
+        let (bfs_s, bfs_edges) = run(AnySampler::for_model(
+            &graph,
+            DiffusionModel::IndependentCascade,
+        ));
+        let (subsim_s, subsim_edges) = run(AnySampler::subsim(&graph));
+        let row = SamplerRow {
+            dataset: profile.name(),
+            rr_sets: count,
+            bfs_s,
+            bfs_edges,
+            subsim_s,
+            subsim_edges,
+            work_saving: bfs_edges as f64 / subsim_edges as f64,
+        };
+        println!(
+            "{:>12} {:>9.3} {:>12} {:>10.3} {:>12} {:>7.1}x",
+            row.dataset, row.bfs_s, row.bfs_edges, row.subsim_s, row.subsim_edges, row.work_saving,
+        );
+        report::dump_json(&ctx.out_dir, "ablation_sampler", &row);
+    }
+}
+
+#[derive(Serialize)]
+struct IncrementalRow {
+    dataset: &'static str,
+    machines: usize,
+    full_bytes_up: u64,
+    incremental_bytes_up: u64,
+    saving_factor: f64,
+    same_seeds: bool,
+}
+
+/// The paper's §III-C optimization inside DiIMM: each NewGreeDi call
+/// reports coverage only over newly generated RR sets vs re-uploading the
+/// full coverage every call. Output must be identical; only bytes move.
+pub fn incremental(ctx: &Context) {
+    let machines = 8;
+    println!("ℓ = {machines}, ε = {}, k = {}\n", ctx.epsilon, ctx.k);
+    report::header(&[
+        ("dataset", 12),
+        ("full (KiB)", 12),
+        ("incremental (KiB)", 18),
+        ("saving", 9),
+        ("same seeds", 11),
+    ]);
+    for &profile in &ctx.datasets {
+        let graph = ctx.graph(profile);
+        let config = ImConfig {
+            k: ctx.k.min(graph.num_nodes()),
+            epsilon: ctx.epsilon,
+            delta: 1.0 / graph.num_nodes() as f64,
+            seed: ctx.seed,
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+        };
+        let full = diimm_with_options(
+            &graph,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            false,
+        );
+        let incr = diimm_with_options(
+            &graph,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            true,
+        );
+        let row = IncrementalRow {
+            dataset: profile.name(),
+            machines,
+            full_bytes_up: full.metrics.bytes_to_master,
+            incremental_bytes_up: incr.metrics.bytes_to_master,
+            saving_factor: full.metrics.bytes_to_master as f64
+                / incr.metrics.bytes_to_master as f64,
+            same_seeds: full.seeds == incr.seeds,
+        };
+        println!(
+            "{:>12} {:>12.1} {:>18.1} {:>8.2}x {:>11}",
+            row.dataset,
+            row.full_bytes_up as f64 / 1024.0,
+            row.incremental_bytes_up as f64 / 1024.0,
+            row.saving_factor,
+            row.same_seeds,
+        );
+        report::dump_json(&ctx.out_dir, "ablation_incremental", &row);
+    }
+}

@@ -1,0 +1,191 @@
+//! Figs. 5, 6, 7, 8, 9 — DiIMM / distributed-SUBSIM running time vs the
+//! number of machines or cores, with the per-phase breakdown (RR
+//! generation / computation / communication) the paper plots as stacked
+//! bars.
+
+use dim_cluster::{ExecMode, NetworkModel};
+use dim_core::diimm::diimm;
+use dim_core::{ImConfig, SamplerKind};
+use dim_diffusion::DiffusionModel;
+use serde::Serialize;
+
+use crate::context::Context;
+use crate::report;
+
+#[derive(Serialize)]
+struct Row {
+    figure: &'static str,
+    dataset: &'static str,
+    model: &'static str,
+    sampler: &'static str,
+    machines: usize,
+    sampling_s: f64,
+    selection_s: f64,
+    comm_s: f64,
+    total_s: f64,
+    speedup: f64,
+    rr_sets: usize,
+    bytes_up: u64,
+    bytes_down: u64,
+    est_spread: f64,
+}
+
+struct Setup {
+    figure: &'static str,
+    sampler: SamplerKind,
+    network: NetworkModel,
+    network_label: &'static str,
+    multicore: bool,
+}
+
+fn run_setup(ctx: &Context, setup: Setup) {
+    let machine_counts = if setup.multicore {
+        &ctx.core_counts
+    } else {
+        &ctx.cluster_machines
+    };
+    let sampler_label = match setup.sampler {
+        SamplerKind::Standard(_) => "standard",
+        SamplerKind::Subsim => "subsim",
+    };
+    println!(
+        "model = {}, sampler = {sampler_label}, network = {}, ε = {}, k = {}\n",
+        setup.sampler.model(),
+        setup.network_label,
+        ctx.epsilon,
+        ctx.k
+    );
+    for &profile in &ctx.datasets {
+        let graph = ctx.graph(profile);
+        let config = ImConfig {
+            k: ctx.k.min(graph.num_nodes()),
+            epsilon: ctx.epsilon,
+            delta: 1.0 / graph.num_nodes() as f64,
+            seed: ctx.seed,
+            sampler: setup.sampler,
+        };
+        println!(
+            "--- {} (n = {}, m = {}) ---",
+            profile.name(),
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        report::header(&[
+            ("ℓ", 4),
+            ("sampling(s)", 12),
+            ("selection(s)", 13),
+            ("comm(s)", 9),
+            ("total(s)", 10),
+            ("speedup", 8),
+            ("#RR", 10),
+        ]);
+        let mut baseline = None;
+        for &machines in machine_counts {
+            let r = diimm(&graph, &config, machines, setup.network, ExecMode::Sequential);
+            let total = r.timings.total().as_secs_f64();
+            let base = *baseline.get_or_insert(total);
+            let row = Row {
+                figure: setup.figure,
+                dataset: profile.name(),
+                model: if setup.sampler.model() == DiffusionModel::IndependentCascade {
+                    "ic"
+                } else {
+                    "lt"
+                },
+                sampler: sampler_label,
+                machines,
+                sampling_s: r.timings.sampling.as_secs_f64(),
+                selection_s: r.timings.selection.as_secs_f64(),
+                comm_s: r.timings.communication.as_secs_f64(),
+                total_s: total,
+                speedup: base / total,
+                rr_sets: r.num_rr_sets,
+                bytes_up: r.metrics.bytes_to_master,
+                bytes_down: r.metrics.bytes_from_master,
+                est_spread: r.est_spread,
+            };
+            println!(
+                "{:>4} {:>12.3} {:>13.3} {:>9.4} {:>10.3} {:>7.1}x {:>10}",
+                row.machines,
+                row.sampling_s,
+                row.selection_s,
+                row.comm_s,
+                row.total_s,
+                row.speedup,
+                row.rr_sets,
+            );
+            report::dump_json(&ctx.out_dir, setup.figure, &row);
+        }
+        println!();
+    }
+}
+
+/// Fig. 5: DiIMM, IC model, 1 Gbps cluster.
+pub fn fig5(ctx: &Context) {
+    run_setup(
+        ctx,
+        Setup {
+            figure: "fig5",
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+            network: NetworkModel::cluster_1gbps(),
+            network_label: "1 Gbps cluster",
+            multicore: false,
+        },
+    );
+}
+
+/// Fig. 6: DiIMM, IC model, multi-core server (shared-memory MPI).
+pub fn fig6(ctx: &Context) {
+    run_setup(
+        ctx,
+        Setup {
+            figure: "fig6",
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+            network: NetworkModel::shared_memory(),
+            network_label: "shared memory",
+            multicore: true,
+        },
+    );
+}
+
+/// Fig. 7: distributed SUBSIM, IC model, multi-core server.
+pub fn fig7(ctx: &Context) {
+    run_setup(
+        ctx,
+        Setup {
+            figure: "fig7",
+            sampler: SamplerKind::Subsim,
+            network: NetworkModel::shared_memory(),
+            network_label: "shared memory",
+            multicore: true,
+        },
+    );
+}
+
+/// Fig. 8: DiIMM, LT model, 1 Gbps cluster.
+pub fn fig8(ctx: &Context) {
+    run_setup(
+        ctx,
+        Setup {
+            figure: "fig8",
+            sampler: SamplerKind::Standard(DiffusionModel::LinearThreshold),
+            network: NetworkModel::cluster_1gbps(),
+            network_label: "1 Gbps cluster",
+            multicore: false,
+        },
+    );
+}
+
+/// Fig. 9: DiIMM, LT model, multi-core server.
+pub fn fig9(ctx: &Context) {
+    run_setup(
+        ctx,
+        Setup {
+            figure: "fig9",
+            sampler: SamplerKind::Standard(DiffusionModel::LinearThreshold),
+            network: NetworkModel::shared_memory(),
+            network_label: "shared memory",
+            multicore: true,
+        },
+    );
+}

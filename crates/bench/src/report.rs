@@ -1,0 +1,71 @@
+//! Result reporting: aligned console tables plus JSON-lines dumps.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Prints a header row followed by a rule.
+pub fn header(columns: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:>width$} "));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Formats a duration in seconds with ms precision.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Appends one JSON record per line to `<out_dir>/<name>.jsonl`, creating
+/// the directory if needed. IO failures are reported but non-fatal — the
+/// console table is the primary output.
+pub fn dump_json<T: Serialize>(out_dir: &str, name: &str, record: &T) {
+    let dir = Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {out_dir}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| {
+            let line = serde_json::to_string(record).expect("serializable record");
+            writeln!(f, "{line}")
+        });
+    if let Err(e) = result {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Row {
+        x: u32,
+    }
+
+    #[test]
+    fn dump_appends_lines() {
+        let dir = std::env::temp_dir().join(format!("dim-report-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap().to_string();
+        dump_json(&dir_s, "t", &Row { x: 1 });
+        dump_json(&dir_s, "t", &Row { x: 2 });
+        let content = std::fs::read_to_string(dir.join("t.jsonl")).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("{\"x\":1}"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

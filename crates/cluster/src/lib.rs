@@ -1,0 +1,51 @@
+//! Simulated master/worker cluster substrate.
+//!
+//! The paper evaluates on a 17-node Open-MPI cluster (1 Gbps switch) and an
+//! 80-core MS-MPI server. Neither is available to this reproduction (the
+//! benchmark host has a single CPU core), so this crate provides a
+//! **deterministic simulated cluster** that preserves the quantities the
+//! paper measures:
+//!
+//! * **Computation time** — every simulated machine *really executes* its
+//!   partition of the work and is individually wall-clock timed. A parallel
+//!   phase's elapsed time is the **maximum** over machines, exactly the rule
+//!   the paper itself uses ("the total generation time is determined by the
+//!   longest one", §III-A). Master-side work is timed separately and added
+//!   serially.
+//! * **Communication time** — worker↔master messages are *actually
+//!   serialized* (see [`wire`]) so byte counts are exact, then priced
+//!   through a configurable latency/bandwidth [`NetworkModel`]. The master's
+//!   link is the bottleneck in a star topology: a gather of `ℓ` messages
+//!   costs `latency + Σ bytes / bandwidth`.
+//!
+//! An optional [`ExecMode::Threads`] mode runs machines on real OS threads
+//! for hosts that have cores; the accounted metrics are identical because
+//! each machine is timed on its own thread.
+//!
+//! # Example
+//!
+//! ```
+//! use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+//!
+//! // Four machines each holding a shard of numbers; master sums the sums.
+//! let shards: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![4, 5, 6], vec![]];
+//! let mut cluster = SimCluster::new(shards, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+//! let partials = cluster.gather(
+//!     |_, shard| shard.iter().sum::<u64>(),
+//!     |_| 8, // each machine uploads one u64
+//! );
+//! let total: u64 = cluster.master(|| partials.iter().sum());
+//! assert_eq!(total, 21);
+//! assert_eq!(cluster.metrics().bytes_to_master, 32);
+//! ```
+
+pub mod metrics;
+pub mod network;
+pub mod rng;
+pub mod runtime;
+pub mod wire;
+
+pub use metrics::ClusterMetrics;
+pub use network::NetworkModel;
+pub use rng::stream_seed;
+pub use runtime::{ExecMode, SimCluster};

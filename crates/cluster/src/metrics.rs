@@ -1,0 +1,144 @@
+//! Accumulated timing and traffic metrics of a simulated cluster run.
+
+use std::time::Duration;
+
+/// Metrics accumulated by a [`crate::SimCluster`] across phases.
+///
+/// All durations are *virtual cluster time*: parallel worker phases
+/// contribute their per-phase maximum, master sections and communication
+/// contribute serially. `worker_busy` additionally tracks the *sum* of
+/// worker time, so `worker_busy / worker_compute / ℓ` is the parallel
+/// efficiency of the run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClusterMetrics {
+    /// Σ over phases of max-over-workers phase time.
+    pub worker_compute: Duration,
+    /// Σ over phases of Σ-over-workers phase time (total busy time).
+    pub worker_busy: Duration,
+    /// Master-side (serial) compute time.
+    pub master_compute: Duration,
+    /// Modeled network transfer time (priced by the [`crate::NetworkModel`]).
+    pub comm_time: Duration,
+    /// Total messages exchanged (both directions).
+    pub messages: u64,
+    /// Bytes uploaded from workers to the master.
+    pub bytes_to_master: u64,
+    /// Bytes broadcast/sent from the master to workers.
+    pub bytes_from_master: u64,
+    /// Number of parallel phases executed.
+    pub phases: u64,
+}
+
+impl ClusterMetrics {
+    /// Total virtual elapsed time of the run:
+    /// parallel compute + master compute + communication.
+    pub fn elapsed(&self) -> Duration {
+        self.worker_compute + self.master_compute + self.comm_time
+    }
+
+    /// Compute-only portion (excludes communication).
+    pub fn compute(&self) -> Duration {
+        self.worker_compute + self.master_compute
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_to_master + self.bytes_from_master
+    }
+
+    /// Metric delta since `earlier` (for attributing phases: snapshot before,
+    /// subtract after).
+    pub fn since(&self, earlier: &ClusterMetrics) -> ClusterMetrics {
+        ClusterMetrics {
+            worker_compute: self.worker_compute - earlier.worker_compute,
+            worker_busy: self.worker_busy - earlier.worker_busy,
+            master_compute: self.master_compute - earlier.master_compute,
+            comm_time: self.comm_time - earlier.comm_time,
+            messages: self.messages - earlier.messages,
+            bytes_to_master: self.bytes_to_master - earlier.bytes_to_master,
+            bytes_from_master: self.bytes_from_master - earlier.bytes_from_master,
+            phases: self.phases - earlier.phases,
+        }
+    }
+
+    /// Merges another metrics block into this one (used when a run combines
+    /// several clusters, e.g. ablations).
+    pub fn merge(&mut self, other: &ClusterMetrics) {
+        self.worker_compute += other.worker_compute;
+        self.worker_busy += other.worker_busy;
+        self.master_compute += other.master_compute;
+        self.comm_time += other.comm_time;
+        self.messages += other.messages;
+        self.bytes_to_master += other.bytes_to_master;
+        self.bytes_from_master += other.bytes_from_master;
+        self.phases += other.phases;
+    }
+}
+
+impl std::fmt::Display for ClusterMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "compute {:.3}s (master {:.3}s) comm {:.3}s ({} msgs, {} B up / {} B down)",
+            self.worker_compute.as_secs_f64(),
+            self.master_compute.as_secs_f64(),
+            self.comm_time.as_secs_f64(),
+            self.messages,
+            self.bytes_to_master,
+            self.bytes_from_master,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_sums_components() {
+        let m = ClusterMetrics {
+            worker_compute: Duration::from_secs(2),
+            master_compute: Duration::from_secs(1),
+            comm_time: Duration::from_millis(500),
+            ..Default::default()
+        };
+        assert_eq!(m.elapsed(), Duration::from_millis(3500));
+        assert_eq!(m.compute(), Duration::from_secs(3));
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = ClusterMetrics {
+            messages: 10,
+            bytes_to_master: 100,
+            phases: 2,
+            ..Default::default()
+        };
+        let b = ClusterMetrics {
+            messages: 25,
+            bytes_to_master: 180,
+            phases: 5,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.messages, 15);
+        assert_eq!(d.bytes_to_master, 80);
+        assert_eq!(d.phases, 3);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = ClusterMetrics {
+            messages: 1,
+            ..Default::default()
+        };
+        a.merge(&ClusterMetrics {
+            messages: 2,
+            bytes_from_master: 7,
+            ..Default::default()
+        });
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes_from_master, 7);
+        assert_eq!(a.total_bytes(), 7);
+    }
+}

@@ -1,0 +1,134 @@
+//! Latency/bandwidth network model pricing message transfers.
+
+use std::time::Duration;
+
+/// Prices message transfers between the master and the workers.
+///
+/// The topology is the paper's: a star through one switch, master at the
+/// center. The master's link serializes both gathers (all workers upload to
+/// the master) and broadcasts (the master uploads to all workers), so the
+/// transfer time for a round moving `total_bytes` across `messages` messages
+/// is `messages · latency + total_bytes / bandwidth`. Latency per message is
+/// charged once per *round trip batch*, not per byte.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed per-message overhead (MPI envelope, switch hop, syscalls).
+    pub latency: Duration,
+    /// Usable link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl NetworkModel {
+    /// The paper's cluster: 1 Gbps Ethernet (≈ 119 MiB/s usable) with a
+    /// 50 µs per-message overhead, the typical small-message half-RTT of
+    /// TCP-based Open MPI on GbE.
+    pub fn cluster_1gbps() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(50),
+            bandwidth_bytes_per_sec: 1e9 / 8.0,
+        }
+    }
+
+    /// The paper's multi-core server: MPI over shared memory. Message
+    /// overhead is ~1 µs and the copy bandwidth is on the order of memory
+    /// bandwidth (we use 20 GB/s per channel, conservative for a Xeon).
+    pub fn shared_memory() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(1),
+            bandwidth_bytes_per_sec: 20e9,
+        }
+    }
+
+    /// Free communication — useful for isolating compute scaling in tests
+    /// and ablations.
+    pub fn zero() -> Self {
+        NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Time to move `bytes` across the master link in `messages`
+    /// point-to-point messages (latency paid per message).
+    pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
+        let wire = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency
+            .checked_mul(messages as u32)
+            .unwrap_or(Duration::MAX)
+            .saturating_add(wire)
+    }
+
+    /// Time for a tree-based collective (MPI gather / broadcast) across
+    /// `participants` machines moving `bytes` in total: `⌈log₂(ℓ+1)⌉`
+    /// latency terms (the tree depth) plus the master link's serialization
+    /// of the full payload. This is the Hockney-style model of Open MPI's
+    /// binomial-tree collectives, and what [`crate::SimCluster`] charges
+    /// for its gather/broadcast phases.
+    pub fn collective_time(&self, participants: u64, bytes: u64) -> Duration {
+        let depth = (participants + 1).next_power_of_two().trailing_zeros();
+        let wire = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.latency
+            .checked_mul(depth)
+            .unwrap_or(Duration::MAX)
+            .saturating_add(wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbe_transfer_times() {
+        let net = NetworkModel::cluster_1gbps();
+        // 125 MB at 125 MB/s = 1 s (+ 1 message latency).
+        let t = net.transfer_time(1, 125_000_000);
+        assert!((t.as_secs_f64() - 1.0001).abs() < 1e-3, "{t:?}");
+    }
+
+    #[test]
+    fn latency_scales_with_messages() {
+        let net = NetworkModel::cluster_1gbps();
+        let t1 = net.transfer_time(1, 0);
+        let t16 = net.transfer_time(16, 0);
+        assert_eq!(t16, t1 * 16);
+    }
+
+    #[test]
+    fn collective_latency_logarithmic() {
+        let net = NetworkModel::cluster_1gbps();
+        // Tree depth: 1 machine → 1 hop; 16 machines → ⌈log₂ 17⌉ = 5 hops.
+        assert_eq!(net.collective_time(1, 0), net.latency);
+        assert_eq!(net.collective_time(16, 0), net.latency * 5);
+        assert!(net.collective_time(64, 0) < net.transfer_time(64, 0));
+    }
+
+    #[test]
+    fn collective_bandwidth_term_unchanged() {
+        let net = NetworkModel::cluster_1gbps();
+        let t = net.collective_time(1, 125_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-3, "{t:?}");
+    }
+
+    #[test]
+    fn zero_model_free() {
+        let net = NetworkModel::zero();
+        assert_eq!(net.transfer_time(1000, u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn shared_memory_cheaper_than_cluster() {
+        let shm = NetworkModel::shared_memory();
+        let eth = NetworkModel::cluster_1gbps();
+        let bytes = 10_000_000;
+        assert!(shm.transfer_time(8, bytes) < eth.transfer_time(8, bytes));
+    }
+}

@@ -1,0 +1,346 @@
+//! The simulated cluster runtime.
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::ClusterMetrics;
+use crate::network::NetworkModel;
+
+/// How simulated machines execute their parallel phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Machines run one after another on the calling thread; each is timed
+    /// individually and the phase is charged the maximum. Deterministic and
+    /// the right choice on hosts with few cores (virtual-time simulation).
+    Sequential,
+    /// Machines run on real OS threads (`std::thread::scope`). Accounting is
+    /// identical — each machine is timed on its own thread — but wall-clock
+    /// time actually shrinks on multi-core hosts.
+    Threads,
+}
+
+/// A master/worker cluster of `ℓ` simulated machines, each owning a worker
+/// state `W` (its shard of the data).
+///
+/// Phases:
+/// * [`SimCluster::par_step`] — run a closure on every machine in parallel;
+///   charges `max_i(elapsed_i)` of compute time.
+/// * [`SimCluster::gather`] — `par_step` whose results are uploaded to the
+///   master; additionally charges communication for `ℓ` messages.
+/// * [`SimCluster::broadcast`] — charge a master→workers transfer.
+/// * [`SimCluster::master`] — run and time serial master-side work.
+pub struct SimCluster<W> {
+    workers: Vec<W>,
+    network: NetworkModel,
+    mode: ExecMode,
+    metrics: ClusterMetrics,
+    /// Per-machine relative speed (1.0 = nominal). A machine with speed
+    /// `s` is charged `elapsed / s` of virtual time — the knob for
+    /// modeling heterogeneous clusters and stragglers, which the paper's
+    /// balance analysis (Corollary 1) assumes away.
+    speeds: Vec<f64>,
+}
+
+impl<W: Send> SimCluster<W> {
+    /// Creates a cluster whose machine `i` owns `workers[i]`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is empty.
+    pub fn new(workers: Vec<W>, network: NetworkModel, mode: ExecMode) -> Self {
+        let speeds = vec![1.0; workers.len()];
+        Self::with_speeds(workers, network, mode, speeds)
+    }
+
+    /// Like [`Self::new`] but with per-machine relative speeds: machine
+    /// `i`'s measured work time is divided by `speeds[i]` when charged to
+    /// the virtual clock (0.5 = half-speed straggler).
+    ///
+    /// # Panics
+    /// Panics if `workers` is empty, lengths differ, or a speed is not
+    /// strictly positive.
+    pub fn with_speeds(
+        workers: Vec<W>,
+        network: NetworkModel,
+        mode: ExecMode,
+        speeds: Vec<f64>,
+    ) -> Self {
+        assert!(!workers.is_empty(), "cluster needs at least one machine");
+        assert_eq!(workers.len(), speeds.len(), "one speed per machine");
+        assert!(
+            speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "speeds must be positive"
+        );
+        SimCluster {
+            workers,
+            network,
+            mode,
+            metrics: ClusterMetrics::default(),
+            speeds,
+        }
+    }
+
+    /// Number of machines `ℓ`.
+    pub fn num_machines(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The network model pricing this cluster's messages.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Accumulated metrics so far.
+    pub fn metrics(&self) -> ClusterMetrics {
+        self.metrics
+    }
+
+    /// Resets accumulated metrics to zero (worker state is untouched).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = ClusterMetrics::default();
+    }
+
+    /// Immutable view of the worker states.
+    pub fn workers(&self) -> &[W] {
+        &self.workers
+    }
+
+    /// Consumes the cluster, returning the worker states.
+    pub fn into_workers(self) -> Vec<W> {
+        self.workers
+    }
+
+    /// Runs `f(machine_id, worker)` on every machine "in parallel" and
+    /// returns the per-machine results in machine order. Charges the phase
+    /// `max_i(elapsed_i)` of worker compute time.
+    pub fn par_step<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut W) -> R + Sync,
+    {
+        let (results, times) = match self.mode {
+            ExecMode::Sequential => {
+                let mut results = Vec::with_capacity(self.workers.len());
+                let mut times = Vec::with_capacity(self.workers.len());
+                for (i, w) in self.workers.iter_mut().enumerate() {
+                    let start = Instant::now();
+                    results.push(f(i, w));
+                    times.push(start.elapsed());
+                }
+                (results, times)
+            }
+            ExecMode::Threads => {
+                let f = &f;
+                let mut out: Vec<Option<(R, Duration)>> =
+                    self.workers.iter().map(|_| None).collect();
+                std::thread::scope(|scope| {
+                    for ((i, w), slot) in
+                        self.workers.iter_mut().enumerate().zip(out.iter_mut())
+                    {
+                        scope.spawn(move || {
+                            let start = Instant::now();
+                            let r = f(i, w);
+                            *slot = Some((r, start.elapsed()));
+                        });
+                    }
+                });
+                let mut results = Vec::with_capacity(out.len());
+                let mut times = Vec::with_capacity(out.len());
+                for item in out {
+                    let (r, t) = item.expect("worker thread completed");
+                    results.push(r);
+                    times.push(t);
+                }
+                (results, times)
+            }
+        };
+        // Scale each machine's measured time by its relative speed.
+        let scaled: Vec<Duration> = times
+            .iter()
+            .zip(&self.speeds)
+            .map(|(t, &s)| t.div_f64(s))
+            .collect();
+        let max = scaled.iter().copied().max().unwrap_or(Duration::ZERO);
+        let sum: Duration = scaled.iter().sum();
+        self.metrics.worker_compute += max;
+        self.metrics.worker_busy += sum;
+        self.metrics.phases += 1;
+        results
+    }
+
+    /// [`Self::par_step`] followed by an upload of each machine's result to
+    /// the master. `payload_bytes(result)` reports each message's wire size.
+    pub fn gather<R, F, S>(&mut self, f: F, payload_bytes: S) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut W) -> R + Sync,
+        S: Fn(&R) -> u64,
+    {
+        let results = self.par_step(f);
+        let bytes: u64 = results.iter().map(&payload_bytes).sum();
+        self.charge_upload(results.len() as u64, bytes);
+        results
+    }
+
+    /// Charges a gather of `bytes` from `messages` workers to the master,
+    /// priced as one tree collective (MPI_Gatherv).
+    pub fn charge_upload(&mut self, messages: u64, bytes: u64) {
+        self.metrics.comm_time += self.network.collective_time(messages, bytes);
+        self.metrics.messages += messages;
+        self.metrics.bytes_to_master += bytes;
+    }
+
+    /// Charges a broadcast of `bytes_per_machine` from the master to every
+    /// machine, priced as one tree collective (MPI_Bcast; each tree level
+    /// re-sends the payload, so the master link sees `ℓ` copies of it).
+    pub fn broadcast(&mut self, bytes_per_machine: u64) {
+        let l = self.workers.len() as u64;
+        let total = bytes_per_machine * l;
+        self.metrics.comm_time += self.network.collective_time(l, total);
+        self.metrics.messages += l;
+        self.metrics.bytes_from_master += total;
+    }
+
+    /// Runs serial master-side work, charging its elapsed time.
+    pub fn master<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.metrics.master_compute += start.elapsed();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(l: usize) -> SimCluster<u64> {
+        SimCluster::new((0..l as u64).collect(), NetworkModel::zero(), ExecMode::Sequential)
+    }
+
+    #[test]
+    fn par_step_runs_all_machines_in_order() {
+        let mut c = cluster(4);
+        let ids = c.par_step(|i, w| {
+            *w += 10;
+            (i, *w)
+        });
+        assert_eq!(ids, vec![(0, 10), (1, 11), (2, 12), (3, 13)]);
+        assert_eq!(c.metrics().phases, 1);
+        assert_eq!(c.workers(), &[10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn threads_mode_matches_sequential_results() {
+        let mut seq = cluster(4);
+        let mut thr = SimCluster::new(
+            (0..4u64).collect(),
+            NetworkModel::zero(),
+            ExecMode::Threads,
+        );
+        let a = seq.par_step(|i, w| *w * 2 + i as u64);
+        let b = thr.par_step(|i, w| *w * 2 + i as u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gather_accounts_traffic() {
+        let mut c = SimCluster::new(
+            vec![1u64; 8],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        c.gather(|_, w| *w, |_| 100);
+        let m = c.metrics();
+        assert_eq!(m.messages, 8);
+        assert_eq!(m.bytes_to_master, 800);
+        // Tree collective over 8 machines: ⌈log₂ 9⌉ = 4 latency hops.
+        assert!(m.comm_time >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn broadcast_accounts_traffic() {
+        let mut c = SimCluster::new(
+            vec![0u64; 5],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        c.broadcast(40);
+        let m = c.metrics();
+        assert_eq!(m.bytes_from_master, 200);
+        assert_eq!(m.messages, 5);
+    }
+
+    #[test]
+    fn master_time_accumulates() {
+        let mut c = cluster(1);
+        let v = c.master(|| {
+            std::hint::black_box((0..10_000u64).sum::<u64>())
+        });
+        assert_eq!(v, 49_995_000);
+        assert!(c.metrics().master_compute > Duration::ZERO);
+    }
+
+    #[test]
+    fn busy_at_least_compute() {
+        let mut c = cluster(3);
+        c.par_step(|_, w| std::hint::black_box((0..50_000).fold(*w, |a, b| a ^ b)));
+        let m = c.metrics();
+        assert!(m.worker_busy >= m.worker_compute);
+    }
+
+    #[test]
+    fn reset_clears_metrics() {
+        let mut c = cluster(2);
+        c.par_step(|_, _| ());
+        c.reset_metrics();
+        assert_eq!(c.metrics(), ClusterMetrics::default());
+    }
+
+    #[test]
+    fn straggler_dominates_phase_time() {
+        // Two machines doing identical work; machine 1 runs at 1/10 speed.
+        let work = |_: usize, w: &mut u64| {
+            *w = std::hint::black_box((0..200_000u64).fold(0, |a, b| a ^ b));
+        };
+        let mut even = SimCluster::new(vec![0u64; 2], NetworkModel::zero(), ExecMode::Sequential);
+        even.par_step(work);
+        let mut skew = SimCluster::with_speeds(
+            vec![0u64; 2],
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+            vec![1.0, 0.1],
+        );
+        skew.par_step(work);
+        // The straggler cluster's phase takes ~10x the even cluster's.
+        let ratio = skew.metrics().worker_compute.as_secs_f64()
+            / even.metrics().worker_compute.as_secs_f64();
+        assert!(ratio > 3.0, "straggler should dominate (ratio {ratio})");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_speed_mismatch() {
+        SimCluster::with_speeds(
+            vec![0u64; 2],
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+            vec![1.0],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_speed() {
+        SimCluster::with_speeds(
+            vec![0u64; 1],
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+            vec![0.0],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_cluster() {
+        SimCluster::<u64>::new(vec![], NetworkModel::zero(), ExecMode::Sequential);
+    }
+}

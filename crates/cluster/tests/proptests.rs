@@ -1,0 +1,96 @@
+//! Property-based tests for the cluster substrate.
+
+use std::time::Duration;
+
+use dim_cluster::{stream_seed, wire, ExecMode, NetworkModel, SimCluster};
+use proptest::prelude::*;
+
+proptest! {
+    /// Wire codec round-trips arbitrary delta vectors, and the advertised
+    /// size formula matches the actual encoding.
+    #[test]
+    fn delta_roundtrip(deltas in prop::collection::vec((any::<u32>(), any::<u32>()), 0..300)) {
+        let bytes = wire::encode_deltas(&deltas);
+        prop_assert_eq!(bytes.len() as u64, wire::delta_wire_size(deltas.len()));
+        prop_assert_eq!(wire::decode_deltas(&bytes).unwrap(), deltas.clone());
+        let mut visited = Vec::new();
+        wire::for_each_delta(&bytes, |v, d| visited.push((v, d))).unwrap();
+        prop_assert_eq!(visited, deltas);
+    }
+
+    /// Id codec round-trips.
+    #[test]
+    fn ids_roundtrip(ids in prop::collection::vec(any::<u32>(), 0..300)) {
+        let bytes = wire::encode_ids(&ids);
+        prop_assert_eq!(bytes.len() as u64, wire::ids_wire_size(ids.len()));
+        prop_assert_eq!(wire::decode_ids(&bytes).unwrap(), ids);
+    }
+
+    /// Truncating an encoded message is always detected.
+    #[test]
+    fn truncation_detected(deltas in prop::collection::vec((any::<u32>(), any::<u32>()), 1..50),
+                           cut in 1usize..8) {
+        let bytes = wire::encode_deltas(&deltas);
+        let cut = cut.min(bytes.len());
+        prop_assert!(wire::decode_deltas(&bytes[..bytes.len() - cut]).is_none());
+    }
+
+    /// Transfer time is monotone in bytes and messages.
+    #[test]
+    fn transfer_monotone(b1 in 0u64..1_000_000, b2 in 0u64..1_000_000,
+                         m1 in 1u64..64, m2 in 1u64..64) {
+        let net = NetworkModel::cluster_1gbps();
+        let (lo_b, hi_b) = (b1.min(b2), b1.max(b2));
+        let (lo_m, hi_m) = (m1.min(m2), m1.max(m2));
+        prop_assert!(net.transfer_time(lo_m, lo_b) <= net.transfer_time(hi_m, hi_b));
+        prop_assert!(net.collective_time(lo_m, lo_b) <= net.collective_time(hi_m, hi_b));
+        // Collectives never cost more than point-to-point fan-in.
+        prop_assert!(net.collective_time(hi_m, hi_b) <= net.transfer_time(hi_m, hi_b));
+    }
+
+    /// Stream seeds are collision-free over realistic machine ranges and
+    /// differ across master seeds.
+    #[test]
+    fn stream_seeds_unique(master in any::<u64>()) {
+        let seeds: Vec<u64> = (0..128).map(|i| stream_seed(master, i)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        prop_assert_eq!(unique.len(), seeds.len());
+        prop_assert_ne!(stream_seed(master, 0), stream_seed(master.wrapping_add(1), 0));
+    }
+
+    /// par_step visits every machine exactly once, in machine order, in
+    /// both execution modes; gather accounts exactly the advertised bytes.
+    #[test]
+    fn cluster_accounting(l in 1usize..12, payload in 0u64..10_000) {
+        for mode in [ExecMode::Sequential, ExecMode::Threads] {
+            let mut c = SimCluster::new(
+                vec![0u64; l],
+                NetworkModel::cluster_1gbps(),
+                mode,
+            );
+            let ids = c.gather(|i, w| { *w += 1; i }, |_| payload);
+            prop_assert_eq!(ids, (0..l).collect::<Vec<_>>());
+            prop_assert!(c.workers().iter().all(|&w| w == 1));
+            let m = c.metrics();
+            prop_assert_eq!(m.messages, l as u64);
+            prop_assert_eq!(m.bytes_to_master, payload * l as u64);
+            prop_assert_eq!(m.phases, 1);
+            prop_assert!(m.worker_busy >= m.worker_compute);
+        }
+    }
+
+    /// Metrics algebra: since() of merge() restores the original.
+    #[test]
+    fn metrics_algebra(msgs in 0u64..1000, bytes in 0u64..100_000, phases in 0u64..50) {
+        let a = dim_cluster::ClusterMetrics {
+            messages: msgs,
+            bytes_to_master: bytes,
+            phases,
+            comm_time: Duration::from_micros(msgs),
+            ..Default::default()
+        };
+        let mut b = a;
+        b.merge(&a);
+        prop_assert_eq!(b.since(&a), a);
+    }
+}

@@ -1,0 +1,343 @@
+//! DiIMM — distributed IMM (Algorithm 2 of the paper).
+//!
+//! Both IMM phases run distributed:
+//!
+//! * **Sampling** — each of the `ℓ` machines generates `(θ_t − θ_{t−1})/ℓ`
+//!   RR sets from its own RNG stream into its own shard (distributed RIS,
+//!   §III-A). The phase's virtual time is the slowest machine's — exactly
+//!   the paper's model, and concentrated around the mean by Corollary 1.
+//! * **Seed selection** — NewGreeDi (Algorithm 1) over the element shards,
+//!   returning exactly the centralized greedy solution (Lemma 2), hence
+//!   preserving IMM's `(1 − 1/e − ε)` guarantee (Theorem 1).
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+use dim_cluster::{stream_seed, ExecMode, NetworkModel, SimCluster};
+use dim_coverage::newgreedi::{newgreedi_incremental, newgreedi_with, NewGreediResult};
+use dim_coverage::CoverageShard;
+use dim_diffusion::rr::{AnySampler, RrSampler};
+use dim_diffusion::visit::VisitTracker;
+use dim_graph::Graph;
+
+use crate::config::{ImConfig, ImResult, Timings};
+use crate::params::ImParams;
+
+/// One machine's state: its sampler, RNG stream, and element shard.
+pub struct DiimmWorker<'g> {
+    sampler: AnySampler<'g>,
+    rng: Pcg64,
+    /// The machine's RR sets, stored directly as coverage elements
+    /// (element record = the RR set's member nodes).
+    pub shard: CoverageShard,
+    buf: Vec<u32>,
+    visited: VisitTracker,
+    edges_examined: u64,
+}
+
+impl<'g> DiimmWorker<'g> {
+    /// Creates the worker for `machine_id` with its derived RNG stream.
+    pub fn new(graph: &'g Graph, config: &ImConfig, machine_id: usize) -> Self {
+        DiimmWorker {
+            sampler: config.sampler.make(graph),
+            rng: Pcg64::seed_from_u64(stream_seed(config.seed, machine_id)),
+            shard: CoverageShard::new(graph.num_nodes()),
+            buf: Vec::new(),
+            visited: VisitTracker::new(graph.num_nodes()),
+            edges_examined: 0,
+        }
+    }
+
+    /// Samples `count` RR sets into the shard (Algorithm 2, lines 6/12).
+    pub fn generate(&mut self, count: usize) {
+        for _ in 0..count {
+            self.edges_examined +=
+                self.sampler
+                    .sample(&mut self.rng, &mut self.buf, &mut self.visited);
+            self.shard.push_element(&self.buf);
+        }
+    }
+}
+
+/// Splits `total` new RR sets across `machines`: machine `i` gets the base
+/// share plus one of the remainder (deterministic, balanced to ±1).
+pub(crate) fn split_counts(total: usize, machines: usize) -> Vec<usize> {
+    let base = total / machines;
+    let rem = total % machines;
+    (0..machines)
+        .map(|i| base + usize::from(i < rem))
+        .collect()
+}
+
+fn generate_up_to(
+    cluster: &mut SimCluster<DiimmWorker<'_>>,
+    from: usize,
+    to: usize,
+    timings: &mut Timings,
+) {
+    if to <= from {
+        return;
+    }
+    let counts = split_counts(to - from, cluster.num_machines());
+    let before = cluster.metrics();
+    cluster.par_step(|i, w| w.generate(counts[i]));
+    timings.sampling += cluster.metrics().since(&before).worker_compute;
+}
+
+fn select(
+    cluster: &mut SimCluster<DiimmWorker<'_>>,
+    n: usize,
+    k: usize,
+    timings: &mut Timings,
+    base_coverage: &mut Option<Vec<u64>>,
+) -> NewGreediResult {
+    let before = cluster.metrics();
+    let r = match base_coverage {
+        // The paper's §III-C traffic optimization: machines report coverage
+        // only over their newly generated RR sets; the master accumulates.
+        Some(base) => newgreedi_incremental(cluster, k, |w| &mut w.shard, base),
+        // Ablation baseline: full coverage re-upload on every call.
+        None => newgreedi_with(cluster, n, k, |w| &mut w.shard),
+    };
+    let delta = cluster.metrics().since(&before);
+    timings.selection += delta.compute();
+    timings.communication += delta.comm_time;
+    r
+}
+
+/// Runs DiIMM on `machines` simulated machines connected by `network`.
+///
+/// Phase structure follows Algorithm 2: a lower-bound search doubling the
+/// RR-set budget until `n · F_R(S_t) ≥ (1 + ε′) · n/2^t`, then a final
+/// top-up to `θ = λ*/LB` and one last NewGreeDi pass.
+pub fn diimm(
+    graph: &Graph,
+    config: &ImConfig,
+    machines: usize,
+    network: NetworkModel,
+    mode: ExecMode,
+) -> ImResult {
+    diimm_with_options(graph, config, machines, network, mode, true)
+}
+
+/// [`diimm`] with the incremental coverage-reporting optimization of
+/// §III-C toggled explicitly (`incremental = false` re-uploads every
+/// machine's full coverage vector on each NewGreeDi call — the ablation
+/// baseline). Seed selection is identical either way.
+pub fn diimm_with_options(
+    graph: &Graph,
+    config: &ImConfig,
+    machines: usize,
+    network: NetworkModel,
+    mode: ExecMode,
+    incremental: bool,
+) -> ImResult {
+    assert!(machines >= 1, "need at least one machine");
+    let n = graph.num_nodes();
+    let params = ImParams::derive(n, config.k, config.epsilon, config.delta);
+
+    let workers: Vec<DiimmWorker> = (0..machines)
+        .map(|i| DiimmWorker::new(graph, config, i))
+        .collect();
+    let mut cluster = SimCluster::new(workers, network, mode);
+    let mut timings = Timings::default();
+    let mut base_coverage = incremental.then(|| vec![0u64; n]);
+
+    // Lines 3–10: lower-bound search.
+    let mut theta_cur = 0usize;
+    let mut lower_bound = 1.0f64;
+    let mut rounds = 0u32;
+    let mut last: Option<NewGreediResult> = None;
+    for t in 1..=params.max_rounds() {
+        rounds = t;
+        let x = n as f64 / 2f64.powi(t as i32);
+        let theta_t = params.theta_at(t);
+        generate_up_to(&mut cluster, theta_cur, theta_t, &mut timings);
+        theta_cur = theta_cur.max(theta_t);
+        let r = select(&mut cluster, n, config.k, &mut timings, &mut base_coverage);
+        let est = n as f64 * r.covered as f64 / theta_cur as f64;
+        last = Some(r);
+        if est >= (1.0 + params.epsilon_prime) * x {
+            lower_bound = est / (1.0 + params.epsilon_prime);
+            break;
+        }
+    }
+
+    // Lines 11–13: final sampling top-up and selection.
+    let theta = params.theta_final(lower_bound);
+    let final_result = if theta > theta_cur || last.is_none() {
+        generate_up_to(&mut cluster, theta_cur, theta, &mut timings);
+        theta_cur = theta_cur.max(theta);
+        select(&mut cluster, n, config.k, &mut timings, &mut base_coverage)
+    } else if let Some(last) = last {
+        // θ ≤ θ_cur: the last S_t was computed over this exact collection.
+        last
+    } else {
+        unreachable!("guarded by last.is_none() above")
+    };
+
+    let coverage = final_result.covered;
+    let est_spread = n as f64 * coverage as f64 / theta_cur as f64;
+    let total_rr_size: usize = cluster.workers().iter().map(|w| w.shard.total_size()).sum();
+    let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
+
+    ImResult {
+        seeds: final_result.seeds,
+        coverage,
+        num_rr_sets: theta_cur,
+        total_rr_size,
+        edges_examined,
+        est_spread,
+        lower_bound,
+        rounds,
+        timings,
+        metrics: cluster.metrics(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_diffusion::DiffusionModel;
+    use dim_graph::generators::{barabasi_albert, erdos_renyi};
+    use dim_graph::WeightModel;
+
+    use crate::config::SamplerKind;
+
+    fn config(k: usize, seed: u64) -> ImConfig {
+        ImConfig {
+            k,
+            epsilon: 0.5,
+            delta: 0.1,
+            seed,
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+        }
+    }
+
+    #[test]
+    fn split_counts_balanced() {
+        assert_eq!(split_counts(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_counts(3, 5), vec![1, 1, 1, 0, 0]);
+        assert_eq!(split_counts(0, 2), vec![0, 0]);
+        let c = split_counts(1_000_003, 17);
+        assert_eq!(c.iter().sum::<usize>(), 1_000_003);
+        assert!(c.iter().max().unwrap() - c.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn returns_k_seeds() {
+        let g = erdos_renyi(300, 1500, WeightModel::WeightedCascade, 2);
+        let r = diimm(
+            &g,
+            &config(5, 1),
+            4,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        assert_eq!(r.seeds.len(), 5);
+        assert!(r.num_rr_sets > 0);
+        assert!(r.total_rr_size >= r.num_rr_sets, "each RR set has ≥ 1 node");
+        assert!(r.est_spread >= 5.0);
+        assert!(r.est_spread <= 300.0);
+        assert!(r.lower_bound >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_machine_count() {
+        let g = barabasi_albert(200, 3, WeightModel::WeightedCascade, 3);
+        let a = diimm(
+            &g,
+            &config(4, 9),
+            4,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let b = diimm(
+            &g,
+            &config(4, 9),
+            4,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.num_rr_sets, b.num_rr_sets);
+        assert_eq!(a.coverage, b.coverage);
+    }
+
+    #[test]
+    fn spread_stable_across_machine_counts() {
+        // Different ℓ means different RNG streams, so seeds may differ —
+        // but estimated spreads must agree within the approximation band.
+        let g = barabasi_albert(300, 4, WeightModel::WeightedCascade, 5);
+        let r1 = diimm(
+            &g,
+            &config(5, 11),
+            1,
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let r8 = diimm(
+            &g,
+            &config(5, 11),
+            8,
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let rel = (r1.est_spread - r8.est_spread).abs() / r1.est_spread;
+        assert!(rel < 0.25, "ℓ=1: {}, ℓ=8: {}", r1.est_spread, r8.est_spread);
+    }
+
+    #[test]
+    fn timings_and_traffic_populated() {
+        let g = erdos_renyi(200, 1000, WeightModel::WeightedCascade, 7);
+        let r = diimm(
+            &g,
+            &config(3, 2),
+            4,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        assert!(r.timings.sampling > std::time::Duration::ZERO);
+        assert!(r.timings.selection > std::time::Duration::ZERO);
+        assert!(r.timings.communication > std::time::Duration::ZERO);
+        assert!(r.metrics.bytes_to_master > 0);
+        assert!(r.edges_examined > 0);
+    }
+
+    #[test]
+    fn subsim_sampler_works_distributed() {
+        let g = barabasi_albert(200, 3, WeightModel::WeightedCascade, 4);
+        let mut cfg = config(4, 6);
+        cfg.sampler = SamplerKind::Subsim;
+        let r = diimm(
+            &g,
+            &cfg,
+            4,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        assert_eq!(r.seeds.len(), 4);
+        assert!(r.est_spread > 4.0);
+    }
+
+    #[test]
+    fn threads_mode_matches_sequential() {
+        let g = erdos_renyi(150, 700, WeightModel::WeightedCascade, 8);
+        let a = diimm(
+            &g,
+            &config(3, 13),
+            3,
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let b = diimm(
+            &g,
+            &config(3, 13),
+            3,
+            NetworkModel::zero(),
+            ExecMode::Threads,
+        );
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.num_rr_sets, b.num_rr_sets);
+    }
+}

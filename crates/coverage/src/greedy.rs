@@ -1,0 +1,241 @@
+//! Centralized greedy maximum-coverage algorithms.
+//!
+//! Three implementations with identical approximation behaviour but
+//! different engineering (the paper's ablation dimension):
+//!
+//! * [`bucket_greedy`] — the paper's bucketed lazy selector (Algorithm 1
+//!   restricted to one machine). Amortized linear in Σ|R|.
+//! * [`celf_greedy`] — CELF lazy evaluation on a max-heap (Leskovec et al.),
+//!   the classic alternative.
+//! * [`naive_greedy`] — per-round full rescan; quadratic but obviously
+//!   correct, used as an oracle in tests.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::selector::BucketSelector;
+use crate::shard::CoverageShard;
+
+/// Outcome of a greedy run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GreedyResult {
+    /// Selected sets, in selection order.
+    pub seeds: Vec<u32>,
+    /// Number of elements covered by `seeds`.
+    pub covered: u64,
+    /// Marginal coverage of each selection, in order (non-increasing).
+    pub marginals: Vec<u64>,
+}
+
+impl GreedyResult {
+    /// Coverage as a fraction of `total` elements (the paper's `F_R(S)`).
+    pub fn fraction(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.covered as f64 / total as f64
+        }
+    }
+}
+
+/// Dense initial coverage vector of a prepared shard.
+fn dense_initial(shard: &CoverageShard) -> Vec<u64> {
+    let mut init = vec![0u64; shard.num_sets()];
+    for (v, c) in shard.initial_coverage() {
+        init[v as usize] = c as u64;
+    }
+    init
+}
+
+/// The paper's bucketed greedy (Algorithm 1 on one machine): selects up to
+/// `k` sets maximizing covered elements. The shard is re-prepared, so any
+/// prior coverage state is discarded.
+pub fn bucket_greedy(shard: &mut CoverageShard, k: usize) -> GreedyResult {
+    shard.prepare();
+    let mut selector = BucketSelector::new(&dense_initial(shard));
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginals = Vec::with_capacity(k);
+    while seeds.len() < k {
+        let Some((u, cov)) = selector.select_next() else {
+            break;
+        };
+        seeds.push(u);
+        marginals.push(cov);
+        for (v, d) in shard.apply_seed(u) {
+            selector.decrease(v, d as u64);
+        }
+    }
+    GreedyResult {
+        seeds,
+        covered: shard.covered_count() as u64,
+        marginals,
+    }
+}
+
+/// CELF lazy greedy: a max-heap of stale marginals; the top is re-evaluated
+/// and either confirmed (submodularity guarantees optimality if it stays on
+/// top) or reinserted. Ties break toward the smaller set id.
+pub fn celf_greedy(shard: &mut CoverageShard, k: usize) -> GreedyResult {
+    shard.prepare();
+    let mut heap: BinaryHeap<(u64, Reverse<u32>)> = dense_initial(shard)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(v, &c)| (c, Reverse(v as u32)))
+        .collect();
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginals = Vec::with_capacity(k);
+    while seeds.len() < k {
+        let Some((stale, Reverse(u))) = heap.pop() else {
+            break;
+        };
+        let fresh = shard.marginal(u) as u64;
+        debug_assert!(fresh <= stale, "marginals never increase");
+        if fresh == 0 {
+            continue;
+        }
+        // Fresh value still at least the next candidate's stale value
+        // (stale values upper-bound fresh ones) → safe to select.
+        let next_best = heap.peek().map(|&(c, _)| c).unwrap_or(0);
+        if fresh >= next_best {
+            shard.apply_seed(u);
+            seeds.push(u);
+            marginals.push(fresh);
+        } else {
+            heap.push((fresh, Reverse(u)));
+        }
+    }
+    GreedyResult {
+        seeds,
+        covered: shard.covered_count() as u64,
+        marginals,
+    }
+}
+
+/// Naive greedy: rescans every set's marginal each round. O(k · Σ|I(v)|).
+/// Ties break toward the smaller set id.
+pub fn naive_greedy(shard: &mut CoverageShard, k: usize) -> GreedyResult {
+    shard.prepare();
+    let mut seeds = Vec::with_capacity(k);
+    let mut marginals = Vec::with_capacity(k);
+    while seeds.len() < k {
+        let mut best: Option<(u32, u64)> = None;
+        for v in 0..shard.num_sets() as u32 {
+            if seeds.contains(&v) {
+                continue;
+            }
+            let m = shard.marginal(v) as u64;
+            if m > 0 && best.is_none_or(|(_, bm)| m > bm) {
+                best = Some((v, m));
+            }
+        }
+        let Some((u, m)) = best else { break };
+        shard.apply_seed(u);
+        seeds.push(u);
+        marginals.push(m);
+    }
+    GreedyResult {
+        seeds,
+        covered: shard.covered_count() as u64,
+        marginals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example3() -> CoverageShard {
+        CoverageShard::from_records(
+            5,
+            [
+                &[0u32][..],
+                &[1, 2],
+                &[0, 2],
+                &[1, 4],
+                &[0],
+                &[1, 3],
+            ],
+        )
+    }
+
+    /// Replays a seed sequence, asserting the greedy invariant: each seed
+    /// had the maximum marginal at its selection point.
+    fn assert_greedy_invariant(mut shard: CoverageShard, seeds: &[u32], marginals: &[u64]) {
+        shard.prepare();
+        for (&u, &m) in seeds.iter().zip(marginals) {
+            let max = (0..shard.num_sets() as u32)
+                .map(|v| shard.marginal(v) as u64)
+                .max()
+                .unwrap_or(0);
+            assert_eq!(shard.marginal(u) as u64, m, "recorded marginal of {u}");
+            assert_eq!(m, max, "seed {u} was not a maximizer");
+            shard.apply_seed(u);
+        }
+    }
+
+    #[test]
+    fn example3_all_algorithms_cover_everything() {
+        // Paper Example 3: {v1, v2} covers all 6 RR sets.
+        for algo in [bucket_greedy, celf_greedy, naive_greedy] {
+            let mut shard = example3();
+            let r = algo(&mut shard, 2);
+            assert_eq!(r.covered, 6, "full coverage with k = 2");
+            let mut s = r.seeds.clone();
+            s.sort_unstable();
+            assert_eq!(s, vec![0, 1]);
+            assert_eq!(r.marginals, vec![3, 3]);
+        }
+    }
+
+    #[test]
+    fn greedy_invariant_holds() {
+        for algo in [bucket_greedy, celf_greedy, naive_greedy] {
+            let mut shard = example3();
+            let r = algo(&mut shard, 4);
+            assert_greedy_invariant(example3(), &r.seeds, &r.marginals);
+        }
+    }
+
+    #[test]
+    fn marginals_non_increasing() {
+        for algo in [bucket_greedy, celf_greedy, naive_greedy] {
+            let mut shard = example3();
+            let r = algo(&mut shard, 5);
+            assert!(r.marginals.windows(2).all(|w| w[0] >= w[1]), "{:?}", r.marginals);
+        }
+    }
+
+    #[test]
+    fn stops_when_everything_covered() {
+        let mut shard = example3();
+        let r = bucket_greedy(&mut shard, 100);
+        assert_eq!(r.covered, 6);
+        assert!(r.seeds.len() <= 5);
+        assert!(r.marginals.iter().all(|&m| m > 0));
+    }
+
+    #[test]
+    fn k_zero() {
+        let mut shard = example3();
+        let r = bucket_greedy(&mut shard, 0);
+        assert!(r.seeds.is_empty());
+        assert_eq!(r.covered, 0);
+    }
+
+    #[test]
+    fn fraction_helper() {
+        let mut shard = example3();
+        let r = bucket_greedy(&mut shard, 1);
+        assert_eq!(r.covered, 3);
+        assert!((r.fraction(6) - 0.5).abs() < 1e-12);
+        assert_eq!(r.fraction(0), 0.0);
+    }
+
+    #[test]
+    fn celf_matches_bucket_coverage_on_example() {
+        let mut a = example3();
+        let mut b = example3();
+        assert_eq!(bucket_greedy(&mut a, 3).covered, celf_greedy(&mut b, 3).covered);
+    }
+}

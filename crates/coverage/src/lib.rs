@@ -1,0 +1,58 @@
+//! Maximum coverage, centralized and distributed.
+//!
+//! Influence maximization reduces to maximum coverage over RR sets
+//! (Lemma 1 of the paper): pick `k` *sets* (nodes) covering the most
+//! *elements* (RR sets). This crate implements that optimization layer:
+//!
+//! * [`PooledSets`] — flat pooled storage of u32 lists, the common currency
+//!   of instances and shards.
+//! * [`CoverageProblem`] — a global set-element instance, with builders from
+//!   arbitrary set lists or a graph's neighborhoods (the paper's §IV-C
+//!   workload), and exact brute-force optimum for tiny instances.
+//! * [`BucketSelector`] — the paper's coverage-bucketed vector `D` with lazy
+//!   updates (Algorithm 1, lines 5–13): amortized-linear greedy selection.
+//! * [`greedy`] — centralized algorithms: bucket greedy, CELF lazy greedy,
+//!   and a naive per-round rescan oracle.
+//! * [`mod@newgreedi`] — **NewGreeDi** (Algorithm 1): element-distributed greedy
+//!   on a [`dim_cluster::SimCluster`], returning *exactly* the centralized
+//!   greedy solution (Lemma 2), with sparse-delta map/reduce updates.
+//! * [`greedi`] — the set-distributed composable core-sets baselines GreeDi
+//!   (Mirzasoleiman et al.) and RandGreeDi (Barbosa et al.), used by
+//!   Fig. 10's comparison.
+//! * [`budgeted`] — cost-aware (budgeted) maximum coverage with the same
+//!   element-distributed messaging, supporting the budgeted-IM application
+//!   the paper's conclusion names.
+//!
+//! # Example
+//!
+//! ```
+//! use dim_coverage::{CoverageProblem, greedy};
+//!
+//! // Paper Fig. 2: six RR sets over five nodes; {v1, v2} covers all six.
+//! let problem = CoverageProblem::from_element_records(5, [
+//!     &[0u32][..], &[1, 2], &[0, 2], &[1, 4], &[0], &[1, 3],
+//! ]);
+//! let mut shard = problem.single_shard();
+//! let result = greedy::bucket_greedy(&mut shard, 2);
+//! let mut seeds = result.seeds.clone();
+//! seeds.sort_unstable();
+//! assert_eq!(seeds, vec![0, 1]);
+//! assert_eq!(result.covered, 6);
+//! ```
+
+pub mod budgeted;
+pub mod greedi;
+pub mod greedy;
+pub mod newgreedi;
+pub mod pooled;
+pub mod problem;
+pub mod selector;
+pub mod shard;
+
+pub use greedy::GreedyResult;
+pub use budgeted::{budgeted_greedy, newgreedi_budgeted, BudgetedResult};
+pub use newgreedi::{newgreedi, newgreedi_until};
+pub use pooled::PooledSets;
+pub use problem::CoverageProblem;
+pub use selector::BucketSelector;
+pub use shard::CoverageShard;

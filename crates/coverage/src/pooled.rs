@@ -1,0 +1,163 @@
+//! Flat pooled storage of `u32` lists.
+
+/// Append-only storage of variable-length `u32` lists, stored back-to-back
+/// in one pool. Mirrors `dim_diffusion::RrStore` but lives here so the
+/// coverage layer has no dependency on diffusion (maximum coverage is a
+/// standalone problem — Fig. 10 runs it on graph neighborhoods).
+#[derive(Clone, Debug, Default)]
+pub struct PooledSets {
+    offsets: Vec<usize>,
+    pool: Vec<u32>,
+}
+
+impl PooledSets {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        PooledSets {
+            offsets: vec![0],
+            pool: Vec::new(),
+        }
+    }
+
+    /// Creates empty storage pre-sized for `lists` lists totalling
+    /// `total_len` entries.
+    pub fn with_capacity(lists: usize, total_len: usize) -> Self {
+        let mut offsets = Vec::with_capacity(lists + 1);
+        offsets.push(0);
+        PooledSets {
+            offsets,
+            pool: Vec::with_capacity(total_len),
+        }
+    }
+
+    /// Reassembles storage from raw parts (inverse of [`Self::into_parts`]).
+    ///
+    /// # Panics
+    /// Panics if `offsets` is not a valid monotone offset array over `pool`.
+    pub fn from_parts(offsets: Vec<usize>, pool: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0);
+        assert_eq!(*offsets.last().unwrap(), pool.len());
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        PooledSets { offsets, pool }
+    }
+
+    /// Decomposes into `(offsets, pool)` without copying.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<u32>) {
+        (self.offsets, self.pool)
+    }
+
+    /// Appends one list; returns its id.
+    pub fn push(&mut self, list: &[u32]) -> u32 {
+        let id = self.len() as u32;
+        self.pool.extend_from_slice(list);
+        self.offsets.push(self.pool.len());
+        id
+    }
+
+    /// Number of lists.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no lists are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `id`-th list.
+    pub fn get(&self, id: usize) -> &[u32] {
+        &self.pool[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Total entries across all lists.
+    pub fn total_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Iterates lists in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.pool[w[0]..w[1]])
+    }
+
+    /// Builds the transpose over value domain `0..domain`: for each value
+    /// `v`, the ids of lists containing `v`. Returned in the same
+    /// `PooledSets` representation (list `v` = ids containing `v`).
+    pub fn transpose(&self, domain: usize) -> PooledSets {
+        let mut counts = vec![0usize; domain + 1];
+        for &v in &self.pool {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..domain {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut ids = vec![0u32; self.pool.len()];
+        for id in 0..self.len() {
+            for &v in self.get(id) {
+                ids[cursor[v as usize]] = id as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        PooledSets {
+            offsets,
+            pool: ids,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter() {
+        let mut p = PooledSets::new();
+        assert!(p.is_empty());
+        p.push(&[1, 2]);
+        p.push(&[]);
+        p.push(&[0]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(0), &[1, 2]);
+        assert_eq!(p.get(1), &[] as &[u32]);
+        assert_eq!(p.get(2), &[0]);
+        assert_eq!(p.total_size(), 3);
+        assert_eq!(p.iter().count(), 3);
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let mut p = PooledSets::new();
+        p.push(&[3, 1]);
+        p.push(&[2]);
+        let (o, pool) = p.clone().into_parts();
+        let q = PooledSets::from_parts(o, pool);
+        assert_eq!(q.get(0), p.get(0));
+        assert_eq!(q.get(1), p.get(1));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut p = PooledSets::new();
+        p.push(&[0, 1]);
+        p.push(&[1, 2, 3]);
+        p.push(&[0, 2]);
+        let t = p.transpose(4);
+        assert_eq!(t.get(0), &[0, 2]); // value 0 in lists 0 and 2
+        assert_eq!(t.get(1), &[0, 1]);
+        assert_eq!(t.get(3), &[1]);
+        // Transposing back over the list domain recovers the original.
+        let back = t.transpose(3);
+        for i in 0..p.len() {
+            assert_eq!(back.get(i), p.get(i));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_validates() {
+        PooledSets::from_parts(vec![0, 5], vec![1, 2]);
+    }
+}

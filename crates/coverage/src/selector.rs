@@ -1,0 +1,170 @@
+//! The paper's coverage-bucketed greedy selector (Algorithm 1, lines 5–13).
+
+/// Master-side greedy selection state: a vector `D` of node lists bucketed
+/// by (possibly stale) marginal coverage, scanned from the maximum bucket
+/// downward with **lazy updates** — a node found with an outdated coverage
+/// is dropped into its true bucket instead of being selected (lines 9–11).
+///
+/// Total scan work across all `k` selections is O(d* + #moves), and each
+/// node moves at most once per coverage decrement, so selection is linear
+/// in the total coverage mass — the amortized bound of §III-D.
+///
+/// The selector is deliberately independent of where coverage *updates*
+/// come from: the centralized greedy feeds it deltas from a local shard,
+/// NewGreeDi feeds it aggregated deltas gathered from `ℓ` machines. Both
+/// therefore select the *same* sequence of seeds, which is the mechanism
+/// behind Lemma 2's exact (1 − 1/e) guarantee.
+#[derive(Clone, Debug)]
+pub struct BucketSelector {
+    /// `buckets[d]` = nodes whose last recorded coverage is `d`.
+    buckets: Vec<Vec<u32>>,
+    /// Current true coverage per node.
+    coverage: Vec<u64>,
+    selected: Vec<bool>,
+    /// Scan position: current bucket level.
+    cur_d: usize,
+    /// Scan position within `buckets[cur_d]`.
+    cur_i: usize,
+}
+
+impl BucketSelector {
+    /// Builds the selector from every node's initial coverage
+    /// (Algorithm 1, lines 4–6). Nodes appear in their bucket in increasing
+    /// id order, making tie-breaking deterministic.
+    pub fn new(initial_coverage: &[u64]) -> Self {
+        let d_star = initial_coverage.iter().copied().max().unwrap_or(0) as usize;
+        let mut buckets = vec![Vec::new(); d_star + 1];
+        for (v, &c) in initial_coverage.iter().enumerate() {
+            if c > 0 {
+                buckets[c as usize].push(v as u32);
+            }
+        }
+        BucketSelector {
+            buckets,
+            coverage: initial_coverage.to_vec(),
+            selected: vec![false; initial_coverage.len()],
+            cur_d: d_star,
+            cur_i: 0,
+        }
+    }
+
+    /// Selects the node with the maximum current coverage, marks it
+    /// selected, and returns `(node, its coverage)`. Returns `None` when
+    /// every remaining node has zero coverage.
+    ///
+    /// The caller must afterwards apply the seed's effect on other nodes'
+    /// coverages via [`Self::decrease`] before the next `select_next` (the
+    /// reduce stage, line 22).
+    pub fn select_next(&mut self) -> Option<(u32, u64)> {
+        while self.cur_d >= 1 {
+            while self.cur_i < self.buckets[self.cur_d].len() {
+                let u = self.buckets[self.cur_d][self.cur_i];
+                self.cur_i += 1;
+                if self.selected[u as usize] {
+                    continue;
+                }
+                let true_cov = self.coverage[u as usize] as usize;
+                if true_cov < self.cur_d {
+                    // Outdated coverage: lazily move to the true bucket.
+                    if true_cov > 0 {
+                        self.buckets[true_cov].push(u);
+                    }
+                    continue;
+                }
+                debug_assert_eq!(true_cov, self.cur_d, "coverage never increases");
+                self.selected[u as usize] = true;
+                return Some((u, true_cov as u64));
+            }
+            self.cur_d -= 1;
+            self.cur_i = 0;
+        }
+        None
+    }
+
+    /// Applies a marginal-coverage decrement to node `v` (reduce stage).
+    /// The bucket move is deferred to the lazy check during scanning.
+    pub fn decrease(&mut self, v: u32, by: u64) {
+        let c = &mut self.coverage[v as usize];
+        debug_assert!(*c >= by, "coverage of {v} would go negative");
+        *c = c.saturating_sub(by);
+    }
+
+    /// Current recorded coverage of `v`.
+    pub fn coverage_of(&self, v: u32) -> u64 {
+        self.coverage[v as usize]
+    }
+
+    /// Whether `v` has been selected.
+    pub fn is_selected(&self, v: u32) -> bool {
+        self.selected[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_in_decreasing_coverage_order_without_updates() {
+        let mut s = BucketSelector::new(&[3, 5, 1, 5, 0]);
+        // Ties broken by insertion (id) order: node 1 before node 3.
+        assert_eq!(s.select_next(), Some((1, 5)));
+        assert_eq!(s.select_next(), Some((3, 5)));
+        assert_eq!(s.select_next(), Some((0, 3)));
+        assert_eq!(s.select_next(), Some((2, 1)));
+        assert_eq!(s.select_next(), None, "zero-coverage node never selected");
+    }
+
+    #[test]
+    fn lazy_update_moves_node_down() {
+        let mut s = BucketSelector::new(&[4, 3]);
+        assert_eq!(s.select_next(), Some((0, 4)));
+        // Node 1's coverage drops to 1 before the next selection.
+        s.decrease(1, 2);
+        assert_eq!(s.select_next(), Some((1, 1)));
+        assert_eq!(s.select_next(), None);
+    }
+
+    #[test]
+    fn decrease_to_zero_drops_node() {
+        let mut s = BucketSelector::new(&[2, 2]);
+        assert_eq!(s.select_next(), Some((0, 2)));
+        s.decrease(1, 2);
+        assert_eq!(s.select_next(), None);
+    }
+
+    #[test]
+    fn selected_nodes_skipped_in_lower_buckets() {
+        // Node 0 sits in bucket 3; after selection its stale entry must not
+        // resurface even if scanning reaches lower buckets.
+        let mut s = BucketSelector::new(&[3, 3, 1]);
+        assert_eq!(s.select_next(), Some((0, 3)));
+        s.decrease(1, 2);
+        // Node 1's stale entry moves to bucket 1 behind node 2, so node 2
+        // (equal coverage, already in place) is selected first.
+        assert_eq!(s.select_next(), Some((2, 1)));
+        assert_eq!(s.select_next(), Some((1, 1)));
+        assert_eq!(s.select_next(), None);
+    }
+
+    #[test]
+    fn all_zero_initial() {
+        let mut s = BucketSelector::new(&[0, 0, 0]);
+        assert_eq!(s.select_next(), None);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut s = BucketSelector::new(&[]);
+        assert_eq!(s.select_next(), None);
+    }
+
+    #[test]
+    fn query_helpers() {
+        let mut s = BucketSelector::new(&[2, 1]);
+        assert_eq!(s.coverage_of(0), 2);
+        assert!(!s.is_selected(0));
+        s.select_next();
+        assert!(s.is_selected(0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-machine element shard for element-distributed maximum coverage.
+
+use crate::pooled::PooledSets;
+
+/// One machine's shard of the elements in an element-distributed maximum
+/// coverage instance (the machine's RR sets `R_i` in the paper).
+///
+/// Each stored *element record* lists the ids of the sets covering that
+/// element (for an RR set, the nodes it contains). The shard maintains:
+///
+/// * the transpose index `I_i(set) → local element ids` used by the map
+///   stage (Algorithm 1, line 16),
+/// * per-element `covered` labels (lines 2, 17, 21).
+///
+/// Elements may keep being appended (DiIMM adds RR sets across iterations);
+/// call [`CoverageShard::prepare`] before each selection round to rebuild
+/// the index and relabel everything uncovered.
+#[derive(Clone, Debug)]
+pub struct CoverageShard {
+    num_sets: usize,
+    elements: PooledSets,
+    /// Transpose: set id → local element ids. Rebuilt by `prepare`.
+    index: PooledSets,
+    /// Number of elements the index was built over (staleness detector).
+    indexed_elements: usize,
+    covered: Vec<bool>,
+    covered_count: usize,
+    /// Elements already reported through [`Self::take_new_coverage`].
+    reported_elements: usize,
+    /// Dense per-set counter reused by the delta-aggregation hot paths
+    /// (always all-zero between calls).
+    scratch_counts: Vec<u32>,
+    /// Sets touched in `scratch_counts` during the current aggregation.
+    scratch_touched: Vec<u32>,
+}
+
+impl CoverageShard {
+    /// Creates an empty shard over a universe of `num_sets` sets.
+    pub fn new(num_sets: usize) -> Self {
+        CoverageShard {
+            num_sets,
+            elements: PooledSets::new(),
+            index: PooledSets::new(),
+            indexed_elements: 0,
+            covered: Vec::new(),
+            covered_count: 0,
+            reported_elements: 0,
+            scratch_counts: vec![0; num_sets],
+            scratch_touched: Vec::new(),
+        }
+    }
+
+    /// Creates a shard pre-populated with element records.
+    pub fn from_records<'a>(
+        num_sets: usize,
+        records: impl IntoIterator<Item = &'a [u32]>,
+    ) -> Self {
+        let mut shard = CoverageShard::new(num_sets);
+        for r in records {
+            shard.push_element(r);
+        }
+        shard.prepare();
+        shard
+    }
+
+    /// Appends one element record (the sets covering it). Invalidates the
+    /// index until the next [`Self::prepare`].
+    pub fn push_element(&mut self, covering_sets: &[u32]) {
+        debug_assert!(covering_sets
+            .iter()
+            .all(|&s| (s as usize) < self.num_sets));
+        self.elements.push(covering_sets);
+    }
+
+    /// Number of local elements (`|R_i|`).
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Size of the set universe.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Σ over local elements of record length (`Σ_{R∈R_i} |R|`).
+    pub fn total_size(&self) -> usize {
+        self.elements.total_size()
+    }
+
+    /// Rebuilds the transpose index and labels every element *uncovered*
+    /// (Algorithm 1, lines 1–3). Must be called before a selection round
+    /// and after any `push_element`.
+    pub fn prepare(&mut self) {
+        self.index = self.elements.transpose(self.num_sets);
+        self.indexed_elements = self.elements.len();
+        self.covered.clear();
+        self.covered.resize(self.elements.len(), false);
+        self.covered_count = 0;
+    }
+
+    /// True when the index is stale (elements were added since `prepare`).
+    pub fn needs_prepare(&self) -> bool {
+        self.indexed_elements != self.elements.len()
+    }
+
+    /// This machine's coverage contribution from elements appended since
+    /// the last call, as sparse `(set, count)` tuples in increasing set
+    /// order. The paper's §III-C traffic optimization: across repeated
+    /// NewGreeDi invocations (DiIMM adds RR sets between them), a machine
+    /// need only report the marginals over its *newly generated* elements
+    /// and let the master accumulate.
+    pub fn take_new_coverage(&mut self) -> Vec<(u32, u32)> {
+        for e in self.reported_elements..self.elements.len() {
+            for &v in self.elements.get(e) {
+                if self.scratch_counts[v as usize] == 0 {
+                    self.scratch_touched.push(v);
+                }
+                self.scratch_counts[v as usize] += 1;
+            }
+        }
+        self.reported_elements = self.elements.len();
+        self.drain_scratch()
+    }
+
+    /// Converts the dense scratch counters into sorted sparse tuples and
+    /// zeroes them for the next aggregation.
+    fn drain_scratch(&mut self) -> Vec<(u32, u32)> {
+        self.scratch_touched.sort_unstable();
+        let out: Vec<(u32, u32)> = self
+            .scratch_touched
+            .iter()
+            .map(|&v| (v, self.scratch_counts[v as usize]))
+            .collect();
+        for &v in &self.scratch_touched {
+            self.scratch_counts[v as usize] = 0;
+        }
+        self.scratch_touched.clear();
+        out
+    }
+
+    /// This machine's initial coverage of every set: `Δ_i(v)` for all `v`
+    /// with nonzero local coverage, as sparse `(set, count)` tuples in
+    /// increasing set order (Algorithm 1, line 3).
+    pub fn initial_coverage(&self) -> Vec<(u32, u32)> {
+        assert!(!self.needs_prepare(), "call prepare() first");
+        (0..self.num_sets as u32)
+            .filter_map(|s| {
+                let c = self.index.get(s as usize).len();
+                (c > 0).then_some((s, c as u32))
+            })
+            .collect()
+    }
+
+    /// The map stage for a newly selected seed `u` (Algorithm 1,
+    /// lines 14–21): labels every uncovered local element containing `u` as
+    /// covered, and returns the sparse marginal decrements
+    /// `⟨v, Δ_i(v)⟩` for every affected set `v`, in increasing set order.
+    pub fn apply_seed(&mut self, u: u32) -> Vec<(u32, u32)> {
+        assert!(!self.needs_prepare(), "call prepare() first");
+        // The pseudo-code uses a hash map Δ_i; a dense counter plus a
+        // touched-list does the same aggregation with no hashing on the
+        // hot path, and sorting the touched sets keeps output
+        // deterministic.
+        for &e in self.index.get(u as usize) {
+            let e = e as usize;
+            if !self.covered[e] {
+                for &v in self.elements.get(e) {
+                    if self.scratch_counts[v as usize] == 0 {
+                        self.scratch_touched.push(v);
+                    }
+                    self.scratch_counts[v as usize] += 1;
+                }
+                self.covered[e] = true;
+                self.covered_count += 1;
+            }
+        }
+        self.drain_scratch()
+    }
+
+    /// Number of locally covered elements after the seeds applied so far.
+    pub fn covered_count(&self) -> usize {
+        self.covered_count
+    }
+
+    /// Local coverage a set would add right now (diagnostics/tests).
+    pub fn marginal(&self, u: u32) -> usize {
+        self.index
+            .get(u as usize)
+            .iter()
+            .filter(|&&e| !self.covered[e as usize])
+            .count()
+    }
+
+    /// Borrow the raw element records.
+    pub fn elements(&self) -> &PooledSets {
+        &self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 instance as a single shard.
+    fn example3() -> CoverageShard {
+        CoverageShard::from_records(
+            5,
+            [
+                &[0u32][..],
+                &[1, 2],
+                &[0, 2],
+                &[1, 4],
+                &[0],
+                &[1, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn initial_coverage_matches_example3() {
+        let shard = example3();
+        // v1 covers R1,R3,R5 → 3; v2 covers R2,R4,R6 → 3; v3 covers
+        // R2,R3 → 2; v4 covers R6 → 1; v5 covers R4 → 1.
+        assert_eq!(
+            shard.initial_coverage(),
+            vec![(0, 3), (1, 3), (2, 2), (3, 1), (4, 1)]
+        );
+    }
+
+    #[test]
+    fn apply_seed_marks_and_reports_deltas() {
+        let mut shard = example3();
+        // Selecting v1 covers R1, R3, R5. Delta: every node in those sets.
+        let deltas = shard.apply_seed(0);
+        // R1={v1}, R3={v1,v3}, R5={v1}: v1 loses 3, v3 loses 1.
+        assert_eq!(deltas, vec![(0, 3), (2, 1)]);
+        assert_eq!(shard.covered_count(), 3);
+        // Second application is a no-op: sets already covered.
+        assert_eq!(shard.apply_seed(0), vec![]);
+        assert_eq!(shard.covered_count(), 3);
+    }
+
+    #[test]
+    fn greedy_example3_sequence() {
+        let mut shard = example3();
+        shard.apply_seed(0); // v1: covers R1,R3,R5
+        assert_eq!(shard.marginal(1), 3); // v2 still covers R2,R4,R6
+        shard.apply_seed(1);
+        assert_eq!(shard.marginal(4), 0); // everything v5 covers is covered
+        assert_eq!(shard.covered_count(), 6);
+    }
+
+    #[test]
+    fn prepare_resets_coverage() {
+        let mut shard = example3();
+        shard.apply_seed(0);
+        shard.prepare();
+        assert_eq!(shard.covered_count(), 0);
+        assert_eq!(shard.marginal(0), 3);
+    }
+
+    #[test]
+    fn incremental_append_requires_prepare() {
+        let mut shard = example3();
+        assert!(!shard.needs_prepare());
+        shard.push_element(&[4]);
+        assert!(shard.needs_prepare());
+        shard.prepare();
+        assert_eq!(shard.marginal(4), 2);
+    }
+
+    #[test]
+    fn take_new_coverage_incremental() {
+        let mut shard = CoverageShard::new(3);
+        shard.push_element(&[0, 1]);
+        shard.push_element(&[1]);
+        shard.prepare();
+        assert_eq!(shard.take_new_coverage(), vec![(0, 1), (1, 2)]);
+        // Nothing new: empty delta.
+        assert_eq!(shard.take_new_coverage(), vec![]);
+        // Append more elements: only their contribution is reported.
+        shard.push_element(&[2, 0]);
+        shard.prepare();
+        assert_eq!(shard.take_new_coverage(), vec![(0, 1), (2, 1)]);
+        // Accumulated totals equal a full recount.
+        assert_eq!(
+            shard.initial_coverage(),
+            vec![(0, 2), (1, 2), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn empty_shard() {
+        let mut shard = CoverageShard::new(3);
+        shard.prepare();
+        assert_eq!(shard.initial_coverage(), vec![]);
+        assert_eq!(shard.apply_seed(1), vec![]);
+        assert_eq!(shard.covered_count(), 0);
+    }
+}

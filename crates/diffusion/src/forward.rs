@@ -1,0 +1,358 @@
+//! Forward Monte-Carlo simulation of diffusion processes.
+//!
+//! Used to evaluate the true influence spread `σ(S)` of seed sets returned
+//! by the optimization algorithms (the paper evaluates seed quality this
+//! way; Kempe et al. introduced the estimator).
+
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64;
+use rayon::prelude::*;
+
+use dim_graph::Graph;
+
+use crate::model::DiffusionModel;
+use crate::visit::VisitTracker;
+
+/// Reusable scratch buffers for repeated simulations on one graph.
+pub struct SimScratch {
+    visited: VisitTracker,
+    frontier: Vec<u32>,
+    /// LT only: accumulated incoming weight per touched node.
+    lt_weight: Vec<f32>,
+    /// LT only: lazily drawn threshold per touched node.
+    lt_threshold: Vec<f32>,
+    /// LT only: epoch stamps validating `lt_weight` / `lt_threshold`.
+    lt_stamp: VisitTracker,
+}
+
+impl SimScratch {
+    /// Allocates scratch for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SimScratch {
+            visited: VisitTracker::new(n),
+            frontier: Vec::new(),
+            lt_weight: vec![0.0; n],
+            lt_threshold: vec![0.0; n],
+            lt_stamp: VisitTracker::new(n),
+        }
+    }
+}
+
+/// Runs one forward simulation and returns the number of activated nodes.
+pub fn simulate<R: Rng>(
+    graph: &Graph,
+    model: DiffusionModel,
+    seeds: &[u32],
+    rng: &mut R,
+    scratch: &mut SimScratch,
+) -> usize {
+    match model {
+        DiffusionModel::IndependentCascade => simulate_ic(graph, seeds, rng, scratch),
+        DiffusionModel::LinearThreshold => simulate_lt(graph, seeds, rng, scratch),
+    }
+}
+
+/// One IC cascade: BFS over out-edges, each edge fires once with `p(u,v)`.
+pub fn simulate_ic<R: Rng>(
+    graph: &Graph,
+    seeds: &[u32],
+    rng: &mut R,
+    scratch: &mut SimScratch,
+) -> usize {
+    let visited = &mut scratch.visited;
+    let frontier = &mut scratch.frontier;
+    visited.clear();
+    frontier.clear();
+    for &s in seeds {
+        if visited.mark(s) {
+            frontier.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < frontier.len() {
+        let u = frontier[head];
+        head += 1;
+        let nbrs = graph.out_neighbors(u);
+        let probs = graph.out_probs(u);
+        for (&v, &p) in nbrs.iter().zip(probs) {
+            if !visited.is_marked(v) && rng.gen::<f32>() < p {
+                visited.mark(v);
+                frontier.push(v);
+            }
+        }
+    }
+    frontier.len()
+}
+
+/// One LT cascade: thresholds are drawn lazily the first time a node
+/// receives incoming weight; a node activates when accumulated weight
+/// reaches its threshold.
+pub fn simulate_lt<R: Rng>(
+    graph: &Graph,
+    seeds: &[u32],
+    rng: &mut R,
+    scratch: &mut SimScratch,
+) -> usize {
+    let visited = &mut scratch.visited;
+    let frontier = &mut scratch.frontier;
+    let weight = &mut scratch.lt_weight;
+    let threshold = &mut scratch.lt_threshold;
+    let stamp = &mut scratch.lt_stamp;
+    visited.clear();
+    stamp.clear();
+    frontier.clear();
+    for &s in seeds {
+        if visited.mark(s) {
+            frontier.push(s);
+        }
+    }
+    let mut head = 0;
+    while head < frontier.len() {
+        let u = frontier[head];
+        head += 1;
+        let nbrs = graph.out_neighbors(u);
+        let probs = graph.out_probs(u);
+        for (&v, &p) in nbrs.iter().zip(probs) {
+            if visited.is_marked(v) {
+                continue;
+            }
+            let vi = v as usize;
+            if stamp.mark(v) {
+                weight[vi] = 0.0;
+                // λ_v ∈ (0,1]: a node with threshold exactly 0 would
+                // self-activate; drawing in (0,1] matches Pr[λ ≤ w] = w.
+                threshold[vi] = 1.0 - rng.gen::<f32>();
+            }
+            weight[vi] += p;
+            if weight[vi] >= threshold[vi] {
+                visited.mark(v);
+                frontier.push(v);
+            }
+        }
+    }
+    frontier.len()
+}
+
+/// Monte-Carlo estimate of the influence spread `σ(S)` using
+/// `num_samples` independent cascades, parallelized across rayon workers.
+///
+/// Deterministic for a fixed `(seed, num_samples)` regardless of thread
+/// count: samples are partitioned into fixed chunks, each with a derived
+/// RNG stream.
+pub fn estimate_spread(
+    graph: &Graph,
+    model: DiffusionModel,
+    seeds: &[u32],
+    num_samples: usize,
+    seed: u64,
+) -> f64 {
+    if num_samples == 0 {
+        return 0.0;
+    }
+    const CHUNK: usize = 256;
+    let chunks: Vec<(usize, usize)> = (0..num_samples)
+        .step_by(CHUNK)
+        .map(|start| (start, CHUNK.min(num_samples - start)))
+        .collect();
+    let total: u64 = chunks
+        .par_iter()
+        .map(|&(start, len)| {
+            let mut rng = Pcg64::seed_from_u64(seed ^ (start as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut scratch = SimScratch::new(graph.num_nodes());
+            let mut acc = 0u64;
+            for _ in 0..len {
+                acc += simulate(graph, model, seeds, &mut rng, &mut scratch) as u64;
+            }
+            acc
+        })
+        .sum();
+    total as f64 / num_samples as f64
+}
+
+/// A Monte-Carlo spread estimate with uncertainty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadEstimate {
+    /// Sample mean of the cascade sizes.
+    pub mean: f64,
+    /// Standard error of the mean (`s / √N`).
+    pub std_error: f64,
+    /// Number of cascades simulated.
+    pub samples: usize,
+}
+
+impl SpreadEstimate {
+    /// Two-sided confidence interval at `z` standard errors (1.96 ≈ 95%).
+    pub fn confidence_interval(&self, z: f64) -> (f64, f64) {
+        (
+            self.mean - z * self.std_error,
+            self.mean + z * self.std_error,
+        )
+    }
+}
+
+/// [`estimate_spread`] with uncertainty quantification: returns the mean
+/// cascade size together with its standard error, so callers can decide
+/// whether `num_samples` sufficed instead of guessing.
+pub fn estimate_spread_ci(
+    graph: &Graph,
+    model: DiffusionModel,
+    seeds: &[u32],
+    num_samples: usize,
+    seed: u64,
+) -> SpreadEstimate {
+    if num_samples == 0 {
+        return SpreadEstimate {
+            mean: 0.0,
+            std_error: 0.0,
+            samples: 0,
+        };
+    }
+    const CHUNK: usize = 256;
+    let chunks: Vec<(usize, usize)> = (0..num_samples)
+        .step_by(CHUNK)
+        .map(|start| (start, CHUNK.min(num_samples - start)))
+        .collect();
+    // (Σx, Σx²) per chunk; merged exactly, so the result is deterministic
+    // and identical to a sequential pass.
+    let (sum, sum_sq): (u64, u128) = chunks
+        .par_iter()
+        .map(|&(start, len)| {
+            let mut rng =
+                Pcg64::seed_from_u64(seed ^ (start as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut scratch = SimScratch::new(graph.num_nodes());
+            let mut s = 0u64;
+            let mut s2 = 0u128;
+            for _ in 0..len {
+                let x = simulate(graph, model, seeds, &mut rng, &mut scratch) as u64;
+                s += x;
+                s2 += (x as u128) * (x as u128);
+            }
+            (s, s2)
+        })
+        .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+    let n = num_samples as f64;
+    let mean = sum as f64 / n;
+    let variance = ((sum_sq as f64) / n - mean * mean).max(0.0) * n / (n - 1.0).max(1.0);
+    SpreadEstimate {
+        mean,
+        std_error: (variance / n).sqrt(),
+        samples: num_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_graph::{GraphBuilder, WeightModel};
+
+    /// The Fig. 1 example graph: v1→v2 (1.0), v1→v3 (1.0), v1→v4 (0.4),
+    /// v2→v4 (0.3), v3→v4 (0.2). Node ids are shifted down by one.
+    pub(crate) fn fig1() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 1.0);
+        b.add_weighted_edge(0, 2, 1.0);
+        b.add_weighted_edge(0, 3, 0.4);
+        b.add_weighted_edge(1, 3, 0.3);
+        b.add_weighted_edge(2, 3, 0.2);
+        b.build(WeightModel::WeightedCascade)
+    }
+
+    #[test]
+    fn example1_ic_spread() {
+        // Paper Example 1: σ({v1}) = 3.664 under IC.
+        let g = fig1();
+        let est = estimate_spread(&g, DiffusionModel::IndependentCascade, &[0], 200_000, 42);
+        assert!((est - 3.664).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn example1_lt_spread() {
+        // Paper Example 1: σ({v1}) = 3.9 under LT.
+        let g = fig1();
+        let est = estimate_spread(&g, DiffusionModel::LinearThreshold, &[0], 200_000, 43);
+        assert!((est - 3.9).abs() < 0.01, "estimate {est}");
+    }
+
+    #[test]
+    fn spread_at_least_seed_count() {
+        let g = fig1();
+        for model in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
+            let est = estimate_spread(&g, model, &[1, 2], 2_000, 1);
+            assert!(est >= 2.0);
+            assert!(est <= g.num_nodes() as f64);
+        }
+    }
+
+    #[test]
+    fn duplicate_seeds_ignored() {
+        let g = fig1();
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut scratch = SimScratch::new(4);
+        let n = simulate_ic(&g, &[0, 0, 0], &mut rng, &mut scratch);
+        assert!(n >= 3, "v1 deterministically activates v2 and v3");
+    }
+
+    #[test]
+    fn empty_seed_set_spreads_nothing() {
+        let g = fig1();
+        assert_eq!(
+            estimate_spread(&g, DiffusionModel::IndependentCascade, &[], 100, 2),
+            0.0
+        );
+    }
+
+    #[test]
+    fn deterministic_estimates() {
+        let g = fig1();
+        let a = estimate_spread(&g, DiffusionModel::LinearThreshold, &[0], 5_000, 9);
+        let b = estimate_spread(&g, DiffusionModel::LinearThreshold, &[0], 5_000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ci_estimate_consistent_with_plain() {
+        let g = fig1();
+        let model = DiffusionModel::IndependentCascade;
+        let plain = estimate_spread(&g, model, &[0], 20_000, 7);
+        let ci = estimate_spread_ci(&g, model, &[0], 20_000, 7);
+        assert_eq!(ci.mean, plain, "same RNG streams, same mean");
+        assert!(ci.std_error > 0.0);
+        let (lo, hi) = ci.confidence_interval(3.0);
+        assert!(lo <= 3.664 && 3.664 <= hi, "true spread inside 3σ: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let g = fig1();
+        let model = DiffusionModel::LinearThreshold;
+        let small = estimate_spread_ci(&g, model, &[0], 1_000, 9);
+        let large = estimate_spread_ci(&g, model, &[0], 16_000, 9);
+        assert!(large.std_error < small.std_error);
+        assert_eq!(small.samples, 1_000);
+    }
+
+    #[test]
+    fn ci_zero_variance_for_deterministic_cascade() {
+        let g = fig1();
+        // Seeding everything activates exactly 4 nodes every time.
+        let ci = estimate_spread_ci(
+            &g,
+            DiffusionModel::IndependentCascade,
+            &[0, 1, 2, 3],
+            500,
+            1,
+        );
+        assert_eq!(ci.mean, 4.0);
+        assert_eq!(ci.std_error, 0.0);
+    }
+
+    #[test]
+    fn all_seeds_full_spread() {
+        let g = fig1();
+        let est = estimate_spread(&g, DiffusionModel::IndependentCascade, &[0, 1, 2, 3], 100, 3);
+        assert_eq!(est, 4.0);
+    }
+}

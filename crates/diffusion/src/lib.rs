@@ -1,0 +1,46 @@
+//! Diffusion models and reverse influence sampling (RIS).
+//!
+//! Implements the substrate of §II–III of the paper:
+//!
+//! * [`model::DiffusionModel`] — the independent cascade (IC) and linear
+//!   threshold (LT) models of Kempe et al.
+//! * [`forward`] — forward Monte-Carlo simulation of a diffusion from a
+//!   seed set, and the parallel spread estimator `σ̂(S)`.
+//! * [`exact`] — exact influence spread by live-edge enumeration on tiny
+//!   graphs (used to validate Example 1 and the approximation guarantees).
+//! * [`rr`] — random reverse-reachable (RR) set generation (Definition 1):
+//!   stochastic reverse BFS for IC, reverse random walk for LT, and the
+//!   SUBSIM geometric-jump sampler of Guo et al. (SIGMOD'20).
+//! * [`rrstore`] — pooled storage for millions of RR sets plus the inverted
+//!   node→RR-set index that seed selection consumes.
+//! * [`triggering`] — the general triggering model (the setting of the
+//!   paper's Lemma 3) with IC/LT as instances, a generic forward simulator,
+//!   and a generic RR sampler.
+//!
+//! # Example: estimating influence spread
+//!
+//! ```
+//! use dim_diffusion::forward::estimate_spread;
+//! use dim_diffusion::model::DiffusionModel;
+//! use dim_graph::{GraphBuilder, WeightModel};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_weighted_edge(0, 1, 1.0);
+//! b.add_weighted_edge(1, 2, 1.0);
+//! let g = b.build(WeightModel::WeightedCascade);
+//! // Deterministic chain: seeding node 0 activates everyone.
+//! let s = estimate_spread(&g, DiffusionModel::IndependentCascade, &[0], 1000, 7);
+//! assert!((s - 3.0).abs() < 1e-9);
+//! ```
+
+pub mod exact;
+pub mod forward;
+pub mod model;
+pub mod rr;
+pub mod rrstore;
+pub mod triggering;
+pub mod visit;
+
+pub use model::DiffusionModel;
+pub use rr::{IcRrSampler, LtRrSampler, RrSampler, SubsimRrSampler};
+pub use rrstore::{InvertedIndex, RrStore};

@@ -1,0 +1,71 @@
+//! The diffusion models of Kempe, Kleinberg, and Tardos (KDD'03).
+
+/// Which stochastic diffusion process governs influence propagation.
+///
+/// Both models associate each edge `⟨u,v⟩` with a propagation probability
+/// `p(u,v)`; they differ in how an inactive node becomes activated (§II-A):
+///
+/// * **Independent cascade** — when `u` first activates, it gets a single
+///   chance to activate each out-neighbor `v`, succeeding with `p(u,v)`.
+/// * **Linear threshold** — `v` draws a uniform threshold `λ_v ∈ [0,1]`
+///   once; `v` activates as soon as `Σ_{u ∈ A_v^in} p(u,v) ≥ λ_v`, where
+///   `A_v^in` are `v`'s activated in-neighbors. Requires
+///   `Σ_{u∈N_v^in} p(u,v) ≤ 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DiffusionModel {
+    /// Independent cascade (IC).
+    IndependentCascade,
+    /// Linear threshold (LT).
+    LinearThreshold,
+}
+
+impl DiffusionModel {
+    /// Short lowercase name (`"ic"` / `"lt"`), used by the CLI harness.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiffusionModel::IndependentCascade => "ic",
+            DiffusionModel::LinearThreshold => "lt",
+        }
+    }
+
+    /// Parses `"ic"` / `"lt"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "ic" | "independentcascade" | "independent-cascade" => {
+                Some(DiffusionModel::IndependentCascade)
+            }
+            "lt" | "linearthreshold" | "linear-threshold" => {
+                Some(DiffusionModel::LinearThreshold)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DiffusionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        for m in [
+            DiffusionModel::IndependentCascade,
+            DiffusionModel::LinearThreshold,
+        ] {
+            assert_eq!(DiffusionModel::parse(m.name()), Some(m));
+        }
+        assert_eq!(DiffusionModel::parse("voter"), None);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(DiffusionModel::IndependentCascade.to_string(), "ic");
+        assert_eq!(DiffusionModel::LinearThreshold.to_string(), "lt");
+    }
+}

@@ -1,0 +1,270 @@
+//! SUBSIM: subset sampling with geometric jumps (Guo et al., SIGMOD'20).
+//!
+//! The paper's Fig. 7 evaluates a distributed implementation of SUBSIM.
+//! SUBSIM draws the *same* IC RR-set distribution as the reverse BFS but
+//! skips over failed in-edges: when a node's in-probabilities are all equal
+//! to `p` (true for every node under the weighted-cascade setting), the gap
+//! between consecutive successful edges is geometric with parameter `p`, so
+//! the expected work per node drops from `O(indeg)` to `O(p · indeg + 1)`.
+//! Nodes with non-uniform in-probabilities fall back to per-edge coin flips.
+
+use rand::Rng;
+
+use dim_graph::Graph;
+
+use crate::rr::RrSampler;
+use crate::visit::VisitTracker;
+
+/// Geometric-jump IC RR-set sampler.
+pub struct SubsimRrSampler<'g> {
+    graph: &'g Graph,
+    /// Per node: `Some(ln(1 − p))` when all in-probabilities equal `p < 1`;
+    /// `Some(0.0)` encodes `p = 1` (every edge succeeds); `None` means
+    /// non-uniform (fallback path).
+    uniform_log1p: Vec<Option<f64>>,
+}
+
+impl<'g> SubsimRrSampler<'g> {
+    /// Creates a sampler over `graph`, precomputing per-node uniformity.
+    pub fn new(graph: &'g Graph) -> Self {
+        let uniform_log1p = graph
+            .nodes()
+            .map(|v| {
+                let probs = graph.in_probs(v);
+                let (&first, rest) = probs.split_first()?;
+                if rest.iter().all(|&p| p == first) {
+                    if first >= 1.0 {
+                        Some(0.0)
+                    } else {
+                        Some((1.0 - first as f64).ln())
+                    }
+                } else {
+                    None
+                }
+            })
+            .collect();
+        SubsimRrSampler {
+            graph,
+            uniform_log1p,
+        }
+    }
+
+    /// Processes `u`'s in-edges via geometric jumps; pushes newly reached
+    /// sources onto `out`. Returns the work performed (number of jumps).
+    #[inline]
+    fn jump_scan<R: Rng>(
+        &self,
+        sources: &[u32],
+        ln_q: f64,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        visited: &mut VisitTracker,
+    ) -> u64 {
+        let d = sources.len();
+        if ln_q == 0.0 {
+            // p = 1: every in-edge is live.
+            for &w in sources {
+                if visited.mark(w) {
+                    out.push(w);
+                }
+            }
+            return d as u64;
+        }
+        let mut work = 0u64;
+        // First success index ~ floor(ln U / ln(1−p)); subsequent gaps i.i.d.
+        let mut i = geometric_skip(rng, ln_q);
+        while i < d {
+            work += 1;
+            let w = sources[i];
+            if visited.mark(w) {
+                out.push(w);
+            }
+            i += 1 + geometric_skip(rng, ln_q);
+        }
+        work.max(1)
+    }
+}
+
+/// Number of failures before the next success: `floor(ln U / ln(1−p))` with
+/// `U` uniform in `(0,1]`.
+#[inline]
+fn geometric_skip<R: Rng>(rng: &mut R, ln_q: f64) -> usize {
+    // 1 − gen::<f64>() ∈ (0, 1] avoids ln(0).
+    let u = 1.0 - rng.gen::<f64>();
+    let skip = (u.ln() / ln_q).floor();
+    if skip >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        skip as usize
+    }
+}
+
+impl RrSampler for SubsimRrSampler<'_> {
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn sample_rooted<R: Rng>(
+        &self,
+        root: u32,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        visited: &mut VisitTracker,
+    ) -> u64 {
+        out.clear();
+        visited.clear();
+        visited.mark(root);
+        out.push(root);
+        let mut work = 0u64;
+        let mut head = 0;
+        while head < out.len() {
+            let u = out[head];
+            head += 1;
+            let sources = self.graph.in_neighbors(u);
+            if sources.is_empty() {
+                continue;
+            }
+            match self.uniform_log1p[u as usize] {
+                Some(ln_q) => {
+                    work += self.jump_scan(sources, ln_q, rng, out, visited);
+                }
+                None => {
+                    // Non-uniform fallback: ordinary per-edge coins.
+                    let probs = self.graph.in_probs(u);
+                    work += sources.len() as u64;
+                    for (&w, &p) in sources.iter().zip(probs) {
+                        if !visited.is_marked(w) && rng.gen::<f32>() < p {
+                            visited.mark(w);
+                            out.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_pcg::Pcg64;
+
+    use dim_graph::{GraphBuilder, WeightModel};
+
+    use crate::rr::ic::IcRrSampler;
+
+    fn star(deg: usize) -> Graph {
+        // deg spokes all pointing at hub `deg`.
+        let mut b = GraphBuilder::new(deg + 1);
+        for i in 0..deg as u32 {
+            b.add_edge(i, deg as u32);
+        }
+        b.build(WeightModel::WeightedCascade)
+    }
+
+    #[test]
+    fn matches_bfs_distribution_on_star() {
+        // Hub in-degree d with p = 1/d: |R ∩ spokes| ~ Binomial(d, 1/d).
+        let g = star(20);
+        let sub = SubsimRrSampler::new(&g);
+        let bfs = IcRrSampler::new(&g);
+        let mut rng_a = Pcg64::seed_from_u64(1);
+        let mut rng_b = Pcg64::seed_from_u64(2);
+        let mut out = Vec::new();
+        let mut visited = VisitTracker::new(21);
+        let trials = 100_000;
+        let mut mean_sub = 0f64;
+        let mut mean_bfs = 0f64;
+        for _ in 0..trials {
+            sub.sample_rooted(20, &mut rng_a, &mut out, &mut visited);
+            mean_sub += out.len() as f64;
+            bfs.sample_rooted(20, &mut rng_b, &mut out, &mut visited);
+            mean_bfs += out.len() as f64;
+        }
+        mean_sub /= trials as f64;
+        mean_bfs /= trials as f64;
+        // Both should estimate 1 + d·(1/d) = 2.
+        assert!((mean_sub - 2.0).abs() < 0.02, "subsim mean {mean_sub}");
+        assert!((mean_sub - mean_bfs).abs() < 0.03, "{mean_sub} vs {mean_bfs}");
+    }
+
+    #[test]
+    fn does_less_work_than_bfs_on_hubs() {
+        let g = star(1000);
+        let sub = SubsimRrSampler::new(&g);
+        let bfs = IcRrSampler::new(&g);
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut out = Vec::new();
+        let mut visited = VisitTracker::new(1001);
+        let mut w_sub = 0u64;
+        let mut w_bfs = 0u64;
+        for _ in 0..200 {
+            w_sub += sub.sample_rooted(1000, &mut rng, &mut out, &mut visited);
+            w_bfs += bfs.sample_rooted(1000, &mut rng, &mut out, &mut visited);
+        }
+        assert!(
+            w_sub * 10 < w_bfs,
+            "subsim work {w_sub} should be ≪ bfs work {w_bfs}"
+        );
+    }
+
+    #[test]
+    fn probability_one_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 2, 1.0);
+        b.add_weighted_edge(1, 2, 1.0);
+        let g = b.build(WeightModel::WeightedCascade);
+        let sub = SubsimRrSampler::new(&g);
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut out = Vec::new();
+        let mut visited = VisitTracker::new(3);
+        sub.sample_rooted(2, &mut rng, &mut out, &mut visited);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nonuniform_fallback_correct() {
+        // Fig. 1 graph has non-uniform in-probs at v4: SUBSIM must still
+        // match the exact RIS estimate of σ({v1}) = 3.664.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(0, 1, 1.0);
+        b.add_weighted_edge(0, 2, 1.0);
+        b.add_weighted_edge(0, 3, 0.4);
+        b.add_weighted_edge(1, 3, 0.3);
+        b.add_weighted_edge(2, 3, 0.2);
+        let g = b.build(WeightModel::WeightedCascade);
+        let sub = SubsimRrSampler::new(&g);
+        assert!(sub.uniform_log1p[3].is_none());
+        let mut rng = Pcg64::seed_from_u64(5);
+        let mut out = Vec::new();
+        let mut visited = VisitTracker::new(4);
+        let trials = 300_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            sub.sample(&mut rng, &mut out, &mut visited);
+            if out.contains(&0) {
+                hits += 1;
+            }
+        }
+        let est = 4.0 * hits as f64 / trials as f64;
+        assert!((est - 3.664).abs() < 0.02, "RIS estimate {est}");
+    }
+
+    #[test]
+    fn geometric_skip_mean() {
+        // skip ~ Geometric(p): E[skip] = (1−p)/p. For p = 0.25: 3.
+        let p = 0.25f64;
+        let ln_q = (1.0 - p).ln();
+        let mut rng = Pcg64::seed_from_u64(6);
+        let trials = 200_000;
+        let mean: f64 = (0..trials)
+            .map(|_| geometric_skip(&mut rng, ln_q) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean skip {mean}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Pooled RR-set storage and the inverted node→RR-set index.
+//!
+//! Each machine in the distributed algorithms owns one [`RrStore`] holding
+//! its locally generated RR sets (`R_i` in the paper's notation). Sets are
+//! stored back-to-back in one pool, so millions of small sets cost two flat
+//! allocations instead of millions. Seed selection additionally needs the
+//! transpose — for a node `v`, the ids `I_i(v)` of local RR sets containing
+//! `v` — provided by [`InvertedIndex`].
+
+/// Append-only pooled storage of RR sets.
+#[derive(Clone, Debug, Default)]
+pub struct RrStore {
+    offsets: Vec<usize>,
+    pool: Vec<u32>,
+}
+
+impl RrStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        RrStore {
+            offsets: vec![0],
+            pool: Vec::new(),
+        }
+    }
+
+    /// Creates an empty store pre-sized for `sets` RR sets of average size
+    /// `avg_size`.
+    pub fn with_capacity(sets: usize, avg_size: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sets + 1);
+        offsets.push(0);
+        RrStore {
+            offsets,
+            pool: Vec::with_capacity(sets * avg_size),
+        }
+    }
+
+    /// Appends one RR set; returns its id within this store.
+    pub fn push(&mut self, rr: &[u32]) -> u32 {
+        let id = self.num_sets() as u32;
+        self.pool.extend_from_slice(rr);
+        self.offsets.push(self.pool.len());
+        id
+    }
+
+    /// Number of stored RR sets (`|R_i|`).
+    pub fn num_sets(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when no sets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.num_sets() == 0
+    }
+
+    /// The `id`-th RR set.
+    pub fn get(&self, id: usize) -> &[u32] {
+        &self.pool[self.offsets[id]..self.offsets[id + 1]]
+    }
+
+    /// Total number of node occurrences, `Σ_R |R|` — the quantity that
+    /// bounds NewGreeDi's per-machine time (§III-D) and Table IV's
+    /// "total size" column.
+    pub fn total_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Iterates the stored sets in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.pool[w[0]..w[1]])
+    }
+
+    /// Builds the node→RR-set-ids transpose for nodes `0..n`.
+    pub fn invert(&self, n: usize) -> InvertedIndex {
+        let mut counts = vec![0usize; n + 1];
+        for &v in &self.pool {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut rr_ids = vec![0u32; self.pool.len()];
+        for id in 0..self.num_sets() {
+            for &v in self.get(id) {
+                rr_ids[cursor[v as usize]] = id as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        InvertedIndex {
+            offsets: counts,
+            rr_ids,
+        }
+    }
+}
+
+/// Transpose of an [`RrStore`]: for each node, the ids of the RR sets that
+/// contain it (`I_i(v)` in the paper). RR ids within a node's list are in
+/// increasing order.
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    offsets: Vec<usize>,
+    rr_ids: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Ids of RR sets containing `v`.
+    pub fn sets_covering(&self, v: u32) -> &[u32] {
+        &self.rr_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Number of RR sets containing `v` — `v`'s initial coverage `Δ(v)`.
+    pub fn coverage(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Number of indexed nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example3_store() -> RrStore {
+        // Fig. 2 of the paper: R1={v1,v2}, R2={v2,v3,v4}, R3={v1,v3},
+        // R4={v2,v5}, R5={v1}, R6={v4,v5}. Node ids shifted down by one.
+        let mut s = RrStore::new();
+        s.push(&[0, 1]);
+        s.push(&[1, 2, 3]);
+        s.push(&[0, 2]);
+        s.push(&[1, 4]);
+        s.push(&[0]);
+        s.push(&[3, 4]);
+        s
+    }
+
+    #[test]
+    fn push_and_get() {
+        let s = example3_store();
+        assert_eq!(s.num_sets(), 6);
+        assert_eq!(s.get(1), &[1, 2, 3]);
+        assert_eq!(s.get(4), &[0]);
+        assert_eq!(s.total_size(), 12);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_matches_get() {
+        let s = example3_store();
+        let via_iter: Vec<Vec<u32>> = s.iter().map(|r| r.to_vec()).collect();
+        let via_get: Vec<Vec<u32>> = (0..s.num_sets()).map(|i| s.get(i).to_vec()).collect();
+        assert_eq!(via_iter, via_get);
+    }
+
+    #[test]
+    fn inverted_index_example3() {
+        // Paper Example 3: node v1 covers RR sets R1, R3, R5.
+        let s = example3_store();
+        let idx = s.invert(5);
+        assert_eq!(idx.sets_covering(0), &[0, 2, 4]);
+        assert_eq!(idx.coverage(0), 3);
+        assert_eq!(idx.coverage(1), 3); // v2 ∈ R1, R2, R4
+        assert_eq!(idx.sets_covering(3), &[1, 5]);
+        assert_eq!(idx.num_nodes(), 5);
+    }
+
+    #[test]
+    fn invert_counts_total() {
+        let s = example3_store();
+        let idx = s.invert(5);
+        let total: usize = (0..5).map(|v| idx.coverage(v as u32)).sum();
+        assert_eq!(total, s.total_size());
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = RrStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.total_size(), 0);
+        let idx = s.invert(3);
+        assert_eq!(idx.coverage(0), 0);
+        assert_eq!(idx.sets_covering(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn node_absent_from_all_sets() {
+        let mut s = RrStore::new();
+        s.push(&[0]);
+        let idx = s.invert(4);
+        assert_eq!(idx.coverage(3), 0);
+    }
+}

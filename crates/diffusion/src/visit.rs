@@ -1,0 +1,107 @@
+//! Epoch-stamped visit tracking.
+//!
+//! RR-set generation and forward simulation both need a "visited" flag per
+//! node that resets between samples. Clearing a boolean array per sample
+//! would cost O(n) each time; instead we stamp entries with the current
+//! epoch and bump the epoch to reset in O(1).
+
+/// O(1)-resettable visited-set over node ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct VisitTracker {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitTracker {
+    /// Creates a tracker for `n` nodes, all unvisited.
+    pub fn new(n: usize) -> Self {
+        VisitTracker {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Number of tracked slots.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// True when the tracker covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Forgets all marks in O(1) (amortized; a full clear happens once every
+    /// `u32::MAX` epochs to avoid stale stamps surviving wraparound).
+    #[inline]
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `v` visited. Returns `true` if it was previously unvisited.
+    #[inline]
+    pub fn mark(&mut self, v: u32) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// True when `v` has been marked since the last [`Self::clear`].
+    #[inline]
+    pub fn is_marked(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_query() {
+        let mut t = VisitTracker::new(4);
+        t.clear();
+        assert!(!t.is_marked(2));
+        assert!(t.mark(2));
+        assert!(t.is_marked(2));
+        assert!(!t.mark(2), "second mark reports already-visited");
+    }
+
+    #[test]
+    fn clear_resets_in_o1() {
+        let mut t = VisitTracker::new(3);
+        t.clear();
+        t.mark(0);
+        t.mark(1);
+        t.clear();
+        assert!(!t.is_marked(0));
+        assert!(!t.is_marked(1));
+    }
+
+    #[test]
+    fn fresh_tracker_unmarked_after_first_clear() {
+        let mut t = VisitTracker::new(2);
+        t.clear();
+        assert!(!t.is_marked(0));
+        assert!(!t.is_marked(1));
+    }
+
+    #[test]
+    fn many_epochs_stay_correct() {
+        let mut t = VisitTracker::new(1);
+        for _ in 0..10_000 {
+            t.clear();
+            assert!(!t.is_marked(0));
+            t.mark(0);
+            assert!(t.is_marked(0));
+        }
+    }
+}

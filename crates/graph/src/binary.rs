@@ -1,0 +1,229 @@
+//! Compact binary graph format for fast load/save.
+//!
+//! Text edge lists parse at tens of MB/s; the paper's Twitter graph has
+//! 1.5G edges, for which a binary CSR dump (magic `DIMG`, little-endian)
+//! loads at memory-copy speed. Only the forward CSR is stored; the reverse
+//! adjacency is rebuilt on load (a linear counting pass, deterministic).
+//!
+//! Layout:
+//! ```text
+//! "DIMG" | u32 version | u64 n | u64 m
+//! u64 out_offsets[n+1] | u32 out_targets[m] | f32 out_probs[m]
+//! ```
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::weights::WeightModel;
+
+const MAGIC: &[u8; 4] = b"DIMG";
+const VERSION: u32 = 1;
+
+/// Writes the graph in binary CSR form.
+pub fn write_binary<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(graph.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    // Offsets derived from per-node degrees (the CSR arrays themselves are
+    // private to the graph; degrees reconstruct them exactly).
+    let mut offset = 0u64;
+    w.write_all(&offset.to_le_bytes())?;
+    for u in graph.nodes() {
+        offset += graph.out_degree(u) as u64;
+        w.write_all(&offset.to_le_bytes())?;
+    }
+    for u in graph.nodes() {
+        for &v in graph.out_neighbors(u) {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    for u in graph.nodes() {
+        for &p in graph.out_probs(u) {
+            w.write_all(&p.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a graph written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("bad magic {magic:?}, expected DIMG"),
+        });
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("unsupported version {version}"),
+        });
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "corrupt offset array".into(),
+        });
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "non-monotone offsets".into(),
+        });
+    }
+    let mut targets = vec![0u32; m];
+    read_u32_slice(&mut r, &mut targets)?;
+    if targets.iter().any(|&v| v as usize >= n) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "edge target out of range".into(),
+        });
+    }
+    let mut probs = vec![0f32; m];
+    read_f32_slice(&mut r, &mut probs)?;
+    if probs.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "probability out of [0,1]".into(),
+        });
+    }
+
+    // Rebuild through the builder (constructs the reverse CSR for us).
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for u in 0..n {
+        for i in offsets[u]..offsets[u + 1] {
+            b.add_weighted_edge(u as u32, targets[i], probs[i]);
+        }
+    }
+    Ok(b.build(WeightModel::WeightedCascade))
+}
+
+/// Writes to a file path.
+pub fn write_binary_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    write_binary(graph, std::fs::File::create(path)?)
+}
+
+/// Reads from a file path.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, GraphError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32_slice<R: Read>(r: &mut R, out: &mut [u32]) -> Result<(), GraphError> {
+    let mut buf = [0u8; 4];
+    for slot in out {
+        r.read_exact(&mut buf)?;
+        *slot = u32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+fn read_f32_slice<R: Read>(r: &mut R, out: &mut [f32]) -> Result<(), GraphError> {
+    let mut buf = [0u8; 4];
+    for slot in out {
+        r.read_exact(&mut buf)?;
+        *slot = f32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::erdos_renyi;
+
+    #[test]
+    fn roundtrip() {
+        let g = erdos_renyi(200, 1000, WeightModel::WeightedCascade, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+        // Reverse adjacency reconstructed identically.
+        for v in g.nodes() {
+            assert_eq!(g.in_neighbors(v), g2.in_neighbors(v));
+            assert_eq!(g.in_probs(v), g2.in_probs(v));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x01\x00\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = erdos_renyi(50, 200, WeightModel::WeightedCascade, 4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in [5, 20, buf.len() / 2, buf.len() - 3] {
+            assert!(read_binary(&buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let g = erdos_renyi(10, 20, WeightModel::WeightedCascade, 5);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Corrupt one target to an out-of-range id. Targets start after
+        // magic(4) + version(4) + n(8) + m(8) + offsets((n+1)*8).
+        let targets_start = 24 + 11 * 8;
+        buf[targets_start..targets_start + 4].copy_from_slice(&999u32.to_le_bytes());
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = erdos_renyi(30, 100, WeightModel::Uniform(0.2), 6);
+        let path = std::env::temp_dir().join(format!("dim-binary-{}.dimg", std::process::id()));
+        write_binary_file(&g, &path).unwrap();
+        let g2 = read_binary_file(&path).unwrap();
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let b = GraphBuilder::new(3);
+        let g = b.build(WeightModel::WeightedCascade);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_nodes(), 3);
+        assert_eq!(g2.num_edges(), 0);
+    }
+}

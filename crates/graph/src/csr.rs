@@ -1,0 +1,220 @@
+//! Immutable CSR graph with forward and reverse adjacency.
+
+use crate::NodeId;
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// Both directions are materialized: forward adjacency drives Monte-Carlo
+/// forward simulation of diffusion, reverse adjacency drives reverse
+/// influence sampling. Each stored edge carries its propagation probability
+/// `p(u,v)` in `[0, 1]`.
+///
+/// The structure is immutable once built; construct it through
+/// [`crate::GraphBuilder`].
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    m: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    out_probs: Vec<f32>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<NodeId>,
+    in_probs: Vec<f32>,
+    /// Cumulative in-probability per node, `Σ_{u ∈ N_v^in} p(u,v)`, needed by
+    /// the LT reverse random walk (stop probability `1 − Σ p`).
+    in_prob_sums: Vec<f32>,
+}
+
+impl Graph {
+    /// Assembles a graph from raw CSR arrays. Intended for
+    /// [`crate::GraphBuilder`]; invariants are checked with debug assertions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_csr(
+        n: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        out_probs: Vec<f32>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<NodeId>,
+        in_probs: Vec<f32>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), n + 1);
+        debug_assert_eq!(in_offsets.len(), n + 1);
+        debug_assert_eq!(out_targets.len(), out_probs.len());
+        debug_assert_eq!(in_sources.len(), in_probs.len());
+        debug_assert_eq!(out_targets.len(), in_sources.len());
+        let m = out_targets.len();
+        let in_prob_sums = (0..n)
+            .map(|v| in_probs[in_offsets[v]..in_offsets[v + 1]].iter().sum())
+            .collect();
+        Graph {
+            n,
+            m,
+            out_offsets,
+            out_targets,
+            out_probs,
+            in_offsets,
+            in_sources,
+            in_probs,
+            in_prob_sums,
+        }
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges `m = |E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.out_offsets[u + 1] - self.out_offsets[u]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Targets of `u`'s outgoing edges.
+    #[inline]
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// Propagation probabilities aligned with [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_probs(&self, u: NodeId) -> &[f32] {
+        let u = u as usize;
+        &self.out_probs[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// Sources of `v`'s incoming edges.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.in_sources[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Propagation probabilities aligned with [`Self::in_neighbors`].
+    #[inline]
+    pub fn in_probs(&self, v: NodeId) -> &[f32] {
+        let v = v as usize;
+        &self.in_probs[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// `Σ_{u ∈ N_v^in} p(u,v)` — the LT activation mass entering `v`.
+    #[inline]
+    pub fn in_prob_sum(&self, v: NodeId) -> f32 {
+        self.in_prob_sums[v as usize]
+    }
+
+    /// Iterates over all directed edges as `(u, v, p)` triples in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n as NodeId).flat_map(move |u| {
+            self.out_neighbors(u)
+                .iter()
+                .zip(self.out_probs(u))
+                .map(move |(&v, &p)| (u, v, p))
+        })
+    }
+
+    /// Iterates over node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n as NodeId
+    }
+
+    /// Returns true when the LT precondition `Σ_{u∈N_v^in} p(u,v) ≤ 1` holds
+    /// for every node (with a small tolerance for `f32` accumulation).
+    pub fn satisfies_lt_constraint(&self) -> bool {
+        self.in_prob_sums.iter().all(|&s| s <= 1.0 + 1e-4)
+    }
+
+    /// Estimated resident memory of the adjacency arrays, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.out_offsets.len() + self.in_offsets.len()) * size_of::<usize>()
+            + (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
+            + (self.out_probs.len() + self.in_probs.len() + self.in_prob_sums.len())
+                * size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, WeightModel};
+
+    fn diamond() -> crate::Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build(WeightModel::WeightedCascade)
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        let mut in3 = g.in_neighbors(3).to_vec();
+        in3.sort_unstable();
+        assert_eq!(in3, vec![1, 2]);
+    }
+
+    #[test]
+    fn weighted_cascade_probs() {
+        let g = diamond();
+        // indeg(1) = 1 so p(0,1) = 1; indeg(3) = 2 so p(·,3) = 0.5.
+        assert_eq!(g.in_probs(1), &[1.0]);
+        assert_eq!(g.in_probs(3), &[0.5, 0.5]);
+        assert!((g.in_prob_sum(3) - 1.0).abs() < 1e-6);
+        assert!(g.satisfies_lt_constraint());
+    }
+
+    #[test]
+    fn forward_reverse_consistency() {
+        let g = diamond();
+        let mut fwd: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        let mut rev: Vec<(u32, u32)> = g
+            .nodes()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn edge_probability_alignment() {
+        let g = diamond();
+        for (u, v, p) in g.edges() {
+            let idx = g.in_neighbors(v).iter().position(|&x| x == u).unwrap();
+            assert_eq!(g.in_probs(v)[idx], p);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = diamond();
+        assert!(g.memory_bytes() > 0);
+    }
+}

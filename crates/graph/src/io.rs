@@ -1,0 +1,153 @@
+//! Plain-text edge-list reading and writing.
+//!
+//! The format is the SNAP convention used by the paper's datasets: one edge
+//! per line, `u v` or `u v p`, `#`-prefixed comment lines ignored. This lets
+//! the benchmark harness consume real SNAP dumps when available while the
+//! synthetic profiles cover the default case.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::weights::WeightModel;
+
+/// Parses an edge list from any reader.
+///
+/// * Lines starting with `#` or `%` are comments.
+/// * Each data line is `u v` (weight from `model`) or `u v p` (explicit).
+/// * `directed = false` inserts both orientations of each edge.
+pub fn read_edge_list<R: Read>(
+    reader: R,
+    directed: bool,
+    model: WeightModel,
+) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        if reader.read_line(&mut line_buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = parse_field(it.next(), line_no, "source")?;
+        let v: u32 = parse_field(it.next(), line_no, "target")?;
+        match it.next() {
+            None => {
+                if directed {
+                    builder.add_edge(u, v);
+                } else {
+                    builder.add_undirected_edge(u, v);
+                }
+            }
+            Some(ps) => {
+                let p: f32 = ps.parse().map_err(|_| GraphError::Parse {
+                    line: line_no,
+                    message: format!("bad probability {ps:?}"),
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(GraphError::Parse {
+                        line: line_no,
+                        message: format!("probability {p} out of [0,1]"),
+                    });
+                }
+                builder.add_weighted_edge(u, v, p);
+                if !directed {
+                    builder.add_weighted_edge(v, u, p);
+                }
+            }
+        }
+    }
+    Ok(builder.build(model))
+}
+
+fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let s = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} node id"),
+    })?;
+    s.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("bad {what} node id {s:?}"),
+    })
+}
+
+/// Reads an edge-list file (see [`read_edge_list`]).
+pub fn read_edge_list_file<P: AsRef<Path>>(
+    path: P,
+    directed: bool,
+    model: WeightModel,
+) -> Result<Graph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file, directed, model)
+}
+
+/// Writes the graph as a `u v p` edge list (always directed — the reverse
+/// orientation of an undirected input was materialized at build time).
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v, p) in graph.edges() {
+        writeln!(w, "{u} {v} {p}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_weights() {
+        let text = "# comment\n0 1\n1 2 0.25\n\n% other comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), true, WeightModel::Uniform(0.5)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_probs(0), &[0.5]); // model weight
+        assert_eq!(g.out_probs(1), &[0.25]); // explicit weight
+    }
+
+    #[test]
+    fn undirected_doubles_edges() {
+        let g = read_edge_list("0 1\n1 2\n".as_bytes(), false, WeightModel::WeightedCascade)
+            .unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list("0 x\n".as_bytes(), true, WeightModel::Trivalency).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_probability() {
+        let err =
+            read_edge_list("0 1 1.5\n".as_bytes(), true, WeightModel::Trivalency).unwrap_err();
+        assert!(err.to_string().contains("out of [0,1]"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = read_edge_list("0 1 0.5\n1 2 0.125\n".as_bytes(), true, WeightModel::Trivalency)
+            .unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true, WeightModel::Trivalency).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        let e1: Vec<_> = g.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+}

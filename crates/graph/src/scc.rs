@@ -1,0 +1,176 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Influence spread is reachability in live-edge subgraphs, so the SCC
+//! structure of the full graph upper-bounds what any seed can reach and
+//! explains spread plateaus (a giant SCC saturates). Used by examples and
+//! sanity checks; exposed because it is generally useful for workload
+//! analysis.
+
+use crate::csr::Graph;
+
+/// SCC decomposition result.
+#[derive(Clone, Debug)]
+pub struct SccResult {
+    /// Component id per node (ids are reverse-topological: an edge
+    /// `u → v` across components satisfies `comp[u] ≥ comp[v]`).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl SccResult {
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes SCCs with an iterative Tarjan (explicit stack; safe on deep
+/// graphs where recursion would overflow).
+pub fn strongly_connected_components(g: &Graph) -> SccResult {
+    let n = g.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0usize;
+
+    // Work stack frames: (node, next out-neighbor position to examine).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            if *pos < nbrs.len() {
+                let w = nbrs[*pos];
+                *pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v roots a component: pop it off the Tarjan stack.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = count as u32;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    SccResult { component, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, WeightModel};
+
+    fn graph(edges: &[(u32, u32)], n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build(WeightModel::Uniform(0.5))
+    }
+
+    #[test]
+    fn dag_every_node_own_component() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)], 3);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 3);
+        assert_eq!(r.largest(), 1);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0)], 3);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 1);
+        assert_eq!(r.largest(), 3);
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        // 0↔1 → 2↔3
+        let g = graph(&[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)], 4);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.component[0], r.component[1]);
+        assert_eq!(r.component[2], r.component[3]);
+        assert_ne!(r.component[0], r.component[2]);
+        // Reverse-topological: edge (1 → 2) goes to a lower component id.
+        assert!(r.component[1] > r.component[2]);
+        assert_eq!(r.sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = graph(&[(0, 1)], 5);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, 5);
+    }
+
+    #[test]
+    fn deep_chain_no_overflow() {
+        // 50k-node path: a recursive Tarjan would blow the stack.
+        let n = 50_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges, n);
+        let r = strongly_connected_components(&g);
+        assert_eq!(r.count, n);
+    }
+
+    #[test]
+    fn symmetric_graph_components_match_weak_connectivity() {
+        let mut b = GraphBuilder::new(6);
+        b.add_undirected_edge(0, 1);
+        b.add_undirected_edge(1, 2);
+        b.add_undirected_edge(4, 5);
+        let g = b.build(WeightModel::WeightedCascade);
+        let r = strongly_connected_components(&g);
+        // {0,1,2}, {3}, {4,5}
+        assert_eq!(r.count, 3);
+        let mut sizes = r.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! The extension toolkit in one campaign-planning session: adaptive
+//! stopping (OPIM-C), budgeted seeding, seed minimization, and targeting —
+//! the applications the paper's conclusion says its building blocks
+//! accelerate.
+//!
+//! Run with: `cargo run --release --example campaign_toolkit`
+
+use dim::prelude::*;
+
+fn main() {
+    let graph = DatasetProfile::Facebook.generate(0.5, 33);
+    let stats = GraphStats::compute(&graph);
+    println!("network: {stats}\n");
+    let machines = 8;
+    let net = NetworkModel::shared_memory();
+    let ic = SamplerKind::Standard(DiffusionModel::IndependentCascade);
+
+    // 1. Adaptive stopping: OPIM-C certifies the guarantee online and
+    //    often needs far fewer samples than IMM's worst-case budget.
+    let config = ImConfig {
+        k: 10,
+        ..ImConfig::paper_defaults(&graph, 0.2, 7)
+    };
+    let imm_r = imm(&graph, &config);
+    let opim_r = dopim_c(&graph, &config, machines, net, ExecMode::Sequential);
+    println!("IMM    : {:>7} RR sets, spread ≈ {:.0}", imm_r.num_rr_sets, imm_r.est_spread);
+    println!(
+        "OPIM-C : {:>7} RR sets, spread ≈ {:.0}  ({:.1}x fewer samples, same guarantee)",
+        opim_r.num_rr_sets,
+        opim_r.est_spread,
+        imm_r.num_rr_sets as f64 / opim_r.num_rr_sets as f64
+    );
+
+    // 2. Budgeted seeding: celebrity endorsements cost more. Charge each
+    //    user 1 + degree/50 "credits" and spend a budget of 15.
+    let costs: Vec<f64> = graph
+        .nodes()
+        .map(|u| 1.0 + graph.out_degree(u) as f64 / 50.0)
+        .collect();
+    let budget = 15.0;
+    let b = budgeted_im(
+        &graph, ic, &costs, budget, 50_000, 7, machines, net, ExecMode::Sequential,
+    );
+    println!(
+        "\nbudgeted ({budget} credits): {} seeds, spent {:.1}, spread ≈ {:.0}",
+        b.seeds.len(),
+        b.spent,
+        b.est_spread
+    );
+
+    // 3. Seed minimization: how few seeds reach 30% of the network?
+    let sm = seed_minimization(
+        &graph, ic, 0.30, 50_000, 7, machines, net, ExecMode::Sequential,
+    );
+    println!(
+        "seed minimization: {} seeds reach {:.0} users (target {:.0})",
+        sm.seeds.len(),
+        sm.est_spread,
+        sm.target_spread
+    );
+
+    // 4. Targeting: only users 0..200 matter (say, a regional launch).
+    let targets: Vec<u32> = (0..200).collect();
+    let t = targeted_im(
+        &graph, ic, &targets, 5, 50_000, 7, machines, net, ExecMode::Sequential,
+    );
+    println!(
+        "targeted (|T| = {}): seeds {:?} reach ≈ {:.0} targets",
+        targets.len(),
+        t.seeds,
+        t.est_targeted_spread
+    );
+}

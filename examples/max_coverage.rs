@@ -1,0 +1,67 @@
+//! Element-distributed vs set-distributed maximum coverage — a miniature
+//! of the paper's Fig. 10 and §III-B comparison.
+//!
+//! The workload is the paper's §IV-C instance: the graph's nodes are the
+//! ground elements and each node's out-neighborhood is a set; pick k = 50
+//! sets maximizing the covered union. NewGreeDi (element-distributed)
+//! always matches the centralized greedy exactly; GreeDi (set-distributed
+//! composable core-sets, κ = k) loses coverage as machines are added.
+//!
+//! Run with: `cargo run --release --example max_coverage`
+
+use dim::prelude::*;
+use dim_cluster::SimCluster;
+
+fn main() {
+    let graph = DatasetProfile::LiveJournal.generate(0.01, 13);
+    let stats = GraphStats::compute(&graph);
+    println!("workload: {stats}");
+
+    let problem = CoverageProblem::from_graph_neighborhoods(&graph);
+    let k = 50;
+    println!(
+        "coverage instance: {} sets over {} elements (total size {}), k = {k}\n",
+        problem.num_sets(),
+        problem.num_elements(),
+        problem.total_size()
+    );
+
+    // Centralized greedy is the quality reference (and the ℓ=1 time base).
+    let mut shard = problem.single_shard();
+    let central = bucket_greedy(&mut shard, k);
+    println!("centralized greedy covers {} elements\n", central.covered);
+
+    println!(
+        "{:>3} {:>16} {:>16} {:>14} {:>14}",
+        "ℓ", "NewGreeDi cov.", "GreeDi cov.", "ratio G/NG", "NG comm(KiB)"
+    );
+    for machines in [2usize, 4, 8, 16, 32, 64] {
+        let mut ng_cluster = SimCluster::new(
+            problem.shard_elements(machines),
+            NetworkModel::shared_memory(),
+            ExecMode::Sequential,
+        );
+        let ng = newgreedi(&mut ng_cluster, k);
+
+        let mut g_cluster = SimCluster::new(
+            problem.shard_sets(machines, None),
+            NetworkModel::shared_memory(),
+            ExecMode::Sequential,
+        );
+        let gd = greedi(&mut g_cluster, k, k);
+
+        assert_eq!(
+            ng.covered, central.covered,
+            "NewGreeDi must equal centralized greedy (Lemma 2)"
+        );
+        println!(
+            "{machines:>3} {:>16} {:>16} {:>14.4} {:>14.1}",
+            ng.covered,
+            gd.covered,
+            gd.covered as f64 / ng.covered as f64,
+            ng_cluster.metrics().total_bytes() as f64 / 1024.0,
+        );
+    }
+    println!("\nNewGreeDi's coverage never moves — it IS the centralized greedy,");
+    println!("computed without any machine ever holding the whole element set.");
+}

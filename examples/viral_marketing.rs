@@ -1,0 +1,62 @@
+//! Viral marketing budget planning — the paper's motivating application.
+//!
+//! An advertiser can pay for `k` seed users; influence spreads by
+//! word-of-mouth (IC model). This example sweeps the seed budget and shows
+//! the submodular diminishing returns that make greedy near-optimal, then
+//! contrasts the optimized seed set against the naive "pay the highest-
+//! degree users" strategy.
+//!
+//! Run with: `cargo run --release --example viral_marketing`
+
+use dim::prelude::*;
+
+fn main() {
+    // A friendship network shaped like the paper's Facebook dataset.
+    // Uniform 3% propagation probabilities model a promotion where every
+    // exposure has the same conversion chance. On preferential-attachment
+    // graphs the high-degree users' friend circles overlap heavily, which
+    // is exactly the redundancy greedy exploits and plain degree ranking
+    // ignores.
+    let graph = DatasetProfile::Facebook.generate_with(1.0, WeightModel::Uniform(0.03), 11);
+    let stats = GraphStats::compute(&graph);
+    println!("campaign network: {stats}\n");
+
+    let model = DiffusionModel::IndependentCascade;
+    println!("{:>6} {:>14} {:>16} {:>12}", "budget", "est. spread", "marginal gain", "spread/seed");
+    let mut prev = 0.0;
+    let mut best_seeds = Vec::new();
+    for k in [1usize, 2, 5, 10, 25, 50] {
+        let config = ImConfig {
+            k,
+            ..ImConfig::paper_defaults(&graph, 0.3, 4)
+        };
+        let result = diimm(&graph, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential);
+        println!(
+            "{k:>6} {:>14.1} {:>16.1} {:>12.2}",
+            result.est_spread,
+            result.est_spread - prev,
+            result.est_spread / k as f64,
+        );
+        prev = result.est_spread;
+        best_seeds = result.seeds;
+    }
+
+    // Baseline: just seed the k highest out-degree users.
+    let k = best_seeds.len();
+    let mut by_degree: Vec<u32> = graph.nodes().collect();
+    by_degree.sort_by_key(|&u| std::cmp::Reverse(graph.out_degree(u)));
+    let degree_seeds = &by_degree[..k];
+
+    let optimized = estimate_spread(&graph, model, &best_seeds, 5_000, 77);
+    let degree = estimate_spread(&graph, model, degree_seeds, 5_000, 77);
+    println!("\nhead-to-head at k = {k} (5k Monte-Carlo cascades each):");
+    println!("  DiIMM seeds       : {optimized:.1} nodes reached");
+    println!("  top-degree seeds  : {degree:.1} nodes reached");
+    println!("  advantage         : {:+.1}%", 100.0 * (optimized / degree - 1.0));
+
+    let overlap = best_seeds.iter().filter(|s| degree_seeds.contains(s)).count();
+    println!("  seed overlap      : {overlap}/{k}");
+    if optimized > degree {
+        println!("  greedy beats degree by skipping hubs whose audiences overlap");
+    }
+}

@@ -1,0 +1,284 @@
+//! `dim` — command-line influence maximization.
+//!
+//! ```text
+//! dim stats    --graph <edges.txt|profile:NAME[:SCALE]> [--undirected]
+//! dim im       --graph … --k 50 [--model ic|lt] [--epsilon 0.1] [--machines 8]
+//!              [--algorithm imm|diimm|opim|subsim] [--evaluate]
+//! dim coverage --graph … --k 50 [--machines 8]
+//! dim simulate --graph … --seeds 1,2,3 [--model ic|lt] [--sims 10000]
+//! dim generate --profile NAME[:SCALE] --out edges.txt
+//! ```
+//!
+//! Graphs load from SNAP-style edge lists (`u v [p]`, `#` comments) or are
+//! generated from the paper's dataset profiles (`profile:facebook`,
+//! `profile:twitter:0.001`, …).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dim::prelude::*;
+use dim_cluster::SimCluster;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&flags),
+        "im" => cmd_im(&flags),
+        "coverage" => cmd_coverage(&flags),
+        "simulate" => cmd_simulate(&flags),
+        "generate" => cmd_generate(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "dim — distributed influence maximization (ICDE 2022 reproduction)
+
+commands:
+  stats     --graph <src>                   graph statistics
+  im        --graph <src> --k <k>           seed selection with (1-1/e-ε) guarantee
+  coverage  --graph <src> --k <k>           max-coverage over neighborhoods (NewGreeDi)
+  simulate  --graph <src> --seeds a,b,c     Monte-Carlo spread of a seed set
+  generate  --profile NAME[:SCALE] --out F  write a synthetic profile graph
+
+graph sources: a SNAP edge-list path, or profile:NAME[:SCALE]
+  (facebook, googleplus, livejournal, twitter)
+
+common flags: --model ic|lt  --epsilon E  --delta D  --k K  --seed S
+  --machines L  --algorithm imm|diimm|opim|subsim  --undirected
+  --weights wc|uniform:P|trivalency  --sims N  --evaluate"
+    );
+}
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let name = flag
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+            if name == "undirected" || name == "evaluate" {
+                map.insert(name.to_string(), "true".to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                map.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(Flags(map))
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.get(name).map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad --{name} value {s:?}")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+}
+
+fn weight_model(flags: &Flags) -> Result<WeightModel, String> {
+    match flags.get("weights").unwrap_or("wc") {
+        "wc" | "weighted-cascade" => Ok(WeightModel::WeightedCascade),
+        "trivalency" => Ok(WeightModel::Trivalency),
+        other => {
+            if let Some(p) = other.strip_prefix("uniform:") {
+                let p: f64 = p.parse().map_err(|_| format!("bad probability {p:?}"))?;
+                Ok(WeightModel::Uniform(p))
+            } else {
+                Err(format!("unknown weight model {other:?}"))
+            }
+        }
+    }
+}
+
+fn load_graph(flags: &Flags) -> Result<Graph, String> {
+    let src = flags.required("graph")?;
+    let model = weight_model(flags)?;
+    if let Some(spec) = src.strip_prefix("profile:") {
+        let mut parts = spec.split(':');
+        let name = parts.next().unwrap_or("");
+        let profile = DatasetProfile::parse(name)
+            .ok_or_else(|| format!("unknown profile {name:?}"))?;
+        let scale: f64 = match parts.next() {
+            None => default_scale(profile),
+            Some(s) => s.parse().map_err(|_| format!("bad scale {s:?}"))?,
+        };
+        let seed = flags.num("seed", 42u64)?;
+        Ok(profile.generate_with(scale, model, seed))
+    } else {
+        let directed = flags.get("undirected").is_none();
+        dim_graph::io::read_edge_list_file(src, directed, model)
+            .map_err(|e| format!("cannot read {src}: {e}"))
+    }
+}
+
+fn default_scale(profile: DatasetProfile) -> f64 {
+    match profile {
+        DatasetProfile::Facebook => 1.0,
+        DatasetProfile::GooglePlus => 0.15,
+        DatasetProfile::LiveJournal => 0.025,
+        DatasetProfile::Twitter => 0.005,
+    }
+}
+
+fn model_of(flags: &Flags) -> Result<DiffusionModel, String> {
+    let name = flags.get("model").unwrap_or("ic");
+    DiffusionModel::parse(name).ok_or_else(|| format!("unknown model {name:?}"))
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let stats = GraphStats::compute(&g);
+    println!("{stats}");
+    println!("memory: {:.1} MiB", g.memory_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "LT-compatible: {}",
+        if g.satisfies_lt_constraint() { "yes" } else { "no (Σ in-probs > 1 somewhere)" }
+    );
+    Ok(())
+}
+
+fn cmd_im(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let model = model_of(flags)?;
+    let k = flags.num("k", 50usize)?.min(g.num_nodes());
+    let machines = flags.num("machines", 1usize)?;
+    let algorithm = flags.get("algorithm").unwrap_or("diimm");
+    let sampler = if algorithm == "subsim" {
+        if model != DiffusionModel::IndependentCascade {
+            return Err("subsim supports the IC model only".into());
+        }
+        SamplerKind::Subsim
+    } else {
+        SamplerKind::Standard(model)
+    };
+    let config = ImConfig {
+        k,
+        epsilon: flags.num("epsilon", 0.1f64)?,
+        delta: flags.num("delta", 1.0 / g.num_nodes() as f64)?,
+        seed: flags.num("seed", 42u64)?,
+        sampler,
+    };
+    let net = NetworkModel::shared_memory();
+    let r = match algorithm {
+        "imm" => imm(&g, &config),
+        "diimm" | "subsim" => diimm(&g, &config, machines, net, ExecMode::Sequential),
+        "opim" => dopim_c(&g, &config, machines, net, ExecMode::Sequential),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    println!("seeds: {:?}", r.seeds);
+    println!("estimated spread: {:.1} ({} RR sets)", r.est_spread, r.num_rr_sets);
+    println!(
+        "time: sampling {:.3}s, selection {:.3}s, comm {:.3}s",
+        r.timings.sampling.as_secs_f64(),
+        r.timings.selection.as_secs_f64(),
+        r.timings.communication.as_secs_f64()
+    );
+    if flags.get("evaluate").is_some() {
+        let sims = flags.num("sims", 10_000usize)?;
+        let mc = estimate_spread(&g, model, &r.seeds, sims, config.seed ^ 0xE7A1);
+        println!("simulated spread: {mc:.1} ({sims} cascades)");
+    }
+    Ok(())
+}
+
+fn cmd_coverage(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let k = flags.num("k", 50usize)?.min(g.num_nodes());
+    let machines = flags.num("machines", 1usize)?;
+    let problem = CoverageProblem::from_graph_neighborhoods(&g);
+    let mut cluster = SimCluster::new(
+        problem.shard_elements(machines),
+        NetworkModel::shared_memory(),
+        ExecMode::Sequential,
+    );
+    let r = newgreedi(&mut cluster, k);
+    println!("sets: {:?}", r.seeds);
+    println!(
+        "covered {} / {} elements ({:.1}%)",
+        r.covered,
+        problem.num_elements(),
+        100.0 * r.fraction(problem.num_elements())
+    );
+    println!("{}", cluster.metrics());
+    Ok(())
+}
+
+fn cmd_simulate(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let model = model_of(flags)?;
+    let seeds: Vec<u32> = flags
+        .required("seeds")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad seed {s:?}")))
+        .collect::<Result<_, _>>()?;
+    if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= g.num_nodes()) {
+        return Err(format!("seed {bad} out of range (n = {})", g.num_nodes()));
+    }
+    let sims = flags.num("sims", 10_000usize)?;
+    let spread = estimate_spread(&g, model, &seeds, sims, flags.num("seed", 42u64)?);
+    println!(
+        "σ({:?}) ≈ {spread:.2} under {model} ({sims} cascades)",
+        seeds
+    );
+    Ok(())
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let spec = flags.required("profile")?;
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or("");
+    let profile =
+        DatasetProfile::parse(name).ok_or_else(|| format!("unknown profile {name:?}"))?;
+    let scale: f64 = match parts.next() {
+        None => default_scale(profile),
+        Some(s) => s.parse().map_err(|_| format!("bad scale {s:?}"))?,
+    };
+    let out = flags.required("out")?;
+    let g = profile.generate_with(scale, weight_model(flags)?, flags.num("seed", 42u64)?);
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    dim_graph::io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges)",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! # dim — Distributed Influence Maximization
+//!
+//! A Rust reproduction of *"Distributed Influence Maximization for
+//! Large-Scale Online Social Networks"* (Tang, Tang, Zhu, Han — ICDE 2022):
+//! RIS-based influence maximization with the state-of-the-art
+//! `(1 − 1/e − ε)` approximation guarantee, horizontally scaled across a
+//! cluster of machines via
+//!
+//! * **distributed reverse influence sampling** — each machine generates
+//!   and keeps its own share of the random RR sets, and
+//! * **NewGreeDi** — element-distributed maximum coverage that returns
+//!   *exactly* the centralized greedy solution (unlike set-distributed
+//!   composable core-sets, whose ratio degrades with the machine count).
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for the full surface:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`dim_graph`] | CSR graphs, edge-list IO, synthetic social-network generators, dataset profiles |
+//! | [`dim_diffusion`] | IC/LT diffusion, Monte-Carlo + exact spread, RR-set samplers (BFS / walk / SUBSIM) |
+//! | [`dim_cluster`] | simulated master/worker cluster with byte-accurate traffic accounting |
+//! | [`dim_coverage`] | maximum coverage: bucket/CELF greedy, NewGreeDi, GreeDi/RandGreeDi baselines |
+//! | [`dim_core`] | IMM, DiIMM, and SUBSIM with the `(1 − 1/e − ε)` guarantee |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dim::prelude::*;
+//!
+//! // A small scale-free network with weighted-cascade probabilities.
+//! let graph = barabasi_albert(500, 4, WeightModel::WeightedCascade, 7);
+//!
+//! // Find 10 seeds with (1 − 1/e − ε) guarantee on 4 simulated machines.
+//! let config = ImConfig::paper_defaults(&graph, 0.3, 42);
+//! let config = ImConfig { k: 10, ..config };
+//! let result = diimm(&graph, &config, 4, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+//!
+//! assert_eq!(result.seeds.len(), 10);
+//! println!("estimated spread: {:.1}", result.est_spread);
+//! ```
+
+pub use dim_cluster;
+pub use dim_core;
+pub use dim_coverage;
+pub use dim_diffusion;
+pub use dim_graph;
+
+/// The commonly needed types and functions in one import.
+pub mod prelude {
+    pub use dim_cluster::{stream_seed, ClusterMetrics, ExecMode, NetworkModel, SimCluster};
+    pub use dim_core::diimm::diimm;
+    pub use dim_core::extensions::{
+        budgeted_im, seed_minimization, targeted_im, BudgetedImResult, SeedMinResult,
+        TargetedImResult,
+    };
+    pub use dim_core::heuristics::{
+        degree_discount, monte_carlo_greedy, random_seeds, top_degree, top_pagerank,
+    };
+    pub use dim_core::imm::imm;
+    pub use dim_core::opim::{dopim_c, opim_c};
+    pub use dim_core::ssa::{dssa, ssa};
+    pub use dim_core::{ImConfig, ImParams, ImResult, SamplerKind, Timings};
+    pub use dim_coverage::greedi::greedi;
+    pub use dim_coverage::greedy::{bucket_greedy, celf_greedy};
+    pub use dim_coverage::{
+        budgeted_greedy, newgreedi, newgreedi_until, CoverageProblem, CoverageShard,
+    };
+    pub use dim_diffusion::exact::{exact_opt, exact_spread};
+    pub use dim_diffusion::forward::{estimate_spread, estimate_spread_ci, SpreadEstimate};
+    pub use dim_diffusion::{DiffusionModel, IcRrSampler, LtRrSampler, RrSampler, SubsimRrSampler};
+    pub use dim_graph::generators::{
+        barabasi_albert, chung_lu_directed, chung_lu_undirected, erdos_renyi, watts_strogatz,
+    };
+    pub use dim_graph::analysis::{influence_pagerank, pagerank};
+    pub use dim_graph::scc::strongly_connected_components;
+    pub use dim_graph::{DatasetProfile, Graph, GraphBuilder, GraphStats, NodeId, WeightModel};
+}

@@ -1,0 +1,140 @@
+//! End-to-end tests of the `dim` CLI binary.
+
+use std::process::Command;
+
+fn dim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dim"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = dim().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dim-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, _, err) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["stats", "im", "coverage", "simulate", "generate"] {
+        assert!(err.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = dim().output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn stats_on_profile() {
+    let (ok, out, _) = run(&["stats", "--graph", "profile:facebook:0.05"]);
+    assert!(ok);
+    assert!(out.contains("n="));
+    assert!(out.contains("LT-compatible: yes"));
+}
+
+#[test]
+fn generate_then_stats_then_im_roundtrip() {
+    let path = temp_path("roundtrip.txt");
+    let path_s = path.to_str().unwrap();
+    let (ok, out, err) =
+        run(&["generate", "--profile", "facebook:0.05", "--out", path_s, "--seed", "3"]);
+    assert!(ok, "generate failed: {err}");
+    assert!(out.contains("wrote"));
+
+    let (ok, out, _) = run(&["stats", "--graph", path_s]);
+    assert!(ok);
+    assert!(out.contains("n=202"), "unexpected stats: {out}");
+
+    let (ok, out, err) = run(&[
+        "im", "--graph", path_s, "--k", "3", "--machines", "2", "--epsilon", "0.4",
+        "--evaluate", "--sims", "2000",
+    ]);
+    assert!(ok, "im failed: {err}");
+    assert!(out.contains("seeds:"));
+    assert!(out.contains("estimated spread"));
+    assert!(out.contains("simulated spread"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_reports_spread() {
+    let (ok, out, _) = run(&[
+        "simulate", "--graph", "profile:facebook:0.05", "--seeds", "0,1", "--sims", "1000",
+    ]);
+    assert!(ok);
+    assert!(out.contains("σ("));
+}
+
+#[test]
+fn simulate_rejects_out_of_range_seed() {
+    let (ok, _, err) = run(&[
+        "simulate", "--graph", "profile:facebook:0.05", "--seeds", "999999",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("out of range"));
+}
+
+#[test]
+fn coverage_subcommand() {
+    let (ok, out, _) = run(&[
+        "coverage", "--graph", "profile:facebook:0.05", "--k", "5", "--machines", "4",
+    ]);
+    assert!(ok);
+    assert!(out.contains("covered"));
+}
+
+#[test]
+fn im_algorithms_all_run() {
+    for algo in ["imm", "diimm", "opim", "subsim"] {
+        let (ok, out, err) = run(&[
+            "im", "--graph", "profile:facebook:0.05", "--k", "2", "--epsilon", "0.5",
+            "--algorithm", algo,
+        ]);
+        assert!(ok, "{algo} failed: {err}");
+        assert!(out.contains("seeds:"), "{algo}: {out}");
+    }
+}
+
+#[test]
+fn subsim_rejects_lt() {
+    let (ok, _, err) = run(&[
+        "im", "--graph", "profile:facebook:0.05", "--algorithm", "subsim", "--model", "lt",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("IC model only"));
+}
+
+#[test]
+fn bad_flag_value_reported() {
+    let (ok, _, err) = run(&["im", "--graph", "profile:facebook:0.05", "--epsilon", "huge"]);
+    assert!(!ok);
+    assert!(err.contains("bad --epsilon"));
+}
+
+#[test]
+fn uniform_weight_model_flag() {
+    let (ok, out, _) = run(&[
+        "stats", "--graph", "profile:facebook:0.05", "--weights", "uniform:0.9",
+    ]);
+    assert!(ok);
+    // With Σ in-probs = 0.9·indeg > 1 on multi-in-degree nodes, the LT
+    // constraint fails — the stats command surfaces that.
+    assert!(out.contains("LT-compatible: no"), "{out}");
+}

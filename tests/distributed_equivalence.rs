@@ -1,0 +1,151 @@
+//! Cross-crate equivalence tests: the distributed algorithms must match
+//! their centralized counterparts exactly (the paper's Lemma 2 / Theorem 1
+//! machinery), and the incremental traffic optimization must not change
+//! any output.
+
+use dim::prelude::*;
+use dim_core::diimm::diimm_with_options;
+use dim_coverage::greedi::greedi;
+
+/// IMM and DiIMM(ℓ=1) are the same algorithm — identical seeds, θ, sizes.
+#[test]
+fn imm_is_diimm_with_one_machine() {
+    for seed in [1u64, 7, 99] {
+        let g = DatasetProfile::Facebook.generate(0.2, seed);
+        let config = ImConfig {
+            k: 6,
+            ..ImConfig::paper_defaults(&g, 0.3, seed)
+        };
+        let a = imm(&g, &config);
+        let b = diimm(&g, &config, 1, NetworkModel::zero(), ExecMode::Sequential);
+        assert_eq!(a.seeds, b.seeds, "seed {seed}");
+        assert_eq!(a.num_rr_sets, b.num_rr_sets, "seed {seed}");
+        assert_eq!(a.coverage, b.coverage, "seed {seed}");
+    }
+}
+
+/// The §III-C incremental coverage reporting changes traffic only: seeds,
+/// coverage, θ, and spread are bit-identical with and without it.
+#[test]
+fn incremental_reporting_preserves_output() {
+    let g = DatasetProfile::GooglePlus.generate(0.02, 5);
+    let config = ImConfig {
+        k: 10,
+        ..ImConfig::paper_defaults(&g, 0.3, 17)
+    };
+    for machines in [1, 4, 8] {
+        let full = diimm_with_options(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            false,
+        );
+        let incr = diimm_with_options(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            true,
+        );
+        assert_eq!(full.seeds, incr.seeds, "ℓ = {machines}");
+        assert_eq!(full.num_rr_sets, incr.num_rr_sets);
+        assert_eq!(full.coverage, incr.coverage);
+        assert!(
+            incr.metrics.bytes_to_master < full.metrics.bytes_to_master,
+            "ℓ = {machines}: incremental {} B should beat full {} B",
+            incr.metrics.bytes_to_master,
+            full.metrics.bytes_to_master
+        );
+    }
+}
+
+/// NewGreeDi over RIS-derived instances equals centralized greedy for any
+/// sharding of the same RR-set collection (not just the synthetic
+/// instances covered by unit tests).
+#[test]
+fn newgreedi_exact_on_ris_instances() {
+    use dim_cluster::SimCluster;
+    use dim_coverage::greedy::bucket_greedy;
+    use dim_coverage::CoverageShard;
+    use dim_diffusion::rr::{sample_batch, AnySampler};
+    use dim_diffusion::RrStore;
+    use rand::SeedableRng;
+
+    let g = DatasetProfile::Facebook.generate(0.1, 8);
+    let sampler = AnySampler::for_model(&g, DiffusionModel::IndependentCascade);
+    let mut store = RrStore::new();
+    let mut rng = rand_pcg::Pcg64::seed_from_u64(3);
+    sample_batch(&sampler, 4000, &mut rng, &mut store);
+
+    let mut central = CoverageShard::from_records(g.num_nodes(), store.iter());
+    let reference = bucket_greedy(&mut central, 12);
+
+    for machines in [2usize, 5, 16] {
+        let mut shards: Vec<CoverageShard> = (0..machines)
+            .map(|_| CoverageShard::new(g.num_nodes()))
+            .collect();
+        for (i, rr) in store.iter().enumerate() {
+            shards[i % machines].push_element(rr);
+        }
+        let mut cluster = SimCluster::new(
+            shards,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let r = newgreedi(&mut cluster, 12);
+        assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}");
+        assert_eq!(r.covered, reference.covered, "ℓ = {machines}");
+    }
+}
+
+/// GreeDi never exceeds NewGreeDi's coverage (NewGreeDi is the exact
+/// greedy; GreeDi is its core-set approximation) on the Fig. 10 workload.
+#[test]
+fn greedi_bounded_by_newgreedi_on_neighborhoods() {
+    use dim_cluster::SimCluster;
+
+    let g = DatasetProfile::Facebook.generate(0.2, 4);
+    let problem = CoverageProblem::from_graph_neighborhoods(&g);
+    for machines in [2usize, 8, 32] {
+        let mut ng_cluster = SimCluster::new(
+            problem.shard_elements(machines),
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let ng = newgreedi(&mut ng_cluster, 20);
+        let mut gd_cluster = SimCluster::new(
+            problem.shard_sets(machines, Some(7)),
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let gd = greedi(&mut gd_cluster, 20, 20);
+        assert!(
+            gd.covered <= ng.covered,
+            "ℓ = {machines}: GreeDi {} > NewGreeDi {}",
+            gd.covered,
+            ng.covered
+        );
+        // And it is never catastrophically bad on this workload either.
+        assert!(gd.covered as f64 >= 0.5 * ng.covered as f64);
+    }
+}
+
+/// Per-machine RNG streams: permuting machine count changes which machine
+/// draws what, but a fixed (seed, ℓ) is exactly reproducible.
+#[test]
+fn reproducibility_fixed_seed_and_machines() {
+    let g = DatasetProfile::LiveJournal.generate(0.002, 6);
+    let config = ImConfig {
+        k: 6,
+        ..ImConfig::paper_defaults(&g, 0.3, 77)
+    };
+    let a = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+    let b = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+    assert_eq!(a.seeds, b.seeds);
+    assert_eq!(a.coverage, b.coverage);
+    assert_eq!(a.metrics.bytes_to_master, b.metrics.bytes_to_master);
+    assert_eq!(a.metrics.messages, b.metrics.messages);
+}

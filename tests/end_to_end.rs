@@ -1,0 +1,161 @@
+//! End-to-end integration tests: the full DiIMM pipeline against ground
+//! truth, across machine counts, models, and samplers.
+
+use dim::prelude::*;
+
+fn small_config(k: usize, epsilon: f64, seed: u64, model: DiffusionModel) -> ImConfig {
+    ImConfig {
+        k,
+        epsilon,
+        delta: 0.1,
+        seed,
+        sampler: SamplerKind::Standard(model),
+    }
+}
+
+/// Theorem 1 on a brute-forceable graph: DiIMM's seed set achieves
+/// (1 − 1/e − ε)·OPT true spread, for every machine count tried.
+#[test]
+fn diimm_guarantee_ic_all_machine_counts() {
+    let mut b = GraphBuilder::new(9);
+    for (u, v, p) in [
+        (0u32, 1u32, 0.9f32),
+        (0, 2, 0.7),
+        (1, 3, 0.5),
+        (2, 3, 0.4),
+        (4, 5, 0.8),
+        (4, 6, 0.6),
+        (7, 8, 0.9),
+    ] {
+        b.add_weighted_edge(u, v, p);
+    }
+    let g = b.build(WeightModel::WeightedCascade);
+    let model = DiffusionModel::IndependentCascade;
+    let (_, opt) = exact_opt(&g, model, 3);
+    let bound = (1.0 - (-1.0f64).exp() - 0.3) * opt;
+    for machines in [1, 2, 4, 7] {
+        let r = diimm(
+            &g,
+            &small_config(3, 0.3, 77, model),
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let achieved = exact_spread(&g, model, &r.seeds);
+        assert!(
+            achieved >= bound,
+            "ℓ = {machines}: σ(S) = {achieved} < {bound} (OPT = {opt})"
+        );
+    }
+}
+
+/// Same guarantee under the LT model.
+#[test]
+fn diimm_guarantee_lt() {
+    let mut b = GraphBuilder::new(8);
+    for (u, v) in [(0u32, 1u32), (0, 2), (1, 2), (3, 4), (4, 5), (5, 6), (6, 7)] {
+        b.add_edge(u, v);
+    }
+    let g = b.build(WeightModel::WeightedCascade);
+    let model = DiffusionModel::LinearThreshold;
+    let (_, opt) = exact_opt(&g, model, 2);
+    let bound = (1.0 - (-1.0f64).exp() - 0.3) * opt;
+    for machines in [1, 3, 5] {
+        let r = diimm(
+            &g,
+            &small_config(2, 0.3, 13, model),
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let achieved = exact_spread(&g, model, &r.seeds);
+        assert!(achieved >= bound, "ℓ = {machines}: {achieved} < {bound}");
+    }
+}
+
+/// The RIS spread estimate agrees with forward Monte-Carlo simulation
+/// within the configured ε, end-to-end on a realistic profile graph.
+#[test]
+fn ris_estimate_matches_forward_simulation() {
+    let g = DatasetProfile::Facebook.generate(0.25, 3);
+    let config = ImConfig {
+        k: 10,
+        ..ImConfig::paper_defaults(&g, 0.2, 5)
+    };
+    let r = diimm(&g, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential);
+    let mc = estimate_spread(
+        &g,
+        DiffusionModel::IndependentCascade,
+        &r.seeds,
+        30_000,
+        123,
+    );
+    let rel = (r.est_spread - mc).abs() / mc;
+    assert!(
+        rel < config.epsilon,
+        "RIS {} vs MC {mc} (rel {rel})",
+        r.est_spread
+    );
+}
+
+/// Seed quality is invariant to the machine count: different ℓ draw
+/// different RR sets, but the estimated spreads of the returned seed sets
+/// agree within the approximation band.
+#[test]
+fn quality_invariant_to_machine_count() {
+    let g = DatasetProfile::Facebook.generate(0.25, 9);
+    let config = ImConfig {
+        k: 8,
+        ..ImConfig::paper_defaults(&g, 0.2, 21)
+    };
+    let spreads: Vec<f64> = [1usize, 2, 8, 16]
+        .iter()
+        .map(|&l| {
+            diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential).est_spread
+        })
+        .collect();
+    let max = spreads.iter().cloned().fold(f64::MIN, f64::max);
+    let min = spreads.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (max - min) / max < 0.15,
+        "spreads vary too much across ℓ: {spreads:?}"
+    );
+}
+
+/// SUBSIM sampling plugged into the full distributed pipeline returns seeds
+/// of the same quality as the standard sampler (Fig. 7's premise).
+#[test]
+fn distributed_subsim_equivalent_quality() {
+    let g = DatasetProfile::Facebook.generate(0.25, 31);
+    let base = ImConfig {
+        k: 8,
+        ..ImConfig::paper_defaults(&g, 0.25, 11)
+    };
+    let std_r = diimm(&g, &base, 4, NetworkModel::zero(), ExecMode::Sequential);
+    let sub_cfg = ImConfig {
+        sampler: SamplerKind::Subsim,
+        ..base
+    };
+    let sub_r = diimm(&g, &sub_cfg, 4, NetworkModel::zero(), ExecMode::Sequential);
+    let model = DiffusionModel::IndependentCascade;
+    let std_mc = estimate_spread(&g, model, &std_r.seeds, 20_000, 55);
+    let sub_mc = estimate_spread(&g, model, &sub_r.seeds, 20_000, 55);
+    let rel = (std_mc - sub_mc).abs() / std_mc;
+    assert!(rel < 0.1, "standard {std_mc} vs subsim {sub_mc}");
+}
+
+/// k larger than the number of useful nodes still terminates and returns
+/// at most n seeds.
+#[test]
+fn k_saturating_terminates() {
+    let mut b = GraphBuilder::new(4);
+    b.add_weighted_edge(0, 1, 1.0);
+    b.add_weighted_edge(0, 2, 1.0);
+    b.add_weighted_edge(0, 3, 1.0);
+    let g = b.build(WeightModel::WeightedCascade);
+    let config = small_config(4, 0.4, 3, DiffusionModel::IndependentCascade);
+    let r = diimm(&g, &config, 2, NetworkModel::zero(), ExecMode::Sequential);
+    assert!(r.seeds.len() <= 4);
+    assert!(!r.seeds.is_empty());
+    assert!(r.seeds.contains(&0), "the root dominates this graph");
+}
