@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
 use dim_core::diimm::diimm_with_options;
 use dim_core::{ImConfig, SamplerKind};
 use dim_coverage::greedy::{bucket_greedy, celf_greedy, naive_greedy};

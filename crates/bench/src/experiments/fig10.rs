@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
 use dim_coverage::greedi::greedi;
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::{newgreedi, CoverageProblem};

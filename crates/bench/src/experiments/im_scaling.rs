@@ -2,8 +2,14 @@
 //! number of machines or cores, with the per-phase breakdown (RR
 //! generation / computation / communication) the paper plots as stacked
 //! bars.
+//!
+//! The stacked bars are read straight off the run's phase-labeled
+//! [`dim_cluster::PhaseTimeline`]: sampling is the `rr-sampling` label's
+//! compute, selection is every other label's compute, and communication
+//! is the timeline total's modeled transfer time. The JSON rows also
+//! carry the raw per-label breakdown for finer-grained plots.
 
-use dim_cluster::{ExecMode, NetworkModel};
+use dim_cluster::{phase, ExecMode, NetworkModel, PhaseTimeline};
 use dim_core::diimm::diimm;
 use dim_core::{ImConfig, SamplerKind};
 use dim_diffusion::DiffusionModel;
@@ -11,6 +17,29 @@ use serde::Serialize;
 
 use crate::context::Context;
 use crate::report;
+
+/// One timeline label, flattened for the JSON dump.
+#[derive(Serialize)]
+struct PhaseRow {
+    phase: &'static str,
+    compute_s: f64,
+    comm_s: f64,
+    messages: u64,
+    bytes: u64,
+}
+
+fn phase_rows(timeline: &PhaseTimeline) -> Vec<PhaseRow> {
+    timeline
+        .iter()
+        .map(|(label, m)| PhaseRow {
+            phase: label,
+            compute_s: m.compute().as_secs_f64(),
+            comm_s: m.comm_time.as_secs_f64(),
+            messages: m.messages,
+            bytes: m.total_bytes(),
+        })
+        .collect()
+}
 
 #[derive(Serialize)]
 struct Row {
@@ -28,6 +57,7 @@ struct Row {
     bytes_up: u64,
     bytes_down: u64,
     est_spread: f64,
+    phases: Vec<PhaseRow>,
 }
 
 struct Setup {
@@ -82,7 +112,13 @@ fn run_setup(ctx: &Context, setup: Setup) {
         let mut baseline = None;
         for &machines in machine_counts {
             let r = diimm(&graph, &config, machines, setup.network, ExecMode::Sequential);
-            let total = r.timings.total().as_secs_f64();
+            // Stacked bars straight off the timeline, not the derived
+            // `timings` view: sampling = the rr-sampling label's compute,
+            // selection = all remaining compute, comm = modeled transfers.
+            let flat = r.timeline.total();
+            let sampling = r.timeline.get(phase::RR_SAMPLING).compute();
+            let selection = flat.compute().saturating_sub(sampling);
+            let total = (sampling + selection + flat.comm_time).as_secs_f64();
             let base = *baseline.get_or_insert(total);
             let row = Row {
                 figure: setup.figure,
@@ -94,15 +130,16 @@ fn run_setup(ctx: &Context, setup: Setup) {
                 },
                 sampler: sampler_label,
                 machines,
-                sampling_s: r.timings.sampling.as_secs_f64(),
-                selection_s: r.timings.selection.as_secs_f64(),
-                comm_s: r.timings.communication.as_secs_f64(),
+                sampling_s: sampling.as_secs_f64(),
+                selection_s: selection.as_secs_f64(),
+                comm_s: flat.comm_time.as_secs_f64(),
                 total_s: total,
                 speedup: base / total,
                 rr_sets: r.num_rr_sets,
-                bytes_up: r.metrics.bytes_to_master,
-                bytes_down: r.metrics.bytes_from_master,
+                bytes_up: flat.bytes_to_master,
+                bytes_down: flat.bytes_from_master,
                 est_spread: r.est_spread,
+                phases: phase_rows(&r.timeline),
             };
             println!(
                 "{:>4} {:>12.3} {:>13.3} {:>9.4} {:>10.3} {:>7.1}x {:>10}",

@@ -6,7 +6,7 @@
 //! virtual-time inflation relative to a homogeneous cluster — quantifying
 //! how much the paper's max-over-machines phase rule punishes skew.
 
-use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
 use dim_coverage::{newgreedi, CoverageProblem};
 use serde::Serialize;
 

@@ -1,0 +1,201 @@
+//! The pluggable cluster execution contract.
+//!
+//! Every distributed algorithm in this workspace (NewGreeDi, GreeDi,
+//! DiIMM, distributed OPIM-C/SSA, the budgeted/targeted extensions) is
+//! written against [`ClusterBackend`], not against a concrete runtime. The
+//! trait captures the paper's master/worker programming model:
+//!
+//! * [`ClusterBackend::par_step`] — run a closure on every machine "in
+//!   parallel" and charge the phase `max_i(elapsed_i)` of compute time;
+//! * [`ClusterBackend::gather`] — a `par_step` whose per-machine results
+//!   are uploaded to the master, charging one tree collective;
+//! * [`ClusterBackend::broadcast`] — a master→workers transfer;
+//! * [`ClusterBackend::master`] — timed serial master-side work;
+//!
+//! plus per-machine deterministic RNG streams (derived outside the trait
+//! via [`crate::stream_seed`] — workers own their streams, so determinism
+//! depends only on the seed/machine-id pair, never on how a backend
+//! schedules the work).
+//!
+//! Every phase call takes a `&'static str` label (see [`phase`]); metrics
+//! accumulate per label in a [`PhaseTimeline`], which experiment harnesses
+//! read directly for stacked time breakdowns (paper Figs. 5/8).
+//!
+//! [`crate::SimCluster`] implements the trait with three execution
+//! strategies ([`crate::ExecMode`]): deterministic sequential virtual-time
+//! simulation, bounded OS threads, and a rayon pool. A future TCP/process
+//! backend drops in at this seam with zero algorithm changes.
+
+use crate::metrics::{ClusterMetrics, PhaseTimeline};
+use crate::network::NetworkModel;
+
+/// Canonical phase labels used by the distributed algorithms.
+///
+/// Labels are plain `&'static str`s, so algorithms may invent their own;
+/// these constants keep the vocabulary consistent across crates and let
+/// the bench harness pull out e.g. the RR-sampling bar of a stacked
+/// breakdown without string drift.
+pub mod phase {
+    /// Distributed RR-set generation (DiIMM/SUBSIM/OPIM/SSA sampling).
+    pub const RR_SAMPLING: &str = "rr-sampling";
+    /// Initial upload of per-shard coverage counts to the master.
+    pub const COVERAGE_UPLOAD: &str = "coverage-upload";
+    /// Master-side greedy seed selection (bucket selector work).
+    pub const SEED_SELECT: &str = "seed-select";
+    /// Broadcast of a chosen seed (or seed set) to the workers.
+    pub const SEED_BROADCAST: &str = "seed-broadcast";
+    /// Sparse ⟨set, Δ⟩ coverage-delta upload after applying a seed.
+    pub const DELTA_UPLOAD: &str = "delta-upload";
+    /// Final per-shard covered-count upload.
+    pub const COUNT_UPLOAD: &str = "count-upload";
+    /// Validation-set coverage upload (OPIM-C / SSA bound checks).
+    pub const VALIDATION: &str = "validation";
+    /// Core-set candidate upload (GreeDi / RandGreeDi).
+    pub const CORESET_UPLOAD: &str = "coreset-upload";
+    /// Master-side core-set merge greedy (GreeDi / RandGreeDi).
+    pub const CORESET_MERGE: &str = "coreset-merge";
+}
+
+/// A master/worker cluster of `ℓ` machines, each owning a worker state
+/// `Self::Worker` (its shard of the data).
+///
+/// Implementations decide *how* phases execute (sequentially, on OS
+/// threads, on a rayon pool, over TCP, …) and *how* virtual time is
+/// accounted; algorithms only see the phase contract. All bookkeeping
+/// funnels through [`ClusterBackend::record`], so an implementation gets a
+/// consistent [`PhaseTimeline`] for free by storing one and merging deltas
+/// into it.
+pub trait ClusterBackend {
+    /// Per-machine worker state (a data shard plus any sampler/RNG state).
+    type Worker: Send;
+
+    /// Number of machines `ℓ`.
+    fn num_machines(&self) -> usize;
+
+    /// The network model pricing this cluster's messages.
+    fn network(&self) -> NetworkModel;
+
+    /// Immutable view of the worker states, in machine order.
+    fn workers(&self) -> &[Self::Worker];
+
+    /// Phase-labeled metrics accumulated so far.
+    fn timeline(&self) -> &PhaseTimeline;
+
+    /// Merges a metrics delta into the phase labeled `label`.
+    fn record(&mut self, label: &'static str, delta: ClusterMetrics);
+
+    /// Runs `f(machine_id, worker)` on every machine "in parallel" and
+    /// returns the per-machine results in machine order. Charges the phase
+    /// `max_i(elapsed_i)` of worker compute time under `label`.
+    fn par_step<R, F>(&mut self, label: &'static str, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Self::Worker) -> R + Sync;
+
+    /// Runs serial master-side work, charging its elapsed time under
+    /// `label`.
+    fn master<R, F>(&mut self, label: &'static str, f: F) -> R
+    where
+        F: FnOnce() -> R;
+
+    /// Flat aggregate of the whole run — [`PhaseTimeline::total`].
+    fn metrics(&self) -> ClusterMetrics {
+        self.timeline().total()
+    }
+
+    /// [`ClusterBackend::par_step`] followed by an upload of each
+    /// machine's result to the master. `payload_bytes(result)` reports
+    /// each message's wire size; both compute and communication accrue
+    /// under `label`.
+    fn gather<R, F, S>(&mut self, label: &'static str, f: F, payload_bytes: S) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut Self::Worker) -> R + Sync,
+        S: Fn(&R) -> u64,
+    {
+        let results = self.par_step(label, f);
+        let bytes: u64 = results.iter().map(&payload_bytes).sum();
+        self.charge_upload(label, results.len() as u64, bytes);
+        results
+    }
+
+    /// Charges a gather of `bytes` from `messages` workers to the master,
+    /// priced as one tree collective (MPI_Gatherv).
+    fn charge_upload(&mut self, label: &'static str, messages: u64, bytes: u64) {
+        let comm_time = self.network().collective_time(messages, bytes);
+        self.record(
+            label,
+            ClusterMetrics {
+                comm_time,
+                messages,
+                bytes_to_master: bytes,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Charges a broadcast of `bytes_per_machine` from the master to every
+    /// machine, priced as one tree collective (MPI_Bcast; each tree level
+    /// re-sends the payload, so the master link sees `ℓ` copies of it).
+    fn broadcast(&mut self, label: &'static str, bytes_per_machine: u64) {
+        let l = self.num_machines() as u64;
+        let total = bytes_per_machine * l;
+        let comm_time = self.network().collective_time(l, total);
+        self.record(
+            label,
+            ClusterMetrics {
+                comm_time,
+                messages: l,
+                bytes_from_master: total,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{ExecMode, SimCluster};
+    use std::time::Duration;
+
+    // Exercise the provided methods through a generic function to prove
+    // algorithms can be written against the trait alone.
+    fn shard_sum<B: ClusterBackend<Worker = Vec<u64>>>(cluster: &mut B) -> u64 {
+        let partials = cluster.gather(
+            phase::COVERAGE_UPLOAD,
+            |_, shard| shard.iter().sum::<u64>(),
+            |_| crate::wire::u64_wire_size(),
+        );
+        cluster.master(phase::SEED_SELECT, || partials.iter().sum())
+    }
+
+    #[test]
+    fn generic_algorithm_runs_on_sim_backend() {
+        let shards = vec![vec![1u64, 2], vec![3], vec![4, 5, 6], vec![]];
+        let mut cluster =
+            SimCluster::new(shards, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+        assert_eq!(shard_sum(&mut cluster), 21);
+        let tl = cluster.timeline();
+        assert_eq!(tl.get(phase::COVERAGE_UPLOAD).bytes_to_master, 32);
+        assert_eq!(tl.get(phase::COVERAGE_UPLOAD).messages, 4);
+        assert!(tl.get(phase::SEED_SELECT).master_compute >= Duration::ZERO);
+        assert_eq!(cluster.metrics(), tl.total());
+    }
+
+    #[test]
+    fn broadcast_records_under_its_label() {
+        let mut cluster = SimCluster::new(
+            vec![0u64; 5],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        cluster.broadcast(phase::SEED_BROADCAST, 40);
+        let m = cluster.timeline().get(phase::SEED_BROADCAST);
+        assert_eq!(m.bytes_from_master, 200);
+        assert_eq!(m.messages, 5);
+        assert!(m.comm_time > Duration::ZERO);
+        // Nothing leaked into other labels.
+        assert_eq!(cluster.timeline().len(), 1);
+    }
+}

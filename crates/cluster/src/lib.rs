@@ -1,10 +1,13 @@
-//! Simulated master/worker cluster substrate.
+//! Pluggable master/worker cluster substrate.
 //!
 //! The paper evaluates on a 17-node Open-MPI cluster (1 Gbps switch) and an
 //! 80-core MS-MPI server. Neither is available to this reproduction (the
-//! benchmark host has a single CPU core), so this crate provides a
-//! **deterministic simulated cluster** that preserves the quantities the
-//! paper measures:
+//! benchmark host has a single CPU core), so this crate provides the
+//! [`ClusterBackend`] execution contract — the `par_step` / `gather` /
+//! `broadcast` / `master` phase model every distributed algorithm in the
+//! workspace is written against — plus a **deterministic simulated
+//! cluster** implementation, [`SimCluster`], that preserves the quantities
+//! the paper measures:
 //!
 //! * **Computation time** — every simulated machine *really executes* its
 //!   partition of the work and is individually wall-clock timed. A parallel
@@ -17,35 +20,42 @@
 //!   through a configurable latency/bandwidth [`NetworkModel`]. The master's
 //!   link is the bottleneck in a star topology: a gather of `ℓ` messages
 //!   costs `latency + Σ bytes / bandwidth`.
+//! * **Phase attribution** — every phase carries a static label and metrics
+//!   accumulate per label in a [`PhaseTimeline`], so stacked time
+//!   breakdowns (paper Figs. 5/8) read straight off the run.
 //!
-//! An optional [`ExecMode::Threads`] mode runs machines on real OS threads
-//! for hosts that have cores; the accounted metrics are identical because
-//! each machine is timed on its own thread.
+//! [`SimCluster`] executes phases in one of three [`ExecMode`]s:
+//! deterministic sequential (virtual time), bounded OS threads (capped at
+//! the host's available parallelism), or the rayon pool.
 //!
 //! # Example
 //!
 //! ```
-//! use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+//! use dim_cluster::{phase, ClusterBackend, ExecMode, NetworkModel, SimCluster};
 //!
 //! // Four machines each holding a shard of numbers; master sums the sums.
 //! let shards: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![4, 5, 6], vec![]];
 //! let mut cluster = SimCluster::new(shards, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
 //! let partials = cluster.gather(
+//!     phase::COUNT_UPLOAD,
 //!     |_, shard| shard.iter().sum::<u64>(),
-//!     |_| 8, // each machine uploads one u64
+//!     |_| dim_cluster::wire::u64_wire_size(), // each machine uploads one u64
 //! );
-//! let total: u64 = cluster.master(|| partials.iter().sum());
+//! let total: u64 = cluster.master(phase::SEED_SELECT, || partials.iter().sum());
 //! assert_eq!(total, 21);
 //! assert_eq!(cluster.metrics().bytes_to_master, 32);
+//! assert_eq!(cluster.timeline().get(phase::COUNT_UPLOAD).messages, 4);
 //! ```
 
+pub mod backend;
 pub mod metrics;
 pub mod network;
 pub mod rng;
 pub mod runtime;
 pub mod wire;
 
-pub use metrics::ClusterMetrics;
+pub use backend::{phase, ClusterBackend};
+pub use metrics::{ClusterMetrics, PhaseTimeline};
 pub use network::NetworkModel;
 pub use rng::stream_seed;
 pub use runtime::{ExecMode, SimCluster};

@@ -75,6 +75,91 @@ impl ClusterMetrics {
     }
 }
 
+/// Phase-labeled metrics timeline of a cluster run.
+///
+/// Every phase executed through a [`crate::ClusterBackend`] carries a static
+/// label (`"rr-sampling"`, `"coverage-upload"`, `"seed-select"`, …; see
+/// [`crate::phase`]). The timeline accumulates one [`ClusterMetrics`] block
+/// per label, in first-use order, so experiments can read stacked
+/// breakdowns directly instead of snapshotting aggregates and subtracting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseTimeline {
+    entries: Vec<(&'static str, ClusterMetrics)>,
+}
+
+impl PhaseTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        PhaseTimeline::default()
+    }
+
+    /// Merges `delta` into the entry labeled `label`, appending a new entry
+    /// if the label has not been seen yet.
+    pub fn record(&mut self, label: &'static str, delta: ClusterMetrics) {
+        match self.entries.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, m)) => m.merge(&delta),
+            None => self.entries.push((label, delta)),
+        }
+    }
+
+    /// Accumulated metrics for `label` (zero if the label never ran).
+    pub fn get(&self, label: &str) -> ClusterMetrics {
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, m)| *m)
+            .unwrap_or_default()
+    }
+
+    /// Labels in first-use order.
+    pub fn labels(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|(l, _)| *l)
+    }
+
+    /// `(label, metrics)` pairs in first-use order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &ClusterMetrics)> {
+        self.entries.iter().map(|(l, m)| (*l, m))
+    }
+
+    /// Number of distinct labels recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all per-label metrics — the flat aggregate view.
+    pub fn total(&self) -> ClusterMetrics {
+        let mut total = ClusterMetrics::default();
+        for (_, m) in &self.entries {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Merges another timeline into this one, label by label.
+    pub fn merge(&mut self, other: &PhaseTimeline) {
+        for (label, m) in other.iter() {
+            self.record(label, *m);
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseTimeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (label, m)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{label:>18}: {m}")?;
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for ClusterMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -140,5 +225,97 @@ mod tests {
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes_from_master, 7);
         assert_eq!(a.total_bytes(), 7);
+    }
+
+    #[test]
+    fn timeline_accumulates_per_label() {
+        let mut tl = PhaseTimeline::new();
+        tl.record(
+            "rr-sampling",
+            ClusterMetrics {
+                worker_compute: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        tl.record(
+            "coverage-upload",
+            ClusterMetrics {
+                messages: 4,
+                bytes_to_master: 100,
+                ..Default::default()
+            },
+        );
+        tl.record(
+            "rr-sampling",
+            ClusterMetrics {
+                worker_compute: Duration::from_secs(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(tl.len(), 2);
+        assert_eq!(
+            tl.get("rr-sampling").worker_compute,
+            Duration::from_secs(3)
+        );
+        assert_eq!(tl.get("coverage-upload").messages, 4);
+        assert_eq!(tl.get("never-ran"), ClusterMetrics::default());
+        // First-use order is preserved.
+        let labels: Vec<_> = tl.labels().collect();
+        assert_eq!(labels, vec!["rr-sampling", "coverage-upload"]);
+    }
+
+    #[test]
+    fn timeline_total_is_flat_aggregate() {
+        let mut tl = PhaseTimeline::new();
+        tl.record(
+            "a",
+            ClusterMetrics {
+                messages: 3,
+                bytes_to_master: 10,
+                ..Default::default()
+            },
+        );
+        tl.record(
+            "b",
+            ClusterMetrics {
+                messages: 2,
+                bytes_from_master: 5,
+                ..Default::default()
+            },
+        );
+        let total = tl.total();
+        assert_eq!(total.messages, 5);
+        assert_eq!(total.total_bytes(), 15);
+    }
+
+    #[test]
+    fn timeline_merge_combines_label_wise() {
+        let mut a = PhaseTimeline::new();
+        a.record(
+            "x",
+            ClusterMetrics {
+                messages: 1,
+                ..Default::default()
+            },
+        );
+        let mut b = PhaseTimeline::new();
+        b.record(
+            "x",
+            ClusterMetrics {
+                messages: 2,
+                ..Default::default()
+            },
+        );
+        b.record(
+            "y",
+            ClusterMetrics {
+                phases: 1,
+                ..Default::default()
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("x").messages, 3);
+        assert_eq!(a.get("y").phases, 1);
     }
 }

@@ -1,8 +1,9 @@
-//! The simulated cluster runtime.
+//! The simulated cluster runtime — the in-process [`ClusterBackend`].
 
 use std::time::{Duration, Instant};
 
-use crate::metrics::ClusterMetrics;
+use crate::backend::ClusterBackend;
+use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
 
 /// How simulated machines execute their parallel phases.
@@ -12,27 +13,33 @@ pub enum ExecMode {
     /// individually and the phase is charged the maximum. Deterministic and
     /// the right choice on hosts with few cores (virtual-time simulation).
     Sequential,
-    /// Machines run on real OS threads (`std::thread::scope`). Accounting is
-    /// identical — each machine is timed on its own thread — but wall-clock
-    /// time actually shrinks on multi-core hosts.
+    /// Machines run on real OS threads (`std::thread::scope`), capped at
+    /// [`std::thread::available_parallelism`]: with ℓ machines on a c-core
+    /// host, ⌈ℓ/c⌉ machines share each thread. Accounting is identical —
+    /// each machine is timed on its own — but wall-clock time actually
+    /// shrinks on multi-core hosts.
     Threads,
+    /// Machines run as tasks on the global rayon pool — the right choice
+    /// when phases are many and short (intra-machine Monte-Carlo work),
+    /// since the pool's threads are reused across phases instead of being
+    /// respawned.
+    Rayon,
 }
 
 /// A master/worker cluster of `ℓ` simulated machines, each owning a worker
 /// state `W` (its shard of the data).
 ///
-/// Phases:
-/// * [`SimCluster::par_step`] — run a closure on every machine in parallel;
-///   charges `max_i(elapsed_i)` of compute time.
-/// * [`SimCluster::gather`] — `par_step` whose results are uploaded to the
-///   master; additionally charges communication for `ℓ` messages.
-/// * [`SimCluster::broadcast`] — charge a master→workers transfer.
-/// * [`SimCluster::master`] — run and time serial master-side work.
+/// This is the in-process implementation of [`ClusterBackend`]: phases
+/// really execute (sequentially, on bounded OS threads, or on the rayon
+/// pool per [`ExecMode`]), per-machine times feed a virtual clock
+/// (`max` over machines per phase), and message bytes are priced through
+/// the [`NetworkModel`]. All metrics accumulate in a phase-labeled
+/// [`PhaseTimeline`].
 pub struct SimCluster<W> {
     workers: Vec<W>,
     network: NetworkModel,
     mode: ExecMode,
-    metrics: ClusterMetrics,
+    timeline: PhaseTimeline,
     /// Per-machine relative speed (1.0 = nominal). A machine with speed
     /// `s` is charged `elapsed / s` of virtual time — the knob for
     /// modeling heterogeneous clusters and stragglers, which the paper's
@@ -73,34 +80,15 @@ impl<W: Send> SimCluster<W> {
             workers,
             network,
             mode,
-            metrics: ClusterMetrics::default(),
+            timeline: PhaseTimeline::new(),
             speeds,
         }
     }
 
-    /// Number of machines `ℓ`.
-    pub fn num_machines(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// The network model pricing this cluster's messages.
-    pub fn network(&self) -> NetworkModel {
-        self.network
-    }
-
-    /// Accumulated metrics so far.
-    pub fn metrics(&self) -> ClusterMetrics {
-        self.metrics
-    }
-
-    /// Resets accumulated metrics to zero (worker state is untouched).
+    /// Resets accumulated metrics to an empty timeline (worker state is
+    /// untouched).
     pub fn reset_metrics(&mut self) {
-        self.metrics = ClusterMetrics::default();
-    }
-
-    /// Immutable view of the worker states.
-    pub fn workers(&self) -> &[W] {
-        &self.workers
+        self.timeline = PhaseTimeline::new();
     }
 
     /// Consumes the cluster, returning the worker states.
@@ -108,15 +96,14 @@ impl<W: Send> SimCluster<W> {
         self.workers
     }
 
-    /// Runs `f(machine_id, worker)` on every machine "in parallel" and
-    /// returns the per-machine results in machine order. Charges the phase
-    /// `max_i(elapsed_i)` of worker compute time.
-    pub fn par_step<R, F>(&mut self, f: F) -> Vec<R>
+    /// Executes one parallel phase in the configured [`ExecMode`],
+    /// returning per-machine results and raw (unscaled) per-machine times.
+    fn execute<R, F>(&mut self, f: F) -> (Vec<R>, Vec<Duration>)
     where
         R: Send,
         F: Fn(usize, &mut W) -> R + Sync,
     {
-        let (results, times) = match self.mode {
+        match self.mode {
             ExecMode::Sequential => {
                 let mut results = Vec::with_capacity(self.workers.len());
                 let mut times = Vec::with_capacity(self.workers.len());
@@ -129,16 +116,31 @@ impl<W: Send> SimCluster<W> {
             }
             ExecMode::Threads => {
                 let f = &f;
+                let l = self.workers.len();
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                // Bound OS threads at the host's parallelism: chunk the ℓ
+                // machines into ≤ cores contiguous runs, one thread each.
+                let per = l.div_ceil(cores).max(1);
                 let mut out: Vec<Option<(R, Duration)>> =
                     self.workers.iter().map(|_| None).collect();
                 std::thread::scope(|scope| {
-                    for ((i, w), slot) in
-                        self.workers.iter_mut().enumerate().zip(out.iter_mut())
+                    for (chunk_idx, (ws, slots)) in self
+                        .workers
+                        .chunks_mut(per)
+                        .zip(out.chunks_mut(per))
+                        .enumerate()
                     {
+                        let base = chunk_idx * per;
                         scope.spawn(move || {
-                            let start = Instant::now();
-                            let r = f(i, w);
-                            *slot = Some((r, start.elapsed()));
+                            for (j, (w, slot)) in
+                                ws.iter_mut().zip(slots.iter_mut()).enumerate()
+                            {
+                                let start = Instant::now();
+                                let r = f(base + j, w);
+                                *slot = Some((r, start.elapsed()));
+                            }
                         });
                     }
                 });
@@ -151,7 +153,53 @@ impl<W: Send> SimCluster<W> {
                 }
                 (results, times)
             }
-        };
+            ExecMode::Rayon => {
+                use rayon::prelude::*;
+                let pairs: Vec<(R, Duration)> = self
+                    .workers
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        let start = Instant::now();
+                        let r = f(i, w);
+                        (r, start.elapsed())
+                    })
+                    .collect();
+                pairs.into_iter().unzip()
+            }
+        }
+    }
+}
+
+impl<W: Send> ClusterBackend for SimCluster<W> {
+    type Worker = W;
+
+    fn num_machines(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    fn workers(&self) -> &[W] {
+        &self.workers
+    }
+
+    fn timeline(&self) -> &PhaseTimeline {
+        &self.timeline
+    }
+
+    fn record(&mut self, label: &'static str, delta: ClusterMetrics) {
+        self.timeline.record(label, delta);
+    }
+
+    fn par_step<R, F>(&mut self, label: &'static str, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut W) -> R + Sync,
+    {
+        let (results, times) = self.execute(f);
         // Scale each machine's measured time by its relative speed.
         let scaled: Vec<Duration> = times
             .iter()
@@ -160,50 +208,31 @@ impl<W: Send> SimCluster<W> {
             .collect();
         let max = scaled.iter().copied().max().unwrap_or(Duration::ZERO);
         let sum: Duration = scaled.iter().sum();
-        self.metrics.worker_compute += max;
-        self.metrics.worker_busy += sum;
-        self.metrics.phases += 1;
+        self.record(
+            label,
+            ClusterMetrics {
+                worker_compute: max,
+                worker_busy: sum,
+                phases: 1,
+                ..Default::default()
+            },
+        );
         results
     }
 
-    /// [`Self::par_step`] followed by an upload of each machine's result to
-    /// the master. `payload_bytes(result)` reports each message's wire size.
-    pub fn gather<R, F, S>(&mut self, f: F, payload_bytes: S) -> Vec<R>
+    fn master<R, F>(&mut self, label: &'static str, f: F) -> R
     where
-        R: Send,
-        F: Fn(usize, &mut W) -> R + Sync,
-        S: Fn(&R) -> u64,
+        F: FnOnce() -> R,
     {
-        let results = self.par_step(f);
-        let bytes: u64 = results.iter().map(&payload_bytes).sum();
-        self.charge_upload(results.len() as u64, bytes);
-        results
-    }
-
-    /// Charges a gather of `bytes` from `messages` workers to the master,
-    /// priced as one tree collective (MPI_Gatherv).
-    pub fn charge_upload(&mut self, messages: u64, bytes: u64) {
-        self.metrics.comm_time += self.network.collective_time(messages, bytes);
-        self.metrics.messages += messages;
-        self.metrics.bytes_to_master += bytes;
-    }
-
-    /// Charges a broadcast of `bytes_per_machine` from the master to every
-    /// machine, priced as one tree collective (MPI_Bcast; each tree level
-    /// re-sends the payload, so the master link sees `ℓ` copies of it).
-    pub fn broadcast(&mut self, bytes_per_machine: u64) {
-        let l = self.workers.len() as u64;
-        let total = bytes_per_machine * l;
-        self.metrics.comm_time += self.network.collective_time(l, total);
-        self.metrics.messages += l;
-        self.metrics.bytes_from_master += total;
-    }
-
-    /// Runs serial master-side work, charging its elapsed time.
-    pub fn master<R>(&mut self, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
         let r = f();
-        self.metrics.master_compute += start.elapsed();
+        self.record(
+            label,
+            ClusterMetrics {
+                master_compute: start.elapsed(),
+                ..Default::default()
+            },
+        );
         r
     }
 }
@@ -211,34 +240,60 @@ impl<W: Send> SimCluster<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::phase;
+
+    const STEP: &str = "step";
 
     fn cluster(l: usize) -> SimCluster<u64> {
-        SimCluster::new((0..l as u64).collect(), NetworkModel::zero(), ExecMode::Sequential)
+        SimCluster::new(
+            (0..l as u64).collect(),
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        )
     }
 
     #[test]
     fn par_step_runs_all_machines_in_order() {
         let mut c = cluster(4);
-        let ids = c.par_step(|i, w| {
+        let ids = c.par_step(STEP, |i, w| {
             *w += 10;
             (i, *w)
         });
         assert_eq!(ids, vec![(0, 10), (1, 11), (2, 12), (3, 13)]);
         assert_eq!(c.metrics().phases, 1);
+        assert_eq!(c.timeline().get(STEP).phases, 1);
         assert_eq!(c.workers(), &[10, 11, 12, 13]);
     }
 
     #[test]
-    fn threads_mode_matches_sequential_results() {
+    fn all_modes_match_sequential_results() {
         let mut seq = cluster(4);
-        let mut thr = SimCluster::new(
-            (0..4u64).collect(),
+        let expected = seq.par_step(STEP, |i, w| *w * 2 + i as u64);
+        for mode in [ExecMode::Threads, ExecMode::Rayon] {
+            let mut c = SimCluster::new((0..4u64).collect(), NetworkModel::zero(), mode);
+            let got = c.par_step(STEP, |i, w| *w * 2 + i as u64);
+            assert_eq!(got, expected, "{mode:?}");
+            assert_eq!(c.metrics().phases, 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn threads_mode_bounded_handles_more_machines_than_cores() {
+        // 64 machines must complete correctly regardless of core count;
+        // the bounded implementation shares threads when ℓ > cores.
+        let mut c = SimCluster::new(
+            (0..64u64).collect(),
             NetworkModel::zero(),
             ExecMode::Threads,
         );
-        let a = seq.par_step(|i, w| *w * 2 + i as u64);
-        let b = thr.par_step(|i, w| *w * 2 + i as u64);
-        assert_eq!(a, b);
+        let got = c.par_step(STEP, |i, w| {
+            *w += 1;
+            i as u64 + *w
+        });
+        let expected: Vec<u64> = (0..64u64).map(|i| 2 * i + 1).collect();
+        assert_eq!(got, expected);
+        assert_eq!(c.workers().len(), 64);
+        assert_eq!(c.workers()[63], 64);
     }
 
     #[test]
@@ -248,12 +303,16 @@ mod tests {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
         );
-        c.gather(|_, w| *w, |_| 100);
+        c.gather(phase::COUNT_UPLOAD, |_, w| *w, |_| 100);
         let m = c.metrics();
         assert_eq!(m.messages, 8);
         assert_eq!(m.bytes_to_master, 800);
         // Tree collective over 8 machines: ⌈log₂ 9⌉ = 4 latency hops.
         assert!(m.comm_time >= Duration::from_micros(200));
+        // The phase's compute and comm live under the same label.
+        let labeled = c.timeline().get(phase::COUNT_UPLOAD);
+        assert_eq!(labeled.messages, 8);
+        assert_eq!(labeled.phases, 1);
     }
 
     #[test]
@@ -263,7 +322,7 @@ mod tests {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
         );
-        c.broadcast(40);
+        c.broadcast(phase::SEED_BROADCAST, 40);
         let m = c.metrics();
         assert_eq!(m.bytes_from_master, 200);
         assert_eq!(m.messages, 5);
@@ -272,17 +331,20 @@ mod tests {
     #[test]
     fn master_time_accumulates() {
         let mut c = cluster(1);
-        let v = c.master(|| {
+        let v = c.master(phase::SEED_SELECT, || {
             std::hint::black_box((0..10_000u64).sum::<u64>())
         });
         assert_eq!(v, 49_995_000);
         assert!(c.metrics().master_compute > Duration::ZERO);
+        assert!(c.timeline().get(phase::SEED_SELECT).master_compute > Duration::ZERO);
     }
 
     #[test]
     fn busy_at_least_compute() {
         let mut c = cluster(3);
-        c.par_step(|_, w| std::hint::black_box((0..50_000).fold(*w, |a, b| a ^ b)));
+        c.par_step(STEP, |_, w| {
+            std::hint::black_box((0..50_000).fold(*w, |a, b| a ^ b))
+        });
         let m = c.metrics();
         assert!(m.worker_busy >= m.worker_compute);
     }
@@ -290,9 +352,24 @@ mod tests {
     #[test]
     fn reset_clears_metrics() {
         let mut c = cluster(2);
-        c.par_step(|_, _| ());
+        c.par_step(STEP, |_, _| ());
         c.reset_metrics();
         assert_eq!(c.metrics(), ClusterMetrics::default());
+        assert!(c.timeline().is_empty());
+    }
+
+    #[test]
+    fn labels_accumulate_separately() {
+        let mut c = cluster(2);
+        c.par_step(phase::RR_SAMPLING, |_, _| ());
+        c.par_step(phase::RR_SAMPLING, |_, _| ());
+        c.gather(phase::DELTA_UPLOAD, |_, w| *w, |_| 12);
+        assert_eq!(c.timeline().get(phase::RR_SAMPLING).phases, 2);
+        assert_eq!(c.timeline().get(phase::DELTA_UPLOAD).phases, 1);
+        assert_eq!(c.timeline().get(phase::DELTA_UPLOAD).bytes_to_master, 24);
+        assert_eq!(c.metrics().phases, 3);
+        let labels: Vec<_> = c.timeline().labels().collect();
+        assert_eq!(labels, vec![phase::RR_SAMPLING, phase::DELTA_UPLOAD]);
     }
 
     #[test]
@@ -302,14 +379,14 @@ mod tests {
             *w = std::hint::black_box((0..200_000u64).fold(0, |a, b| a ^ b));
         };
         let mut even = SimCluster::new(vec![0u64; 2], NetworkModel::zero(), ExecMode::Sequential);
-        even.par_step(work);
+        even.par_step(STEP, work);
         let mut skew = SimCluster::with_speeds(
             vec![0u64; 2],
             NetworkModel::zero(),
             ExecMode::Sequential,
             vec![1.0, 0.1],
         );
-        skew.par_step(work);
+        skew.par_step(STEP, work);
         // The straggler cluster's phase takes ~10x the even cluster's.
         let ratio = skew.metrics().worker_compute.as_secs_f64()
             / even.metrics().worker_compute.as_secs_f64();

@@ -96,6 +96,13 @@ pub fn ids_wire_size(count: usize) -> u64 {
     4 + 4 * count as u64
 }
 
+/// Size in bytes of one raw little-endian `u64` on the wire — the payload
+/// of every message that ships a single count (covered totals, validation
+/// coverage, partial sums).
+pub fn u64_wire_size() -> u64 {
+    std::mem::size_of::<u64>() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +147,11 @@ mod tests {
         assert!(decode_deltas(&[]).is_none());
         let ids = encode_ids(&[7]);
         assert!(decode_ids(&ids[..ids.len() - 2]).is_none());
+    }
+
+    #[test]
+    fn u64_wire_size_is_eight() {
+        assert_eq!(u64_wire_size(), 8);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use dim_cluster::{stream_seed, wire, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{phase, stream_seed, wire, ClusterBackend, ExecMode, NetworkModel, SimCluster};
 use proptest::prelude::*;
 
 proptest! {
@@ -59,16 +59,17 @@ proptest! {
     }
 
     /// par_step visits every machine exactly once, in machine order, in
-    /// both execution modes; gather accounts exactly the advertised bytes.
+    /// every execution mode; gather accounts exactly the advertised bytes,
+    /// and the phase timeline attributes them to the gather's label.
     #[test]
     fn cluster_accounting(l in 1usize..12, payload in 0u64..10_000) {
-        for mode in [ExecMode::Sequential, ExecMode::Threads] {
+        for mode in [ExecMode::Sequential, ExecMode::Threads, ExecMode::Rayon] {
             let mut c = SimCluster::new(
                 vec![0u64; l],
                 NetworkModel::cluster_1gbps(),
                 mode,
             );
-            let ids = c.gather(|i, w| { *w += 1; i }, |_| payload);
+            let ids = c.gather(phase::COUNT_UPLOAD, |i, w| { *w += 1; i }, |_| payload);
             prop_assert_eq!(ids, (0..l).collect::<Vec<_>>());
             prop_assert!(c.workers().iter().all(|&w| w == 1));
             let m = c.metrics();
@@ -76,6 +77,9 @@ proptest! {
             prop_assert_eq!(m.bytes_to_master, payload * l as u64);
             prop_assert_eq!(m.phases, 1);
             prop_assert!(m.worker_busy >= m.worker_compute);
+            // The flat aggregate equals the single labeled entry.
+            prop_assert_eq!(c.timeline().get(phase::COUNT_UPLOAD), m);
+            prop_assert_eq!(c.timeline().len(), 1);
         }
     }
 

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use dim_cluster::ClusterMetrics;
+use dim_cluster::{phase, ClusterMetrics, PhaseTimeline};
 use dim_diffusion::rr::AnySampler;
 use dim_diffusion::DiffusionModel;
 use dim_graph::Graph;
@@ -84,6 +84,21 @@ impl Timings {
     pub fn total(&self) -> Duration {
         self.sampling + self.selection + self.communication
     }
+
+    /// Derives the paper's three stacked bars from a phase-labeled
+    /// timeline: sampling is the [`phase::RR_SAMPLING`] compute, selection
+    /// is every other phase's compute (worker map stages + master
+    /// reduce/select), and communication is the modeled transfer time of
+    /// the whole run.
+    pub fn from_timeline(timeline: &PhaseTimeline) -> Self {
+        let total = timeline.total();
+        let sampling = timeline.get(phase::RR_SAMPLING).compute();
+        Timings {
+            sampling,
+            selection: total.compute().saturating_sub(sampling),
+            communication: total.comm_time,
+        }
+    }
 }
 
 /// Outcome of an IMM/DiIMM/SUBSIM run.
@@ -109,6 +124,9 @@ pub struct ImResult {
     pub timings: Timings,
     /// Raw cluster metrics (traffic, messages; zeros for sequential runs).
     pub metrics: ClusterMetrics,
+    /// Phase-labeled metrics timeline of the run (empty for sequential
+    /// runs). `timings` and `metrics` are derived views of this.
+    pub timeline: PhaseTimeline,
 }
 
 impl ImResult {
@@ -154,6 +172,38 @@ mod tests {
             communication: Duration::from_millis(100),
         };
         assert_eq!(t.total(), Duration::from_millis(5100));
+    }
+
+    #[test]
+    fn timings_derived_from_timeline() {
+        let mut tl = PhaseTimeline::new();
+        tl.record(
+            phase::RR_SAMPLING,
+            ClusterMetrics {
+                worker_compute: Duration::from_secs(4),
+                ..Default::default()
+            },
+        );
+        tl.record(
+            phase::DELTA_UPLOAD,
+            ClusterMetrics {
+                worker_compute: Duration::from_secs(1),
+                comm_time: Duration::from_millis(250),
+                ..Default::default()
+            },
+        );
+        tl.record(
+            phase::SEED_SELECT,
+            ClusterMetrics {
+                master_compute: Duration::from_secs(2),
+                ..Default::default()
+            },
+        );
+        let t = Timings::from_timeline(&tl);
+        assert_eq!(t.sampling, Duration::from_secs(4));
+        assert_eq!(t.selection, Duration::from_secs(3));
+        assert_eq!(t.communication, Duration::from_millis(250));
+        assert_eq!(t.total(), tl.total().elapsed());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{stream_seed, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, SimCluster};
 use dim_coverage::newgreedi::{newgreedi_incremental, newgreedi_with, NewGreediResult};
 use dim_coverage::CoverageShard;
 use dim_diffusion::rr::{AnySampler, RrSampler};
@@ -69,40 +69,33 @@ pub(crate) fn split_counts(total: usize, machines: usize) -> Vec<usize> {
         .collect()
 }
 
-fn generate_up_to(
-    cluster: &mut SimCluster<DiimmWorker<'_>>,
-    from: usize,
-    to: usize,
-    timings: &mut Timings,
-) {
+fn generate_up_to<'g, B>(cluster: &mut B, from: usize, to: usize)
+where
+    B: ClusterBackend<Worker = DiimmWorker<'g>>,
+{
     if to <= from {
         return;
     }
     let counts = split_counts(to - from, cluster.num_machines());
-    let before = cluster.metrics();
-    cluster.par_step(|i, w| w.generate(counts[i]));
-    timings.sampling += cluster.metrics().since(&before).worker_compute;
+    cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate(counts[i]));
 }
 
-fn select(
-    cluster: &mut SimCluster<DiimmWorker<'_>>,
+fn select<'g, B>(
+    cluster: &mut B,
     n: usize,
     k: usize,
-    timings: &mut Timings,
     base_coverage: &mut Option<Vec<u64>>,
-) -> NewGreediResult {
-    let before = cluster.metrics();
-    let r = match base_coverage {
+) -> NewGreediResult
+where
+    B: ClusterBackend<Worker = DiimmWorker<'g>>,
+{
+    match base_coverage {
         // The paper's §III-C traffic optimization: machines report coverage
         // only over their newly generated RR sets; the master accumulates.
         Some(base) => newgreedi_incremental(cluster, k, |w| &mut w.shard, base),
         // Ablation baseline: full coverage re-upload on every call.
         None => newgreedi_with(cluster, n, k, |w| &mut w.shard),
-    };
-    let delta = cluster.metrics().since(&before);
-    timings.selection += delta.compute();
-    timings.communication += delta.comm_time;
-    r
+    }
 }
 
 /// Runs DiIMM on `machines` simulated machines connected by `network`.
@@ -140,7 +133,6 @@ pub fn diimm_with_options(
         .map(|i| DiimmWorker::new(graph, config, i))
         .collect();
     let mut cluster = SimCluster::new(workers, network, mode);
-    let mut timings = Timings::default();
     let mut base_coverage = incremental.then(|| vec![0u64; n]);
 
     // Lines 3–10: lower-bound search.
@@ -152,9 +144,9 @@ pub fn diimm_with_options(
         rounds = t;
         let x = n as f64 / 2f64.powi(t as i32);
         let theta_t = params.theta_at(t);
-        generate_up_to(&mut cluster, theta_cur, theta_t, &mut timings);
+        generate_up_to(&mut cluster, theta_cur, theta_t);
         theta_cur = theta_cur.max(theta_t);
-        let r = select(&mut cluster, n, config.k, &mut timings, &mut base_coverage);
+        let r = select(&mut cluster, n, config.k, &mut base_coverage);
         let est = n as f64 * r.covered as f64 / theta_cur as f64;
         last = Some(r);
         if est >= (1.0 + params.epsilon_prime) * x {
@@ -166,9 +158,9 @@ pub fn diimm_with_options(
     // Lines 11–13: final sampling top-up and selection.
     let theta = params.theta_final(lower_bound);
     let final_result = if theta > theta_cur || last.is_none() {
-        generate_up_to(&mut cluster, theta_cur, theta, &mut timings);
+        generate_up_to(&mut cluster, theta_cur, theta);
         theta_cur = theta_cur.max(theta);
-        select(&mut cluster, n, config.k, &mut timings, &mut base_coverage)
+        select(&mut cluster, n, config.k, &mut base_coverage)
     } else if let Some(last) = last {
         // θ ≤ θ_cur: the last S_t was computed over this exact collection.
         last
@@ -180,6 +172,7 @@ pub fn diimm_with_options(
     let est_spread = n as f64 * coverage as f64 / theta_cur as f64;
     let total_rr_size: usize = cluster.workers().iter().map(|w| w.shard.total_size()).sum();
     let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
+    let timeline = cluster.timeline().clone();
 
     ImResult {
         seeds: final_result.seeds,
@@ -190,8 +183,9 @@ pub fn diimm_with_options(
         est_spread,
         lower_bound,
         rounds,
-        timings,
-        metrics: cluster.metrics(),
+        timings: Timings::from_timeline(&timeline),
+        metrics: timeline.total(),
+        timeline,
     }
 }
 
@@ -302,6 +296,14 @@ mod tests {
         assert!(r.timings.communication > std::time::Duration::ZERO);
         assert!(r.metrics.bytes_to_master > 0);
         assert!(r.edges_examined > 0);
+        // The stacked bars are views of the phase timeline.
+        assert_eq!(r.metrics, r.timeline.total());
+        assert_eq!(
+            r.timings.sampling,
+            r.timeline.get(phase::RR_SAMPLING).compute()
+        );
+        assert!(r.timeline.get(phase::COVERAGE_UPLOAD).bytes_to_master > 0);
+        assert!(r.timeline.get(phase::SEED_BROADCAST).bytes_from_master > 0);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{stream_seed, ClusterMetrics, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{
+    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, SimCluster,
+};
 use dim_coverage::budgeted::{newgreedi_budgeted, BudgetedResult};
 use dim_coverage::newgreedi::{newgreedi_until, newgreedi_with};
 use dim_coverage::CoverageShard;
@@ -70,7 +72,7 @@ fn ris_cluster<S: RrSampler + Send>(
         .collect();
     let mut cluster = SimCluster::new(workers, network, mode);
     let counts = split_counts(theta, machines);
-    cluster.par_step(|i, w| w.generate(counts[i]));
+    cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate(counts[i]));
     cluster
 }
 

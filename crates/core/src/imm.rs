@@ -13,7 +13,7 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{stream_seed, ClusterMetrics};
+use dim_cluster::{stream_seed, ClusterMetrics, PhaseTimeline};
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::CoverageShard;
 use dim_diffusion::rr::RrSampler;
@@ -97,6 +97,7 @@ pub fn imm(graph: &Graph, config: &ImConfig) -> ImResult {
         rounds,
         timings,
         metrics: ClusterMetrics::default(),
+        timeline: PhaseTimeline::default(),
     }
 }
 

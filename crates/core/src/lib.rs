@@ -8,8 +8,9 @@
 //! * [`mod@imm`] — sequential IMM (Tang et al., SIGMOD'15, with the δ′ fix):
 //!   the baseline every speedup figure compares against.
 //! * [`mod@diimm`] — **DiIMM** (Algorithm 2): IMM with distributed RIS for the
-//!   sampling phase and NewGreeDi for seed selection, on a
-//!   [`dim_cluster::SimCluster`].
+//!   sampling phase and NewGreeDi for seed selection, generic over any
+//!   [`dim_cluster::ClusterBackend`] (with [`dim_cluster::SimCluster`] as the
+//!   stock backend).
 //! * [`config`] — shared run configuration ([`ImConfig`]) and result type
 //!   ([`ImResult`]) with per-phase timing breakdowns matching the paper's
 //!   stacked bars (RR generation / computation / communication).

@@ -26,7 +26,10 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{stream_seed, ClusterMetrics, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{
+    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
+    SimCluster,
+};
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::newgreedi::newgreedi_incremental;
 use dim_coverage::CoverageShard;
@@ -144,6 +147,7 @@ pub fn opim_c(graph: &Graph, config: &ImConfig) -> ImResult {
         rounds,
         timings,
         metrics: ClusterMetrics::default(),
+        timeline: PhaseTimeline::default(),
     }
 }
 
@@ -214,7 +218,6 @@ pub fn dopim_c(
         .map(|i| DopimWorker::new(graph, config, i))
         .collect();
     let mut cluster = SimCluster::new(workers, network, mode);
-    let mut timings = Timings::default();
     let mut base_coverage = vec![0u64; n];
 
     let mut theta = theta_0;
@@ -222,28 +225,26 @@ pub fn dopim_c(
     let mut best = None;
     for round in 1..=i_max {
         let counts = crate::diimm::split_counts(theta.saturating_sub(generated), machines);
-        let before = cluster.metrics();
-        cluster.par_step(|i, w| w.generate_pairs(counts[i]));
-        timings.sampling += cluster.metrics().since(&before).worker_compute;
+        cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate_pairs(counts[i]));
         generated = theta;
 
-        let before = cluster.metrics();
         let sel = newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage);
         // Validation: broadcast S_k, gather one covered-count per machine.
-        cluster.broadcast(dim_cluster::wire::ids_wire_size(sel.seeds.len()));
+        cluster.broadcast(
+            phase::SEED_BROADCAST,
+            dim_cluster::wire::ids_wire_size(sel.seeds.len()),
+        );
         let cov2: u64 = cluster
             .gather(
+                phase::VALIDATION,
                 |_, w| {
                     w.r2.prepare();
                     shard_coverage(&w.r2, &sel.seeds, &mut w.marked)
                 },
-                |_| 8,
+                |_| dim_cluster::wire::u64_wire_size(),
             )
             .iter()
             .sum();
-        let delta = cluster.metrics().since(&before);
-        timings.selection += delta.compute();
-        timings.communication += delta.comm_time;
 
         let theta1: usize = cluster.workers().iter().map(|w| w.r1.num_elements()).sum();
         let theta2: usize = cluster.workers().iter().map(|w| w.r2.num_elements()).sum();
@@ -270,6 +271,7 @@ pub fn dopim_c(
         .map(|w| w.r1.total_size() + w.r2.total_size())
         .sum();
     let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
+    let timeline = cluster.timeline().clone();
     ImResult {
         seeds: sel.seeds,
         coverage: sel.covered,
@@ -279,8 +281,9 @@ pub fn dopim_c(
         est_spread,
         lower_bound: 0.0,
         rounds,
-        timings,
-        metrics: cluster.metrics(),
+        timings: Timings::from_timeline(&timeline),
+        metrics: timeline.total(),
+        timeline,
     }
 }
 

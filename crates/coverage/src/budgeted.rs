@@ -15,7 +15,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dim_cluster::{wire, SimCluster};
+use dim_cluster::{phase, wire, ClusterBackend};
 
 use crate::shard::CoverageShard;
 
@@ -166,18 +166,19 @@ pub fn budgeted_greedy(
 /// Element-distributed budgeted greedy: identical messaging to NewGreeDi
 /// (sparse coverage uploads, per-seed broadcast + delta map/reduce), with
 /// the master running the ratio selector.
-pub fn newgreedi_budgeted<W, F>(
-    cluster: &mut SimCluster<W>,
+pub fn newgreedi_budgeted<B, F>(
+    cluster: &mut B,
     costs: &[f64],
     budget: f64,
     shard_of: F,
 ) -> BudgetedResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     let num_sets = costs.len();
     let initial = cluster.gather(
+        phase::COVERAGE_UPLOAD,
         |_, w| {
             let shard = shard_of(w);
             shard.prepare();
@@ -185,7 +186,7 @@ where
         },
         |msg| msg.len() as u64,
     );
-    let (mut selector, single) = cluster.master(|| {
+    let (mut selector, single) = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
         for msg in &initial {
             wire::for_each_delta(msg, |v, d| coverage[v as usize] += d as u64)
@@ -204,24 +205,30 @@ where
     let mut spent = 0.0;
     loop {
         let remaining = budget - spent;
-        let Some((v, _)) = cluster.master(|| selector.select_next(remaining)) else {
+        let Some((v, _)) = cluster.master(phase::SEED_SELECT, || selector.select_next(remaining))
+        else {
             break;
         };
         spent += costs[v as usize];
         seeds.push(v);
-        cluster.broadcast(wire::ids_wire_size(1));
+        cluster.broadcast(phase::SEED_BROADCAST, wire::ids_wire_size(1));
         let deltas = cluster.gather(
+            phase::DELTA_UPLOAD,
             |_, w| wire::encode_deltas(&shard_of(w).apply_seed(v)),
             |msg| msg.len() as u64,
         );
-        cluster.master(|| {
+        cluster.master(phase::SEED_SELECT, || {
             for msg in &deltas {
                 wire::for_each_delta(msg, |u, d| selector.decrease(u, d as u64))
                     .expect("well-formed delta message");
             }
         });
     }
-    let counts = cluster.gather(|_, w| shard_of(w).covered_count() as u64, |_| 8);
+    let counts = cluster.gather(
+        phase::COUNT_UPLOAD,
+        |_, w| shard_of(w).covered_count() as u64,
+        |_| wire::u64_wire_size(),
+    );
     let ratio_result = BudgetedResult {
         seeds,
         covered: counts.iter().sum(),
@@ -240,7 +247,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dim_cluster::{ExecMode, NetworkModel};
+    use dim_cluster::{ExecMode, NetworkModel, SimCluster};
 
     use crate::problem::CoverageProblem;
 

@@ -21,7 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dim_cluster::{wire, SimCluster};
+use dim_cluster::{phase, wire, ClusterBackend};
 
 use crate::greedy::bucket_greedy;
 use crate::pooled::PooledSets;
@@ -99,14 +99,21 @@ fn local_greedy(shard: &SetShard, kappa: usize) -> Candidates {
 /// Runs GreeDi with core-set size `kappa` (the paper sets `κ = k`).
 /// Returns the better of the merged-greedy solution and the best
 /// single-machine solution, per the original algorithm.
-pub fn greedi(cluster: &mut SimCluster<SetShard>, k: usize, kappa: usize) -> GreediResult {
+pub fn greedi<B>(cluster: &mut B, k: usize, kappa: usize) -> GreediResult
+where
+    B: ClusterBackend<Worker = SetShard>,
+{
     let num_elements = cluster.workers()[0].num_elements;
     // Stage 1: per-machine core-sets, uploaded with their element lists.
-    let candidates = cluster.gather(|_, shard| local_greedy(shard, kappa), Candidates::wire_bytes);
+    let candidates = cluster.gather(
+        phase::CORESET_UPLOAD,
+        |_, shard| local_greedy(shard, kappa),
+        Candidates::wire_bytes,
+    );
 
     // Stage 2 (master): merged greedy over the ℓ·κ candidates, plus the
     // best single-machine solution truncated to k.
-    cluster.master(|| {
+    cluster.master(phase::CORESET_MERGE, || {
         let mut all_ids: Vec<u32> = Vec::new();
         let mut all_lists = PooledSets::new();
         for c in &candidates {
@@ -158,7 +165,7 @@ pub fn greedi(cluster: &mut SimCluster<SetShard>, k: usize, kappa: usize) -> Gre
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dim_cluster::{ExecMode, NetworkModel};
+    use dim_cluster::{ExecMode, NetworkModel, SimCluster};
 
     use crate::newgreedi::newgreedi;
 

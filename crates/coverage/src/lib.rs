@@ -14,8 +14,9 @@
 //! * [`greedy`] — centralized algorithms: bucket greedy, CELF lazy greedy,
 //!   and a naive per-round rescan oracle.
 //! * [`mod@newgreedi`] — **NewGreeDi** (Algorithm 1): element-distributed greedy
-//!   on a [`dim_cluster::SimCluster`], returning *exactly* the centralized
-//!   greedy solution (Lemma 2), with sparse-delta map/reduce updates.
+//!   generic over any [`dim_cluster::ClusterBackend`], returning *exactly* the
+//!   centralized greedy solution (Lemma 2), with sparse-delta map/reduce
+//!   updates.
 //! * [`greedi`] — the set-distributed composable core-sets baselines GreeDi
 //!   (Mirzasoleiman et al.) and RandGreeDi (Barbosa et al.), used by
 //!   Fig. 10's comparison.

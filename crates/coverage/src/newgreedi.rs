@@ -8,8 +8,12 @@
 //! byte-for-byte the centralized greedy's selector fed with identical
 //! aggregated coverage values, NewGreeDi returns exactly the centralized
 //! greedy solution — Lemma 2's (1 − 1/e) guarantee.
+//!
+//! All functions are generic over [`ClusterBackend`], so the same code
+//! runs on the sequential virtual-time simulator, bounded OS threads, the
+//! rayon pool, or any future substrate.
 
-use dim_cluster::{wire, SimCluster};
+use dim_cluster::{phase, wire, ClusterBackend};
 
 use crate::selector::BucketSelector;
 use crate::shard::CoverageShard;
@@ -42,20 +46,21 @@ impl NewGreediResult {
 /// carry samplers).
 ///
 /// `num_sets` is the global set-universe size; `k` the number of seeds.
-pub fn newgreedi_with<W, F>(
-    cluster: &mut SimCluster<W>,
+pub fn newgreedi_with<B, F>(
+    cluster: &mut B,
     num_sets: usize,
     k: usize,
     shard_of: F,
 ) -> NewGreediResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     // Lines 1–3: label everything uncovered, compute local coverages, and
     // upload them as sparse ⟨v, Δ_i(v)⟩ tuples (serialized for byte-accurate
     // traffic accounting).
     let initial = cluster.gather(
+        phase::COVERAGE_UPLOAD,
         |_, w| {
             let shard = shard_of(w);
             shard.prepare();
@@ -65,7 +70,7 @@ where
     );
 
     // Lines 4–6: the master aggregates Δ(v) = Σ_i Δ_i(v) and builds D.
-    let mut selector = cluster.master(|| {
+    let mut selector = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
         for msg in &initial {
             for (v, d) in wire::decode_deltas(msg).expect("well-formed coverage message") {
@@ -83,17 +88,18 @@ where
 /// caller-owned `base_coverage` accumulates the global totals across calls.
 /// Selection itself is unchanged, so the result still equals the
 /// centralized greedy exactly.
-pub fn newgreedi_incremental<W, F>(
-    cluster: &mut SimCluster<W>,
+pub fn newgreedi_incremental<B, F>(
+    cluster: &mut B,
     k: usize,
     shard_of: F,
     base_coverage: &mut [u64],
 ) -> NewGreediResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     let fresh = cluster.gather(
+        phase::COVERAGE_UPLOAD,
         |_, w| {
             let shard = shard_of(w);
             shard.prepare();
@@ -101,7 +107,7 @@ where
         },
         |msg| msg.len() as u64,
     );
-    let mut selector = cluster.master(|| {
+    let mut selector = cluster.master(phase::SEED_SELECT, || {
         for msg in &fresh {
             wire::for_each_delta(msg, |v, d| base_coverage[v as usize] += d as u64)
                 .expect("well-formed coverage message");
@@ -113,15 +119,15 @@ where
 
 /// The shared selection loop (Algorithm 1, lines 7–22): greedy picks with
 /// lazy bucket updates, one broadcast + sparse-delta map/reduce per seed.
-fn select_seeds<W, F>(
-    cluster: &mut SimCluster<W>,
+fn select_seeds<B, F>(
+    cluster: &mut B,
     k: usize,
     shard_of: &F,
     selector: &mut BucketSelector,
 ) -> NewGreediResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     select_seeds_until(cluster, k, None, shard_of, selector)
 }
@@ -130,16 +136,16 @@ where
 /// soon as the accumulated coverage (Σ of marginals) reaches the target —
 /// the primitive behind distributed *seed minimization* (the paper's
 /// conclusion lists it among the applications of these building blocks).
-pub(crate) fn select_seeds_until<W, F>(
-    cluster: &mut SimCluster<W>,
+pub(crate) fn select_seeds_until<B, F>(
+    cluster: &mut B,
     k: usize,
     coverage_target: Option<u64>,
     shard_of: &F,
     selector: &mut BucketSelector,
 ) -> NewGreediResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     let mut seeds = Vec::with_capacity(k);
     let mut marginals = Vec::with_capacity(k);
@@ -149,22 +155,23 @@ where
             break;
         }
         // Lines 7–13: pick the maximum-coverage set with lazy updates.
-        let Some((u, cov)) = cluster.master(|| selector.select_next()) else {
+        let Some((u, cov)) = cluster.master(phase::SEED_SELECT, || selector.select_next()) else {
             break;
         };
         seeds.push(u);
         marginals.push(cov);
         accumulated += cov;
         // Broadcast the new seed to every machine.
-        cluster.broadcast(wire::ids_wire_size(1));
+        cluster.broadcast(phase::SEED_BROADCAST, wire::ids_wire_size(1));
         // Map stage (lines 14–21): per-machine sparse deltas. We run it for
         // the final seed too so covered counts below are complete.
         let deltas = cluster.gather(
+            phase::DELTA_UPLOAD,
             |_, w| wire::encode_deltas(&shard_of(w).apply_seed(u)),
             |msg| msg.len() as u64,
         );
         // Reduce stage (line 22).
-        cluster.master(|| {
+        cluster.master(phase::SEED_SELECT, || {
             for msg in &deltas {
                 wire::for_each_delta(msg, |v, d| selector.decrease(v, d as u64))
                     .expect("well-formed delta message");
@@ -172,7 +179,11 @@ where
         });
     }
 
-    let counts = cluster.gather(|_, w| shard_of(w).covered_count() as u64, |_| 8);
+    let counts = cluster.gather(
+        phase::COUNT_UPLOAD,
+        |_, w| shard_of(w).covered_count() as u64,
+        |_| wire::u64_wire_size(),
+    );
     let covered = counts.iter().sum();
     NewGreediResult {
         seeds,
@@ -186,18 +197,19 @@ where
 /// are spent). This is NewGreeDi with an early-exit stop rule; the greedy
 /// sequence itself is unchanged, so it inherits the classic
 /// `1 + ln(target)` seed-count approximation of greedy set cover.
-pub fn newgreedi_until<W, F>(
-    cluster: &mut SimCluster<W>,
+pub fn newgreedi_until<B, F>(
+    cluster: &mut B,
     num_sets: usize,
     coverage_target: u64,
     max_seeds: usize,
     shard_of: F,
 ) -> NewGreediResult
 where
-    W: Send,
-    F: Fn(&mut W) -> &mut CoverageShard + Sync,
+    B: ClusterBackend,
+    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
     let initial = cluster.gather(
+        phase::COVERAGE_UPLOAD,
         |_, w| {
             let shard = shard_of(w);
             shard.prepare();
@@ -205,7 +217,7 @@ where
         },
         |msg| msg.len() as u64,
     );
-    let mut selector = cluster.master(|| {
+    let mut selector = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
         for msg in &initial {
             wire::for_each_delta(msg, |v, d| coverage[v as usize] += d as u64)
@@ -223,10 +235,10 @@ where
 }
 
 /// [`newgreedi_with`] for clusters whose worker state *is* the shard.
-pub fn newgreedi(
-    cluster: &mut SimCluster<CoverageShard>,
-    k: usize,
-) -> NewGreediResult {
+pub fn newgreedi<B>(cluster: &mut B, k: usize) -> NewGreediResult
+where
+    B: ClusterBackend<Worker = CoverageShard>,
+{
     let num_sets = cluster.workers()[0].num_sets();
     newgreedi_with(cluster, num_sets, k, |w| w)
 }
@@ -234,7 +246,7 @@ pub fn newgreedi(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dim_cluster::{ExecMode, NetworkModel};
+    use dim_cluster::{ExecMode, NetworkModel, SimCluster};
 
     use crate::greedy::bucket_greedy;
     use crate::problem::CoverageProblem;
@@ -303,6 +315,34 @@ mod tests {
         assert!(m.bytes_to_master > 0);
         assert!(m.bytes_from_master > 0);
         assert!(m.comm_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn timeline_labels_every_phase() {
+        let p = example3();
+        let mut c = cluster_of(&p, 3);
+        newgreedi(&mut c, 2);
+        let tl = c.timeline();
+        let labels: Vec<_> = tl.labels().collect();
+        assert_eq!(
+            labels,
+            vec![
+                phase::COVERAGE_UPLOAD,
+                phase::SEED_SELECT,
+                phase::SEED_BROADCAST,
+                phase::DELTA_UPLOAD,
+                phase::COUNT_UPLOAD,
+            ]
+        );
+        // 2 seeds → 2 broadcasts of one id each, to 3 machines.
+        let bcast = tl.get(phase::SEED_BROADCAST);
+        assert_eq!(bcast.messages, 6);
+        assert_eq!(bcast.bytes_from_master, 2 * 3 * wire::ids_wire_size(1));
+        // Final counts: one u64 per machine.
+        let counts = tl.get(phase::COUNT_UPLOAD);
+        assert_eq!(counts.bytes_to_master, 3 * wire::u64_wire_size());
+        // The flat view is the label-wise sum.
+        assert_eq!(c.metrics(), tl.total());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! |-------|----------|
 //! | [`dim_graph`] | CSR graphs, edge-list IO, synthetic social-network generators, dataset profiles |
 //! | [`dim_diffusion`] | IC/LT diffusion, Monte-Carlo + exact spread, RR-set samplers (BFS / walk / SUBSIM) |
-//! | [`dim_cluster`] | simulated master/worker cluster with byte-accurate traffic accounting |
+//! | [`dim_cluster`] | pluggable `ClusterBackend` execution layer with phase-labeled metrics timelines |
 //! | [`dim_coverage`] | maximum coverage: bucket/CELF greedy, NewGreeDi, GreeDi/RandGreeDi baselines |
 //! | [`dim_core`] | IMM, DiIMM, and SUBSIM with the `(1 − 1/e − ε)` guarantee |
 //!
@@ -48,7 +48,10 @@ pub use dim_graph;
 
 /// The commonly needed types and functions in one import.
 pub mod prelude {
-    pub use dim_cluster::{stream_seed, ClusterMetrics, ExecMode, NetworkModel, SimCluster};
+    pub use dim_cluster::{
+        phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
+        SimCluster,
+    };
     pub use dim_core::diimm::diimm;
     pub use dim_core::extensions::{
         budgeted_im, seed_minimization, targeted_im, BudgetedImResult, SeedMinResult,

@@ -1,0 +1,102 @@
+//! Backend-equivalence tests: every [`ExecMode`] of the simulated cluster
+//! must be an *execution strategy*, never an *algorithm change*. DiIMM and
+//! NewGreeDi depend only on the per-machine RNG streams (seeded by
+//! `stream_seed(master, machine_id)`), so the deterministic sequential
+//! loop, the capped OS-thread pool, and the rayon pool must return the
+//! same answer bit for bit, at every machine count.
+
+use dim::prelude::*;
+use dim_coverage::CoverageShard;
+
+const MACHINE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const MODES: [ExecMode; 3] = [ExecMode::Sequential, ExecMode::Threads, ExecMode::Rayon];
+
+/// DiIMM: seeds, coverage, θ, RR-set mass, and the accounted traffic are
+/// identical whichever backend executes the phases.
+#[test]
+fn diimm_identical_across_backends() {
+    let g = DatasetProfile::Facebook.generate(0.1, 11);
+    let config = ImConfig {
+        k: 6,
+        ..ImConfig::paper_defaults(&g, 0.4, 29)
+    };
+    for machines in MACHINE_COUNTS {
+        let reference = diimm(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        assert_eq!(reference.seeds.len(), 6);
+        for mode in [ExecMode::Threads, ExecMode::Rayon] {
+            let r = diimm(&g, &config, machines, NetworkModel::cluster_1gbps(), mode);
+            assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}, {mode:?}");
+            assert_eq!(r.coverage, reference.coverage, "ℓ = {machines}, {mode:?}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "ℓ = {machines}, {mode:?}");
+            assert_eq!(
+                r.total_rr_size, reference.total_rr_size,
+                "ℓ = {machines}, {mode:?}"
+            );
+            assert_eq!(
+                r.edges_examined, reference.edges_examined,
+                "ℓ = {machines}, {mode:?}"
+            );
+            // Traffic is a function of the message contents, not of the
+            // execution strategy.
+            assert_eq!(
+                r.metrics.bytes_to_master, reference.metrics.bytes_to_master,
+                "ℓ = {machines}, {mode:?}"
+            );
+            assert_eq!(
+                r.metrics.bytes_from_master, reference.metrics.bytes_from_master,
+                "ℓ = {machines}, {mode:?}"
+            );
+            assert_eq!(
+                r.metrics.messages, reference.metrics.messages,
+                "ℓ = {machines}, {mode:?}"
+            );
+            // Same phases in the same order, label for label.
+            assert_eq!(
+                r.timeline.labels().collect::<Vec<_>>(),
+                reference.timeline.labels().collect::<Vec<_>>(),
+                "ℓ = {machines}, {mode:?}"
+            );
+        }
+    }
+}
+
+/// NewGreeDi: the full result — seeds, coverage, *and per-seed marginals* —
+/// is identical across backends for every sharding.
+#[test]
+fn newgreedi_identical_across_backends() {
+    let g = DatasetProfile::Facebook.generate(0.15, 3);
+    let problem = CoverageProblem::from_graph_neighborhoods(&g);
+    let k = 12;
+    for machines in MACHINE_COUNTS {
+        let results: Vec<_> = MODES
+            .iter()
+            .map(|&mode| {
+                let mut cluster = SimCluster::new(
+                    problem.shard_elements(machines),
+                    NetworkModel::cluster_1gbps(),
+                    mode,
+                );
+                let r = newgreedi(&mut cluster, k);
+                (r, cluster.metrics())
+            })
+            .collect();
+        let (reference, ref_metrics) = &results[0];
+        assert_eq!(reference.seeds.len(), k);
+        for ((r, m), &mode) in results.iter().zip(MODES.iter()).skip(1) {
+            assert_eq!(r, reference, "ℓ = {machines}, {mode:?}");
+            assert_eq!(
+                r.marginals, reference.marginals,
+                "ℓ = {machines}, {mode:?}"
+            );
+            assert_eq!(m.bytes_to_master, ref_metrics.bytes_to_master);
+            assert_eq!(m.bytes_from_master, ref_metrics.bytes_from_master);
+            assert_eq!(m.messages, ref_metrics.messages);
+        }
+    }
+}
