@@ -15,6 +15,9 @@
 //!   --scale <f>          multiply every dataset scale by f
 //!   --datasets <a,b,..>  facebook, googleplus, livejournal, twitter
 //!   --machines <a,b,..>  machine/core counts to sweep
+//!   --backend <b>        sequential | threads | rayon | proc (needs
+//!                        --features proc-backend; DiIMM scaling figures
+//!                        then report measured next to modeled comm time)
 //!   --out <dir>          JSON output directory (default results/)
 //! ```
 
@@ -51,6 +54,6 @@ fn usage() {
         eprintln!("  {name:<18} {desc}");
     }
     eprintln!(
-        "\nflags:\n  --quick | --epsilon <e> | --k <k> | --seed <s> | --scale <f>\n  --datasets <a,b,..> | --machines <a,b,..> | --out <dir>"
+        "\nflags:\n  --quick | --epsilon <e> | --k <k> | --seed <s> | --scale <f>\n  --datasets <a,b,..> | --machines <a,b,..> | --backend <b> | --out <dir>"
     );
 }

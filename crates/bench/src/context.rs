@@ -1,6 +1,18 @@
 //! Shared experiment configuration, parsed from CLI flags.
 
+use dim_cluster::ExecMode;
 use dim_graph::{DatasetProfile, Graph};
+
+/// Which cluster backend the experiments run on (`--backend` flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// In-process `SimCluster` with the given execution mode.
+    Sim(ExecMode),
+    /// Process-per-machine TCP backend (`ProcCluster`); only the DiIMM
+    /// scaling experiments support it, and only when the harness is built
+    /// with `--features proc-backend`.
+    Proc,
+}
 
 /// Configuration shared by all experiments.
 #[derive(Clone, Debug)]
@@ -23,6 +35,8 @@ pub struct Context {
     pub core_counts: Vec<usize>,
     /// Directory for JSON result dumps.
     pub out_dir: String,
+    /// Cluster backend (`--backend sequential|threads|rayon|proc`).
+    pub backend: Backend,
 }
 
 impl Default for Context {
@@ -42,6 +56,7 @@ impl Default for Context {
             cluster_machines: vec![1, 2, 4, 8, 16],
             core_counts: vec![1, 2, 4, 8, 16, 32, 64],
             out_dir: "results".to_string(),
+            backend: Backend::Sim(ExecMode::Sequential),
         }
     }
 }
@@ -93,6 +108,21 @@ impl Context {
                     ctx.cluster_machines = parse_usize_list(&list)?;
                     ctx.core_counts = ctx.cluster_machines.clone();
                 }
+                "--backend" => {
+                    ctx.backend = match value("--backend")?.as_str() {
+                        "sequential" | "seq" => Backend::Sim(ExecMode::Sequential),
+                        "threads" => Backend::Sim(ExecMode::Threads),
+                        "rayon" => Backend::Sim(ExecMode::Rayon),
+                        "proc" if cfg!(feature = "proc-backend") => Backend::Proc,
+                        "proc" => {
+                            return Err(
+                                "backend \"proc\" needs a build with --features proc-backend"
+                                    .into(),
+                            )
+                        }
+                        other => return Err(format!("unknown backend {other:?}")),
+                    };
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -100,6 +130,16 @@ impl Context {
             return Err("no datasets selected".into());
         }
         Ok(ctx)
+    }
+
+    /// The `SimCluster` execution mode for experiments that only run on
+    /// the simulated backend; `--backend proc` falls back to `Sequential`
+    /// there (the process backend's master side is sequential anyway).
+    pub fn exec_mode(&self) -> ExecMode {
+        match self.backend {
+            Backend::Sim(mode) => mode,
+            Backend::Proc => ExecMode::Sequential,
+        }
     }
 
     /// The scale configured for `profile`.
@@ -177,6 +217,20 @@ mod tests {
         assert!(Context::parse(&args(&["--nope"])).is_err());
         assert!(Context::parse(&args(&["--datasets", "mars"])).is_err());
         assert!(Context::parse(&args(&["--epsilon"])).is_err());
+    }
+
+    #[test]
+    fn parses_backend() {
+        let ctx = Context::parse(&args(&["--backend", "threads"])).unwrap();
+        assert_eq!(ctx.backend, Backend::Sim(ExecMode::Threads));
+        assert_eq!(ctx.exec_mode(), ExecMode::Threads);
+        assert!(Context::parse(&args(&["--backend", "mpi"])).is_err());
+        let proc = Context::parse(&args(&["--backend", "proc"]));
+        if cfg!(feature = "proc-backend") {
+            assert_eq!(proc.unwrap().backend, Backend::Proc);
+        } else {
+            assert!(proc.is_err());
+        }
     }
 
     #[test]

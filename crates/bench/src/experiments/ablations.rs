@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, NetworkModel, SimCluster};
 use dim_core::diimm::diimm_with_options;
 use dim_core::{ImConfig, SamplerKind};
 use dim_coverage::greedy::{bucket_greedy, celf_greedy, naive_greedy};
@@ -43,9 +43,9 @@ pub fn traffic(ctx: &Context) {
         let mut cluster = SimCluster::new(
             problem.shard_elements(machines),
             NetworkModel::zero(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
         );
-        let r = newgreedi(&mut cluster, ctx.k);
+        let r = newgreedi(&mut cluster, ctx.k).expect("well-formed wire");
         let sparse = cluster.metrics().bytes_to_master;
         // Dense alternative: every machine uploads all n coverages once for
         // initialization and once per selected seed (8 bytes per tuple).
@@ -209,17 +209,19 @@ pub fn incremental(ctx: &Context) {
             &config,
             machines,
             NetworkModel::cluster_1gbps(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
             false,
-        );
+        )
+        .expect("well-formed wire");
         let incr = diimm_with_options(
             &graph,
             &config,
             machines,
             NetworkModel::cluster_1gbps(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
             true,
-        );
+        )
+        .expect("well-formed wire");
         let row = IncrementalRow {
             dataset: profile.name(),
             machines,

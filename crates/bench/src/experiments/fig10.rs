@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, NetworkModel, SimCluster};
 use dim_coverage::greedi::greedi;
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::{newgreedi, CoverageProblem};
@@ -65,9 +65,9 @@ pub fn run(ctx: &Context) {
             let mut ng_cluster = SimCluster::new(
                 problem.shard_elements(cores),
                 NetworkModel::shared_memory(),
-                ExecMode::Sequential,
+                ctx.exec_mode(),
             );
-            let ng = newgreedi(&mut ng_cluster, ctx.k);
+            let ng = newgreedi(&mut ng_cluster, ctx.k).expect("well-formed wire");
             let ng_metrics = ng_cluster.metrics();
             let ng_time = ng_metrics.elapsed().as_secs_f64();
             assert_eq!(
@@ -78,7 +78,7 @@ pub fn run(ctx: &Context) {
             let mut gd_cluster = SimCluster::new(
                 problem.shard_sets(cores, None),
                 NetworkModel::shared_memory(),
-                ExecMode::Sequential,
+                ctx.exec_mode(),
             );
             let gd = greedi(&mut gd_cluster, ctx.k, ctx.k);
             let gd_time = gd_cluster.metrics().elapsed().as_secs_f64();

@@ -9,10 +9,15 @@
 //! is the timeline total's modeled transfer time. The JSON rows also
 //! carry the raw per-label breakdown for finer-grained plots.
 
-use dim_cluster::{phase, ExecMode, NetworkModel, PhaseTimeline};
+#[cfg(feature = "proc-backend")]
+use dim_cluster::ProcCluster;
+use dim_cluster::{phase, NetworkModel, PhaseTimeline};
+#[cfg(feature = "proc-backend")]
+use dim_core::diimm::{diimm_on, DiimmWorker};
 use dim_core::diimm::diimm;
-use dim_core::{ImConfig, SamplerKind};
+use dim_core::{ImConfig, ImResult, SamplerKind};
 use dim_diffusion::DiffusionModel;
+use dim_graph::Graph;
 use serde::Serialize;
 
 use crate::context::Context;
@@ -24,6 +29,7 @@ struct PhaseRow {
     phase: &'static str,
     compute_s: f64,
     comm_s: f64,
+    measured_s: f64,
     messages: u64,
     bytes: u64,
 }
@@ -35,6 +41,7 @@ fn phase_rows(timeline: &PhaseTimeline) -> Vec<PhaseRow> {
             phase: label,
             compute_s: m.compute().as_secs_f64(),
             comm_s: m.comm_time.as_secs_f64(),
+            measured_s: m.measured_comm.as_secs_f64(),
             messages: m.messages,
             bytes: m.total_bytes(),
         })
@@ -51,6 +58,7 @@ struct Row {
     sampling_s: f64,
     selection_s: f64,
     comm_s: f64,
+    measured_comm_s: f64,
     total_s: f64,
     speedup: f64,
     rr_sets: usize,
@@ -66,6 +74,26 @@ struct Setup {
     network: NetworkModel,
     network_label: &'static str,
     multicore: bool,
+}
+
+/// One DiIMM run on the configured backend.
+fn run_one(
+    ctx: &Context,
+    graph: &Graph,
+    config: &ImConfig,
+    machines: usize,
+    network: NetworkModel,
+) -> ImResult {
+    #[cfg(feature = "proc-backend")]
+    if ctx.backend == crate::context::Backend::Proc {
+        let workers: Vec<DiimmWorker> = (0..machines)
+            .map(|i| DiimmWorker::new(graph, config, i))
+            .collect();
+        let mut cluster =
+            ProcCluster::auto(workers, network, config.seed).expect("loopback worker cluster");
+        return diimm_on(&mut cluster, graph, config, true).expect("well-formed wire");
+    }
+    diimm(graph, config, machines, network, ctx.exec_mode()).expect("well-formed wire")
 }
 
 fn run_setup(ctx: &Context, setup: Setup) {
@@ -105,13 +133,14 @@ fn run_setup(ctx: &Context, setup: Setup) {
             ("sampling(s)", 12),
             ("selection(s)", 13),
             ("comm(s)", 9),
+            ("measured(s)", 12),
             ("total(s)", 10),
             ("speedup", 8),
             ("#RR", 10),
         ]);
         let mut baseline = None;
         for &machines in machine_counts {
-            let r = diimm(&graph, &config, machines, setup.network, ExecMode::Sequential);
+            let r = run_one(ctx, &graph, &config, machines, setup.network);
             // Stacked bars straight off the timeline, not the derived
             // `timings` view: sampling = the rr-sampling label's compute,
             // selection = all remaining compute, comm = modeled transfers.
@@ -133,6 +162,7 @@ fn run_setup(ctx: &Context, setup: Setup) {
                 sampling_s: sampling.as_secs_f64(),
                 selection_s: selection.as_secs_f64(),
                 comm_s: flat.comm_time.as_secs_f64(),
+                measured_comm_s: flat.measured_comm.as_secs_f64(),
                 total_s: total,
                 speedup: base / total,
                 rr_sets: r.num_rr_sets,
@@ -142,11 +172,12 @@ fn run_setup(ctx: &Context, setup: Setup) {
                 phases: phase_rows(&r.timeline),
             };
             println!(
-                "{:>4} {:>12.3} {:>13.3} {:>9.4} {:>10.3} {:>7.1}x {:>10}",
+                "{:>4} {:>12.3} {:>13.3} {:>9.4} {:>12.4} {:>10.3} {:>7.1}x {:>10}",
                 row.machines,
                 row.sampling_s,
                 row.selection_s,
                 row.comm_s,
+                row.measured_comm_s,
                 row.total_s,
                 row.speedup,
                 row.rr_sets,

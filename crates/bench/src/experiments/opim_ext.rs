@@ -2,7 +2,7 @@
 //! sample budget (the paper names OPIM-C among the frameworks its building
 //! blocks support; this quantifies why that matters).
 
-use dim_cluster::{ExecMode, NetworkModel};
+use dim_cluster::NetworkModel;
 use dim_core::diimm::diimm;
 use dim_core::opim::dopim_c;
 use dim_core::{ImConfig, SamplerKind};
@@ -47,8 +47,8 @@ pub fn run(ctx: &Context) {
             sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
         };
         let net = NetworkModel::shared_memory();
-        let imm_r = diimm(&graph, &config, machines, net, ExecMode::Sequential);
-        let opim_r = dopim_c(&graph, &config, machines, net, ExecMode::Sequential);
+        let imm_r = diimm(&graph, &config, machines, net, ctx.exec_mode()).expect("well-formed wire");
+        let opim_r = dopim_c(&graph, &config, machines, net, ctx.exec_mode()).expect("well-formed wire");
         let row = Row {
             dataset: profile.name(),
             machines,

@@ -5,7 +5,7 @@
 //! All seed sets are evaluated by independent forward Monte-Carlo
 //! simulation, normalized to DiIMM's spread.
 
-use dim_cluster::{ExecMode, NetworkModel};
+use dim_cluster::NetworkModel;
 use dim_core::diimm::diimm;
 use dim_core::heuristics::{degree_discount, random_seeds, top_degree, top_pagerank};
 use dim_core::{ImConfig, SamplerKind};
@@ -55,8 +55,9 @@ pub fn run(ctx: &Context) {
             &config,
             8,
             NetworkModel::shared_memory(),
-            ExecMode::Sequential,
-        );
+            ctx.exec_mode(),
+        )
+        .expect("well-formed wire");
         let avg_p = graph.num_edges() as f64 / graph.num_nodes() as f64;
         let candidates = [
             top_degree(&graph, k),

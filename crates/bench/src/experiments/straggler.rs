@@ -6,7 +6,7 @@
 //! virtual-time inflation relative to a homogeneous cluster — quantifying
 //! how much the paper's max-over-machines phase rule punishes skew.
 
-use dim_cluster::{ClusterBackend, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{ClusterBackend, NetworkModel, SimCluster};
 use dim_coverage::{newgreedi, CoverageProblem};
 use serde::Serialize;
 
@@ -39,18 +39,18 @@ pub fn run(ctx: &Context) {
             let mut even = SimCluster::new(
                 problem.shard_elements(cores),
                 NetworkModel::shared_memory(),
-                ExecMode::Sequential,
+                ctx.exec_mode(),
             );
-            let even_r = newgreedi(&mut even, ctx.k);
+            let even_r = newgreedi(&mut even, ctx.k).expect("well-formed wire");
             let mut speeds = vec![1.0; cores];
             speeds[0] = 0.5;
             let mut skew = SimCluster::with_speeds(
                 problem.shard_elements(cores),
                 NetworkModel::shared_memory(),
-                ExecMode::Sequential,
+                ctx.exec_mode(),
                 speeds,
             );
-            let skew_r = newgreedi(&mut skew, ctx.k);
+            let skew_r = newgreedi(&mut skew, ctx.k).expect("well-formed wire");
             assert_eq!(even_r.seeds, skew_r.seeds, "speeds change time, not output");
             let even_s = even.metrics().elapsed().as_secs_f64();
             let straggler_s = skew.metrics().elapsed().as_secs_f64();

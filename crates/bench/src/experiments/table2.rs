@@ -5,7 +5,7 @@
 //! coverage of each method on the §IV-C workload, normalized by the
 //! centralized greedy's coverage (NewGreeDi's is 1.0 by construction).
 
-use dim_cluster::{ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{NetworkModel, SimCluster};
 use dim_coverage::greedi::greedi;
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::{newgreedi, CoverageProblem};
@@ -44,21 +44,21 @@ pub fn run(ctx: &Context) {
         let mut ng_cluster = SimCluster::new(
             problem.shard_elements(machines),
             NetworkModel::zero(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
         );
-        let ng = newgreedi(&mut ng_cluster, ctx.k);
+        let ng = newgreedi(&mut ng_cluster, ctx.k).expect("well-formed wire");
 
         let mut gd_cluster = SimCluster::new(
             problem.shard_sets(machines, None),
             NetworkModel::zero(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
         );
         let gd = greedi(&mut gd_cluster, ctx.k, ctx.k);
 
         let mut rg_cluster = SimCluster::new(
             problem.shard_sets(machines, Some(ctx.seed)),
             NetworkModel::zero(),
-            ExecMode::Sequential,
+            ctx.exec_mode(),
         );
         let rg = greedi(&mut rg_cluster, ctx.k, ctx.k);
 

@@ -47,11 +47,20 @@
 //! assert_eq!(cluster.timeline().get(phase::COUNT_UPLOAD).messages, 4);
 //! ```
 
+//!
+//! With the `proc-backend` feature, [`tcp::ProcCluster`] adds a
+//! process-per-machine implementation over TCP loopback whose gathers and
+//! broadcasts move their byte volumes for real, recording wall-clock
+//! transfer time in [`ClusterMetrics::measured_comm`] next to the modeled
+//! [`ClusterMetrics::comm_time`].
+
 pub mod backend;
 pub mod metrics;
 pub mod network;
 pub mod rng;
 pub mod runtime;
+#[cfg(feature = "proc-backend")]
+pub mod tcp;
 pub mod wire;
 
 pub use backend::{phase, ClusterBackend};
@@ -59,3 +68,6 @@ pub use metrics::{ClusterMetrics, PhaseTimeline};
 pub use network::NetworkModel;
 pub use rng::stream_seed;
 pub use runtime::{ExecMode, SimCluster};
+#[cfg(feature = "proc-backend")]
+pub use tcp::ProcCluster;
+pub use wire::{WireError, WireErrorKind};

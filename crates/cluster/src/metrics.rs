@@ -19,6 +19,10 @@ pub struct ClusterMetrics {
     pub master_compute: Duration,
     /// Modeled network transfer time (priced by the [`crate::NetworkModel`]).
     pub comm_time: Duration,
+    /// Measured wall-clock transfer time, where the backend actually moves
+    /// bytes (the process backend's TCP links). Zero for simulated backends,
+    /// which only model communication.
+    pub measured_comm: Duration,
     /// Total messages exchanged (both directions).
     pub messages: u64,
     /// Bytes uploaded from workers to the master.
@@ -54,6 +58,7 @@ impl ClusterMetrics {
             worker_busy: self.worker_busy - earlier.worker_busy,
             master_compute: self.master_compute - earlier.master_compute,
             comm_time: self.comm_time - earlier.comm_time,
+            measured_comm: self.measured_comm - earlier.measured_comm,
             messages: self.messages - earlier.messages,
             bytes_to_master: self.bytes_to_master - earlier.bytes_to_master,
             bytes_from_master: self.bytes_from_master - earlier.bytes_from_master,
@@ -68,6 +73,7 @@ impl ClusterMetrics {
         self.worker_busy += other.worker_busy;
         self.master_compute += other.master_compute;
         self.comm_time += other.comm_time;
+        self.measured_comm += other.measured_comm;
         self.messages += other.messages;
         self.bytes_to_master += other.bytes_to_master;
         self.bytes_from_master += other.bytes_from_master;
@@ -171,7 +177,11 @@ impl std::fmt::Display for ClusterMetrics {
             self.messages,
             self.bytes_to_master,
             self.bytes_from_master,
-        )
+        )?;
+        if !self.measured_comm.is_zero() {
+            write!(f, " measured {:.6}s", self.measured_comm.as_secs_f64())?;
+        }
+        Ok(())
     }
 }
 
@@ -225,6 +235,26 @@ mod tests {
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes_from_master, 7);
         assert_eq!(a.total_bytes(), 7);
+    }
+
+    #[test]
+    fn measured_comm_tracked_through_since_and_merge() {
+        let mut a = ClusterMetrics {
+            measured_comm: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.merge(&ClusterMetrics {
+            measured_comm: Duration::from_millis(4),
+            ..Default::default()
+        });
+        assert_eq!(a.measured_comm, Duration::from_millis(7));
+        let earlier = ClusterMetrics {
+            measured_comm: Duration::from_millis(2),
+            ..Default::default()
+        };
+        assert_eq!(a.since(&earlier).measured_comm, Duration::from_millis(5));
+        assert!(a.to_string().contains("measured"));
+        assert!(!ClusterMetrics::default().to_string().contains("measured"));
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl NetworkModel {
         } else {
             Duration::ZERO
         };
-        self.latency
-            .checked_mul(messages as u32)
-            .unwrap_or(Duration::MAX)
-            .saturating_add(wire)
+        latency_times(self.latency, messages).saturating_add(wire)
     }
 
     /// Time for a tree-based collective (MPI gather / broadcast) across
@@ -69,16 +66,33 @@ impl NetworkModel {
     /// binomial-tree collectives, and what [`crate::SimCluster`] charges
     /// for its gather/broadcast phases.
     pub fn collective_time(&self, participants: u64, bytes: u64) -> Duration {
-        let depth = (participants + 1).next_power_of_two().trailing_zeros();
+        // Bit length of `participants` = ⌈log₂(ℓ+1)⌉ without the overflow
+        // `(ℓ+1).next_power_of_two()` would hit near u64::MAX.
+        let depth = (u64::BITS - participants.leading_zeros()) as u64;
         let wire = if self.bandwidth_bytes_per_sec.is_finite() {
             Duration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec)
         } else {
             Duration::ZERO
         };
-        self.latency
-            .checked_mul(depth)
-            .unwrap_or(Duration::MAX)
-            .saturating_add(wire)
+        latency_times(self.latency, depth).saturating_add(wire)
+    }
+}
+
+/// `latency · n` for a u64 count, saturating at [`Duration::MAX`].
+///
+/// `Duration::checked_mul` takes a `u32`, so the obvious
+/// `latency.checked_mul(n as u32)` silently truncates counts above
+/// `u32::MAX` *before* the checked multiply ever sees them — a
+/// 4-billion-message round would be priced at nearly zero latency. Compute
+/// in u128 nanoseconds instead and saturate explicitly.
+fn latency_times(latency: Duration, n: u64) -> Duration {
+    let nanos = latency.as_nanos().saturating_mul(n as u128);
+    match (
+        u64::try_from(nanos / 1_000_000_000),
+        (nanos % 1_000_000_000) as u32,
+    ) {
+        (Ok(secs), subsec) => Duration::new(secs, subsec),
+        (Err(_), _) => Duration::MAX,
     }
 }
 
@@ -122,6 +136,47 @@ mod tests {
     fn zero_model_free() {
         let net = NetworkModel::zero();
         assert_eq!(net.transfer_time(1000, u64::MAX / 2), Duration::ZERO);
+    }
+
+    #[test]
+    fn latency_not_truncated_beyond_u32_messages() {
+        // Regression: `checked_mul(messages as u32)` truncated the count
+        // before the checked multiply, so u32::MAX + 1 messages wrapped to 0
+        // and the whole round was priced at ~0 latency.
+        let net = NetworkModel::cluster_1gbps();
+        let messages = u32::MAX as u64 + 1;
+        let t = net.transfer_time(messages, 0);
+        // 2³² messages · 50 µs = 2³² · 5e-5 s ≈ 214 748.36 s.
+        let expect = 4_294_967_296.0 * 50e-6;
+        assert!(
+            (t.as_secs_f64() - expect).abs() < 1.0,
+            "expected ≈{expect}s, got {t:?}"
+        );
+        assert!(t > net.transfer_time(u32::MAX as u64, 0));
+    }
+
+    #[test]
+    fn latency_saturates_at_duration_max() {
+        let net = NetworkModel {
+            latency: Duration::from_secs(2),
+            bandwidth_bytes_per_sec: f64::INFINITY,
+        };
+        // 2 s · u64::MAX seconds overflows Duration's u64 seconds field.
+        assert_eq!(net.transfer_time(u64::MAX, 0), Duration::MAX);
+        // GbE latency stays exactly representable even at u64::MAX messages.
+        let gbe = NetworkModel::cluster_1gbps();
+        assert_eq!(
+            gbe.transfer_time(u64::MAX, 0).as_nanos(),
+            50_000u128 * u64::MAX as u128
+        );
+    }
+
+    #[test]
+    fn collective_depth_defined_for_huge_counts() {
+        let net = NetworkModel::cluster_1gbps();
+        // ⌈log₂(u64::MAX + 1)⌉ = 64 latency hops; previously
+        // `(ℓ+1).next_power_of_two()` overflowed in debug builds.
+        assert_eq!(net.collective_time(u64::MAX, 0), net.latency * 64);
     }
 
     #[test]

@@ -1,0 +1,910 @@
+//! The process-per-machine [`ClusterBackend`] over TCP loopback.
+//!
+//! [`ProcCluster`] is the "real I/O" counterpart of [`crate::SimCluster`]:
+//! each of the ℓ machines is a separate OS process (the `dim-worker`
+//! binary, or a thread serving the identical protocol in tests), connected
+//! to the master over a loopback TCP socket. Algorithm closures still run
+//! master-side — `par_step` closures capture arbitrary borrowed state and
+//! cannot be shipped across a process boundary — and execute sequentially
+//! with exactly [`crate::ExecMode::Sequential`]'s virtual-time accounting,
+//! so a `ProcCluster` run is bit-identical to a sequential `SimCluster`
+//! run. What the worker processes add is the *physical* communication
+//! path: every `gather`/`broadcast` moves its modeled byte volume over the
+//! sockets for real, and the wall-clock cost lands in
+//! [`ClusterMetrics::measured_comm`] next to the modeled
+//! [`ClusterMetrics::comm_time`], giving experiments a modeled-vs-measured
+//! comparison per phase.
+//!
+//! # Frame protocol
+//!
+//! Every frame is `[u32 len (LE)] [u8 op] [body; len − 1]`, with `len`
+//! capped at [`MAX_FRAME`]. Opcodes:
+//!
+//! | op | name       | direction | body                                   |
+//! |----|------------|-----------|----------------------------------------|
+//! | 0  | HELLO      | w → m     | `[u32 machine_id] [u64 stream_seed]`   |
+//! | 1  | UPLOAD_REQ | m → w     | `[u64 n]` + phase label bytes          |
+//! | 2  | DATA       | w → m     | ≤ [`CHUNK`] pattern bytes              |
+//! | 3  | DOWNLOAD   | m → w     | ≤ [`CHUNK`] payload bytes (ACKed)      |
+//! | 4  | ACK        | w → m     | empty                                  |
+//! | 5  | SHUTDOWN   | m → w     | empty                                  |
+//!
+//! Upload payloads are not the algorithm's messages (those never leave the
+//! master) but a deterministic byte pattern drawn from a [`PatternGen`]
+//! seeded with `stream_seed(master_seed, machine_id)` — the same stream
+//! derivation every stochastic component uses. The master mirrors each
+//! worker's generator and verifies every received byte, so a worker
+//! process with a diverged RNG stream (or a corrupted link) is detected,
+//! not silently tolerated.
+//!
+//! # Fault tolerance
+//!
+//! A link that yields an I/O error, a malformed frame, or a pattern
+//! mismatch is marked dead and skipped for the rest of the run;
+//! [`ProcCluster::link_errors`] counts such events. Algorithm results are
+//! unaffected (worker state is master-side), only the measured-transfer
+//! channel degrades — mirroring how the simulated backends keep working
+//! with no sockets at all.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::backend::ClusterBackend;
+use crate::metrics::{ClusterMetrics, PhaseTimeline};
+use crate::network::NetworkModel;
+use crate::rng::stream_seed;
+
+/// Hard cap on a single frame's declared length (header + body).
+pub const MAX_FRAME: usize = 64 << 20;
+/// Payload bytes per DATA/DOWNLOAD frame; larger transfers are chunked.
+pub const CHUNK: usize = 1 << 20;
+
+/// Seconds a handshake or in-phase read may block before the link is
+/// declared dead.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Frame opcodes (see the module docs for the protocol table).
+mod op {
+    pub const HELLO: u8 = 0;
+    pub const UPLOAD_REQ: u8 = 1;
+    pub const DATA: u8 = 2;
+    pub const DOWNLOAD: u8 = 3;
+    pub const ACK: u8 = 4;
+    pub const SHUTDOWN: u8 = 5;
+}
+
+fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
+    let len = 1 + body.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut hdr = [0u8; 4];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.remove(0);
+    Ok((opcode, body))
+}
+
+fn protocol_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Deterministic byte-pattern generator (SplitMix64 stream).
+///
+/// Workers fill their upload payloads from one of these, seeded with
+/// their [`stream_seed`]; the master mirrors the generator per machine and
+/// verifies every byte it receives, which turns each gather into an
+/// end-to-end check that both processes derived the same RNG stream.
+#[derive(Clone, Debug)]
+pub struct PatternGen {
+    state: u64,
+    stash: u64,
+    stash_len: usize,
+}
+
+impl PatternGen {
+    /// A generator over the stream identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        PatternGen {
+            state: seed,
+            stash: 0,
+            stash_len: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Fills `out` with the next bytes of the stream.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for b in out.iter_mut() {
+            if self.stash_len == 0 {
+                self.stash = self.next_u64();
+                self.stash_len = 8;
+            }
+            *b = self.stash as u8;
+            self.stash >>= 8;
+            self.stash_len -= 1;
+        }
+    }
+}
+
+/// Fault injections for protocol tests (worker side).
+///
+/// The `dim-worker` binary reads these from the `DIM_WORKER_FAULT`
+/// environment variable (e.g. `truncate-upload:1`); in-crate tests pass
+/// them to [`run_worker_with_fault`] directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// On the `request`-th upload (1-based), declare a full frame but send
+    /// only a few bytes, then close the connection.
+    TruncateUpload {
+        /// Which upload request (1-based) to sabotage.
+        request: usize,
+    },
+}
+
+impl WorkerFault {
+    /// Parses the `DIM_WORKER_FAULT` syntax (`truncate-upload:N`).
+    pub fn parse(s: &str) -> Option<WorkerFault> {
+        let (kind, arg) = s.split_once(':')?;
+        match kind {
+            "truncate-upload" => Some(WorkerFault::TruncateUpload {
+                request: arg.parse().ok()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Serves the worker side of the protocol until SHUTDOWN or EOF.
+///
+/// This is the entire body of the `dim-worker` binary; tests call it on a
+/// thread with one end of a loopback socket pair.
+pub fn run_worker(stream: TcpStream, machine_id: u32, master_seed: u64) -> io::Result<()> {
+    run_worker_with_fault(stream, machine_id, master_seed, None)
+}
+
+/// [`run_worker`] with an optional injected fault.
+pub fn run_worker_with_fault(
+    mut stream: TcpStream,
+    machine_id: u32,
+    master_seed: u64,
+    fault: Option<WorkerFault>,
+) -> io::Result<()> {
+    let seed = stream_seed(master_seed, machine_id as usize);
+    let mut hello = Vec::with_capacity(12);
+    hello.extend_from_slice(&machine_id.to_le_bytes());
+    hello.extend_from_slice(&seed.to_le_bytes());
+    write_frame(&mut stream, op::HELLO, &hello)?;
+
+    let mut pattern = PatternGen::new(seed);
+    let mut uploads = 0usize;
+    loop {
+        let (opcode, body) = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            // Master hung up without SHUTDOWN: a normal exit path.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match opcode {
+            op::UPLOAD_REQ => {
+                if body.len() < 8 {
+                    return Err(protocol_err("short UPLOAD_REQ"));
+                }
+                let n = u64::from_le_bytes(body[..8].try_into().unwrap()) as usize;
+                uploads += 1;
+                if fault == Some(WorkerFault::TruncateUpload { request: uploads }) {
+                    // Declare a 64-byte frame, deliver 3 bytes, vanish.
+                    stream.write_all(&64u32.to_le_bytes())?;
+                    stream.write_all(&[op::DATA, 0xde, 0xad])?;
+                    stream.flush()?;
+                    return Ok(());
+                }
+                let mut sent = 0usize;
+                let mut chunk = vec![0u8; CHUNK.min(n.max(1))];
+                while sent < n {
+                    let take = CHUNK.min(n - sent);
+                    pattern.fill(&mut chunk[..take]);
+                    write_frame(&mut stream, op::DATA, &chunk[..take])?;
+                    sent += take;
+                }
+            }
+            op::DOWNLOAD => write_frame(&mut stream, op::ACK, &[])?,
+            op::SHUTDOWN => return Ok(()),
+            other => return Err(protocol_err(&format!("unexpected opcode {other}"))),
+        }
+    }
+}
+
+/// Master-side end of one worker link.
+struct Link {
+    stream: TcpStream,
+    /// Mirror of the worker's [`PatternGen`], for verifying uploads.
+    mirror: PatternGen,
+    alive: bool,
+}
+
+/// What keeps a worker endpoint running.
+enum Served {
+    /// A spawned `dim-worker` OS process.
+    Process(std::process::Child),
+    /// An in-process thread serving [`run_worker`] (test/fallback mode).
+    Thread(std::thread::JoinHandle<io::Result<()>>),
+}
+
+/// A master/worker cluster of ℓ machines, each a separate endpoint over
+/// TCP loopback (OS processes via [`ProcCluster::spawn`], threads via
+/// [`ProcCluster::local`]).
+///
+/// Implements [`ClusterBackend`] with sequential master-side execution
+/// (deterministic, bit-identical to `SimCluster` in
+/// [`crate::ExecMode::Sequential`]) plus physical per-phase transfers that
+/// populate [`ClusterMetrics::measured_comm`]. See the module docs.
+pub struct ProcCluster<W> {
+    workers: Vec<W>,
+    network: NetworkModel,
+    timeline: PhaseTimeline,
+    master_seed: u64,
+    links: Vec<Link>,
+    served: Vec<Served>,
+    link_errors: u64,
+}
+
+impl<W: Send> ProcCluster<W> {
+    /// Spawns one `dim-worker` OS process per machine and connects them
+    /// over loopback TCP.
+    ///
+    /// The worker binary is located via the `DIM_WORKER_BIN` environment
+    /// variable, falling back to a `dim-worker` next to (or one directory
+    /// above) the current executable — which covers `cargo test`, whose
+    /// test binaries live in `target/<profile>/deps` while bin targets
+    /// land in `target/<profile>`. Errors if the binary cannot be found
+    /// or any worker fails to spawn/handshake, so callers can skip
+    /// gracefully where process spawning is unavailable.
+    pub fn spawn(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
+        let bin = worker_binary()?;
+        Self::spawn_with_bin(workers, network, master_seed, &bin).map_err(|(e, _)| e)
+    }
+
+    /// [`ProcCluster::spawn`] with an explicit worker binary; hands the
+    /// worker states back on failure so callers can fall back.
+    fn spawn_with_bin(
+        workers: Vec<W>,
+        network: NetworkModel,
+        master_seed: u64,
+        bin: &std::path::Path,
+    ) -> Result<Self, (io::Error, Vec<W>)> {
+        match Self::spawn_inner(workers.len(), network, master_seed, bin) {
+            Ok((streams, served)) => {
+                Self::assemble(workers, network, master_seed, streams, served)
+                    .map_err(|e| (e, Vec::new()))
+            }
+            Err(e) => Err((e, workers)),
+        }
+    }
+
+    /// Spawns and connects the worker processes (no worker state involved).
+    fn spawn_inner(
+        count: usize,
+        _network: NetworkModel,
+        master_seed: u64,
+        bin: &std::path::Path,
+    ) -> io::Result<(Vec<TcpStream>, Vec<Served>)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let mut children = Vec::with_capacity(count);
+        for id in 0..count {
+            let child = std::process::Command::new(bin)
+                .arg("--connect")
+                .arg(addr.to_string())
+                .arg("--machine-id")
+                .arg(id.to_string())
+                .arg("--master-seed")
+                .arg(master_seed.to_string())
+                .stdin(std::process::Stdio::null())
+                .spawn();
+            match child {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        match accept_n(&listener, children.len()) {
+            Ok(streams) => Ok((streams, children.into_iter().map(Served::Process).collect())),
+            Err(e) => {
+                for mut c in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds a cluster whose machines are in-process threads serving the
+    /// identical frame protocol over real loopback sockets.
+    ///
+    /// This is the test seam and the fallback where spawning processes is
+    /// unavailable; everything except the process boundary (handshake,
+    /// framing, pattern verification, measured transfers) is exercised the
+    /// same way.
+    pub fn local(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
+        Self::local_with_faults(workers, network, master_seed, Vec::new())
+    }
+
+    /// [`ProcCluster::local`] with per-machine fault injections
+    /// (`faults.get(i)` applies to machine `i`).
+    pub fn local_with_faults(
+        workers: Vec<W>,
+        network: NetworkModel,
+        master_seed: u64,
+        faults: Vec<Option<WorkerFault>>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let mut served = Vec::with_capacity(workers.len());
+        for id in 0..workers.len() {
+            let fault = faults.get(id).copied().flatten();
+            let handle = std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr)?;
+                run_worker_with_fault(stream, id as u32, master_seed, fault)
+            });
+            served.push(Served::Thread(handle));
+        }
+        let streams = accept_n(&listener, served.len())?;
+        Self::assemble(workers, network, master_seed, streams, served)
+    }
+
+    /// [`ProcCluster::spawn`] if a worker binary is available, otherwise
+    /// [`ProcCluster::local`]. Never fails for want of the binary alone.
+    pub fn auto(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
+        let workers = match worker_binary() {
+            Ok(bin) => match Self::spawn_with_bin(workers, network, master_seed, &bin) {
+                Ok(cluster) => return Ok(cluster),
+                Err((e, workers)) if !workers.is_empty() => {
+                    // Spawn-stage failure: fall through to thread workers.
+                    let _ = e;
+                    workers
+                }
+                Err((e, _)) => return Err(e),
+            },
+            Err(_) => workers,
+        };
+        Self::local(workers, network, master_seed)
+    }
+
+    /// Handshakes `streams` (in any order — HELLO carries the machine id)
+    /// and assembles the cluster.
+    fn assemble(
+        workers: Vec<W>,
+        network: NetworkModel,
+        master_seed: u64,
+        streams: Vec<TcpStream>,
+        served: Vec<Served>,
+    ) -> io::Result<Self> {
+        assert!(!workers.is_empty(), "cluster needs at least one machine");
+        let l = workers.len();
+        let mut slots: Vec<Option<Link>> = (0..l).map(|_| None).collect();
+        for mut stream in streams {
+            stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            stream.set_nodelay(true)?;
+            let (opcode, body) = read_frame(&mut stream)?;
+            if opcode != op::HELLO || body.len() != 12 {
+                return Err(protocol_err("bad HELLO"));
+            }
+            let id = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+            let seed = u64::from_le_bytes(body[4..].try_into().unwrap());
+            if id >= l || slots[id].is_some() {
+                return Err(protocol_err("bad machine id in HELLO"));
+            }
+            if seed != stream_seed(master_seed, id) {
+                return Err(protocol_err("worker stream seed mismatch"));
+            }
+            slots[id] = Some(Link {
+                stream,
+                mirror: PatternGen::new(seed),
+                alive: true,
+            });
+        }
+        let links = slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| protocol_err("missing worker connection")))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(ProcCluster {
+            workers,
+            network,
+            timeline: PhaseTimeline::new(),
+            master_seed,
+            links,
+            served,
+            link_errors: 0,
+        })
+    }
+
+    /// The master seed the worker streams were derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Number of link faults observed so far (dead links stay dead).
+    pub fn link_errors(&self) -> u64 {
+        self.link_errors
+    }
+
+    /// Number of links still alive.
+    pub fn live_links(&self) -> usize {
+        self.links.iter().filter(|l| l.alive).count()
+    }
+
+    /// Consumes the cluster, returning the worker states.
+    pub fn into_workers(mut self) -> Vec<W> {
+        std::mem::take(&mut self.workers)
+    }
+
+    /// Requests `n` pattern bytes from machine `i` and verifies them
+    /// against the master-side mirror. Marks the link dead on any error.
+    fn pull_from(&mut self, i: usize, n: u64, label: &'static str) {
+        if !self.links[i].alive {
+            return;
+        }
+        let result = (|| -> io::Result<()> {
+            let link = &mut self.links[i];
+            let mut req = Vec::with_capacity(8 + label.len());
+            req.extend_from_slice(&n.to_le_bytes());
+            req.extend_from_slice(label.as_bytes());
+            write_frame(&mut link.stream, op::UPLOAD_REQ, &req)?;
+            let mut received = 0u64;
+            let mut expected = vec![0u8; CHUNK];
+            while received < n {
+                let (opcode, body) = read_frame(&mut link.stream)?;
+                if opcode != op::DATA {
+                    return Err(protocol_err("expected DATA"));
+                }
+                if body.is_empty() || received + body.len() as u64 > n {
+                    return Err(protocol_err("DATA over-delivery"));
+                }
+                link.mirror.fill(&mut expected[..body.len()]);
+                if body != expected[..body.len()] {
+                    return Err(protocol_err("upload pattern mismatch"));
+                }
+                received += body.len() as u64;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            self.links[i].alive = false;
+            self.link_errors += 1;
+        }
+    }
+
+    /// Pushes `n` payload bytes to machine `i` (chunked DOWNLOAD frames,
+    /// each ACKed). Marks the link dead on any error.
+    fn push_to(&mut self, i: usize, n: u64) {
+        if !self.links[i].alive {
+            return;
+        }
+        let result = (|| -> io::Result<()> {
+            let link = &mut self.links[i];
+            let payload = vec![0u8; CHUNK.min(n.max(1) as usize)];
+            let mut sent = 0u64;
+            loop {
+                let take = (n - sent).min(CHUNK as u64) as usize;
+                write_frame(&mut link.stream, op::DOWNLOAD, &payload[..take])?;
+                let (opcode, body) = read_frame(&mut link.stream)?;
+                if opcode != op::ACK || !body.is_empty() {
+                    return Err(protocol_err("expected ACK"));
+                }
+                sent += take as u64;
+                if sent >= n {
+                    return Ok(());
+                }
+            }
+        })();
+        if result.is_err() {
+            self.links[i].alive = false;
+            self.link_errors += 1;
+        }
+    }
+}
+
+/// Accepts exactly `n` connections, bounded by [`IO_TIMEOUT`] overall.
+fn accept_n(listener: &TcpListener, n: usize) -> io::Result<Vec<TcpStream>> {
+    listener.set_nonblocking(true)?;
+    let deadline = Instant::now() + IO_TIMEOUT;
+    let mut streams = Vec::with_capacity(n);
+    while streams.len() < n {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                streams.push(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "workers did not all connect",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(streams)
+}
+
+/// Locates the `dim-worker` binary (see [`ProcCluster::spawn`]).
+fn worker_binary() -> io::Result<std::path::PathBuf> {
+    if let Some(path) = std::env::var_os("DIM_WORKER_BIN") {
+        let path = std::path::PathBuf::from(path);
+        if path.exists() {
+            return Ok(path);
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            "DIM_WORKER_BIN does not exist",
+        ));
+    }
+    let exe = std::env::current_exe()?;
+    let mut dir = exe
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no exe dir"))?
+        .to_path_buf();
+    for _ in 0..2 {
+        let candidate = dir.join("dim-worker");
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        "dim-worker binary not found (set DIM_WORKER_BIN)",
+    ))
+}
+
+impl<W> Drop for ProcCluster<W> {
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            if link.alive {
+                let _ = write_frame(&mut link.stream, op::SHUTDOWN, &[]);
+            }
+            let _ = link.stream.shutdown(std::net::Shutdown::Both);
+        }
+        for served in self.served.drain(..) {
+            match served {
+                Served::Process(mut child) => {
+                    // SHUTDOWN (or the closed socket) makes workers exit;
+                    // give them a moment, then make sure.
+                    let deadline = Instant::now() + Duration::from_secs(2);
+                    loop {
+                        match child.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) if Instant::now() < deadline => {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            _ => {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                break;
+                            }
+                        }
+                    }
+                }
+                Served::Thread(handle) => {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+impl<W: Send> ClusterBackend for ProcCluster<W> {
+    type Worker = W;
+
+    fn num_machines(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    fn workers(&self) -> &[W] {
+        &self.workers
+    }
+
+    fn timeline(&self) -> &PhaseTimeline {
+        &self.timeline
+    }
+
+    fn record(&mut self, label: &'static str, delta: ClusterMetrics) {
+        self.timeline.record(label, delta);
+    }
+
+    /// Sequential master-side execution with per-machine timing — the same
+    /// virtual-time rule as `SimCluster` in `ExecMode::Sequential`, so
+    /// results and modeled metrics are bit-identical to that mode.
+    fn par_step<R, F>(&mut self, label: &'static str, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut W) -> R + Sync,
+    {
+        let mut results = Vec::with_capacity(self.workers.len());
+        let mut max = Duration::ZERO;
+        let mut sum = Duration::ZERO;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let start = Instant::now();
+            results.push(f(i, w));
+            let t = start.elapsed();
+            max = max.max(t);
+            sum += t;
+        }
+        self.record(
+            label,
+            ClusterMetrics {
+                worker_compute: max,
+                worker_busy: sum,
+                phases: 1,
+                ..Default::default()
+            },
+        );
+        results
+    }
+
+    fn master<R, F>(&mut self, label: &'static str, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        let start = Instant::now();
+        let r = f();
+        self.record(
+            label,
+            ClusterMetrics {
+                master_compute: start.elapsed(),
+                ..Default::default()
+            },
+        );
+        r
+    }
+
+    /// Default modeled charge plus a physical gather: the byte volume is
+    /// split across the live links and pulled over TCP, pattern-verified,
+    /// and the wall-clock cost recorded as `measured_comm`.
+    fn charge_upload(&mut self, label: &'static str, messages: u64, bytes: u64) {
+        let comm_time = self.network.collective_time(messages, bytes);
+        let l = self.links.len() as u64;
+        let start = Instant::now();
+        for i in 0..self.links.len() {
+            let share = bytes / l + u64::from((i as u64) < bytes % l);
+            self.pull_from(i, share, label);
+        }
+        let measured_comm = start.elapsed();
+        self.record(
+            label,
+            ClusterMetrics {
+                comm_time,
+                measured_comm,
+                messages,
+                bytes_to_master: bytes,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// Default modeled charge plus a physical broadcast of
+    /// `bytes_per_machine` to every live link (ACKed per frame).
+    fn broadcast(&mut self, label: &'static str, bytes_per_machine: u64) {
+        let l = self.num_machines() as u64;
+        let total = bytes_per_machine * l;
+        let comm_time = self.network.collective_time(l, total);
+        let start = Instant::now();
+        for i in 0..self.links.len() {
+            self.push_to(i, bytes_per_machine);
+        }
+        let measured_comm = start.elapsed();
+        self.record(
+            label,
+            ClusterMetrics {
+                comm_time,
+                measured_comm,
+                messages: l,
+                bytes_from_master: total,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::phase;
+
+    #[test]
+    fn pattern_gen_deterministic_and_chunking_invariant() {
+        let mut a = PatternGen::new(42);
+        let mut b = PatternGen::new(42);
+        let mut one = vec![0u8; 64];
+        a.fill(&mut one);
+        // Same stream drawn in uneven chunks must match byte-for-byte.
+        let mut parts = vec![0u8; 64];
+        b.fill(&mut parts[..7]);
+        b.fill(&mut parts[7..40]);
+        b.fill(&mut parts[40..]);
+        assert_eq!(one, parts);
+        let mut c = PatternGen::new(43);
+        let mut other = vec![0u8; 64];
+        c.fill(&mut other);
+        assert_ne!(one, other);
+    }
+
+    #[test]
+    fn fault_parse() {
+        assert_eq!(
+            WorkerFault::parse("truncate-upload:3"),
+            Some(WorkerFault::TruncateUpload { request: 3 })
+        );
+        assert_eq!(WorkerFault::parse("nonsense"), None);
+        assert_eq!(WorkerFault::parse("truncate-upload:x"), None);
+    }
+
+    #[test]
+    fn local_cluster_runs_generic_algorithm() {
+        let shards = vec![vec![1u64, 2], vec![3], vec![4, 5, 6], vec![]];
+        let mut cluster =
+            ProcCluster::local(shards, NetworkModel::cluster_1gbps(), 7).unwrap();
+        let partials = cluster.gather(
+            phase::COVERAGE_UPLOAD,
+            |_, shard: &mut Vec<u64>| shard.iter().sum::<u64>(),
+            |_| crate::wire::u64_wire_size(),
+        );
+        let total: u64 = cluster.master(phase::SEED_SELECT, || partials.iter().sum());
+        assert_eq!(total, 21);
+        let m = cluster.timeline().get(phase::COVERAGE_UPLOAD);
+        assert_eq!(m.bytes_to_master, 32);
+        assert_eq!(m.messages, 4);
+        // The gather physically crossed the sockets.
+        assert!(m.measured_comm > Duration::ZERO);
+        assert_eq!(cluster.link_errors(), 0);
+    }
+
+    #[test]
+    fn broadcast_measured_and_modeled() {
+        let mut cluster =
+            ProcCluster::local(vec![0u64; 3], NetworkModel::cluster_1gbps(), 1).unwrap();
+        cluster.broadcast(phase::SEED_BROADCAST, 40);
+        let m = cluster.timeline().get(phase::SEED_BROADCAST);
+        assert_eq!(m.bytes_from_master, 120);
+        assert_eq!(m.messages, 3);
+        assert!(m.comm_time > Duration::ZERO);
+        assert!(m.measured_comm > Duration::ZERO);
+    }
+
+    #[test]
+    fn matches_sequential_sim_metrics_shape() {
+        use crate::runtime::{ExecMode, SimCluster};
+        let mut sim = SimCluster::new(
+            vec![10u64, 20, 30],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let mut proc = ProcCluster::local(
+            vec![10u64, 20, 30],
+            NetworkModel::cluster_1gbps(),
+            99,
+        )
+        .unwrap();
+        let a = sim.gather(phase::COUNT_UPLOAD, |i, w| *w + i as u64, |_| 8);
+        let b = proc.gather(phase::COUNT_UPLOAD, |i, w| *w + i as u64, |_| 8);
+        assert_eq!(a, b);
+        let ms = sim.timeline().get(phase::COUNT_UPLOAD);
+        let mp = proc.timeline().get(phase::COUNT_UPLOAD);
+        // Identical modeled traffic and comm pricing; only measured differs.
+        assert_eq!(ms.messages, mp.messages);
+        assert_eq!(ms.bytes_to_master, mp.bytes_to_master);
+        assert_eq!(ms.comm_time, mp.comm_time);
+        assert_eq!(ms.measured_comm, Duration::ZERO);
+        assert!(mp.measured_comm > Duration::ZERO);
+    }
+
+    #[test]
+    fn large_transfer_chunks() {
+        // > CHUNK bytes forces multi-frame uploads and downloads.
+        let mut cluster =
+            ProcCluster::local(vec![0u64; 2], NetworkModel::zero(), 5).unwrap();
+        let big = (CHUNK as u64) * 2 + 123;
+        cluster.charge_upload(phase::DELTA_UPLOAD, 2, big * 2);
+        assert_eq!(cluster.link_errors(), 0);
+        cluster.broadcast(phase::SEED_BROADCAST, big);
+        assert_eq!(cluster.link_errors(), 0);
+        let m = cluster.metrics();
+        assert_eq!(m.bytes_to_master, big * 2);
+        assert_eq!(m.bytes_from_master, big * 2);
+    }
+
+    #[test]
+    fn truncated_frame_kills_link_not_run() {
+        // Machine 1 sends a truncated DATA frame on its first upload; the
+        // link dies, the run keeps going, results stay correct.
+        let faults = vec![None, Some(WorkerFault::TruncateUpload { request: 1 })];
+        let mut cluster = ProcCluster::local_with_faults(
+            vec![100u64, 200],
+            NetworkModel::cluster_1gbps(),
+            3,
+            faults,
+        )
+        .unwrap();
+        let first = cluster.gather(phase::COVERAGE_UPLOAD, |_, w| *w, |_| 64);
+        assert_eq!(first, vec![100, 200]);
+        assert_eq!(cluster.link_errors(), 1);
+        assert_eq!(cluster.live_links(), 1);
+        // Subsequent phases still work over the surviving link.
+        let second = cluster.gather(phase::DELTA_UPLOAD, |_, w| *w + 1, |_| 32);
+        assert_eq!(second, vec![101, 201]);
+        cluster.broadcast(phase::SEED_BROADCAST, 16);
+        assert_eq!(cluster.link_errors(), 1);
+        let m = cluster.timeline().get(phase::DELTA_UPLOAD);
+        assert_eq!(m.bytes_to_master, 64);
+    }
+
+    #[test]
+    fn rejects_seed_mismatch_in_handshake() {
+        // A worker whose HELLO advertises the wrong stream seed is refused
+        // at construction: the cross-process RNG contract is load-bearing.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let bogus = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut body = Vec::new();
+            body.extend_from_slice(&0u32.to_le_bytes());
+            body.extend_from_slice(&0xbad_5eedu64.to_le_bytes());
+            let _ = write_frame(&mut s, op::HELLO, &body);
+            // Hold the socket open until the master decides.
+            let _ = read_frame(&mut s);
+        });
+        let streams = accept_n(&listener, 1).unwrap();
+        let err = match ProcCluster::assemble(
+            vec![0u64],
+            NetworkModel::zero(),
+            1,
+            streams,
+            Vec::new(),
+        ) {
+            Ok(_) => panic!("seed mismatch accepted"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("seed mismatch"), "{err}");
+        let _ = bogus.join();
+    }
+}

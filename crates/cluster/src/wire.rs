@@ -15,6 +15,67 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// coverage decreases by `delta`".
 pub type DeltaVec = Vec<(u32, u32)>;
 
+/// Typed decode failure for wire messages.
+///
+/// The master's reduce stages used to `.expect()` on malformed worker
+/// messages; a single corrupt frame from one machine would abort the whole
+/// run. Decoders return `None` (they see only a byte slice, with no context
+/// to attach); the algorithm layer wraps that into a `WireError` naming the
+/// phase and sender so callers can decide what to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// Phase label during which the bad message arrived (see [`crate::phase`]).
+    pub phase: &'static str,
+    /// Index of the machine whose message failed to decode, if known.
+    pub machine: Option<usize>,
+    /// What was wrong with the message.
+    pub kind: WireErrorKind,
+}
+
+/// What kind of decode failure occurred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Header or body truncated / trailing garbage / count overflow.
+    Malformed,
+    /// Decoded fine but referenced an out-of-range node/set id.
+    IdOutOfRange,
+}
+
+impl WireError {
+    /// A malformed-message error in `phase` from machine `machine`.
+    pub fn malformed(phase: &'static str, machine: usize) -> Self {
+        WireError {
+            phase,
+            machine: Some(machine),
+            kind: WireErrorKind::Malformed,
+        }
+    }
+
+    /// An out-of-range id error in `phase` from machine `machine`.
+    pub fn id_out_of_range(phase: &'static str, machine: usize) -> Self {
+        WireError {
+            phase,
+            machine: Some(machine),
+            kind: WireErrorKind::IdOutOfRange,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            WireErrorKind::Malformed => "malformed wire message",
+            WireErrorKind::IdOutOfRange => "out-of-range id in wire message",
+        };
+        match self.machine {
+            Some(m) => write!(f, "{what} from machine {m} in phase `{}`", self.phase),
+            None => write!(f, "{what} in phase `{}`", self.phase),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
 /// Serializes a delta vector.
 pub fn encode_deltas(deltas: &[(u32, u32)]) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + deltas.len() * 8);
@@ -32,7 +93,9 @@ pub fn decode_deltas(mut buf: &[u8]) -> Option<DeltaVec> {
         return None;
     }
     let count = buf.get_u32_le() as usize;
-    if buf.len() != count * 8 {
+    // `count * 8` wraps on 32-bit targets for counts ≥ 2²⁹, letting a
+    // hostile header pass the length check with a short body.
+    if Some(buf.len()) != count.checked_mul(8) {
         return None;
     }
     let mut out = Vec::with_capacity(count);
@@ -52,7 +115,7 @@ pub fn for_each_delta(mut buf: &[u8], mut f: impl FnMut(u32, u32)) -> Option<()>
         return None;
     }
     let count = buf.get_u32_le() as usize;
-    if buf.len() != count * 8 {
+    if Some(buf.len()) != count.checked_mul(8) {
         return None;
     }
     for _ in 0..count {
@@ -79,7 +142,7 @@ pub fn decode_ids(mut buf: &[u8]) -> Option<Vec<u32>> {
         return None;
     }
     let count = buf.get_u32_le() as usize;
-    if buf.len() != count * 4 {
+    if Some(buf.len()) != count.checked_mul(4) {
         return None;
     }
     Some((0..count).map(|_| buf.get_u32_le()).collect())
@@ -159,5 +222,42 @@ mod tests {
         let mut bytes = encode_ids(&[7]).to_vec();
         bytes.push(0);
         assert!(decode_ids(&bytes).is_none());
+    }
+
+    #[test]
+    fn rejects_pathological_counts() {
+        // Header claims u32::MAX tuples with an 8-byte body. On 32-bit
+        // targets `count * 8` used to wrap; on any target the decoder must
+        // reject rather than trust the header.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(decode_deltas(&bytes).is_none());
+        assert!(for_each_delta(&bytes, |_, _| ()).is_none());
+        assert!(decode_ids(&bytes).is_none());
+
+        // count = 2²⁹ + 1: `count * 8` ≡ 8 (mod 2³²), matching an 8-byte
+        // body exactly on a 32-bit usize — the precise wrap case.
+        let mut wrap = Vec::new();
+        wrap.extend_from_slice(&0x2000_0001u32.to_le_bytes());
+        wrap.extend_from_slice(&[0u8; 8]);
+        assert!(decode_deltas(&wrap).is_none());
+        assert!(for_each_delta(&wrap, |_, _| ()).is_none());
+
+        // count = 2³⁰ + 1: `count * 4` ≡ 4 (mod 2³²), ditto for ids.
+        let mut wrap4 = Vec::new();
+        wrap4.extend_from_slice(&0x4000_0001u32.to_le_bytes());
+        wrap4.extend_from_slice(&[0u8; 4]);
+        assert!(decode_ids(&wrap4).is_none());
+    }
+
+    #[test]
+    fn wire_error_display_names_phase_and_machine() {
+        let e = WireError::malformed("delta-upload", 3);
+        let s = e.to_string();
+        assert!(s.contains("delta-upload") && s.contains("machine 3"), "{s}");
+        let e = WireError::id_out_of_range("coverage-upload", 0);
+        assert_eq!(e.kind, WireErrorKind::IdOutOfRange);
+        assert!(e.to_string().contains("out-of-range"));
     }
 }

@@ -83,6 +83,43 @@ proptest! {
         }
     }
 
+    /// Mutating any single byte of an encoded frame never panics the
+    /// decoders: they return the original, a different valid vector, or
+    /// None — never abort. (Guards the checked_mul length arithmetic:
+    /// a corrupted count header must not overflow into a bogus match.)
+    #[test]
+    fn mutation_never_panics(deltas in prop::collection::vec((any::<u32>(), any::<u32>()), 0..100),
+                             pos in 0usize..1024, bit in 0u8..8) {
+        let mut bytes = wire::encode_deltas(&deltas);
+        let pos = pos % bytes.len().max(1);
+        if pos < bytes.len() {
+            bytes[pos] ^= 1 << bit;
+        }
+        if let Some(decoded) = wire::decode_deltas(&bytes) {
+            // A valid decode must be consistent with the mutated header.
+            prop_assert_eq!(bytes.len(), 4 + 8 * decoded.len());
+        }
+        let _ = wire::for_each_delta(&bytes, |_, _| {});
+        let _ = wire::decode_ids(&bytes);
+    }
+
+    /// Arbitrary (count, body) combinations — including counts whose byte
+    /// size overflows 32 bits — are rejected without panicking.
+    #[test]
+    fn pathological_counts_rejected(count in any::<u32>(), body in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = Vec::with_capacity(4 + body.len());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(&body);
+        if let Some(decoded) = wire::decode_deltas(&bytes) {
+            prop_assert_eq!(decoded.len(), count as usize);
+            prop_assert_eq!(body.len(), 8 * count as usize);
+        }
+        if let Some(ids) = wire::decode_ids(&bytes) {
+            prop_assert_eq!(ids.len(), count as usize);
+            prop_assert_eq!(body.len(), 4 * count as usize);
+        }
+    }
+
     /// Metrics algebra: since() of merge() restores the original.
     #[test]
     fn metrics_algebra(msgs in 0u64..1000, bytes in 0u64..100_000, phases in 0u64..50) {
@@ -97,4 +134,33 @@ proptest! {
         b.merge(&a);
         prop_assert_eq!(b.since(&a), a);
     }
+}
+
+/// Loopback resilience: a two-machine process-backend cluster survives a
+/// worker that truncates a frame mid-upload — the dead link is recorded,
+/// the algorithm result is untouched, and later phases still complete.
+#[cfg(feature = "proc-backend")]
+#[test]
+fn proc_cluster_survives_truncated_frame() {
+    use dim_cluster::tcp::{ProcCluster, WorkerFault};
+
+    let mut cluster = ProcCluster::local_with_faults(
+        vec![10u64, 20u64],
+        NetworkModel::cluster_1gbps(),
+        7,
+        vec![None, Some(WorkerFault::TruncateUpload { request: 1 })],
+    )
+    .expect("loopback cluster");
+
+    // First gather trips machine 1's truncation fault.
+    let sums = cluster.gather(phase::COUNT_UPLOAD, |_, w| *w, |_| 64);
+    assert_eq!(sums, vec![10, 20], "worker state is master-side; results hold");
+    assert_eq!(cluster.link_errors(), 1);
+    assert_eq!(cluster.live_links(), 1);
+
+    // Later phases keep working over the surviving link.
+    cluster.broadcast(phase::SEED_BROADCAST, 128);
+    let again = cluster.gather(phase::DELTA_UPLOAD, |_, w| *w + 1, |_| 32);
+    assert_eq!(again, vec![11, 21]);
+    assert_eq!(cluster.link_errors(), 1, "no new faults after the first");
 }

@@ -13,7 +13,7 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, SimCluster, WireError};
 use dim_coverage::newgreedi::{newgreedi_incremental, newgreedi_with, NewGreediResult};
 use dim_coverage::CoverageShard;
 use dim_diffusion::rr::{AnySampler, RrSampler};
@@ -85,7 +85,7 @@ fn select<'g, B>(
     n: usize,
     k: usize,
     base_coverage: &mut Option<Vec<u64>>,
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend<Worker = DiimmWorker<'g>>,
 {
@@ -109,7 +109,7 @@ pub fn diimm(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> ImResult {
+) -> Result<ImResult, WireError> {
     diimm_with_options(graph, config, machines, network, mode, true)
 }
 
@@ -124,15 +124,30 @@ pub fn diimm_with_options(
     network: NetworkModel,
     mode: ExecMode,
     incremental: bool,
-) -> ImResult {
+) -> Result<ImResult, WireError> {
     assert!(machines >= 1, "need at least one machine");
-    let n = graph.num_nodes();
-    let params = ImParams::derive(n, config.k, config.epsilon, config.delta);
-
     let workers: Vec<DiimmWorker> = (0..machines)
         .map(|i| DiimmWorker::new(graph, config, i))
         .collect();
     let mut cluster = SimCluster::new(workers, network, mode);
+    diimm_on(&mut cluster, graph, config, incremental)
+}
+
+/// Runs DiIMM on an already-constructed cluster — the entry point for
+/// alternative [`ClusterBackend`]s (e.g. the TCP process backend), whose
+/// construction the caller owns. Workers must have been created with
+/// [`DiimmWorker::new`] in machine order so RNG streams line up.
+pub fn diimm_on<'g, B>(
+    cluster: &mut B,
+    graph: &Graph,
+    config: &ImConfig,
+    incremental: bool,
+) -> Result<ImResult, WireError>
+where
+    B: ClusterBackend<Worker = DiimmWorker<'g>>,
+{
+    let n = graph.num_nodes();
+    let params = ImParams::derive(n, config.k, config.epsilon, config.delta);
     let mut base_coverage = incremental.then(|| vec![0u64; n]);
 
     // Lines 3–10: lower-bound search.
@@ -144,9 +159,9 @@ pub fn diimm_with_options(
         rounds = t;
         let x = n as f64 / 2f64.powi(t as i32);
         let theta_t = params.theta_at(t);
-        generate_up_to(&mut cluster, theta_cur, theta_t);
+        generate_up_to(cluster, theta_cur, theta_t);
         theta_cur = theta_cur.max(theta_t);
-        let r = select(&mut cluster, n, config.k, &mut base_coverage);
+        let r = select(cluster, n, config.k, &mut base_coverage)?;
         let est = n as f64 * r.covered as f64 / theta_cur as f64;
         last = Some(r);
         if est >= (1.0 + params.epsilon_prime) * x {
@@ -158,9 +173,9 @@ pub fn diimm_with_options(
     // Lines 11–13: final sampling top-up and selection.
     let theta = params.theta_final(lower_bound);
     let final_result = if theta > theta_cur || last.is_none() {
-        generate_up_to(&mut cluster, theta_cur, theta);
+        generate_up_to(cluster, theta_cur, theta);
         theta_cur = theta_cur.max(theta);
-        select(&mut cluster, n, config.k, &mut base_coverage)
+        select(cluster, n, config.k, &mut base_coverage)?
     } else if let Some(last) = last {
         // θ ≤ θ_cur: the last S_t was computed over this exact collection.
         last
@@ -174,7 +189,7 @@ pub fn diimm_with_options(
     let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
     let timeline = cluster.timeline().clone();
 
-    ImResult {
+    Ok(ImResult {
         seeds: final_result.seeds,
         coverage,
         num_rr_sets: theta_cur,
@@ -186,7 +201,7 @@ pub fn diimm_with_options(
         timings: Timings::from_timeline(&timeline),
         metrics: timeline.total(),
         timeline,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -227,7 +242,8 @@ mod tests {
             4,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert_eq!(r.seeds.len(), 5);
         assert!(r.num_rr_sets > 0);
         assert!(r.total_rr_size >= r.num_rr_sets, "each RR set has ≥ 1 node");
@@ -245,14 +261,16 @@ mod tests {
             4,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let b = diimm(
             &g,
             &config(4, 9),
             4,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.num_rr_sets, b.num_rr_sets);
         assert_eq!(a.coverage, b.coverage);
@@ -269,14 +287,16 @@ mod tests {
             1,
             NetworkModel::zero(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let r8 = diimm(
             &g,
             &config(5, 11),
             8,
             NetworkModel::zero(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let rel = (r1.est_spread - r8.est_spread).abs() / r1.est_spread;
         assert!(rel < 0.25, "ℓ=1: {}, ℓ=8: {}", r1.est_spread, r8.est_spread);
     }
@@ -290,7 +310,8 @@ mod tests {
             4,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(r.timings.sampling > std::time::Duration::ZERO);
         assert!(r.timings.selection > std::time::Duration::ZERO);
         assert!(r.timings.communication > std::time::Duration::ZERO);
@@ -317,7 +338,8 @@ mod tests {
             4,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert_eq!(r.seeds.len(), 4);
         assert!(r.est_spread > 4.0);
     }
@@ -331,14 +353,16 @@ mod tests {
             3,
             NetworkModel::zero(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let b = diimm(
             &g,
             &config(3, 13),
             3,
             NetworkModel::zero(),
             ExecMode::Threads,
-        );
+        )
+        .unwrap();
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.num_rr_sets, b.num_rr_sets);
     }

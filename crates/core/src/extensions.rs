@@ -16,6 +16,7 @@ use rand_pcg::Pcg64;
 
 use dim_cluster::{
     phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, SimCluster,
+    WireError,
 };
 use dim_coverage::budgeted::{newgreedi_budgeted, BudgetedResult};
 use dim_coverage::newgreedi::{newgreedi_until, newgreedi_with};
@@ -106,7 +107,7 @@ pub fn budgeted_im(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> BudgetedImResult {
+) -> Result<BudgetedImResult, WireError> {
     let n = graph.num_nodes();
     assert_eq!(costs.len(), n, "one cost per node");
     let mut cluster = ris_cluster(
@@ -122,14 +123,14 @@ pub fn budgeted_im(
         seeds,
         covered,
         spent,
-    } = newgreedi_budgeted(&mut cluster, costs, budget, |w| &mut w.shard);
-    BudgetedImResult {
+    } = newgreedi_budgeted(&mut cluster, costs, budget, |w| &mut w.shard)?;
+    Ok(BudgetedImResult {
         seeds,
         spent,
         est_spread: n as f64 * covered as f64 / theta as f64,
         num_rr_sets: theta,
         metrics: cluster.metrics(),
-    }
+    })
 }
 
 /// Result of a seed-minimization run.
@@ -163,7 +164,7 @@ pub fn seed_minimization(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> SeedMinResult {
+) -> Result<SeedMinResult, WireError> {
     assert!(eta > 0.0 && eta < 1.0, "η = {eta} out of (0,1)");
     let n = graph.num_nodes();
     let mut cluster = ris_cluster(
@@ -176,14 +177,14 @@ pub fn seed_minimization(
         mode,
     );
     let target_coverage = (eta * theta as f64).ceil() as u64;
-    let r = newgreedi_until(&mut cluster, n, target_coverage, n, |w| &mut w.shard);
-    SeedMinResult {
+    let r = newgreedi_until(&mut cluster, n, target_coverage, n, |w| &mut w.shard)?;
+    Ok(SeedMinResult {
         seeds: r.seeds,
         est_spread: n as f64 * r.covered as f64 / theta as f64,
         target_spread: eta * n as f64,
         num_rr_sets: theta,
         metrics: cluster.metrics(),
-    }
+    })
 }
 
 /// Result of a targeted influence-maximization run.
@@ -213,7 +214,7 @@ pub fn targeted_im(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> TargetedImResult {
+) -> Result<TargetedImResult, WireError> {
     let n = graph.num_nodes();
     let num_targets = targets.len();
     let mut cluster = ris_cluster(
@@ -225,13 +226,13 @@ pub fn targeted_im(
         network,
         mode,
     );
-    let r = newgreedi_with(&mut cluster, n, k, |w| &mut w.shard);
-    TargetedImResult {
+    let r = newgreedi_with(&mut cluster, n, k, |w| &mut w.shard)?;
+    Ok(TargetedImResult {
         seeds: r.seeds,
         est_targeted_spread: num_targets as f64 * r.covered as f64 / theta as f64,
         num_rr_sets: theta,
         metrics: cluster.metrics(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -264,7 +265,8 @@ mod tests {
             4,
             NetworkModel::zero(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(r.spent <= 12.0 + 1e-9);
         assert!(!r.seeds.is_empty());
         assert!(r.est_spread > 0.0);
@@ -278,10 +280,12 @@ mod tests {
         let costs = vec![1.0; g.num_nodes()];
         let small = budgeted_im(
             &g, IC, &costs, 2.0, 5_000, 7, 2, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let large = budgeted_im(
             &g, IC, &costs, 10.0, 5_000, 7, 2, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(large.est_spread >= small.est_spread);
     }
 
@@ -290,7 +294,8 @@ mod tests {
         let g = graph();
         let r = seed_minimization(
             &g, IC, 0.3, 8_000, 3, 4, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(
             r.est_spread >= r.target_spread * 0.99,
             "spread {} below target {}",
@@ -300,7 +305,8 @@ mod tests {
         // A lower target needs no more seeds.
         let easier = seed_minimization(
             &g, IC, 0.1, 8_000, 3, 4, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(easier.seeds.len() <= r.seeds.len());
     }
 
@@ -309,12 +315,14 @@ mod tests {
         let g = graph();
         let a = seed_minimization(
             &g, IC, 0.25, 4_000, 9, 1, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         // Same seed stream split differently: seeds may differ, spread
         // must not (both stop at the same coverage target).
         let b = seed_minimization(
             &g, IC, 0.25, 4_000, 9, 6, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let rel = (a.est_spread - b.est_spread).abs() / a.est_spread;
         assert!(rel < 0.15, "{} vs {}", a.est_spread, b.est_spread);
     }
@@ -341,7 +349,8 @@ mod tests {
             2,
             NetworkModel::zero(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert_eq!(r.seeds, vec![10], "hub of the target community wins");
         assert!(r.est_targeted_spread > 5.0);
         assert!(r.est_targeted_spread <= 10.0 + 1e-9);
@@ -353,7 +362,8 @@ mod tests {
         let targets: Vec<u32> = (0..30).collect();
         let r = targeted_im(
             &g, IC, &targets, 5, 4_000, 11, 3, NetworkModel::zero(), ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert!(r.est_targeted_spread <= targets.len() as f64 + 1e-9);
         assert_eq!(r.seeds.len(), 5);
     }

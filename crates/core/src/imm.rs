@@ -128,7 +128,7 @@ mod tests {
         let g = barabasi_albert(250, 3, WeightModel::WeightedCascade, 6);
         let cfg = config(5, 0.5, 17);
         let a = imm(&g, &cfg);
-        let b = diimm(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential);
+        let b = diimm(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.num_rr_sets, b.num_rr_sets);
         assert_eq!(a.total_rr_size, b.total_rr_size);

@@ -37,7 +37,8 @@
 //!     seed: 42,
 //!     sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
 //! };
-//! let result = diimm::diimm(&g, &config, 4, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+//! let result = diimm::diimm(&g, &config, 4, NetworkModel::cluster_1gbps(), ExecMode::Sequential)
+//!     .expect("wire messages from SimCluster workers are well-formed");
 //! assert_eq!(result.seeds.len(), 5);
 //! assert!(result.est_spread > 5.0);
 //! ```

@@ -28,7 +28,7 @@ use rand_pcg::Pcg64;
 
 use dim_cluster::{
     phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
-    SimCluster,
+    SimCluster, WireError,
 };
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::newgreedi::newgreedi_incremental;
@@ -202,7 +202,7 @@ pub fn dopim_c(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> ImResult {
+) -> Result<ImResult, WireError> {
     assert!(machines >= 1);
     let n = graph.num_nodes();
     let t_max = theta_max(n, config.k, config.epsilon, config.delta);
@@ -228,7 +228,8 @@ pub fn dopim_c(
         cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate_pairs(counts[i]));
         generated = theta;
 
-        let sel = newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage);
+        let sel =
+            newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage)?;
         // Validation: broadcast S_k, gather one covered-count per machine.
         cluster.broadcast(
             phase::SEED_BROADCAST,
@@ -272,7 +273,7 @@ pub fn dopim_c(
         .sum();
     let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
     let timeline = cluster.timeline().clone();
-    ImResult {
+    Ok(ImResult {
         seeds: sel.seeds,
         coverage: sel.covered,
         num_rr_sets: theta_total,
@@ -284,7 +285,7 @@ pub fn dopim_c(
         timings: Timings::from_timeline(&timeline),
         metrics: timeline.total(),
         timeline,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -372,7 +373,7 @@ mod tests {
         let g = barabasi_albert(300, 3, WeightModel::WeightedCascade, 4);
         let cfg = config(5, 0.3, 11);
         let a = opim_c(&g, &cfg);
-        let b = dopim_c(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential);
+        let b = dopim_c(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.num_rr_sets, b.num_rr_sets);
         assert_eq!(a.coverage, b.coverage);
@@ -385,7 +386,7 @@ mod tests {
         let spreads: Vec<f64> = [1usize, 4, 16]
             .iter()
             .map(|&l| {
-                dopim_c(&g, &cfg, l, NetworkModel::zero(), ExecMode::Sequential).est_spread
+                dopim_c(&g, &cfg, l, NetworkModel::zero(), ExecMode::Sequential).unwrap().est_spread
             })
             .collect();
         let max = spreads.iter().cloned().fold(f64::MIN, f64::max);
@@ -397,7 +398,7 @@ mod tests {
     fn traffic_cheaper_than_diimm_when_stopping_early() {
         let g = barabasi_albert(400, 4, WeightModel::WeightedCascade, 21);
         let cfg = config(10, 0.2, 5);
-        let o = dopim_c(&g, &cfg, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+        let o = dopim_c(&g, &cfg, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential).unwrap();
         assert!(o.metrics.bytes_to_master > 0);
         assert!(o.rounds >= 1);
     }

@@ -28,7 +28,7 @@ use rand_pcg::Pcg64;
 
 use dim_cluster::{
     phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
-    SimCluster,
+    SimCluster, WireError,
 };
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::newgreedi::newgreedi_incremental;
@@ -195,7 +195,7 @@ pub fn dssa(
     machines: usize,
     network: NetworkModel,
     mode: ExecMode,
-) -> ImResult {
+) -> Result<ImResult, WireError> {
     assert!(machines >= 1);
     let n = graph.num_nodes();
     let sched = schedule(n, config.k, config.epsilon, config.delta);
@@ -213,7 +213,8 @@ pub fn dssa(
         cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate_pairs(counts[i]));
         generated = theta;
 
-        let sel = newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage);
+        let sel =
+            newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage)?;
         cluster.broadcast(
             phase::SEED_BROADCAST,
             dim_cluster::wire::ids_wire_size(sel.seeds.len()),
@@ -246,7 +247,7 @@ pub fn dssa(
 
     let (sel, est_spread, rounds) = best.expect("at least one round");
     let timeline = cluster.timeline().clone();
-    ImResult {
+    Ok(ImResult {
         seeds: sel.seeds,
         coverage: sel.covered,
         num_rr_sets: cluster
@@ -266,7 +267,7 @@ pub fn dssa(
         timings: Timings::from_timeline(&timeline),
         metrics: timeline.total(),
         timeline,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -351,7 +352,7 @@ mod tests {
         let g = barabasi_albert(250, 3, WeightModel::WeightedCascade, 2);
         let cfg = config(5, 0.3, 21);
         let a = ssa(&g, &cfg);
-        let b = dssa(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential);
+        let b = dssa(&g, &cfg, 1, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.num_rr_sets, b.num_rr_sets);
         assert_eq!(a.coverage, b.coverage);
@@ -363,7 +364,7 @@ mod tests {
         let cfg = config(8, 0.25, 5);
         let spreads: Vec<f64> = [1usize, 4, 12]
             .iter()
-            .map(|&l| dssa(&g, &cfg, l, NetworkModel::zero(), ExecMode::Sequential).est_spread)
+            .map(|&l| dssa(&g, &cfg, l, NetworkModel::zero(), ExecMode::Sequential).unwrap().est_spread)
             .collect();
         let max = spreads.iter().cloned().fold(f64::MIN, f64::max);
         let min = spreads.iter().cloned().fold(f64::MAX, f64::min);

@@ -65,8 +65,8 @@ proptest! {
             seed,
             sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
         };
-        let a = diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential);
-        let b = diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential);
+        let a = diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential).unwrap();
+        let b = diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         prop_assert_eq!(&a.seeds, &b.seeds);
         prop_assert_eq!(a.num_rr_sets, b.num_rr_sets);
         let mut sorted = a.seeds.clone();
@@ -92,7 +92,7 @@ proptest! {
             sampler: SamplerKind::Standard(DiffusionModel::LinearThreshold),
         };
         let a = imm(&g, &config);
-        let b = diimm(&g, &config, 1, NetworkModel::zero(), ExecMode::Sequential);
+        let b = diimm(&g, &config, 1, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         prop_assert_eq!(a.seeds, b.seeds);
         prop_assert_eq!(a.num_rr_sets, b.num_rr_sets);
         prop_assert_eq!(a.coverage, b.coverage);

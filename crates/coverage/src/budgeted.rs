@@ -15,8 +15,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dim_cluster::{phase, wire, ClusterBackend};
+use dim_cluster::{phase, wire, ClusterBackend, WireError};
 
+use crate::newgreedi::reduce_deltas;
 use crate::shard::CoverageShard;
 
 /// Result of a budgeted greedy run.
@@ -171,7 +172,7 @@ pub fn newgreedi_budgeted<B, F>(
     costs: &[f64],
     budget: f64,
     shard_of: F,
-) -> BudgetedResult
+) -> Result<BudgetedResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
@@ -188,18 +189,19 @@ where
     );
     let (mut selector, single) = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
-        for msg in &initial {
-            wire::for_each_delta(msg, |v, d| coverage[v as usize] += d as u64)
-                .expect("well-formed coverage message");
-        }
-        let single = coverage
-            .iter()
-            .enumerate()
-            .filter(|&(v, _)| costs[v] <= budget)
-            .max_by_key(|&(v, &c)| (c, Reverse(v)))
-            .map(|(v, &c)| (v as u32, c));
-        (RatioSelector::new(coverage, costs), single)
-    });
+        reduce_deltas(phase::COVERAGE_UPLOAD, &initial, num_sets, |v, d| {
+            coverage[v as usize] += d as u64
+        })
+        .map(|()| {
+            let single = coverage
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| costs[v] <= budget)
+                .max_by_key(|&(v, &c)| (c, Reverse(v)))
+                .map(|(v, &c)| (v as u32, c));
+            (RatioSelector::new(coverage, costs), single)
+        })
+    })?;
 
     let mut seeds = Vec::new();
     let mut spent = 0.0;
@@ -218,11 +220,10 @@ where
             |msg| msg.len() as u64,
         );
         cluster.master(phase::SEED_SELECT, || {
-            for msg in &deltas {
-                wire::for_each_delta(msg, |u, d| selector.decrease(u, d as u64))
-                    .expect("well-formed delta message");
-            }
-        });
+            reduce_deltas(phase::DELTA_UPLOAD, &deltas, num_sets, |u, d| {
+                selector.decrease(u, d as u64)
+            })
+        })?;
     }
     let counts = cluster.gather(
         phase::COUNT_UPLOAD,
@@ -234,14 +235,14 @@ where
         covered: counts.iter().sum(),
         spent,
     };
-    match single {
+    Ok(match single {
         Some((v, c)) if c > ratio_result.covered => BudgetedResult {
             seeds: vec![v],
             covered: c,
             spent: costs[v as usize],
         },
         _ => ratio_result,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -320,7 +321,7 @@ mod tests {
                 NetworkModel::cluster_1gbps(),
                 ExecMode::Sequential,
             );
-            let r = newgreedi_budgeted(&mut cluster, &costs, 4.0, |w| w);
+            let r = newgreedi_budgeted(&mut cluster, &costs, 4.0, |w| w).unwrap();
             assert_eq!(r.seeds, central.seeds, "ℓ = {l}");
             assert_eq!(r.covered, central.covered, "ℓ = {l}");
             assert!((r.spent - central.spent).abs() < 1e-12);

@@ -226,7 +226,7 @@ mod tests {
                 NetworkModel::cluster_1gbps(),
                 ExecMode::Sequential,
             );
-            let n = newgreedi(&mut nc, 2);
+            let n = newgreedi(&mut nc, 2).unwrap();
             assert!(g.covered <= n.covered, "ℓ = {l}: {} > {}", g.covered, n.covered);
         }
     }

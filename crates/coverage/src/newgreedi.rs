@@ -13,10 +13,40 @@
 //! runs on the sequential virtual-time simulator, bounded OS threads, the
 //! rayon pool, or any future substrate.
 
-use dim_cluster::{phase, wire, ClusterBackend};
+use dim_cluster::{phase, wire, ClusterBackend, WireError};
 
 use crate::selector::BucketSelector;
 use crate::shard::CoverageShard;
+
+/// Applies every `⟨set, Δ⟩` tuple of the per-machine messages in `msgs`
+/// (machine order), rejecting malformed frames and out-of-range set ids
+/// with a typed [`WireError`] naming the phase and sender.
+///
+/// The master's reduce stages used to `.expect()` here, so one corrupt
+/// worker message aborted the whole run; now the error propagates to the
+/// algorithm's caller.
+pub(crate) fn reduce_deltas<M: AsRef<[u8]>>(
+    label: &'static str,
+    msgs: &[M],
+    num_sets: usize,
+    mut apply: impl FnMut(u32, u32),
+) -> Result<(), WireError> {
+    for (machine, msg) in msgs.iter().enumerate() {
+        let mut out_of_range = false;
+        wire::for_each_delta(msg.as_ref(), |v, d| {
+            if (v as usize) < num_sets {
+                apply(v, d);
+            } else {
+                out_of_range = true;
+            }
+        })
+        .ok_or_else(|| WireError::malformed(label, machine))?;
+        if out_of_range {
+            return Err(WireError::id_out_of_range(label, machine));
+        }
+    }
+    Ok(())
+}
 
 /// Result of a NewGreeDi run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,12 +76,16 @@ impl NewGreediResult {
 /// carry samplers).
 ///
 /// `num_sets` is the global set-universe size; `k` the number of seeds.
+///
+/// # Errors
+/// Returns a [`WireError`] if any worker message is malformed or names an
+/// out-of-range set id.
 pub fn newgreedi_with<B, F>(
     cluster: &mut B,
     num_sets: usize,
     k: usize,
     shard_of: F,
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
@@ -72,14 +106,12 @@ where
     // Lines 4–6: the master aggregates Δ(v) = Σ_i Δ_i(v) and builds D.
     let mut selector = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
-        for msg in &initial {
-            for (v, d) in wire::decode_deltas(msg).expect("well-formed coverage message") {
-                coverage[v as usize] += d as u64;
-            }
-        }
-        BucketSelector::new(&coverage)
-    });
-    select_seeds(cluster, k, &shard_of, &mut selector)
+        reduce_deltas(phase::COVERAGE_UPLOAD, &initial, num_sets, |v, d| {
+            coverage[v as usize] += d as u64
+        })
+        .map(|()| BucketSelector::new(&coverage))
+    })?;
+    select_seeds(cluster, num_sets, k, &shard_of, &mut selector)
 }
 
 /// [`newgreedi_with`] with the paper's §III-C traffic optimization for
@@ -93,7 +125,7 @@ pub fn newgreedi_incremental<B, F>(
     k: usize,
     shard_of: F,
     base_coverage: &mut [u64],
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
@@ -107,29 +139,30 @@ where
         },
         |msg| msg.len() as u64,
     );
+    let num_sets = base_coverage.len();
     let mut selector = cluster.master(phase::SEED_SELECT, || {
-        for msg in &fresh {
-            wire::for_each_delta(msg, |v, d| base_coverage[v as usize] += d as u64)
-                .expect("well-formed coverage message");
-        }
-        BucketSelector::new(base_coverage)
-    });
-    select_seeds(cluster, k, &shard_of, &mut selector)
+        reduce_deltas(phase::COVERAGE_UPLOAD, &fresh, num_sets, |v, d| {
+            base_coverage[v as usize] += d as u64
+        })
+        .map(|()| BucketSelector::new(base_coverage))
+    })?;
+    select_seeds(cluster, num_sets, k, &shard_of, &mut selector)
 }
 
 /// The shared selection loop (Algorithm 1, lines 7–22): greedy picks with
 /// lazy bucket updates, one broadcast + sparse-delta map/reduce per seed.
 fn select_seeds<B, F>(
     cluster: &mut B,
+    num_sets: usize,
     k: usize,
     shard_of: &F,
     selector: &mut BucketSelector,
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
 {
-    select_seeds_until(cluster, k, None, shard_of, selector)
+    select_seeds_until(cluster, num_sets, k, None, shard_of, selector)
 }
 
 /// [`select_seeds`] with an optional coverage target: selection stops as
@@ -138,11 +171,12 @@ where
 /// conclusion lists it among the applications of these building blocks).
 pub(crate) fn select_seeds_until<B, F>(
     cluster: &mut B,
+    num_sets: usize,
     k: usize,
     coverage_target: Option<u64>,
     shard_of: &F,
     selector: &mut BucketSelector,
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
@@ -172,11 +206,10 @@ where
         );
         // Reduce stage (line 22).
         cluster.master(phase::SEED_SELECT, || {
-            for msg in &deltas {
-                wire::for_each_delta(msg, |v, d| selector.decrease(v, d as u64))
-                    .expect("well-formed delta message");
-            }
-        });
+            reduce_deltas(phase::DELTA_UPLOAD, &deltas, num_sets, |v, d| {
+                selector.decrease(v, d as u64)
+            })
+        })?;
     }
 
     let counts = cluster.gather(
@@ -185,11 +218,11 @@ where
         |_| wire::u64_wire_size(),
     );
     let covered = counts.iter().sum();
-    NewGreediResult {
+    Ok(NewGreediResult {
         seeds,
         covered,
         marginals,
-    }
+    })
 }
 
 /// Element-distributed *partial cover*: selects seeds greedily until the
@@ -203,7 +236,7 @@ pub fn newgreedi_until<B, F>(
     coverage_target: u64,
     max_seeds: usize,
     shard_of: F,
-) -> NewGreediResult
+) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend,
     F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
@@ -219,14 +252,14 @@ where
     );
     let mut selector = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
-        for msg in &initial {
-            wire::for_each_delta(msg, |v, d| coverage[v as usize] += d as u64)
-                .expect("well-formed coverage message");
-        }
-        BucketSelector::new(&coverage)
-    });
+        reduce_deltas(phase::COVERAGE_UPLOAD, &initial, num_sets, |v, d| {
+            coverage[v as usize] += d as u64
+        })
+        .map(|()| BucketSelector::new(&coverage))
+    })?;
     select_seeds_until(
         cluster,
+        num_sets,
         max_seeds,
         Some(coverage_target),
         &shard_of,
@@ -235,7 +268,7 @@ where
 }
 
 /// [`newgreedi_with`] for clusters whose worker state *is* the shard.
-pub fn newgreedi<B>(cluster: &mut B, k: usize) -> NewGreediResult
+pub fn newgreedi<B>(cluster: &mut B, k: usize) -> Result<NewGreediResult, WireError>
 where
     B: ClusterBackend<Worker = CoverageShard>,
 {
@@ -278,7 +311,7 @@ mod tests {
         let p = example3();
         for l in [1, 2, 3, 6] {
             let mut c = cluster_of(&p, l);
-            let r = newgreedi(&mut c, 2);
+            let r = newgreedi(&mut c, 2).unwrap();
             assert_eq!(r.covered, 6, "ℓ = {l}");
             let mut s = r.seeds.clone();
             s.sort_unstable();
@@ -295,7 +328,7 @@ mod tests {
         let central = bucket_greedy(&mut shard, 4);
         for l in [1, 2, 3, 4, 6] {
             let mut c = cluster_of(&p, l);
-            let r = newgreedi(&mut c, 4);
+            let r = newgreedi(&mut c, 4).unwrap();
             assert_eq!(r.seeds, central.seeds, "ℓ = {l}");
             assert_eq!(r.marginals, central.marginals, "ℓ = {l}");
             assert_eq!(r.covered, central.covered, "ℓ = {l}");
@@ -306,7 +339,7 @@ mod tests {
     fn traffic_accounted() {
         let p = example3();
         let mut c = cluster_of(&p, 3);
-        let r = newgreedi(&mut c, 2);
+        let r = newgreedi(&mut c, 2).unwrap();
         assert_eq!(r.covered, 6);
         let m = c.metrics();
         // At least: initial coverage gather + per-seed broadcast/gather +
@@ -321,7 +354,7 @@ mod tests {
     fn timeline_labels_every_phase() {
         let p = example3();
         let mut c = cluster_of(&p, 3);
-        newgreedi(&mut c, 2);
+        newgreedi(&mut c, 2).unwrap();
         let tl = c.timeline();
         let labels: Vec<_> = tl.labels().collect();
         assert_eq!(
@@ -349,16 +382,50 @@ mod tests {
     fn covered_reported_even_when_k_exceeds_sets() {
         let p = example3();
         let mut c = cluster_of(&p, 2);
-        let r = newgreedi(&mut c, 50);
+        let r = newgreedi(&mut c, 50).unwrap();
         assert_eq!(r.covered, 6);
         assert!(r.seeds.len() <= 5);
+    }
+
+    #[test]
+    fn reduce_rejects_malformed_message_with_context() {
+        use dim_cluster::wire::WireErrorKind;
+        let good = wire::encode_deltas(&[(1, 2)]);
+        let bad = good[..good.len() - 1].to_vec();
+        let err = reduce_deltas(
+            phase::DELTA_UPLOAD,
+            &[good.to_vec(), bad],
+            5,
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Malformed);
+        assert_eq!(err.machine, Some(1));
+        assert_eq!(err.phase, phase::DELTA_UPLOAD);
+    }
+
+    #[test]
+    fn reduce_rejects_out_of_range_set_id() {
+        use dim_cluster::wire::WireErrorKind;
+        // Set id 9 is outside a 5-set universe: previously this indexed
+        // straight into the coverage vector and panicked the master.
+        let msg = wire::encode_deltas(&[(2, 1), (9, 1)]);
+        let mut applied = Vec::new();
+        let err = reduce_deltas(phase::COVERAGE_UPLOAD, &[msg.to_vec()], 5, |v, d| {
+            applied.push((v, d))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::IdOutOfRange);
+        assert_eq!(err.machine, Some(0));
+        // In-range tuples before the bad one may apply; no panic either way.
+        assert!(applied.len() <= 1);
     }
 
     #[test]
     fn fraction_matches_problem_evaluation() {
         let p = example3();
         let mut c = cluster_of(&p, 2);
-        let r = newgreedi(&mut c, 2);
+        let r = newgreedi(&mut c, 2).unwrap();
         assert_eq!(r.covered, p.coverage_of(&r.seeds));
         assert!((r.fraction(p.num_elements()) - 1.0).abs() < 1e-12);
     }

@@ -43,7 +43,7 @@ proptest! {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
         );
-        let distributed = newgreedi(&mut cluster, k);
+        let distributed = newgreedi(&mut cluster, k).unwrap();
         prop_assert_eq!(&distributed.seeds, &central.seeds);
         prop_assert_eq!(&distributed.marginals, &central.marginals);
         prop_assert_eq!(distributed.covered, central.covered);
@@ -122,7 +122,7 @@ proptest! {
         prop_assert_eq!(total, problem.num_elements());
         let mut cluster = SimCluster::new(
             shards, NetworkModel::zero(), ExecMode::Sequential);
-        let r = newgreedi(&mut cluster, 3);
+        let r = newgreedi(&mut cluster, 3).unwrap();
         prop_assert!(r.covered as usize <= problem.num_elements());
     }
 }

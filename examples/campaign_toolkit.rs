@@ -22,7 +22,8 @@ fn main() {
         ..ImConfig::paper_defaults(&graph, 0.2, 7)
     };
     let imm_r = imm(&graph, &config);
-    let opim_r = dopim_c(&graph, &config, machines, net, ExecMode::Sequential);
+    let opim_r =
+        dopim_c(&graph, &config, machines, net, ExecMode::Sequential).expect("well-formed wire");
     println!("IMM    : {:>7} RR sets, spread ≈ {:.0}", imm_r.num_rr_sets, imm_r.est_spread);
     println!(
         "OPIM-C : {:>7} RR sets, spread ≈ {:.0}  ({:.1}x fewer samples, same guarantee)",
@@ -40,7 +41,8 @@ fn main() {
     let budget = 15.0;
     let b = budgeted_im(
         &graph, ic, &costs, budget, 50_000, 7, machines, net, ExecMode::Sequential,
-    );
+    )
+    .expect("well-formed wire");
     println!(
         "\nbudgeted ({budget} credits): {} seeds, spent {:.1}, spread ≈ {:.0}",
         b.seeds.len(),
@@ -51,7 +53,8 @@ fn main() {
     // 3. Seed minimization: how few seeds reach 30% of the network?
     let sm = seed_minimization(
         &graph, ic, 0.30, 50_000, 7, machines, net, ExecMode::Sequential,
-    );
+    )
+    .expect("well-formed wire");
     println!(
         "seed minimization: {} seeds reach {:.0} users (target {:.0})",
         sm.seeds.len(),
@@ -63,7 +66,8 @@ fn main() {
     let targets: Vec<u32> = (0..200).collect();
     let t = targeted_im(
         &graph, ic, &targets, 5, 50_000, 7, machines, net, ExecMode::Sequential,
-    );
+    )
+    .expect("well-formed wire");
     println!(
         "targeted (|T| = {}): seeds {:?} reach ≈ {:.0} targets",
         targets.len(),

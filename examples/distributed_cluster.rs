@@ -34,7 +34,8 @@ fn main() {
             machines,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .expect("simulated cluster messages are well-formed");
         let total = r.timings.total().as_secs_f64();
         let baseline_total = *baseline.get_or_insert(total);
         println!(

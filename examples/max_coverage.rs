@@ -41,7 +41,7 @@ fn main() {
             NetworkModel::shared_memory(),
             ExecMode::Sequential,
         );
-        let ng = newgreedi(&mut ng_cluster, k);
+        let ng = newgreedi(&mut ng_cluster, k).expect("well-formed wire");
 
         let mut g_cluster = SimCluster::new(
             problem.shard_sets(machines, None),

@@ -25,7 +25,8 @@ fn main() {
         4,
         NetworkModel::cluster_1gbps(),
         ExecMode::Sequential,
-    );
+    )
+    .expect("simulated cluster messages are well-formed");
 
     println!("\nselected seeds ({}):", result.seeds.len());
     for (rank, &s) in result.seeds.iter().enumerate() {

@@ -30,7 +30,8 @@ fn main() {
             k,
             ..ImConfig::paper_defaults(&graph, 0.3, 4)
         };
-        let result = diimm(&graph, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential);
+        let result = diimm(&graph, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential)
+            .expect("simulated cluster messages are well-formed");
         println!(
             "{k:>6} {:>14.1} {:>16.1} {:>12.2}",
             result.est_spread,

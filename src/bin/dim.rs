@@ -70,7 +70,7 @@ graph sources: a SNAP edge-list path, or profile:NAME[:SCALE]
 
 common flags: --model ic|lt  --epsilon E  --delta D  --k K  --seed S
   --machines L  --algorithm imm|diimm|opim|subsim  --undirected
-  --weights wc|uniform:P|trivalency  --sims N  --evaluate"
+  --weights wc|uniform:P|trivalency  --sims N  --evaluate  --breakdown"
     );
 }
 
@@ -84,7 +84,7 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            if name == "undirected" || name == "evaluate" {
+            if name == "undirected" || name == "evaluate" || name == "breakdown" {
                 map.insert(name.to_string(), "true".to_string());
             } else {
                 let value = it
@@ -198,8 +198,12 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
     let net = NetworkModel::shared_memory();
     let r = match algorithm {
         "imm" => imm(&g, &config),
-        "diimm" | "subsim" => diimm(&g, &config, machines, net, ExecMode::Sequential),
-        "opim" => dopim_c(&g, &config, machines, net, ExecMode::Sequential),
+        "diimm" | "subsim" => {
+            diimm(&g, &config, machines, net, ExecMode::Sequential).map_err(|e| e.to_string())?
+        }
+        "opim" => {
+            dopim_c(&g, &config, machines, net, ExecMode::Sequential).map_err(|e| e.to_string())?
+        }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
     println!("seeds: {:?}", r.seeds);
@@ -210,12 +214,40 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
         r.timings.selection.as_secs_f64(),
         r.timings.communication.as_secs_f64()
     );
+    if flags.get("breakdown").is_some() {
+        print_breakdown(&r.timeline);
+    }
     if flags.get("evaluate").is_some() {
         let sims = flags.num("sims", 10_000usize)?;
         let mc = estimate_spread(&g, model, &r.seeds, sims, config.seed ^ 0xE7A1);
         println!("simulated spread: {mc:.1} ({sims} cascades)");
     }
     Ok(())
+}
+
+/// Per-phase stacked-bar rows (`--breakdown`): modeled compute and
+/// communication, measured wall-clock transfer (process backend only),
+/// and bytes in each direction.
+fn print_breakdown(timeline: &PhaseTimeline) {
+    if timeline.is_empty() {
+        println!("breakdown: no phases recorded");
+        return;
+    }
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "phase", "compute (s)", "comm (s)", "measured (s)", "to master (B)", "from master (B)"
+    );
+    for (label, m) in timeline.iter() {
+        println!(
+            "{:<18} {:>12.6} {:>12.6} {:>12.6} {:>14} {:>14}",
+            label,
+            m.compute().as_secs_f64(),
+            m.comm_time.as_secs_f64(),
+            m.measured_comm.as_secs_f64(),
+            m.bytes_to_master,
+            m.bytes_from_master,
+        );
+    }
 }
 
 fn cmd_coverage(flags: &Flags) -> Result<(), String> {
@@ -228,7 +260,7 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
         NetworkModel::shared_memory(),
         ExecMode::Sequential,
     );
-    let r = newgreedi(&mut cluster, k);
+    let r = newgreedi(&mut cluster, k).map_err(|e| e.to_string())?;
     println!("sets: {:?}", r.seeds);
     println!(
         "covered {} / {} elements ({:.1}%)",
@@ -237,6 +269,9 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
         100.0 * r.fraction(problem.num_elements())
     );
     println!("{}", cluster.metrics());
+    if flags.get("breakdown").is_some() {
+        print_breakdown(cluster.timeline());
+    }
     Ok(())
 }
 

@@ -1,0 +1,64 @@
+//! Worker-process binary for the TCP process backend.
+//!
+//! One instance per machine of a [`dim_cluster::tcp::ProcCluster`]:
+//! connects back to the master, handshakes with its machine id and derived
+//! stream seed, then serves upload/download requests until SHUTDOWN.
+//!
+//! ```text
+//! dim-worker --connect 127.0.0.1:PORT --machine-id N --master-seed S
+//! ```
+//!
+//! The `DIM_WORKER_FAULT` environment variable (e.g. `truncate-upload:1`)
+//! injects protocol faults for resilience tests.
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use dim_cluster::tcp::{run_worker_with_fault, WorkerFault};
+
+fn main() -> ExitCode {
+    let mut connect = None;
+    let mut machine_id = None;
+    let mut master_seed = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| match args.next() {
+            Some(v) => Some(v),
+            None => {
+                eprintln!("dim-worker: {name} requires a value");
+                None
+            }
+        };
+        match arg.as_str() {
+            "--connect" => connect = take("--connect"),
+            "--machine-id" => machine_id = take("--machine-id").and_then(|v| v.parse().ok()),
+            "--master-seed" => master_seed = take("--master-seed").and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("dim-worker: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(addr), Some(id), Some(seed)) = (connect, machine_id, master_seed) else {
+        eprintln!("usage: dim-worker --connect HOST:PORT --machine-id N --master-seed S");
+        return ExitCode::from(2);
+    };
+    let fault = std::env::var("DIM_WORKER_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(WorkerFault::parse);
+    let stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dim-worker: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_worker_with_fault(stream, id, seed, fault) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dim-worker {id}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

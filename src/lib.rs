@@ -34,7 +34,8 @@
 //! // Find 10 seeds with (1 − 1/e − ε) guarantee on 4 simulated machines.
 //! let config = ImConfig::paper_defaults(&graph, 0.3, 42);
 //! let config = ImConfig { k: 10, ..config };
-//! let result = diimm(&graph, &config, 4, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+//! let result = diimm(&graph, &config, 4, NetworkModel::cluster_1gbps(), ExecMode::Sequential)
+//!     .expect("simulated-cluster wire messages are well-formed");
 //!
 //! assert_eq!(result.seeds.len(), 10);
 //! println!("estimated spread: {:.1}", result.est_spread);
@@ -50,9 +51,11 @@ pub use dim_graph;
 pub mod prelude {
     pub use dim_cluster::{
         phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
-        SimCluster,
+        SimCluster, WireError, WireErrorKind,
     };
-    pub use dim_core::diimm::diimm;
+    #[cfg(feature = "proc-backend")]
+    pub use dim_cluster::ProcCluster;
+    pub use dim_core::diimm::{diimm, diimm_on, diimm_with_options};
     pub use dim_core::extensions::{
         budgeted_im, seed_minimization, targeted_im, BudgetedImResult, SeedMinResult,
         TargetedImResult,

@@ -27,10 +27,11 @@ fn diimm_identical_across_backends() {
             machines,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         assert_eq!(reference.seeds.len(), 6);
         for mode in [ExecMode::Threads, ExecMode::Rayon] {
-            let r = diimm(&g, &config, machines, NetworkModel::cluster_1gbps(), mode);
+            let r = diimm(&g, &config, machines, NetworkModel::cluster_1gbps(), mode).unwrap();
             assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}, {mode:?}");
             assert_eq!(r.coverage, reference.coverage, "ℓ = {machines}, {mode:?}");
             assert_eq!(r.num_rr_sets, reference.num_rr_sets, "ℓ = {machines}, {mode:?}");
@@ -82,7 +83,7 @@ fn newgreedi_identical_across_backends() {
                     NetworkModel::cluster_1gbps(),
                     mode,
                 );
-                let r = newgreedi(&mut cluster, k);
+                let r = newgreedi(&mut cluster, k).unwrap();
                 (r, cluster.metrics())
             })
             .collect();
@@ -97,6 +98,117 @@ fn newgreedi_identical_across_backends() {
             assert_eq!(m.bytes_to_master, ref_metrics.bytes_to_master);
             assert_eq!(m.bytes_from_master, ref_metrics.bytes_from_master);
             assert_eq!(m.messages, ref_metrics.messages);
+        }
+    }
+}
+
+/// The TCP process backend is the fourth execution strategy: same seeds,
+/// marginals, and modeled metrics as the simulated Sequential backend,
+/// plus real measured wall-clock on every byte-moving phase.
+#[cfg(feature = "proc-backend")]
+mod proc_backend {
+    use std::time::Duration;
+
+    use super::*;
+    use dim_cluster::ProcCluster;
+    use dim_core::diimm::{diimm_on, DiimmWorker};
+
+    const PROC_MACHINE_COUNTS: [usize; 3] = [1, 2, 4];
+
+    /// Every phase that models byte movement must also have measured real
+    /// transfer time; compute-only phases must not.
+    fn assert_measured_transfers(timeline: &PhaseTimeline, context: &str) {
+        let mut moved_any = false;
+        for (label, m) in timeline.iter() {
+            if m.total_bytes() > 0 {
+                moved_any = true;
+                assert!(
+                    m.measured_comm > Duration::ZERO,
+                    "{context}: phase {label} moved {} B without measured transfer time",
+                    m.total_bytes()
+                );
+            } else {
+                assert_eq!(
+                    m.measured_comm,
+                    Duration::ZERO,
+                    "{context}: compute-only phase {label} measured a transfer"
+                );
+            }
+        }
+        assert!(moved_any, "{context}: no phase moved bytes");
+    }
+
+    #[test]
+    fn diimm_proc_matches_sequential() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = ImConfig {
+            k: 6,
+            ..ImConfig::paper_defaults(&g, 0.4, 29)
+        };
+        for machines in PROC_MACHINE_COUNTS {
+            let reference = diimm(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .unwrap();
+            let workers: Vec<DiimmWorker> = (0..machines)
+                .map(|i| DiimmWorker::new(&g, &config, i))
+                .collect();
+            let mut cluster =
+                ProcCluster::auto(workers, NetworkModel::cluster_1gbps(), config.seed)
+                    .expect("loopback worker cluster");
+            let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+            assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}");
+            assert_eq!(r.coverage, reference.coverage, "ℓ = {machines}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "ℓ = {machines}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "ℓ = {machines}");
+            // Modeled traffic is backend-independent…
+            assert_eq!(
+                r.metrics.bytes_to_master, reference.metrics.bytes_to_master,
+                "ℓ = {machines}"
+            );
+            assert_eq!(
+                r.metrics.bytes_from_master, reference.metrics.bytes_from_master,
+                "ℓ = {machines}"
+            );
+            assert_eq!(r.metrics.messages, reference.metrics.messages, "ℓ = {machines}");
+            // …while measured transfer time exists only on the real backend.
+            assert_eq!(reference.metrics.measured_comm, Duration::ZERO);
+            assert_measured_transfers(&r.timeline, &format!("diimm ℓ = {machines}"));
+            assert_eq!(cluster.link_errors(), 0, "ℓ = {machines}");
+        }
+    }
+
+    #[test]
+    fn newgreedi_proc_matches_sequential() {
+        let g = DatasetProfile::Facebook.generate(0.15, 3);
+        let problem = CoverageProblem::from_graph_neighborhoods(&g);
+        let k = 12;
+        for machines in PROC_MACHINE_COUNTS {
+            let mut seq = SimCluster::new(
+                problem.shard_elements(machines),
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            );
+            let reference = newgreedi(&mut seq, k).unwrap();
+            let mut proc = ProcCluster::auto(
+                problem.shard_elements(machines),
+                NetworkModel::cluster_1gbps(),
+                0xD1A7,
+            )
+            .expect("loopback worker cluster");
+            let r = newgreedi(&mut proc, k).unwrap();
+            assert_eq!(r, reference, "ℓ = {machines}");
+            assert_eq!(r.marginals, reference.marginals, "ℓ = {machines}");
+            let metrics = proc.metrics();
+            let seq_metrics = seq.metrics();
+            assert_eq!(metrics.bytes_to_master, seq_metrics.bytes_to_master);
+            assert_eq!(metrics.bytes_from_master, seq_metrics.bytes_from_master);
+            assert_eq!(metrics.messages, seq_metrics.messages);
+            assert_measured_transfers(proc.timeline(), &format!("newgreedi ℓ = {machines}"));
         }
     }
 }

@@ -113,6 +113,30 @@ fn im_algorithms_all_run() {
 }
 
 #[test]
+fn im_breakdown_prints_phase_rows() {
+    let (ok, out, err) = run(&[
+        "im", "--graph", "profile:facebook:0.05", "--k", "2", "--epsilon", "0.5",
+        "--machines", "2", "--breakdown",
+    ]);
+    assert!(ok, "im --breakdown failed: {err}");
+    assert!(out.contains("phase"), "missing breakdown header: {out}");
+    assert!(out.contains("measured (s)"), "missing measured column: {out}");
+    for label in ["rr-sampling", "coverage-upload", "seed-select"] {
+        assert!(out.contains(label), "missing {label} row: {out}");
+    }
+}
+
+#[test]
+fn coverage_breakdown_prints_phase_rows() {
+    let (ok, out, _) = run(&[
+        "coverage", "--graph", "profile:facebook:0.05", "--k", "3", "--machines", "2",
+        "--breakdown",
+    ]);
+    assert!(ok);
+    assert!(out.contains("coverage-upload"), "{out}");
+}
+
+#[test]
 fn subsim_rejects_lt() {
     let (ok, _, err) = run(&[
         "im", "--graph", "profile:facebook:0.05", "--algorithm", "subsim", "--model", "lt",

@@ -17,7 +17,7 @@ fn imm_is_diimm_with_one_machine() {
             ..ImConfig::paper_defaults(&g, 0.3, seed)
         };
         let a = imm(&g, &config);
-        let b = diimm(&g, &config, 1, NetworkModel::zero(), ExecMode::Sequential);
+        let b = diimm(&g, &config, 1, NetworkModel::zero(), ExecMode::Sequential).unwrap();
         assert_eq!(a.seeds, b.seeds, "seed {seed}");
         assert_eq!(a.num_rr_sets, b.num_rr_sets, "seed {seed}");
         assert_eq!(a.coverage, b.coverage, "seed {seed}");
@@ -41,7 +41,8 @@ fn incremental_reporting_preserves_output() {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
             false,
-        );
+        )
+        .unwrap();
         let incr = diimm_with_options(
             &g,
             &config,
@@ -49,7 +50,8 @@ fn incremental_reporting_preserves_output() {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
             true,
-        );
+        )
+        .unwrap();
         assert_eq!(full.seeds, incr.seeds, "ℓ = {machines}");
         assert_eq!(full.num_rr_sets, incr.num_rr_sets);
         assert_eq!(full.coverage, incr.coverage);
@@ -95,7 +97,7 @@ fn newgreedi_exact_on_ris_instances() {
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
         );
-        let r = newgreedi(&mut cluster, 12);
+        let r = newgreedi(&mut cluster, 12).unwrap();
         assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}");
         assert_eq!(r.covered, reference.covered, "ℓ = {machines}");
     }
@@ -115,7 +117,7 @@ fn greedi_bounded_by_newgreedi_on_neighborhoods() {
             NetworkModel::zero(),
             ExecMode::Sequential,
         );
-        let ng = newgreedi(&mut ng_cluster, 20);
+        let ng = newgreedi(&mut ng_cluster, 20).unwrap();
         let mut gd_cluster = SimCluster::new(
             problem.shard_sets(machines, Some(7)),
             NetworkModel::zero(),
@@ -142,8 +144,8 @@ fn reproducibility_fixed_seed_and_machines() {
         k: 6,
         ..ImConfig::paper_defaults(&g, 0.3, 77)
     };
-    let a = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
-    let b = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+    let a = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential).unwrap();
+    let b = diimm(&g, &config, 8, NetworkModel::cluster_1gbps(), ExecMode::Sequential).unwrap();
     assert_eq!(a.seeds, b.seeds);
     assert_eq!(a.coverage, b.coverage);
     assert_eq!(a.metrics.bytes_to_master, b.metrics.bytes_to_master);

@@ -40,7 +40,8 @@ fn diimm_guarantee_ic_all_machine_counts() {
             machines,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let achieved = exact_spread(&g, model, &r.seeds);
         assert!(
             achieved >= bound,
@@ -67,7 +68,8 @@ fn diimm_guarantee_lt() {
             machines,
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
-        );
+        )
+        .unwrap();
         let achieved = exact_spread(&g, model, &r.seeds);
         assert!(achieved >= bound, "ℓ = {machines}: {achieved} < {bound}");
     }
@@ -82,7 +84,7 @@ fn ris_estimate_matches_forward_simulation() {
         k: 10,
         ..ImConfig::paper_defaults(&g, 0.2, 5)
     };
-    let r = diimm(&g, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential);
+    let r = diimm(&g, &config, 4, NetworkModel::shared_memory(), ExecMode::Sequential).unwrap();
     let mc = estimate_spread(
         &g,
         DiffusionModel::IndependentCascade,
@@ -111,7 +113,9 @@ fn quality_invariant_to_machine_count() {
     let spreads: Vec<f64> = [1usize, 2, 8, 16]
         .iter()
         .map(|&l| {
-            diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential).est_spread
+            diimm(&g, &config, l, NetworkModel::zero(), ExecMode::Sequential)
+                .unwrap()
+                .est_spread
         })
         .collect();
     let max = spreads.iter().cloned().fold(f64::MIN, f64::max);
@@ -131,12 +135,12 @@ fn distributed_subsim_equivalent_quality() {
         k: 8,
         ..ImConfig::paper_defaults(&g, 0.25, 11)
     };
-    let std_r = diimm(&g, &base, 4, NetworkModel::zero(), ExecMode::Sequential);
+    let std_r = diimm(&g, &base, 4, NetworkModel::zero(), ExecMode::Sequential).unwrap();
     let sub_cfg = ImConfig {
         sampler: SamplerKind::Subsim,
         ..base
     };
-    let sub_r = diimm(&g, &sub_cfg, 4, NetworkModel::zero(), ExecMode::Sequential);
+    let sub_r = diimm(&g, &sub_cfg, 4, NetworkModel::zero(), ExecMode::Sequential).unwrap();
     let model = DiffusionModel::IndependentCascade;
     let std_mc = estimate_spread(&g, model, &std_r.seeds, 20_000, 55);
     let sub_mc = estimate_spread(&g, model, &sub_r.seeds, 20_000, 55);
@@ -154,7 +158,7 @@ fn k_saturating_terminates() {
     b.add_weighted_edge(0, 3, 1.0);
     let g = b.build(WeightModel::WeightedCascade);
     let config = small_config(4, 0.4, 3, DiffusionModel::IndependentCascade);
-    let r = diimm(&g, &config, 2, NetworkModel::zero(), ExecMode::Sequential);
+    let r = diimm(&g, &config, 2, NetworkModel::zero(), ExecMode::Sequential).unwrap();
     assert!(r.seeds.len() <= 4);
     assert!(!r.seeds.is_empty());
     assert!(r.seeds.contains(&0), "the root dominates this graph");

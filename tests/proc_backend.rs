@@ -1,0 +1,44 @@
+//! Process-level smoke test for the TCP backend: spawn real `dim-worker`
+//! OS processes, run a gather/broadcast round, and verify measured
+//! transfer times. Skips gracefully (with a note) where the worker binary
+//! is missing or process spawning is unavailable — e.g. minimal sandboxes.
+#![cfg(feature = "proc-backend")]
+
+use std::time::Duration;
+
+use dim::prelude::*;
+
+fn worker_binary() -> Option<String> {
+    std::env::var("DIM_WORKER_BIN")
+        .ok()
+        .or_else(|| option_env!("CARGO_BIN_EXE_dim-worker").map(String::from))
+        .filter(|p| std::path::Path::new(p).exists())
+}
+
+#[test]
+fn spawned_worker_processes_serve_a_cluster() {
+    let Some(bin) = worker_binary() else {
+        eprintln!("skipping: dim-worker binary not built/locatable");
+        return;
+    };
+    std::env::set_var("DIM_WORKER_BIN", &bin);
+    let mut cluster =
+        match ProcCluster::spawn(vec![7u64, 11], NetworkModel::cluster_1gbps(), 42) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("skipping: cannot spawn worker processes: {e}");
+                return;
+            }
+        };
+    let got = cluster.gather(phase::COUNT_UPLOAD, |_, w| *w, |_| 4096);
+    assert_eq!(got, vec![7, 11], "worker state lives master-side");
+    cluster.broadcast(phase::SEED_BROADCAST, 4096);
+    assert_eq!(cluster.link_errors(), 0, "clean run over real processes");
+    let m = cluster.metrics();
+    assert!(
+        m.measured_comm > Duration::ZERO,
+        "cross-process transfers must record wall-clock time"
+    );
+    assert_eq!(m.bytes_to_master, 4096 * 2);
+    assert_eq!(m.bytes_from_master, 4096 * 2, "broadcast charges per machine");
+}
