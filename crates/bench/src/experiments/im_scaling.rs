@@ -13,8 +13,10 @@
 use dim_cluster::ProcCluster;
 use dim_cluster::{phase, NetworkModel, PhaseTimeline};
 #[cfg(feature = "proc-backend")]
-use dim_core::diimm::{diimm_on, DiimmWorker};
+use dim_core::diimm::diimm_on;
 use dim_core::diimm::diimm;
+#[cfg(feature = "proc-backend")]
+use dim_core::{setup_im_cluster, WorkerHost};
 use dim_core::{ImConfig, ImResult, SamplerKind};
 use dim_diffusion::DiffusionModel;
 use dim_graph::Graph;
@@ -86,11 +88,11 @@ fn run_one(
 ) -> ImResult {
     #[cfg(feature = "proc-backend")]
     if ctx.backend == crate::context::Backend::Proc {
-        let workers: Vec<DiimmWorker> = (0..machines)
-            .map(|i| DiimmWorker::new(graph, config, i))
-            .collect();
+        let seed = config.seed;
         let mut cluster =
-            ProcCluster::auto(workers, network, config.seed).expect("loopback worker cluster");
+            ProcCluster::auto_with(machines, network, seed, |i| WorkerHost::new(i, seed))
+                .expect("loopback worker cluster");
+        setup_im_cluster(&mut cluster, graph, config.sampler).expect("well-formed wire");
         return diimm_on(&mut cluster, graph, config, true).expect("well-formed wire");
     }
     diimm(graph, config, machines, network, ctx.exec_mode()).expect("well-formed wire")

@@ -54,6 +54,10 @@ pub mod phase {
     pub const CORESET_UPLOAD: &str = "coreset-upload";
     /// Master-side core-set merge greedy (GreeDi / RandGreeDi).
     pub const CORESET_MERGE: &str = "coreset-merge";
+    /// One-time worker setup (graph load, sampler init, shard build) and
+    /// stats collection. Charges no modeled traffic: the paper's
+    /// accounting starts after data placement.
+    pub const SETUP: &str = "setup";
 }
 
 /// A master/worker cluster of `ℓ` machines, each owning a worker state

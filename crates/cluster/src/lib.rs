@@ -48,15 +48,19 @@
 //! ```
 
 //!
-//! With the `proc-backend` feature, [`tcp::ProcCluster`] adds a
-//! process-per-machine implementation over TCP loopback whose gathers and
-//! broadcasts move their byte volumes for real, recording wall-clock
+//! Distributed phases are expressed as serializable [`ops::WorkerOp`] /
+//! [`ops::WorkerReply`] messages executed through the [`OpCluster`] seam:
+//! [`SimCluster`] interprets them in process, and with the `proc-backend`
+//! feature [`tcp::ProcCluster`] ships the *identical* ops to
+//! process-per-machine workers over TCP (workers own their graph
+//! partition, RNG stream, and coverage shard), recording wall-clock
 //! transfer time in [`ClusterMetrics::measured_comm`] next to the modeled
 //! [`ClusterMetrics::comm_time`].
 
 pub mod backend;
 pub mod metrics;
 pub mod network;
+pub mod ops;
 pub mod rng;
 pub mod runtime;
 #[cfg(feature = "proc-backend")]
@@ -66,6 +70,7 @@ pub mod wire;
 pub use backend::{phase, ClusterBackend};
 pub use metrics::{ClusterMetrics, PhaseTimeline};
 pub use network::NetworkModel;
+pub use ops::{OpCluster, OpExecutor, SamplerSpec, WorkerOp, WorkerReply, WorkerStats};
 pub use rng::stream_seed;
 pub use runtime::{ExecMode, SimCluster};
 #[cfg(feature = "proc-backend")]

@@ -1,0 +1,782 @@
+//! Serializable phase-op protocol between the algorithms and the backends.
+//!
+//! The paper's architecture keeps every machine's RR-set shard and
+//! coverage labels *resident on that machine*; only thin typed messages —
+//! "apply seed v", "report your sparse ⟨set, Δ⟩ deltas" — cross the wire
+//! (Algorithm 1, §III-C). This module is that message vocabulary:
+//!
+//! * [`WorkerOp`] — everything a master ever asks a worker to do, from
+//!   one-time setup ([`WorkerOp::LoadGraph`], [`WorkerOp::BuildShard`])
+//!   through the per-phase algorithm steps ([`WorkerOp::SampleRr`],
+//!   [`WorkerOp::ApplySeed`], [`WorkerOp::Validate`], …) to
+//!   [`WorkerOp::Shutdown`].
+//! * [`WorkerReply`] — the typed responses, with [`WorkerReply::wire_size`]
+//!   defining each reply's *modeled* payload size (the quantity the paper
+//!   measures: delta tuples and counts, not framing).
+//! * [`OpExecutor`] — a worker that can answer ops against its resident
+//!   state. `CoverageShard` and the algorithm workers in `dim-core`
+//!   implement this.
+//! * [`OpCluster`] — the backend contract for op execution. Crucially,
+//!   [`crate::SimCluster`] implements it by interpreting the *same*
+//!   [`WorkerOp`] values in process that the TCP backend serializes to
+//!   worker processes — one code path, so backend equivalence holds by
+//!   construction.
+//!
+//! Both message types have exact little-endian codecs here (next to the
+//! payload codecs in [`crate::wire`]); the framing that carries them is the
+//! transport's concern (`crate::tcp`).
+
+use crate::backend::ClusterBackend;
+use crate::runtime::SimCluster;
+use crate::wire::{delta_wire_size, u64_wire_size, DeltaVec, WireError};
+
+/// Which RR-set sampler a worker should instantiate over its graph.
+///
+/// Mirrors `dim-core`'s `SamplerKind` without depending on it (this crate
+/// sits below the algorithms in the dependency order); `dim-core` provides
+/// the conversions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerSpec {
+    /// Reverse BFS under independent cascade.
+    StandardIc,
+    /// Reverse walk under linear threshold.
+    StandardLt,
+    /// SUBSIM's geometric-jump sampler (IC distribution).
+    Subsim,
+}
+
+impl SamplerSpec {
+    fn tag(self) -> u8 {
+        match self {
+            SamplerSpec::StandardIc => 0,
+            SamplerSpec::StandardLt => 1,
+            SamplerSpec::Subsim => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SamplerSpec::StandardIc),
+            1 => Some(SamplerSpec::StandardLt),
+            2 => Some(SamplerSpec::Subsim),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate shard statistics a worker reports on request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Number of elements (RR sets) resident in the shard.
+    pub num_elements: u64,
+    /// Σ over resident elements of their size.
+    pub total_size: u64,
+    /// Edges examined while sampling (the EPT mass), if the worker samples.
+    pub edges_examined: u64,
+}
+
+/// One request from the master to a worker.
+///
+/// Setup ops (`LoadGraph`, `InitSampler`, `BuildShard`) install resident
+/// state; phase ops drive the algorithms against it. Every op is answered
+/// by exactly one [`WorkerReply`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerOp {
+    /// Install the graph from its `dim-graph` binary encoding. → `Ok`.
+    LoadGraph {
+        /// The graph's portable binary encoding.
+        blob: Vec<u8>,
+    },
+    /// Construct an RR sampler + RNG stream over the loaded graph. → `Ok`.
+    InitSampler {
+        /// Which sampler to instantiate.
+        spec: SamplerSpec,
+    },
+    /// Install a coverage shard with the given element lists. → `Ok`.
+    BuildShard {
+        /// Global number of sets (nodes) in the coverage instance.
+        num_sets: u32,
+        /// The shard's elements, each a list of set ids covering it.
+        elements: Vec<Vec<u32>>,
+    },
+    /// Sample `count` RR sets into the resident shard. → `Ok`.
+    SampleRr {
+        /// How many RR sets this worker should add.
+        count: u64,
+    },
+    /// Report initial per-set coverage of the whole shard. → `Deltas`.
+    InitialCoverage,
+    /// Report coverage of only elements added since the last report
+    /// (§III-C incremental reporting). → `Deltas`.
+    NewCoverage,
+    /// Mark a chosen seed's elements covered. → `Deltas` (the sparse
+    /// marginal decreases).
+    ApplySeed {
+        /// The selected set (node) id.
+        set: u32,
+    },
+    /// Report how many resident elements are covered. → `Count`.
+    CoveredCount,
+    /// Report shard statistics. → `Stats`.
+    Stats,
+    /// Count resident elements covered by `seeds` without mutating the
+    /// shard (OPIM-C / SSA validation). → `Count`.
+    Validate {
+        /// The candidate seed set.
+        seeds: Vec<u32>,
+    },
+    /// Exit cleanly. → `Ok` (process workers exit afterwards).
+    Shutdown,
+}
+
+/// One worker response. Every [`WorkerOp`] produces exactly one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkerReply {
+    /// Acknowledgement with no payload.
+    Ok,
+    /// Sparse ⟨set, Δ⟩ coverage tuples.
+    Deltas(DeltaVec),
+    /// A single counter.
+    Count(u64),
+    /// Shard statistics.
+    Stats(WorkerStats),
+    /// The op failed worker-side (unsupported op, bad state).
+    Err(String),
+}
+
+// Op tags. Reply tags live in `WorkerReply::encode`.
+const OP_LOAD_GRAPH: u8 = 0;
+const OP_INIT_SAMPLER: u8 = 1;
+const OP_BUILD_SHARD: u8 = 2;
+const OP_SAMPLE_RR: u8 = 3;
+const OP_INITIAL_COVERAGE: u8 = 4;
+const OP_NEW_COVERAGE: u8 = 5;
+const OP_APPLY_SEED: u8 = 6;
+const OP_COVERED_COUNT: u8 = 7;
+const OP_STATS: u8 = 8;
+const OP_VALIDATE: u8 = 9;
+const OP_SHUTDOWN: u8 = 10;
+
+const REPLY_OK: u8 = 0;
+const REPLY_DELTAS: u8 = 1;
+const REPLY_COUNT: u8 = 2;
+const REPLY_STATS: u8 = 3;
+const REPLY_ERR: u8 = 4;
+
+/// Strict little-endian cursor over a byte slice. Every read is
+/// length-checked; [`Reader::finish`] rejects trailing bytes, so a decode
+/// accepts exactly the canonical encoding and nothing else.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let (&b, rest) = self.buf.split_first()?;
+        self.buf = rest;
+        Some(b)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let bytes = self.take(4)?;
+        Some(u32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.take(8)?;
+        Some(u64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+
+    fn finish(self) -> Option<()> {
+        self.buf.is_empty().then_some(())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+impl WorkerOp {
+    /// Serializes the op to its canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WorkerOp::LoadGraph { blob } => {
+                out.push(OP_LOAD_GRAPH);
+                put_u64(&mut out, blob.len() as u64);
+                out.extend_from_slice(blob);
+            }
+            WorkerOp::InitSampler { spec } => {
+                out.push(OP_INIT_SAMPLER);
+                out.push(spec.tag());
+            }
+            WorkerOp::BuildShard { num_sets, elements } => {
+                out.push(OP_BUILD_SHARD);
+                put_u32(&mut out, *num_sets);
+                put_u32(&mut out, elements.len() as u32);
+                for element in elements {
+                    put_u32(&mut out, element.len() as u32);
+                    for &id in element {
+                        put_u32(&mut out, id);
+                    }
+                }
+            }
+            WorkerOp::SampleRr { count } => {
+                out.push(OP_SAMPLE_RR);
+                put_u64(&mut out, *count);
+            }
+            WorkerOp::InitialCoverage => out.push(OP_INITIAL_COVERAGE),
+            WorkerOp::NewCoverage => out.push(OP_NEW_COVERAGE),
+            WorkerOp::ApplySeed { set } => {
+                out.push(OP_APPLY_SEED);
+                put_u32(&mut out, *set);
+            }
+            WorkerOp::CoveredCount => out.push(OP_COVERED_COUNT),
+            WorkerOp::Stats => out.push(OP_STATS),
+            WorkerOp::Validate { seeds } => {
+                out.push(OP_VALIDATE);
+                put_u32(&mut out, seeds.len() as u32);
+                for &v in seeds {
+                    put_u32(&mut out, v);
+                }
+            }
+            WorkerOp::Shutdown => out.push(OP_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Deserializes an op. Returns `None` on any deviation from the
+    /// canonical encoding (truncation, trailing bytes, bad tags,
+    /// length/body mismatch).
+    pub fn decode(bytes: &[u8]) -> Option<WorkerOp> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8()? {
+            OP_LOAD_GRAPH => {
+                let len = usize::try_from(r.u64()?).ok()?;
+                WorkerOp::LoadGraph {
+                    blob: r.take(len)?.to_vec(),
+                }
+            }
+            OP_INIT_SAMPLER => WorkerOp::InitSampler {
+                spec: SamplerSpec::from_tag(r.u8()?)?,
+            },
+            OP_BUILD_SHARD => {
+                let num_sets = r.u32()?;
+                let count = r.u32()? as usize;
+                let mut elements = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let len = r.u32()? as usize;
+                    let mut element = Vec::with_capacity(len.min(1 << 20));
+                    for _ in 0..len {
+                        element.push(r.u32()?);
+                    }
+                    elements.push(element);
+                }
+                WorkerOp::BuildShard { num_sets, elements }
+            }
+            OP_SAMPLE_RR => WorkerOp::SampleRr { count: r.u64()? },
+            OP_INITIAL_COVERAGE => WorkerOp::InitialCoverage,
+            OP_NEW_COVERAGE => WorkerOp::NewCoverage,
+            OP_APPLY_SEED => WorkerOp::ApplySeed { set: r.u32()? },
+            OP_COVERED_COUNT => WorkerOp::CoveredCount,
+            OP_STATS => WorkerOp::Stats,
+            OP_VALIDATE => {
+                let count = r.u32()? as usize;
+                let mut seeds = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    seeds.push(r.u32()?);
+                }
+                WorkerOp::Validate { seeds }
+            }
+            OP_SHUTDOWN => WorkerOp::Shutdown,
+            _ => return None,
+        };
+        r.finish()?;
+        Some(op)
+    }
+}
+
+impl WorkerReply {
+    /// Serializes the reply to its canonical byte encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WorkerReply::Ok => out.push(REPLY_OK),
+            WorkerReply::Deltas(deltas) => {
+                out.push(REPLY_DELTAS);
+                put_u32(&mut out, deltas.len() as u32);
+                for &(v, d) in deltas {
+                    put_u32(&mut out, v);
+                    put_u32(&mut out, d);
+                }
+            }
+            WorkerReply::Count(c) => {
+                out.push(REPLY_COUNT);
+                put_u64(&mut out, *c);
+            }
+            WorkerReply::Stats(s) => {
+                out.push(REPLY_STATS);
+                put_u64(&mut out, s.num_elements);
+                put_u64(&mut out, s.total_size);
+                put_u64(&mut out, s.edges_examined);
+            }
+            WorkerReply::Err(msg) => {
+                out.push(REPLY_ERR);
+                put_u32(&mut out, msg.len() as u32);
+                out.extend_from_slice(msg.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserializes a reply. Returns `None` on malformed input.
+    pub fn decode(bytes: &[u8]) -> Option<WorkerReply> {
+        let mut r = Reader::new(bytes);
+        let reply = match r.u8()? {
+            REPLY_OK => WorkerReply::Ok,
+            REPLY_DELTAS => {
+                let count = r.u32()? as usize;
+                let mut deltas = Vec::with_capacity(count.min(1 << 20));
+                for _ in 0..count {
+                    let v = r.u32()?;
+                    let d = r.u32()?;
+                    deltas.push((v, d));
+                }
+                WorkerReply::Deltas(deltas)
+            }
+            REPLY_COUNT => WorkerReply::Count(r.u64()?),
+            REPLY_STATS => WorkerReply::Stats(WorkerStats {
+                num_elements: r.u64()?,
+                total_size: r.u64()?,
+                edges_examined: r.u64()?,
+            }),
+            REPLY_ERR => {
+                let len = r.u32()? as usize;
+                let msg = String::from_utf8(r.take(len)?.to_vec()).ok()?;
+                WorkerReply::Err(msg)
+            }
+            _ => return None,
+        };
+        r.finish()?;
+        Some(reply)
+    }
+
+    /// The *modeled* payload size of this reply — the byte count the
+    /// paper's traffic accounting charges. Matches the sizes the
+    /// closure-based gathers used: sparse deltas cost
+    /// [`delta_wire_size`], counts cost one u64; acknowledgements and
+    /// control metadata (stats, errors) are free, like MPI envelopes.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            WorkerReply::Ok | WorkerReply::Err(_) => 0,
+            WorkerReply::Deltas(d) => delta_wire_size(d.len()),
+            WorkerReply::Count(_) => u64_wire_size(),
+            WorkerReply::Stats(_) => 3 * u64_wire_size(),
+        }
+    }
+}
+
+/// A worker that answers [`WorkerOp`]s against its resident state.
+///
+/// Implementations hold whatever the op set touches — graph, sampler/RNG,
+/// `CoverageShard` — and must answer every op they support with the reply
+/// type documented on the op, returning [`WorkerReply::Err`] for ops they
+/// do not support.
+pub trait OpExecutor {
+    /// Executes one op, mutating resident state as needed.
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply;
+}
+
+/// A cluster backend that can execute [`WorkerOp`]s on its machines.
+///
+/// This is the seam the distributed algorithms actually use: each
+/// gather/broadcast round becomes "build an op per machine, collect the
+/// typed replies". [`crate::SimCluster`] interprets ops in process;
+/// `crate::tcp::ProcCluster` serializes the identical values to worker
+/// processes — so both backends run the same op sequence by construction.
+pub trait OpCluster: ClusterBackend {
+    /// Executes `op(i)` on every machine `i` and returns the replies in
+    /// machine order, charging worker compute under `up_label`.
+    ///
+    /// No *modeled* traffic is charged here — callers decide whether a
+    /// round is free control flow ([`OpCluster::control`]), an upload
+    /// ([`OpCluster::op_gather`]), or a broadcast + upload
+    /// ([`OpCluster::op_broadcast_gather`]). Backends that physically move
+    /// bytes attribute the *measured* send time to `down_label` when given
+    /// (the op carries broadcast payload) and receive time to `up_label`.
+    ///
+    /// A [`WorkerReply::Err`] from any machine aborts the round with a
+    /// [`WireError`] naming that machine.
+    fn exec_ops<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync;
+
+    /// An op round with no modeled traffic: setup, sampling commands,
+    /// stats — control flow the paper does not count as algorithm
+    /// communication.
+    fn control<F>(&mut self, label: &'static str, op: F) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        self.exec_ops(None, label, op)
+    }
+
+    /// An op round whose replies are uploaded to the master: charges one
+    /// tree collective of `Σ reply.wire_size()` bytes across ℓ messages
+    /// under `label`, exactly like [`ClusterBackend::gather`].
+    fn op_gather<F>(&mut self, label: &'static str, op: F) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        let replies = self.exec_ops(None, label, op)?;
+        let bytes: u64 = replies.iter().map(WorkerReply::wire_size).sum();
+        self.charge_upload(label, replies.len() as u64, bytes);
+        Ok(replies)
+    }
+
+    /// A master→workers broadcast of `down_bytes_per_machine` (the op's
+    /// payload, e.g. an encoded seed id) followed by an upload of the
+    /// replies. The broadcast is charged under `down_label` *before* the
+    /// ops run, the upload under `up_label` after — preserving first-use
+    /// label order in the timeline.
+    fn op_broadcast_gather<F>(
+        &mut self,
+        down_label: &'static str,
+        down_bytes_per_machine: u64,
+        up_label: &'static str,
+        op: F,
+    ) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        self.broadcast(down_label, down_bytes_per_machine);
+        let replies = self.exec_ops(Some(down_label), up_label, op)?;
+        let bytes: u64 = replies.iter().map(WorkerReply::wire_size).sum();
+        self.charge_upload(up_label, replies.len() as u64, bytes);
+        Ok(replies)
+    }
+}
+
+/// [`SimCluster`] interprets ops in process: the same [`WorkerOp`] values
+/// the TCP backend ships are handed straight to each worker's
+/// [`OpExecutor::execute`], under the same virtual-time accounting as any
+/// closure phase.
+impl<W: Send + OpExecutor> OpCluster for SimCluster<W> {
+    fn exec_ops<F>(
+        &mut self,
+        _down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        let replies = self.par_step(up_label, |i, w| w.execute(&op(i)));
+        for (i, reply) in replies.iter().enumerate() {
+            if matches!(reply, WorkerReply::Err(_)) {
+                return Err(WireError::malformed(up_label, i));
+            }
+        }
+        Ok(replies)
+    }
+}
+
+/// Asserts every reply is [`WorkerReply::Ok`].
+pub fn expect_ok(replies: &[WorkerReply], phase: &'static str) -> Result<(), WireError> {
+    for (i, reply) in replies.iter().enumerate() {
+        if !matches!(reply, WorkerReply::Ok) {
+            return Err(WireError::malformed(phase, i));
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the [`WorkerReply::Count`] payload of every reply.
+pub fn expect_counts(replies: &[WorkerReply], phase: &'static str) -> Result<Vec<u64>, WireError> {
+    replies
+        .iter()
+        .enumerate()
+        .map(|(i, reply)| match reply {
+            WorkerReply::Count(c) => Ok(*c),
+            _ => Err(WireError::malformed(phase, i)),
+        })
+        .collect()
+}
+
+/// Extracts the [`WorkerReply::Deltas`] payload of every reply.
+pub fn expect_deltas(
+    replies: Vec<WorkerReply>,
+    phase: &'static str,
+) -> Result<Vec<DeltaVec>, WireError> {
+    replies
+        .into_iter()
+        .enumerate()
+        .map(|(i, reply)| match reply {
+            WorkerReply::Deltas(d) => Ok(d),
+            _ => Err(WireError::malformed(phase, i)),
+        })
+        .collect()
+}
+
+/// Extracts the [`WorkerReply::Stats`] payload of every reply.
+pub fn expect_stats(
+    replies: &[WorkerReply],
+    phase: &'static str,
+) -> Result<Vec<WorkerStats>, WireError> {
+    replies
+        .iter()
+        .enumerate()
+        .map(|(i, reply)| match reply {
+            WorkerReply::Stats(s) => Ok(*s),
+            _ => Err(WireError::malformed(phase, i)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::phase;
+    use crate::network::NetworkModel;
+    use crate::runtime::ExecMode;
+
+    fn all_ops() -> Vec<WorkerOp> {
+        vec![
+            WorkerOp::LoadGraph {
+                blob: vec![1, 2, 3, 255],
+            },
+            WorkerOp::LoadGraph { blob: vec![] },
+            WorkerOp::InitSampler {
+                spec: SamplerSpec::StandardIc,
+            },
+            WorkerOp::InitSampler {
+                spec: SamplerSpec::StandardLt,
+            },
+            WorkerOp::InitSampler {
+                spec: SamplerSpec::Subsim,
+            },
+            WorkerOp::BuildShard {
+                num_sets: 9,
+                elements: vec![vec![0, 3, 8], vec![], vec![5]],
+            },
+            WorkerOp::SampleRr { count: u64::MAX },
+            WorkerOp::InitialCoverage,
+            WorkerOp::NewCoverage,
+            WorkerOp::ApplySeed { set: 7 },
+            WorkerOp::CoveredCount,
+            WorkerOp::Stats,
+            WorkerOp::Validate {
+                seeds: vec![1, u32::MAX],
+            },
+            WorkerOp::Shutdown,
+        ]
+    }
+
+    fn all_replies() -> Vec<WorkerReply> {
+        vec![
+            WorkerReply::Ok,
+            WorkerReply::Deltas(vec![(0, 1), (u32::MAX, 42)]),
+            WorkerReply::Deltas(vec![]),
+            WorkerReply::Count(u64::MAX),
+            WorkerReply::Stats(WorkerStats {
+                num_elements: 3,
+                total_size: 17,
+                edges_examined: 99,
+            }),
+            WorkerReply::Err("shard missing".into()),
+        ]
+    }
+
+    #[test]
+    fn op_roundtrip() {
+        for op in all_ops() {
+            let bytes = op.encode();
+            assert_eq!(WorkerOp::decode(&bytes).as_ref(), Some(&op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        for reply in all_replies() {
+            let bytes = reply.encode();
+            assert_eq!(
+                WorkerReply::decode(&bytes).as_ref(),
+                Some(&reply),
+                "{reply:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_trailing() {
+        for op in all_ops() {
+            let mut bytes = op.encode();
+            bytes.push(0);
+            assert!(WorkerOp::decode(&bytes).is_none(), "trailing: {op:?}");
+            bytes.pop();
+            if bytes.len() > 1 {
+                assert!(
+                    WorkerOp::decode(&bytes[..bytes.len() - 1]).is_none(),
+                    "truncated: {op:?}"
+                );
+            }
+        }
+        for reply in all_replies() {
+            let mut bytes = reply.encode();
+            bytes.push(0);
+            assert!(WorkerReply::decode(&bytes).is_none(), "trailing: {reply:?}");
+        }
+        assert!(WorkerOp::decode(&[]).is_none());
+        assert!(WorkerReply::decode(&[]).is_none());
+        assert!(WorkerOp::decode(&[200]).is_none());
+        assert!(WorkerReply::decode(&[200]).is_none());
+    }
+
+    #[test]
+    fn rejects_pathological_counts() {
+        // A Validate header claiming u32::MAX seeds with a short body must
+        // fail on the length check, not allocate or scan past the buffer.
+        let mut bytes = vec![9u8]; // OP_VALIDATE
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(WorkerOp::decode(&bytes).is_none());
+
+        let mut reply = vec![1u8]; // REPLY_DELTAS
+        reply.extend_from_slice(&u32::MAX.to_le_bytes());
+        reply.extend_from_slice(&[0u8; 8]);
+        assert!(WorkerReply::decode(&reply).is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_err() {
+        let mut bytes = vec![4u8]; // REPLY_ERR
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(WorkerReply::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn reply_wire_sizes_match_closure_accounting() {
+        assert_eq!(WorkerReply::Ok.wire_size(), 0);
+        assert_eq!(WorkerReply::Err("x".into()).wire_size(), 0);
+        assert_eq!(WorkerReply::Count(5).wire_size(), u64_wire_size());
+        assert_eq!(
+            WorkerReply::Deltas(vec![(1, 2), (3, 4)]).wire_size(),
+            delta_wire_size(2)
+        );
+        assert_eq!(WorkerReply::Stats(WorkerStats::default()).wire_size(), 24);
+    }
+
+    /// A toy executor: `SampleRr` accumulates, `CoveredCount` reports, and
+    /// everything else is unsupported.
+    struct Tally(u64);
+
+    impl OpExecutor for Tally {
+        fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+            match op {
+                WorkerOp::SampleRr { count } => {
+                    self.0 += count;
+                    WorkerReply::Ok
+                }
+                WorkerOp::CoveredCount => WorkerReply::Count(self.0),
+                _ => WorkerReply::Err("unsupported".into()),
+            }
+        }
+    }
+
+    #[test]
+    fn sim_cluster_interprets_ops_in_process() {
+        let mut cluster = SimCluster::new(
+            vec![Tally(0), Tally(0), Tally(0)],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let acks = cluster
+            .control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+                count: (i as u64 + 1) * 10,
+            })
+            .unwrap();
+        expect_ok(&acks, phase::RR_SAMPLING).unwrap();
+        // Control rounds model no traffic.
+        assert_eq!(cluster.metrics().total_bytes(), 0);
+
+        let counts = cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap();
+        let counts = expect_counts(&counts, phase::COUNT_UPLOAD).unwrap();
+        assert_eq!(counts, vec![10, 20, 30]);
+        let m = cluster.timeline().get(phase::COUNT_UPLOAD);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes_to_master, 3 * u64_wire_size());
+    }
+
+    #[test]
+    fn broadcast_gather_orders_labels_and_charges_both_directions() {
+        let mut cluster = SimCluster::new(
+            vec![Tally(4), Tally(6)],
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let replies = cluster
+            .op_broadcast_gather(phase::SEED_BROADCAST, 8, phase::COUNT_UPLOAD, |_| {
+                WorkerOp::CoveredCount
+            })
+            .unwrap();
+        assert_eq!(expect_counts(&replies, phase::COUNT_UPLOAD).unwrap(), [4, 6]);
+        let labels: Vec<_> = cluster.timeline().labels().collect();
+        assert_eq!(labels, vec![phase::SEED_BROADCAST, phase::COUNT_UPLOAD]);
+        assert_eq!(
+            cluster.timeline().get(phase::SEED_BROADCAST).bytes_from_master,
+            16
+        );
+        assert_eq!(
+            cluster.timeline().get(phase::COUNT_UPLOAD).bytes_to_master,
+            2 * u64_wire_size()
+        );
+    }
+
+    #[test]
+    fn worker_err_aborts_round_naming_machine() {
+        let mut cluster = SimCluster::new(
+            vec![Tally(0), Tally(0)],
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        );
+        let err = cluster
+            .control(phase::VALIDATION, |_| WorkerOp::Shutdown)
+            .unwrap_err();
+        assert_eq!(err.phase, phase::VALIDATION);
+        assert_eq!(err.machine, Some(0));
+    }
+
+    #[test]
+    fn expect_helpers_reject_mismatches() {
+        let replies = vec![WorkerReply::Ok, WorkerReply::Count(1)];
+        assert!(expect_ok(&replies, "x").is_err());
+        assert!(expect_counts(&replies, "x").is_err());
+        assert!(expect_deltas(replies.clone(), "x").is_err());
+        assert_eq!(expect_stats(&replies, "x").unwrap_err().machine, Some(0));
+    }
+}

@@ -1,50 +1,57 @@
-//! The process-per-machine [`ClusterBackend`] over TCP loopback.
+//! The process-per-machine [`ClusterBackend`] over TCP.
 //!
-//! [`ProcCluster`] is the "real I/O" counterpart of [`crate::SimCluster`]:
-//! each of the ℓ machines is a separate OS process (the `dim-worker`
-//! binary, or a thread serving the identical protocol in tests), connected
-//! to the master over a loopback TCP socket. Algorithm closures still run
-//! master-side — `par_step` closures capture arbitrary borrowed state and
-//! cannot be shipped across a process boundary — and execute sequentially
-//! with exactly [`crate::ExecMode::Sequential`]'s virtual-time accounting,
-//! so a `ProcCluster` run is bit-identical to a sequential `SimCluster`
-//! run. What the worker processes add is the *physical* communication
-//! path: every `gather`/`broadcast` moves its modeled byte volume over the
-//! sockets for real, and the wall-clock cost lands in
-//! [`ClusterMetrics::measured_comm`] next to the modeled
-//! [`ClusterMetrics::comm_time`], giving experiments a modeled-vs-measured
-//! comparison per phase.
+//! [`ProcCluster`] is the "real distribution" counterpart of
+//! [`crate::SimCluster`]: each of the ℓ machines is a separate OS process
+//! (the `dim-worker` binary, or a thread serving the identical protocol in
+//! tests) that **owns its resident state** — graph partition, RNG stream,
+//! RR-set shard, coverage labels — and answers serialized
+//! [`WorkerOp`]s until shutdown. The master holds no shard state at all;
+//! every algorithm phase becomes one op round through the [`OpCluster`]
+//! seam, and since [`crate::SimCluster`] interprets the *same* op values in
+//! process, both backends execute the same algorithm by construction.
 //!
 //! # Frame protocol
 //!
-//! Every frame is `[u32 len (LE)] [u8 op] [body; len − 1]`, with `len`
+//! Every frame is `[u32 len (LE)] [u8 opcode] [body; len − 1]`, with `len`
 //! capped at [`MAX_FRAME`]. Opcodes:
 //!
-//! | op | name       | direction | body                                   |
-//! |----|------------|-----------|----------------------------------------|
-//! | 0  | HELLO      | w → m     | `[u32 machine_id] [u64 stream_seed]`   |
-//! | 1  | UPLOAD_REQ | m → w     | `[u64 n]` + phase label bytes          |
-//! | 2  | DATA       | w → m     | ≤ [`CHUNK`] pattern bytes              |
-//! | 3  | DOWNLOAD   | m → w     | ≤ [`CHUNK`] payload bytes (ACKed)      |
-//! | 4  | ACK        | w → m     | empty                                  |
-//! | 5  | SHUTDOWN   | m → w     | empty                                  |
+//! | opcode | name  | direction | body                                     |
+//! |--------|-------|-----------|------------------------------------------|
+//! | 0      | HELLO | w → m     | `[u32 machine_id] [u64 stream_seed]`     |
+//! | 1      | OP    | m → w     | one encoded [`WorkerOp`]                 |
+//! | 2      | REPLY | w → m     | `[u64 elapsed_ns]` + encoded [`WorkerReply`] |
 //!
-//! Upload payloads are not the algorithm's messages (those never leave the
-//! master) but a deterministic byte pattern drawn from a [`PatternGen`]
-//! seeded with `stream_seed(master_seed, machine_id)` — the same stream
-//! derivation every stochastic component uses. The master mirrors each
-//! worker's generator and verifies every received byte, so a worker
-//! process with a diverged RNG stream (or a corrupted link) is detected,
-//! not silently tolerated.
+//! An op round is pipelined: the master sends every machine its OP frame
+//! first, then reads the ℓ REPLY frames — so worker processes genuinely
+//! compute in parallel, and the round's compute cost is the *maximum*
+//! worker-reported `elapsed_ns` (the paper's rule). The REPLY's elapsed
+//! prefix lets the master separate worker compute from transfer time: the
+//! wall clock of the send and of the receive-minus-compute land in
+//! [`ClusterMetrics::measured_comm`] under the phase's labels, next to the
+//! modeled [`ClusterMetrics::comm_time`].
 //!
-//! # Fault tolerance
+//! There is no dedicated shutdown frame: [`WorkerOp::Shutdown`] rides the
+//! normal OP path (sent by `Drop`), and a master disconnect (EOF) is an
+//! equally clean exit — workers log a line and exit 0 either way.
 //!
-//! A link that yields an I/O error, a malformed frame, or a pattern
-//! mismatch is marked dead and skipped for the rest of the run;
-//! [`ProcCluster::link_errors`] counts such events. Algorithm results are
-//! unaffected (worker state is master-side), only the measured-transfer
-//! channel degrades — mirroring how the simulated backends keep working
-//! with no sockets at all.
+//! # Failure semantics
+//!
+//! Worker state is resident in the worker processes, so a dead link is
+//! *fatal to the round*, not a degraded-measurement detail: an I/O error
+//! or malformed frame marks the link dead, increments
+//! [`ProcCluster::link_errors`], and surfaces as a typed
+//! [`WireError`] (kind [`crate::WireErrorKind::Link`] for transport
+//! failures, `Malformed` for protocol violations) which the algorithms
+//! propagate to their callers. This mirrors MPI's fail-stop model rather
+//! than the earlier pattern-verified placeholder path, which could shrug
+//! links off because no state lived behind them.
+//!
+//! # Addresses
+//!
+//! The master binds `127.0.0.1:0` by default; set `DIM_MASTER_BIND` (e.g.
+//! `0.0.0.0:7070`) to accept workers from other hosts. Workers are told
+//! where to connect via `--addr` (or the `DIM_WORKER_ADDR` environment
+//! variable) — groundwork for multi-host runs beyond loopback.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -53,25 +60,27 @@ use std::time::{Duration, Instant};
 use crate::backend::ClusterBackend;
 use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
+use crate::ops::{OpCluster, OpExecutor, WorkerOp, WorkerReply};
 use crate::rng::stream_seed;
+use crate::wire::WireError;
 
 /// Hard cap on a single frame's declared length (header + body).
 pub const MAX_FRAME: usize = 64 << 20;
-/// Payload bytes per DATA/DOWNLOAD frame; larger transfers are chunked.
-pub const CHUNK: usize = 1 << 20;
 
-/// Seconds a handshake or in-phase read may block before the link is
+/// Seconds a handshake read or worker connect may block before the link is
 /// declared dead.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Seconds the master waits for a REPLY — generous, because arbitrary
+/// worker compute (RR sampling of a whole shard) happens between the OP
+/// and its REPLY.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
 /// Frame opcodes (see the module docs for the protocol table).
-mod op {
+mod frame {
     pub const HELLO: u8 = 0;
-    pub const UPLOAD_REQ: u8 = 1;
-    pub const DATA: u8 = 2;
-    pub const DOWNLOAD: u8 = 3;
-    pub const ACK: u8 = 4;
-    pub const SHUTDOWN: u8 = 5;
+    pub const OP: u8 = 1;
+    pub const REPLY: u8 = 2;
 }
 
 fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
@@ -106,51 +115,6 @@ fn protocol_err(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Deterministic byte-pattern generator (SplitMix64 stream).
-///
-/// Workers fill their upload payloads from one of these, seeded with
-/// their [`stream_seed`]; the master mirrors the generator per machine and
-/// verifies every byte it receives, which turns each gather into an
-/// end-to-end check that both processes derived the same RNG stream.
-#[derive(Clone, Debug)]
-pub struct PatternGen {
-    state: u64,
-    stash: u64,
-    stash_len: usize,
-}
-
-impl PatternGen {
-    /// A generator over the stream identified by `seed`.
-    pub fn new(seed: u64) -> Self {
-        PatternGen {
-            state: seed,
-            stash: 0,
-            stash_len: 0,
-        }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Fills `out` with the next bytes of the stream.
-    pub fn fill(&mut self, out: &mut [u8]) {
-        for b in out.iter_mut() {
-            if self.stash_len == 0 {
-                self.stash = self.next_u64();
-                self.stash_len = 8;
-            }
-            *b = self.stash as u8;
-            self.stash >>= 8;
-            self.stash_len -= 1;
-        }
-    }
-}
-
 /// Fault injections for protocol tests (worker side).
 ///
 /// The `dim-worker` binary reads these from the `DIM_WORKER_FAULT`
@@ -158,10 +122,10 @@ impl PatternGen {
 /// them to [`run_worker_with_fault`] directly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkerFault {
-    /// On the `request`-th upload (1-based), declare a full frame but send
+    /// On the `request`-th reply (1-based), declare a full frame but send
     /// only a few bytes, then close the connection.
     TruncateUpload {
-        /// Which upload request (1-based) to sabotage.
+        /// Which reply (1-based) to sabotage.
         request: usize,
     },
 }
@@ -179,71 +143,77 @@ impl WorkerFault {
     }
 }
 
-/// Serves the worker side of the protocol until SHUTDOWN or EOF.
+/// Serves the worker side of the protocol until [`WorkerOp::Shutdown`] or
+/// master disconnect, answering every op via `executor`.
 ///
 /// This is the entire body of the `dim-worker` binary; tests call it on a
-/// thread with one end of a loopback socket pair.
-pub fn run_worker(stream: TcpStream, machine_id: u32, master_seed: u64) -> io::Result<()> {
-    run_worker_with_fault(stream, machine_id, master_seed, None)
+/// thread with one end of a loopback socket pair. Returns `Ok(())` on both
+/// clean exits (shutdown op, EOF) so process workers exit 0.
+pub fn run_worker<E: OpExecutor>(
+    stream: TcpStream,
+    machine_id: u32,
+    master_seed: u64,
+    executor: &mut E,
+) -> io::Result<()> {
+    run_worker_with_fault(stream, machine_id, master_seed, executor, None)
 }
 
 /// [`run_worker`] with an optional injected fault.
-pub fn run_worker_with_fault(
+pub fn run_worker_with_fault<E: OpExecutor>(
     mut stream: TcpStream,
     machine_id: u32,
     master_seed: u64,
+    executor: &mut E,
     fault: Option<WorkerFault>,
 ) -> io::Result<()> {
     let seed = stream_seed(master_seed, machine_id as usize);
     let mut hello = Vec::with_capacity(12);
     hello.extend_from_slice(&machine_id.to_le_bytes());
     hello.extend_from_slice(&seed.to_le_bytes());
-    write_frame(&mut stream, op::HELLO, &hello)?;
+    write_frame(&mut stream, frame::HELLO, &hello)?;
 
-    let mut pattern = PatternGen::new(seed);
-    let mut uploads = 0usize;
+    let mut replies = 0usize;
     loop {
         let (opcode, body) = match read_frame(&mut stream) {
-            Ok(frame) => frame,
-            // Master hung up without SHUTDOWN: a normal exit path.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Ok(f) => f,
+            // Master hung up without a Shutdown op: a normal exit path.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                eprintln!("dim-worker[{machine_id}]: master disconnected, exiting");
+                return Ok(());
+            }
             Err(e) => return Err(e),
         };
-        match opcode {
-            op::UPLOAD_REQ => {
-                if body.len() < 8 {
-                    return Err(protocol_err("short UPLOAD_REQ"));
-                }
-                let n = u64::from_le_bytes(body[..8].try_into().unwrap()) as usize;
-                uploads += 1;
-                if fault == Some(WorkerFault::TruncateUpload { request: uploads }) {
-                    // Declare a 64-byte frame, deliver 3 bytes, vanish.
-                    stream.write_all(&64u32.to_le_bytes())?;
-                    stream.write_all(&[op::DATA, 0xde, 0xad])?;
-                    stream.flush()?;
-                    return Ok(());
-                }
-                let mut sent = 0usize;
-                let mut chunk = vec![0u8; CHUNK.min(n.max(1))];
-                while sent < n {
-                    let take = CHUNK.min(n - sent);
-                    pattern.fill(&mut chunk[..take]);
-                    write_frame(&mut stream, op::DATA, &chunk[..take])?;
-                    sent += take;
-                }
-            }
-            op::DOWNLOAD => write_frame(&mut stream, op::ACK, &[])?,
-            op::SHUTDOWN => return Ok(()),
-            other => return Err(protocol_err(&format!("unexpected opcode {other}"))),
+        if opcode != frame::OP {
+            return Err(protocol_err(&format!("unexpected opcode {opcode}")));
         }
+        let Some(op) = WorkerOp::decode(&body) else {
+            return Err(protocol_err("malformed op"));
+        };
+        if op == WorkerOp::Shutdown {
+            let reply = [&0u64.to_le_bytes()[..], &WorkerReply::Ok.encode()].concat();
+            let _ = write_frame(&mut stream, frame::REPLY, &reply);
+            eprintln!("dim-worker[{machine_id}]: shutdown op received, exiting");
+            return Ok(());
+        }
+        let start = Instant::now();
+        let reply = executor.execute(&op);
+        let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        replies += 1;
+        if fault == Some(WorkerFault::TruncateUpload { request: replies }) {
+            // Declare a 64-byte frame, deliver 3 bytes, vanish.
+            stream.write_all(&64u32.to_le_bytes())?;
+            stream.write_all(&[frame::REPLY, 0xde, 0xad])?;
+            stream.flush()?;
+            return Ok(());
+        }
+        let body = [&elapsed.to_le_bytes()[..], &reply.encode()].concat();
+        write_frame(&mut stream, frame::REPLY, &body)?;
     }
 }
 
 /// Master-side end of one worker link.
 struct Link {
     stream: TcpStream,
-    /// Mirror of the worker's [`PatternGen`], for verifying uploads.
-    mirror: PatternGen,
     alive: bool,
 }
 
@@ -256,15 +226,16 @@ enum Served {
 }
 
 /// A master/worker cluster of ℓ machines, each a separate endpoint over
-/// TCP loopback (OS processes via [`ProcCluster::spawn`], threads via
-/// [`ProcCluster::local`]).
+/// TCP (OS processes via [`ProcCluster::spawn`], threads via
+/// [`ProcCluster::local_with`]), driven through serialized [`WorkerOp`]s.
 ///
-/// Implements [`ClusterBackend`] with sequential master-side execution
-/// (deterministic, bit-identical to `SimCluster` in
-/// [`crate::ExecMode::Sequential`]) plus physical per-phase transfers that
-/// populate [`ClusterMetrics::measured_comm`]. See the module docs.
-pub struct ProcCluster<W> {
-    workers: Vec<W>,
+/// Worker state is *resident in the endpoints* — the master side carries no
+/// shard data, which is why [`ClusterBackend::Worker`] is `()` here.
+/// Implements [`OpCluster`] with pipelined op rounds that populate
+/// [`ClusterMetrics::measured_comm`] per phase from the real transfers.
+pub struct ProcCluster {
+    /// One unit per machine; the real state lives across the sockets.
+    units: Vec<()>,
     network: NetworkModel,
     timeline: PhaseTimeline,
     master_seed: u64,
@@ -273,9 +244,13 @@ pub struct ProcCluster<W> {
     link_errors: u64,
 }
 
-impl<W: Send> ProcCluster<W> {
-    /// Spawns one `dim-worker` OS process per machine and connects them
-    /// over loopback TCP.
+/// The master's listening address: `DIM_MASTER_BIND` or loopback.
+fn master_bind_addr() -> String {
+    std::env::var("DIM_MASTER_BIND").unwrap_or_else(|_| "127.0.0.1:0".to_string())
+}
+
+impl ProcCluster {
+    /// Spawns `count` `dim-worker` OS processes and connects them over TCP.
     ///
     /// The worker binary is located via the `DIM_WORKER_BIN` environment
     /// variable, falling back to a `dim-worker` next to (or one directory
@@ -284,61 +259,44 @@ impl<W: Send> ProcCluster<W> {
     /// land in `target/<profile>`. Errors if the binary cannot be found
     /// or any worker fails to spawn/handshake, so callers can skip
     /// gracefully where process spawning is unavailable.
-    pub fn spawn(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
+    pub fn spawn(count: usize, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
         let bin = worker_binary()?;
-        Self::spawn_with_bin(workers, network, master_seed, &bin).map_err(|(e, _)| e)
+        Self::spawn_with_bin(count, network, master_seed, &bin)
     }
 
-    /// [`ProcCluster::spawn`] with an explicit worker binary; hands the
-    /// worker states back on failure so callers can fall back.
+    /// [`ProcCluster::spawn`] with an explicit worker binary.
     fn spawn_with_bin(
-        workers: Vec<W>,
+        count: usize,
         network: NetworkModel,
         master_seed: u64,
         bin: &std::path::Path,
-    ) -> Result<Self, (io::Error, Vec<W>)> {
-        match Self::spawn_inner(workers.len(), network, master_seed, bin) {
-            Ok((streams, served)) => {
-                Self::assemble(workers, network, master_seed, streams, served)
-                    .map_err(|e| (e, Vec::new()))
-            }
-            Err(e) => Err((e, workers)),
-        }
-    }
-
-    /// Spawns and connects the worker processes (no worker state involved).
-    fn spawn_inner(
-        count: usize,
-        _network: NetworkModel,
-        master_seed: u64,
-        bin: &std::path::Path,
-    ) -> io::Result<(Vec<TcpStream>, Vec<Served>)> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(master_bind_addr())?;
         let addr = listener.local_addr()?;
         let mut children = Vec::with_capacity(count);
-        for id in 0..count {
-            let child = std::process::Command::new(bin)
-                .arg("--connect")
-                .arg(addr.to_string())
-                .arg("--machine-id")
-                .arg(id.to_string())
-                .arg("--master-seed")
-                .arg(master_seed.to_string())
-                .stdin(std::process::Stdio::null())
-                .spawn();
-            match child {
-                Ok(c) => children.push(c),
-                Err(e) => {
-                    for mut c in children {
-                        let _ = c.kill();
-                        let _ = c.wait();
-                    }
-                    return Err(e);
-                }
+        let mut spawn_all = || -> io::Result<Vec<TcpStream>> {
+            for id in 0..count {
+                let child = std::process::Command::new(bin)
+                    .arg("--addr")
+                    .arg(addr.to_string())
+                    .arg("--machine-id")
+                    .arg(id.to_string())
+                    .arg("--master-seed")
+                    .arg(master_seed.to_string())
+                    .stdin(std::process::Stdio::null())
+                    .spawn()?;
+                children.push(child);
             }
-        }
-        match accept_n(&listener, children.len()) {
-            Ok(streams) => Ok((streams, children.into_iter().map(Served::Process).collect())),
+            accept_n(&listener, count)
+        };
+        match spawn_all() {
+            Ok(streams) => Self::assemble(
+                count,
+                network,
+                master_seed,
+                streams,
+                children.into_iter().map(Served::Process).collect(),
+            ),
             Err(e) => {
                 for mut c in children {
                     let _ = c.kill();
@@ -350,96 +308,110 @@ impl<W: Send> ProcCluster<W> {
     }
 
     /// Builds a cluster whose machines are in-process threads serving the
-    /// identical frame protocol over real loopback sockets.
+    /// identical frame protocol over real loopback sockets, each running
+    /// the executor `factory(machine_id)` produces.
     ///
     /// This is the test seam and the fallback where spawning processes is
     /// unavailable; everything except the process boundary (handshake,
-    /// framing, pattern verification, measured transfers) is exercised the
-    /// same way.
-    pub fn local(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
-        Self::local_with_faults(workers, network, master_seed, Vec::new())
-    }
-
-    /// [`ProcCluster::local`] with per-machine fault injections
-    /// (`faults.get(i)` applies to machine `i`).
-    pub fn local_with_faults(
-        workers: Vec<W>,
+    /// framing, op dispatch, measured transfers) is exercised the same way.
+    pub fn local_with<E, F>(
+        count: usize,
         network: NetworkModel,
         master_seed: u64,
+        factory: F,
+    ) -> io::Result<Self>
+    where
+        E: OpExecutor + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        Self::local_with_faults(count, network, master_seed, factory, Vec::new())
+    }
+
+    /// [`ProcCluster::local_with`] with per-machine fault injections
+    /// (`faults.get(i)` applies to machine `i`).
+    pub fn local_with_faults<E, F>(
+        count: usize,
+        network: NetworkModel,
+        master_seed: u64,
+        factory: F,
         faults: Vec<Option<WorkerFault>>,
-    ) -> io::Result<Self> {
+    ) -> io::Result<Self>
+    where
+        E: OpExecutor + Send + 'static,
+        F: Fn(usize) -> E,
+    {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let mut served = Vec::with_capacity(workers.len());
-        for id in 0..workers.len() {
+        let mut served = Vec::with_capacity(count);
+        for id in 0..count {
             let fault = faults.get(id).copied().flatten();
+            let mut executor = factory(id);
             let handle = std::thread::spawn(move || {
                 let stream = TcpStream::connect(addr)?;
-                run_worker_with_fault(stream, id as u32, master_seed, fault)
+                run_worker_with_fault(stream, id as u32, master_seed, &mut executor, fault)
             });
             served.push(Served::Thread(handle));
         }
-        let streams = accept_n(&listener, served.len())?;
-        Self::assemble(workers, network, master_seed, streams, served)
+        let streams = accept_n(&listener, count)?;
+        Self::assemble(count, network, master_seed, streams, served)
     }
 
-    /// [`ProcCluster::spawn`] if a worker binary is available, otherwise
-    /// [`ProcCluster::local`]. Never fails for want of the binary alone.
-    pub fn auto(workers: Vec<W>, network: NetworkModel, master_seed: u64) -> io::Result<Self> {
-        let workers = match worker_binary() {
-            Ok(bin) => match Self::spawn_with_bin(workers, network, master_seed, &bin) {
-                Ok(cluster) => return Ok(cluster),
-                Err((e, workers)) if !workers.is_empty() => {
-                    // Spawn-stage failure: fall through to thread workers.
-                    let _ = e;
-                    workers
-                }
-                Err((e, _)) => return Err(e),
-            },
-            Err(_) => workers,
-        };
-        Self::local(workers, network, master_seed)
+    /// [`ProcCluster::spawn`] if a worker binary is available and spawning
+    /// works, otherwise [`ProcCluster::local_with`] using `factory`. Never
+    /// fails for want of the binary alone.
+    pub fn auto_with<E, F>(
+        count: usize,
+        network: NetworkModel,
+        master_seed: u64,
+        factory: F,
+    ) -> io::Result<Self>
+    where
+        E: OpExecutor + Send + 'static,
+        F: Fn(usize) -> E,
+    {
+        if let Ok(bin) = worker_binary() {
+            if let Ok(cluster) = Self::spawn_with_bin(count, network, master_seed, &bin) {
+                return Ok(cluster);
+            }
+        }
+        Self::local_with(count, network, master_seed, factory)
     }
 
     /// Handshakes `streams` (in any order — HELLO carries the machine id)
     /// and assembles the cluster.
     fn assemble(
-        workers: Vec<W>,
+        count: usize,
         network: NetworkModel,
         master_seed: u64,
         streams: Vec<TcpStream>,
         served: Vec<Served>,
     ) -> io::Result<Self> {
-        assert!(!workers.is_empty(), "cluster needs at least one machine");
-        let l = workers.len();
-        let mut slots: Vec<Option<Link>> = (0..l).map(|_| None).collect();
+        assert!(count > 0, "cluster needs at least one machine");
+        let mut slots: Vec<Option<Link>> = (0..count).map(|_| None).collect();
         for mut stream in streams {
             stream.set_read_timeout(Some(IO_TIMEOUT))?;
             stream.set_nodelay(true)?;
             let (opcode, body) = read_frame(&mut stream)?;
-            if opcode != op::HELLO || body.len() != 12 {
+            if opcode != frame::HELLO || body.len() != 12 {
                 return Err(protocol_err("bad HELLO"));
             }
             let id = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
             let seed = u64::from_le_bytes(body[4..].try_into().unwrap());
-            if id >= l || slots[id].is_some() {
+            if id >= count || slots[id].is_some() {
                 return Err(protocol_err("bad machine id in HELLO"));
             }
             if seed != stream_seed(master_seed, id) {
                 return Err(protocol_err("worker stream seed mismatch"));
             }
-            slots[id] = Some(Link {
-                stream,
-                mirror: PatternGen::new(seed),
-                alive: true,
-            });
+            stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+            slots[id] = Some(Link { stream, alive: true });
         }
         let links = slots
             .into_iter()
             .map(|s| s.ok_or_else(|| protocol_err("missing worker connection")))
             .collect::<io::Result<Vec<_>>>()?;
         Ok(ProcCluster {
-            workers,
+            units: vec![(); count],
             network,
             timeline: PhaseTimeline::new(),
             master_seed,
@@ -464,73 +436,26 @@ impl<W: Send> ProcCluster<W> {
         self.links.iter().filter(|l| l.alive).count()
     }
 
-    /// Consumes the cluster, returning the worker states.
-    pub fn into_workers(mut self) -> Vec<W> {
-        std::mem::take(&mut self.workers)
+    /// OS process ids of the spawned worker processes (empty for
+    /// thread-served clusters). Lets tests verify no orphans survive drop.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.served
+            .iter()
+            .filter_map(|s| match s {
+                Served::Process(child) => Some(child.id()),
+                Served::Thread(_) => None,
+            })
+            .collect()
     }
 
-    /// Requests `n` pattern bytes from machine `i` and verifies them
-    /// against the master-side mirror. Marks the link dead on any error.
-    fn pull_from(&mut self, i: usize, n: u64, label: &'static str) {
-        if !self.links[i].alive {
-            return;
-        }
-        let result = (|| -> io::Result<()> {
-            let link = &mut self.links[i];
-            let mut req = Vec::with_capacity(8 + label.len());
-            req.extend_from_slice(&n.to_le_bytes());
-            req.extend_from_slice(label.as_bytes());
-            write_frame(&mut link.stream, op::UPLOAD_REQ, &req)?;
-            let mut received = 0u64;
-            let mut expected = vec![0u8; CHUNK];
-            while received < n {
-                let (opcode, body) = read_frame(&mut link.stream)?;
-                if opcode != op::DATA {
-                    return Err(protocol_err("expected DATA"));
-                }
-                if body.is_empty() || received + body.len() as u64 > n {
-                    return Err(protocol_err("DATA over-delivery"));
-                }
-                link.mirror.fill(&mut expected[..body.len()]);
-                if body != expected[..body.len()] {
-                    return Err(protocol_err("upload pattern mismatch"));
-                }
-                received += body.len() as u64;
-            }
-            Ok(())
-        })();
-        if result.is_err() {
-            self.links[i].alive = false;
-            self.link_errors += 1;
-        }
-    }
-
-    /// Pushes `n` payload bytes to machine `i` (chunked DOWNLOAD frames,
-    /// each ACKed). Marks the link dead on any error.
-    fn push_to(&mut self, i: usize, n: u64) {
-        if !self.links[i].alive {
-            return;
-        }
-        let result = (|| -> io::Result<()> {
-            let link = &mut self.links[i];
-            let payload = vec![0u8; CHUNK.min(n.max(1) as usize)];
-            let mut sent = 0u64;
-            loop {
-                let take = (n - sent).min(CHUNK as u64) as usize;
-                write_frame(&mut link.stream, op::DOWNLOAD, &payload[..take])?;
-                let (opcode, body) = read_frame(&mut link.stream)?;
-                if opcode != op::ACK || !body.is_empty() {
-                    return Err(protocol_err("expected ACK"));
-                }
-                sent += take as u64;
-                if sent >= n {
-                    return Ok(());
-                }
-            }
-        })();
-        if result.is_err() {
-            self.links[i].alive = false;
-            self.link_errors += 1;
+    /// Marks link `i` dead and returns the typed error for `phase`.
+    fn fail_link(&mut self, phase: &'static str, i: usize, malformed: bool) -> WireError {
+        self.links[i].alive = false;
+        self.link_errors += 1;
+        if malformed {
+            WireError::malformed(phase, i)
+        } else {
+            WireError::link(phase, i)
         }
     }
 }
@@ -593,19 +518,19 @@ fn worker_binary() -> io::Result<std::path::PathBuf> {
     ))
 }
 
-impl<W> Drop for ProcCluster<W> {
+impl Drop for ProcCluster {
     fn drop(&mut self) {
         for link in &mut self.links {
             if link.alive {
-                let _ = write_frame(&mut link.stream, op::SHUTDOWN, &[]);
+                let _ = write_frame(&mut link.stream, frame::OP, &WorkerOp::Shutdown.encode());
             }
             let _ = link.stream.shutdown(std::net::Shutdown::Both);
         }
         for served in self.served.drain(..) {
             match served {
                 Served::Process(mut child) => {
-                    // SHUTDOWN (or the closed socket) makes workers exit;
-                    // give them a moment, then make sure.
+                    // The Shutdown op (or the closed socket) makes workers
+                    // exit; give them a moment, then make sure.
                     let deadline = Instant::now() + Duration::from_secs(2);
                     loop {
                         match child.try_wait() {
@@ -629,19 +554,21 @@ impl<W> Drop for ProcCluster<W> {
     }
 }
 
-impl<W: Send> ClusterBackend for ProcCluster<W> {
-    type Worker = W;
+impl ClusterBackend for ProcCluster {
+    /// Worker state is resident in the worker processes; the master holds
+    /// only connection endpoints.
+    type Worker = ();
 
     fn num_machines(&self) -> usize {
-        self.workers.len()
+        self.units.len()
     }
 
     fn network(&self) -> NetworkModel {
         self.network
     }
 
-    fn workers(&self) -> &[W] {
-        &self.workers
+    fn workers(&self) -> &[()] {
+        &self.units
     }
 
     fn timeline(&self) -> &PhaseTimeline {
@@ -652,20 +579,21 @@ impl<W: Send> ClusterBackend for ProcCluster<W> {
         self.timeline.record(label, delta);
     }
 
-    /// Sequential master-side execution with per-machine timing — the same
-    /// virtual-time rule as `SimCluster` in `ExecMode::Sequential`, so
-    /// results and modeled metrics are bit-identical to that mode.
+    /// Master-side sequential execution over the unit states, timed like
+    /// `SimCluster` in `ExecMode::Sequential`. Algorithms running on this
+    /// backend do their distributed work through [`OpCluster::exec_ops`];
+    /// this exists to satisfy the closure contract for master-local steps.
     fn par_step<R, F>(&mut self, label: &'static str, f: F) -> Vec<R>
     where
         R: Send,
-        F: Fn(usize, &mut W) -> R + Sync,
+        F: Fn(usize, &mut ()) -> R + Sync,
     {
-        let mut results = Vec::with_capacity(self.workers.len());
+        let mut results = Vec::with_capacity(self.units.len());
         let mut max = Duration::ZERO;
         let mut sum = Duration::ZERO;
-        for (i, w) in self.workers.iter_mut().enumerate() {
+        for (i, u) in self.units.iter_mut().enumerate() {
             let start = Instant::now();
-            results.push(f(i, w));
+            results.push(f(i, u));
             let t = start.elapsed();
             max = max.max(t);
             sum += t;
@@ -697,52 +625,90 @@ impl<W: Send> ClusterBackend for ProcCluster<W> {
         );
         r
     }
+}
 
-    /// Default modeled charge plus a physical gather: the byte volume is
-    /// split across the live links and pulled over TCP, pattern-verified,
-    /// and the wall-clock cost recorded as `measured_comm`.
-    fn charge_upload(&mut self, label: &'static str, messages: u64, bytes: u64) {
-        let comm_time = self.network.collective_time(messages, bytes);
-        let l = self.links.len() as u64;
-        let start = Instant::now();
-        for i in 0..self.links.len() {
-            let share = bytes / l + u64::from((i as u64) < bytes % l);
-            self.pull_from(i, share, label);
+impl OpCluster for ProcCluster {
+    /// One pipelined op round: send every machine its OP frame, then read
+    /// the ℓ REPLY frames. Worker compute is the maximum of the
+    /// worker-reported elapsed times (workers run concurrently);
+    /// `measured_comm` records the send wall clock under `down_label`
+    /// (falling back to `up_label`) and the receive wall clock minus the
+    /// compute window under `up_label`.
+    fn exec_ops<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        let l = self.links.len();
+        for i in 0..l {
+            if !self.links[i].alive {
+                return Err(WireError::link(up_label, i));
+            }
         }
-        let measured_comm = start.elapsed();
+        let send_start = Instant::now();
+        for i in 0..l {
+            let encoded = op(i).encode();
+            if write_frame(&mut self.links[i].stream, frame::OP, &encoded).is_err() {
+                return Err(self.fail_link(up_label, i, false));
+            }
+        }
+        let send_wall = send_start.elapsed();
+
+        let recv_start = Instant::now();
+        let mut replies = Vec::with_capacity(l);
+        let mut max_elapsed = Duration::ZERO;
+        let mut sum_elapsed = Duration::ZERO;
+        for i in 0..l {
+            let (opcode, body) = match read_frame(&mut self.links[i].stream) {
+                Ok(f) => f,
+                Err(_) => return Err(self.fail_link(up_label, i, false)),
+            };
+            if opcode != frame::REPLY || body.len() < 8 {
+                return Err(self.fail_link(up_label, i, true));
+            }
+            let nanos = u64::from_le_bytes(body[..8].try_into().unwrap());
+            let Some(reply) = WorkerReply::decode(&body[8..]) else {
+                return Err(self.fail_link(up_label, i, true));
+            };
+            if let WorkerReply::Err(msg) = &reply {
+                eprintln!("dim worker {i} failed op in phase `{up_label}`: {msg}");
+                return Err(WireError::malformed(up_label, i));
+            }
+            let elapsed = Duration::from_nanos(nanos);
+            max_elapsed = max_elapsed.max(elapsed);
+            sum_elapsed += elapsed;
+            replies.push(reply);
+        }
+        let recv_wall = recv_start.elapsed();
+
         self.record(
-            label,
+            up_label,
             ClusterMetrics {
-                comm_time,
-                measured_comm,
-                messages,
-                bytes_to_master: bytes,
+                worker_compute: max_elapsed,
+                worker_busy: sum_elapsed,
+                phases: 1,
                 ..Default::default()
             },
         );
-    }
-
-    /// Default modeled charge plus a physical broadcast of
-    /// `bytes_per_machine` to every live link (ACKed per frame).
-    fn broadcast(&mut self, label: &'static str, bytes_per_machine: u64) {
-        let l = self.num_machines() as u64;
-        let total = bytes_per_machine * l;
-        let comm_time = self.network.collective_time(l, total);
-        let start = Instant::now();
-        for i in 0..self.links.len() {
-            self.push_to(i, bytes_per_machine);
-        }
-        let measured_comm = start.elapsed();
         self.record(
-            label,
+            down_label.unwrap_or(up_label),
             ClusterMetrics {
-                comm_time,
-                measured_comm,
-                messages: l,
-                bytes_from_master: total,
+                measured_comm: send_wall,
                 ..Default::default()
             },
         );
+        self.record(
+            up_label,
+            ClusterMetrics {
+                measured_comm: recv_wall.saturating_sub(max_elapsed),
+                ..Default::default()
+            },
+        );
+        Ok(replies)
     }
 }
 
@@ -750,23 +716,30 @@ impl<W: Send> ClusterBackend for ProcCluster<W> {
 mod tests {
     use super::*;
     use crate::backend::phase;
+    use crate::ops::{expect_counts, expect_ok};
+    use crate::runtime::{ExecMode, SimCluster};
+    use crate::wire::WireErrorKind;
 
-    #[test]
-    fn pattern_gen_deterministic_and_chunking_invariant() {
-        let mut a = PatternGen::new(42);
-        let mut b = PatternGen::new(42);
-        let mut one = vec![0u8; 64];
-        a.fill(&mut one);
-        // Same stream drawn in uneven chunks must match byte-for-byte.
-        let mut parts = vec![0u8; 64];
-        b.fill(&mut parts[..7]);
-        b.fill(&mut parts[7..40]);
-        b.fill(&mut parts[40..]);
-        assert_eq!(one, parts);
-        let mut c = PatternGen::new(43);
-        let mut other = vec![0u8; 64];
-        c.fill(&mut other);
-        assert_ne!(one, other);
+    /// Toy resident state: `SampleRr` accumulates, `CoveredCount` reports,
+    /// `ApplySeed` subtracts, `InitialCoverage` reports one delta tuple.
+    struct Tally(u64);
+
+    impl OpExecutor for Tally {
+        fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+            match op {
+                WorkerOp::SampleRr { count } => {
+                    self.0 += count;
+                    WorkerReply::Ok
+                }
+                WorkerOp::ApplySeed { set } => {
+                    self.0 = self.0.saturating_sub(u64::from(*set));
+                    WorkerReply::Deltas(vec![(*set, self.0 as u32)])
+                }
+                WorkerOp::InitialCoverage => WorkerReply::Deltas(vec![(1, self.0 as u32)]),
+                WorkerOp::CoveredCount => WorkerReply::Count(self.0),
+                _ => WorkerReply::Err("unsupported".into()),
+            }
+        }
     }
 
     #[test]
@@ -780,57 +753,82 @@ mod tests {
     }
 
     #[test]
-    fn local_cluster_runs_generic_algorithm() {
-        let shards = vec![vec![1u64, 2], vec![3], vec![4, 5, 6], vec![]];
-        let mut cluster =
-            ProcCluster::local(shards, NetworkModel::cluster_1gbps(), 7).unwrap();
-        let partials = cluster.gather(
-            phase::COVERAGE_UPLOAD,
-            |_, shard: &mut Vec<u64>| shard.iter().sum::<u64>(),
-            |_| crate::wire::u64_wire_size(),
+    fn op_rounds_reach_resident_state() {
+        let mut cluster = ProcCluster::local_with(3, NetworkModel::cluster_1gbps(), 7, |i| {
+            Tally(i as u64 * 100)
+        })
+        .unwrap();
+        let acks = cluster
+            .control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+                count: i as u64 + 1,
+            })
+            .unwrap();
+        expect_ok(&acks, phase::RR_SAMPLING).unwrap();
+        let counts = cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap();
+        assert_eq!(
+            expect_counts(&counts, phase::COUNT_UPLOAD).unwrap(),
+            vec![1, 102, 203]
         );
-        let total: u64 = cluster.master(phase::SEED_SELECT, || partials.iter().sum());
-        assert_eq!(total, 21);
-        let m = cluster.timeline().get(phase::COVERAGE_UPLOAD);
-        assert_eq!(m.bytes_to_master, 32);
-        assert_eq!(m.messages, 4);
-        // The gather physically crossed the sockets.
+        let m = cluster.timeline().get(phase::COUNT_UPLOAD);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes_to_master, 24);
+        // The round physically crossed the sockets.
         assert!(m.measured_comm > Duration::ZERO);
         assert_eq!(cluster.link_errors(), 0);
     }
 
     #[test]
-    fn broadcast_measured_and_modeled() {
+    fn broadcast_gather_measured_and_modeled() {
         let mut cluster =
-            ProcCluster::local(vec![0u64; 3], NetworkModel::cluster_1gbps(), 1).unwrap();
-        cluster.broadcast(phase::SEED_BROADCAST, 40);
-        let m = cluster.timeline().get(phase::SEED_BROADCAST);
-        assert_eq!(m.bytes_from_master, 120);
-        assert_eq!(m.messages, 3);
-        assert!(m.comm_time > Duration::ZERO);
-        assert!(m.measured_comm > Duration::ZERO);
+            ProcCluster::local_with(2, NetworkModel::cluster_1gbps(), 1, |_| Tally(50)).unwrap();
+        let replies = cluster
+            .op_broadcast_gather(phase::SEED_BROADCAST, 8, phase::DELTA_UPLOAD, |_| {
+                WorkerOp::ApplySeed { set: 5 }
+            })
+            .unwrap();
+        assert_eq!(replies.len(), 2);
+        let down = cluster.timeline().get(phase::SEED_BROADCAST);
+        let up = cluster.timeline().get(phase::DELTA_UPLOAD);
+        assert_eq!(down.bytes_from_master, 16);
+        assert!(down.comm_time > Duration::ZERO);
+        assert!(down.measured_comm > Duration::ZERO);
+        assert_eq!(up.bytes_to_master, 2 * crate::wire::delta_wire_size(1));
+        assert!(up.measured_comm > Duration::ZERO);
+        // Label order mirrors the algorithm: broadcast before upload.
+        let labels: Vec<_> = cluster.timeline().labels().collect();
+        assert_eq!(labels, vec![phase::SEED_BROADCAST, phase::DELTA_UPLOAD]);
+    }
+
+    /// Runs the same two op rounds through any [`OpCluster`]; used to show
+    /// sim and proc backends agree on results and modeled metrics.
+    fn sample_then_count<B: OpCluster>(cluster: &mut B) -> Vec<WorkerReply> {
+        cluster
+            .control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+                count: 10 * (i as u64 + 1),
+            })
+            .unwrap();
+        cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap()
     }
 
     #[test]
-    fn matches_sequential_sim_metrics_shape() {
-        use crate::runtime::{ExecMode, SimCluster};
+    fn same_ops_same_results_and_modeled_metrics_as_sim() {
         let mut sim = SimCluster::new(
-            vec![10u64, 20, 30],
+            vec![Tally(0), Tally(0)],
             NetworkModel::cluster_1gbps(),
             ExecMode::Sequential,
         );
-        let mut proc = ProcCluster::local(
-            vec![10u64, 20, 30],
-            NetworkModel::cluster_1gbps(),
-            99,
-        )
-        .unwrap();
-        let a = sim.gather(phase::COUNT_UPLOAD, |i, w| *w + i as u64, |_| 8);
-        let b = proc.gather(phase::COUNT_UPLOAD, |i, w| *w + i as u64, |_| 8);
-        assert_eq!(a, b);
+        let sim_counts = sample_then_count(&mut sim);
+        let mut proc =
+            ProcCluster::local_with(2, NetworkModel::cluster_1gbps(), 99, |_| Tally(0)).unwrap();
+        let proc_counts = sample_then_count(&mut proc);
+        assert_eq!(sim_counts, proc_counts);
         let ms = sim.timeline().get(phase::COUNT_UPLOAD);
         let mp = proc.timeline().get(phase::COUNT_UPLOAD);
-        // Identical modeled traffic and comm pricing; only measured differs.
+        // Identical modeled traffic and pricing; only measured differs.
         assert_eq!(ms.messages, mp.messages);
         assert_eq!(ms.bytes_to_master, mp.bytes_to_master);
         assert_eq!(ms.comm_time, mp.comm_time);
@@ -839,43 +837,79 @@ mod tests {
     }
 
     #[test]
-    fn large_transfer_chunks() {
-        // > CHUNK bytes forces multi-frame uploads and downloads.
-        let mut cluster =
-            ProcCluster::local(vec![0u64; 2], NetworkModel::zero(), 5).unwrap();
-        let big = (CHUNK as u64) * 2 + 123;
-        cluster.charge_upload(phase::DELTA_UPLOAD, 2, big * 2);
+    fn large_frames_roundtrip() {
+        // A multi-megabyte reply exercises framing well past one packet.
+        struct Big;
+        impl OpExecutor for Big {
+            fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+                match op {
+                    WorkerOp::InitialCoverage => {
+                        WorkerReply::Deltas((0..500_000u32).map(|v| (v, 1)).collect())
+                    }
+                    _ => WorkerReply::Err("unsupported".into()),
+                }
+            }
+        }
+        let mut cluster = ProcCluster::local_with(2, NetworkModel::zero(), 5, |_| Big).unwrap();
+        let replies = cluster
+            .op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)
+            .unwrap();
+        for reply in &replies {
+            match reply {
+                WorkerReply::Deltas(d) => assert_eq!(d.len(), 500_000),
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
         assert_eq!(cluster.link_errors(), 0);
-        cluster.broadcast(phase::SEED_BROADCAST, big);
-        assert_eq!(cluster.link_errors(), 0);
-        let m = cluster.metrics();
-        assert_eq!(m.bytes_to_master, big * 2);
-        assert_eq!(m.bytes_from_master, big * 2);
+        assert_eq!(
+            cluster.metrics().bytes_to_master,
+            2 * crate::wire::delta_wire_size(500_000)
+        );
     }
 
     #[test]
-    fn truncated_frame_kills_link_not_run() {
-        // Machine 1 sends a truncated DATA frame on its first upload; the
-        // link dies, the run keeps going, results stay correct.
+    fn truncated_reply_fails_round_with_typed_error() {
+        // Machine 1 truncates its first reply. Worker state is resident, so
+        // the round must fail with a typed error naming the machine — not
+        // silently degrade like the old placeholder-payload path.
         let faults = vec![None, Some(WorkerFault::TruncateUpload { request: 1 })];
         let mut cluster = ProcCluster::local_with_faults(
-            vec![100u64, 200],
+            2,
             NetworkModel::cluster_1gbps(),
             3,
+            |_| Tally(9),
             faults,
         )
         .unwrap();
-        let first = cluster.gather(phase::COVERAGE_UPLOAD, |_, w| *w, |_| 64);
-        assert_eq!(first, vec![100, 200]);
+        let err = cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap_err();
+        assert_eq!(err.phase, phase::COUNT_UPLOAD);
+        assert_eq!(err.machine, Some(1));
+        assert!(
+            matches!(err.kind, WireErrorKind::Link | WireErrorKind::Malformed),
+            "{err:?}"
+        );
         assert_eq!(cluster.link_errors(), 1);
         assert_eq!(cluster.live_links(), 1);
-        // Subsequent phases still work over the surviving link.
-        let second = cluster.gather(phase::DELTA_UPLOAD, |_, w| *w + 1, |_| 32);
-        assert_eq!(second, vec![101, 201]);
-        cluster.broadcast(phase::SEED_BROADCAST, 16);
-        assert_eq!(cluster.link_errors(), 1);
-        let m = cluster.timeline().get(phase::DELTA_UPLOAD);
-        assert_eq!(m.bytes_to_master, 64);
+        // Later rounds refuse to run without the dead machine's state.
+        let err = cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Link);
+        assert_eq!(err.machine, Some(1));
+    }
+
+    #[test]
+    fn worker_error_reply_is_typed_not_fatal_to_link() {
+        let mut cluster =
+            ProcCluster::local_with(2, NetworkModel::zero(), 4, |_| Tally(0)).unwrap();
+        let err = cluster
+            .control(phase::VALIDATION, |_| WorkerOp::Stats)
+            .unwrap_err();
+        assert_eq!(err.phase, phase::VALIDATION);
+        assert_eq!(err.machine, Some(0));
+        assert_eq!(err.kind, WireErrorKind::Malformed);
     }
 
     #[test]
@@ -889,22 +923,25 @@ mod tests {
             let mut body = Vec::new();
             body.extend_from_slice(&0u32.to_le_bytes());
             body.extend_from_slice(&0xbad_5eedu64.to_le_bytes());
-            let _ = write_frame(&mut s, op::HELLO, &body);
+            let _ = write_frame(&mut s, frame::HELLO, &body);
             // Hold the socket open until the master decides.
             let _ = read_frame(&mut s);
         });
         let streams = accept_n(&listener, 1).unwrap();
-        let err = match ProcCluster::assemble(
-            vec![0u64],
-            NetworkModel::zero(),
-            1,
-            streams,
-            Vec::new(),
-        ) {
+        let err = match ProcCluster::assemble(1, NetworkModel::zero(), 1, streams, Vec::new()) {
             Ok(_) => panic!("seed mismatch accepted"),
             Err(e) => e,
         };
         assert!(err.to_string().contains("seed mismatch"), "{err}");
         let _ = bogus.join();
+    }
+
+    #[test]
+    fn drop_shuts_workers_down_cleanly() {
+        let cluster =
+            ProcCluster::local_with(3, NetworkModel::zero(), 11, |_| Tally(0)).unwrap();
+        // Dropping sends the Shutdown op and joins the threads; a hang here
+        // would fail the test by timeout.
+        drop(cluster);
     }
 }

@@ -39,6 +39,10 @@ pub enum WireErrorKind {
     Malformed,
     /// Decoded fine but referenced an out-of-range node/set id.
     IdOutOfRange,
+    /// The transport link to a machine failed (connection reset, timeout).
+    /// Worker state is resident on that machine, so the round cannot
+    /// proceed without it.
+    Link,
 }
 
 impl WireError {
@@ -59,6 +63,15 @@ impl WireError {
             kind: WireErrorKind::IdOutOfRange,
         }
     }
+
+    /// A dead-link error in `phase` on the connection to `machine`.
+    pub fn link(phase: &'static str, machine: usize) -> Self {
+        WireError {
+            phase,
+            machine: Some(machine),
+            kind: WireErrorKind::Link,
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -66,6 +79,7 @@ impl std::fmt::Display for WireError {
         let what = match self.kind {
             WireErrorKind::Malformed => "malformed wire message",
             WireErrorKind::IdOutOfRange => "out-of-range id in wire message",
+            WireErrorKind::Link => "dead link",
         };
         match self.machine {
             Some(m) => write!(f, "{what} from machine {m} in phase `{}`", self.phase),

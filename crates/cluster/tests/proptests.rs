@@ -2,8 +2,53 @@
 
 use std::time::Duration;
 
-use dim_cluster::{phase, stream_seed, wire, ClusterBackend, ExecMode, NetworkModel, SimCluster};
+use dim_cluster::{
+    phase, stream_seed, wire, ClusterBackend, ExecMode, NetworkModel, SamplerSpec, SimCluster,
+    WorkerOp, WorkerReply, WorkerStats,
+};
 use proptest::prelude::*;
+
+/// Generator over the full [`WorkerOp`] vocabulary.
+fn any_worker_op() -> impl Strategy<Value = WorkerOp> {
+    let ids = prop::collection::vec(any::<u32>(), 0..40);
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..200).prop_map(|blob| WorkerOp::LoadGraph { blob }),
+        prop_oneof![
+            Just(SamplerSpec::StandardIc),
+            Just(SamplerSpec::StandardLt),
+            Just(SamplerSpec::Subsim),
+        ]
+        .prop_map(|spec| WorkerOp::InitSampler { spec }),
+        (any::<u32>(), prop::collection::vec(ids.clone(), 0..20))
+            .prop_map(|(num_sets, elements)| WorkerOp::BuildShard { num_sets, elements }),
+        any::<u64>().prop_map(|count| WorkerOp::SampleRr { count }),
+        Just(WorkerOp::InitialCoverage),
+        Just(WorkerOp::NewCoverage),
+        any::<u32>().prop_map(|set| WorkerOp::ApplySeed { set }),
+        Just(WorkerOp::CoveredCount),
+        Just(WorkerOp::Stats),
+        ids.prop_map(|seeds| WorkerOp::Validate { seeds }),
+        Just(WorkerOp::Shutdown),
+    ]
+}
+
+/// Generator over the full [`WorkerReply`] vocabulary.
+fn any_worker_reply() -> impl Strategy<Value = WorkerReply> {
+    prop_oneof![
+        Just(WorkerReply::Ok),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..60)
+            .prop_map(WorkerReply::Deltas),
+        any::<u64>().prop_map(WorkerReply::Count),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(n, s, e)| {
+            WorkerReply::Stats(WorkerStats {
+                num_elements: n,
+                total_size: s,
+                edges_examined: e,
+            })
+        }),
+        "[ -~]{0,40}".prop_map(WorkerReply::Err),
+    ]
+}
 
 proptest! {
     /// Wire codec round-trips arbitrary delta vectors, and the advertised
@@ -120,6 +165,63 @@ proptest! {
         }
     }
 
+    /// Every op round-trips through its canonical byte encoding.
+    #[test]
+    fn worker_op_roundtrip(op in any_worker_op()) {
+        let bytes = op.encode();
+        prop_assert_eq!(WorkerOp::decode(&bytes), Some(op));
+    }
+
+    /// Every reply round-trips, and the advertised wire size matches the
+    /// payload accounting rules (deltas/counts cost bytes, envelopes are
+    /// free).
+    #[test]
+    fn worker_reply_roundtrip(reply in any_worker_reply()) {
+        let bytes = reply.encode();
+        prop_assert_eq!(WorkerReply::decode(&bytes), Some(reply.clone()));
+        let expected = match &reply {
+            WorkerReply::Ok | WorkerReply::Err(_) => 0,
+            WorkerReply::Deltas(d) => wire::delta_wire_size(d.len()),
+            WorkerReply::Count(_) => wire::u64_wire_size(),
+            WorkerReply::Stats(_) => 24,
+        };
+        prop_assert_eq!(reply.wire_size(), expected);
+    }
+
+    /// Truncating an encoded op or reply anywhere is always detected.
+    #[test]
+    fn op_truncation_detected(op in any_worker_op(), cut in 1usize..16) {
+        let bytes = op.encode();
+        let cut = cut.min(bytes.len());
+        prop_assert_eq!(WorkerOp::decode(&bytes[..bytes.len() - cut]), None);
+    }
+
+    /// Flipping any single bit of an encoded op/reply never panics the
+    /// decoder: it yields a (possibly different) valid value or `None`,
+    /// and never a bogus allocation from corrupted length headers.
+    #[test]
+    fn op_mutation_never_panics(op in any_worker_op(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = op.encode();
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= 1 << bit;
+        if let Some(decoded) = WorkerOp::decode(&bytes) {
+            // A successful decode must re-encode to the same bytes: the
+            // codec admits no non-canonical encodings.
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    /// Same single-bit-flip robustness for replies.
+    #[test]
+    fn reply_mutation_never_panics(reply in any_worker_reply(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = reply.encode();
+        let pos = pos.index(bytes.len());
+        bytes[pos] ^= 1 << bit;
+        if let Some(decoded) = WorkerReply::decode(&bytes) {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
     /// Metrics algebra: since() of merge() restores the original.
     #[test]
     fn metrics_algebra(msgs in 0u64..1000, bytes in 0u64..100_000, phases in 0u64..50) {
@@ -136,31 +238,63 @@ proptest! {
     }
 }
 
-/// Loopback resilience: a two-machine process-backend cluster survives a
-/// worker that truncates a frame mid-upload — the dead link is recorded,
-/// the algorithm result is untouched, and later phases still complete.
+/// Loopback fail-stop: state is resident in the worker endpoints, so a
+/// worker that truncates an upload frame kills its link, the round fails
+/// with a typed error naming the machine, and later rounds refuse to run
+/// without that machine's shard.
 #[cfg(feature = "proc-backend")]
 #[test]
-fn proc_cluster_survives_truncated_frame() {
+fn proc_cluster_fail_stops_on_truncated_frame() {
     use dim_cluster::tcp::{ProcCluster, WorkerFault};
+    use dim_cluster::{OpCluster, OpExecutor, WireErrorKind, WorkerOp, WorkerReply};
+
+    /// Minimal resident state: `SampleRr` accumulates, `CoveredCount`
+    /// reports the tally.
+    struct Tally(u64);
+
+    impl OpExecutor for Tally {
+        fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+            match op {
+                WorkerOp::SampleRr { count } => {
+                    self.0 += count;
+                    WorkerReply::Ok
+                }
+                WorkerOp::CoveredCount => WorkerReply::Count(self.0),
+                _ => WorkerReply::Err("unsupported".into()),
+            }
+        }
+    }
 
     let mut cluster = ProcCluster::local_with_faults(
-        vec![10u64, 20u64],
+        2,
         NetworkModel::cluster_1gbps(),
         7,
-        vec![None, Some(WorkerFault::TruncateUpload { request: 1 })],
+        |i| Tally(10 * (i as u64 + 1)),
+        vec![None, Some(WorkerFault::TruncateUpload { request: 2 })],
     )
     .expect("loopback cluster");
 
-    // First gather trips machine 1's truncation fault.
-    let sums = cluster.gather(phase::COUNT_UPLOAD, |_, w| *w, |_| 64);
-    assert_eq!(sums, vec![10, 20], "worker state is master-side; results hold");
+    // The first op round completes on both links.
+    let replies = cluster
+        .control(phase::RR_SAMPLING, |_| WorkerOp::SampleRr { count: 5 })
+        .expect("clean first round");
+    assert_eq!(replies, vec![WorkerReply::Ok, WorkerReply::Ok]);
+
+    // The second round trips machine 1's truncation fault mid-upload.
+    let err = cluster
+        .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+        .unwrap_err();
+    assert_eq!(err.phase, phase::COUNT_UPLOAD);
+    assert_eq!(err.machine, Some(1));
     assert_eq!(cluster.link_errors(), 1);
     assert_eq!(cluster.live_links(), 1);
 
-    // Later phases keep working over the surviving link.
-    cluster.broadcast(phase::SEED_BROADCAST, 128);
-    let again = cluster.gather(phase::DELTA_UPLOAD, |_, w| *w + 1, |_| 32);
-    assert_eq!(again, vec![11, 21]);
+    // The dead machine's shard is unreachable, so every later round is a
+    // typed link error — no silent partial answers.
+    let err = cluster
+        .op_gather(phase::DELTA_UPLOAD, |_| WorkerOp::CoveredCount)
+        .unwrap_err();
+    assert_eq!(err.kind, WireErrorKind::Link);
+    assert_eq!(err.machine, Some(1));
     assert_eq!(cluster.link_errors(), 1, "no new faults after the first");
 }

@@ -13,9 +13,13 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, SimCluster, WireError};
+use dim_cluster::ops::{expect_ok, expect_stats};
+use dim_cluster::{
+    phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, OpCluster, OpExecutor, SimCluster,
+    WireError, WorkerOp, WorkerReply, WorkerStats,
+};
 use dim_coverage::newgreedi::{newgreedi_incremental, newgreedi_with, NewGreediResult};
-use dim_coverage::CoverageShard;
+use dim_coverage::{execute_coverage_op, CoverageShard};
 use dim_diffusion::rr::{AnySampler, RrSampler};
 use dim_diffusion::visit::VisitTracker;
 use dim_graph::Graph;
@@ -59,6 +63,29 @@ impl<'g> DiimmWorker<'g> {
     }
 }
 
+/// The op vocabulary a DiIMM machine answers: RR sampling into its
+/// resident shard, the coverage phases against that shard, and stats.
+/// This single interpretation serves both the in-process simulator and the
+/// `dim-worker` process (via `WorkerHost`), so the two backends execute
+/// identical phase logic by construction.
+impl OpExecutor for DiimmWorker<'_> {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        match op {
+            WorkerOp::SampleRr { count } => {
+                self.generate(*count as usize);
+                WorkerReply::Ok
+            }
+            WorkerOp::Stats => WorkerReply::Stats(WorkerStats {
+                num_elements: self.shard.num_elements() as u64,
+                total_size: self.shard.total_size() as u64,
+                edges_examined: self.edges_examined,
+            }),
+            other => execute_coverage_op(&mut self.shard, other)
+                .unwrap_or_else(|| WorkerReply::Err("op unsupported by DiIMM worker".into())),
+        }
+    }
+}
+
 /// Splits `total` new RR sets across `machines`: machine `i` gets the base
 /// share plus one of the remainder (deterministic, balanced to ±1).
 pub(crate) fn split_counts(total: usize, machines: usize) -> Vec<usize> {
@@ -69,32 +96,29 @@ pub(crate) fn split_counts(total: usize, machines: usize) -> Vec<usize> {
         .collect()
 }
 
-fn generate_up_to<'g, B>(cluster: &mut B, from: usize, to: usize)
-where
-    B: ClusterBackend<Worker = DiimmWorker<'g>>,
-{
+fn generate_up_to<B: OpCluster>(cluster: &mut B, from: usize, to: usize) -> Result<(), WireError> {
     if to <= from {
-        return;
+        return Ok(());
     }
     let counts = split_counts(to - from, cluster.num_machines());
-    cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate(counts[i]));
+    let replies = cluster.control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+        count: counts[i] as u64,
+    })?;
+    expect_ok(&replies, phase::RR_SAMPLING)
 }
 
-fn select<'g, B>(
+fn select<B: OpCluster>(
     cluster: &mut B,
     n: usize,
     k: usize,
     base_coverage: &mut Option<Vec<u64>>,
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend<Worker = DiimmWorker<'g>>,
-{
+) -> Result<NewGreediResult, WireError> {
     match base_coverage {
         // The paper's §III-C traffic optimization: machines report coverage
         // only over their newly generated RR sets; the master accumulates.
-        Some(base) => newgreedi_incremental(cluster, k, |w| &mut w.shard, base),
+        Some(base) => newgreedi_incremental(cluster, k, base),
         // Ablation baseline: full coverage re-upload on every call.
-        None => newgreedi_with(cluster, n, k, |w| &mut w.shard),
+        None => newgreedi_with(cluster, n, k),
     }
 }
 
@@ -134,18 +158,18 @@ pub fn diimm_with_options(
 }
 
 /// Runs DiIMM on an already-constructed cluster — the entry point for
-/// alternative [`ClusterBackend`]s (e.g. the TCP process backend), whose
-/// construction the caller owns. Workers must have been created with
-/// [`DiimmWorker::new`] in machine order so RNG streams line up.
-pub fn diimm_on<'g, B>(
+/// alternative [`OpCluster`]s (e.g. the TCP process backend), whose
+/// construction the caller owns. Every machine must already hold a
+/// DiIMM worker for this graph and `config.seed` (constructed in machine
+/// order so RNG streams line up — for the process backend, via the
+/// `LoadGraph`/`InitSampler` setup ops); this function only issues phase
+/// ops, so it never touches worker state from the master side.
+pub fn diimm_on<B: OpCluster>(
     cluster: &mut B,
     graph: &Graph,
     config: &ImConfig,
     incremental: bool,
-) -> Result<ImResult, WireError>
-where
-    B: ClusterBackend<Worker = DiimmWorker<'g>>,
-{
+) -> Result<ImResult, WireError> {
     let n = graph.num_nodes();
     let params = ImParams::derive(n, config.k, config.epsilon, config.delta);
     let mut base_coverage = incremental.then(|| vec![0u64; n]);
@@ -159,7 +183,7 @@ where
         rounds = t;
         let x = n as f64 / 2f64.powi(t as i32);
         let theta_t = params.theta_at(t);
-        generate_up_to(cluster, theta_cur, theta_t);
+        generate_up_to(cluster, theta_cur, theta_t)?;
         theta_cur = theta_cur.max(theta_t);
         let r = select(cluster, n, config.k, &mut base_coverage)?;
         let est = n as f64 * r.covered as f64 / theta_cur as f64;
@@ -173,7 +197,7 @@ where
     // Lines 11–13: final sampling top-up and selection.
     let theta = params.theta_final(lower_bound);
     let final_result = if theta > theta_cur || last.is_none() {
-        generate_up_to(cluster, theta_cur, theta);
+        generate_up_to(cluster, theta_cur, theta)?;
         theta_cur = theta_cur.max(theta);
         select(cluster, n, config.k, &mut base_coverage)?
     } else if let Some(last) = last {
@@ -185,8 +209,12 @@ where
 
     let coverage = final_result.covered;
     let est_spread = n as f64 * coverage as f64 / theta_cur as f64;
-    let total_rr_size: usize = cluster.workers().iter().map(|w| w.shard.total_size()).sum();
-    let edges_examined: u64 = cluster.workers().iter().map(|w| w.edges_examined).sum();
+    // Worker state is resident on the machines; collect the run's shard
+    // statistics through the same op seam as every other phase.
+    let replies = cluster.control(phase::SETUP, |_| WorkerOp::Stats)?;
+    let stats = expect_stats(&replies, phase::SETUP)?;
+    let total_rr_size: usize = stats.iter().map(|s| s.total_size as usize).sum();
+    let edges_examined: u64 = stats.iter().map(|s| s.edges_examined).sum();
     let timeline = cluster.timeline().clone();
 
     Ok(ImResult {

@@ -15,12 +15,12 @@ use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
 use dim_cluster::{
-    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, SimCluster,
-    WireError,
+    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpExecutor,
+    SimCluster, WireError, WorkerOp, WorkerReply,
 };
 use dim_coverage::budgeted::{newgreedi_budgeted, BudgetedResult};
 use dim_coverage::newgreedi::{newgreedi_until, newgreedi_with};
-use dim_coverage::CoverageShard;
+use dim_coverage::{execute_coverage_op, CoverageShard};
 use dim_diffusion::rr::{RrSampler, TargetedSampler};
 use dim_diffusion::visit::VisitTracker;
 use dim_graph::Graph;
@@ -53,6 +53,19 @@ impl<S: RrSampler> RisWorker<S> {
             self.sampler
                 .sample(&mut self.rng, &mut self.buf, &mut self.visited);
             self.shard.push_element(&self.buf);
+        }
+    }
+}
+
+impl<S: RrSampler> OpExecutor for RisWorker<S> {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        match op {
+            WorkerOp::SampleRr { count } => {
+                self.generate(*count as usize);
+                WorkerReply::Ok
+            }
+            other => execute_coverage_op(&mut self.shard, other)
+                .unwrap_or_else(|| WorkerReply::Err("op unsupported by RIS worker".into())),
         }
     }
 }
@@ -123,7 +136,7 @@ pub fn budgeted_im(
         seeds,
         covered,
         spent,
-    } = newgreedi_budgeted(&mut cluster, costs, budget, |w| &mut w.shard)?;
+    } = newgreedi_budgeted(&mut cluster, costs, budget)?;
     Ok(BudgetedImResult {
         seeds,
         spent,
@@ -177,7 +190,7 @@ pub fn seed_minimization(
         mode,
     );
     let target_coverage = (eta * theta as f64).ceil() as u64;
-    let r = newgreedi_until(&mut cluster, n, target_coverage, n, |w| &mut w.shard)?;
+    let r = newgreedi_until(&mut cluster, n, target_coverage, n)?;
     Ok(SeedMinResult {
         seeds: r.seeds,
         est_spread: n as f64 * r.covered as f64 / theta as f64,
@@ -226,7 +239,7 @@ pub fn targeted_im(
         network,
         mode,
     );
-    let r = newgreedi_with(&mut cluster, n, k, |w| &mut w.shard)?;
+    let r = newgreedi_with(&mut cluster, n, k)?;
     Ok(TargetedImResult {
         seeds: r.seeds,
         est_targeted_spread: num_targets as f64 * r.covered as f64 / theta as f64,

@@ -51,8 +51,10 @@ pub mod imm;
 pub mod opim;
 pub mod params;
 pub mod ssa;
+pub mod worker;
 
 pub use config::{ImConfig, ImResult, SamplerKind, Timings};
+pub use worker::{setup_im_cluster, WorkerHost};
 pub use diimm::diimm;
 pub use imm::imm;
 pub use extensions::{budgeted_im, seed_minimization, targeted_im};

@@ -26,13 +26,14 @@
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
+use dim_cluster::ops::{expect_counts, expect_ok};
 use dim_cluster::{
-    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
-    SimCluster, WireError,
+    phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster,
+    OpExecutor, PhaseTimeline, SimCluster, WireError, WorkerOp, WorkerReply, WorkerStats,
 };
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::newgreedi::newgreedi_incremental;
-use dim_coverage::CoverageShard;
+use dim_coverage::{execute_coverage_op, CoverageShard};
 use dim_diffusion::rr::{AnySampler, RrSampler};
 use dim_diffusion::visit::VisitTracker;
 use dim_graph::Graph;
@@ -194,6 +195,31 @@ impl<'g> DopimWorker<'g> {
     }
 }
 
+/// The op vocabulary a distributed-OPIM machine answers: paired sampling
+/// into both resident collections, NewGreeDi's coverage phases against
+/// `R₁`, and validation coverage of a broadcast seed set against `R₂`.
+impl OpExecutor for DopimWorker<'_> {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        match op {
+            WorkerOp::SampleRr { count } => {
+                self.generate_pairs(*count as usize);
+                WorkerReply::Ok
+            }
+            WorkerOp::Validate { seeds } => {
+                self.r2.prepare();
+                WorkerReply::Count(shard_coverage(&self.r2, seeds, &mut self.marked))
+            }
+            WorkerOp::Stats => WorkerReply::Stats(WorkerStats {
+                num_elements: (self.r1.num_elements() + self.r2.num_elements()) as u64,
+                total_size: (self.r1.total_size() + self.r2.total_size()) as u64,
+                edges_examined: self.edges_examined,
+            }),
+            other => execute_coverage_op(&mut self.r1, other)
+                .unwrap_or_else(|| WorkerReply::Err("op unsupported by OPIM worker".into())),
+        }
+    }
+}
+
 /// Distributed OPIM-C: distributed RIS for both collections, NewGreeDi for
 /// selection, a one-count-per-machine gather for validation.
 pub fn dopim_c(
@@ -225,27 +251,23 @@ pub fn dopim_c(
     let mut best = None;
     for round in 1..=i_max {
         let counts = crate::diimm::split_counts(theta.saturating_sub(generated), machines);
-        cluster.par_step(phase::RR_SAMPLING, |i, w| w.generate_pairs(counts[i]));
+        let replies = cluster.control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+            count: counts[i] as u64,
+        })?;
+        expect_ok(&replies, phase::RR_SAMPLING)?;
         generated = theta;
 
-        let sel =
-            newgreedi_incremental(&mut cluster, config.k, |w| &mut w.r1, &mut base_coverage)?;
+        let sel = newgreedi_incremental(&mut cluster, config.k, &mut base_coverage)?;
         // Validation: broadcast S_k, gather one covered-count per machine.
-        cluster.broadcast(
+        let replies = cluster.op_broadcast_gather(
             phase::SEED_BROADCAST,
             dim_cluster::wire::ids_wire_size(sel.seeds.len()),
-        );
-        let cov2: u64 = cluster
-            .gather(
-                phase::VALIDATION,
-                |_, w| {
-                    w.r2.prepare();
-                    shard_coverage(&w.r2, &sel.seeds, &mut w.marked)
-                },
-                |_| dim_cluster::wire::u64_wire_size(),
-            )
-            .iter()
-            .sum();
+            phase::VALIDATION,
+            |_| WorkerOp::Validate {
+                seeds: sel.seeds.clone(),
+            },
+        )?;
+        let cov2: u64 = expect_counts(&replies, phase::VALIDATION)?.iter().sum();
 
         let theta1: usize = cluster.workers().iter().map(|w| w.r1.num_elements()).sum();
         let theta2: usize = cluster.workers().iter().map(|w| w.r2.num_elements()).sum();

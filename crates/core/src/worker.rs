@@ -1,0 +1,253 @@
+//! The worker-process endpoint: resident state plus op interpretation.
+//!
+//! A `dim-worker` process is a [`WorkerHost`] behind a TCP link. The host
+//! owns whatever state the master installs through setup ops — the graph
+//! (from [`WorkerOp::LoadGraph`]), a DiIMM sampler/shard pair (from
+//! [`WorkerOp::InitSampler`]), or a standalone coverage shard (from
+//! [`WorkerOp::BuildShard`]) — and answers every subsequent phase op
+//! against that resident state.
+//!
+//! Crucially the host delegates to the *same* interpreters the in-process
+//! simulator uses ([`DiimmWorker`]'s `OpExecutor` impl and
+//! [`dim_coverage::execute_coverage_op`]), so the process backend and
+//! [`dim_cluster::SimCluster`] execute identical phase logic by
+//! construction: equivalence is a property of the dispatch table, not of
+//! two implementations kept in sync by hand.
+
+use dim_cluster::ops::expect_ok;
+use dim_cluster::{
+    phase, OpCluster, OpExecutor, SamplerSpec, WireError, WorkerOp, WorkerReply,
+};
+use dim_coverage::{execute_coverage_op, CoverageShard};
+use dim_diffusion::DiffusionModel;
+use dim_graph::{binary, Graph};
+
+use crate::config::{ImConfig, SamplerKind};
+use crate::diimm::DiimmWorker;
+
+impl From<SamplerSpec> for SamplerKind {
+    fn from(spec: SamplerSpec) -> Self {
+        match spec {
+            SamplerSpec::StandardIc => {
+                SamplerKind::Standard(DiffusionModel::IndependentCascade)
+            }
+            SamplerSpec::StandardLt => SamplerKind::Standard(DiffusionModel::LinearThreshold),
+            SamplerSpec::Subsim => SamplerKind::Subsim,
+        }
+    }
+}
+
+impl From<SamplerKind> for SamplerSpec {
+    fn from(kind: SamplerKind) -> Self {
+        match kind {
+            SamplerKind::Standard(DiffusionModel::IndependentCascade) => SamplerSpec::StandardIc,
+            SamplerKind::Standard(DiffusionModel::LinearThreshold) => SamplerSpec::StandardLt,
+            SamplerKind::Subsim => SamplerSpec::Subsim,
+        }
+    }
+}
+
+/// One worker process's resident state: the op-dispatching peer of a
+/// [`SimCluster`](dim_cluster::SimCluster) slot.
+///
+/// Phase ops route to the DiIMM worker when one has been initialized
+/// (IM runs: `LoadGraph` + `InitSampler`), otherwise to the standalone
+/// shard (max-coverage runs: `BuildShard`). The graph is leaked into
+/// `'static` on load — a worker process hosts exactly one graph for its
+/// lifetime, and the sampler borrows it for the rest of the run.
+pub struct WorkerHost {
+    machine_id: usize,
+    master_seed: u64,
+    graph: Option<&'static Graph>,
+    diimm: Option<DiimmWorker<'static>>,
+    shard: Option<CoverageShard>,
+}
+
+impl WorkerHost {
+    /// Creates an empty host for machine `machine_id`. `master_seed` is the
+    /// run's master seed; sampler RNG streams derive from it exactly as the
+    /// simulator's do (`stream_seed(master_seed, machine_id)`), which is
+    /// what makes proc-backend seed selection byte-identical.
+    pub fn new(machine_id: usize, master_seed: u64) -> Self {
+        WorkerHost {
+            machine_id,
+            master_seed,
+            graph: None,
+            diimm: None,
+            shard: None,
+        }
+    }
+
+    fn load_graph(&mut self, blob: &[u8]) -> WorkerReply {
+        match binary::read_binary(&mut &blob[..]) {
+            Ok(g) => {
+                self.graph = Some(Box::leak(Box::new(g)));
+                self.diimm = None;
+                WorkerReply::Ok
+            }
+            Err(e) => WorkerReply::Err(format!("LoadGraph: {e}")),
+        }
+    }
+
+    fn init_sampler(&mut self, spec: SamplerSpec) -> WorkerReply {
+        let Some(graph) = self.graph else {
+            return WorkerReply::Err("InitSampler before LoadGraph".into());
+        };
+        // Only `sampler` and `seed` shape worker-side state; the selection
+        // parameters (k, ε, δ) live with the master.
+        let config = ImConfig {
+            k: 1,
+            epsilon: 0.5,
+            delta: 0.5,
+            seed: self.master_seed,
+            sampler: spec.into(),
+        };
+        self.diimm = Some(DiimmWorker::new(graph, &config, self.machine_id));
+        WorkerReply::Ok
+    }
+}
+
+/// Installs resident IM state on every machine of an op cluster: the
+/// graph (its portable binary encoding, one [`WorkerOp::LoadGraph`] per
+/// machine) followed by a sampler over it ([`WorkerOp::InitSampler`]).
+/// After this, [`crate::diimm::diimm_on`] can run its phase ops against
+/// the cluster — process-backed or simulated — without ever touching
+/// worker state from the master side.
+///
+/// Setup traffic is deliberately recorded under the `setup` phase, whose
+/// modeled byte count stays zero: the paper's communication accounting
+/// starts after data placement.
+pub fn setup_im_cluster<B: OpCluster>(
+    cluster: &mut B,
+    graph: &Graph,
+    sampler: SamplerKind,
+) -> Result<(), WireError> {
+    let mut blob = Vec::new();
+    binary::write_binary(graph, &mut blob).expect("writing to a Vec cannot fail");
+    let replies = cluster.control(phase::SETUP, |_| WorkerOp::LoadGraph { blob: blob.clone() })?;
+    expect_ok(&replies, phase::SETUP)?;
+    let spec: SamplerSpec = sampler.into();
+    let replies = cluster.control(phase::SETUP, |_| WorkerOp::InitSampler { spec })?;
+    expect_ok(&replies, phase::SETUP)
+}
+
+impl OpExecutor for WorkerHost {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        match op {
+            WorkerOp::LoadGraph { blob } => self.load_graph(blob),
+            WorkerOp::InitSampler { spec } => self.init_sampler(*spec),
+            WorkerOp::BuildShard { .. } => {
+                let shard = self.shard.get_or_insert_with(|| CoverageShard::new(0));
+                execute_coverage_op(shard, op)
+                    .expect("BuildShard is a coverage op")
+            }
+            WorkerOp::Shutdown => WorkerReply::Ok,
+            phase_op => {
+                if let Some(diimm) = self.diimm.as_mut() {
+                    diimm.execute(phase_op)
+                } else if let Some(shard) = self.shard.as_mut() {
+                    shard.execute(phase_op)
+                } else {
+                    WorkerReply::Err(
+                        "no resident state: send LoadGraph + InitSampler or BuildShard first"
+                            .into(),
+                    )
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_cluster::WorkerStats;
+    use dim_graph::generators::erdos_renyi;
+    use dim_graph::WeightModel;
+
+    fn graph_blob(g: &Graph) -> Vec<u8> {
+        let mut blob = Vec::new();
+        binary::write_binary(g, &mut blob).unwrap();
+        blob
+    }
+
+    #[test]
+    fn sampler_spec_round_trips_through_kind() {
+        for spec in [
+            SamplerSpec::StandardIc,
+            SamplerSpec::StandardLt,
+            SamplerSpec::Subsim,
+        ] {
+            let kind: SamplerKind = spec.into();
+            assert_eq!(SamplerSpec::from(kind), spec);
+        }
+    }
+
+    #[test]
+    fn host_matches_sim_worker_after_setup() {
+        let g = erdos_renyi(120, 600, WeightModel::WeightedCascade, 3);
+        let config = ImConfig {
+            k: 2,
+            epsilon: 0.5,
+            delta: 0.1,
+            seed: 99,
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+        };
+        // The simulator's worker, driven directly.
+        let mut sim = DiimmWorker::new(&g, &config, 1);
+        // The process host, driven through setup ops.
+        let mut host = WorkerHost::new(1, 99);
+        assert_eq!(
+            host.execute(&WorkerOp::LoadGraph { blob: graph_blob(&g) }),
+            WorkerReply::Ok
+        );
+        assert_eq!(
+            host.execute(&WorkerOp::InitSampler { spec: SamplerSpec::StandardIc }),
+            WorkerReply::Ok
+        );
+        for op in [
+            WorkerOp::SampleRr { count: 200 },
+            WorkerOp::InitialCoverage,
+            WorkerOp::ApplySeed { set: 7 },
+            WorkerOp::CoveredCount,
+            WorkerOp::Stats,
+        ] {
+            assert_eq!(host.execute(&op), sim.execute(&op), "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn phase_op_without_state_is_a_typed_error() {
+        let mut host = WorkerHost::new(0, 1);
+        assert!(matches!(
+            host.execute(&WorkerOp::InitialCoverage),
+            WorkerReply::Err(_)
+        ));
+        assert!(matches!(
+            host.execute(&WorkerOp::InitSampler { spec: SamplerSpec::Subsim }),
+            WorkerReply::Err(_)
+        ));
+    }
+
+    #[test]
+    fn build_shard_serves_coverage_ops() {
+        let mut host = WorkerHost::new(0, 1);
+        let reply = host.execute(&WorkerOp::BuildShard {
+            num_sets: 5,
+            elements: vec![vec![0], vec![1, 2], vec![0, 2]],
+        });
+        assert_eq!(reply, WorkerReply::Ok);
+        assert_eq!(
+            host.execute(&WorkerOp::InitialCoverage),
+            WorkerReply::Deltas(vec![(0, 2), (1, 1), (2, 2)])
+        );
+        assert_eq!(
+            host.execute(&WorkerOp::Stats),
+            WorkerReply::Stats(WorkerStats {
+                num_elements: 3,
+                total_size: 5,
+                edges_examined: 0,
+            })
+        );
+    }
+}

@@ -15,7 +15,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use dim_cluster::{phase, wire, ClusterBackend, WireError};
+use dim_cluster::ops::{expect_counts, expect_deltas};
+use dim_cluster::{phase, wire, OpCluster, WireError, WorkerOp};
 
 use crate::newgreedi::reduce_deltas;
 use crate::shard::CoverageShard;
@@ -166,27 +167,17 @@ pub fn budgeted_greedy(
 
 /// Element-distributed budgeted greedy: identical messaging to NewGreeDi
 /// (sparse coverage uploads, per-seed broadcast + delta map/reduce), with
-/// the master running the ratio selector.
-pub fn newgreedi_budgeted<B, F>(
+/// the master running the ratio selector. Distributed phases go through
+/// the [`OpCluster`] op seam, so it runs unchanged on the simulated and
+/// the process-per-machine backends.
+pub fn newgreedi_budgeted<B: OpCluster>(
     cluster: &mut B,
     costs: &[f64],
     budget: f64,
-    shard_of: F,
-) -> Result<BudgetedResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
+) -> Result<BudgetedResult, WireError> {
     let num_sets = costs.len();
-    let initial = cluster.gather(
-        phase::COVERAGE_UPLOAD,
-        |_, w| {
-            let shard = shard_of(w);
-            shard.prepare();
-            wire::encode_deltas(&shard.initial_coverage())
-        },
-        |msg| msg.len() as u64,
-    );
+    let replies = cluster.op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)?;
+    let initial = expect_deltas(replies, phase::COVERAGE_UPLOAD)?;
     let (mut selector, single) = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
         reduce_deltas(phase::COVERAGE_UPLOAD, &initial, num_sets, |v, d| {
@@ -213,23 +204,21 @@ where
         };
         spent += costs[v as usize];
         seeds.push(v);
-        cluster.broadcast(phase::SEED_BROADCAST, wire::ids_wire_size(1));
-        let deltas = cluster.gather(
+        let replies = cluster.op_broadcast_gather(
+            phase::SEED_BROADCAST,
+            wire::ids_wire_size(1),
             phase::DELTA_UPLOAD,
-            |_, w| wire::encode_deltas(&shard_of(w).apply_seed(v)),
-            |msg| msg.len() as u64,
-        );
+            |_| WorkerOp::ApplySeed { set: v },
+        )?;
+        let deltas = expect_deltas(replies, phase::DELTA_UPLOAD)?;
         cluster.master(phase::SEED_SELECT, || {
             reduce_deltas(phase::DELTA_UPLOAD, &deltas, num_sets, |u, d| {
                 selector.decrease(u, d as u64)
             })
         })?;
     }
-    let counts = cluster.gather(
-        phase::COUNT_UPLOAD,
-        |_, w| shard_of(w).covered_count() as u64,
-        |_| wire::u64_wire_size(),
-    );
+    let replies = cluster.op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)?;
+    let counts = expect_counts(&replies, phase::COUNT_UPLOAD)?;
     let ratio_result = BudgetedResult {
         seeds,
         covered: counts.iter().sum(),
@@ -321,7 +310,7 @@ mod tests {
                 NetworkModel::cluster_1gbps(),
                 ExecMode::Sequential,
             );
-            let r = newgreedi_budgeted(&mut cluster, &costs, 4.0, |w| w).unwrap();
+            let r = newgreedi_budgeted(&mut cluster, &costs, 4.0).unwrap();
             assert_eq!(r.seeds, central.seeds, "ℓ = {l}");
             assert_eq!(r.covered, central.covered, "ℓ = {l}");
             assert!((r.spent - central.spent).abs() < 1e-12);

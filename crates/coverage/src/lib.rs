@@ -52,8 +52,8 @@ pub mod shard;
 
 pub use greedy::GreedyResult;
 pub use budgeted::{budgeted_greedy, newgreedi_budgeted, BudgetedResult};
-pub use newgreedi::{newgreedi, newgreedi_until};
+pub use newgreedi::{newgreedi, newgreedi_incremental, newgreedi_until, newgreedi_with};
 pub use pooled::PooledSets;
 pub use problem::CoverageProblem;
 pub use selector::BucketSelector;
-pub use shard::CoverageShard;
+pub use shard::{execute_coverage_op, CoverageShard};

@@ -9,40 +9,42 @@
 //! aggregated coverage values, NewGreeDi returns exactly the centralized
 //! greedy solution — Lemma 2's (1 − 1/e) guarantee.
 //!
-//! All functions are generic over [`ClusterBackend`], so the same code
-//! runs on the sequential virtual-time simulator, bounded OS threads, the
-//! rayon pool, or any future substrate.
+//! Every distributed phase is expressed as a serializable
+//! [`WorkerOp`] executed through the [`OpCluster`] seam: the in-process
+//! [`dim_cluster::SimCluster`] interprets the ops directly (the shard is
+//! the executor — see [`crate::shard::execute_coverage_op`]), while the
+//! process-per-machine backend ships the *identical* op values to
+//! `dim-worker` processes holding the shards. Both backends therefore run
+//! the same algorithm by construction.
 
-use dim_cluster::{phase, wire, ClusterBackend, WireError};
+use dim_cluster::ops::{expect_counts, expect_deltas};
+use dim_cluster::wire::DeltaVec;
+use dim_cluster::{phase, wire, ClusterBackend, OpCluster, WireError, WorkerOp};
 
 use crate::selector::BucketSelector;
 use crate::shard::CoverageShard;
 
-/// Applies every `⟨set, Δ⟩` tuple of the per-machine messages in `msgs`
-/// (machine order), rejecting malformed frames and out-of-range set ids
-/// with a typed [`WireError`] naming the phase and sender.
+/// Applies every `⟨set, Δ⟩` tuple of the per-machine delta vectors in
+/// `msgs` (machine order), rejecting out-of-range set ids with a typed
+/// [`WireError`] naming the phase and sender.
 ///
-/// The master's reduce stages used to `.expect()` here, so one corrupt
-/// worker message aborted the whole run; now the error propagates to the
-/// algorithm's caller.
-pub(crate) fn reduce_deltas<M: AsRef<[u8]>>(
+/// Truncated frames are already rejected at the codec layer (op replies
+/// decode to `None` before reaching here); this guards the remaining
+/// semantic hazard — a delta naming a set outside the universe, which
+/// previously indexed straight into the master's coverage vector.
+pub(crate) fn reduce_deltas(
     label: &'static str,
-    msgs: &[M],
+    msgs: &[DeltaVec],
     num_sets: usize,
     mut apply: impl FnMut(u32, u32),
 ) -> Result<(), WireError> {
     for (machine, msg) in msgs.iter().enumerate() {
-        let mut out_of_range = false;
-        wire::for_each_delta(msg.as_ref(), |v, d| {
+        for &(v, d) in msg {
             if (v as usize) < num_sets {
                 apply(v, d);
             } else {
-                out_of_range = true;
+                return Err(WireError::id_out_of_range(label, machine));
             }
-        })
-        .ok_or_else(|| WireError::malformed(label, machine))?;
-        if out_of_range {
-            return Err(WireError::id_out_of_range(label, machine));
         }
     }
     Ok(())
@@ -70,38 +72,24 @@ impl NewGreediResult {
     }
 }
 
-/// Runs Algorithm 1 on a cluster whose workers each contain a
-/// [`CoverageShard`], extracted by `shard_of` (identity for pure
-/// max-coverage workers; a field projection for DiIMM workers that also
-/// carry samplers).
+/// Runs Algorithm 1 on a cluster whose machines each hold a
+/// [`CoverageShard`] (directly, or inside a composite worker whose
+/// executor routes coverage ops to it).
 ///
 /// `num_sets` is the global set-universe size; `k` the number of seeds.
 ///
 /// # Errors
-/// Returns a [`WireError`] if any worker message is malformed or names an
-/// out-of-range set id.
-pub fn newgreedi_with<B, F>(
+/// Returns a [`WireError`] if any worker reply is malformed, a link dies,
+/// or a delta names an out-of-range set id.
+pub fn newgreedi_with<B: OpCluster>(
     cluster: &mut B,
     num_sets: usize,
     k: usize,
-    shard_of: F,
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
+) -> Result<NewGreediResult, WireError> {
     // Lines 1–3: label everything uncovered, compute local coverages, and
-    // upload them as sparse ⟨v, Δ_i(v)⟩ tuples (serialized for byte-accurate
-    // traffic accounting).
-    let initial = cluster.gather(
-        phase::COVERAGE_UPLOAD,
-        |_, w| {
-            let shard = shard_of(w);
-            shard.prepare();
-            wire::encode_deltas(&shard.initial_coverage())
-        },
-        |msg| msg.len() as u64,
-    );
+    // upload them as sparse ⟨v, Δ_i(v)⟩ tuples.
+    let replies = cluster.op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)?;
+    let initial = expect_deltas(replies, phase::COVERAGE_UPLOAD)?;
 
     // Lines 4–6: the master aggregates Δ(v) = Σ_i Δ_i(v) and builds D.
     let mut selector = cluster.master(phase::SEED_SELECT, || {
@@ -111,7 +99,7 @@ where
         })
         .map(|()| BucketSelector::new(&coverage))
     })?;
-    select_seeds(cluster, num_sets, k, &shard_of, &mut selector)
+    select_seeds(cluster, num_sets, k, &mut selector)
 }
 
 /// [`newgreedi_with`] with the paper's §III-C traffic optimization for
@@ -120,25 +108,13 @@ where
 /// caller-owned `base_coverage` accumulates the global totals across calls.
 /// Selection itself is unchanged, so the result still equals the
 /// centralized greedy exactly.
-pub fn newgreedi_incremental<B, F>(
+pub fn newgreedi_incremental<B: OpCluster>(
     cluster: &mut B,
     k: usize,
-    shard_of: F,
     base_coverage: &mut [u64],
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
-    let fresh = cluster.gather(
-        phase::COVERAGE_UPLOAD,
-        |_, w| {
-            let shard = shard_of(w);
-            shard.prepare();
-            wire::encode_deltas(&shard.take_new_coverage())
-        },
-        |msg| msg.len() as u64,
-    );
+) -> Result<NewGreediResult, WireError> {
+    let replies = cluster.op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::NewCoverage)?;
+    let fresh = expect_deltas(replies, phase::COVERAGE_UPLOAD)?;
     let num_sets = base_coverage.len();
     let mut selector = cluster.master(phase::SEED_SELECT, || {
         reduce_deltas(phase::COVERAGE_UPLOAD, &fresh, num_sets, |v, d| {
@@ -146,41 +122,31 @@ where
         })
         .map(|()| BucketSelector::new(base_coverage))
     })?;
-    select_seeds(cluster, num_sets, k, &shard_of, &mut selector)
+    select_seeds(cluster, num_sets, k, &mut selector)
 }
 
 /// The shared selection loop (Algorithm 1, lines 7–22): greedy picks with
 /// lazy bucket updates, one broadcast + sparse-delta map/reduce per seed.
-fn select_seeds<B, F>(
+fn select_seeds<B: OpCluster>(
     cluster: &mut B,
     num_sets: usize,
     k: usize,
-    shard_of: &F,
     selector: &mut BucketSelector,
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
-    select_seeds_until(cluster, num_sets, k, None, shard_of, selector)
+) -> Result<NewGreediResult, WireError> {
+    select_seeds_until(cluster, num_sets, k, None, selector)
 }
 
 /// [`select_seeds`] with an optional coverage target: selection stops as
 /// soon as the accumulated coverage (Σ of marginals) reaches the target —
 /// the primitive behind distributed *seed minimization* (the paper's
 /// conclusion lists it among the applications of these building blocks).
-pub(crate) fn select_seeds_until<B, F>(
+pub(crate) fn select_seeds_until<B: OpCluster>(
     cluster: &mut B,
     num_sets: usize,
     k: usize,
     coverage_target: Option<u64>,
-    shard_of: &F,
     selector: &mut BucketSelector,
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
+) -> Result<NewGreediResult, WireError> {
     let mut seeds = Vec::with_capacity(k);
     let mut marginals = Vec::with_capacity(k);
     let mut accumulated = 0u64;
@@ -195,15 +161,16 @@ where
         seeds.push(u);
         marginals.push(cov);
         accumulated += cov;
-        // Broadcast the new seed to every machine.
-        cluster.broadcast(phase::SEED_BROADCAST, wire::ids_wire_size(1));
-        // Map stage (lines 14–21): per-machine sparse deltas. We run it for
-        // the final seed too so covered counts below are complete.
-        let deltas = cluster.gather(
+        // Broadcast the new seed, then the map stage (lines 14–21):
+        // per-machine sparse deltas. We run it for the final seed too so
+        // covered counts below are complete.
+        let replies = cluster.op_broadcast_gather(
+            phase::SEED_BROADCAST,
+            wire::ids_wire_size(1),
             phase::DELTA_UPLOAD,
-            |_, w| wire::encode_deltas(&shard_of(w).apply_seed(u)),
-            |msg| msg.len() as u64,
-        );
+            |_| WorkerOp::ApplySeed { set: u },
+        )?;
+        let deltas = expect_deltas(replies, phase::DELTA_UPLOAD)?;
         // Reduce stage (line 22).
         cluster.master(phase::SEED_SELECT, || {
             reduce_deltas(phase::DELTA_UPLOAD, &deltas, num_sets, |v, d| {
@@ -212,11 +179,8 @@ where
         })?;
     }
 
-    let counts = cluster.gather(
-        phase::COUNT_UPLOAD,
-        |_, w| shard_of(w).covered_count() as u64,
-        |_| wire::u64_wire_size(),
-    );
+    let replies = cluster.op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)?;
+    let counts = expect_counts(&replies, phase::COUNT_UPLOAD)?;
     let covered = counts.iter().sum();
     Ok(NewGreediResult {
         seeds,
@@ -230,26 +194,14 @@ where
 /// are spent). This is NewGreeDi with an early-exit stop rule; the greedy
 /// sequence itself is unchanged, so it inherits the classic
 /// `1 + ln(target)` seed-count approximation of greedy set cover.
-pub fn newgreedi_until<B, F>(
+pub fn newgreedi_until<B: OpCluster>(
     cluster: &mut B,
     num_sets: usize,
     coverage_target: u64,
     max_seeds: usize,
-    shard_of: F,
-) -> Result<NewGreediResult, WireError>
-where
-    B: ClusterBackend,
-    F: Fn(&mut B::Worker) -> &mut CoverageShard + Sync,
-{
-    let initial = cluster.gather(
-        phase::COVERAGE_UPLOAD,
-        |_, w| {
-            let shard = shard_of(w);
-            shard.prepare();
-            wire::encode_deltas(&shard.initial_coverage())
-        },
-        |msg| msg.len() as u64,
-    );
+) -> Result<NewGreediResult, WireError> {
+    let replies = cluster.op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)?;
+    let initial = expect_deltas(replies, phase::COVERAGE_UPLOAD)?;
     let mut selector = cluster.master(phase::SEED_SELECT, || {
         let mut coverage = vec![0u64; num_sets];
         reduce_deltas(phase::COVERAGE_UPLOAD, &initial, num_sets, |v, d| {
@@ -262,18 +214,19 @@ where
         num_sets,
         max_seeds,
         Some(coverage_target),
-        &shard_of,
         &mut selector,
     )
 }
 
-/// [`newgreedi_with`] for clusters whose worker state *is* the shard.
+/// [`newgreedi_with`] for clusters whose worker state *is* the shard
+/// (reads `num_sets` off machine 0). Backends without master-side worker
+/// state (the process backend) should call [`newgreedi_with`] directly.
 pub fn newgreedi<B>(cluster: &mut B, k: usize) -> Result<NewGreediResult, WireError>
 where
-    B: ClusterBackend<Worker = CoverageShard>,
+    B: OpCluster + ClusterBackend<Worker = CoverageShard>,
 {
     let num_sets = cluster.workers()[0].num_sets();
-    newgreedi_with(cluster, num_sets, k, |w| w)
+    newgreedi_with(cluster, num_sets, k)
 }
 
 #[cfg(test)]
@@ -388,30 +341,13 @@ mod tests {
     }
 
     #[test]
-    fn reduce_rejects_malformed_message_with_context() {
-        use dim_cluster::wire::WireErrorKind;
-        let good = wire::encode_deltas(&[(1, 2)]);
-        let bad = good[..good.len() - 1].to_vec();
-        let err = reduce_deltas(
-            phase::DELTA_UPLOAD,
-            &[good.to_vec(), bad],
-            5,
-            |_, _| {},
-        )
-        .unwrap_err();
-        assert_eq!(err.kind, WireErrorKind::Malformed);
-        assert_eq!(err.machine, Some(1));
-        assert_eq!(err.phase, phase::DELTA_UPLOAD);
-    }
-
-    #[test]
     fn reduce_rejects_out_of_range_set_id() {
         use dim_cluster::wire::WireErrorKind;
         // Set id 9 is outside a 5-set universe: previously this indexed
         // straight into the coverage vector and panicked the master.
-        let msg = wire::encode_deltas(&[(2, 1), (9, 1)]);
+        let msgs = vec![vec![(2u32, 1u32), (9, 1)]];
         let mut applied = Vec::new();
-        let err = reduce_deltas(phase::COVERAGE_UPLOAD, &[msg.to_vec()], 5, |v, d| {
+        let err = reduce_deltas(phase::COVERAGE_UPLOAD, &msgs, 5, |v, d| {
             applied.push((v, d))
         })
         .unwrap_err();
@@ -419,6 +355,30 @@ mod tests {
         assert_eq!(err.machine, Some(0));
         // In-range tuples before the bad one may apply; no panic either way.
         assert!(applied.len() <= 1);
+    }
+
+    #[test]
+    fn incremental_accumulates_across_invocations() {
+        // Two NewGreeDi invocations over a growing instance: the second
+        // round reports only the appended elements' marginals, yet selects
+        // exactly what a from-scratch run over the full instance would.
+        let p = example3();
+        let mut c = cluster_of(&p, 2);
+        let mut base = vec![0u64; 5];
+        let first = newgreedi_incremental(&mut c, 2, &mut base).unwrap();
+        assert_eq!(first.covered, 6);
+        // Append an element covered only by set 4 on machine 0, then rerun.
+        c.par_step(phase::RR_SAMPLING, |i, shard| {
+            if i == 0 {
+                shard.push_element(&[4]);
+            }
+        });
+        let second = newgreedi_incremental(&mut c, 3, &mut base).unwrap();
+        let mut full = cluster_of(&p, 1);
+        full.par_step(phase::RR_SAMPLING, |_, shard| shard.push_element(&[4]));
+        let fresh = newgreedi(&mut full, 3).unwrap();
+        assert_eq!(second.seeds, fresh.seeds);
+        assert_eq!(second.covered, fresh.covered);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Per-machine element shard for element-distributed maximum coverage.
 
+use dim_cluster::{OpExecutor, WorkerOp, WorkerReply, WorkerStats};
+
 use crate::pooled::PooledSets;
 
 /// One machine's shard of the elements in an element-distributed maximum
@@ -194,6 +196,52 @@ impl CoverageShard {
     /// Borrow the raw element records.
     pub fn elements(&self) -> &PooledSets {
         &self.elements
+    }
+}
+
+/// Executes the coverage-phase subset of the [`WorkerOp`] vocabulary
+/// against a shard, or returns `None` for ops outside it (graph loading,
+/// RR sampling, validation) so composite workers can route those to their
+/// other components.
+///
+/// This is the single interpretation of coverage ops: the in-process
+/// simulator and the `dim-worker` process both funnel through it, which is
+/// what makes backend equivalence hold by construction. Each handler
+/// mirrors the pre-op closure the master used to run against the shard —
+/// in particular [`WorkerOp::InitialCoverage`] and [`WorkerOp::NewCoverage`]
+/// call [`CoverageShard::prepare`] first, starting a fresh selection round.
+pub fn execute_coverage_op(shard: &mut CoverageShard, op: &WorkerOp) -> Option<WorkerReply> {
+    Some(match op {
+        WorkerOp::BuildShard { num_sets, elements } => {
+            *shard = CoverageShard::from_records(
+                *num_sets as usize,
+                elements.iter().map(|e| e.as_slice()),
+            );
+            WorkerReply::Ok
+        }
+        WorkerOp::InitialCoverage => {
+            shard.prepare();
+            WorkerReply::Deltas(shard.initial_coverage())
+        }
+        WorkerOp::NewCoverage => {
+            shard.prepare();
+            WorkerReply::Deltas(shard.take_new_coverage())
+        }
+        WorkerOp::ApplySeed { set } => WorkerReply::Deltas(shard.apply_seed(*set)),
+        WorkerOp::CoveredCount => WorkerReply::Count(shard.covered_count() as u64),
+        WorkerOp::Stats => WorkerReply::Stats(WorkerStats {
+            num_elements: shard.num_elements() as u64,
+            total_size: shard.total_size() as u64,
+            edges_examined: 0,
+        }),
+        _ => return None,
+    })
+}
+
+impl OpExecutor for CoverageShard {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        execute_coverage_op(self, op)
+            .unwrap_or_else(|| WorkerReply::Err("op unsupported by coverage shard".into()))
     }
 }
 

@@ -3,11 +3,17 @@
 //! ```text
 //! dim stats    --graph <edges.txt|profile:NAME[:SCALE]> [--undirected]
 //! dim im       --graph … --k 50 [--model ic|lt] [--epsilon 0.1] [--machines 8]
-//!              [--algorithm imm|diimm|opim|subsim] [--evaluate]
-//! dim coverage --graph … --k 50 [--machines 8]
+//!              [--algorithm imm|diimm|opim|subsim] [--backend B] [--evaluate]
+//! dim coverage --graph … --k 50 [--machines 8] [--backend B]
 //! dim simulate --graph … --seeds 1,2,3 [--model ic|lt] [--sims 10000]
 //! dim generate --profile NAME[:SCALE] --out edges.txt
 //! ```
+//!
+//! `--backend` selects the cluster execution layer: `sequential` (default),
+//! `threads`, and `rayon` run the simulated cluster in-process; `proc`
+//! (requires the `proc-backend` feature) spawns one `dim-worker` process
+//! per machine over loopback TCP and drives them through the same phase-op
+//! protocol, so seeds and marginals are identical to the simulator's.
 //!
 //! Graphs load from SNAP-style edge lists (`u v [p]`, `#` comments) or are
 //! generated from the paper's dataset profiles (`profile:facebook`,
@@ -70,6 +76,7 @@ graph sources: a SNAP edge-list path, or profile:NAME[:SCALE]
 
 common flags: --model ic|lt  --epsilon E  --delta D  --k K  --seed S
   --machines L  --algorithm imm|diimm|opim|subsim  --undirected
+  --backend sequential|threads|rayon|proc
   --weights wc|uniform:P|trivalency  --sims N  --evaluate  --breakdown"
     );
 }
@@ -162,6 +169,45 @@ fn model_of(flags: &Flags) -> Result<DiffusionModel, String> {
     DiffusionModel::parse(name).ok_or_else(|| format!("unknown model {name:?}"))
 }
 
+/// Which cluster execution layer to run on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    /// In-process simulated cluster ([`SimCluster`]) in one of its modes.
+    Sim(ExecMode),
+    /// One `dim-worker` process per machine over loopback TCP.
+    #[cfg(feature = "proc-backend")]
+    Proc,
+}
+
+fn backend_of(flags: &Flags) -> Result<Backend, String> {
+    match flags.get("backend").unwrap_or("sequential") {
+        "sequential" => Ok(Backend::Sim(ExecMode::Sequential)),
+        "threads" => Ok(Backend::Sim(ExecMode::Threads)),
+        "rayon" => Ok(Backend::Sim(ExecMode::Rayon)),
+        "proc" => {
+            #[cfg(feature = "proc-backend")]
+            {
+                Ok(Backend::Proc)
+            }
+            #[cfg(not(feature = "proc-backend"))]
+            {
+                Err("--backend proc needs the `proc-backend` feature \
+                     (cargo build --features proc-backend)"
+                    .into())
+            }
+        }
+        other => Err(format!("unknown backend {other:?}")),
+    }
+}
+
+/// Spawns (or thread-hosts, when no `dim-worker` binary is discoverable)
+/// the worker processes for a proc-backend run.
+#[cfg(feature = "proc-backend")]
+fn proc_cluster(machines: usize, net: NetworkModel, seed: u64) -> Result<ProcCluster, String> {
+    ProcCluster::auto_with(machines, net, seed, move |i| WorkerHost::new(i, seed))
+        .map_err(|e| format!("cannot start worker cluster: {e}"))
+}
+
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
     let g = load_graph(flags)?;
     let stats = GraphStats::compute(&g);
@@ -196,15 +242,28 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
         sampler,
     };
     let net = NetworkModel::shared_memory();
-    let r = match algorithm {
-        "imm" => imm(&g, &config),
-        "diimm" | "subsim" => {
-            diimm(&g, &config, machines, net, ExecMode::Sequential).map_err(|e| e.to_string())?
+    let backend = backend_of(flags)?;
+    let r = match (algorithm, backend) {
+        ("imm", _) => imm(&g, &config),
+        ("diimm" | "subsim", Backend::Sim(mode)) => {
+            diimm(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
         }
-        "opim" => {
-            dopim_c(&g, &config, machines, net, ExecMode::Sequential).map_err(|e| e.to_string())?
+        #[cfg(feature = "proc-backend")]
+        ("diimm" | "subsim", Backend::Proc) => {
+            let mut cluster = proc_cluster(machines, net, config.seed)?;
+            setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
+            diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
         }
-        other => return Err(format!("unknown algorithm {other:?}")),
+        ("opim", Backend::Sim(mode)) => {
+            dopim_c(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
+        }
+        #[cfg(feature = "proc-backend")]
+        ("opim", Backend::Proc) => {
+            return Err("--backend proc supports diimm/subsim (opim keeps two \
+                        resident collections; use a simulated backend)"
+                .into())
+        }
+        (other, _) => return Err(format!("unknown algorithm {other:?}")),
     };
     println!("seeds: {:?}", r.seeds);
     println!("estimated spread: {:.1} ({} RR sets)", r.est_spread, r.num_rr_sets);
@@ -254,13 +313,33 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
     let g = load_graph(flags)?;
     let k = flags.num("k", 50usize)?.min(g.num_nodes());
     let machines = flags.num("machines", 1usize)?;
+    let net = NetworkModel::shared_memory();
     let problem = CoverageProblem::from_graph_neighborhoods(&g);
-    let mut cluster = SimCluster::new(
-        problem.shard_elements(machines),
-        NetworkModel::shared_memory(),
-        ExecMode::Sequential,
-    );
-    let r = newgreedi(&mut cluster, k).map_err(|e| e.to_string())?;
+    let shards = problem.shard_elements(machines);
+    let (r, metrics, timeline) = match backend_of(flags)? {
+        Backend::Sim(mode) => {
+            let mut cluster = SimCluster::new(shards, net, mode);
+            let r = newgreedi(&mut cluster, k).map_err(|e| e.to_string())?;
+            (r, cluster.metrics(), cluster.timeline().clone())
+        }
+        #[cfg(feature = "proc-backend")]
+        Backend::Proc => {
+            let seed = flags.num("seed", 42u64)?;
+            let mut cluster = proc_cluster(machines, net, seed)?;
+            // Ship each machine its element partition; state lives in the
+            // worker processes from here on.
+            let replies = cluster
+                .control(phase::SETUP, |i| WorkerOp::BuildShard {
+                    num_sets: problem.num_sets() as u32,
+                    elements: shards[i].elements().iter().map(<[u32]>::to_vec).collect(),
+                })
+                .map_err(|e| e.to_string())?;
+            dim_cluster::ops::expect_ok(&replies, phase::SETUP).map_err(|e| e.to_string())?;
+            let r = dim_coverage::newgreedi_with(&mut cluster, problem.num_sets(), k)
+                .map_err(|e| e.to_string())?;
+            (r, cluster.metrics(), cluster.timeline().clone())
+        }
+    };
     println!("sets: {:?}", r.seeds);
     println!(
         "covered {} / {} elements ({:.1}%)",
@@ -268,9 +347,9 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
         problem.num_elements(),
         100.0 * r.fraction(problem.num_elements())
     );
-    println!("{}", cluster.metrics());
+    println!("{metrics}");
     if flags.get("breakdown").is_some() {
-        print_breakdown(cluster.timeline());
+        print_breakdown(&timeline);
     }
     Ok(())
 }

@@ -1,23 +1,29 @@
 //! Worker-process binary for the TCP process backend.
 //!
-//! One instance per machine of a [`dim_cluster::tcp::ProcCluster`]:
-//! connects back to the master, handshakes with its machine id and derived
-//! stream seed, then serves upload/download requests until SHUTDOWN.
+//! One instance per machine of a [`dim_cluster::tcp::ProcCluster`]: an
+//! empty [`dim_core::WorkerHost`] that connects back to the master,
+//! handshakes with its machine id and derived stream seed, then serves
+//! [`dim_cluster::WorkerOp`]s against its resident state until a
+//! `Shutdown` op or master disconnect — either way it logs the reason and
+//! exits 0.
 //!
 //! ```text
-//! dim-worker --connect 127.0.0.1:PORT --machine-id N --master-seed S
+//! dim-worker --addr 127.0.0.1:PORT --machine-id N --master-seed S
 //! ```
 //!
-//! The `DIM_WORKER_FAULT` environment variable (e.g. `truncate-upload:1`)
-//! injects protocol faults for resilience tests.
+//! The master address may also come from the `DIM_WORKER_ADDR` environment
+//! variable (`--addr` wins). `--connect` is accepted as an alias for
+//! `--addr`. The `DIM_WORKER_FAULT` environment variable (e.g.
+//! `truncate-upload:1`) injects protocol faults for resilience tests.
 
 use std::net::TcpStream;
 use std::process::ExitCode;
 
 use dim_cluster::tcp::{run_worker_with_fault, WorkerFault};
+use dim::dim_core::WorkerHost;
 
 fn main() -> ExitCode {
-    let mut connect = None;
+    let mut addr = None;
     let mut machine_id = None;
     let mut master_seed = None;
     let mut args = std::env::args().skip(1);
@@ -30,7 +36,7 @@ fn main() -> ExitCode {
             }
         };
         match arg.as_str() {
-            "--connect" => connect = take("--connect"),
+            "--addr" | "--connect" => addr = take("--addr"),
             "--machine-id" => machine_id = take("--machine-id").and_then(|v| v.parse().ok()),
             "--master-seed" => master_seed = take("--master-seed").and_then(|v| v.parse().ok()),
             other => {
@@ -39,8 +45,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    let (Some(addr), Some(id), Some(seed)) = (connect, machine_id, master_seed) else {
-        eprintln!("usage: dim-worker --connect HOST:PORT --machine-id N --master-seed S");
+    let addr = addr.or_else(|| std::env::var("DIM_WORKER_ADDR").ok());
+    let (Some(addr), Some(id), Some(seed)) = (addr, machine_id, master_seed) else {
+        eprintln!("usage: dim-worker --addr HOST:PORT --machine-id N --master-seed S");
+        eprintln!("       (HOST:PORT may also come from DIM_WORKER_ADDR)");
         return ExitCode::from(2);
     };
     let fault = std::env::var("DIM_WORKER_FAULT")
@@ -54,7 +62,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_worker_with_fault(stream, id, seed, fault) {
+    let mut host = WorkerHost::new(id as usize, seed);
+    match run_worker_with_fault(stream, id, seed, &mut host, fault) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("dim-worker {id}: {e}");

@@ -50,8 +50,9 @@ pub use dim_graph;
 /// The commonly needed types and functions in one import.
 pub mod prelude {
     pub use dim_cluster::{
-        phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, PhaseTimeline,
-        SimCluster, WireError, WireErrorKind,
+        phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster,
+        OpExecutor, PhaseTimeline, SamplerSpec, SimCluster, WireError, WireErrorKind, WorkerOp,
+        WorkerReply, WorkerStats,
     };
     #[cfg(feature = "proc-backend")]
     pub use dim_cluster::ProcCluster;
@@ -66,7 +67,9 @@ pub mod prelude {
     pub use dim_core::imm::imm;
     pub use dim_core::opim::{dopim_c, opim_c};
     pub use dim_core::ssa::{dssa, ssa};
-    pub use dim_core::{ImConfig, ImParams, ImResult, SamplerKind, Timings};
+    pub use dim_core::{
+        setup_im_cluster, ImConfig, ImParams, ImResult, SamplerKind, Timings, WorkerHost,
+    };
     pub use dim_coverage::greedi::greedi;
     pub use dim_coverage::greedy::{bucket_greedy, celf_greedy};
     pub use dim_coverage::{

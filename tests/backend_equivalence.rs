@@ -102,21 +102,26 @@ fn newgreedi_identical_across_backends() {
     }
 }
 
-/// The TCP process backend is the fourth execution strategy: same seeds,
-/// marginals, and modeled metrics as the simulated Sequential backend,
-/// plus real measured wall-clock on every byte-moving phase.
+/// The TCP process backend is the fourth execution strategy: worker state
+/// lives in the endpoints (threads or real `dim-worker` processes), every
+/// phase ships real op/reply payloads, and the answer — seeds, marginals,
+/// modeled metrics — is identical to the simulated Sequential backend.
 #[cfg(feature = "proc-backend")]
 mod proc_backend {
     use std::time::Duration;
 
     use super::*;
+    use dim_cluster::ops::expect_ok;
     use dim_cluster::ProcCluster;
-    use dim_core::diimm::{diimm_on, DiimmWorker};
+    use dim_core::diimm::diimm_on;
+    use dim_core::diimm;
 
     const PROC_MACHINE_COUNTS: [usize; 3] = [1, 2, 4];
 
     /// Every phase that models byte movement must also have measured real
-    /// transfer time; compute-only phases must not.
+    /// transfer time on the process backend (op rounds that model no bytes
+    /// — sampling control, setup — still measure their real op traffic,
+    /// so only the modeled→measured direction is an invariant).
     fn assert_measured_transfers(timeline: &PhaseTimeline, context: &str) {
         let mut moved_any = false;
         for (label, m) in timeline.iter() {
@@ -127,17 +132,21 @@ mod proc_backend {
                     "{context}: phase {label} moved {} B without measured transfer time",
                     m.total_bytes()
                 );
-            } else {
-                assert_eq!(
-                    m.measured_comm,
-                    Duration::ZERO,
-                    "{context}: compute-only phase {label} measured a transfer"
-                );
             }
         }
         assert!(moved_any, "{context}: no phase moved bytes");
     }
 
+    fn proc_cluster(machines: usize, seed: u64) -> ProcCluster {
+        ProcCluster::auto_with(machines, NetworkModel::cluster_1gbps(), seed, move |i| {
+            WorkerHost::new(i, seed)
+        })
+        .expect("loopback worker cluster")
+    }
+
+    /// DiIMM over worker-resident graph shards — both the §III-C
+    /// incremental coverage-reporting path and the full-reupload ablation
+    /// — reproduces the simulator bit for bit at every machine count.
     #[test]
     fn diimm_proc_matches_sequential() {
         let g = DatasetProfile::Facebook.generate(0.1, 11);
@@ -146,61 +155,68 @@ mod proc_backend {
             ..ImConfig::paper_defaults(&g, 0.4, 29)
         };
         for machines in PROC_MACHINE_COUNTS {
-            let reference = diimm(
-                &g,
-                &config,
-                machines,
-                NetworkModel::cluster_1gbps(),
-                ExecMode::Sequential,
-            )
-            .unwrap();
-            let workers: Vec<DiimmWorker> = (0..machines)
-                .map(|i| DiimmWorker::new(&g, &config, i))
-                .collect();
-            let mut cluster =
-                ProcCluster::auto(workers, NetworkModel::cluster_1gbps(), config.seed)
-                    .expect("loopback worker cluster");
-            let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
-            assert_eq!(r.seeds, reference.seeds, "ℓ = {machines}");
-            assert_eq!(r.coverage, reference.coverage, "ℓ = {machines}");
-            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "ℓ = {machines}");
-            assert_eq!(r.edges_examined, reference.edges_examined, "ℓ = {machines}");
-            // Modeled traffic is backend-independent…
-            assert_eq!(
-                r.metrics.bytes_to_master, reference.metrics.bytes_to_master,
-                "ℓ = {machines}"
-            );
-            assert_eq!(
-                r.metrics.bytes_from_master, reference.metrics.bytes_from_master,
-                "ℓ = {machines}"
-            );
-            assert_eq!(r.metrics.messages, reference.metrics.messages, "ℓ = {machines}");
-            // …while measured transfer time exists only on the real backend.
-            assert_eq!(reference.metrics.measured_comm, Duration::ZERO);
-            assert_measured_transfers(&r.timeline, &format!("diimm ℓ = {machines}"));
-            assert_eq!(cluster.link_errors(), 0, "ℓ = {machines}");
+            for incremental in [true, false] {
+                let reference = diimm::diimm_with_options(
+                    &g,
+                    &config,
+                    machines,
+                    NetworkModel::cluster_1gbps(),
+                    ExecMode::Sequential,
+                    incremental,
+                )
+                .unwrap();
+                let mut cluster = proc_cluster(machines, config.seed);
+                setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+                let r = diimm_on(&mut cluster, &g, &config, incremental).unwrap();
+                let ctx = format!("ℓ = {machines}, incremental = {incremental}");
+                assert_eq!(r.seeds, reference.seeds, "{ctx}");
+                assert_eq!(r.coverage, reference.coverage, "{ctx}");
+                assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+                assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+                assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+                // Modeled traffic is backend-independent…
+                assert_eq!(
+                    r.metrics.bytes_to_master, reference.metrics.bytes_to_master,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    r.metrics.bytes_from_master, reference.metrics.bytes_from_master,
+                    "{ctx}"
+                );
+                assert_eq!(r.metrics.messages, reference.metrics.messages, "{ctx}");
+                // …while measured transfer time exists only on the real
+                // backend.
+                assert_eq!(reference.metrics.measured_comm, Duration::ZERO);
+                assert_measured_transfers(&r.timeline, &format!("diimm {ctx}"));
+                assert_eq!(cluster.link_errors(), 0, "{ctx}");
+            }
         }
     }
 
+    /// NewGreeDi over shards shipped to the workers once (`BuildShard`)
+    /// and interrogated purely through phase ops afterwards.
     #[test]
     fn newgreedi_proc_matches_sequential() {
         let g = DatasetProfile::Facebook.generate(0.15, 3);
         let problem = CoverageProblem::from_graph_neighborhoods(&g);
         let k = 12;
         for machines in PROC_MACHINE_COUNTS {
+            let shards = problem.shard_elements(machines);
             let mut seq = SimCluster::new(
-                problem.shard_elements(machines),
+                shards.clone(),
                 NetworkModel::cluster_1gbps(),
                 ExecMode::Sequential,
             );
             let reference = newgreedi(&mut seq, k).unwrap();
-            let mut proc = ProcCluster::auto(
-                problem.shard_elements(machines),
-                NetworkModel::cluster_1gbps(),
-                0xD1A7,
-            )
-            .expect("loopback worker cluster");
-            let r = newgreedi(&mut proc, k).unwrap();
+            let mut proc = proc_cluster(machines, 0xD1A7);
+            let replies = proc
+                .control(phase::SETUP, |i| WorkerOp::BuildShard {
+                    num_sets: problem.num_sets() as u32,
+                    elements: shards[i].elements().iter().map(<[u32]>::to_vec).collect(),
+                })
+                .unwrap();
+            expect_ok(&replies, phase::SETUP).unwrap();
+            let r = dim_coverage::newgreedi_with(&mut proc, problem.num_sets(), k).unwrap();
             assert_eq!(r, reference, "ℓ = {machines}");
             assert_eq!(r.marginals, reference.marginals, "ℓ = {machines}");
             let metrics = proc.metrics();
@@ -210,5 +226,32 @@ mod proc_backend {
             assert_eq!(metrics.messages, seq_metrics.messages);
             assert_measured_transfers(proc.timeline(), &format!("newgreedi ℓ = {machines}"));
         }
+    }
+
+    /// The incremental DiIMM traffic optimization must never change the
+    /// answer on the process backend — only the upload volume.
+    #[test]
+    fn incremental_reporting_same_answer_less_upload() {
+        let g = DatasetProfile::Facebook.generate(0.08, 17);
+        let config = ImConfig {
+            k: 4,
+            ..ImConfig::paper_defaults(&g, 0.5, 7)
+        };
+        let mut full = proc_cluster(2, config.seed);
+        setup_im_cluster(&mut full, &g, config.sampler).unwrap();
+        let r_full = diimm_on(&mut full, &g, &config, false).unwrap();
+
+        let mut inc = proc_cluster(2, config.seed);
+        setup_im_cluster(&mut inc, &g, config.sampler).unwrap();
+        let r_inc = diimm_on(&mut inc, &g, &config, true).unwrap();
+
+        assert_eq!(r_inc.seeds, r_full.seeds);
+        assert_eq!(r_inc.coverage, r_full.coverage);
+        assert!(
+            r_inc.metrics.bytes_to_master <= r_full.metrics.bytes_to_master,
+            "incremental {} B should not exceed full {} B",
+            r_inc.metrics.bytes_to_master,
+            r_full.metrics.bytes_to_master
+        );
     }
 }

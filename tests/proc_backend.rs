@@ -1,12 +1,16 @@
-//! Process-level smoke test for the TCP backend: spawn real `dim-worker`
-//! OS processes, run a gather/broadcast round, and verify measured
-//! transfer times. Skips gracefully (with a note) where the worker binary
-//! is missing or process spawning is unavailable — e.g. minimal sandboxes.
+//! Process-level tests for the TCP backend: spawn real `dim-worker` OS
+//! processes, install resident state through setup ops, run phase ops
+//! against it, and verify (a) the replies match an in-process shard, (b)
+//! real transfer times are measured, and (c) dropping the cluster shuts
+//! every worker process down — no orphans. Skips gracefully (with a note)
+//! where the worker binary is missing or process spawning is unavailable —
+//! e.g. minimal sandboxes.
 #![cfg(feature = "proc-backend")]
 
 use std::time::Duration;
 
 use dim::prelude::*;
+use dim_cluster::ops::{expect_deltas, expect_ok};
 
 fn worker_binary() -> Option<String> {
     std::env::var("DIM_WORKER_BIN")
@@ -15,30 +19,88 @@ fn worker_binary() -> Option<String> {
         .filter(|p| std::path::Path::new(p).exists())
 }
 
-#[test]
-fn spawned_worker_processes_serve_a_cluster() {
-    let Some(bin) = worker_binary() else {
+fn spawn_cluster(count: usize, seed: u64) -> Option<ProcCluster> {
+    let bin = worker_binary().or_else(|| {
         eprintln!("skipping: dim-worker binary not built/locatable");
+        None
+    })?;
+    std::env::set_var("DIM_WORKER_BIN", &bin);
+    match ProcCluster::spawn(count, NetworkModel::cluster_1gbps(), seed) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!("skipping: cannot spawn worker processes: {e}");
+            None
+        }
+    }
+}
+
+/// Fig. 2's instance, split over two machines.
+fn shard_records(machine: usize) -> Vec<Vec<u32>> {
+    match machine {
+        0 => vec![vec![0], vec![1, 2], vec![0, 2]],
+        _ => vec![vec![1, 4], vec![0], vec![1, 3]],
+    }
+}
+
+#[test]
+fn spawned_worker_processes_hold_shards_and_answer_ops() {
+    let Some(mut cluster) = spawn_cluster(2, 42) else {
         return;
     };
-    std::env::set_var("DIM_WORKER_BIN", &bin);
-    let mut cluster =
-        match ProcCluster::spawn(vec![7u64, 11], NetworkModel::cluster_1gbps(), 42) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("skipping: cannot spawn worker processes: {e}");
-                return;
-            }
-        };
-    let got = cluster.gather(phase::COUNT_UPLOAD, |_, w| *w, |_| 4096);
-    assert_eq!(got, vec![7, 11], "worker state lives master-side");
-    cluster.broadcast(phase::SEED_BROADCAST, 4096);
+    // State ships to the workers once; nothing is retained master-side.
+    let replies = cluster
+        .control(phase::SETUP, |i| WorkerOp::BuildShard {
+            num_sets: 5,
+            elements: shard_records(i),
+        })
+        .unwrap();
+    expect_ok(&replies, phase::SETUP).unwrap();
+
+    // The coverage-upload round returns each machine's real initial
+    // coverage, matching an in-process shard over the same records.
+    let replies = cluster
+        .op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)
+        .unwrap();
+    let deltas = expect_deltas(replies, phase::COVERAGE_UPLOAD).unwrap();
+    for (i, deltas) in deltas.iter().enumerate() {
+        let local = CoverageShard::from_records(5, shard_records(i).iter().map(Vec::as_slice));
+        assert_eq!(deltas, &local.initial_coverage(), "machine {i}");
+    }
+
     assert_eq!(cluster.link_errors(), 0, "clean run over real processes");
     let m = cluster.metrics();
     assert!(
         m.measured_comm > Duration::ZERO,
         "cross-process transfers must record wall-clock time"
     );
-    assert_eq!(m.bytes_to_master, 4096 * 2);
-    assert_eq!(m.bytes_from_master, 4096 * 2, "broadcast charges per machine");
+    // Modeled upload traffic is the sparse-delta wire size, per machine.
+    let expected: u64 = deltas
+        .iter()
+        .map(|d| dim_cluster::wire::delta_wire_size(d.len()) as u64)
+        .sum();
+    assert_eq!(m.bytes_to_master, expected);
+}
+
+#[test]
+fn dropping_the_cluster_leaves_no_orphan_processes() {
+    let Some(cluster) = spawn_cluster(3, 7) else {
+        return;
+    };
+    let pids = cluster.worker_pids();
+    assert_eq!(pids.len(), 3, "three real worker processes");
+    for &pid in &pids {
+        assert!(
+            std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "worker {pid} alive while cluster is up"
+        );
+    }
+    drop(cluster);
+    // Drop sends Shutdown ops and reaps each child (kill after a 2 s
+    // grace), so by now every pid must be gone from the process table.
+    for &pid in &pids {
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "worker process {pid} survived ProcCluster drop"
+        );
+    }
 }
