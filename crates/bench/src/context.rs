@@ -12,6 +12,12 @@ pub enum Backend {
     /// scaling experiments support it, and only when the harness is built
     /// with `--features proc-backend`.
     Proc,
+    /// Rendezvous TCP backend (`JoinCluster`): pre-started
+    /// `dim-worker --connect ADDR --join` processes register with the
+    /// master at `DIM_MASTER_BIND` instead of being spawned. Same
+    /// restrictions as `Proc`, and the rendezvous latency lands in each
+    /// row's phase breakdown under the `rendezvous` label.
+    Join,
 }
 
 /// Configuration shared by all experiments.
@@ -114,11 +120,11 @@ impl Context {
                         "threads" => Backend::Sim(ExecMode::Threads),
                         "rayon" => Backend::Sim(ExecMode::Rayon),
                         "proc" if cfg!(feature = "proc-backend") => Backend::Proc,
-                        "proc" => {
-                            return Err(
-                                "backend \"proc\" needs a build with --features proc-backend"
-                                    .into(),
-                            )
+                        "join" if cfg!(feature = "proc-backend") => Backend::Join,
+                        name @ ("proc" | "join") => {
+                            return Err(format!(
+                                "backend {name:?} needs a build with --features proc-backend"
+                            ))
                         }
                         other => return Err(format!("unknown backend {other:?}")),
                     };
@@ -138,7 +144,7 @@ impl Context {
     pub fn exec_mode(&self) -> ExecMode {
         match self.backend {
             Backend::Sim(mode) => mode,
-            Backend::Proc => ExecMode::Sequential,
+            Backend::Proc | Backend::Join => ExecMode::Sequential,
         }
     }
 
@@ -226,10 +232,15 @@ mod tests {
         assert_eq!(ctx.exec_mode(), ExecMode::Threads);
         assert!(Context::parse(&args(&["--backend", "mpi"])).is_err());
         let proc = Context::parse(&args(&["--backend", "proc"]));
+        let join = Context::parse(&args(&["--backend", "join"]));
         if cfg!(feature = "proc-backend") {
             assert_eq!(proc.unwrap().backend, Backend::Proc);
+            let join = join.unwrap();
+            assert_eq!(join.backend, Backend::Join);
+            assert_eq!(join.exec_mode(), ExecMode::Sequential);
         } else {
             assert!(proc.is_err());
+            assert!(join.is_err());
         }
     }
 

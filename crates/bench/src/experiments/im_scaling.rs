@@ -10,7 +10,7 @@
 //! carry the raw per-label breakdown for finer-grained plots.
 
 #[cfg(feature = "proc-backend")]
-use dim_cluster::ProcCluster;
+use dim_cluster::{JoinConfig, ProcCluster, Rendezvous};
 use dim_cluster::{phase, NetworkModel, PhaseTimeline};
 #[cfg(feature = "proc-backend")]
 use dim_core::diimm::diimm_on;
@@ -92,6 +92,25 @@ fn run_one(
         let mut cluster =
             ProcCluster::auto_with(machines, network, seed, |i| WorkerHost::new(i, seed))
                 .expect("loopback worker cluster");
+        setup_im_cluster(&mut cluster, graph, config.sampler).expect("well-formed wire");
+        return diimm_on(&mut cluster, graph, config, true).expect("well-formed wire");
+    }
+    #[cfg(feature = "proc-backend")]
+    if ctx.backend == crate::context::Backend::Join {
+        // One rendezvous session per row: pre-started join workers
+        // re-register between rows, so a fleet started once covers the
+        // whole sweep. The bind→membership latency is recorded in the
+        // timeline (`rendezvous` label) and ends up in the JSON rows.
+        let mut rendezvous = Rendezvous::bind_env(JoinConfig::new(machines))
+            .expect("bind rendezvous listener (DIM_MASTER_BIND)");
+        let addr = rendezvous.local_addr().expect("rendezvous local addr");
+        eprintln!(
+            "waiting for {machines} join worker(s) on {addr} \
+             (start each with: dim-worker --connect {addr} --join)"
+        );
+        let mut cluster = rendezvous
+            .accept_session(network, config.seed)
+            .expect("join workers register before the join timeout");
         setup_im_cluster(&mut cluster, graph, config.sampler).expect("well-formed wire");
         return diimm_on(&mut cluster, graph, config, true).expect("well-formed wire");
     }

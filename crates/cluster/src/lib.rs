@@ -61,6 +61,8 @@ pub mod backend;
 pub mod metrics;
 pub mod network;
 pub mod ops;
+#[cfg(feature = "proc-backend")]
+pub mod rendezvous;
 pub mod rng;
 pub mod runtime;
 #[cfg(feature = "proc-backend")]
@@ -71,8 +73,13 @@ pub use backend::{phase, ClusterBackend};
 pub use metrics::{ClusterMetrics, PhaseTimeline};
 pub use network::NetworkModel;
 pub use ops::{OpCluster, OpExecutor, SamplerSpec, WorkerOp, WorkerReply, WorkerStats};
+#[cfg(feature = "proc-backend")]
+pub use rendezvous::{
+    connect_and_join, run_join_worker, Backoff, JoinCluster, JoinConfig, JoinOptions,
+    JoinedSession, Rendezvous,
+};
 pub use rng::stream_seed;
 pub use runtime::{ExecMode, SimCluster};
 #[cfg(feature = "proc-backend")]
-pub use tcp::ProcCluster;
+pub use tcp::{ProcCluster, SessionEnd, WorkerFault};
 pub use wire::{WireError, WireErrorKind};

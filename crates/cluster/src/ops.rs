@@ -165,33 +165,34 @@ const REPLY_ERR: u8 = 4;
 
 /// Strict little-endian cursor over a byte slice. Every read is
 /// length-checked; [`Reader::finish`] rejects trailing bytes, so a decode
-/// accepts exactly the canonical encoding and nothing else.
-struct Reader<'a> {
+/// accepts exactly the canonical encoding and nothing else. Shared with
+/// the rendezvous handshake codecs (`crate::rendezvous`).
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf }
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         let (&b, rest) = self.buf.split_first()?;
         self.buf = rest;
         Some(b)
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         let bytes = self.take(4)?;
         Some(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         let bytes = self.take(8)?;
         Some(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         if self.buf.len() < n {
             return None;
         }
@@ -200,16 +201,16 @@ impl<'a> Reader<'a> {
         Some(head)
     }
 
-    fn finish(self) -> Option<()> {
+    pub(crate) fn finish(self) -> Option<()> {
         self.buf.is_empty().then_some(())
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -402,6 +403,15 @@ impl WorkerReply {
 pub trait OpExecutor {
     /// Executes one op, mutating resident state as needed.
     fn execute(&mut self, op: &WorkerOp) -> WorkerReply;
+}
+
+/// A mutable borrow serves ops exactly like the owner. Lets a long-lived
+/// worker (e.g. a join-mode `dim-worker` keeping its graph across
+/// sessions) hand each session a borrow instead of giving up ownership.
+impl<T: OpExecutor + ?Sized> OpExecutor for &mut T {
+    fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+        (**self).execute(op)
+    }
 }
 
 /// A cluster backend that can execute [`WorkerOp`]s on its machines.

@@ -1,0 +1,1436 @@
+//! Cluster rendezvous & membership for join-mode workers.
+//!
+//! The spawn path ([`crate::tcp::ProcCluster::spawn`]) launches its own
+//! worker processes, so membership is trivial: the master knows exactly
+//! who is coming. Real multi-host deployments invert that — operators
+//! start `dim-worker --connect <addr> --join` on each host *first*, and
+//! the master assembles its cluster from whoever registers. This module
+//! provides that inversion:
+//!
+//! * **Codecs** for the v2 handshake and liveness frames ([`JoinHello`],
+//!   [`Welcome`], [`Hello`], [`Heartbeat`], [`Reject`]) — fixed-size,
+//!   little-endian, strict (trailing bytes are rejected), carrying a
+//!   protocol-version byte and capability flags ([`caps`]) so future
+//!   workers can be refused with a typed reason instead of desyncing.
+//! * A [`MembershipTable`] — the pure registration state machine. It
+//!   assigns machine-id slots, refuses duplicates and out-of-range
+//!   requests with typed [`RejectReason`]s (surfaced as
+//!   [`WireError`]s of kind `DuplicateId` / `IdOutOfRange`), and frees a
+//!   slot again if its owner dies before the session completes assembly.
+//! * [`Rendezvous`] — the master side: bind an advertised address
+//!   ([`Rendezvous::bind_env`] reads `DIM_MASTER_BIND`), then
+//!   [`Rendezvous::accept_session`] registers joiners until the expected
+//!   cluster size ℓ is reached (or the join deadline expires), yielding a
+//!   [`JoinCluster`]. Rejected joiners are logged and do not abort the
+//!   assembly. The bind→full-membership latency is recorded under
+//!   [`phase::RENDEZVOUS`] in the cluster's [`PhaseTimeline`].
+//! * [`JoinCluster`] — a [`ClusterBackend`] + [`OpCluster`] whose
+//!   membership came from registrations. It owns the links but **not**
+//!   the worker processes: drop ends the *session* (workers go back to
+//!   joining), and [`JoinCluster::heartbeat`] probes idle links,
+//!   fail-stopping dead ones with the same typed [`WireError`] an
+//!   op-round failure produces.
+//! * The worker side: [`connect_and_join`] retries with jittered
+//!   exponential backoff ([`Backoff`]) until a configurable deadline, and
+//!   [`run_join_worker`] serves one full session; the `dim-worker` binary
+//!   loops it, so a restarted (or merely surviving) worker re-registers
+//!   for the *next* run against the same master process.
+//!
+//! # Sessions
+//!
+//! A session is one cluster lifetime: one `accept_session` call on the
+//! master, one served op loop per worker. Session ids are per-master
+//! counters starting at 1 (spawn-mode clusters use 0) and ride in every
+//! WELCOME and HEARTBEAT, so a worker that lags a session behind cannot
+//! be confused for a current member. Machine ids are *per session* — a
+//! worker that requested "any slot" may get a different id next session,
+//! and its WELCOME tells it which RNG stream to derive.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::backend::{phase, ClusterBackend};
+use crate::metrics::{ClusterMetrics, PhaseTimeline};
+use crate::network::NetworkModel;
+use crate::ops::{put_u32, put_u64, OpCluster, OpExecutor, Reader, WorkerOp, WorkerReply};
+use crate::rng::stream_seed;
+use crate::tcp::{
+    self, frame, handshake_timeout, protocol_err, read_frame, write_frame, ProcCluster,
+    SessionEnd, WorkerFault,
+};
+use crate::wire::WireError;
+
+/// Version byte carried by JOIN and HELLO. Version 1 was the implicit
+/// pre-rendezvous handshake (bare HELLO, no version byte); v2 is the
+/// JOIN/WELCOME/HELLO exchange this module implements. The master refuses
+/// any other version with [`RejectReason::Version`].
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Capability flags a worker advertises in its JOIN and HELLO.
+///
+/// All current workers implement the full op set, so every flag is set;
+/// the byte exists so a future heterogeneous cluster (e.g. coverage-only
+/// replay workers) can be refused or specialized with a typed reason
+/// instead of failing mid-algorithm.
+pub mod caps {
+    /// Serves the coverage-oracle ops (`BuildShard`, `ApplySeed`, …).
+    pub const COVERAGE: u8 = 1;
+    /// Serves the IM sampling ops (`LoadGraph`, `InitSampler`, `SampleRr`).
+    pub const IM: u8 = 1 << 1;
+    /// Everything a current `dim-worker` serves.
+    pub const ALL: u8 = COVERAGE | IM;
+}
+
+/// Wire value of "any free slot" in [`JoinHello::requested`].
+const ANY_SLOT: u32 = u32::MAX;
+
+/// First frame of the v2 handshake, worker → master (opcode JOIN).
+///
+/// `requested` pins a specific machine id (spawned workers request the id
+/// they were launched with; operators can pin via `--machine-id`); `None`
+/// asks for any free slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinHello {
+    /// Protocol version the worker speaks (must be [`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Capability flags ([`caps`]).
+    pub caps: u8,
+    /// Requested machine id, or `None` for any free slot.
+    pub requested: Option<u32>,
+}
+
+impl JoinHello {
+    /// A v2, full-capability join asking for `requested`.
+    pub fn new(requested: Option<u32>) -> Self {
+        JoinHello {
+            version: PROTOCOL_VERSION,
+            caps: caps::ALL,
+            requested,
+        }
+    }
+
+    /// Serializes to the 6-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6);
+        out.push(self.version);
+        out.push(self.caps);
+        put_u32(&mut out, self.requested.unwrap_or(ANY_SLOT));
+        out
+    }
+
+    /// Strict decode; `None` on truncation, trailing bytes, or garbage.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let version = r.u8()?;
+        let caps = r.u8()?;
+        let requested = match r.u32()? {
+            ANY_SLOT => None,
+            id => Some(id),
+        };
+        r.finish()?;
+        Some(JoinHello {
+            version,
+            caps,
+            requested,
+        })
+    }
+}
+
+/// Master's acceptance, master → worker (opcode WELCOME).
+///
+/// Tells the worker everything it needs to be a member: which session it
+/// joined, which machine-id slot it holds, the cluster size ℓ, and the
+/// master seed from which it must derive its RNG stream
+/// ([`stream_seed`]`(master_seed, machine_id)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Welcome {
+    /// Session this membership is valid for.
+    pub session: u64,
+    /// The slot the worker was assigned.
+    pub machine_id: u32,
+    /// Expected cluster size ℓ of the session.
+    pub cluster_size: u32,
+    /// Seed all per-machine streams derive from.
+    pub master_seed: u64,
+}
+
+impl Welcome {
+    /// Serializes to the 24-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        put_u64(&mut out, self.session);
+        put_u32(&mut out, self.machine_id);
+        put_u32(&mut out, self.cluster_size);
+        put_u64(&mut out, self.master_seed);
+        out
+    }
+
+    /// Strict decode; `None` on truncation, trailing bytes, or garbage.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let welcome = Welcome {
+            session: r.u64()?,
+            machine_id: r.u32()?,
+            cluster_size: r.u32()?,
+            master_seed: r.u64()?,
+        };
+        r.finish()?;
+        Some(welcome)
+    }
+}
+
+/// Final frame of the handshake, worker → master (opcode HELLO).
+///
+/// Confirms the worker accepted its WELCOME and advertises the stream
+/// seed it actually derived. The master cross-checks it against
+/// [`stream_seed`] — the cross-process RNG contract is load-bearing for
+/// backend equivalence, so a divergent worker is refused
+/// ([`RejectReason::SeedMismatch`]) before it can compute anything.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version (must match the JOIN's).
+    pub version: u8,
+    /// Capability flags ([`caps`]).
+    pub caps: u8,
+    /// The machine id the worker believes it holds.
+    pub machine_id: u32,
+    /// The RNG stream seed the worker derived.
+    pub stream_seed: u64,
+}
+
+impl Hello {
+    /// Serializes to the 14-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(14);
+        out.push(self.version);
+        out.push(self.caps);
+        put_u32(&mut out, self.machine_id);
+        put_u64(&mut out, self.stream_seed);
+        out
+    }
+
+    /// Strict decode; `None` on truncation, trailing bytes, or garbage.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let hello = Hello {
+            version: r.u8()?,
+            caps: r.u8()?,
+            machine_id: r.u32()?,
+            stream_seed: r.u64()?,
+        };
+        r.finish()?;
+        Some(hello)
+    }
+}
+
+/// Liveness probe, master → worker, echoed back verbatim (opcode
+/// HEARTBEAT). The session/seq pair makes every probe distinguishable, so
+/// a stale echo (from a previous probe or session) fails the comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Session the probe belongs to.
+    pub session: u64,
+    /// Monotone per-cluster probe counter.
+    pub seq: u64,
+}
+
+impl Heartbeat {
+    /// Serializes to the 16-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        put_u64(&mut out, self.session);
+        put_u64(&mut out, self.seq);
+        out
+    }
+
+    /// Strict decode; `None` on truncation, trailing bytes, or garbage.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let hb = Heartbeat {
+            session: r.u64()?,
+            seq: r.u64()?,
+        };
+        r.finish()?;
+        Some(hb)
+    }
+}
+
+/// Why the master refused a registration (body of a REJECT frame).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The JOIN's protocol version is not [`PROTOCOL_VERSION`].
+    Version,
+    /// The requested machine id is ≥ the session's cluster size ℓ.
+    OutOfRange,
+    /// Another live worker already holds the requested machine id.
+    Duplicate,
+    /// Every slot of the session is taken. Retryable: the *next* session
+    /// may have room (or need this worker again).
+    SessionFull,
+    /// The HELLO's stream seed does not match
+    /// [`stream_seed`]`(master_seed, machine_id)`.
+    SeedMismatch,
+}
+
+impl RejectReason {
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::Version => 1,
+            RejectReason::OutOfRange => 2,
+            RejectReason::Duplicate => 3,
+            RejectReason::SessionFull => 4,
+            RejectReason::SeedMismatch => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => RejectReason::Version,
+            2 => RejectReason::OutOfRange,
+            3 => RejectReason::Duplicate,
+            4 => RejectReason::SessionFull,
+            5 => RejectReason::SeedMismatch,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable reason, used in worker-side error messages.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RejectReason::Version => "unsupported protocol version",
+            RejectReason::OutOfRange => "requested machine id out of range",
+            RejectReason::Duplicate => "requested machine id already registered",
+            RejectReason::SessionFull => "session membership already full",
+            RejectReason::SeedMismatch => "stream seed mismatch",
+        }
+    }
+
+    /// Whether a rejected worker should keep retrying. Only
+    /// [`RejectReason::SessionFull`] is transient — everything else means
+    /// this worker, as configured, can never join this master.
+    pub fn retryable(self) -> bool {
+        matches!(self, RejectReason::SessionFull)
+    }
+
+    /// The typed [`WireError`] this reason surfaces as on the master,
+    /// attributed to `requested` where a machine id is meaningful.
+    pub fn wire_error(self, requested: Option<u32>) -> WireError {
+        let machine = requested.map(|id| id as usize);
+        match self {
+            RejectReason::Duplicate => {
+                WireError::duplicate_id(phase::RENDEZVOUS, machine.unwrap_or(0))
+            }
+            RejectReason::OutOfRange => {
+                WireError::id_out_of_range(phase::RENDEZVOUS, machine.unwrap_or(0))
+            }
+            RejectReason::SessionFull => WireError::session_full(phase::RENDEZVOUS),
+            RejectReason::Version | RejectReason::SeedMismatch => WireError {
+                phase: phase::RENDEZVOUS,
+                machine,
+                kind: crate::wire::WireErrorKind::Malformed,
+            },
+        }
+    }
+}
+
+/// Master's refusal, master → worker (opcode REJECT).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reject {
+    /// Why the registration was refused.
+    pub reason: RejectReason,
+}
+
+impl Reject {
+    /// Serializes to the 1-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![self.reason.code()]
+    }
+
+    /// Strict decode; `None` on truncation, trailing bytes, or an unknown
+    /// reason code.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let reason = RejectReason::from_code(r.u8()?)?;
+        r.finish()?;
+        Some(Reject { reason })
+    }
+}
+
+/// The registration state machine for one session: which of the ℓ
+/// machine-id slots are taken.
+///
+/// Pure state — no sockets — so registration policy (duplicates,
+/// out-of-range ids, fullness, any-slot assignment) is testable without a
+/// network. Both the spawn path ([`crate::tcp::ProcCluster::spawn`]) and
+/// the join path ([`Rendezvous::accept_session`]) drive their handshakes
+/// through one of these.
+#[derive(Clone, Debug)]
+pub struct MembershipTable {
+    taken: Vec<bool>,
+}
+
+impl MembershipTable {
+    /// An empty table with `expected` slots (the session's ℓ).
+    pub fn new(expected: usize) -> Self {
+        assert!(expected > 0, "cluster needs at least one machine");
+        MembershipTable {
+            taken: vec![false; expected],
+        }
+    }
+
+    /// The session's expected cluster size ℓ.
+    pub fn expected(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// How many slots are currently registered.
+    pub fn joined(&self) -> usize {
+        self.taken.iter().filter(|&&t| t).count()
+    }
+
+    /// Whether every slot is registered (membership complete).
+    pub fn is_full(&self) -> bool {
+        self.taken.iter().all(|&t| t)
+    }
+
+    /// Registers a joiner, returning its assigned machine id.
+    ///
+    /// A specific request gets exactly that slot or a typed refusal
+    /// ([`RejectReason::OutOfRange`], [`RejectReason::Duplicate`]); an
+    /// any-slot request gets the lowest free slot or
+    /// [`RejectReason::SessionFull`]. A wrong protocol version is refused
+    /// before any slot logic runs.
+    pub fn register(&mut self, join: &JoinHello) -> Result<u32, RejectReason> {
+        if join.version != PROTOCOL_VERSION {
+            return Err(RejectReason::Version);
+        }
+        match join.requested {
+            Some(id) => {
+                let slot = self
+                    .taken
+                    .get_mut(id as usize)
+                    .ok_or(RejectReason::OutOfRange)?;
+                if *slot {
+                    return Err(RejectReason::Duplicate);
+                }
+                *slot = true;
+                Ok(id)
+            }
+            None => {
+                let id = self
+                    .taken
+                    .iter()
+                    .position(|&t| !t)
+                    .ok_or(RejectReason::SessionFull)?;
+                self.taken[id] = true;
+                Ok(id as u32)
+            }
+        }
+    }
+
+    /// Frees a slot whose owner failed after WELCOME but before the
+    /// session completed assembly, so a replacement can register.
+    pub fn release(&mut self, id: u32) {
+        if let Some(slot) = self.taken.get_mut(id as usize) {
+            *slot = false;
+        }
+    }
+}
+
+/// What went wrong during a handshake.
+#[derive(Debug)]
+pub enum HandshakeError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// Protocol violation, typed per [`WireError`] (master side).
+    Wire(WireError),
+    /// The master sent REJECT (worker side).
+    Rejected(RejectReason),
+}
+
+impl HandshakeError {
+    /// Whether a join-mode worker should back off and retry. Transport
+    /// failures are transient (the master may not be up yet, or is busy
+    /// running a session); so is [`RejectReason::SessionFull`]. Protocol
+    /// violations and the other reject reasons are configuration errors
+    /// that retrying cannot fix.
+    pub fn retryable(&self) -> bool {
+        match self {
+            HandshakeError::Io(e) => !matches!(
+                e.kind(),
+                io::ErrorKind::InvalidData | io::ErrorKind::InvalidInput
+            ),
+            HandshakeError::Wire(_) => false,
+            HandshakeError::Rejected(reason) => reason.retryable(),
+        }
+    }
+
+    /// Flattens into an [`io::Error`] for callers on `io::Result` paths.
+    pub fn into_io(self) -> io::Error {
+        match self {
+            HandshakeError::Io(e) => e,
+            HandshakeError::Wire(e) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+            HandshakeError::Rejected(reason) => io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("master rejected registration: {}", reason.describe()),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::Io(e) => write!(f, "handshake I/O error: {e}"),
+            HandshakeError::Wire(e) => write!(f, "handshake protocol error: {e}"),
+            HandshakeError::Rejected(reason) => {
+                write!(f, "registration rejected: {}", reason.describe())
+            }
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {}
+
+impl From<io::Error> for HandshakeError {
+    fn from(e: io::Error) -> Self {
+        HandshakeError::Io(e)
+    }
+}
+
+/// Master side of the v2 handshake on one accepted connection.
+///
+/// Reads JOIN, registers it in `table`, answers WELCOME (or REJECT with a
+/// typed reason), reads the confirming HELLO, and cross-checks its stream
+/// seed against [`stream_seed`]`(master_seed, id)`. Any failure after the
+/// slot was assigned releases it, so a crashed joiner does not leak a
+/// slot. Every read is bounded by [`handshake_timeout`].
+pub fn master_handshake(
+    stream: &mut TcpStream,
+    table: &mut MembershipTable,
+    session: u64,
+    master_seed: u64,
+) -> Result<u32, HandshakeError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(handshake_timeout()))?;
+    let (opcode, body) = read_frame(stream)?;
+    if opcode != frame::JOIN {
+        return Err(HandshakeError::Io(protocol_err(&format!(
+            "expected JOIN, got opcode {opcode}"
+        ))));
+    }
+    let join = JoinHello::decode(&body).ok_or_else(|| {
+        HandshakeError::Wire(WireError {
+            phase: phase::RENDEZVOUS,
+            machine: None,
+            kind: crate::wire::WireErrorKind::Malformed,
+        })
+    })?;
+    let id = match table.register(&join) {
+        Ok(id) => id,
+        Err(reason) => {
+            let _ = write_frame(stream, frame::REJECT, &Reject { reason }.encode());
+            return Err(HandshakeError::Wire(reason.wire_error(join.requested)));
+        }
+    };
+    // The slot is assigned; from here every failure must release it.
+    confirm_member(stream, table, session, master_seed, id).map_err(|e| {
+        table.release(id);
+        e
+    })
+}
+
+/// WELCOME + HELLO verification half of [`master_handshake`].
+fn confirm_member(
+    stream: &mut TcpStream,
+    table: &MembershipTable,
+    session: u64,
+    master_seed: u64,
+    id: u32,
+) -> Result<u32, HandshakeError> {
+    let welcome = Welcome {
+        session,
+        machine_id: id,
+        cluster_size: table.expected() as u32,
+        master_seed,
+    };
+    write_frame(stream, frame::WELCOME, &welcome.encode())?;
+    let (opcode, body) = read_frame(stream)?;
+    if opcode != frame::HELLO {
+        return Err(HandshakeError::Io(protocol_err(&format!(
+            "expected HELLO, got opcode {opcode}"
+        ))));
+    }
+    let hello = Hello::decode(&body).ok_or_else(|| {
+        HandshakeError::Wire(WireError::malformed(phase::RENDEZVOUS, id as usize))
+    })?;
+    let expected_seed = stream_seed(master_seed, id as usize);
+    if hello.version != PROTOCOL_VERSION
+        || hello.machine_id != id
+        || hello.stream_seed != expected_seed
+    {
+        let reject = Reject {
+            reason: RejectReason::SeedMismatch,
+        };
+        let _ = write_frame(stream, frame::REJECT, &reject.encode());
+        return Err(HandshakeError::Io(protocol_err(&format!(
+            "stream seed mismatch from machine {id} (cross-process RNG contract)"
+        ))));
+    }
+    Ok(id)
+}
+
+/// Worker side of the v2 handshake on a connected stream.
+///
+/// Sends JOIN, waits for WELCOME (or REJECT), verifies the assignment
+/// against the request, and confirms with a HELLO carrying the derived
+/// stream seed. On success the stream's read timeout is cleared — the
+/// serve loop blocks indefinitely between ops by design.
+pub fn join_handshake(
+    stream: &mut TcpStream,
+    join: JoinHello,
+) -> Result<Welcome, HandshakeError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(handshake_timeout()))?;
+    write_frame(stream, frame::JOIN, &join.encode())?;
+    let (opcode, body) = read_frame(stream)?;
+    let welcome = match opcode {
+        frame::WELCOME => Welcome::decode(&body)
+            .ok_or_else(|| HandshakeError::Io(protocol_err("malformed WELCOME")))?,
+        frame::REJECT => {
+            let reason = Reject::decode(&body)
+                .map(|r| r.reason)
+                .ok_or_else(|| HandshakeError::Io(protocol_err("malformed REJECT")))?;
+            return Err(HandshakeError::Rejected(reason));
+        }
+        other => {
+            return Err(HandshakeError::Io(protocol_err(&format!(
+                "expected WELCOME or REJECT, got opcode {other}"
+            ))))
+        }
+    };
+    if let Some(requested) = join.requested {
+        if welcome.machine_id != requested {
+            return Err(HandshakeError::Io(protocol_err(&format!(
+                "WELCOME assigned machine {} but {requested} was requested",
+                welcome.machine_id
+            ))));
+        }
+    }
+    if welcome.machine_id >= welcome.cluster_size {
+        return Err(HandshakeError::Io(protocol_err(
+            "WELCOME machine id out of range of its own cluster size",
+        )));
+    }
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+        caps: join.caps,
+        machine_id: welcome.machine_id,
+        stream_seed: stream_seed(welcome.master_seed, welcome.machine_id as usize),
+    };
+    write_frame(stream, frame::HELLO, &hello.encode())?;
+    stream.set_read_timeout(None)?;
+    Ok(welcome)
+}
+
+/// Master-side rendezvous knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinConfig {
+    /// Expected cluster size ℓ — a session assembles exactly this many
+    /// workers.
+    pub expected: usize,
+    /// How long [`Rendezvous::accept_session`] waits for full membership
+    /// before giving up.
+    pub join_timeout: Duration,
+    /// How long a [`JoinCluster::heartbeat`] echo may take before the
+    /// link fail-stops.
+    pub heartbeat_timeout: Duration,
+}
+
+impl JoinConfig {
+    /// A config for `expected` machines with env-derived timeouts:
+    /// `DIM_JOIN_TIMEOUT_SECS` (default 30 s) and
+    /// `DIM_HEARTBEAT_TIMEOUT_SECS` (default 5 s).
+    pub fn new(expected: usize) -> Self {
+        JoinConfig {
+            expected,
+            join_timeout: default_join_timeout(),
+            heartbeat_timeout: tcp::default_heartbeat_timeout(),
+        }
+    }
+}
+
+/// The master's join deadline: `DIM_JOIN_TIMEOUT_SECS` (whole seconds) or
+/// 30 s.
+pub fn default_join_timeout() -> Duration {
+    std::env::var("DIM_JOIN_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(30))
+}
+
+/// The master side of join-mode clustering: a bound listener that
+/// assembles sessions from registering workers.
+///
+/// One `Rendezvous` outlives its sessions — after a [`JoinCluster`] is
+/// dropped (ending its session), call [`Rendezvous::accept_session`]
+/// again and surviving or restarted workers re-register for the next run.
+pub struct Rendezvous {
+    listener: TcpListener,
+    config: JoinConfig,
+    next_session: u64,
+}
+
+impl Rendezvous {
+    /// Binds `addr` and prepares to accept joiners.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: JoinConfig) -> io::Result<Self> {
+        assert!(config.expected > 0, "cluster needs at least one machine");
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Rendezvous {
+            listener,
+            config,
+            next_session: 1,
+        })
+    }
+
+    /// [`Rendezvous::bind`] on the advertised address from
+    /// `DIM_MASTER_BIND` (default `127.0.0.1:0`). Multi-host deployments
+    /// set e.g. `DIM_MASTER_BIND=0.0.0.0:7070`.
+    pub fn bind_env(config: JoinConfig) -> io::Result<Self> {
+        Self::bind(tcp::master_bind_addr().as_str(), config)
+    }
+
+    /// The bound address workers should `--connect` to.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The id the next [`Rendezvous::accept_session`] will use.
+    pub fn next_session(&self) -> u64 {
+        self.next_session
+    }
+
+    /// Assembles one session: accepts and handshakes joiners until all ℓ
+    /// slots are registered, then returns the [`JoinCluster`].
+    ///
+    /// Rejected or failed joiners are logged and do not abort assembly —
+    /// their slot (if any) is released for a replacement. If membership
+    /// is still incomplete after the join timeout, errors `TimedOut`
+    /// naming how many workers had joined. The bind→membership latency is
+    /// recorded under [`phase::RENDEZVOUS`] in the cluster's timeline and
+    /// is also available as [`JoinCluster::rendezvous_latency`].
+    pub fn accept_session(
+        &mut self,
+        network: NetworkModel,
+        master_seed: u64,
+    ) -> io::Result<JoinCluster> {
+        let session = self.next_session;
+        self.next_session += 1;
+        let start = Instant::now();
+        let deadline = start + self.config.join_timeout;
+        let mut table = MembershipTable::new(self.config.expected);
+        let mut slots: Vec<Option<TcpStream>> =
+            (0..self.config.expected).map(|_| None).collect();
+        while !table.is_full() {
+            match self.listener.accept() {
+                Ok((mut stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    match master_handshake(&mut stream, &mut table, session, master_seed) {
+                        Ok(id) => slots[id as usize] = Some(stream),
+                        Err(e) => {
+                            eprintln!(
+                                "dim master: refused joiner {peer} for session {session}: {e}"
+                            );
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "rendezvous timed out: {} of {} workers joined session {session}",
+                                table.joined(),
+                                table.expected()
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let latency = start.elapsed();
+        let streams = slots
+            .into_iter()
+            .map(|s| s.expect("full membership table implies a stream per slot"))
+            .collect();
+        let mut inner = ProcCluster::from_streams(
+            streams,
+            Vec::new(),
+            network,
+            master_seed,
+            session,
+            self.config.heartbeat_timeout,
+        )?;
+        inner.record(
+            phase::RENDEZVOUS,
+            ClusterMetrics {
+                master_compute: latency,
+                phases: 1,
+                ..Default::default()
+            },
+        );
+        Ok(JoinCluster {
+            inner,
+            rendezvous_latency: latency,
+        })
+    }
+}
+
+/// A cluster whose membership was assembled from registrations
+/// ([`Rendezvous::accept_session`]) instead of spawning.
+///
+/// Runs the identical op protocol as [`ProcCluster`] — algorithms cannot
+/// tell the backends apart, which is what makes join-mode results
+/// byte-identical to spawn-mode and sequential runs. The difference is
+/// ownership: a `JoinCluster` owns only the *links*. Dropping it sends
+/// the Shutdown op, which ends the session; the worker processes survive
+/// and re-register with the same [`Rendezvous`] for the next session.
+pub struct JoinCluster {
+    inner: ProcCluster,
+    rendezvous_latency: Duration,
+}
+
+impl std::fmt::Debug for JoinCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinCluster")
+            .field("session", &self.session_id())
+            .field("machines", &self.num_machines())
+            .field("live_links", &self.live_links())
+            .field("rendezvous_latency", &self.rendezvous_latency)
+            .finish()
+    }
+}
+
+impl JoinCluster {
+    /// The session id this membership is valid for.
+    pub fn session_id(&self) -> u64 {
+        self.inner.session_id()
+    }
+
+    /// Wall-clock time from `accept_session` start to full membership
+    /// (also recorded under [`phase::RENDEZVOUS`] in the timeline).
+    pub fn rendezvous_latency(&self) -> Duration {
+        self.rendezvous_latency
+    }
+
+    /// The master seed the worker streams were derived from.
+    pub fn master_seed(&self) -> u64 {
+        self.inner.master_seed()
+    }
+
+    /// Number of link faults observed so far (dead links stay dead).
+    pub fn link_errors(&self) -> u64 {
+        self.inner.link_errors()
+    }
+
+    /// Number of links still alive.
+    pub fn live_links(&self) -> usize {
+        self.inner.live_links()
+    }
+
+    /// Probes every live link and fail-stops dead ones — see
+    /// [`ProcCluster::heartbeat`].
+    pub fn heartbeat(&mut self) -> Result<(), WireError> {
+        self.inner.heartbeat()
+    }
+}
+
+impl ClusterBackend for JoinCluster {
+    type Worker = ();
+
+    fn num_machines(&self) -> usize {
+        self.inner.num_machines()
+    }
+
+    fn network(&self) -> NetworkModel {
+        self.inner.network()
+    }
+
+    fn workers(&self) -> &[()] {
+        self.inner.workers()
+    }
+
+    fn timeline(&self) -> &PhaseTimeline {
+        self.inner.timeline()
+    }
+
+    fn record(&mut self, label: &'static str, delta: ClusterMetrics) {
+        self.inner.record(label, delta);
+    }
+
+    fn par_step<R, F>(&mut self, label: &'static str, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut ()) -> R + Sync,
+    {
+        self.inner.par_step(label, f)
+    }
+
+    fn master<R, F>(&mut self, label: &'static str, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        self.inner.master(label, f)
+    }
+}
+
+impl OpCluster for JoinCluster {
+    fn exec_ops<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Result<Vec<WorkerReply>, WireError>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        self.inner.exec_ops(down_label, up_label, op)
+    }
+}
+
+/// Worker-side join knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinOptions {
+    /// Pin a specific machine id, or `None` for any free slot.
+    pub requested: Option<u32>,
+    /// Capability flags to advertise ([`caps`]).
+    pub caps: u8,
+    /// Give up joining after this long (`None` = retry forever). The
+    /// `dim-worker` binary seeds this from `DIM_JOIN_DEADLINE_SECS` /
+    /// `--join-deadline`.
+    pub deadline: Option<Duration>,
+}
+
+impl JoinOptions {
+    /// Any slot, full capabilities, deadline from
+    /// `DIM_JOIN_DEADLINE_SECS` if set (else retry forever).
+    pub fn new() -> Self {
+        JoinOptions {
+            requested: None,
+            caps: caps::ALL,
+            deadline: join_deadline_env(),
+        }
+    }
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The worker's optional join deadline: `DIM_JOIN_DEADLINE_SECS` (whole
+/// seconds), unset = retry forever.
+pub fn join_deadline_env() -> Option<Duration> {
+    std::env::var("DIM_JOIN_DEADLINE_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
+}
+
+/// Jittered exponential backoff for join retries.
+///
+/// Delays double from 50 ms up to a 2 s cap, each drawn uniformly from
+/// `[base/2, base]` so a fleet of workers restarted together does not
+/// hammer the master in lockstep. The jitter source is a tiny splitmix64
+/// stream seeded per worker — deterministic given the seed, which keeps
+/// tests reproducible.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    state: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule whose jitter stream is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Backoff {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The next delay to sleep: jittered from the current base, which
+    /// then doubles (capped).
+    pub fn next_delay(&mut self) -> Duration {
+        // splitmix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let base_ns = self.base.as_nanos() as u64;
+        let jittered = base_ns / 2 + z % (base_ns / 2 + 1);
+        let delay = Duration::from_nanos(jittered);
+        self.base = (self.base * 2).min(self.cap);
+        delay
+    }
+}
+
+/// Connects to `addr` and completes the join handshake, retrying
+/// transient failures (master not up yet, session full, dropped
+/// connections) with jittered exponential backoff until the deadline in
+/// `opts` (if any) expires. Fatal rejections — version or capability
+/// mismatch, duplicate or out-of-range id — surface immediately.
+pub fn connect_and_join(
+    addr: &str,
+    opts: &JoinOptions,
+) -> io::Result<(TcpStream, Welcome)> {
+    let deadline = opts.deadline.map(|d| Instant::now() + d);
+    let mut backoff = Backoff::new(
+        u64::from(opts.requested.unwrap_or(ANY_SLOT)) ^ u64::from(std::process::id()),
+    );
+    loop {
+        let attempt = (|| -> Result<(TcpStream, Welcome), HandshakeError> {
+            let mut stream = connect_with_timeout(addr)?;
+            let welcome = join_handshake(&mut stream, JoinHello::new(opts.requested))?;
+            Ok((stream, welcome))
+        })();
+        let err = match attempt {
+            Ok(joined) => return Ok(joined),
+            Err(e) => e,
+        };
+        if !err.retryable() {
+            return Err(err.into_io());
+        }
+        let delay = backoff.next_delay();
+        if let Some(deadline) = deadline {
+            if Instant::now() + delay >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("join deadline expired; last error: {err}"),
+                ));
+            }
+        }
+        std::thread::sleep(delay);
+    }
+}
+
+/// Resolves `addr` and connects with the shared [`handshake_timeout`].
+fn connect_with_timeout(addr: &str) -> io::Result<TcpStream> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::AddrNotAvailable, "address resolved to nothing"))?;
+    TcpStream::connect_timeout(&sock, handshake_timeout())
+}
+
+/// How one joined session went, from the worker's side.
+#[derive(Debug)]
+pub struct JoinedSession {
+    /// The membership the worker held.
+    pub welcome: Welcome,
+    /// Whether the master ended the session with a Shutdown op or by
+    /// disconnecting.
+    pub end: SessionEnd,
+}
+
+/// Joins a master at `addr` and serves one full session.
+///
+/// `setup(&welcome)` builds (or re-binds) the op executor once membership
+/// is known — a join-mode `dim-worker` passes a closure that resets its
+/// long-lived host state to the session's machine id and master seed and
+/// returns `&mut host`, keeping an already-loaded graph across sessions.
+/// Returns when the master ends the session; the binary loops this to
+/// re-register for the next run.
+pub fn run_join_worker<E, F>(
+    addr: &str,
+    opts: &JoinOptions,
+    fault: Option<WorkerFault>,
+    setup: F,
+) -> io::Result<JoinedSession>
+where
+    E: OpExecutor,
+    F: FnOnce(&Welcome) -> E,
+{
+    let (stream, welcome) = connect_and_join(addr, opts)?;
+    let mut executor = setup(&welcome);
+    let end = tcp::serve_session(stream, welcome.machine_id, &mut executor, fault)?;
+    Ok(JoinedSession { welcome, end })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{expect_counts, OpCluster};
+    use crate::wire::WireErrorKind;
+
+    #[test]
+    fn codec_roundtrips() {
+        for requested in [None, Some(0), Some(7), Some(u32::MAX - 1)] {
+            let join = JoinHello::new(requested);
+            let bytes = join.encode();
+            assert_eq!(bytes.len(), 6);
+            assert_eq!(JoinHello::decode(&bytes), Some(join));
+        }
+        let welcome = Welcome {
+            session: 3,
+            machine_id: 1,
+            cluster_size: 4,
+            master_seed: 0xDEAD_BEEF,
+        };
+        assert_eq!(welcome.encode().len(), 24);
+        assert_eq!(Welcome::decode(&welcome.encode()), Some(welcome));
+        let hello = Hello {
+            version: PROTOCOL_VERSION,
+            caps: caps::ALL,
+            machine_id: 2,
+            stream_seed: 99,
+        };
+        assert_eq!(hello.encode().len(), 14);
+        assert_eq!(Hello::decode(&hello.encode()), Some(hello));
+        let hb = Heartbeat { session: 1, seq: 42 };
+        assert_eq!(hb.encode().len(), 16);
+        assert_eq!(Heartbeat::decode(&hb.encode()), Some(hb));
+        for reason in [
+            RejectReason::Version,
+            RejectReason::OutOfRange,
+            RejectReason::Duplicate,
+            RejectReason::SessionFull,
+            RejectReason::SeedMismatch,
+        ] {
+            let reject = Reject { reason };
+            assert_eq!(Reject::decode(&reject.encode()), Some(reject));
+        }
+    }
+
+    #[test]
+    fn codecs_reject_truncation_and_trailing_bytes() {
+        let join = JoinHello::new(Some(1)).encode();
+        assert!(JoinHello::decode(&join[..join.len() - 1]).is_none());
+        let mut long = join.clone();
+        long.push(0);
+        assert!(JoinHello::decode(&long).is_none());
+        let welcome = Welcome {
+            session: 1,
+            machine_id: 0,
+            cluster_size: 1,
+            master_seed: 2,
+        }
+        .encode();
+        assert!(Welcome::decode(&welcome[..23]).is_none());
+        assert!(Hello::decode(&[]).is_none());
+        assert!(Heartbeat::decode(&[0u8; 15]).is_none());
+        // Unknown reject reason codes are refused, not mapped arbitrarily.
+        assert!(Reject::decode(&[0]).is_none());
+        assert!(Reject::decode(&[6]).is_none());
+        assert!(Reject::decode(&[1, 0]).is_none());
+    }
+
+    #[test]
+    fn membership_assigns_requested_and_free_slots() {
+        let mut table = MembershipTable::new(3);
+        assert_eq!(table.register(&JoinHello::new(Some(2))), Ok(2));
+        assert_eq!(table.register(&JoinHello::new(None)), Ok(0));
+        assert_eq!(table.register(&JoinHello::new(None)), Ok(1));
+        assert!(table.is_full());
+        assert_eq!(table.joined(), 3);
+    }
+
+    #[test]
+    fn membership_rejects_duplicate_id_with_typed_error() {
+        let mut table = MembershipTable::new(2);
+        assert_eq!(table.register(&JoinHello::new(Some(1))), Ok(1));
+        let reason = table.register(&JoinHello::new(Some(1))).unwrap_err();
+        assert_eq!(reason, RejectReason::Duplicate);
+        assert!(!reason.retryable());
+        let err = reason.wire_error(Some(1));
+        assert_eq!(err.kind, WireErrorKind::DuplicateId);
+        assert_eq!(err.machine, Some(1));
+        assert_eq!(err.phase, phase::RENDEZVOUS);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        // The slot's original owner is unaffected.
+        assert_eq!(table.joined(), 1);
+    }
+
+    #[test]
+    fn membership_rejects_out_of_range_id_with_typed_error() {
+        let mut table = MembershipTable::new(2);
+        let reason = table.register(&JoinHello::new(Some(2))).unwrap_err();
+        assert_eq!(reason, RejectReason::OutOfRange);
+        assert!(!reason.retryable());
+        let err = reason.wire_error(Some(2));
+        assert_eq!(err.kind, WireErrorKind::IdOutOfRange);
+        assert_eq!(err.machine, Some(2));
+        assert_eq!(table.joined(), 0);
+    }
+
+    #[test]
+    fn membership_session_full_is_retryable() {
+        let mut table = MembershipTable::new(1);
+        assert_eq!(table.register(&JoinHello::new(None)), Ok(0));
+        let reason = table.register(&JoinHello::new(None)).unwrap_err();
+        assert_eq!(reason, RejectReason::SessionFull);
+        assert!(reason.retryable());
+        assert_eq!(reason.wire_error(None).kind, WireErrorKind::SessionFull);
+    }
+
+    #[test]
+    fn membership_rejects_wrong_version_and_releases_slots() {
+        let mut table = MembershipTable::new(2);
+        let old = JoinHello {
+            version: 1,
+            caps: caps::ALL,
+            requested: Some(0),
+        };
+        assert_eq!(table.register(&old).unwrap_err(), RejectReason::Version);
+        assert_eq!(table.register(&JoinHello::new(Some(0))), Ok(0));
+        table.release(0);
+        assert_eq!(table.joined(), 0);
+        assert_eq!(table.register(&JoinHello::new(Some(0))), Ok(0));
+    }
+
+    #[test]
+    fn backoff_jitters_within_bounds_and_doubles() {
+        let mut backoff = Backoff::new(7);
+        let mut base = Duration::from_millis(50);
+        for _ in 0..8 {
+            let d = backoff.next_delay();
+            assert!(d >= base / 2 && d <= base, "{d:?} outside [{:?}, {base:?}]", base / 2);
+            base = (base * 2).min(Duration::from_secs(2));
+        }
+        // Deterministic given the seed; different seeds diverge.
+        let a: Vec<_> = (0..4).map(|_| Backoff::new(1).next_delay()).collect();
+        assert!(a.iter().all(|&d| d == a[0]));
+        let mut b1 = Backoff::new(1);
+        let mut b2 = Backoff::new(2);
+        assert_ne!(b1.next_delay(), b2.next_delay());
+    }
+
+    /// Toy resident executor counting SampleRr totals, as in tcp.rs tests.
+    struct Tally(u64);
+
+    impl OpExecutor for Tally {
+        fn execute(&mut self, op: &WorkerOp) -> WorkerReply {
+            match op {
+                WorkerOp::SampleRr { count } => {
+                    self.0 += count;
+                    WorkerReply::Ok
+                }
+                WorkerOp::CoveredCount => WorkerReply::Count(self.0),
+                _ => WorkerReply::Err("unsupported".into()),
+            }
+        }
+    }
+
+    fn test_config(expected: usize) -> JoinConfig {
+        JoinConfig {
+            expected,
+            join_timeout: Duration::from_secs(10),
+            heartbeat_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn join_workers_assemble_serve_and_reregister_next_session() {
+        let mut rdv = Rendezvous::bind("127.0.0.1:0", test_config(2)).unwrap();
+        let addr = rdv.local_addr().unwrap().to_string();
+        // Pre-started workers that serve TWO sessions each, keeping their
+        // executor alive across sessions (the host-reuse contract).
+        let handles: Vec<_> = (0..2u32)
+            .map(|id| {
+                let addr = addr.clone();
+                std::thread::spawn(move || -> io::Result<Vec<(u64, u32, SessionEnd)>> {
+                    let mut tally = Tally(0);
+                    // Pin the slot so resident state stays attached to the
+                    // same machine id across sessions.
+                    let opts = JoinOptions {
+                        requested: Some(id),
+                        caps: caps::ALL,
+                        deadline: Some(Duration::from_secs(10)),
+                    };
+                    let mut served = Vec::new();
+                    for _ in 0..2 {
+                        let session =
+                            run_join_worker(&addr, &opts, None, |_welcome| &mut tally)?;
+                        served.push((
+                            session.welcome.session,
+                            session.welcome.machine_id,
+                            session.end,
+                        ));
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+
+        for expected_session in [1u64, 2] {
+            let mut cluster = rdv
+                .accept_session(NetworkModel::cluster_1gbps(), 42)
+                .unwrap();
+            assert_eq!(cluster.session_id(), expected_session);
+            assert_eq!(cluster.num_machines(), 2);
+            // Rendezvous latency landed in the timeline as a setup phase.
+            let m = cluster.timeline().get(phase::RENDEZVOUS);
+            assert_eq!(m.phases, 1);
+            assert_eq!(m.bytes_to_master + m.bytes_from_master, 0);
+            assert_eq!(m.master_compute, cluster.rendezvous_latency());
+            cluster.heartbeat().unwrap();
+            cluster
+                .control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+                    count: i as u64 + 1,
+                })
+                .unwrap();
+            let counts = cluster
+                .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+                .unwrap();
+            let counts = expect_counts(&counts, phase::COUNT_UPLOAD).unwrap();
+            // Session 2 reuses the workers' resident state: tallies from
+            // session 1 persist, so totals double.
+            let scale = expected_session;
+            assert_eq!(counts, vec![scale, 2 * scale]);
+            // Drop ends the session; workers loop back to joining.
+        }
+        for handle in handles {
+            let served = handle.join().unwrap().unwrap();
+            assert_eq!(served.len(), 2);
+            for (session, _, end) in served {
+                assert!(session == 1 || session == 2);
+                assert_eq!(end, SessionEnd::Shutdown);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_is_refused_but_session_still_assembles() {
+        let mut rdv = Rendezvous::bind("127.0.0.1:0", test_config(1)).unwrap();
+        let addr = rdv.local_addr().unwrap().to_string();
+        // Two workers race for machine id 0; the loser gets REJECT
+        // Duplicate (fatal), the winner serves. Assembly must survive the
+        // refusal.
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut tally = Tally(0);
+                    let opts = JoinOptions {
+                        requested: Some(0),
+                        caps: caps::ALL,
+                        deadline: Some(Duration::from_secs(10)),
+                    };
+                    run_join_worker(&addr, &opts, None, |_| &mut tally).map(|s| s.end)
+                })
+            })
+            .collect();
+        let cluster = rdv
+            .accept_session(NetworkModel::cluster_1gbps(), 9)
+            .unwrap();
+        assert_eq!(cluster.num_machines(), 1);
+        drop(cluster);
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let ok = results.iter().filter(|r| r.is_ok()).count();
+        let rejected = results
+            .iter()
+            .filter(|r| {
+                r.as_ref().is_err_and(|e| {
+                    e.to_string().contains("already registered")
+                })
+            })
+            .count();
+        // Exactly one worker served; if the loser arrived before assembly
+        // finished it was told "already registered", otherwise it timed
+        // out against a master that stopped accepting.
+        assert_eq!(ok, 1, "{results:?}");
+        assert!(rejected <= 1);
+    }
+
+    #[test]
+    fn dead_worker_fails_heartbeat_with_typed_error_naming_machine() {
+        let mut config = test_config(1);
+        config.heartbeat_timeout = Duration::from_millis(200);
+        let mut rdv = Rendezvous::bind("127.0.0.1:0", config).unwrap();
+        let addr = rdv.local_addr().unwrap().to_string();
+        // A worker that registers, then dies without serving anything.
+        let vanish = std::thread::spawn(move || {
+            let opts = JoinOptions {
+                requested: Some(0),
+                caps: caps::ALL,
+                deadline: Some(Duration::from_secs(10)),
+            };
+            let (stream, welcome) = connect_and_join(&addr, &opts).unwrap();
+            drop(stream);
+            welcome.machine_id
+        });
+        let mut cluster = rdv
+            .accept_session(NetworkModel::cluster_1gbps(), 5)
+            .unwrap();
+        assert_eq!(vanish.join().unwrap(), 0);
+        let err = loop {
+            // The first probe can still see buffered bytes race the FIN;
+            // a dead socket fails within a couple of probes.
+            match cluster.heartbeat() {
+                Ok(()) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.phase, phase::HEARTBEAT);
+        assert_eq!(err.machine, Some(0));
+        assert!(err.to_string().contains("machine 0"), "{err}");
+        assert_eq!(cluster.live_links(), 0);
+        assert_eq!(cluster.link_errors(), 1);
+    }
+
+    #[test]
+    fn rendezvous_times_out_naming_partial_membership() {
+        let mut config = test_config(2);
+        config.join_timeout = Duration::from_millis(300);
+        let mut rdv = Rendezvous::bind("127.0.0.1:0", config).unwrap();
+        let addr = rdv.local_addr().unwrap().to_string();
+        // Only one of the two expected workers ever joins.
+        let lone = std::thread::spawn(move || {
+            let opts = JoinOptions {
+                requested: Some(0),
+                caps: caps::ALL,
+                deadline: Some(Duration::from_secs(10)),
+            };
+            let mut tally = Tally(0);
+            run_join_worker(&addr, &opts, None, |_| &mut tally)
+        });
+        let err = rdv
+            .accept_session(NetworkModel::cluster_1gbps(), 1)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("1 of 2"), "{err}");
+        drop(rdv);
+        // The joined worker sees the master hang up — a clean session end.
+        let session = lone.join().unwrap().unwrap();
+        assert_eq!(session.end, SessionEnd::Disconnected);
+    }
+
+    #[test]
+    fn join_deadline_expires_against_absent_master() {
+        // Bind-then-drop guarantees nothing listens on the port.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let opts = JoinOptions {
+            requested: None,
+            caps: caps::ALL,
+            deadline: Some(Duration::from_millis(150)),
+        };
+        let start = Instant::now();
+        let err = connect_and_join(&addr, &opts).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("join deadline"), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

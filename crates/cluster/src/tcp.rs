@@ -15,11 +15,24 @@
 //! Every frame is `[u32 len (LE)] [u8 opcode] [body; len − 1]`, with `len`
 //! capped at [`MAX_FRAME`]. Opcodes:
 //!
-//! | opcode | name  | direction | body                                     |
-//! |--------|-------|-----------|------------------------------------------|
-//! | 0      | HELLO | w → m     | `[u32 machine_id] [u64 stream_seed]`     |
-//! | 1      | OP    | m → w     | one encoded [`WorkerOp`]                 |
-//! | 2      | REPLY | w → m     | `[u64 elapsed_ns]` + encoded [`WorkerReply`] |
+//! | opcode | name      | direction | body                                     |
+//! |--------|-----------|-----------|------------------------------------------|
+//! | 0      | HELLO     | w → m     | [`rendezvous::Hello`] (version, caps, id, stream seed) |
+//! | 1      | OP        | m → w     | one encoded [`WorkerOp`]                 |
+//! | 2      | REPLY     | w → m     | `[u64 elapsed_ns]` + encoded [`WorkerReply`] |
+//! | 3      | JOIN      | w → m     | [`rendezvous::JoinHello`] (version, caps, requested id) |
+//! | 4      | WELCOME   | m → w     | [`rendezvous::Welcome`] (session, id, ℓ, master seed) |
+//! | 5      | HEARTBEAT | m ⇄ w     | [`rendezvous::Heartbeat`] (session, seq) — worker echoes |
+//! | 6      | REJECT    | m → w     | [`rendezvous::Reject`] (reason)          |
+//!
+//! Every connection — spawned worker or join-mode worker — handshakes the
+//! same way (protocol v2): the worker sends JOIN, the master registers it
+//! in a [`rendezvous::MembershipTable`] and answers WELCOME (or REJECT
+//! with a typed reason), and the worker confirms with HELLO carrying the
+//! stream seed it derived from the WELCOME. The master cross-checks that
+//! seed against [`stream_seed`]`(master_seed, id)` — the cross-process RNG
+//! contract is load-bearing for backend equivalence, so a divergent worker
+//! is refused before it can compute anything.
 //!
 //! An op round is pipelined: the master sends every machine its OP frame
 //! first, then reads the ℓ REPLY frames — so worker processes genuinely
@@ -28,7 +41,10 @@
 //! prefix lets the master separate worker compute from transfer time: the
 //! wall clock of the send and of the receive-minus-compute land in
 //! [`ClusterMetrics::measured_comm`] under the phase's labels, next to the
-//! modeled [`ClusterMetrics::comm_time`].
+//! modeled [`ClusterMetrics::comm_time`]. Between rounds the master may
+//! probe idle links with [`ProcCluster::heartbeat`]; workers echo the
+//! frame, and a missed echo fail-stops the link with the same typed
+//! [`WireError`] an op-round failure produces.
 //!
 //! There is no dedicated shutdown frame: [`WorkerOp::Shutdown`] rides the
 //! normal OP path (sent by `Drop`), and a master disconnect (EOF) is an
@@ -57,33 +73,52 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-use crate::backend::ClusterBackend;
+use crate::backend::{phase, ClusterBackend};
 use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
 use crate::ops::{OpCluster, OpExecutor, WorkerOp, WorkerReply};
-use crate::rng::stream_seed;
+use crate::rendezvous::{
+    self, Heartbeat, JoinHello, MembershipTable, Reject, PROTOCOL_VERSION,
+};
 use crate::wire::WireError;
 
 /// Hard cap on a single frame's declared length (header + body).
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Seconds a handshake read or worker connect may block before the link is
-/// declared dead.
-const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default seconds a handshake read or worker connect may block before the
+/// link is declared dead ([`handshake_timeout`]).
+const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Seconds the master waits for a REPLY — generous, because arbitrary
 /// worker compute (RR sampling of a whole shard) happens between the OP
 /// and its REPLY.
 const REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// The handshake/connect timeout, shared by the spawn and join paths:
+/// `DIM_HANDSHAKE_TIMEOUT_SECS` (whole seconds) or 10 s. Bounds every
+/// pre-membership read — accept loops, JOIN/WELCOME/HELLO exchanges — and
+/// the join-mode worker's connect attempts.
+pub fn handshake_timeout() -> Duration {
+    std::env::var("DIM_HANDSHAKE_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
+        .unwrap_or(DEFAULT_HANDSHAKE_TIMEOUT)
+}
+
 /// Frame opcodes (see the module docs for the protocol table).
-mod frame {
+pub(crate) mod frame {
     pub const HELLO: u8 = 0;
     pub const OP: u8 = 1;
     pub const REPLY: u8 = 2;
+    pub const JOIN: u8 = 3;
+    pub const WELCOME: u8 = 4;
+    pub const HEARTBEAT: u8 = 5;
+    pub const REJECT: u8 = 6;
 }
 
-fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
+pub(crate) fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
     let len = 1 + body.len();
     if len > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
@@ -94,7 +129,7 @@ fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
     let mut hdr = [0u8; 4];
     r.read_exact(&mut hdr)?;
     let len = u32::from_le_bytes(hdr) as usize;
@@ -111,7 +146,7 @@ fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
     Ok((opcode, body))
 }
 
-fn protocol_err(msg: &str) -> io::Error {
+pub(crate) fn protocol_err(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
@@ -143,12 +178,24 @@ impl WorkerFault {
     }
 }
 
+/// How a served session ended, from the worker's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The master sent [`WorkerOp::Shutdown`]; the session is over but the
+    /// master process may still be alive (join-mode workers re-register
+    /// for the next session).
+    Shutdown,
+    /// The master hung up (EOF) without a shutdown op — equally clean.
+    Disconnected,
+}
+
 /// Serves the worker side of the protocol until [`WorkerOp::Shutdown`] or
 /// master disconnect, answering every op via `executor`.
 ///
-/// This is the entire body of the `dim-worker` binary; tests call it on a
-/// thread with one end of a loopback socket pair. Returns `Ok(())` on both
-/// clean exits (shutdown op, EOF) so process workers exit 0.
+/// This is the entire body of the `dim-worker` binary's spawn mode; tests
+/// call it on a thread with one end of a loopback socket pair. Returns
+/// `Ok(())` on both clean exits (shutdown op, EOF) so process workers
+/// exit 0.
 pub fn run_worker<E: OpExecutor>(
     stream: TcpStream,
     machine_id: u32,
@@ -159,6 +206,11 @@ pub fn run_worker<E: OpExecutor>(
 }
 
 /// [`run_worker`] with an optional injected fault.
+///
+/// Spawn-mode preamble: the worker was launched knowing its machine id and
+/// the master seed, so it requests exactly that slot through the v2
+/// JOIN/WELCOME/HELLO handshake and cross-checks the WELCOME against its
+/// command line before serving ops.
 pub fn run_worker_with_fault<E: OpExecutor>(
     mut stream: TcpStream,
     machine_id: u32,
@@ -166,25 +218,87 @@ pub fn run_worker_with_fault<E: OpExecutor>(
     executor: &mut E,
     fault: Option<WorkerFault>,
 ) -> io::Result<()> {
-    let seed = stream_seed(master_seed, machine_id as usize);
-    let mut hello = Vec::with_capacity(12);
-    hello.extend_from_slice(&machine_id.to_le_bytes());
-    hello.extend_from_slice(&seed.to_le_bytes());
-    write_frame(&mut stream, frame::HELLO, &hello)?;
+    let welcome = rendezvous::join_handshake(
+        &mut stream,
+        JoinHello {
+            version: PROTOCOL_VERSION,
+            caps: rendezvous::caps::ALL,
+            requested: Some(machine_id),
+        },
+    )
+    .map_err(|e| e.into_io())?;
+    if welcome.master_seed != master_seed {
+        return Err(protocol_err(&format!(
+            "WELCOME master seed {} does not match --master-seed {}",
+            welcome.master_seed, master_seed
+        )));
+    }
+    serve_session(stream, machine_id, executor, fault).map(|_| ())
+}
 
+/// Serves one session's op loop after a completed handshake: answers OP
+/// frames, echoes HEARTBEAT frames, and returns how the session ended.
+/// Shared by the spawn path ([`run_worker`]) and the join path
+/// ([`rendezvous::run_join_worker`]).
+pub(crate) fn serve_session<E: OpExecutor>(
+    mut stream: TcpStream,
+    machine_id: u32,
+    executor: &mut E,
+    fault: Option<WorkerFault>,
+) -> io::Result<SessionEnd> {
+    // A master that hangs up mid-session is a *session end*, not a worker
+    // fault — and it does not always look like a clean EOF. If the master
+    // fail-stops on another machine's dead link and drops the cluster, our
+    // last heartbeat echo may still sit unread in its receive buffer, so
+    // the close arrives as an RST: the next read or write here fails with
+    // ConnectionReset/BrokenPipe rather than UnexpectedEof. All of those
+    // mean the same thing to a worker (especially a join-mode one, which
+    // re-registers for the next session), so map the whole family to
+    // `SessionEnd::Disconnected`.
+    let disconnected = |e: &io::Error| {
+        matches!(
+            e.kind(),
+            io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+        )
+    };
     let mut replies = 0usize;
     loop {
         let (opcode, body) = match read_frame(&mut stream) {
             Ok(f) => f,
-            // Master hung up without a Shutdown op: a normal exit path.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                eprintln!("dim-worker[{machine_id}]: master disconnected, exiting");
-                return Ok(());
+            Err(e) if disconnected(&e) => {
+                eprintln!("dim-worker[{machine_id}]: master disconnected, exiting session");
+                return Ok(SessionEnd::Disconnected);
             }
             Err(e) => return Err(e),
         };
-        if opcode != frame::OP {
-            return Err(protocol_err(&format!("unexpected opcode {opcode}")));
+        match opcode {
+            frame::OP => {}
+            frame::HEARTBEAT => {
+                // Liveness probe: echo the exact body back.
+                if Heartbeat::decode(&body).is_none() {
+                    return Err(protocol_err("malformed heartbeat"));
+                }
+                match write_frame(&mut stream, frame::HEARTBEAT, &body) {
+                    Ok(()) => continue,
+                    Err(e) if disconnected(&e) => {
+                        eprintln!(
+                            "dim-worker[{machine_id}]: master disconnected, exiting session"
+                        );
+                        return Ok(SessionEnd::Disconnected);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            frame::REJECT => {
+                let reason = Reject::decode(&body)
+                    .map(|r| r.reason.describe())
+                    .unwrap_or("unknown reason");
+                return Err(protocol_err(&format!("master rejected session: {reason}")));
+            }
+            other => return Err(protocol_err(&format!("unexpected opcode {other}"))),
         }
         let Some(op) = WorkerOp::decode(&body) else {
             return Err(protocol_err("malformed op"));
@@ -192,8 +306,8 @@ pub fn run_worker_with_fault<E: OpExecutor>(
         if op == WorkerOp::Shutdown {
             let reply = [&0u64.to_le_bytes()[..], &WorkerReply::Ok.encode()].concat();
             let _ = write_frame(&mut stream, frame::REPLY, &reply);
-            eprintln!("dim-worker[{machine_id}]: shutdown op received, exiting");
-            return Ok(());
+            eprintln!("dim-worker[{machine_id}]: shutdown op received, ending session");
+            return Ok(SessionEnd::Shutdown);
         }
         let start = Instant::now();
         let reply = executor.execute(&op);
@@ -204,10 +318,17 @@ pub fn run_worker_with_fault<E: OpExecutor>(
             stream.write_all(&64u32.to_le_bytes())?;
             stream.write_all(&[frame::REPLY, 0xde, 0xad])?;
             stream.flush()?;
-            return Ok(());
+            return Ok(SessionEnd::Disconnected);
         }
         let body = [&elapsed.to_le_bytes()[..], &reply.encode()].concat();
-        write_frame(&mut stream, frame::REPLY, &body)?;
+        match write_frame(&mut stream, frame::REPLY, &body) {
+            Ok(()) => {}
+            Err(e) if disconnected(&e) => {
+                eprintln!("dim-worker[{machine_id}]: master disconnected, exiting session");
+                return Ok(SessionEnd::Disconnected);
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
@@ -218,7 +339,7 @@ struct Link {
 }
 
 /// What keeps a worker endpoint running.
-enum Served {
+pub(crate) enum Served {
     /// A spawned `dim-worker` OS process.
     Process(std::process::Child),
     /// An in-process thread serving [`run_worker`] (test/fallback mode).
@@ -239,13 +360,19 @@ pub struct ProcCluster {
     network: NetworkModel,
     timeline: PhaseTimeline,
     master_seed: u64,
+    /// Rendezvous session this cluster was assembled for (0 for
+    /// spawn/thread clusters, which live exactly one session).
+    session: u64,
     links: Vec<Link>,
     served: Vec<Served>,
     link_errors: u64,
+    /// How long a heartbeat echo may take before the link fail-stops.
+    heartbeat_timeout: Duration,
+    heartbeat_seq: u64,
 }
 
 /// The master's listening address: `DIM_MASTER_BIND` or loopback.
-fn master_bind_addr() -> String {
+pub(crate) fn master_bind_addr() -> String {
     std::env::var("DIM_MASTER_BIND").unwrap_or_else(|_| "127.0.0.1:0".to_string())
 }
 
@@ -377,8 +504,11 @@ impl ProcCluster {
         Self::local_with(count, network, master_seed, factory)
     }
 
-    /// Handshakes `streams` (in any order — HELLO carries the machine id)
-    /// and assembles the cluster.
+    /// Handshakes `streams` (in any order — the JOIN carries each worker's
+    /// requested machine id) and assembles the cluster. Spawn-mode
+    /// assembly is strict: any handshake failure fails the whole
+    /// construction, because the master launched exactly `count` workers
+    /// itself.
     fn assemble(
         count: usize,
         network: NetworkModel,
@@ -387,37 +517,49 @@ impl ProcCluster {
         served: Vec<Served>,
     ) -> io::Result<Self> {
         assert!(count > 0, "cluster needs at least one machine");
-        let mut slots: Vec<Option<Link>> = (0..count).map(|_| None).collect();
+        let mut table = MembershipTable::new(count);
+        let mut slots: Vec<Option<TcpStream>> = (0..count).map(|_| None).collect();
         for mut stream in streams {
-            stream.set_read_timeout(Some(IO_TIMEOUT))?;
-            stream.set_nodelay(true)?;
-            let (opcode, body) = read_frame(&mut stream)?;
-            if opcode != frame::HELLO || body.len() != 12 {
-                return Err(protocol_err("bad HELLO"));
-            }
-            let id = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
-            let seed = u64::from_le_bytes(body[4..].try_into().unwrap());
-            if id >= count || slots[id].is_some() {
-                return Err(protocol_err("bad machine id in HELLO"));
-            }
-            if seed != stream_seed(master_seed, id) {
-                return Err(protocol_err("worker stream seed mismatch"));
-            }
-            stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
-            slots[id] = Some(Link { stream, alive: true });
+            let id = rendezvous::master_handshake(&mut stream, &mut table, 0, master_seed)
+                .map_err(|e| e.into_io())?;
+            slots[id as usize] = Some(stream);
         }
         let links = slots
             .into_iter()
             .map(|s| s.ok_or_else(|| protocol_err("missing worker connection")))
             .collect::<io::Result<Vec<_>>>()?;
+        Self::from_streams(links, served, network, master_seed, 0, default_heartbeat_timeout())
+    }
+
+    /// Builds a cluster from fully handshaked streams in machine order.
+    /// `served` may be empty (join-mode clusters do not own their worker
+    /// processes). Shared by [`ProcCluster::assemble`] and
+    /// [`rendezvous::Rendezvous::accept_session`].
+    pub(crate) fn from_streams(
+        streams: Vec<TcpStream>,
+        served: Vec<Served>,
+        network: NetworkModel,
+        master_seed: u64,
+        session: u64,
+        heartbeat_timeout: Duration,
+    ) -> io::Result<Self> {
+        let count = streams.len();
+        let mut links = Vec::with_capacity(count);
+        for stream in streams {
+            stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+            links.push(Link { stream, alive: true });
+        }
         Ok(ProcCluster {
             units: vec![(); count],
             network,
             timeline: PhaseTimeline::new(),
             master_seed,
+            session,
             links,
             served,
             link_errors: 0,
+            heartbeat_timeout,
+            heartbeat_seq: 0,
         })
     }
 
@@ -448,6 +590,61 @@ impl ProcCluster {
             .collect()
     }
 
+    /// The rendezvous session this cluster belongs to (0 when the master
+    /// spawned its own workers).
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    /// Probes every live link with a HEARTBEAT frame and waits for the
+    /// echoes, each bounded by the cluster's heartbeat timeout. A missing,
+    /// late, or wrong echo fail-stops that link exactly like an op-round
+    /// failure: the link is marked dead and the typed [`WireError`] names
+    /// the machine. Intended for idle gaps — between runs, while the
+    /// master does long local work — where no op round would notice a
+    /// vanished worker.
+    pub fn heartbeat(&mut self) -> Result<(), WireError> {
+        self.heartbeat_seq += 1;
+        let probe = Heartbeat {
+            session: self.session,
+            seq: self.heartbeat_seq,
+        };
+        let body = probe.encode();
+        let l = self.links.len();
+        let mut messages = 0u64;
+        let start = Instant::now();
+        for i in 0..l {
+            if !self.links[i].alive {
+                return Err(WireError::link(phase::HEARTBEAT, i));
+            }
+            if write_frame(&mut self.links[i].stream, frame::HEARTBEAT, &body).is_err() {
+                return Err(self.fail_link(phase::HEARTBEAT, i, false));
+            }
+        }
+        for i in 0..l {
+            if self.links[i].stream.set_read_timeout(Some(self.heartbeat_timeout)).is_err() {
+                return Err(self.fail_link(phase::HEARTBEAT, i, false));
+            }
+            let echo = read_frame(&mut self.links[i].stream);
+            let _ = self.links[i].stream.set_read_timeout(Some(REPLY_TIMEOUT));
+            match echo {
+                Ok((frame::HEARTBEAT, echo_body)) if echo_body == body => messages += 2,
+                Ok(_) => return Err(self.fail_link(phase::HEARTBEAT, i, true)),
+                Err(_) => return Err(self.fail_link(phase::HEARTBEAT, i, false)),
+            }
+        }
+        self.record(
+            phase::HEARTBEAT,
+            ClusterMetrics {
+                measured_comm: start.elapsed(),
+                messages,
+                phases: 1,
+                ..Default::default()
+            },
+        );
+        Ok(())
+    }
+
     /// Marks link `i` dead and returns the typed error for `phase`.
     fn fail_link(&mut self, phase: &'static str, i: usize, malformed: bool) -> WireError {
         self.links[i].alive = false;
@@ -460,10 +657,22 @@ impl ProcCluster {
     }
 }
 
-/// Accepts exactly `n` connections, bounded by [`IO_TIMEOUT`] overall.
+/// The heartbeat-echo deadline: `DIM_HEARTBEAT_TIMEOUT_SECS` (whole
+/// seconds) or 5 s.
+pub(crate) fn default_heartbeat_timeout() -> Duration {
+    std::env::var("DIM_HEARTBEAT_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// Accepts exactly `n` connections, bounded by [`handshake_timeout`]
+/// overall.
 fn accept_n(listener: &TcpListener, n: usize) -> io::Result<Vec<TcpStream>> {
     listener.set_nonblocking(true)?;
-    let deadline = Instant::now() + IO_TIMEOUT;
+    let deadline = Instant::now() + handshake_timeout();
     let mut streams = Vec::with_capacity(n);
     while streams.len() < n {
         match listener.accept() {
@@ -914,18 +1123,33 @@ mod tests {
 
     #[test]
     fn rejects_seed_mismatch_in_handshake() {
-        // A worker whose HELLO advertises the wrong stream seed is refused
-        // at construction: the cross-process RNG contract is load-bearing.
+        // A worker whose confirming HELLO advertises the wrong stream seed
+        // is refused at construction: the cross-process RNG contract is
+        // load-bearing.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let bogus = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            let mut body = Vec::new();
-            body.extend_from_slice(&0u32.to_le_bytes());
-            body.extend_from_slice(&0xbad_5eedu64.to_le_bytes());
-            let _ = write_frame(&mut s, frame::HELLO, &body);
-            // Hold the socket open until the master decides.
-            let _ = read_frame(&mut s);
+            write_frame(&mut s, frame::JOIN, &JoinHello::new(Some(0)).encode()).unwrap();
+            let (opcode, body) = read_frame(&mut s).unwrap();
+            assert_eq!(opcode, frame::WELCOME);
+            let welcome = rendezvous::Welcome::decode(&body).unwrap();
+            let hello = rendezvous::Hello {
+                version: PROTOCOL_VERSION,
+                caps: rendezvous::caps::ALL,
+                machine_id: welcome.machine_id,
+                stream_seed: 0xbad_5eed, // anything but the derived seed
+            };
+            let _ = write_frame(&mut s, frame::HELLO, &hello.encode());
+            // Hold the socket open until the master decides; the REJECT
+            // frame tells this worker why it was refused.
+            if let Ok((opcode, body)) = read_frame(&mut s) {
+                assert_eq!(opcode, frame::REJECT);
+                assert_eq!(
+                    Reject::decode(&body).unwrap().reason,
+                    rendezvous::RejectReason::SeedMismatch
+                );
+            }
         });
         let streams = accept_n(&listener, 1).unwrap();
         let err = match ProcCluster::assemble(1, NetworkModel::zero(), 1, streams, Vec::new()) {
@@ -934,6 +1158,25 @@ mod tests {
         };
         assert!(err.to_string().contains("seed mismatch"), "{err}");
         let _ = bogus.join();
+    }
+
+    #[test]
+    fn heartbeat_echoes_on_live_links_and_records_metrics() {
+        let mut cluster =
+            ProcCluster::local_with(2, NetworkModel::zero(), 8, |_| Tally(0)).unwrap();
+        cluster.heartbeat().unwrap();
+        cluster.heartbeat().unwrap();
+        let m = cluster.timeline().get(phase::HEARTBEAT);
+        assert_eq!(m.phases, 2);
+        assert_eq!(m.messages, 8); // 2 probes × 2 machines × (send + echo)
+        assert_eq!(m.bytes_to_master + m.bytes_from_master, 0); // not modeled traffic
+        // Heartbeats interleave cleanly with op rounds on the same links.
+        let counts = cluster
+            .op_gather(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap();
+        assert_eq!(counts.len(), 2);
+        cluster.heartbeat().unwrap();
+        assert_eq!(cluster.link_errors(), 0);
     }
 
     #[test]

@@ -43,6 +43,13 @@ pub enum WireErrorKind {
     /// Worker state is resident on that machine, so the round cannot
     /// proceed without it.
     Link,
+    /// A registration claimed a machine id another live worker already
+    /// holds in this session.
+    DuplicateId,
+    /// A registration arrived after every slot of the session's expected
+    /// cluster size was taken (retryable by the worker: the *next* session
+    /// may have room).
+    SessionFull,
 }
 
 impl WireError {
@@ -72,6 +79,24 @@ impl WireError {
             kind: WireErrorKind::Link,
         }
     }
+
+    /// A duplicate-registration error in `phase` for machine `machine`.
+    pub fn duplicate_id(phase: &'static str, machine: usize) -> Self {
+        WireError {
+            phase,
+            machine: Some(machine),
+            kind: WireErrorKind::DuplicateId,
+        }
+    }
+
+    /// A session-full error in `phase` (no machine slot to attribute).
+    pub fn session_full(phase: &'static str) -> Self {
+        WireError {
+            phase,
+            machine: None,
+            kind: WireErrorKind::SessionFull,
+        }
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -80,6 +105,8 @@ impl std::fmt::Display for WireError {
             WireErrorKind::Malformed => "malformed wire message",
             WireErrorKind::IdOutOfRange => "out-of-range id in wire message",
             WireErrorKind::Link => "dead link",
+            WireErrorKind::DuplicateId => "duplicate machine id in registration",
+            WireErrorKind::SessionFull => "session already has its full membership",
         };
         match self.machine {
             Some(m) => write!(f, "{what} from machine {m} in phase `{}`", self.phase),

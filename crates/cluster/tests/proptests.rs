@@ -238,6 +238,143 @@ proptest! {
     }
 }
 
+/// Property tests for the v2 rendezvous handshake and liveness codecs
+/// (JOIN / WELCOME / HELLO / HEARTBEAT / REJECT): every frame round-trips
+/// its canonical fixed-size encoding, truncation and trailing bytes are
+/// always detected (the decoders are strict), and single-bit corruption
+/// never panics — it yields `None` or another value that re-encodes to
+/// exactly the mutated bytes (no non-canonical encodings).
+#[cfg(feature = "proc-backend")]
+mod rendezvous_codecs {
+    use dim_cluster::rendezvous::{
+        Heartbeat, Hello, JoinHello, Reject, RejectReason, Welcome,
+    };
+    use proptest::prelude::*;
+
+    fn any_reason() -> impl Strategy<Value = RejectReason> {
+        prop_oneof![
+            Just(RejectReason::Version),
+            Just(RejectReason::OutOfRange),
+            Just(RejectReason::Duplicate),
+            Just(RejectReason::SessionFull),
+            Just(RejectReason::SeedMismatch),
+        ]
+    }
+
+    /// `u32::MAX` is the wire value of "any slot", so `Some(u32::MAX)` is
+    /// not representable — the generator mirrors the codec's domain.
+    fn any_requested() -> impl Strategy<Value = Option<u32>> {
+        prop::option::of(0u32..u32::MAX)
+    }
+
+    /// Checks strictness on one encoding: every truncation prefix fails,
+    /// and so does one trailing byte.
+    fn assert_strict<T: std::fmt::Debug>(
+        bytes: &[u8],
+        decode: impl Fn(&[u8]) -> Option<T>,
+    ) -> Result<(), TestCaseError> {
+        for cut in 1..=bytes.len() {
+            prop_assert!(
+                decode(&bytes[..bytes.len() - cut]).is_none(),
+                "truncated by {cut} must not decode"
+            );
+        }
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        prop_assert!(decode(&padded).is_none(), "trailing byte must not decode");
+        Ok(())
+    }
+
+    proptest! {
+        /// JOIN round-trips, including the any-slot sentinel.
+        #[test]
+        fn join_hello_roundtrip(version in any::<u8>(), caps in any::<u8>(),
+                                requested in any_requested()) {
+            let join = JoinHello { version, caps, requested };
+            let bytes = join.encode();
+            prop_assert_eq!(bytes.len(), 6);
+            prop_assert_eq!(JoinHello::decode(&bytes), Some(join));
+            assert_strict(&bytes, JoinHello::decode)?;
+        }
+
+        /// WELCOME round-trips.
+        #[test]
+        fn welcome_roundtrip(session in any::<u64>(), machine_id in any::<u32>(),
+                             cluster_size in any::<u32>(), master_seed in any::<u64>()) {
+            let welcome = Welcome { session, machine_id, cluster_size, master_seed };
+            let bytes = welcome.encode();
+            prop_assert_eq!(bytes.len(), 24);
+            prop_assert_eq!(Welcome::decode(&bytes), Some(welcome));
+            assert_strict(&bytes, Welcome::decode)?;
+        }
+
+        /// HELLO round-trips.
+        #[test]
+        fn hello_roundtrip(version in any::<u8>(), caps in any::<u8>(),
+                           machine_id in any::<u32>(), stream_seed in any::<u64>()) {
+            let hello = Hello { version, caps, machine_id, stream_seed };
+            let bytes = hello.encode();
+            prop_assert_eq!(bytes.len(), 14);
+            prop_assert_eq!(Hello::decode(&bytes), Some(hello));
+            assert_strict(&bytes, Hello::decode)?;
+        }
+
+        /// HEARTBEAT round-trips.
+        #[test]
+        fn heartbeat_roundtrip(session in any::<u64>(), seq in any::<u64>()) {
+            let hb = Heartbeat { session, seq };
+            let bytes = hb.encode();
+            prop_assert_eq!(bytes.len(), 16);
+            prop_assert_eq!(Heartbeat::decode(&bytes), Some(hb));
+            assert_strict(&bytes, Heartbeat::decode)?;
+        }
+
+        /// REJECT round-trips every reason code.
+        #[test]
+        fn reject_roundtrip(reason in any_reason()) {
+            let reject = Reject { reason };
+            let bytes = reject.encode();
+            prop_assert_eq!(bytes.len(), 1);
+            prop_assert_eq!(Reject::decode(&bytes), Some(reject));
+            assert_strict(&bytes, Reject::decode)?;
+        }
+
+        /// Single-bit corruption of any handshake frame never panics and
+        /// never produces a non-canonical decode.
+        #[test]
+        fn handshake_mutation_never_panics(
+            join in (any::<u8>(), any::<u8>(), any_requested())
+                .prop_map(|(version, caps, requested)| JoinHello { version, caps, requested }),
+            welcome in (any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>())
+                .prop_map(|(session, machine_id, cluster_size, master_seed)| Welcome {
+                    session, machine_id, cluster_size, master_seed,
+                }),
+            reason in any_reason(),
+            pos in any::<prop::sample::Index>(),
+            bit in 0u8..8,
+        ) {
+            let mut join_bytes = join.encode();
+            let p = pos.index(join_bytes.len());
+            join_bytes[p] ^= 1 << bit;
+            if let Some(decoded) = JoinHello::decode(&join_bytes) {
+                prop_assert_eq!(decoded.encode(), join_bytes);
+            }
+            let mut welcome_bytes = welcome.encode();
+            let p = pos.index(welcome_bytes.len());
+            welcome_bytes[p] ^= 1 << bit;
+            if let Some(decoded) = Welcome::decode(&welcome_bytes) {
+                prop_assert_eq!(decoded.encode(), welcome_bytes);
+            }
+            let mut reject_bytes = Reject { reason }.encode();
+            let p = pos.index(reject_bytes.len());
+            reject_bytes[p] ^= 1 << bit;
+            if let Some(decoded) = Reject::decode(&reject_bytes) {
+                prop_assert_eq!(decoded.encode(), reject_bytes);
+            }
+        }
+    }
+}
+
 /// Loopback fail-stop: state is resident in the worker endpoints, so a
 /// worker that truncates an upload frame kills its link, the round fails
 /// with a typed error naming the machine, and later rounds refuse to run

@@ -59,6 +59,11 @@ pub struct WorkerHost {
     machine_id: usize,
     master_seed: u64,
     graph: Option<&'static Graph>,
+    /// FNV-1a digest of the blob the resident graph was decoded from, so a
+    /// re-sent identical `LoadGraph` (the normal case for a join-mode
+    /// worker serving run after run) reuses the leaked graph instead of
+    /// leaking another copy per session.
+    graph_digest: Option<u64>,
     diimm: Option<DiimmWorker<'static>>,
     shard: Option<CoverageShard>,
 }
@@ -73,15 +78,40 @@ impl WorkerHost {
             machine_id,
             master_seed,
             graph: None,
+            graph_digest: None,
             diimm: None,
             shard: None,
         }
     }
 
+    /// Re-binds a long-lived host to a new rendezvous session: adopts the
+    /// session's machine id and master seed and drops all per-run state
+    /// (sampler, shards). The resident graph survives — if the next run
+    /// ships the identical blob, [`WorkerOp::LoadGraph`] is a no-op.
+    pub fn reset_session(&mut self, machine_id: usize, master_seed: u64) {
+        self.machine_id = machine_id;
+        self.master_seed = master_seed;
+        self.diimm = None;
+        self.shard = None;
+    }
+
+    /// The machine id this host currently serves as.
+    pub fn machine_id(&self) -> usize {
+        self.machine_id
+    }
+
     fn load_graph(&mut self, blob: &[u8]) -> WorkerReply {
+        let digest = fnv1a(blob);
+        if self.graph.is_some() && self.graph_digest == Some(digest) {
+            // Same graph already resident (a join-mode worker's next
+            // session): keep it, just reset the sampler built over it.
+            self.diimm = None;
+            return WorkerReply::Ok;
+        }
         match binary::read_binary(&mut &blob[..]) {
             Ok(g) => {
                 self.graph = Some(Box::leak(Box::new(g)));
+                self.graph_digest = Some(digest);
                 self.diimm = None;
                 WorkerReply::Ok
             }
@@ -105,6 +135,17 @@ impl WorkerHost {
         self.diimm = Some(DiimmWorker::new(graph, &config, self.machine_id));
         WorkerReply::Ok
     }
+}
+
+/// FNV-1a over a byte slice; cheap and collision-safe enough for "is this
+/// the same blob the master sent last session".
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }
 
 /// Installs resident IM state on every machine of an op cluster: the
@@ -227,6 +268,50 @@ mod tests {
             host.execute(&WorkerOp::InitSampler { spec: SamplerSpec::Subsim }),
             WorkerReply::Err(_)
         ));
+    }
+
+    #[test]
+    fn reset_session_keeps_graph_and_dedups_reload() {
+        let g = erdos_renyi(60, 240, WeightModel::Uniform(0.1), 5);
+        let blob = graph_blob(&g);
+        let mut host = WorkerHost::new(0, 7);
+        assert_eq!(
+            host.execute(&WorkerOp::LoadGraph { blob: blob.clone() }),
+            WorkerReply::Ok
+        );
+        let first: *const Graph = host.graph.unwrap();
+        // Next session, different slot and seed, same graph blob: the
+        // resident graph must be reused, not re-leaked.
+        host.reset_session(1, 8);
+        assert_eq!(host.machine_id(), 1);
+        assert!(host.diimm.is_none() && host.shard.is_none());
+        assert_eq!(
+            host.execute(&WorkerOp::LoadGraph { blob: blob.clone() }),
+            WorkerReply::Ok
+        );
+        assert!(std::ptr::eq(first, host.graph.unwrap()));
+        // The rebound host behaves exactly like a fresh one for that slot.
+        assert_eq!(
+            host.execute(&WorkerOp::InitSampler { spec: SamplerSpec::StandardIc }),
+            WorkerReply::Ok
+        );
+        let mut fresh = WorkerHost::new(1, 8);
+        fresh.execute(&WorkerOp::LoadGraph { blob: blob.clone() });
+        fresh.execute(&WorkerOp::InitSampler { spec: SamplerSpec::StandardIc });
+        for op in [
+            WorkerOp::SampleRr { count: 150 },
+            WorkerOp::InitialCoverage,
+            WorkerOp::CoveredCount,
+        ] {
+            assert_eq!(host.execute(&op), fresh.execute(&op), "op {op:?}");
+        }
+        // A *different* blob still replaces the graph.
+        let g2 = erdos_renyi(30, 90, WeightModel::Uniform(0.2), 6);
+        assert_eq!(
+            host.execute(&WorkerOp::LoadGraph { blob: graph_blob(&g2) }),
+            WorkerReply::Ok
+        );
+        assert!(!std::ptr::eq(first, host.graph.unwrap()));
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub mod shard;
 
 pub use greedy::GreedyResult;
 pub use budgeted::{budgeted_greedy, newgreedi_budgeted, BudgetedResult};
-pub use newgreedi::{newgreedi, newgreedi_incremental, newgreedi_until, newgreedi_with};
+pub use newgreedi::{
+    newgreedi, newgreedi_incremental, newgreedi_until, newgreedi_with, NewGreediResult,
+};
 pub use pooled::PooledSets;
 pub use problem::CoverageProblem;
 pub use selector::BucketSelector;

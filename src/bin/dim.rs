@@ -76,8 +76,12 @@ graph sources: a SNAP edge-list path, or profile:NAME[:SCALE]
 
 common flags: --model ic|lt  --epsilon E  --delta D  --k K  --seed S
   --machines L  --algorithm imm|diimm|opim|subsim  --undirected
-  --backend sequential|threads|rayon|proc
-  --weights wc|uniform:P|trivalency  --sims N  --evaluate  --breakdown"
+  --backend sequential|threads|rayon|proc|join
+  --weights wc|uniform:P|trivalency  --sims N  --evaluate  --breakdown
+
+join backend: workers are pre-started (dim-worker --connect ADDR --join)
+  and register with this master; bind via DIM_MASTER_BIND (e.g.
+  0.0.0.0:7070), bound by --join-timeout SECS (or DIM_JOIN_TIMEOUT_SECS)"
     );
 }
 
@@ -177,6 +181,10 @@ enum Backend {
     /// One `dim-worker` process per machine over loopback TCP.
     #[cfg(feature = "proc-backend")]
     Proc,
+    /// Pre-started `dim-worker --join` processes registering with this
+    /// master over TCP (multi-host capable; bind via `DIM_MASTER_BIND`).
+    #[cfg(feature = "proc-backend")]
+    Join,
 }
 
 fn backend_of(flags: &Flags) -> Result<Backend, String> {
@@ -184,16 +192,17 @@ fn backend_of(flags: &Flags) -> Result<Backend, String> {
         "sequential" => Ok(Backend::Sim(ExecMode::Sequential)),
         "threads" => Ok(Backend::Sim(ExecMode::Threads)),
         "rayon" => Ok(Backend::Sim(ExecMode::Rayon)),
-        "proc" => {
+        name @ ("proc" | "join") => {
             #[cfg(feature = "proc-backend")]
             {
-                Ok(Backend::Proc)
+                Ok(if name == "proc" { Backend::Proc } else { Backend::Join })
             }
             #[cfg(not(feature = "proc-backend"))]
             {
-                Err("--backend proc needs the `proc-backend` feature \
+                Err(format!(
+                    "--backend {name} needs the `proc-backend` feature \
                      (cargo build --features proc-backend)"
-                    .into())
+                ))
             }
         }
         other => Err(format!("unknown backend {other:?}")),
@@ -206,6 +215,42 @@ fn backend_of(flags: &Flags) -> Result<Backend, String> {
 fn proc_cluster(machines: usize, net: NetworkModel, seed: u64) -> Result<ProcCluster, String> {
     ProcCluster::auto_with(machines, net, seed, move |i| WorkerHost::new(i, seed))
         .map_err(|e| format!("cannot start worker cluster: {e}"))
+}
+
+/// Assembles a join-mode cluster from pre-started workers: binds the
+/// advertised address (`DIM_MASTER_BIND`, default loopback), waits until
+/// all `machines` workers have registered (bounded by `--join-timeout` /
+/// `DIM_JOIN_TIMEOUT_SECS`), and reports where the cluster came up and
+/// how long rendezvous took. The latency also lands in the run's
+/// `--breakdown` timeline under the `rendezvous` phase.
+#[cfg(feature = "proc-backend")]
+fn join_cluster(
+    machines: usize,
+    net: NetworkModel,
+    seed: u64,
+    flags: &Flags,
+) -> Result<JoinCluster, String> {
+    let mut config = JoinConfig::new(machines);
+    let timeout_secs = flags.num("join-timeout", 0u64)?;
+    if timeout_secs > 0 {
+        config.join_timeout = std::time::Duration::from_secs(timeout_secs);
+    }
+    let mut rdv = Rendezvous::bind_env(config)
+        .map_err(|e| format!("cannot bind rendezvous address: {e}"))?;
+    let addr = rdv.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "dim: waiting for {machines} worker(s) to join at {addr} \
+         (dim-worker --connect {addr} --join)"
+    );
+    let cluster = rdv
+        .accept_session(net, seed)
+        .map_err(|e| format!("rendezvous failed: {e}"))?;
+    eprintln!(
+        "dim: session {} assembled in {:.3}s",
+        cluster.session_id(),
+        cluster.rendezvous_latency().as_secs_f64()
+    );
+    Ok(cluster)
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
@@ -254,12 +299,18 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
             setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
             diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
         }
+        #[cfg(feature = "proc-backend")]
+        ("diimm" | "subsim", Backend::Join) => {
+            let mut cluster = join_cluster(machines, net, config.seed, flags)?;
+            setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
+            diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
+        }
         ("opim", Backend::Sim(mode)) => {
             dopim_c(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
         }
         #[cfg(feature = "proc-backend")]
-        ("opim", Backend::Proc) => {
-            return Err("--backend proc supports diimm/subsim (opim keeps two \
+        ("opim", Backend::Proc | Backend::Join) => {
+            return Err("--backend proc/join supports diimm/subsim (opim keeps two \
                         resident collections; use a simulated backend)"
                 .into())
         }
@@ -309,6 +360,28 @@ fn print_breakdown(timeline: &PhaseTimeline) {
     }
 }
 
+/// Runs NewGreeDi over an op-driven cluster (spawned or joined): ships
+/// each machine its element partition, then executes the identical phase
+/// ops the simulated backends run.
+#[cfg(feature = "proc-backend")]
+fn coverage_on_ops<B: OpCluster>(
+    cluster: &mut B,
+    problem: &CoverageProblem,
+    shards: &[CoverageShard],
+    k: usize,
+) -> Result<(dim_coverage::NewGreediResult, ClusterMetrics, PhaseTimeline), String> {
+    let replies = cluster
+        .control(phase::SETUP, |i| WorkerOp::BuildShard {
+            num_sets: problem.num_sets() as u32,
+            elements: shards[i].elements().iter().map(<[u32]>::to_vec).collect(),
+        })
+        .map_err(|e| e.to_string())?;
+    dim_cluster::ops::expect_ok(&replies, phase::SETUP).map_err(|e| e.to_string())?;
+    let r = dim_coverage::newgreedi_with(cluster, problem.num_sets(), k)
+        .map_err(|e| e.to_string())?;
+    Ok((r, cluster.metrics(), cluster.timeline().clone()))
+}
+
 fn cmd_coverage(flags: &Flags) -> Result<(), String> {
     let g = load_graph(flags)?;
     let k = flags.num("k", 50usize)?.min(g.num_nodes());
@@ -326,18 +399,13 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
         Backend::Proc => {
             let seed = flags.num("seed", 42u64)?;
             let mut cluster = proc_cluster(machines, net, seed)?;
-            // Ship each machine its element partition; state lives in the
-            // worker processes from here on.
-            let replies = cluster
-                .control(phase::SETUP, |i| WorkerOp::BuildShard {
-                    num_sets: problem.num_sets() as u32,
-                    elements: shards[i].elements().iter().map(<[u32]>::to_vec).collect(),
-                })
-                .map_err(|e| e.to_string())?;
-            dim_cluster::ops::expect_ok(&replies, phase::SETUP).map_err(|e| e.to_string())?;
-            let r = dim_coverage::newgreedi_with(&mut cluster, problem.num_sets(), k)
-                .map_err(|e| e.to_string())?;
-            (r, cluster.metrics(), cluster.timeline().clone())
+            coverage_on_ops(&mut cluster, &problem, &shards, k)?
+        }
+        #[cfg(feature = "proc-backend")]
+        Backend::Join => {
+            let seed = flags.num("seed", 42u64)?;
+            let mut cluster = join_cluster(machines, net, seed, flags)?;
+            coverage_on_ops(&mut cluster, &problem, &shards, k)?
         }
     };
     println!("sets: {:?}", r.seeds);

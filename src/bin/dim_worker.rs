@@ -1,31 +1,51 @@
 //! Worker-process binary for the TCP process backend.
 //!
-//! One instance per machine of a [`dim_cluster::tcp::ProcCluster`]: an
-//! empty [`dim_core::WorkerHost`] that connects back to the master,
-//! handshakes with its machine id and derived stream seed, then serves
-//! [`dim_cluster::WorkerOp`]s against its resident state until a
-//! `Shutdown` op or master disconnect — either way it logs the reason and
-//! exits 0.
+//! One instance per machine of a [`dim_cluster::tcp::ProcCluster`] (spawn
+//! mode) or of a [`dim_cluster::rendezvous::JoinCluster`] (join mode): a
+//! [`dim_core::WorkerHost`] that connects to the master, completes the
+//! JOIN/WELCOME/HELLO handshake, then serves [`dim_cluster::WorkerOp`]s
+//! against its resident state.
 //!
 //! ```text
+//! # spawn mode — launched BY the master, pinned id and seed:
 //! dim-worker --addr 127.0.0.1:PORT --machine-id N --master-seed S
+//!
+//! # join mode — pre-started by an operator, registers with the master:
+//! dim-worker --connect HOST:PORT --join [--machine-id N] [--join-deadline SECS]
 //! ```
 //!
+//! In join mode the worker retries its registration with jittered
+//! exponential backoff until `--join-deadline` (or
+//! `DIM_JOIN_DEADLINE_SECS`) expires, serves the session, then loops back
+//! to join the *next* session against the same master — its loaded graph
+//! survives across sessions. Once at least one session has been served, a
+//! master that can no longer be reached means the run is over: the worker
+//! logs it and exits 0.
+//!
 //! The master address may also come from the `DIM_WORKER_ADDR` environment
-//! variable (`--addr` wins). `--connect` is accepted as an alias for
-//! `--addr`. The `DIM_WORKER_FAULT` environment variable (e.g.
-//! `truncate-upload:1`) injects protocol faults for resilience tests.
+//! variable (`--addr` and `--connect` are aliases; flags win). The
+//! `DIM_WORKER_FAULT` environment variable (e.g. `truncate-upload:1`)
+//! injects protocol faults for resilience tests.
 
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use dim_cluster::tcp::{run_worker_with_fault, WorkerFault};
 use dim::dim_core::WorkerHost;
+use dim_cluster::rendezvous::{self, JoinOptions};
+use dim_cluster::tcp::{run_worker_with_fault, WorkerFault};
+
+/// How long a join-mode worker that has already served a session keeps
+/// trying to re-register before concluding the master is gone (used when
+/// no explicit deadline is configured).
+const REJOIN_GRACE: Duration = Duration::from_secs(10);
 
 fn main() -> ExitCode {
     let mut addr = None;
-    let mut machine_id = None;
-    let mut master_seed = None;
+    let mut machine_id: Option<u32> = None;
+    let mut master_seed: Option<u64> = None;
+    let mut join = false;
+    let mut join_deadline: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| match args.next() {
@@ -39,6 +59,12 @@ fn main() -> ExitCode {
             "--addr" | "--connect" => addr = take("--addr"),
             "--machine-id" => machine_id = take("--machine-id").and_then(|v| v.parse().ok()),
             "--master-seed" => master_seed = take("--master-seed").and_then(|v| v.parse().ok()),
+            "--join" => join = true,
+            "--join-deadline" => {
+                join_deadline = take("--join-deadline")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_secs)
+            }
             other => {
                 eprintln!("dim-worker: unknown argument `{other}`");
                 return ExitCode::from(2);
@@ -46,15 +72,25 @@ fn main() -> ExitCode {
         }
     }
     let addr = addr.or_else(|| std::env::var("DIM_WORKER_ADDR").ok());
-    let (Some(addr), Some(id), Some(seed)) = (addr, machine_id, master_seed) else {
-        eprintln!("usage: dim-worker --addr HOST:PORT --machine-id N --master-seed S");
-        eprintln!("       (HOST:PORT may also come from DIM_WORKER_ADDR)");
-        return ExitCode::from(2);
-    };
     let fault = std::env::var("DIM_WORKER_FAULT")
         .ok()
         .as_deref()
         .and_then(WorkerFault::parse);
+
+    if join {
+        let Some(addr) = addr else {
+            eprintln!("usage: dim-worker --connect HOST:PORT --join [--machine-id N] [--join-deadline SECS]");
+            return ExitCode::from(2);
+        };
+        return run_join_mode(&addr, machine_id, join_deadline, fault);
+    }
+
+    let (Some(addr), Some(id), Some(seed)) = (addr, machine_id, master_seed) else {
+        eprintln!("usage: dim-worker --addr HOST:PORT --machine-id N --master-seed S");
+        eprintln!("       dim-worker --connect HOST:PORT --join [--machine-id N] [--join-deadline SECS]");
+        eprintln!("       (HOST:PORT may also come from DIM_WORKER_ADDR)");
+        return ExitCode::from(2);
+    };
     let stream = match TcpStream::connect(&addr) {
         Ok(s) => s,
         Err(e) => {
@@ -68,6 +104,54 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("dim-worker {id}: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// The join-mode loop: register → serve a session → re-register, keeping
+/// one long-lived [`WorkerHost`] (and its loaded graph) across sessions.
+fn run_join_mode(
+    addr: &str,
+    requested: Option<u32>,
+    deadline: Option<Duration>,
+    fault: Option<WorkerFault>,
+) -> ExitCode {
+    let deadline = deadline.or_else(rendezvous::join_deadline_env);
+    let mut host = WorkerHost::new(requested.unwrap_or(0) as usize, 0);
+    let mut sessions_served = 0u64;
+    loop {
+        let opts = JoinOptions {
+            requested,
+            caps: rendezvous::caps::ALL,
+            // After the first session the master may legitimately be gone;
+            // bound the re-join so the worker can notice and exit clean.
+            deadline: deadline.or((sessions_served > 0).then_some(REJOIN_GRACE)),
+        };
+        match rendezvous::run_join_worker(addr, &opts, fault, |welcome| {
+            host.reset_session(welcome.machine_id as usize, welcome.master_seed);
+            eprintln!(
+                "dim-worker: joined session {} as machine {} of {}",
+                welcome.session, welcome.machine_id, welcome.cluster_size
+            );
+            &mut host
+        }) {
+            Ok(session) => {
+                sessions_served += 1;
+                eprintln!(
+                    "dim-worker: session {} ended ({:?}); re-registering",
+                    session.welcome.session, session.end
+                );
+            }
+            Err(e) if sessions_served > 0 => {
+                eprintln!(
+                    "dim-worker: master unreachable after {sessions_served} session(s) ({e}); done"
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("dim-worker: join {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 }

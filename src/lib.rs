@@ -55,7 +55,9 @@ pub mod prelude {
         WorkerReply, WorkerStats,
     };
     #[cfg(feature = "proc-backend")]
-    pub use dim_cluster::ProcCluster;
+    pub use dim_cluster::{
+        JoinCluster, JoinConfig, JoinOptions, ProcCluster, Rendezvous, SessionEnd,
+    };
     pub use dim_core::diimm::{diimm, diimm_on, diimm_with_options};
     pub use dim_core::extensions::{
         budgeted_im, seed_minimization, targeted_im, BudgetedImResult, SeedMinResult,

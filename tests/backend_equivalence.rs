@@ -6,7 +6,6 @@
 //! same answer bit for bit, at every machine count.
 
 use dim::prelude::*;
-use dim_coverage::CoverageShard;
 
 const MACHINE_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const MODES: [ExecMode; 3] = [ExecMode::Sequential, ExecMode::Threads, ExecMode::Rayon];
@@ -253,5 +252,222 @@ mod proc_backend {
             r_inc.metrics.bytes_to_master,
             r_full.metrics.bytes_to_master
         );
+    }
+}
+
+/// The join backend is the fifth execution strategy: membership assembles
+/// from pre-started workers registering with the master's rendezvous
+/// point instead of the master spawning them. Same op protocol, same
+/// answers — plus session reuse (a worker's resident graph survives into
+/// the next run) and heartbeat fail-stop on dead links.
+#[cfg(feature = "proc-backend")]
+mod join_backend {
+    use std::thread;
+    use std::time::Duration;
+
+    use super::*;
+    use dim_cluster::ops::expect_ok;
+    use dim_cluster::tcp::WorkerFault;
+    use dim_cluster::JoinCluster;
+    use dim_cluster::rendezvous::{self, JoinConfig, JoinOptions, Rendezvous};
+    use dim_core::diimm::{diimm_on, diimm_with_options};
+
+    const JOIN_MACHINE_COUNTS: [usize; 3] = [1, 2, 4];
+
+    fn join_config(machines: usize) -> JoinConfig {
+        let mut config = JoinConfig::new(machines);
+        config.join_timeout = Duration::from_secs(30);
+        config.heartbeat_timeout = Duration::from_secs(5);
+        config
+    }
+
+    /// Pre-starts ℓ loopback join workers on threads, each pinned to its
+    /// machine id and serving `sessions` consecutive sessions with one
+    /// long-lived [`WorkerHost`] — the deployment shape of
+    /// `dim-worker --connect ADDR --join`.
+    fn start_workers(
+        addr: std::net::SocketAddr,
+        machines: usize,
+        sessions: usize,
+        fault_on: Option<usize>,
+    ) -> Vec<thread::JoinHandle<Vec<SessionEnd>>> {
+        (0..machines)
+            .map(|id| {
+                let fault = (fault_on == Some(id))
+                    .then_some(WorkerFault::TruncateUpload { request: 3 });
+                thread::spawn(move || {
+                    let opts = JoinOptions {
+                        requested: Some(id as u32),
+                        caps: rendezvous::caps::ALL,
+                        deadline: Some(Duration::from_secs(30)),
+                    };
+                    let mut host: Option<WorkerHost> = None;
+                    let mut ends = Vec::new();
+                    for _ in 0..sessions {
+                        let session = rendezvous::run_join_worker(
+                            &addr.to_string(),
+                            &opts,
+                            fault,
+                            |welcome| {
+                                let host = host.get_or_insert_with(|| {
+                                    WorkerHost::new(
+                                        welcome.machine_id as usize,
+                                        welcome.master_seed,
+                                    )
+                                });
+                                host.reset_session(
+                                    welcome.machine_id as usize,
+                                    welcome.master_seed,
+                                );
+                                host
+                            },
+                        )
+                        .expect("join worker serves its session");
+                        ends.push(session.end);
+                    }
+                    ends
+                })
+            })
+            .collect()
+    }
+
+    fn accept(rendezvous: &mut Rendezvous, seed: u64) -> JoinCluster {
+        rendezvous
+            .accept_session(NetworkModel::cluster_1gbps(), seed)
+            .expect("loopback join workers assemble in time")
+    }
+
+    /// DiIMM over registered (not spawned) workers reproduces the
+    /// simulator bit for bit — seeds, coverage, modeled traffic — at every
+    /// machine count, and the rendezvous latency lands in the timeline as
+    /// a zero-traffic setup phase.
+    #[test]
+    fn diimm_join_matches_sequential() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = ImConfig {
+            k: 6,
+            ..ImConfig::paper_defaults(&g, 0.4, 29)
+        };
+        for machines in JOIN_MACHINE_COUNTS {
+            let reference = diimm_with_options(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+                true,
+            )
+            .unwrap();
+            let mut rendezvous = Rendezvous::bind("127.0.0.1:0", join_config(machines)).unwrap();
+            let workers = start_workers(rendezvous.local_addr().unwrap(), machines, 1, None);
+            let mut cluster = accept(&mut rendezvous, config.seed);
+            assert_eq!(cluster.session_id(), 1, "join sessions count from 1");
+            setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+            let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+            let ctx = format!("ℓ = {machines}");
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            // Rendezvous is bookkeeping, not traffic: modeled bytes and
+            // message counts still match the simulator exactly.
+            assert_eq!(
+                r.metrics.bytes_to_master, reference.metrics.bytes_to_master,
+                "{ctx}"
+            );
+            assert_eq!(
+                r.metrics.bytes_from_master, reference.metrics.bytes_from_master,
+                "{ctx}"
+            );
+            assert_eq!(r.metrics.messages, reference.metrics.messages, "{ctx}");
+            let (_, rdv) = r
+                .timeline
+                .iter()
+                .find(|(label, _)| *label == phase::RENDEZVOUS)
+                .unwrap_or_else(|| panic!("{ctx}: no {} phase in timeline", phase::RENDEZVOUS));
+            assert!(rdv.master_compute > Duration::ZERO, "{ctx}");
+            assert_eq!(rdv.total_bytes(), 0, "{ctx}: rendezvous models no traffic");
+            assert_eq!(cluster.link_errors(), 0, "{ctx}");
+            drop(cluster); // Shutdown ops release the workers.
+            for w in workers {
+                assert_eq!(w.join().unwrap(), vec![SessionEnd::Shutdown], "{ctx}");
+            }
+        }
+    }
+
+    /// NewGreeDi seeds *and per-seed marginals* are byte-identical to the
+    /// sequential simulator, and the same master serves two consecutive
+    /// sessions to the same re-registering workers — the second session
+    /// reuses each worker's resident state path end to end.
+    #[test]
+    fn newgreedi_join_matches_sequential_across_two_sessions() {
+        let g = DatasetProfile::Facebook.generate(0.15, 3);
+        let problem = CoverageProblem::from_graph_neighborhoods(&g);
+        let k = 12;
+        let machines = 2;
+        let shards = problem.shard_elements(machines);
+        let mut seq = SimCluster::new(
+            shards.clone(),
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        );
+        let reference = newgreedi(&mut seq, k).unwrap();
+
+        let mut rendezvous = Rendezvous::bind("127.0.0.1:0", join_config(machines)).unwrap();
+        let workers = start_workers(rendezvous.local_addr().unwrap(), machines, 2, None);
+        for session in 1..=2u64 {
+            let mut cluster = accept(&mut rendezvous, 0xD1A7);
+            assert_eq!(cluster.session_id(), session);
+            let replies = cluster
+                .control(phase::SETUP, |i| WorkerOp::BuildShard {
+                    num_sets: problem.num_sets() as u32,
+                    elements: shards[i].elements().iter().map(<[u32]>::to_vec).collect(),
+                })
+                .unwrap();
+            expect_ok(&replies, phase::SETUP).unwrap();
+            let r = dim_coverage::newgreedi_with(&mut cluster, problem.num_sets(), k).unwrap();
+            assert_eq!(r, reference, "session {session}");
+            assert_eq!(r.marginals, reference.marginals, "session {session}");
+            cluster.heartbeat().expect("all links alive");
+        }
+        for w in workers {
+            assert_eq!(
+                w.join().unwrap(),
+                vec![SessionEnd::Shutdown, SessionEnd::Shutdown]
+            );
+        }
+    }
+
+    /// A worker dying mid-round fail-stops with a typed [`WireError`]
+    /// naming the machine; the dead link stays dead.
+    #[test]
+    fn killed_worker_mid_round_names_machine_in_typed_error() {
+        let g = DatasetProfile::Facebook.generate(0.08, 17);
+        let config = ImConfig {
+            k: 4,
+            ..ImConfig::paper_defaults(&g, 0.5, 7)
+        };
+        let machines = 2;
+        let faulty = 1;
+        let mut rendezvous = Rendezvous::bind("127.0.0.1:0", join_config(machines)).unwrap();
+        // The faulty worker truncates its 3rd reply and vanishes —
+        // indistinguishable from a machine killed mid-round.
+        let workers = start_workers(rendezvous.local_addr().unwrap(), machines, 1, Some(faulty));
+        let mut cluster = accept(&mut rendezvous, config.seed);
+        let err = setup_im_cluster(&mut cluster, &g, config.sampler)
+            .map(|()| diimm_on(&mut cluster, &g, &config, true).map(|_| ()))
+            .and_then(|r| r)
+            .expect_err("a worker died mid-round");
+        assert_eq!(err.machine, Some(faulty), "error names the dead machine");
+        assert!(
+            err.to_string().contains(&format!("machine {faulty}")),
+            "fail-stop message names the machine: {err}"
+        );
+        assert_eq!(cluster.link_errors(), 1);
+        assert_eq!(cluster.live_links(), machines - 1);
+        drop(cluster);
+        for w in workers {
+            let _ = w.join();
+        }
     }
 }

@@ -81,6 +81,163 @@ fn spawned_worker_processes_hold_shards_and_answer_ops() {
     assert_eq!(m.bytes_to_master, expected);
 }
 
+/// Spawns a pre-started join-mode worker process, as an operator would:
+/// `dim-worker --connect ADDR --join --machine-id ID --join-deadline 5`.
+fn start_join_worker(
+    bin: &str,
+    addr: std::net::SocketAddr,
+    id: u32,
+) -> std::io::Result<std::process::Child> {
+    std::process::Command::new(bin)
+        .args(["--connect", &addr.to_string(), "--join"])
+        .args(["--machine-id", &id.to_string()])
+        .args(["--join-deadline", "5"])
+        .stdin(std::process::Stdio::null())
+        .spawn()
+}
+
+fn join_rendezvous(machines: usize) -> dim_cluster::rendezvous::Rendezvous {
+    let mut config = dim_cluster::JoinConfig::new(machines);
+    config.join_timeout = Duration::from_secs(20);
+    config.heartbeat_timeout = Duration::from_secs(2);
+    dim_cluster::Rendezvous::bind("127.0.0.1:0", config).expect("bind loopback rendezvous")
+}
+
+/// Runs the Fig. 2 coverage workload on an assembled join session and
+/// checks the replies against in-process shards.
+fn run_coverage_session(cluster: &mut dim_cluster::JoinCluster, session: u64) {
+    assert_eq!(cluster.session_id(), session);
+    let replies = cluster
+        .control(phase::SETUP, |i| WorkerOp::BuildShard {
+            num_sets: 5,
+            elements: shard_records(i),
+        })
+        .unwrap();
+    expect_ok(&replies, phase::SETUP).unwrap();
+    let replies = cluster
+        .op_gather(phase::COVERAGE_UPLOAD, |_| WorkerOp::InitialCoverage)
+        .unwrap();
+    let deltas = expect_deltas(replies, phase::COVERAGE_UPLOAD).unwrap();
+    for (i, deltas) in deltas.iter().enumerate() {
+        let local = CoverageShard::from_records(5, shard_records(i).iter().map(Vec::as_slice));
+        assert_eq!(deltas, &local.initial_coverage(), "machine {i}, session {session}");
+    }
+    cluster.heartbeat().expect("all join workers alive");
+    assert_eq!(cluster.link_errors(), 0, "session {session}");
+}
+
+/// Pre-started `dim-worker --join` processes register with the master's
+/// rendezvous point, serve a session, re-register for the next one (same
+/// processes, same resident-state path), and exit 0 on their own once the
+/// master is gone.
+#[test]
+fn join_mode_processes_serve_two_sessions_and_exit_clean() {
+    let Some(bin) = worker_binary() else {
+        eprintln!("skipping: dim-worker binary not built/locatable");
+        return;
+    };
+    let mut rendezvous = join_rendezvous(2);
+    let addr = rendezvous.local_addr().unwrap();
+    let mut children = Vec::new();
+    for id in 0..2 {
+        match start_join_worker(&bin, addr, id) {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("skipping: cannot spawn worker processes: {e}");
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return;
+            }
+        }
+    }
+    for session in 1..=2 {
+        let mut cluster = rendezvous
+            .accept_session(NetworkModel::cluster_1gbps(), 42)
+            .expect("both join workers register in time");
+        run_coverage_session(&mut cluster, session);
+        // Dropping the cluster ends the session with Shutdown ops; the
+        // worker processes survive and re-register with the same master.
+    }
+    drop(rendezvous);
+    // With the rendezvous point gone, each worker's re-join deadline
+    // expires against connection-refused and it exits *successfully*.
+    for (id, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().unwrap();
+        assert!(
+            status.success(),
+            "worker {id} should exit 0 once the master is gone, got {status:?}"
+        );
+    }
+}
+
+/// SIGKILLing a join worker mid-session fail-stops the link with a typed
+/// error naming the machine; a freshly started replacement process
+/// registers for the *next* session against the same master.
+#[test]
+fn killed_join_worker_fail_stops_and_a_restart_rejoins() {
+    let Some(bin) = worker_binary() else {
+        eprintln!("skipping: dim-worker binary not built/locatable");
+        return;
+    };
+    let mut rendezvous = join_rendezvous(2);
+    let addr = rendezvous.local_addr().unwrap();
+    let mut children = Vec::new();
+    for id in 0..2 {
+        match start_join_worker(&bin, addr, id) {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("skipping: cannot spawn worker processes: {e}");
+                for mut c in children {
+                    let _ = c.kill();
+                }
+                return;
+            }
+        }
+    }
+    let mut cluster = rendezvous
+        .accept_session(NetworkModel::cluster_1gbps(), 7)
+        .expect("both join workers register in time");
+    let replies = cluster
+        .control(phase::SETUP, |i| WorkerOp::BuildShard {
+            num_sets: 5,
+            elements: shard_records(i),
+        })
+        .unwrap();
+    expect_ok(&replies, phase::SETUP).unwrap();
+
+    // Kill machine 1's process outright — the MPI-style fail-stop case.
+    children[1].kill().unwrap();
+    children[1].wait().unwrap();
+    let err = cluster
+        .heartbeat()
+        .expect_err("dead worker must fail the liveness probe");
+    assert_eq!(err.machine, Some(1), "error names the dead machine");
+    assert_eq!(err.kind, WireErrorKind::Link);
+    assert!(
+        err.to_string().contains("machine 1"),
+        "fail-stop message names the machine: {err}"
+    );
+    assert_eq!(cluster.live_links(), 1);
+    drop(cluster);
+
+    // An operator restarts the dead worker; the surviving process and the
+    // replacement assemble the next session and serve it clean.
+    children.push(start_join_worker(&bin, addr, 1).expect("restart worker 1"));
+    let mut cluster = rendezvous
+        .accept_session(NetworkModel::cluster_1gbps(), 7)
+        .expect("survivor + replacement register in time");
+    run_coverage_session(&mut cluster, 2);
+    drop(cluster);
+    drop(rendezvous);
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child.wait().unwrap();
+        if i != 1 {
+            assert!(status.success(), "worker {i} exits 0, got {status:?}");
+        }
+    }
+}
+
 #[test]
 fn dropping_the_cluster_leaves_no_orphan_processes() {
     let Some(cluster) = spawn_cluster(3, 7) else {

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `bytes` crate: fully functional for the
+//! surface `dim-cluster::wire` uses (`BytesMut::with_capacity` /
+//! `put_u32_le` / `freeze`, `Buf::get_u32_le` on `&[u8]`, and `Bytes` as a
+//! cheap byte container). See tools/offline-check/README.md.
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn get_u8(&mut self) -> u8 {
+        let (&b, rest) = self.split_first().expect("buffer underflow");
+        *self = rest;
+        b
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().unwrap())
+    }
+}

@@ -1,0 +1,98 @@
+//! Offline stand-in for the `rand` crate, covering exactly the API surface
+//! this workspace uses (`Rng::gen` / `gen_range`, `SeedableRng::seed_from_u64`,
+//! `seq::SliceRandom::shuffle`). Deterministic and self-consistent, but NOT
+//! the real rand streams — adequate because the repo's tests compare
+//! backends against each other rather than against golden random values.
+//! See tools/offline-check/README.md.
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Maps one raw `u64` draw to a sampled value (stand-in for `Standard`).
+pub trait Generate {
+    fn generate(raw: u64) -> Self;
+}
+
+impl Generate for f32 {
+    fn generate(raw: u64) -> f32 {
+        ((raw >> 40) as f32) / (1u64 << 24) as f32
+    }
+}
+
+impl Generate for f64 {
+    fn generate(raw: u64) -> f64 {
+        ((raw >> 11) as f64) / (1u64 << 53) as f64
+    }
+}
+
+impl Generate for u32 {
+    fn generate(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+impl Generate for u64 {
+    fn generate(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Generate for bool {
+    fn generate(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+/// Uniform sampling from a half-open range (stand-in for `SampleRange`).
+pub trait UniformRange: Sized {
+    fn pick(raw: u64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn pick(raw: u64, range: std::ops::Range<Self>) -> Self {
+                let span = (range.end - range.start) as u64;
+                assert!(span > 0, "cannot sample from an empty range");
+                range.start + (raw % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_range!(usize, u32, u64);
+
+pub trait Rng: RngCore {
+    fn gen<T: Generate>(&mut self) -> T {
+        T::generate(self.next_u64())
+    }
+
+    fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::pick(self.next_u64(), range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod seq {
+    use super::Rng;
+
+    pub trait SliceRandom {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, like the real implementation.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `rand_pcg::Pcg64`: a deterministic 64-bit
+//! splitmix/xorshift generator exposing the same constructor surface.
+//! Not the PCG-XSL-RR stream; see tools/offline-check/README.md.
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Clone, Debug)]
+pub struct Pcg64 {
+    state: u64,
+}
+
+impl RngCore for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: full-period, passes basic avalanche — plenty for a
+        // typecheck/equivalence harness.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    fn seed_from_u64(state: u64) -> Self {
+        Pcg64 { state }
+    }
+}

@@ -1,0 +1,57 @@
+//! Offline stand-in for `rayon`: the prelude's `par_iter` /
+//! `par_iter_mut` run sequentially through a thin adapter that exposes the
+//! rayon-shaped combinators this workspace uses (`map`, `enumerate`,
+//! `sum`, `collect`, `reduce(identity, op)`). Results are identical to
+//! rayon's for the deterministic merges used here.
+//! See tools/offline-check/README.md.
+
+pub mod prelude {
+    /// Sequential adapter standing in for rayon's parallel iterators.
+    pub struct Par<I>(I);
+
+    impl<I: Iterator> Par<I> {
+        pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    pub trait IntoParallelRefIterator<T> {
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>>;
+    }
+
+    impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+            Par(self.iter())
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<T> {
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>>;
+    }
+
+    impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+            Par(self.iter_mut())
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub of the `serde` facade: just the `Serialize` marker trait
+//! and the derive re-export. Enough to typecheck the bench harness, whose
+//! only serde surface is `#[derive(Serialize)]` rows handed to
+//! `serde_json::to_string`.
+
+pub use serde_derive::Serialize;
+
+pub trait Serialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl Serialize for str {}
+impl Serialize for String {}
+impl Serialize for bool {}
+impl Serialize for u32 {}
+impl Serialize for u64 {}
+impl Serialize for usize {}
+impl Serialize for f64 {}

@@ -1,0 +1,29 @@
+//! Minimal `#[derive(Serialize)]` stub for the offline harness: emits an
+//! empty `impl serde::Serialize` for the annotated type so bounds check.
+//! No actual serialization logic — pair with the `serde`/`serde_json`
+//! stubs, whose `to_string` returns a placeholder.
+
+extern crate proc_macro;
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize) on a named struct/enum");
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
