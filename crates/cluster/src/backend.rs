@@ -67,6 +67,14 @@ pub mod phase {
     /// only — heartbeats are not part of the paper's modeled algorithm
     /// cost.
     pub const HEARTBEAT: &str = "heartbeat";
+    /// Persisting RR-sketch snapshot shards to disk (`dim sample` /
+    /// `WorkerOp::PersistShard`). Like [`SETUP`], charges no modeled
+    /// traffic — the shard never crosses the wire, each worker writes its
+    /// own file.
+    pub const STORE_SAVE: &str = "store_save";
+    /// Loading RR-sketch snapshot shards from disk (`dim im --load-rr`,
+    /// `dim serve`). Master-side wall clock; no modeled traffic.
+    pub const STORE_LOAD: &str = "store_load";
 }
 
 /// A master/worker cluster of `ℓ` machines, each owning a worker state

@@ -46,7 +46,9 @@ pub enum SamplerSpec {
 }
 
 impl SamplerSpec {
-    fn tag(self) -> u8 {
+    /// The sampler's canonical wire tag (also the value persisted in
+    /// `dim-store` snapshot headers).
+    pub fn tag(self) -> u8 {
         match self {
             SamplerSpec::StandardIc => 0,
             SamplerSpec::StandardLt => 1,
@@ -54,7 +56,8 @@ impl SamplerSpec {
         }
     }
 
-    fn from_tag(tag: u8) -> Option<Self> {
+    /// Inverse of [`SamplerSpec::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
         match tag {
             0 => Some(SamplerSpec::StandardIc),
             1 => Some(SamplerSpec::StandardLt),
@@ -125,6 +128,28 @@ pub enum WorkerOp {
         /// The candidate seed set.
         seeds: Vec<u32>,
     },
+    /// Persist the resident RR shard as a `dim-store` snapshot shard file
+    /// under `dir` (the worker writes its own shard — on the process/join
+    /// backends this lands on the worker's machine). → `Ok`, or `Err` with
+    /// the I/O failure. The master supplies every header field so the
+    /// written snapshot is self-describing without the worker knowing the
+    /// global run state.
+    PersistShard {
+        /// Directory the shard file is written into (created if missing).
+        dir: String,
+        /// Fingerprint of the graph the RR sets were sampled from.
+        fingerprint: u64,
+        /// The run's master seed (machine streams derive from it).
+        seed: u64,
+        /// Global θ — total RR sets across all shards.
+        theta: u64,
+        /// This worker's shard index.
+        shard_id: u32,
+        /// Total number of shards in the snapshot.
+        shard_count: u32,
+        /// Which sampler generated the RR sets.
+        spec: SamplerSpec,
+    },
     /// Exit cleanly. → `Ok` (process workers exit afterwards).
     Shutdown,
 }
@@ -156,6 +181,7 @@ const OP_COVERED_COUNT: u8 = 7;
 const OP_STATS: u8 = 8;
 const OP_VALIDATE: u8 = 9;
 const OP_SHUTDOWN: u8 = 10;
+const OP_PERSIST_SHARD: u8 = 11;
 
 const REPLY_OK: u8 = 0;
 const REPLY_DELTAS: u8 = 1;
@@ -166,33 +192,39 @@ const REPLY_ERR: u8 = 4;
 /// Strict little-endian cursor over a byte slice. Every read is
 /// length-checked; [`Reader::finish`] rejects trailing bytes, so a decode
 /// accepts exactly the canonical encoding and nothing else. Shared with
-/// the rendezvous handshake codecs (`crate::rendezvous`).
-pub(crate) struct Reader<'a> {
+/// the rendezvous handshake codecs (`crate::rendezvous`), the snapshot
+/// codecs in `dim-store`, and the query codecs in `dim-serve`.
+pub struct Reader<'a> {
     buf: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf }
     }
 
-    pub(crate) fn u8(&mut self) -> Option<u8> {
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
         let (&b, rest) = self.buf.split_first()?;
         self.buf = rest;
         Some(b)
     }
 
-    pub(crate) fn u32(&mut self) -> Option<u32> {
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
         let bytes = self.take(4)?;
         Some(u32::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    pub(crate) fn u64(&mut self) -> Option<u64> {
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
         let bytes = self.take(8)?;
         Some(u64::from_le_bytes(bytes.try_into().unwrap()))
     }
 
-    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         if self.buf.len() < n {
             return None;
         }
@@ -201,16 +233,27 @@ impl<'a> Reader<'a> {
         Some(head)
     }
 
-    pub(crate) fn finish(self) -> Option<()> {
+    /// Bytes not yet consumed. Decoders bounds-check length prefixes
+    /// against this *before* allocating, so a hostile count can never
+    /// trigger an oversized allocation.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes the cursor, failing if any input remains — the canonical
+    /// "no trailing bytes" check every strict decoder ends with.
+    pub fn finish(self) -> Option<()> {
         self.buf.is_empty().then_some(())
     }
 }
 
-pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -257,6 +300,25 @@ impl WorkerOp {
                 for &v in seeds {
                     put_u32(&mut out, v);
                 }
+            }
+            WorkerOp::PersistShard {
+                dir,
+                fingerprint,
+                seed,
+                theta,
+                shard_id,
+                shard_count,
+                spec,
+            } => {
+                out.push(OP_PERSIST_SHARD);
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *seed);
+                put_u64(&mut out, *theta);
+                put_u32(&mut out, *shard_id);
+                put_u32(&mut out, *shard_count);
+                out.push(spec.tag());
+                put_u32(&mut out, dir.len() as u32);
+                out.extend_from_slice(dir.as_bytes());
             }
             WorkerOp::Shutdown => out.push(OP_SHUTDOWN),
         }
@@ -305,6 +367,25 @@ impl WorkerOp {
                     seeds.push(r.u32()?);
                 }
                 WorkerOp::Validate { seeds }
+            }
+            OP_PERSIST_SHARD => {
+                let fingerprint = r.u64()?;
+                let seed = r.u64()?;
+                let theta = r.u64()?;
+                let shard_id = r.u32()?;
+                let shard_count = r.u32()?;
+                let spec = SamplerSpec::from_tag(r.u8()?)?;
+                let len = r.u32()? as usize;
+                let dir = String::from_utf8(r.take(len)?.to_vec()).ok()?;
+                WorkerOp::PersistShard {
+                    dir,
+                    fingerprint,
+                    seed,
+                    theta,
+                    shard_id,
+                    shard_count,
+                    spec,
+                }
             }
             OP_SHUTDOWN => WorkerOp::Shutdown,
             _ => return None,
@@ -599,6 +680,24 @@ mod tests {
             WorkerOp::Stats,
             WorkerOp::Validate {
                 seeds: vec![1, u32::MAX],
+            },
+            WorkerOp::PersistShard {
+                dir: "/tmp/dim-snapshot".into(),
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                seed: 42,
+                theta: u64::MAX,
+                shard_id: 3,
+                shard_count: 4,
+                spec: SamplerSpec::Subsim,
+            },
+            WorkerOp::PersistShard {
+                dir: String::new(),
+                fingerprint: 0,
+                seed: 0,
+                theta: 0,
+                shard_id: 0,
+                shard_count: 0,
+                spec: SamplerSpec::StandardIc,
             },
             WorkerOp::Shutdown,
         ]

@@ -69,7 +69,7 @@
 //! where to connect via `--addr` (or the `DIM_WORKER_ADDR` environment
 //! variable) — groundwork for multi-host runs beyond loopback.
 
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -82,8 +82,8 @@ use crate::rendezvous::{
 };
 use crate::wire::WireError;
 
-/// Hard cap on a single frame's declared length (header + body).
-pub const MAX_FRAME: usize = 64 << 20;
+pub use crate::wire::MAX_FRAME;
+pub(crate) use crate::wire::{protocol_err, read_frame, write_frame};
 
 /// Default seconds a handshake read or worker connect may block before the
 /// link is declared dead ([`handshake_timeout`]).
@@ -116,38 +116,6 @@ pub(crate) mod frame {
     pub const WELCOME: u8 = 4;
     pub const HEARTBEAT: u8 = 5;
     pub const REJECT: u8 = 6;
-}
-
-pub(crate) fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
-    let len = 1 + body.len();
-    if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
-    }
-    w.write_all(&(len as u32).to_le_bytes())?;
-    w.write_all(&[opcode])?;
-    w.write_all(body)?;
-    w.flush()
-}
-
-pub(crate) fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
-    let mut hdr = [0u8; 4];
-    r.read_exact(&mut hdr)?;
-    let len = u32::from_le_bytes(hdr) as usize;
-    if len == 0 || len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame length {len}"),
-        ));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    let opcode = body[0];
-    body.remove(0);
-    Ok((opcode, body))
-}
-
-pub(crate) fn protocol_err(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 /// Fault injections for protocol tests (worker side).

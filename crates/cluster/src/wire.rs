@@ -9,6 +9,8 @@
 //! `[u32 count] ([u32 node] [u32 delta])*` for delta vectors, and
 //! `[u32 count] ([u32 value])*` for plain id vectors.
 
+use std::io::{self, Read, Write};
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A sparse coverage-delta message: each tuple says "node `v`'s marginal
@@ -116,6 +118,48 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+/// Hard cap on a single frame's declared length (header + body), shared by
+/// every transport built on [`write_frame`]/[`read_frame`]: the process
+/// backend, the rendezvous handshake, and the `dim-serve` query protocol.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one length-prefixed frame: `[u32 len LE][u8 opcode][body]`,
+/// where `len` counts the opcode byte plus the body.
+pub fn write_frame(w: &mut impl Write, opcode: u8, body: &[u8]) -> io::Result<()> {
+    let len = 1 + body.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&(len as u32).to_le_bytes())?;
+    w.write_all(&[opcode])?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame written by [`write_frame`], rejecting zero-length and
+/// over-[`MAX_FRAME`] headers before allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut hdr = [0u8; 4];
+    r.read_exact(&mut hdr)?;
+    let len = u32::from_le_bytes(hdr) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    body.remove(0);
+    Ok((opcode, body))
+}
+
+/// An `InvalidData` error for protocol violations.
+pub fn protocol_err(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
 
 /// Serializes a delta vector.
 pub fn encode_deltas(deltas: &[(u32, u32)]) -> Bytes {
@@ -290,6 +334,38 @@ mod tests {
         wrap4.extend_from_slice(&0x4000_0001u32.to_le_bytes());
         wrap4.extend_from_slice(&[0u8; 4]);
         assert!(decode_ids(&wrap4).is_none());
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 7, b"payload").unwrap();
+        let (opcode, body) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(opcode, 7);
+        assert_eq!(body, b"payload");
+    }
+
+    #[test]
+    fn frame_rejects_zero_and_oversized_lengths() {
+        // len = 0 frames would loop forever; the reader rejects them.
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut zero.as_slice()).is_err());
+        // A header claiming more than MAX_FRAME must fail before allocating.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // And the writer refuses to produce such a frame in the first place.
+        let body = vec![0u8; MAX_FRAME];
+        let mut out = Vec::new();
+        assert!(write_frame(&mut out, 0, &body).is_err());
+    }
+
+    #[test]
+    fn frame_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 3, b"abcdef").unwrap();
+        for cut in [0, 2, 4, buf.len() - 1] {
+            assert!(read_frame(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -28,6 +28,32 @@ fn any_worker_op() -> impl Strategy<Value = WorkerOp> {
         Just(WorkerOp::CoveredCount),
         Just(WorkerOp::Stats),
         ids.prop_map(|seeds| WorkerOp::Validate { seeds }),
+        (
+            "[ -~]{0,60}",
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop_oneof![
+                Just(SamplerSpec::StandardIc),
+                Just(SamplerSpec::StandardLt),
+                Just(SamplerSpec::Subsim),
+            ],
+        )
+            .prop_map(
+                |(dir, fingerprint, seed, theta, shard_id, shard_count, spec)| {
+                    WorkerOp::PersistShard {
+                        dir,
+                        fingerprint,
+                        seed,
+                        theta,
+                        shard_id,
+                        shard_count,
+                        spec,
+                    }
+                },
+            ),
         Just(WorkerOp::Shutdown),
     ]
 }

@@ -106,6 +106,9 @@ impl Timings {
 pub struct ImResult {
     /// The selected seed set `S*`, in selection order.
     pub seeds: Vec<u32>,
+    /// Marginal RR-set coverage of each seed at its selection point
+    /// (non-increasing; same length as `seeds`).
+    pub marginals: Vec<u64>,
     /// RR sets covered by `S*` out of `num_rr_sets`.
     pub coverage: u64,
     /// Total RR sets generated (θ; Table IV column 1).

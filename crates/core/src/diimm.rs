@@ -80,6 +80,40 @@ impl OpExecutor for DiimmWorker<'_> {
                 total_size: self.shard.total_size() as u64,
                 edges_examined: self.edges_examined,
             }),
+            // Persist the resident shard as one dim-store snapshot file.
+            // The master supplies the run provenance (it owns θ and the
+            // config); the worker contributes only what is resident here —
+            // its RR sets and sampling stats. Failures come back as typed
+            // `Err` replies, never a worker panic.
+            WorkerOp::PersistShard {
+                dir,
+                fingerprint,
+                seed,
+                theta,
+                shard_id,
+                shard_count,
+                spec,
+            } => {
+                let header = dim_store::ShardHeader {
+                    fingerprint: *fingerprint,
+                    sampler: *spec,
+                    seed: *seed,
+                    theta: *theta,
+                    shard_id: *shard_id,
+                    shard_count: *shard_count,
+                    num_sets: self.shard.num_sets() as u64,
+                    num_elements: self.shard.num_elements() as u64,
+                    edges_examined: self.edges_examined,
+                };
+                match dim_store::write_shard(
+                    std::path::Path::new(dir),
+                    &header,
+                    self.shard.elements(),
+                ) {
+                    Ok(_) => WorkerReply::Ok,
+                    Err(e) => WorkerReply::Err(format!("PersistShard: {e}")),
+                }
+            }
             other => execute_coverage_op(&mut self.shard, other)
                 .unwrap_or_else(|| WorkerReply::Err("op unsupported by DiIMM worker".into())),
         }
@@ -219,6 +253,7 @@ pub fn diimm_on<B: OpCluster>(
 
     Ok(ImResult {
         seeds: final_result.seeds,
+        marginals: final_result.marginals,
         coverage,
         num_rr_sets: theta_cur,
         total_rr_size,

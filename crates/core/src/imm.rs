@@ -88,6 +88,7 @@ pub fn imm(graph: &Graph, config: &ImConfig) -> ImResult {
     let coverage = final_result.covered;
     ImResult {
         seeds: final_result.seeds,
+        marginals: final_result.marginals,
         coverage,
         num_rr_sets: theta_cur,
         total_rr_size: shard.total_size(),

@@ -15,6 +15,10 @@
 //!   ([`ImResult`]) with per-phase timing breakdowns matching the paper's
 //!   stacked bars (RR generation / computation / communication).
 //!
+//! * [`snapshot`] — sample-once / select-many: [`diimm_sample`] persists every
+//!   machine's RR shard through `dim-store`, and [`diimm_load_rr`] reruns seed
+//!   selection from the snapshot with byte-identical seeds and marginals.
+//!
 //! SUBSIM variants (Fig. 7) are obtained by selecting
 //! [`SamplerKind::Subsim`] in the configuration. The [`opim`] module adds
 //! OPIM-C and its distributed variant — the adaptive-stopping framework
@@ -50,10 +54,15 @@ pub mod heuristics;
 pub mod imm;
 pub mod opim;
 pub mod params;
+pub mod snapshot;
 pub mod ssa;
 pub mod worker;
 
 pub use config::{ImConfig, ImResult, SamplerKind, Timings};
+pub use snapshot::{
+    diimm_load_rr, diimm_sample, load_rr_snapshot, persist_rr_shards, snapshot_shards,
+    SnapshotError,
+};
 pub use worker::{setup_im_cluster, WorkerHost};
 pub use diimm::diimm;
 pub use imm::imm;

@@ -139,6 +139,7 @@ pub fn opim_c(graph: &Graph, config: &ImConfig) -> ImResult {
     let (sel, est_spread, rounds) = best.expect("at least one round");
     ImResult {
         seeds: sel.seeds,
+        marginals: sel.marginals,
         coverage: sel.covered,
         num_rr_sets: r1.num_elements() + r2.num_elements(),
         total_rr_size: r1.total_size() + r2.total_size(),
@@ -297,6 +298,7 @@ pub fn dopim_c(
     let timeline = cluster.timeline().clone();
     Ok(ImResult {
         seeds: sel.seeds,
+        marginals: sel.marginals,
         coverage: sel.covered,
         num_rr_sets: theta_total,
         total_rr_size,

@@ -1,0 +1,327 @@
+//! Sample-once / select-many: DiIMM runs persisted through dim-store.
+//!
+//! OPIM-C's online/offline split observes that RR sampling dominates end
+//! to end cost, while selection is cheap — so a sampled sketch is worth
+//! keeping. [`diimm_sample`] runs DiIMM and then has every machine
+//! persist its resident shard ([`WorkerOp::PersistShard`], under the
+//! [`phase::STORE_SAVE`] label); [`diimm_load_rr`] restores the shards
+//! into an in-process cluster and reruns seed selection without any
+//! sampling, producing byte-identical seeds and marginals — selection is
+//! a deterministic function of the per-machine RR collections, which the
+//! snapshot preserves exactly (including machine order).
+
+use std::path::Path;
+use std::time::Instant;
+
+use dim_cluster::ops::expect_ok;
+use dim_cluster::{
+    phase, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster, SimCluster,
+    WireError, WorkerOp,
+};
+use dim_coverage::newgreedi::newgreedi_with;
+use dim_coverage::CoverageShard;
+use dim_graph::Graph;
+use dim_store::{
+    graph_fingerprint, load_snapshot, Snapshot, SnapshotRequest, StoreError,
+};
+
+use crate::config::{ImConfig, ImResult, Timings};
+use crate::diimm::{diimm_on, DiimmWorker};
+
+/// Failures of the persisted-sketch entry points: either the snapshot
+/// layer (I/O, corruption, provenance mismatch) or the cluster layer.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Store(StoreError),
+    Wire(WireError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Store(e) => write!(f, "{e}"),
+            SnapshotError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Store(e) => Some(e),
+            SnapshotError::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for SnapshotError {
+    fn from(e: StoreError) -> Self {
+        SnapshotError::Store(e)
+    }
+}
+
+impl From<WireError> for SnapshotError {
+    fn from(e: WireError) -> Self {
+        SnapshotError::Wire(e)
+    }
+}
+
+/// Has every machine of a finished run persist its resident RR shard
+/// into `dir` (one file per machine, written by the machine that owns
+/// the shard — the shard itself never crosses the wire). Works on any
+/// [`OpCluster`] whose workers answer [`WorkerOp::PersistShard`]; wall
+/// time accrues under [`phase::STORE_SAVE`].
+pub fn persist_rr_shards<B: OpCluster>(
+    cluster: &mut B,
+    dir: &Path,
+    graph: &Graph,
+    config: &ImConfig,
+    theta: u64,
+) -> Result<(), WireError> {
+    let fingerprint = graph_fingerprint(graph);
+    let dir = dir.display().to_string();
+    let shard_count = cluster.num_machines() as u32;
+    let spec = config.sampler.into();
+    let replies = cluster.control(phase::STORE_SAVE, |i| WorkerOp::PersistShard {
+        dir: dir.clone(),
+        fingerprint,
+        seed: config.seed,
+        theta,
+        shard_id: i as u32,
+        shard_count,
+        spec,
+    })?;
+    expect_ok(&replies, phase::STORE_SAVE)
+}
+
+/// Runs DiIMM on `machines` simulated machines, then persists every
+/// machine's RR shard into `dir` — the `dim sample` entry point. The
+/// returned result is the full DiIMM outcome; its timeline additionally
+/// carries the [`phase::STORE_SAVE`] cost.
+pub fn diimm_sample(
+    graph: &Graph,
+    config: &ImConfig,
+    machines: usize,
+    network: NetworkModel,
+    mode: ExecMode,
+    dir: &Path,
+) -> Result<ImResult, SnapshotError> {
+    assert!(machines >= 1, "need at least one machine");
+    let workers: Vec<DiimmWorker> = (0..machines)
+        .map(|i| DiimmWorker::new(graph, config, i))
+        .collect();
+    let mut cluster = SimCluster::new(workers, network, mode);
+    let mut result = diimm_on(&mut cluster, graph, config, true)?;
+    persist_rr_shards(&mut cluster, dir, graph, config, result.num_rr_sets as u64)?;
+    // Re-derive the result's metric views so they include the save phase.
+    let timeline = cluster.timeline().clone();
+    result.timings = Timings::from_timeline(&timeline);
+    result.metrics = timeline.total();
+    result.timeline = timeline;
+    Ok(result)
+}
+
+/// Loads and validates the snapshot in `dir` against `graph` and
+/// `config` (graph fingerprint and sampler kind must match; any shard
+/// count is accepted). A thin wrapper for callers that want the raw
+/// [`Snapshot`] — `dim serve` loads through this.
+pub fn load_rr_snapshot(
+    graph: &Graph,
+    config: &ImConfig,
+    dir: &Path,
+) -> Result<Snapshot, StoreError> {
+    load_snapshot(
+        dir,
+        &SnapshotRequest {
+            fingerprint: graph_fingerprint(graph),
+            sampler: config.sampler.into(),
+            shard_count: None,
+        },
+    )
+}
+
+/// Restores a validated snapshot into per-machine coverage shards, in
+/// shard order. The shards come out prepared (the persisted transpose
+/// index is reused, not recomputed).
+pub fn snapshot_shards(snapshot: Snapshot) -> Vec<CoverageShard> {
+    let num_sets = snapshot.num_sets as usize;
+    snapshot
+        .shards
+        .into_iter()
+        .map(|s| CoverageShard::from_pooled(num_sets, s.elements, s.index))
+        .collect()
+}
+
+/// The `dim im --load-rr` entry point: loads the snapshot in `dir`
+/// (validated against `graph`/`config`), rebuilds the per-machine
+/// coverage shards, and reruns seed selection only. Seeds and marginals
+/// are byte-identical to the run that wrote the snapshot; load wall time
+/// is recorded under [`phase::STORE_LOAD`]. Sampling-phase statistics
+/// (`total_rr_size`, `edges_examined`) are restored from the snapshot
+/// headers; `rounds` and `lower_bound` are not persisted and read 0.
+pub fn diimm_load_rr(
+    graph: &Graph,
+    config: &ImConfig,
+    dir: &Path,
+    network: NetworkModel,
+    mode: ExecMode,
+) -> Result<ImResult, SnapshotError> {
+    let n = graph.num_nodes();
+    let start = Instant::now();
+    let snapshot = load_rr_snapshot(graph, config, dir)?;
+    let theta = snapshot.theta as usize;
+    let total_rr_size = snapshot.total_size() as usize;
+    let edges_examined = snapshot.edges_examined;
+    let shards = snapshot_shards(snapshot);
+    let load_time = start.elapsed();
+    let mut cluster = SimCluster::new(shards, network, mode);
+    cluster.record(
+        phase::STORE_LOAD,
+        ClusterMetrics {
+            master_compute: load_time,
+            phases: 1,
+            ..Default::default()
+        },
+    );
+    let sel = newgreedi_with(&mut cluster, n, config.k)?;
+    let est_spread = n as f64 * sel.covered as f64 / theta as f64;
+    let timeline = cluster.timeline().clone();
+    Ok(ImResult {
+        seeds: sel.seeds,
+        marginals: sel.marginals,
+        coverage: sel.covered,
+        num_rr_sets: theta,
+        total_rr_size,
+        edges_examined,
+        est_spread,
+        lower_bound: 0.0,
+        rounds: 0,
+        timings: Timings::from_timeline(&timeline),
+        metrics: timeline.total(),
+        timeline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use dim_diffusion::DiffusionModel;
+    use dim_graph::generators::erdos_renyi;
+    use dim_graph::WeightModel;
+
+    use crate::config::SamplerKind;
+    use crate::diimm::diimm;
+
+    fn config(k: usize, seed: u64) -> ImConfig {
+        ImConfig {
+            k,
+            epsilon: 0.5,
+            delta: 0.1,
+            seed,
+            sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "dim-core-snapshot-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sample_then_load_is_byte_identical() {
+        let g = erdos_renyi(200, 1000, WeightModel::WeightedCascade, 2);
+        let cfg = config(4, 17);
+        let dir = temp_dir("roundtrip");
+        let net = NetworkModel::cluster_1gbps();
+        let sampled =
+            diimm_sample(&g, &cfg, 3, net, ExecMode::Sequential, &dir).unwrap();
+        let direct = diimm(&g, &cfg, 3, net, ExecMode::Sequential).unwrap();
+        assert_eq!(sampled.seeds, direct.seeds);
+        assert_eq!(sampled.marginals, direct.marginals);
+        // Save-phase accounting is present and traffic-free.
+        let save = sampled.timeline.get(phase::STORE_SAVE);
+        assert_eq!(save.bytes_to_master + save.bytes_from_master, 0);
+        let loaded = diimm_load_rr(&g, &cfg, &dir, net, ExecMode::Sequential).unwrap();
+        assert_eq!(loaded.seeds, direct.seeds);
+        assert_eq!(loaded.marginals, direct.marginals);
+        assert_eq!(loaded.coverage, direct.coverage);
+        assert_eq!(loaded.num_rr_sets, direct.num_rr_sets);
+        assert_eq!(loaded.total_rr_size, direct.total_rr_size);
+        assert_eq!(loaded.edges_examined, direct.edges_examined);
+        assert!(loaded.timeline.get(phase::STORE_LOAD).master_compute
+            > std::time::Duration::ZERO);
+        // No sampling happened on the load path.
+        assert_eq!(
+            loaded.timeline.get(phase::RR_SAMPLING),
+            ClusterMetrics::default()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_wrong_graph_and_wrong_sampler() {
+        let g = erdos_renyi(150, 700, WeightModel::WeightedCascade, 3);
+        let cfg = config(3, 5);
+        let dir = temp_dir("mismatch");
+        let net = NetworkModel::zero();
+        diimm_sample(&g, &cfg, 2, net, ExecMode::Sequential, &dir).unwrap();
+        // Different graph: fingerprint mismatch, typed — not a panic.
+        let other = erdos_renyi(150, 700, WeightModel::WeightedCascade, 4);
+        match diimm_load_rr(&other, &cfg, &dir, net, ExecMode::Sequential) {
+            Err(SnapshotError::Store(StoreError::Mismatch { field, .. })) => {
+                assert_eq!(field, "fingerprint")
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        // Different sampler kind.
+        let mut cfg2 = cfg;
+        cfg2.sampler = SamplerKind::Subsim;
+        match diimm_load_rr(&g, &cfg2, &dir, net, ExecMode::Sequential) {
+            Err(SnapshotError::Store(StoreError::Mismatch { field, .. })) => {
+                assert_eq!(field, "sampler")
+            }
+            other => panic!("expected sampler mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_surfaces_truncated_file_as_typed_error() {
+        let g = erdos_renyi(120, 500, WeightModel::WeightedCascade, 9);
+        let cfg = config(3, 8);
+        let dir = temp_dir("truncated");
+        diimm_sample(&g, &cfg, 2, NetworkModel::zero(), ExecMode::Sequential, &dir).unwrap();
+        let victim = dir.join(dim_store::shard_file_name(1, 2));
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        match diimm_load_rr(&g, &cfg, &dir, NetworkModel::zero(), ExecMode::Sequential) {
+            Err(SnapshotError::Store(StoreError::Corrupt { .. })) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn diimm_result_carries_marginals() {
+        let g = erdos_renyi(150, 700, WeightModel::WeightedCascade, 6);
+        let r = diimm(
+            &g,
+            &config(4, 3),
+            2,
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        )
+        .unwrap();
+        assert_eq!(r.marginals.len(), r.seeds.len());
+        assert!(r.marginals.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(r.marginals.iter().sum::<u64>(), r.coverage);
+    }
+}

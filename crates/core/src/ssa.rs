@@ -135,6 +135,7 @@ pub fn ssa(graph: &Graph, config: &ImConfig) -> ImResult {
     let (sel, est_spread, rounds) = best.expect("at least one round");
     ImResult {
         seeds: sel.seeds,
+        marginals: sel.marginals,
         coverage: sel.covered,
         num_rr_sets: r1.num_elements() + r2.num_elements(),
         total_rr_size: r1.total_size() + r2.total_size(),
@@ -270,6 +271,7 @@ pub fn dssa(
     let timeline = cluster.timeline().clone();
     Ok(ImResult {
         seeds: sel.seeds,
+        marginals: sel.marginals,
         coverage: sel.covered,
         num_rr_sets: cluster
             .workers()

@@ -23,6 +23,9 @@
 //! * [`budgeted`] — cost-aware (budgeted) maximum coverage with the same
 //!   element-distributed messaging, supporting the budgeted-IM application
 //!   the paper's conclusion names.
+//! * [`query`] — read-only influence queries over frozen shards
+//!   ([`QueryCursor`]): seed-set spread and constrained top-k, the
+//!   substrate of `dim serve`.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod greedy;
 pub mod newgreedi;
 pub mod pooled;
 pub mod problem;
+pub mod query;
 pub mod selector;
 pub mod shard;
 
@@ -57,5 +61,6 @@ pub use newgreedi::{
 };
 pub use pooled::PooledSets;
 pub use problem::CoverageProblem;
+pub use query::{constrained_greedy, seed_set_coverage};
 pub use selector::BucketSelector;
-pub use shard::{execute_coverage_op, CoverageShard};
+pub use shard::{execute_coverage_op, CoverageShard, QueryCursor};

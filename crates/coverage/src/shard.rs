@@ -52,6 +52,32 @@ impl CoverageShard {
         }
     }
 
+    /// Rebuilds a prepared shard from a snapshot's parts: element records
+    /// plus their already-verified transpose index (dim-store validates
+    /// `index == elements.transpose(num_sets)` while decoding, so no
+    /// re-transpose happens here). The shard comes out exactly as if the
+    /// records had been pushed and [`CoverageShard::prepare`]d: everything
+    /// uncovered, nothing yet reported through
+    /// [`CoverageShard::take_new_coverage`].
+    ///
+    /// # Panics
+    /// Panics if `index` does not have one list per set.
+    pub fn from_pooled(num_sets: usize, elements: PooledSets, index: PooledSets) -> Self {
+        assert_eq!(index.len(), num_sets, "index must have one list per set");
+        let n = elements.len();
+        CoverageShard {
+            num_sets,
+            index,
+            indexed_elements: n,
+            covered: vec![false; n],
+            covered_count: 0,
+            reported_elements: 0,
+            scratch_counts: vec![0; num_sets],
+            scratch_touched: Vec::new(),
+            elements,
+        }
+    }
+
     /// Creates a shard pre-populated with element records.
     pub fn from_records<'a>(
         num_sets: usize,
@@ -199,6 +225,109 @@ impl CoverageShard {
     }
 }
 
+/// A read-only coverage evaluator over a prepared shard.
+///
+/// Owns its covered labels and scratch space, so any number of cursors
+/// can query one `&CoverageShard` concurrently — the substrate for
+/// `dim serve`'s thread-per-connection query handling. For the same
+/// sequence of seeds, [`QueryCursor::apply_seed`] returns exactly what
+/// [`CoverageShard::apply_seed`] would on a freshly prepared shard.
+pub struct QueryCursor<'a> {
+    shard: &'a CoverageShard,
+    covered: Vec<bool>,
+    covered_count: usize,
+    scratch_counts: Vec<u32>,
+    scratch_touched: Vec<u32>,
+}
+
+impl<'a> QueryCursor<'a> {
+    /// Creates a cursor with everything uncovered.
+    ///
+    /// # Panics
+    /// Panics if the shard's index is stale (`needs_prepare`).
+    pub fn new(shard: &'a CoverageShard) -> Self {
+        assert!(!shard.needs_prepare(), "call prepare() first");
+        QueryCursor {
+            shard,
+            covered: vec![false; shard.num_elements()],
+            covered_count: 0,
+            scratch_counts: vec![0; shard.num_sets()],
+            scratch_touched: Vec::new(),
+        }
+    }
+
+    /// The map stage for seed `u` against this cursor's private labels:
+    /// same contract and output as [`CoverageShard::apply_seed`].
+    ///
+    /// # Panics
+    /// Panics if `u` is outside the set universe.
+    pub fn apply_seed(&mut self, u: u32) -> Vec<(u32, u32)> {
+        for &e in self.shard.index.get(u as usize) {
+            let e = e as usize;
+            if !self.covered[e] {
+                for &v in self.shard.elements.get(e) {
+                    if self.scratch_counts[v as usize] == 0 {
+                        self.scratch_touched.push(v);
+                    }
+                    self.scratch_counts[v as usize] += 1;
+                }
+                self.covered[e] = true;
+                self.covered_count += 1;
+            }
+        }
+        self.scratch_touched.sort_unstable();
+        let out: Vec<(u32, u32)> = self
+            .scratch_touched
+            .iter()
+            .map(|&v| (v, self.scratch_counts[v as usize]))
+            .collect();
+        for &v in &self.scratch_touched {
+            self.scratch_counts[v as usize] = 0;
+        }
+        self.scratch_touched.clear();
+        out
+    }
+
+    /// Applies seed `u` without aggregating deltas, returning only the
+    /// number of newly covered elements — the cheap path for spread
+    /// queries, which never feed a selector.
+    ///
+    /// # Panics
+    /// Panics if `u` is outside the set universe.
+    pub fn cover(&mut self, u: u32) -> usize {
+        let before = self.covered_count;
+        for &e in self.shard.index.get(u as usize) {
+            let e = e as usize;
+            if !self.covered[e] {
+                self.covered[e] = true;
+                self.covered_count += 1;
+            }
+        }
+        self.covered_count - before
+    }
+
+    /// Elements covered by the seeds applied so far.
+    pub fn covered_count(&self) -> usize {
+        self.covered_count
+    }
+
+    /// Coverage set `u` would add right now.
+    pub fn marginal(&self, u: u32) -> usize {
+        self.shard
+            .index
+            .get(u as usize)
+            .iter()
+            .filter(|&&e| !self.covered[e as usize])
+            .count()
+    }
+
+    /// Labels everything uncovered again, reusing the allocations.
+    pub fn reset(&mut self) {
+        self.covered.iter_mut().for_each(|c| *c = false);
+        self.covered_count = 0;
+    }
+}
+
 /// Executes the coverage-phase subset of the [`WorkerOp`] vocabulary
 /// against a shard, or returns `None` for ops outside it (graph loading,
 /// RR sampling, validation) so composite workers can route those to their
@@ -335,6 +464,75 @@ mod tests {
             shard.initial_coverage(),
             vec![(0, 2), (1, 2), (2, 1)]
         );
+    }
+
+    #[test]
+    fn from_pooled_matches_from_records() {
+        let fresh = example3();
+        let rebuilt = CoverageShard::from_pooled(
+            5,
+            fresh.elements().clone(),
+            fresh.elements().transpose(5),
+        );
+        assert!(!rebuilt.needs_prepare());
+        assert_eq!(rebuilt.initial_coverage(), fresh.initial_coverage());
+        let mut a = fresh.clone();
+        let mut b = rebuilt.clone();
+        assert_eq!(a.apply_seed(0), b.apply_seed(0));
+        assert_eq!(a.covered_count(), b.covered_count());
+        // Snapshot contents count as unreported, like fresh pushes.
+        let mut c = rebuilt.clone();
+        assert_eq!(c.take_new_coverage(), fresh.initial_coverage());
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_pooled_rejects_wrong_index_arity() {
+        let fresh = example3();
+        CoverageShard::from_pooled(5, fresh.elements().clone(), fresh.elements().transpose(4));
+    }
+
+    #[test]
+    fn query_cursor_mirrors_apply_seed() {
+        let shard = example3();
+        let mut mutable = example3();
+        let mut cursor = QueryCursor::new(&shard);
+        for u in [0u32, 1, 0, 3] {
+            assert_eq!(cursor.apply_seed(u), mutable.apply_seed(u));
+            assert_eq!(cursor.covered_count(), mutable.covered_count());
+        }
+        for v in 0..5 {
+            assert_eq!(cursor.marginal(v), mutable.marginal(v));
+        }
+    }
+
+    #[test]
+    fn query_cursors_are_independent() {
+        let shard = example3();
+        let mut a = QueryCursor::new(&shard);
+        let mut b = QueryCursor::new(&shard);
+        assert_eq!(a.cover(0), 3);
+        // b is unaffected by a's progress, and the shard itself never
+        // changed.
+        assert_eq!(b.marginal(0), 3);
+        assert_eq!(b.cover(1), 3);
+        assert_eq!(shard.covered_count(), 0);
+        a.reset();
+        assert_eq!(a.covered_count(), 0);
+        assert_eq!(a.cover(0), 3);
+    }
+
+    #[test]
+    fn cover_counts_match_deltas() {
+        let shard = example3();
+        let mut via_cover = QueryCursor::new(&shard);
+        let mut via_deltas = QueryCursor::new(&shard);
+        for u in [1u32, 4, 2] {
+            let gained = via_cover.cover(u);
+            via_deltas.apply_seed(u);
+            assert_eq!(via_cover.covered_count(), via_deltas.covered_count());
+            assert!(gained <= shard.num_elements());
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! A blocking client for the query protocol — the substrate of
+//! `dim query` and of tests.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dim_cluster::wire::{protocol_err, read_frame, write_frame};
+
+use crate::proto::{spread_estimate, QueryRequest, QueryResponse, SketchStats};
+
+/// A constrained top-k reply, with the spread estimate precomputed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKResult {
+    /// Selected seeds, in selection order (forced includes first).
+    pub seeds: Vec<u32>,
+    /// Marginal coverage of each seed at its application point.
+    pub marginals: Vec<u64>,
+    /// RR sets covered by the full seed set.
+    pub covered: u64,
+    /// Estimated influence spread `n · covered / θ`.
+    pub spread: f64,
+}
+
+/// One connection to a [`crate::Server`]. Requests are answered in order
+/// over a single stream; open one client per thread for parallel load.
+pub struct QueryClient {
+    stream: TcpStream,
+}
+
+impl QueryClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<QueryClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(QueryClient { stream })
+    }
+
+    /// Sends one request and decodes the reply. A server-side
+    /// [`QueryResponse::Error`] comes back as `Ok(Error { .. })`; wire
+    /// failures and undecodable replies are `Err`.
+    pub fn request(&mut self, req: &QueryRequest) -> io::Result<QueryResponse> {
+        write_frame(&mut self.stream, req.opcode(), &req.encode())?;
+        let (opcode, body) = read_frame(&mut self.stream)?;
+        QueryResponse::decode(opcode, &body)
+            .ok_or_else(|| protocol_err(&format!("malformed response (opcode {opcode:#04x})")))
+    }
+
+    fn expect(&mut self, req: &QueryRequest) -> io::Result<QueryResponse> {
+        match self.request(req)? {
+            QueryResponse::Error { code, message } => {
+                Err(protocol_err(&format!("server error {code}: {message}")))
+            }
+            resp => Ok(resp),
+        }
+    }
+
+    /// Coverage and estimated spread of an arbitrary seed set.
+    pub fn spread(&mut self, seeds: &[u32]) -> io::Result<(u64, f64)> {
+        match self.expect(&QueryRequest::Spread {
+            seeds: seeds.to_vec(),
+        })? {
+            QueryResponse::Spread {
+                covered,
+                theta,
+                num_nodes,
+            } => Ok((covered, spread_estimate(covered, theta, num_nodes))),
+            other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Constrained top-k selection (see
+    /// [`dim_coverage::constrained_greedy`] for the semantics).
+    pub fn top_k(&mut self, k: u32, include: &[u32], exclude: &[u32]) -> io::Result<TopKResult> {
+        match self.expect(&QueryRequest::TopK {
+            k,
+            include: include.to_vec(),
+            exclude: exclude.to_vec(),
+        })? {
+            QueryResponse::TopK {
+                seeds,
+                marginals,
+                covered,
+                theta,
+                num_nodes,
+            } => Ok(TopKResult {
+                seeds,
+                marginals,
+                covered,
+                spread: spread_estimate(covered, theta, num_nodes),
+            }),
+            other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Sketch statistics — also the health check.
+    pub fn stats(&mut self) -> io::Result<SketchStats> {
+        match self.expect(&QueryRequest::Stats)? {
+            QueryResponse::Stats(s) => Ok(s),
+            other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
+        }
+    }
+}

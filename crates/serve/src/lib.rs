@@ -1,0 +1,30 @@
+//! dim-serve — a long-running influence-query service over a persisted
+//! RR sketch.
+//!
+//! OPIM-C's observation motivates the shape: sampling dominates cost,
+//! selection and estimation are cheap. So `dim sample` pays the sampling
+//! cost once and persists the sketch through `dim-store`; this crate then
+//! serves unboundedly many cheap queries against the frozen sketch:
+//!
+//! * **Spread estimation** for arbitrary seed sets — coverage fraction
+//!   times `n` (Eq. 2), the paper's own quality metric.
+//! * **Constrained top-k** — greedy maximum coverage re-run with forced
+//!   includes and excludes, reusing the bucketed lazy selector
+//!   (Algorithm 1's vector `D`), so the unconstrained answer is exactly
+//!   the persisted run's seed set.
+//! * **Stats/health** — sketch shape plus a query counter.
+//!
+//! The wire protocol rides the cluster crate's length-prefixed frames
+//! with its own strict codecs ([`proto`]); the [`Server`] is a
+//! thread-per-connection pool over an immutable [`Sketch`] (queries
+//! evaluate through read-only [`dim_coverage::QueryCursor`]s, so no
+//! locking is involved), and [`QueryClient`] is the matching blocking
+//! client used by `dim query`.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{QueryClient, TopKResult};
+pub use proto::{spread_estimate, QueryRequest, QueryResponse, SketchStats};
+pub use server::{Server, Sketch};

@@ -1,0 +1,372 @@
+//! The query wire protocol: strict little-endian codecs in the style of
+//! `dim_cluster::ops`, carried in the cluster wire's length-prefixed
+//! frames (`dim_cluster::wire::{read_frame, write_frame}`).
+//!
+//! Requests and responses each own an opcode namespace (responses set the
+//! high bit), so a frame is self-describing: `(opcode, body)` decodes to
+//! exactly one message or is rejected. Decoders are strict — trailing
+//! bytes, truncated fields, and counts that exceed the body length all
+//! fail, and counts are bounds-checked *before* any allocation.
+
+use dim_cluster::ops::{put_u32, put_u64, Reader};
+
+/// Request opcodes.
+pub const REQ_SPREAD: u8 = 0x01;
+pub const REQ_TOP_K: u8 = 0x02;
+pub const REQ_STATS: u8 = 0x03;
+
+/// Response opcodes (request opcode with the high bit set, plus error).
+pub const RESP_SPREAD: u8 = 0x81;
+pub const RESP_TOP_K: u8 = 0x82;
+pub const RESP_STATS: u8 = 0x83;
+pub const RESP_ERROR: u8 = 0xEE;
+
+/// Error codes carried by [`QueryResponse::Error`].
+pub const ERR_MALFORMED: u8 = 1;
+pub const ERR_UNSUPPORTED: u8 = 2;
+
+/// One influence query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// Estimate the spread of an arbitrary seed set.
+    Spread { seeds: Vec<u32> },
+    /// Constrained top-k selection: `include` is forced in, `exclude` is
+    /// never selected, `k` is the total seed-set size.
+    TopK {
+        k: u32,
+        include: Vec<u32>,
+        exclude: Vec<u32>,
+    },
+    /// Sketch statistics and a liveness check.
+    Stats,
+}
+
+/// Sketch-wide statistics (the stats/health reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Node count `n` of the graph the sketch was sampled from.
+    pub num_nodes: u64,
+    /// Total RR sets in the sketch (θ).
+    pub theta: u64,
+    /// Shards the sketch is split into (the sampling run's ℓ).
+    pub shard_count: u32,
+    /// Σ over RR sets of their size.
+    pub total_rr_size: u64,
+    /// Queries answered since the server started.
+    pub queries_answered: u64,
+}
+
+/// One reply. `covered`/`theta`/`num_nodes` travel together so a client
+/// can turn coverage into a spread estimate without a second round trip.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResponse {
+    Spread {
+        covered: u64,
+        theta: u64,
+        num_nodes: u64,
+    },
+    TopK {
+        seeds: Vec<u32>,
+        marginals: Vec<u64>,
+        covered: u64,
+        theta: u64,
+        num_nodes: u64,
+    },
+    Stats(SketchStats),
+    Error { code: u8, message: String },
+}
+
+/// The spread estimate `n · covered / θ` (Eq. 2); 0 for an empty sketch.
+pub fn spread_estimate(covered: u64, theta: u64, num_nodes: u64) -> f64 {
+    if theta == 0 {
+        0.0
+    } else {
+        num_nodes as f64 * covered as f64 / theta as f64
+    }
+}
+
+fn put_ids(out: &mut Vec<u8>, ids: &[u32]) {
+    put_u64(out, ids.len() as u64);
+    for &id in ids {
+        put_u32(out, id);
+    }
+}
+
+fn take_ids(r: &mut Reader) -> Option<Vec<u32>> {
+    let count = r.u64()?;
+    if count > (r.remaining() / 4) as u64 {
+        return None;
+    }
+    (0..count).map(|_| r.u32()).collect()
+}
+
+fn take_u64s(r: &mut Reader, count: u64) -> Option<Vec<u64>> {
+    if count > (r.remaining() / 8) as u64 {
+        return None;
+    }
+    (0..count).map(|_| r.u64()).collect()
+}
+
+impl QueryRequest {
+    /// The frame opcode this request travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            QueryRequest::Spread { .. } => REQ_SPREAD,
+            QueryRequest::TopK { .. } => REQ_TOP_K,
+            QueryRequest::Stats => REQ_STATS,
+        }
+    }
+
+    /// Canonical body encoding (the opcode travels in the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QueryRequest::Spread { seeds } => put_ids(&mut out, seeds),
+            QueryRequest::TopK {
+                k,
+                include,
+                exclude,
+            } => {
+                put_u32(&mut out, *k);
+                put_ids(&mut out, include);
+                put_ids(&mut out, exclude);
+            }
+            QueryRequest::Stats => {}
+        }
+        out
+    }
+
+    /// Strict decode of `(opcode, body)`; `None` on any malformation.
+    pub fn decode(opcode: u8, body: &[u8]) -> Option<QueryRequest> {
+        let mut r = Reader::new(body);
+        let req = match opcode {
+            REQ_SPREAD => QueryRequest::Spread {
+                seeds: take_ids(&mut r)?,
+            },
+            REQ_TOP_K => QueryRequest::TopK {
+                k: r.u32()?,
+                include: take_ids(&mut r)?,
+                exclude: take_ids(&mut r)?,
+            },
+            REQ_STATS => QueryRequest::Stats,
+            _ => return None,
+        };
+        r.finish()?;
+        Some(req)
+    }
+}
+
+impl QueryResponse {
+    /// The frame opcode this response travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            QueryResponse::Spread { .. } => RESP_SPREAD,
+            QueryResponse::TopK { .. } => RESP_TOP_K,
+            QueryResponse::Stats(_) => RESP_STATS,
+            QueryResponse::Error { .. } => RESP_ERROR,
+        }
+    }
+
+    /// Canonical body encoding (the opcode travels in the frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            QueryResponse::Spread {
+                covered,
+                theta,
+                num_nodes,
+            } => {
+                put_u64(&mut out, *covered);
+                put_u64(&mut out, *theta);
+                put_u64(&mut out, *num_nodes);
+            }
+            QueryResponse::TopK {
+                seeds,
+                marginals,
+                covered,
+                theta,
+                num_nodes,
+            } => {
+                debug_assert_eq!(seeds.len(), marginals.len());
+                put_ids(&mut out, seeds);
+                for &m in marginals {
+                    put_u64(&mut out, m);
+                }
+                put_u64(&mut out, *covered);
+                put_u64(&mut out, *theta);
+                put_u64(&mut out, *num_nodes);
+            }
+            QueryResponse::Stats(s) => {
+                put_u64(&mut out, s.num_nodes);
+                put_u64(&mut out, s.theta);
+                put_u32(&mut out, s.shard_count);
+                put_u64(&mut out, s.total_rr_size);
+                put_u64(&mut out, s.queries_answered);
+            }
+            QueryResponse::Error { code, message } => {
+                out.push(*code);
+                let bytes = message.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Strict decode of `(opcode, body)`; `None` on any malformation.
+    pub fn decode(opcode: u8, body: &[u8]) -> Option<QueryResponse> {
+        let mut r = Reader::new(body);
+        let resp = match opcode {
+            RESP_SPREAD => QueryResponse::Spread {
+                covered: r.u64()?,
+                theta: r.u64()?,
+                num_nodes: r.u64()?,
+            },
+            RESP_TOP_K => {
+                let seeds = take_ids(&mut r)?;
+                let marginals = take_u64s(&mut r, seeds.len() as u64)?;
+                QueryResponse::TopK {
+                    seeds,
+                    marginals,
+                    covered: r.u64()?,
+                    theta: r.u64()?,
+                    num_nodes: r.u64()?,
+                }
+            }
+            RESP_STATS => QueryResponse::Stats(SketchStats {
+                num_nodes: r.u64()?,
+                theta: r.u64()?,
+                shard_count: r.u32()?,
+                total_rr_size: r.u64()?,
+                queries_answered: r.u64()?,
+            }),
+            RESP_ERROR => {
+                let code = r.u8()?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                QueryResponse::Error {
+                    code,
+                    message: String::from_utf8(bytes.to_vec()).ok()?,
+                }
+            }
+            _ => return None,
+        };
+        r.finish()?;
+        Some(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: QueryRequest) {
+        let body = req.encode();
+        assert_eq!(QueryRequest::decode(req.opcode(), &body), Some(req));
+    }
+
+    fn roundtrip_resp(resp: QueryResponse) {
+        let body = resp.encode();
+        assert_eq!(QueryResponse::decode(resp.opcode(), &body), Some(resp));
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(QueryRequest::Spread { seeds: vec![] });
+        roundtrip_req(QueryRequest::Spread {
+            seeds: vec![0, 7, u32::MAX],
+        });
+        roundtrip_req(QueryRequest::TopK {
+            k: 10,
+            include: vec![1, 2],
+            exclude: vec![3],
+        });
+        roundtrip_req(QueryRequest::Stats);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_resp(QueryResponse::Spread {
+            covered: 5,
+            theta: 100,
+            num_nodes: 50,
+        });
+        roundtrip_resp(QueryResponse::TopK {
+            seeds: vec![4, 1],
+            marginals: vec![9, 3],
+            covered: 12,
+            theta: 40,
+            num_nodes: 20,
+        });
+        roundtrip_resp(QueryResponse::Stats(SketchStats {
+            num_nodes: 9,
+            theta: 77,
+            shard_count: 4,
+            total_rr_size: 300,
+            queries_answered: 12,
+        }));
+        roundtrip_resp(QueryResponse::Error {
+            code: ERR_MALFORMED,
+            message: "bad frame".into(),
+        });
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let req = QueryRequest::TopK {
+            k: 3,
+            include: vec![1, 2, 3],
+            exclude: vec![4, 5],
+        };
+        let body = req.encode();
+        for cut in 0..body.len() {
+            assert_eq!(
+                QueryRequest::decode(req.opcode(), &body[..cut]),
+                None,
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        let resp = QueryResponse::TopK {
+            seeds: vec![4, 1],
+            marginals: vec![9, 3],
+            covered: 12,
+            theta: 40,
+            num_nodes: 20,
+        };
+        let body = resp.encode();
+        for cut in 0..body.len() {
+            assert_eq!(QueryResponse::decode(resp.opcode(), &body[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = QueryRequest::Stats.encode();
+        body.push(0);
+        assert_eq!(QueryRequest::decode(REQ_STATS, &body), None);
+        let mut body = QueryRequest::Spread { seeds: vec![1] }.encode();
+        body.push(0);
+        assert_eq!(QueryRequest::decode(REQ_SPREAD, &body), None);
+    }
+
+    #[test]
+    fn hostile_count_rejected_before_allocation() {
+        // A count of u64::MAX with a 1-byte body must fail fast.
+        let mut body = Vec::new();
+        put_u64(&mut body, u64::MAX);
+        body.push(0);
+        assert_eq!(QueryRequest::decode(REQ_SPREAD, &body), None);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(QueryRequest::decode(0x7f, &[]), None);
+        assert_eq!(QueryResponse::decode(0x00, &[]), None);
+    }
+
+    #[test]
+    fn spread_estimate_formula() {
+        assert_eq!(spread_estimate(50, 100, 200), 100.0);
+        assert_eq!(spread_estimate(0, 0, 10), 0.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! The query server: a frozen [`Sketch`] shared by a thread-per-connection
+//! pool behind a nonblocking accept loop.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dim_cluster::wire::{read_frame, write_frame};
+use dim_coverage::{constrained_greedy, seed_set_coverage, CoverageShard};
+use dim_store::Snapshot;
+
+use crate::proto::{QueryRequest, QueryResponse, SketchStats, ERR_MALFORMED};
+
+/// How often the accept loop polls the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// An immutable in-memory RR sketch: the per-machine coverage shards of
+/// one sampling run plus the scalars queries need. Queries evaluate
+/// through read-only [`dim_coverage::QueryCursor`]s, so one sketch serves
+/// any number of concurrent connections without locking.
+pub struct Sketch {
+    shards: Vec<CoverageShard>,
+    num_nodes: usize,
+    theta: u64,
+    total_rr_size: u64,
+}
+
+impl Sketch {
+    /// Wraps prepared coverage shards. Panics if any shard's set domain
+    /// differs from `num_nodes` or its transpose index is stale.
+    pub fn new(num_nodes: usize, theta: u64, total_rr_size: u64, shards: Vec<CoverageShard>) -> Self {
+        for shard in &shards {
+            assert_eq!(shard.num_sets(), num_nodes, "shard domain != num_nodes");
+            assert!(!shard.needs_prepare(), "shard index is stale");
+        }
+        Sketch {
+            shards,
+            num_nodes,
+            theta,
+            total_rr_size,
+        }
+    }
+
+    /// Builds the sketch from a validated dim-store snapshot; `num_nodes`
+    /// comes from the graph the snapshot was checked against.
+    pub fn from_snapshot(num_nodes: usize, snapshot: Snapshot) -> Self {
+        let theta = snapshot.theta;
+        let total_rr_size = snapshot.total_size();
+        let num_sets = snapshot.num_sets as usize;
+        let shards: Vec<CoverageShard> = snapshot
+            .shards
+            .into_iter()
+            .map(|s| CoverageShard::from_pooled(num_sets, s.elements, s.index))
+            .collect();
+        Sketch::new(num_nodes, theta, total_rr_size, shards)
+    }
+
+    /// Node count `n` of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total RR sets in the sketch (θ).
+    pub fn theta(&self) -> u64 {
+        self.theta
+    }
+
+    /// The coverage shards, for direct (in-process) evaluation.
+    pub fn shards(&self) -> &[CoverageShard] {
+        &self.shards
+    }
+
+    /// Answers one query against the frozen sketch.
+    pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
+        match req {
+            QueryRequest::Spread { seeds } => QueryResponse::Spread {
+                covered: seed_set_coverage(&self.shards, seeds),
+                theta: self.theta,
+                num_nodes: self.num_nodes as u64,
+            },
+            QueryRequest::TopK {
+                k,
+                include,
+                exclude,
+            } => {
+                let r = constrained_greedy(&self.shards, *k as usize, include, exclude);
+                QueryResponse::TopK {
+                    seeds: r.seeds,
+                    marginals: r.marginals,
+                    covered: r.covered,
+                    theta: self.theta,
+                    num_nodes: self.num_nodes as u64,
+                }
+            }
+            QueryRequest::Stats => QueryResponse::Stats(SketchStats {
+                num_nodes: self.num_nodes as u64,
+                theta: self.theta,
+                shard_count: self.shards.len() as u32,
+                total_rr_size: self.total_rr_size,
+                queries_answered: 0, // filled in by the server
+            }),
+        }
+    }
+}
+
+struct Shared {
+    sketch: Sketch,
+    stop: AtomicBool,
+    queries: AtomicU64,
+    /// Clones of every accepted stream, so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running `dim serve` instance: one accept thread plus one handler
+/// thread per live connection, all sharing the sketch read-only.
+///
+/// Shutdown is deterministic: [`Server::shutdown`] (or drop) stops the
+/// accept loop, closes every connection to unblock its reader, and joins
+/// all threads — no orphan threads or sockets survive it.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `sketch`.
+    pub fn start(addr: impl ToSocketAddrs, sketch: Sketch) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            sketch,
+            stop: AtomicBool::new(false),
+            queries: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `:0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries answered so far (all request kinds, excluding malformed
+    /// frames).
+    pub fn queries_answered(&self) -> u64 {
+        self.shared.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, closes every live connection, and joins all
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Join the accept loop first: afterwards the connection list is
+        // complete, so closing it unblocks every handler.
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self.shared.handlers.lock().unwrap().drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                    let shared2 = Arc::clone(&shared);
+                    let handle = std::thread::spawn(move || serve_connection(stream, shared2));
+                    shared.handlers.lock().unwrap().push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection: a strict request/reply loop until EOF, a wire error,
+/// or server shutdown (which closes the stream under us).
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    loop {
+        let (opcode, body) = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => break, // EOF, shutdown, or a framing violation
+        };
+        let resp = match QueryRequest::decode(opcode, &body) {
+            Some(req) => {
+                let mut resp = shared.sketch.answer(&req);
+                let answered = shared.queries.fetch_add(1, Ordering::Relaxed) + 1;
+                if let QueryResponse::Stats(s) = &mut resp {
+                    s.queries_answered = answered;
+                }
+                resp
+            }
+            None => QueryResponse::Error {
+                code: ERR_MALFORMED,
+                message: format!("malformed request frame (opcode {opcode:#04x})"),
+            },
+        };
+        if write_frame(&mut stream, resp.opcode(), &resp.encode()).is_err() {
+            break;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::QueryClient;
+
+    /// The paper's Fig. 2 instance split over two shards.
+    fn sketch() -> Sketch {
+        let shards = vec![
+            CoverageShard::from_records(5, [&[0u32][..], &[1, 2], &[0, 2]]),
+            CoverageShard::from_records(5, [&[1u32, 4][..], &[0], &[1, 3]]),
+        ];
+        Sketch::new(5, 6, 10, shards)
+    }
+
+    #[test]
+    fn spread_and_topk_match_direct_evaluation() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let reference = sketch();
+        let mut client = QueryClient::connect(server.local_addr()).unwrap();
+        let (covered, spread) = client.spread(&[0, 1]).unwrap();
+        assert_eq!(covered, seed_set_coverage(reference.shards(), &[0, 1]));
+        assert_eq!(covered, 6);
+        assert!((spread - 5.0).abs() < 1e-12);
+        let top = client.top_k(2, &[], &[]).unwrap();
+        let direct = constrained_greedy(reference.shards(), 2, &[], &[]);
+        assert_eq!(top.seeds, direct.seeds);
+        assert_eq!(top.marginals, direct.marginals);
+        assert_eq!(top.covered, direct.covered);
+        let top = client.top_k(2, &[4], &[1]).unwrap();
+        let direct = constrained_greedy(reference.shards(), 2, &[4], &[1]);
+        assert_eq!(top.seeds, direct.seeds);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_sketch_shape_and_query_count() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut client = QueryClient::connect(server.local_addr()).unwrap();
+        client.spread(&[0]).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.num_nodes, 5);
+        assert_eq!(stats.theta, 6);
+        assert_eq!(stats.shard_count, 2);
+        assert_eq!(stats.total_rr_size, 10);
+        assert_eq!(stats.queries_answered, 2); // the spread query + this one
+        assert_eq!(server.queries_answered(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_typed_error_and_connection_survives() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Truncated Spread body: count says 5 ids, none follow.
+        let mut body = Vec::new();
+        dim_cluster::ops::put_u64(&mut body, 5);
+        write_frame(&mut stream, crate::proto::REQ_SPREAD, &body).unwrap();
+        let (op, resp) = read_frame(&mut stream).unwrap();
+        match QueryResponse::decode(op, &resp) {
+            Some(QueryResponse::Error { code, .. }) => assert_eq!(code, ERR_MALFORMED),
+            other => panic!("expected error response, got {other:?}"),
+        }
+        // The connection still answers well-formed queries afterwards.
+        let req = QueryRequest::Stats;
+        write_frame(&mut stream, req.opcode(), &req.encode()).unwrap();
+        let (op, resp) = read_frame(&mut stream).unwrap();
+        assert!(matches!(
+            QueryResponse::decode(op, &resp),
+            Some(QueryResponse::Stats(_))
+        ));
+        assert_eq!(server.queries_answered(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_live_connections() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let addr = server.local_addr();
+        let mut client = QueryClient::connect(addr).unwrap();
+        client.spread(&[0]).unwrap();
+        server.shutdown();
+        // The server side is gone: the next query fails instead of hanging.
+        assert!(client.spread(&[0]).is_err());
+        assert!(QueryClient::connect(addr).is_err() || {
+            // A racing TCP stack may still accept; the query must not.
+            let mut c = QueryClient::connect(addr).unwrap();
+            c.spread(&[0]).is_err()
+        });
+    }
+
+    #[test]
+    fn sketch_rejects_mismatched_domain() {
+        let shard = CoverageShard::from_records(4, [&[0u32][..]]);
+        let result = std::panic::catch_unwind(|| Sketch::new(5, 1, 1, vec![shard]));
+        assert!(result.is_err());
+    }
+}

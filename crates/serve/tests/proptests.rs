@@ -1,0 +1,157 @@
+//! Property-based tests for the query protocol codecs.
+//!
+//! The encodings are canonical (one byte string per message), so beyond
+//! roundtripping we can assert the strong form of corruption detection:
+//! a mutated body either fails to decode or decodes to a *different*
+//! message — it can never impersonate the original.
+
+use dim_serve::proto::{
+    QueryRequest, QueryResponse, SketchStats, RESP_ERROR, RESP_SPREAD, RESP_STATS, RESP_TOP_K,
+};
+use proptest::prelude::*;
+
+fn any_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 0..40)
+}
+
+fn any_request() -> impl Strategy<Value = QueryRequest> {
+    prop_oneof![
+        any_ids().prop_map(|seeds| QueryRequest::Spread { seeds }),
+        (any::<u32>(), any_ids(), any_ids()).prop_map(|(k, include, exclude)| {
+            QueryRequest::TopK {
+                k,
+                include,
+                exclude,
+            }
+        }),
+        Just(QueryRequest::Stats),
+    ]
+}
+
+fn any_response() -> impl Strategy<Value = QueryResponse> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(covered, theta, num_nodes)| {
+            QueryResponse::Spread {
+                covered,
+                theta,
+                num_nodes,
+            }
+        }),
+        (
+            prop::collection::vec((any::<u32>(), any::<u64>()), 0..30),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(pairs, covered, theta, num_nodes)| {
+                let (seeds, marginals) = pairs.into_iter().unzip();
+                QueryResponse::TopK {
+                    seeds,
+                    marginals,
+                    covered,
+                    theta,
+                    num_nodes,
+                }
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+        )
+            .prop_map(|(num_nodes, theta, shard_count, total_rr_size, queries_answered)| {
+                QueryResponse::Stats(SketchStats {
+                    num_nodes,
+                    theta,
+                    shard_count,
+                    total_rr_size,
+                    queries_answered,
+                })
+            }),
+        (any::<u8>(), "[ -~]{0,60}").prop_map(|(code, message)| {
+            QueryResponse::Error { code, message }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in any_request()) {
+        let body = req.encode();
+        prop_assert_eq!(QueryRequest::decode(req.opcode(), &body), Some(req));
+    }
+
+    #[test]
+    fn response_roundtrip(resp in any_response()) {
+        let body = resp.encode();
+        prop_assert_eq!(QueryResponse::decode(resp.opcode(), &body), Some(resp));
+    }
+
+    #[test]
+    fn request_truncation_detected(req in any_request()) {
+        let body = req.encode();
+        for cut in 0..body.len() {
+            prop_assert_eq!(QueryRequest::decode(req.opcode(), &body[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn response_truncation_detected(resp in any_response()) {
+        let body = resp.encode();
+        for cut in 0..body.len() {
+            prop_assert_eq!(QueryResponse::decode(resp.opcode(), &body[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn request_mutation_never_impersonates(
+        req in any_request(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut body = req.encode();
+        if body.is_empty() {
+            return Ok(());
+        }
+        let i = byte.index(body.len());
+        body[i] ^= 1 << bit;
+        prop_assert_ne!(QueryRequest::decode(req.opcode(), &body), Some(req));
+    }
+
+    #[test]
+    fn response_mutation_never_impersonates(
+        resp in any_response(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut body = resp.encode();
+        if body.is_empty() {
+            return Ok(());
+        }
+        let i = byte.index(body.len());
+        body[i] ^= 1 << bit;
+        prop_assert_ne!(QueryResponse::decode(resp.opcode(), &body), Some(resp));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        opcode in any::<u8>(),
+        body in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let _ = QueryRequest::decode(opcode, &body);
+        let _ = QueryResponse::decode(opcode, &body);
+    }
+
+    #[test]
+    fn response_opcodes_are_disjoint_from_requests(resp in any_response()) {
+        // A reply frame can never decode as a request, so a confused peer
+        // fails loudly instead of executing a ghost query.
+        let body = resp.encode();
+        prop_assert!(matches!(
+            resp.opcode(),
+            RESP_SPREAD | RESP_TOP_K | RESP_STATS | RESP_ERROR
+        ));
+        prop_assert_eq!(QueryRequest::decode(resp.opcode(), &body), None);
+    }
+}

@@ -4,10 +4,21 @@
 //! dim stats    --graph <edges.txt|profile:NAME[:SCALE]> [--undirected]
 //! dim im       --graph … --k 50 [--model ic|lt] [--epsilon 0.1] [--machines 8]
 //!              [--algorithm imm|diimm|opim|subsim] [--backend B] [--evaluate]
+//!              [--load-rr DIR]
+//! dim sample   --graph … --k 50 --out DIR [--machines 8] [--backend B]
+//! dim serve    --graph … --store DIR [--addr 127.0.0.1:7117] [--max-queries N]
+//! dim query    --addr HOST:PORT (--stats | --seeds 1,2,3 |
+//!              --k K [--include a,b] [--exclude c,d])
 //! dim coverage --graph … --k 50 [--machines 8] [--backend B]
 //! dim simulate --graph … --seeds 1,2,3 [--model ic|lt] [--sims 10000]
 //! dim generate --profile NAME[:SCALE] --out edges.txt
 //! ```
+//!
+//! `sample` runs DiIMM and persists every machine's RR shard as a
+//! versioned dim-store snapshot; `im --load-rr DIR` reruns seed selection
+//! from such a snapshot (byte-identical seeds, no sampling), and `serve`
+//! answers spread / constrained-top-k queries over it until stopped
+//! (`--max-queries` bounds the lifetime for scripted runs).
 //!
 //! `--backend` selects the cluster execution layer: `sequential` (default),
 //! `threads`, and `rayon` run the simulated cluster in-process; `proc`
@@ -42,6 +53,9 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "stats" => cmd_stats(&flags),
         "im" => cmd_im(&flags),
+        "sample" => cmd_sample(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "coverage" => cmd_coverage(&flags),
         "simulate" => cmd_simulate(&flags),
         "generate" => cmd_generate(&flags),
@@ -67,6 +81,13 @@ fn usage() {
 commands:
   stats     --graph <src>                   graph statistics
   im        --graph <src> --k <k>           seed selection with (1-1/e-ε) guarantee
+                                            (--load-rr DIR selects from a snapshot)
+  sample    --graph <src> --k <k> --out DIR run DiIMM and persist the RR sketch
+  serve     --graph <src> --store DIR       answer influence queries over a sketch
+                                            (--addr A, --max-queries N)
+  query     --addr HOST:PORT                query a running server: --stats,
+                                            --seeds a,b,c, or --k K
+                                            [--include a,b] [--exclude c,d]
   coverage  --graph <src> --k <k>           max-coverage over neighborhoods (NewGreeDi)
   simulate  --graph <src> --seeds a,b,c     Monte-Carlo spread of a seed set
   generate  --profile NAME[:SCALE] --out F  write a synthetic profile graph
@@ -95,7 +116,8 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            if name == "undirected" || name == "evaluate" || name == "breakdown" {
+            if name == "undirected" || name == "evaluate" || name == "breakdown" || name == "stats"
+            {
                 map.insert(name.to_string(), "true".to_string());
             } else {
                 let value = it
@@ -265,11 +287,13 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_im(flags: &Flags) -> Result<(), String> {
-    let g = load_graph(flags)?;
+/// Builds the run configuration shared by `im`, `sample`, and `serve`
+/// from the common flags (the sampler kind follows `--algorithm` /
+/// `--model`, so a snapshot written by `sample` validates under the same
+/// flags on load).
+fn im_config(flags: &Flags, g: &Graph) -> Result<(ImConfig, DiffusionModel), String> {
     let model = model_of(flags)?;
     let k = flags.num("k", 50usize)?.min(g.num_nodes());
-    let machines = flags.num("machines", 1usize)?;
     let algorithm = flags.get("algorithm").unwrap_or("diimm");
     let sampler = if algorithm == "subsim" {
         if model != DiffusionModel::IndependentCascade {
@@ -286,35 +310,56 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
         seed: flags.num("seed", 42u64)?,
         sampler,
     };
+    Ok((config, model))
+}
+
+fn cmd_im(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let (config, model) = im_config(flags, &g)?;
+    let machines = flags.num("machines", 1usize)?;
+    let algorithm = flags.get("algorithm").unwrap_or("diimm");
     let net = NetworkModel::shared_memory();
     let backend = backend_of(flags)?;
-    let r = match (algorithm, backend) {
-        ("imm", _) => imm(&g, &config),
-        ("diimm" | "subsim", Backend::Sim(mode)) => {
-            diimm(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
+    let r = if let Some(dir) = flags.get("load-rr") {
+        if !matches!(algorithm, "diimm" | "subsim") {
+            return Err("--load-rr replays a DiIMM sketch; use --algorithm diimm|subsim".into());
         }
-        #[cfg(feature = "proc-backend")]
-        ("diimm" | "subsim", Backend::Proc) => {
-            let mut cluster = proc_cluster(machines, net, config.seed)?;
-            setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
-            diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
+        let mode = match backend {
+            Backend::Sim(mode) => mode,
+            #[cfg(feature = "proc-backend")]
+            _ => return Err("--load-rr selects locally; use a simulated backend".into()),
+        };
+        diimm_load_rr(&g, &config, std::path::Path::new(dir), net, mode)
+            .map_err(|e| e.to_string())?
+    } else {
+        match (algorithm, backend) {
+            ("imm", _) => imm(&g, &config),
+            ("diimm" | "subsim", Backend::Sim(mode)) => {
+                diimm(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
+            }
+            #[cfg(feature = "proc-backend")]
+            ("diimm" | "subsim", Backend::Proc) => {
+                let mut cluster = proc_cluster(machines, net, config.seed)?;
+                setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
+                diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
+            }
+            #[cfg(feature = "proc-backend")]
+            ("diimm" | "subsim", Backend::Join) => {
+                let mut cluster = join_cluster(machines, net, config.seed, flags)?;
+                setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
+                diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
+            }
+            ("opim", Backend::Sim(mode)) => {
+                dopim_c(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
+            }
+            #[cfg(feature = "proc-backend")]
+            ("opim", Backend::Proc | Backend::Join) => {
+                return Err("--backend proc/join supports diimm/subsim (opim keeps two \
+                            resident collections; use a simulated backend)"
+                    .into())
+            }
+            (other, _) => return Err(format!("unknown algorithm {other:?}")),
         }
-        #[cfg(feature = "proc-backend")]
-        ("diimm" | "subsim", Backend::Join) => {
-            let mut cluster = join_cluster(machines, net, config.seed, flags)?;
-            setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
-            diimm_on(&mut cluster, &g, &config, true).map_err(|e| e.to_string())?
-        }
-        ("opim", Backend::Sim(mode)) => {
-            dopim_c(&g, &config, machines, net, mode).map_err(|e| e.to_string())?
-        }
-        #[cfg(feature = "proc-backend")]
-        ("opim", Backend::Proc | Backend::Join) => {
-            return Err("--backend proc/join supports diimm/subsim (opim keeps two \
-                        resident collections; use a simulated backend)"
-                .into())
-        }
-        (other, _) => return Err(format!("unknown algorithm {other:?}")),
     };
     println!("seeds: {:?}", r.seeds);
     println!("estimated spread: {:.1} ({} RR sets)", r.est_spread, r.num_rr_sets);
@@ -332,6 +377,134 @@ fn cmd_im(flags: &Flags) -> Result<(), String> {
         let mc = estimate_spread(&g, model, &r.seeds, sims, config.seed ^ 0xE7A1);
         println!("simulated spread: {mc:.1} ({sims} cascades)");
     }
+    Ok(())
+}
+
+/// Runs DiIMM on an op-driven cluster (spawned or joined) and has every
+/// worker persist its resident shard — each process writes its own file,
+/// the shard never crosses the wire.
+#[cfg(feature = "proc-backend")]
+fn sample_on_ops<B: OpCluster>(
+    cluster: &mut B,
+    g: &Graph,
+    config: &ImConfig,
+    out: &std::path::Path,
+) -> Result<ImResult, String> {
+    setup_im_cluster(cluster, g, config.sampler).map_err(|e| e.to_string())?;
+    let mut r = diimm_on(cluster, g, config, true).map_err(|e| e.to_string())?;
+    persist_rr_shards(cluster, out, g, config, r.num_rr_sets as u64)
+        .map_err(|e| e.to_string())?;
+    let timeline = cluster.timeline().clone();
+    r.timings = Timings::from_timeline(&timeline);
+    r.metrics = timeline.total();
+    r.timeline = timeline;
+    Ok(r)
+}
+
+fn cmd_sample(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let (config, _) = im_config(flags, &g)?;
+    let algorithm = flags.get("algorithm").unwrap_or("diimm");
+    if !matches!(algorithm, "diimm" | "subsim") {
+        return Err("sample persists a DiIMM sketch; use --algorithm diimm|subsim".into());
+    }
+    let machines = flags.num("machines", 1usize)?;
+    let out = std::path::PathBuf::from(flags.required("out")?);
+    let net = NetworkModel::shared_memory();
+    let r = match backend_of(flags)? {
+        Backend::Sim(mode) => diimm_sample(&g, &config, machines, net, mode, &out)
+            .map_err(|e| e.to_string())?,
+        #[cfg(feature = "proc-backend")]
+        Backend::Proc => {
+            let mut cluster = proc_cluster(machines, net, config.seed)?;
+            sample_on_ops(&mut cluster, &g, &config, &out)?
+        }
+        #[cfg(feature = "proc-backend")]
+        Backend::Join => {
+            let mut cluster = join_cluster(machines, net, config.seed, flags)?;
+            sample_on_ops(&mut cluster, &g, &config, &out)?
+        }
+    };
+    println!("seeds: {:?}", r.seeds);
+    println!(
+        "estimated spread: {:.1} ({} RR sets)",
+        r.est_spread, r.num_rr_sets
+    );
+    println!("sketch: {machines} shard(s) in {}", out.display());
+    if flags.get("breakdown").is_some() {
+        print_breakdown(&r.timeline);
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let (config, _) = im_config(flags, &g)?;
+    let dir = std::path::PathBuf::from(flags.required("store")?);
+    let snapshot = load_rr_snapshot(&g, &config, &dir).map_err(|e| e.to_string())?;
+    let (theta, shard_count) = (snapshot.theta, snapshot.shard_count);
+    let sketch = Sketch::from_snapshot(g.num_nodes(), snapshot);
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7117");
+    let server =
+        Server::start(addr, sketch).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    let max_queries = flags.num("max-queries", 0u64)?;
+    println!(
+        "dim-serve: listening on {} ({theta} RR sets in {shard_count} shard(s), n = {})",
+        server.local_addr(),
+        g.num_nodes()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        if max_queries > 0 && server.queries_answered() >= max_queries {
+            break;
+        }
+    }
+    let answered = server.queries_answered();
+    server.shutdown();
+    println!("dim-serve: shut down after {answered} queries");
+    Ok(())
+}
+
+fn parse_ids(list: &str) -> Result<Vec<u32>, String> {
+    list.split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad node id {s:?}")))
+        .collect()
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let addr = flags.required("addr")?;
+    let mut client =
+        QueryClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if flags.get("stats").is_some() {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "sketch: n = {}, {} RR sets in {} shard(s), total size {}",
+            s.num_nodes, s.theta, s.shard_count, s.total_rr_size
+        );
+        println!("queries answered: {}", s.queries_answered);
+        return Ok(());
+    }
+    if let Some(seeds) = flags.get("seeds") {
+        let seeds = parse_ids(seeds)?;
+        let (covered, spread) = client.spread(&seeds).map_err(|e| e.to_string())?;
+        println!("estimated spread: {spread:.2} ({covered} RR sets covered)");
+        return Ok(());
+    }
+    let k: u32 = flags.num("k", 0u32)?;
+    if k == 0 {
+        return Err("query needs --stats, --seeds a,b,c, or --k K".into());
+    }
+    let include = flags.get("include").map(parse_ids).transpose()?.unwrap_or_default();
+    let exclude = flags.get("exclude").map(parse_ids).transpose()?.unwrap_or_default();
+    let r = client.top_k(k, &include, &exclude).map_err(|e| e.to_string())?;
+    println!("seeds: {:?}", r.seeds);
+    println!("marginals: {:?}", r.marginals);
+    println!(
+        "estimated spread: {:.1} ({} RR sets covered)",
+        r.spread, r.covered
+    );
     Ok(())
 }
 
@@ -425,11 +598,7 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
 fn cmd_simulate(flags: &Flags) -> Result<(), String> {
     let g = load_graph(flags)?;
     let model = model_of(flags)?;
-    let seeds: Vec<u32> = flags
-        .required("seeds")?
-        .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad seed {s:?}")))
-        .collect::<Result<_, _>>()?;
+    let seeds = parse_ids(flags.required("seeds")?)?;
     if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= g.num_nodes()) {
         return Err(format!("seed {bad} out of range (n = {})", g.num_nodes()));
     }

@@ -22,6 +22,8 @@
 //! | [`dim_cluster`] | pluggable `ClusterBackend` execution layer with phase-labeled metrics timelines |
 //! | [`dim_coverage`] | maximum coverage: bucket/CELF greedy, NewGreeDi, GreeDi/RandGreeDi baselines |
 //! | [`dim_core`] | IMM, DiIMM, and SUBSIM with the `(1 − 1/e − ε)` guarantee |
+//! | [`dim_store`] | versioned on-disk RR-sketch snapshots (`dim sample` / `--load-rr`) |
+//! | [`dim_serve`] | concurrent influence-query service over a persisted sketch (`dim serve`) |
 //!
 //! # Quickstart
 //!
@@ -46,6 +48,8 @@ pub use dim_core;
 pub use dim_coverage;
 pub use dim_diffusion;
 pub use dim_graph;
+pub use dim_serve;
+pub use dim_store;
 
 /// The commonly needed types and functions in one import.
 pub mod prelude {
@@ -69,6 +73,10 @@ pub mod prelude {
     pub use dim_core::imm::imm;
     pub use dim_core::opim::{dopim_c, opim_c};
     pub use dim_core::ssa::{dssa, ssa};
+    pub use dim_core::snapshot::{
+        diimm_load_rr, diimm_sample, load_rr_snapshot, persist_rr_shards, snapshot_shards,
+        SnapshotError,
+    };
     pub use dim_core::{
         setup_im_cluster, ImConfig, ImParams, ImResult, SamplerKind, Timings, WorkerHost,
     };
@@ -77,6 +85,8 @@ pub mod prelude {
     pub use dim_coverage::{
         budgeted_greedy, newgreedi, newgreedi_until, CoverageProblem, CoverageShard,
     };
+    pub use dim_serve::{QueryClient, QueryRequest, QueryResponse, Server, Sketch, SketchStats};
+    pub use dim_store::{graph_fingerprint, load_snapshot, Snapshot, SnapshotRequest, StoreError};
     pub use dim_diffusion::exact::{exact_opt, exact_spread};
     pub use dim_diffusion::forward::{estimate_spread, estimate_spread_ci, SpreadEstimate};
     pub use dim_diffusion::{DiffusionModel, IcRrSampler, LtRrSampler, RrSampler, SubsimRrSampler};

@@ -101,6 +101,58 @@ fn newgreedi_identical_across_backends() {
     }
 }
 
+/// Persisted sketches are an execution path of their own: `diimm_sample`
+/// (run + persist every machine's shard) followed by `diimm_load_rr`
+/// (restore + reselect, no sampling) must reproduce the direct run bit
+/// for bit — seeds, marginals, coverage, θ — at every machine count, and
+/// the restored selection must itself be mode-independent.
+#[test]
+fn snapshot_roundtrip_matches_direct_run() {
+    let g = DatasetProfile::Facebook.generate(0.1, 11);
+    let config = ImConfig {
+        k: 6,
+        ..ImConfig::paper_defaults(&g, 0.4, 29)
+    };
+    for machines in [1usize, 2, 4] {
+        let dir = std::env::temp_dir().join(format!(
+            "dim-equiv-snapshot-{}-{machines}",
+            std::process::id()
+        ));
+        let reference = diimm(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        )
+        .unwrap();
+        let sampled = diimm_sample(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(sampled.seeds, reference.seeds, "ℓ = {machines}");
+        assert_eq!(sampled.marginals, reference.marginals, "ℓ = {machines}");
+        for mode in MODES {
+            let r = diimm_load_rr(&g, &config, &dir, NetworkModel::cluster_1gbps(), mode)
+                .unwrap();
+            let ctx = format!("ℓ = {machines}, {mode:?}");
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+            assert_eq!(r.est_spread, reference.est_spread, "{ctx}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// The TCP process backend is the fourth execution strategy: worker state
 /// lives in the endpoints (threads or real `dim-worker` processes), every
 /// phase ships real op/reply payloads, and the answer — seeds, marginals,
@@ -225,6 +277,52 @@ mod proc_backend {
             assert_eq!(metrics.messages, seq_metrics.messages);
             assert_measured_transfers(proc.timeline(), &format!("newgreedi ℓ = {machines}"));
         }
+    }
+
+    /// Process workers persist their *own* resident shard on
+    /// `PersistShard` (the sketch never crosses the wire), and the
+    /// snapshot they write replays to the same answer as one written by
+    /// the in-process simulator.
+    #[test]
+    fn proc_workers_persist_replayable_snapshot() {
+        let g = DatasetProfile::Facebook.generate(0.08, 17);
+        let config = ImConfig {
+            k: 4,
+            ..ImConfig::paper_defaults(&g, 0.5, 7)
+        };
+        let machines = 2;
+        let net = NetworkModel::cluster_1gbps();
+        let proc_dir = std::env::temp_dir().join(format!(
+            "dim-equiv-proc-snapshot-{}",
+            std::process::id()
+        ));
+        let sim_dir = std::env::temp_dir().join(format!(
+            "dim-equiv-sim-snapshot-{}",
+            std::process::id()
+        ));
+
+        let mut cluster = proc_cluster(machines, config.seed);
+        setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+        let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+        persist_rr_shards(&mut cluster, &proc_dir, &g, &config, r.num_rr_sets as u64)
+            .unwrap();
+        // The save phase is a control round: it models no shard traffic.
+        let save = cluster.timeline().get(phase::STORE_SAVE);
+        assert_eq!(save.total_bytes(), 0, "PersistShard ships no shard bytes");
+        drop(cluster);
+
+        diimm_sample(&g, &config, machines, net, ExecMode::Sequential, &sim_dir).unwrap();
+        let from_proc =
+            diimm_load_rr(&g, &config, &proc_dir, net, ExecMode::Sequential).unwrap();
+        let from_sim =
+            diimm_load_rr(&g, &config, &sim_dir, net, ExecMode::Sequential).unwrap();
+        assert_eq!(from_proc.seeds, r.seeds);
+        assert_eq!(from_proc.marginals, r.marginals);
+        assert_eq!(from_proc.seeds, from_sim.seeds);
+        assert_eq!(from_proc.coverage, from_sim.coverage);
+        assert_eq!(from_proc.num_rr_sets, from_sim.num_rr_sets);
+        std::fs::remove_dir_all(&proc_dir).ok();
+        std::fs::remove_dir_all(&sim_dir).ok();
     }
 
     /// The incremental DiIMM traffic optimization must never change the

@@ -162,3 +162,122 @@ fn uniform_weight_model_flag() {
     // constraint fails — the stats command surfaces that.
     assert!(out.contains("LT-compatible: no"), "{out}");
 }
+
+#[test]
+fn sample_then_load_rr_is_byte_identical_across_processes() {
+    let dir = temp_path("sketch-roundtrip");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, out, err) = run(&[
+        "sample", "--graph", "profile:facebook:0.05", "--k", "3", "--machines", "2",
+        "--epsilon", "0.5", "--seed", "19", "--out", dir_s,
+    ]);
+    assert!(ok, "sample failed: {err}");
+    let sampled_seeds = out
+        .lines()
+        .find(|l| l.starts_with("seeds:"))
+        .expect("sample prints seeds")
+        .to_owned();
+    assert!(out.contains("sketch: 2 shard(s)"), "{out}");
+
+    // A *separate process* reloads the sketch and must re-derive the very
+    // same seed set — the snapshot carries everything the selection needs.
+    let (ok, out, err) = run(&[
+        "im", "--graph", "profile:facebook:0.05", "--k", "3", "--epsilon", "0.5",
+        "--seed", "19", "--load-rr", dir_s,
+    ]);
+    assert!(ok, "im --load-rr failed: {err}");
+    let loaded_seeds = out
+        .lines()
+        .find(|l| l.starts_with("seeds:"))
+        .expect("im prints seeds")
+        .to_owned();
+    assert_eq!(sampled_seeds, loaded_seeds);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_rr_mismatch_and_corruption_are_typed_errors() {
+    let dir = temp_path("sketch-negative");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, _, err) = run(&[
+        "sample", "--graph", "profile:facebook:0.05", "--k", "2", "--machines", "2",
+        "--seed", "23", "--out", dir_s,
+    ]);
+    assert!(ok, "sample failed: {err}");
+
+    // Wrong graph: the fingerprint check refuses to select on someone
+    // else's RR sets.
+    let (ok, _, err) = run(&[
+        "im", "--graph", "profile:facebook:0.08", "--k", "2", "--seed", "23",
+        "--load-rr", dir_s,
+    ]);
+    assert!(!ok);
+    assert!(err.contains("fingerprint mismatch"), "{err}");
+
+    // Truncated shard: a typed corruption error, not a panic.
+    let victim = dir.join("shard-1-of-2.rrs");
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    let (ok, _, err) = run(&[
+        "im", "--graph", "profile:facebook:0.05", "--k", "2", "--seed", "23",
+        "--load-rr", dir_s,
+    ]);
+    assert!(!ok);
+    assert!(err.contains("corrupt snapshot shard"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_and_query_roundtrip() {
+    use std::io::BufRead;
+
+    let dir = temp_path("sketch-serve");
+    let dir_s = dir.to_str().unwrap();
+    let (ok, _, err) = run(&[
+        "sample", "--graph", "profile:facebook:0.05", "--k", "3", "--machines", "2",
+        "--seed", "29", "--out", dir_s,
+    ]);
+    assert!(ok, "sample failed: {err}");
+
+    // Serve on an ephemeral port; the daemon prints its bound address and
+    // exits cleanly after --max-queries.
+    let mut server = dim()
+        .args([
+            "serve", "--graph", "profile:facebook:0.05", "--seed", "29", "--store", dir_s,
+            "--addr", "127.0.0.1:0", "--max-queries", "3",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let stdout = server.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    assert!(banner.starts_with("dim-serve: listening on "), "{banner}");
+    let addr = banner["dim-serve: listening on ".len()..]
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_owned();
+
+    let (ok, out, err) = run(&["query", "--addr", &addr, "--stats"]);
+    assert!(ok, "query --stats failed: {err}");
+    assert!(out.contains("RR sets in 2 shard(s)"), "{out}");
+
+    let (ok, out, err) = run(&["query", "--addr", &addr, "--seeds", "0,1"]);
+    assert!(ok, "query --seeds failed: {err}");
+    assert!(out.contains("estimated spread"), "{out}");
+
+    let (ok, out, err) = run(&["query", "--addr", &addr, "--k", "2"]);
+    assert!(ok, "query --k failed: {err}");
+    assert!(out.contains("seeds:"), "{out}");
+    assert!(out.contains("marginals:"), "{out}");
+
+    let status = server.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status}");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        rest.iter().any(|l| l.contains("shut down after 3 queries")),
+        "{rest:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

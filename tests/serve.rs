@@ -1,0 +1,152 @@
+//! Concurrency and correctness of the dim-serve query service: many
+//! client threads hammer one server over loopback TCP, and every single
+//! reply must equal the direct in-process [`CoverageShard`] computation
+//! on an identical sketch. Shutdown must be clean — all threads joined,
+//! no socket left accepting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use dim::prelude::*;
+use dim_serve::QueryClient;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("dim-serve-itest-{}-{tag}-{n}", std::process::id()))
+}
+
+/// A tiny deterministic id stream so every thread queries different seed
+/// sets without sharing state.
+fn pseudo_ids(stream: u64, round: u64, n: u32, len: usize) -> Vec<u32> {
+    let mut x = stream
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as u32) % n
+        })
+        .collect()
+}
+
+/// Samples a real DiIMM sketch, serves it, and checks every concurrent
+/// reply — spreads and constrained top-k — against direct evaluation.
+#[test]
+fn concurrent_queries_match_direct_computation() {
+    let g = DatasetProfile::Facebook.generate(0.08, 5);
+    let config = ImConfig {
+        k: 4,
+        ..ImConfig::paper_defaults(&g, 0.5, 21)
+    };
+    let dir = temp_dir("concurrent");
+    diimm_sample(
+        &g,
+        &config,
+        3,
+        NetworkModel::shared_memory(),
+        ExecMode::Sequential,
+        &dir,
+    )
+    .unwrap();
+
+    // Two independent loads: one becomes the served sketch, the other the
+    // reference the clients check every reply against.
+    let served = Sketch::from_snapshot(
+        g.num_nodes(),
+        load_rr_snapshot(&g, &config, &dir).unwrap(),
+    );
+    let reference = Arc::new(snapshot_shards(load_rr_snapshot(&g, &config, &dir).unwrap()));
+    let theta = served.theta();
+    let n = g.num_nodes();
+
+    let server = dim_serve::Server::start("127.0.0.1:0", served).unwrap();
+    let addr = server.local_addr();
+
+    const THREADS: u64 = 8;
+    const ROUNDS: u64 = 20;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reference = Arc::clone(&reference);
+            thread::spawn(move || {
+                let mut client = QueryClient::connect(addr).expect("connect");
+                for round in 0..ROUNDS {
+                    let seeds = pseudo_ids(t, round, n as u32, (round % 7) as usize);
+                    let (covered, spread) = client.spread(&seeds).expect("spread query");
+                    let expected = dim_coverage::seed_set_coverage(&reference, &seeds);
+                    assert_eq!(covered, expected, "thread {t} round {round}: {seeds:?}");
+                    let direct = n as f64 * expected as f64 / theta as f64;
+                    assert!((spread - direct).abs() < 1e-9);
+                    if round % 5 == 0 {
+                        let exclude = pseudo_ids(t ^ 0xFF, round, n as u32, 2);
+                        let top = client.top_k(3, &[], &exclude).expect("top-k query");
+                        let direct =
+                            dim_coverage::constrained_greedy(&reference, 3, &[], &exclude);
+                        assert_eq!(top.seeds, direct.seeds, "thread {t} round {round}");
+                        assert_eq!(top.marginals, direct.marginals);
+                        assert_eq!(top.covered, direct.covered);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client thread panicked");
+    }
+
+    let expected_queries = THREADS * (ROUNDS + ROUNDS.div_ceil(5));
+    assert_eq!(server.queries_answered(), expected_queries);
+    server.shutdown();
+
+    // Clean shutdown: the listener is gone, so either the connect is
+    // refused or the dead connection errors on first use.
+    match QueryClient::connect(addr) {
+        Err(_) => {}
+        Ok(mut client) => assert!(client.spread(&[0]).is_err()),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The unconstrained top-k answer served over the wire IS the persisted
+/// run's seed set — sample once, query forever.
+#[test]
+fn served_topk_equals_sampled_run() {
+    let g = DatasetProfile::Facebook.generate(0.08, 9);
+    let config = ImConfig {
+        k: 5,
+        ..ImConfig::paper_defaults(&g, 0.5, 33)
+    };
+    let dir = temp_dir("topk");
+    let sampled = diimm_sample(
+        &g,
+        &config,
+        2,
+        NetworkModel::shared_memory(),
+        ExecMode::Sequential,
+        &dir,
+    )
+    .unwrap();
+    let sketch = Sketch::from_snapshot(
+        g.num_nodes(),
+        load_rr_snapshot(&g, &config, &dir).unwrap(),
+    );
+    let server = dim_serve::Server::start("127.0.0.1:0", sketch).unwrap();
+    let mut client = QueryClient::connect(server.local_addr()).unwrap();
+
+    let top = client.top_k(config.k as u32, &[], &[]).unwrap();
+    assert_eq!(top.seeds, sampled.seeds);
+    assert_eq!(top.marginals, sampled.marginals);
+    assert_eq!(top.covered, sampled.coverage);
+
+    // And the serving stats describe the sketch exactly.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.theta as usize, sampled.num_rr_sets);
+    assert_eq!(stats.total_rr_size as usize, sampled.total_rr_size);
+    assert_eq!(stats.shard_count, 2);
+    assert_eq!(stats.num_nodes as usize, g.num_nodes());
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

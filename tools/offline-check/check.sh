@@ -77,17 +77,29 @@ $RUSTC $FLAGS $FEAT --crate-type rlib --crate-name dim_cluster \
 rlib dim_coverage crates/coverage/src/lib.rs $RAND \
     --extern dim_graph="$OUT/libdim_graph.rlib" \
     --extern dim_cluster="$OUT/libdim_cluster.rlib"
+rlib dim_store crates/store/src/lib.rs \
+    --extern dim_graph="$OUT/libdim_graph.rlib" \
+    --extern dim_cluster="$OUT/libdim_cluster.rlib" \
+    --extern dim_coverage="$OUT/libdim_coverage.rlib"
+rlib dim_serve crates/serve/src/lib.rs \
+    --extern dim_graph="$OUT/libdim_graph.rlib" \
+    --extern dim_cluster="$OUT/libdim_cluster.rlib" \
+    --extern dim_coverage="$OUT/libdim_coverage.rlib" \
+    --extern dim_store="$OUT/libdim_store.rlib"
 rlib dim_core crates/core/src/lib.rs $RAND \
     --extern dim_graph="$OUT/libdim_graph.rlib" \
     --extern dim_diffusion="$OUT/libdim_diffusion.rlib" \
     --extern dim_cluster="$OUT/libdim_cluster.rlib" \
     --extern dim_coverage="$OUT/libdim_coverage.rlib" \
+    --extern dim_store="$OUT/libdim_store.rlib" \
     --extern rayon="$OUT/librayon.rlib"
 
 DIM_DEPS="--extern dim_graph=$OUT/libdim_graph.rlib \
  --extern dim_diffusion=$OUT/libdim_diffusion.rlib \
  --extern dim_cluster=$OUT/libdim_cluster.rlib \
  --extern dim_coverage=$OUT/libdim_coverage.rlib \
+ --extern dim_store=$OUT/libdim_store.rlib \
+ --extern dim_serve=$OUT/libdim_serve.rlib \
  --extern dim_core=$OUT/libdim_core.rlib"
 
 say "rlib dim (facade, proc-backend)"
@@ -135,6 +147,15 @@ unit_test dim_cluster crates/cluster/src/lib.rs \
 unit_test dim_coverage crates/coverage/src/lib.rs $RAND \
     --extern dim_graph="$OUT/libdim_graph.rlib" \
     --extern dim_cluster="$OUT/libdim_cluster.rlib"
+unit_test dim_store crates/store/src/lib.rs \
+    --extern dim_graph="$OUT/libdim_graph.rlib" \
+    --extern dim_cluster="$OUT/libdim_cluster.rlib" \
+    --extern dim_coverage="$OUT/libdim_coverage.rlib"
+unit_test dim_serve crates/serve/src/lib.rs \
+    --extern dim_graph="$OUT/libdim_graph.rlib" \
+    --extern dim_cluster="$OUT/libdim_cluster.rlib" \
+    --extern dim_coverage="$OUT/libdim_coverage.rlib" \
+    --extern dim_store="$OUT/libdim_store.rlib"
 # shellcheck disable=SC2086
 unit_test dim_core crates/core/src/lib.rs $RAND $DIM_DEPS \
     --extern rayon="$OUT/librayon.rlib"
@@ -159,13 +180,15 @@ itest end_to_end tests/end_to_end.rs
 itest concentration tests/concentration.rs
 itest cli tests/cli.rs
 itest proc_backend tests/proc_backend.rs
+itest serve tests/serve.rs
 
 [ "$BUILD_ONLY" = 1 ] && { say "build OK (tests not run)"; exit 0; }
 
 FAILED=0
 for t in dim_graph_unit dim_diffusion_unit dim_cluster_unit dim_coverage_unit \
-         dim_core_unit dim_bench_unit backend_equivalence distributed_equivalence \
-         end_to_end concentration cli proc_backend; do
+         dim_store_unit dim_serve_unit dim_core_unit dim_bench_unit \
+         backend_equivalence distributed_equivalence end_to_end concentration \
+         cli proc_backend serve; do
     say "run $t"
     # incremental_reporting_preserves_output asserts a *strict* traffic
     # decrease, which depends on the real RNG stream's RR-set shapes; under
