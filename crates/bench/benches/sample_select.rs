@@ -1,0 +1,54 @@
+//! Criterion microbenchmark: the offline/online split's two hot paths
+//! composed end to end — RR-sketch *sampling* (`dim sample`'s inner
+//! loop, including shard build) and *selection/query* over the resulting
+//! sketch (`dim serve`'s inner loop). The workloads live in
+//! `dim_bench::sample_select`, shared with the `dim-benchrec` binary
+//! that records the `BENCH_sample_select.json` trajectory point.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dim_bench::sample_select::{batch_seed_sets, build_shards, select_top_k, spread_batch};
+use dim_graph::DatasetProfile;
+
+/// RR sets per benchmark sketch.
+const THETA: usize = 20_000;
+/// Machine shards the sketch is split across.
+const SHARDS: usize = 4;
+
+fn bench_sample(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let mut group = c.benchmark_group("sample");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function(format!("build_{SHARDS}_shards_{THETA}_sets"), |b| {
+        b.iter(|| build_shards(&graph, THETA, SHARDS, 7))
+    });
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let shards = build_shards(&graph, THETA, SHARDS, 7);
+    let seed_sets = batch_seed_sets(graph.num_nodes(), 64, 4);
+    let mut group = c.benchmark_group("select");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    // Greedy seed selection over the sharded sketch — the `dim serve`
+    // top-k path (and, unconstrained, the selection half of `dim im`).
+    group.bench_function("top50", |b| b.iter(|| select_top_k(&shards, 50)));
+
+    // A pipelined spread-query batch through reused cursors — the
+    // REQ_BATCH fast path.
+    group.bench_function("spread_batch_64", |b| {
+        b.iter_batched(
+            || (),
+            |()| spread_batch(&shards, &seed_sets),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! `dim-benchrec` — records the sample/select hot-path trajectory point
+//! (`BENCH_sample_select.json`) without the criterion harness, so the
+//! file regenerates in seconds on any machine (including offline-stub
+//! builds, which must tag `--provenance offline-stub`: the stub RNG
+//! changes the sampled sketch, so those numbers are only comparable to
+//! other offline-stub runs).
+//!
+//! ```text
+//! dim-benchrec [--graph facebook] [--scale 1.0] [--theta 20000]
+//!              [--shards 4] [--k 50] [--batch 64] [--iters 3]
+//!              [--out BENCH_sample_select.json] [--provenance LABEL]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use dim_bench::sample_select::{
+    batch_seed_sets, build_shards, select_top_k, spread_batch, time_best_of, SampleSelectReport,
+};
+use dim_graph::DatasetProfile;
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let name = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad --{name} value {s:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match record(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn record(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let name = flags.get("graph").map_or("facebook", |s| s.as_str());
+    let profile = DatasetProfile::parse(name).ok_or_else(|| format!("unknown profile {name:?}"))?;
+    let scale: f64 = num(&flags, "scale", 1.0)?;
+    let theta: usize = num(&flags, "theta", 20_000usize)?;
+    let shards: usize = num(&flags, "shards", 4usize)?;
+    let k: usize = num(&flags, "k", 50usize)?;
+    let batch: usize = num(&flags, "batch", 64usize)?;
+    let iters: usize = num(&flags, "iters", 3usize)?.max(1);
+    let graph = profile.generate(scale, 42);
+
+    let (sample_elapsed, sketch) = time_best_of(iters, || build_shards(&graph, theta, shards, 7));
+    let (select_elapsed, seeds) = time_best_of(iters, || select_top_k(&sketch, k));
+    let seed_sets = batch_seed_sets(graph.num_nodes(), batch, 4);
+    let (batch_elapsed, coverage) = time_best_of(iters, || spread_batch(&sketch, &seed_sets));
+
+    let report = SampleSelectReport {
+        provenance: flags.get("provenance").map_or("local", |s| s).to_string(),
+        graph: format!("{name}:{scale}"),
+        num_nodes: graph.num_nodes(),
+        theta,
+        shards,
+        k,
+        batch,
+        sample_build_ms: sample_elapsed.as_secs_f64() * 1e3,
+        select_top_k_ms: select_elapsed.as_secs_f64() * 1e3,
+        spread_batch_ms: batch_elapsed.as_secs_f64() * 1e3,
+    };
+    println!(
+        "dim-benchrec: {name}:{scale} (n = {}), θ = {theta} in {shards} shard(s), \
+         best of {iters}",
+        graph.num_nodes()
+    );
+    println!("  sample+build: {:>10.3} ms", report.sample_build_ms);
+    println!(
+        "  select top{k}: {:>10.3} ms (first seed {:?})",
+        report.select_top_k_ms,
+        seeds.first()
+    );
+    println!(
+        "  spread x{batch}: {:>10.3} ms (coverage checksum {coverage})",
+        report.spread_batch_ms
+    );
+    let out = flags.get("out").map_or("BENCH_sample_select.json", |s| s);
+    std::fs::write(out, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}

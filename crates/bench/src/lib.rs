@@ -9,9 +9,16 @@
 //! repro fig5 --quick         # one experiment, reduced scale
 //! repro table4 --epsilon 0.1 --datasets facebook,googleplus
 //! ```
+//!
+//! Two further binaries track the serving tier: `dim-loadgen`
+//! ([`serve_bench`]) drives a running `dim serve` and writes
+//! `BENCH_serve.json`; `dim-benchrec` ([`sample_select`]) times the
+//! sample/select hot paths and writes `BENCH_sample_select.json`.
 
 pub mod context;
 pub mod experiments;
 pub mod report;
+pub mod sample_select;
+pub mod serve_bench;
 
 pub use context::Context;

@@ -1,0 +1,194 @@
+//! The sample/select benchmark workloads, shared by the
+//! `benches/sample_select.rs` criterion harness and the `dim-benchrec`
+//! binary that records `BENCH_sample_select.json` (same code timed two
+//! ways, so the trajectory file and the criterion reports agree on what
+//! was measured).
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_pcg::Pcg64;
+
+use dim_coverage::{constrained_greedy, CoverageShard, SketchCursors};
+use dim_diffusion::rr::{AnySampler, RrSampler};
+use dim_diffusion::visit::VisitTracker;
+use dim_diffusion::DiffusionModel;
+use dim_graph::Graph;
+
+/// Samples `theta` RR sets under IC and builds the per-machine coverage
+/// shards — what one `dim sample` machine does before persisting.
+pub fn build_shards(graph: &Graph, theta: usize, shards: usize, seed: u64) -> Vec<CoverageShard> {
+    let sampler = AnySampler::for_model(graph, DiffusionModel::IndependentCascade);
+    let mut rng = Pcg64::seed_from_u64(seed);
+    let mut visited = VisitTracker::new(graph.num_nodes());
+    let mut records: Vec<Vec<u32>> = Vec::with_capacity(theta);
+    let mut out = Vec::new();
+    for _ in 0..theta {
+        sampler.sample(&mut rng, &mut out, &mut visited);
+        records.push(out.clone());
+    }
+    let per_shard = theta.div_ceil(shards.max(1));
+    records
+        .chunks(per_shard)
+        .map(|chunk| CoverageShard::from_records(theta, chunk.iter().map(Vec::as_slice)))
+        .collect()
+}
+
+/// Greedy top-k over the sharded sketch — the selection hot path.
+pub fn select_top_k(shards: &[CoverageShard], k: usize) -> Vec<u32> {
+    constrained_greedy(shards, k, &[], &[]).seeds
+}
+
+/// The deterministic seed sets the spread-batch workload queries.
+pub fn batch_seed_sets(num_nodes: usize, batch: usize, per_query: usize) -> Vec<Vec<u32>> {
+    (0..batch as u32)
+        .map(|i| {
+            (0..per_query as u32)
+                .map(|j| (i * 131 + j * 17) % num_nodes.max(1) as u32)
+                .collect()
+        })
+        .collect()
+}
+
+/// A pipelined spread-query batch through one reused cursor set — the
+/// `REQ_BATCH` fast path. Returns the summed coverage (a checksum).
+pub fn spread_batch(shards: &[CoverageShard], seed_sets: &[Vec<u32>]) -> u64 {
+    let mut cursors = SketchCursors::new(shards);
+    seed_sets
+        .iter()
+        .map(|seeds| cursors.seed_set_coverage(seeds))
+        .sum()
+}
+
+/// Best-of-`iters` wall-clock of `f` (minimum is the standard
+/// noise-robust point estimate for CPU-bound microbenchmarks).
+pub fn time_best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(iters >= 1);
+    let mut best: Option<Duration> = None;
+    let mut last = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        if best.map_or(true, |b| elapsed < b) {
+            best = Some(elapsed);
+        }
+        last = Some(value);
+    }
+    (best.unwrap(), last.unwrap())
+}
+
+/// The record `dim-benchrec` writes to `BENCH_sample_select.json`.
+#[derive(Clone, Debug)]
+pub struct SampleSelectReport {
+    pub provenance: String,
+    pub graph: String,
+    pub num_nodes: usize,
+    pub theta: usize,
+    pub shards: usize,
+    pub k: usize,
+    pub batch: usize,
+    pub sample_build_ms: f64,
+    pub select_top_k_ms: f64,
+    pub spread_batch_ms: f64,
+}
+
+impl SampleSelectReport {
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"sample_select\",\"provenance\":\"{}\",",
+                "\"graph\":\"{}\",\"num_nodes\":{},\"theta\":{},",
+                "\"shards\":{},\"k\":{},\"batch\":{},",
+                "\"sample_build_ms\":{:.3},\"select_top_k_ms\":{:.3},",
+                "\"spread_batch_ms\":{:.3}}}"
+            ),
+            self.provenance,
+            self.graph,
+            self.num_nodes,
+            self.theta,
+            self.shards,
+            self.k,
+            self.batch,
+            self.sample_build_ms,
+            self.select_top_k_ms,
+            self.spread_batch_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_graph::generators::barabasi_albert;
+    use dim_graph::WeightModel;
+
+    #[test]
+    fn workloads_are_deterministic_and_agree_with_direct_evaluation() {
+        let graph = barabasi_albert(200, 3, WeightModel::WeightedCascade, 7);
+        let shards = build_shards(&graph, 500, 3, 11);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(
+            shards
+                .iter()
+                .map(CoverageShard::num_elements)
+                .sum::<usize>(),
+            500
+        );
+        assert_eq!(
+            shards
+                .iter()
+                .map(|s| s.num_sets())
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1,
+            "all shards index the same universe"
+        );
+        let again = build_shards(&graph, 500, 3, 11);
+        let seeds = select_top_k(&shards, 5);
+        assert_eq!(seeds.len(), 5);
+        assert_eq!(seeds, select_top_k(&again, 5), "same seed, same sketch");
+
+        let seed_sets = batch_seed_sets(graph.num_nodes(), 16, 3);
+        assert!(seed_sets
+            .iter()
+            .all(|s| s.iter().all(|&v| (v as usize) < 200)));
+        let total = spread_batch(&shards, &seed_sets);
+        let direct: u64 = seed_sets
+            .iter()
+            .map(|s| dim_coverage::seed_set_coverage(&shards, s))
+            .sum();
+        assert_eq!(total, direct, "reused cursors match fresh evaluation");
+    }
+
+    #[test]
+    fn report_serializes_every_field() {
+        let report = SampleSelectReport {
+            provenance: "unit-test".into(),
+            graph: "facebook:1".into(),
+            num_nodes: 4039,
+            theta: 20_000,
+            shards: 4,
+            k: 50,
+            batch: 64,
+            sample_build_ms: 12.5,
+            select_top_k_ms: 3.25,
+            spread_batch_ms: 1.125,
+        };
+        let json = report.to_json();
+        for key in [
+            "\"bench\":\"sample_select\"",
+            "\"provenance\":\"unit-test\"",
+            "\"graph\":\"facebook:1\"",
+            "\"theta\":20000",
+            "\"sample_build_ms\":12.500",
+            "\"select_top_k_ms\":3.250",
+            "\"spread_batch_ms\":1.125",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        let (elapsed, value) = time_best_of(3, || 41 + 1);
+        assert_eq!(value, 42);
+        assert!(elapsed < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,329 @@
+//! Open-loop load generation against a running `dim serve` instance —
+//! the engine of the `dim-loadgen` binary and of the serve-tier CI
+//! benchmark.
+//!
+//! A run drives the same query mix twice at equal concurrency: once as
+//! single `REQ_SPREAD` frames (one decode per query) and once pipelined
+//! through `REQ_BATCH` (one decode per N queries), so the report
+//! quantifies exactly what batching buys. Client-side latencies go
+//! through the serving tier's own [`LatencyHistogram`], and the final
+//! report joins them with the server's `REQ_STATS` view into the
+//! hand-rolled JSON that lands in `BENCH_serve.json` (dependency-free,
+//! so offline builds produce real files too).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dim_serve::{
+    ConnectOptions, LatencyHistogram, QueryClient, QueryRequest, QueryResponse, SketchStats,
+};
+
+/// One load-generation run's shape.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Server address (`HOST:PORT`).
+    pub addr: String,
+    /// Client threads, each with its own connection.
+    pub concurrency: usize,
+    /// Queries each client issues per phase.
+    pub requests_per_client: usize,
+    /// Queries pipelined per `REQ_BATCH` frame in the batched phase.
+    pub batch: usize,
+    /// Seed nodes per spread query.
+    pub seeds_per_query: usize,
+    /// Node-id space to draw seed sets from (from `REQ_STATS` usually).
+    pub num_nodes: u32,
+    /// Jitter/workload seed — two runs with one seed issue identical
+    /// query streams.
+    pub seed: u64,
+    /// Connect retry policy (loadgen usually starts with the server).
+    pub connect: ConnectOptions,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            concurrency: 8,
+            requests_per_client: 200,
+            batch: 32,
+            seeds_per_query: 4,
+            num_nodes: 1,
+            seed: 42,
+            connect: ConnectOptions::default(),
+        }
+    }
+}
+
+/// Measured outcome of one phase (unbatched or batched).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseResult {
+    /// Queries per `REQ_BATCH` frame (1 = plain request/response).
+    pub batch: usize,
+    /// Spread queries answered successfully.
+    pub queries: u64,
+    /// Queries that came back as errors (wire or server-side).
+    pub errors: u64,
+    /// Wall-clock for the whole phase across all clients.
+    pub elapsed: Duration,
+    /// `queries / elapsed`.
+    pub throughput_qps: f64,
+    /// Client-observed wire latency per frame, µs.
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl PhaseResult {
+    /// JSON object fragment (all fields; elapsed in seconds).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"batch\":{},\"queries\":{},\"errors\":{},",
+                "\"elapsed_s\":{:.6},\"throughput_qps\":{:.1},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}"
+            ),
+            self.batch,
+            self.queries,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput_qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// splitmix64 — the workload stream. Deterministic per (seed, client),
+/// so reruns and the two phases issue the same queries.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The spread queries client `client_idx` issues in one phase.
+fn client_queries(config: &LoadgenConfig, client_idx: usize) -> Vec<QueryRequest> {
+    let mut state = config.seed ^ (client_idx as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    (0..config.requests_per_client)
+        .map(|_| {
+            let seeds = (0..config.seeds_per_query)
+                .map(|_| (splitmix64(&mut state) % config.num_nodes.max(1) as u64) as u32)
+                .collect();
+            QueryRequest::Spread { seeds }
+        })
+        .collect()
+}
+
+/// Runs one phase at `config.concurrency` clients. `batch == 1` sends
+/// plain request/response frames; `batch > 1` pipelines that many
+/// queries per `REQ_BATCH` frame (same total query count).
+pub fn run_phase(config: &LoadgenConfig, batch: usize) -> io::Result<PhaseResult> {
+    assert!(batch >= 1, "batch must be at least 1");
+    let latency = Arc::new(LatencyHistogram::new());
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.concurrency);
+    for client_idx in 0..config.concurrency {
+        let queries = client_queries(config, client_idx);
+        let (latency, ok, errors) = (latency.clone(), ok.clone(), errors.clone());
+        let (addr, connect) = (config.addr.clone(), config.connect);
+        handles.push(std::thread::spawn(move || -> io::Result<()> {
+            let mut client = QueryClient::connect_with(&*addr, &connect)?;
+            for chunk in queries.chunks(batch) {
+                let sent = Instant::now();
+                let replies = if batch == 1 {
+                    vec![client.request(&chunk[0])?]
+                } else {
+                    client.batch(chunk)?
+                };
+                latency.record(sent.elapsed().as_micros() as u64);
+                for reply in replies {
+                    match reply {
+                        QueryResponse::Spread { .. } => ok.fetch_add(1, Ordering::Relaxed),
+                        _ => errors.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            }
+            Ok(())
+        }));
+    }
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            // A client that died mid-stream (e.g. shed) contributes its
+            // unanswered queries as errors rather than aborting the run.
+            Ok(Err(_)) => {
+                errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+    let elapsed = start.elapsed();
+    let queries = ok.load(Ordering::Relaxed);
+    Ok(PhaseResult {
+        batch,
+        queries,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed,
+        throughput_qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: latency.quantile(0.50),
+        p95_us: latency.quantile(0.95),
+        p99_us: latency.quantile(0.99),
+        max_us: latency.max(),
+    })
+}
+
+/// One `REQ_STATS` roundtrip (also how loadgen discovers `num_nodes`).
+pub fn fetch_stats(addr: &str, connect: &ConnectOptions) -> io::Result<SketchStats> {
+    QueryClient::connect_with(addr, connect)?.stats()
+}
+
+/// The complete serve-tier benchmark record dumped to `BENCH_serve.json`.
+#[derive(Clone, Debug)]
+pub struct ServeBenchReport {
+    pub concurrency: usize,
+    pub unbatched: PhaseResult,
+    pub batched: PhaseResult,
+    /// Server-side view after both phases.
+    pub server: SketchStats,
+    /// How the numbers were produced (e.g. `cargo-release`,
+    /// `offline-stub`) — keeps trajectories comparable.
+    pub provenance: String,
+}
+
+impl ServeBenchReport {
+    /// Did pipelining pay for itself? The acceptance bar for the CI run.
+    pub fn batching_wins(&self) -> bool {
+        self.batched.throughput_qps >= self.unbatched.throughput_qps
+    }
+
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"serve\",\"provenance\":\"{}\",",
+                "\"concurrency\":{},\"batching_wins\":{},",
+                "\"unbatched\":{},\"batched\":{},",
+                "\"server\":{{\"num_nodes\":{},\"theta\":{},\"shard_count\":{},",
+                "\"queries_answered\":{},\"generation\":{},\"shed\":{},",
+                "\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}}}"
+            ),
+            self.provenance,
+            self.concurrency,
+            self.batching_wins(),
+            self.unbatched.to_json(),
+            self.batched.to_json(),
+            self.server.num_nodes,
+            self.server.theta,
+            self.server.shard_count,
+            self.server.queries_answered,
+            self.server.generation,
+            self.server.shed,
+            self.server.p50_us,
+            self.server.p95_us,
+            self.server.p99_us,
+        )
+    }
+}
+
+/// Runs the full two-phase benchmark against `config.addr`.
+pub fn run(config: &LoadgenConfig, provenance: &str) -> io::Result<ServeBenchReport> {
+    let unbatched = run_phase(config, 1)?;
+    let batched = run_phase(config, config.batch.max(2))?;
+    let server = fetch_stats(&config.addr, &config.connect)?;
+    Ok(ServeBenchReport {
+        concurrency: config.concurrency,
+        unbatched,
+        batched,
+        server,
+        provenance: provenance.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_coverage::CoverageShard;
+    use dim_serve::{ServeOptions, Server, Sketch};
+
+    fn test_server() -> Server {
+        let shards = vec![
+            CoverageShard::from_records(5, [&[0u32][..], &[1, 2], &[0, 2]]),
+            CoverageShard::from_records(5, [&[1u32, 4][..], &[0], &[1, 3]]),
+        ];
+        Server::start_with(
+            "127.0.0.1:0",
+            Sketch::new(5, 6, 10, shards),
+            ServeOptions {
+                workers: 4,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_phase_run_answers_every_query_and_serializes() {
+        let server = test_server();
+        let config = LoadgenConfig {
+            addr: server.local_addr().to_string(),
+            concurrency: 3,
+            requests_per_client: 20,
+            batch: 8,
+            seeds_per_query: 2,
+            num_nodes: 5,
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config, "unit-test").unwrap();
+        assert_eq!(report.unbatched.queries, 60);
+        assert_eq!(report.unbatched.errors, 0);
+        assert_eq!(report.batched.queries, 60);
+        assert_eq!(report.batched.errors, 0);
+        assert_eq!(report.batched.batch, 8);
+        assert!(report.unbatched.throughput_qps > 0.0);
+        // Server saw both phases plus the closing stats query's own count.
+        assert_eq!(report.server.queries_answered, 121);
+        let json = report.to_json();
+        for key in [
+            "\"bench\":\"serve\"",
+            "\"provenance\":\"unit-test\"",
+            "\"concurrency\":3",
+            "\"unbatched\":{\"batch\":1",
+            "\"batched\":{\"batch\":8",
+            "\"queries_answered\":121",
+            "\"batching_wins\":",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_in_range() {
+        let config = LoadgenConfig {
+            requests_per_client: 50,
+            seeds_per_query: 3,
+            num_nodes: 7,
+            ..LoadgenConfig::default()
+        };
+        let a = client_queries(&config, 1);
+        let b = client_queries(&config, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, client_queries(&config, 2));
+        for query in &a {
+            let QueryRequest::Spread { seeds } = query else {
+                panic!("loadgen only issues spread queries");
+            };
+            assert_eq!(seeds.len(), 3);
+            assert!(seeds.iter().all(|&s| s < 7));
+        }
+    }
+}

@@ -121,6 +121,18 @@ pub fn diimm_sample(
     Ok(result)
 }
 
+/// The provenance a snapshot must match to serve `graph` under `config`:
+/// graph fingerprint and sampler kind, any shard count. This is what
+/// `dim serve` hands to the hot-reload path, so reloads validate exactly
+/// like the initial load.
+pub fn rr_snapshot_request(graph: &Graph, config: &ImConfig) -> SnapshotRequest {
+    SnapshotRequest {
+        fingerprint: graph_fingerprint(graph),
+        sampler: config.sampler.into(),
+        shard_count: None,
+    }
+}
+
 /// Loads and validates the snapshot in `dir` against `graph` and
 /// `config` (graph fingerprint and sampler kind must match; any shard
 /// count is accepted). A thin wrapper for callers that want the raw
@@ -130,14 +142,43 @@ pub fn load_rr_snapshot(
     config: &ImConfig,
     dir: &Path,
 ) -> Result<Snapshot, StoreError> {
-    load_snapshot(
-        dir,
-        &SnapshotRequest {
-            fingerprint: graph_fingerprint(graph),
-            sampler: config.sampler.into(),
-            shard_count: None,
-        },
-    )
+    load_snapshot(dir, &rr_snapshot_request(graph, config))
+}
+
+/// Loads the newest committed generation under `root` that validates
+/// against `graph`/`config`, returning its id with the snapshot. A root
+/// with no generation directories falls back to the flat layout as
+/// generation 0, so pre-generation stores keep loading.
+pub fn load_latest_rr_snapshot(
+    graph: &Graph,
+    config: &ImConfig,
+    root: &Path,
+) -> Result<(u64, Snapshot), StoreError> {
+    dim_store::load_latest_snapshot(root, &rr_snapshot_request(graph, config))
+}
+
+/// Runs DiIMM and persists the shards as a *new committed generation*
+/// under `root` — the `dim sample --generations` entry point, and the
+/// producer half of zero-downtime reload: shards land in a fresh
+/// `gen-N/` directory that only becomes visible to loaders once its
+/// manifest commits, so a concurrently serving `dim serve` never
+/// observes a half-written snapshot. After the commit, old generations
+/// beyond the newest `keep` are garbage-collected. Returns the new
+/// generation id with the run result.
+pub fn diimm_sample_generation(
+    graph: &Graph,
+    config: &ImConfig,
+    machines: usize,
+    network: NetworkModel,
+    mode: ExecMode,
+    root: &Path,
+    keep: usize,
+) -> Result<(u64, ImResult), SnapshotError> {
+    let (id, dir) = dim_store::begin_generation(root)?;
+    let result = diimm_sample(graph, config, machines, network, mode, &dir)?;
+    dim_store::commit_generation(&dir, id)?;
+    dim_store::gc_generations(root, keep)?;
+    Ok((id, result))
 }
 
 /// Restores a validated snapshot into per-machine coverage shards, in
@@ -306,6 +347,57 @@ mod tests {
             Err(SnapshotError::Store(StoreError::Corrupt { .. })) => {}
             other => panic!("expected corrupt, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_sample_commits_loads_latest_and_gcs() {
+        let g = erdos_renyi(150, 700, WeightModel::WeightedCascade, 11);
+        let root = temp_dir("generations");
+        // Two runs with different seeds: two committed generations.
+        let cfg1 = config(3, 21);
+        let (id1, r1) =
+            diimm_sample_generation(&g, &cfg1, 2, NetworkModel::zero(), ExecMode::Sequential, &root, 4)
+                .unwrap();
+        assert_eq!(id1, 1);
+        let cfg2 = config(3, 22);
+        let (id2, r2) =
+            diimm_sample_generation(&g, &cfg2, 2, NetworkModel::zero(), ExecMode::Sequential, &root, 4)
+                .unwrap();
+        assert_eq!(id2, 2);
+        // The latest load sees generation 2 and reproduces its run
+        // byte-identically (selection is deterministic in the shards).
+        let (id, snapshot) = load_latest_rr_snapshot(&g, &cfg2, &root).unwrap();
+        assert_eq!(id, id2);
+        assert_eq!(snapshot.seed, 22);
+        assert_eq!(snapshot.theta as usize, r2.num_rr_sets);
+        // Generation 1 is still on disk (keep = 4) and loads directly.
+        let dir1 = root.join(dim_store::generation_dir_name(id1));
+        let old = load_rr_snapshot(&g, &cfg1, &dir1).unwrap();
+        assert_eq!(old.theta as usize, r1.num_rr_sets);
+        // keep = 1 GCs everything but the newest.
+        let (id3, _) =
+            diimm_sample_generation(&g, &cfg2, 2, NetworkModel::zero(), ExecMode::Sequential, &root, 1)
+                .unwrap();
+        assert_eq!(id3, 3);
+        let left: Vec<u64> = dim_store::list_generations(&root)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(left, vec![3]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn flat_store_loads_as_generation_zero() {
+        let g = erdos_renyi(120, 500, WeightModel::WeightedCascade, 13);
+        let cfg = config(3, 9);
+        let dir = temp_dir("flat");
+        diimm_sample(&g, &cfg, 2, NetworkModel::zero(), ExecMode::Sequential, &dir).unwrap();
+        let (id, snapshot) = load_latest_rr_snapshot(&g, &cfg, &dir).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(snapshot.seed, 9);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -61,6 +61,6 @@ pub use newgreedi::{
 };
 pub use pooled::PooledSets;
 pub use problem::CoverageProblem;
-pub use query::{constrained_greedy, seed_set_coverage};
+pub use query::{constrained_greedy, seed_set_coverage, SketchCursors};
 pub use selector::BucketSelector;
 pub use shard::{execute_coverage_op, CoverageShard, QueryCursor};

@@ -16,17 +16,68 @@ use crate::shard::{CoverageShard, QueryCursor};
 /// `F_R(S)`, and multiply by `n` for the spread estimate (Eq. 2).
 /// Out-of-range and duplicate seed ids are ignored.
 pub fn seed_set_coverage(shards: &[CoverageShard], seeds: &[u32]) -> u64 {
-    let mut total = 0u64;
-    for shard in shards {
-        let mut cursor = QueryCursor::new(shard);
-        for &u in seeds {
-            if (u as usize) < shard.num_sets() {
-                cursor.cover(u);
-            }
+    SketchCursors::new(shards).seed_set_coverage(seeds)
+}
+
+/// Reusable per-shard cursors for evaluating many seed sets against one
+/// frozen sketch.
+///
+/// [`seed_set_coverage`] allocates a fresh [`QueryCursor`] — a covered
+/// bitmap the size of the shard plus scratch space — per shard *per
+/// query*. For a single query that is the price of admission, but a batch
+/// of queries (dim-serve's `REQ_BATCH`) pays it N times for buffers that
+/// always come back all-zero. `SketchCursors` allocates once and
+/// [`QueryCursor::reset`]s between evaluations, which is the allocation
+/// amortization that makes batched queries cheaper than N singles.
+///
+/// Holds `&[CoverageShard]`, so many instances can serve one shared
+/// sketch concurrently (one per worker thread or per batch).
+pub struct SketchCursors<'a> {
+    shards: &'a [CoverageShard],
+    cursors: Vec<QueryCursor<'a>>,
+    /// True when the cursors carry coverage from a previous evaluation
+    /// and must be reset before the next one (skips the reset sweep on
+    /// the first query).
+    dirty: bool,
+}
+
+impl<'a> SketchCursors<'a> {
+    /// Allocates one cursor per shard, everything uncovered.
+    ///
+    /// # Panics
+    /// Panics if any shard's index is stale (`needs_prepare`).
+    pub fn new(shards: &'a [CoverageShard]) -> Self {
+        SketchCursors {
+            shards,
+            cursors: shards.iter().map(QueryCursor::new).collect(),
+            dirty: false,
         }
-        total += cursor.covered_count() as u64;
     }
-    total
+
+    /// Same contract as the free [`seed_set_coverage`], reusing this
+    /// instance's buffers: out-of-range and duplicate seed ids are
+    /// ignored, and the result is independent of any earlier evaluation.
+    pub fn seed_set_coverage(&mut self, seeds: &[u32]) -> u64 {
+        if self.dirty {
+            self.cursors.iter_mut().for_each(QueryCursor::reset);
+        }
+        self.dirty = !seeds.is_empty();
+        let mut total = 0u64;
+        for (shard, cursor) in self.shards.iter().zip(&mut self.cursors) {
+            for &u in seeds {
+                if (u as usize) < shard.num_sets() {
+                    cursor.cover(u);
+                }
+            }
+            total += cursor.covered_count() as u64;
+        }
+        total
+    }
+
+    /// The shards this evaluator reads.
+    pub fn shards(&self) -> &'a [CoverageShard] {
+        self.shards
+    }
 }
 
 /// Greedy maximum coverage over frozen shards with constraints: every
@@ -193,5 +244,24 @@ mod tests {
         let r = constrained_greedy(&[], 3, &[], &[]);
         assert!(r.seeds.is_empty());
         assert_eq!(seed_set_coverage(&[], &[1, 2]), 0);
+        assert_eq!(SketchCursors::new(&[]).seed_set_coverage(&[1, 2]), 0);
+    }
+
+    #[test]
+    fn sketch_cursors_reuse_is_invisible() {
+        let shards = two_shards();
+        let mut cursors = SketchCursors::new(&shards);
+        // Every evaluation equals a fresh single-query computation, in
+        // whatever order — including empty sets and repeats — so buffer
+        // reuse never leaks coverage between queries.
+        let queries: &[&[u32]] = &[&[0], &[], &[0, 1], &[4], &[0], &[0, 0, 99], &[]];
+        for &seeds in queries {
+            assert_eq!(
+                cursors.seed_set_coverage(seeds),
+                seed_set_coverage(&shards, seeds),
+                "{seeds:?}"
+            );
+        }
+        assert_eq!(cursors.shards().len(), 2);
     }
 }

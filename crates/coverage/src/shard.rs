@@ -225,6 +225,15 @@ impl CoverageShard {
     }
 }
 
+/// dim-serve shares one sketch across worker threads as
+/// `Arc<[CoverageShard]>`; keep the shard (and borrowing cursors)
+/// thread-shareable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CoverageShard>();
+    assert_send_sync::<QueryCursor<'_>>();
+};
+
 /// A read-only coverage evaluator over a prepared shard.
 ///
 /// Owns its covered labels and scratch space, so any number of cursors

@@ -1,12 +1,16 @@
 //! A blocking client for the query protocol — the substrate of
-//! `dim query` and of tests.
+//! `dim query`, `dim-loadgen`, and of tests.
 
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use dim_cluster::wire::{protocol_err, read_frame, write_frame};
 
-use crate::proto::{spread_estimate, QueryRequest, QueryResponse, SketchStats};
+use crate::proto::{
+    decode_response_batch, encode_batch, spread_estimate, QueryRequest, QueryResponse,
+    SketchStats, REQ_BATCH, RESP_BATCH,
+};
 
 /// A constrained top-k reply, with the spread estimate precomputed.
 #[derive(Clone, Debug, PartialEq)]
@@ -21,6 +25,70 @@ pub struct TopKResult {
     pub spread: f64,
 }
 
+/// Retry policy for [`QueryClient::connect_with`]: keep attempting until
+/// `deadline` elapses, sleeping a jittered exponential backoff between
+/// attempts — the same shape as the cluster rendezvous join path, so a
+/// client riding out a server restart behaves like a (re)joining worker.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectOptions {
+    /// Total time to keep retrying before giving up.
+    pub deadline: Duration,
+    /// First backoff delay; doubles per failed attempt up to
+    /// [`ConnectOptions::max_delay`].
+    pub base_delay: Duration,
+    /// Backoff cap.
+    pub max_delay: Duration,
+    /// Seed for the jitter stream (vary per client to avoid thundering
+    /// herds).
+    pub jitter_seed: u64,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            deadline: Duration::from_secs(10),
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x51ce_5eed,
+        }
+    }
+}
+
+/// Jittered exponential backoff, mirroring
+/// `dim_cluster::rendezvous::Backoff` (which sits behind the
+/// `proc-backend` feature and cannot be imported here): each delay is
+/// drawn uniformly from `[base/2, base]`, then the base doubles, capped.
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    rng_state: u64,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Backoff {
+            base,
+            cap,
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn splitmix64(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_delay(&mut self) -> Duration {
+        let base_ns = self.base.as_nanos() as u64;
+        let jittered = base_ns / 2 + self.splitmix64() % (base_ns / 2 + 1);
+        self.base = (self.base * 2).min(self.cap);
+        Duration::from_nanos(jittered)
+    }
+}
+
 /// One connection to a [`crate::Server`]. Requests are answered in order
 /// over a single stream; open one client per thread for parallel load.
 pub struct QueryClient {
@@ -28,11 +96,47 @@ pub struct QueryClient {
 }
 
 impl QueryClient {
-    /// Connects to a running server.
+    /// Connects to a running server (single attempt). Use
+    /// [`QueryClient::connect_with`] to ride out a restarting server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<QueryClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(QueryClient { stream })
+    }
+
+    /// Connects with retries: failed attempts back off with jitter until
+    /// `options.deadline` elapses, then the last error is returned. A
+    /// load-shed server accepts and then closes — that surfaces as an
+    /// error on first use, not here, so shed clients don't hammer the
+    /// accept queue.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        options: &ConnectOptions,
+    ) -> io::Result<QueryClient> {
+        // Resolve once: per-attempt resolution would charge DNS latency
+        // against the retry budget.
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let deadline = Instant::now() + options.deadline;
+        let mut backoff = Backoff::new(options.base_delay, options.max_delay, options.jitter_seed);
+        loop {
+            match QueryClient::connect(&addrs[..]) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    let delay = backoff.next_delay();
+                    let now = Instant::now();
+                    if now + delay >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(delay);
+                }
+            }
+        }
     }
 
     /// Sends one request and decodes the reply. A server-side
@@ -52,6 +156,64 @@ impl QueryClient {
             }
             resp => Ok(resp),
         }
+    }
+
+    /// Sends a pipelined batch in one frame and returns the replies in
+    /// request order. Per-query failures come back as
+    /// [`QueryResponse::Error`] entries; only wire-level failures are
+    /// `Err`. Empty input short-circuits without touching the wire.
+    pub fn batch(&mut self, requests: &[QueryRequest]) -> io::Result<Vec<QueryResponse>> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        write_frame(&mut self.stream, REQ_BATCH, &encode_batch(requests))?;
+        let (opcode, body) = read_frame(&mut self.stream)?;
+        if opcode != RESP_BATCH {
+            // A batch-level failure (e.g. malformed frame) is one error
+            // response.
+            return match QueryResponse::decode(opcode, &body) {
+                Some(QueryResponse::Error { code, message }) => {
+                    Err(protocol_err(&format!("server error {code}: {message}")))
+                }
+                _ => Err(protocol_err(&format!(
+                    "unexpected batch reply (opcode {opcode:#04x})"
+                ))),
+            };
+        }
+        let replies = decode_response_batch(&body)
+            .ok_or_else(|| protocol_err("malformed batch response"))?;
+        if replies.len() != requests.len() {
+            return Err(protocol_err(&format!(
+                "batch reply count {} != request count {}",
+                replies.len(),
+                requests.len()
+            )));
+        }
+        Ok(replies)
+    }
+
+    /// Coverage and estimated spread for many seed sets in one frame.
+    pub fn spread_batch(&mut self, seed_sets: &[Vec<u32>]) -> io::Result<Vec<(u64, f64)>> {
+        let requests: Vec<QueryRequest> = seed_sets
+            .iter()
+            .map(|seeds| QueryRequest::Spread {
+                seeds: seeds.clone(),
+            })
+            .collect();
+        self.batch(&requests)?
+            .into_iter()
+            .map(|resp| match resp {
+                QueryResponse::Spread {
+                    covered,
+                    theta,
+                    num_nodes,
+                } => Ok((covered, spread_estimate(covered, theta, num_nodes))),
+                QueryResponse::Error { code, message } => {
+                    Err(protocol_err(&format!("server error {code}: {message}")))
+                }
+                other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
+            })
+            .collect()
     }
 
     /// Coverage and estimated spread of an arbitrary seed set.
@@ -98,5 +260,73 @@ impl QueryClient {
             QueryResponse::Stats(s) => Ok(s),
             other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
         }
+    }
+
+    /// Admin: ask the server to hot-swap to the latest committed store
+    /// generation. Returns `(generation, changed)`.
+    pub fn reload(&mut self) -> io::Result<(u64, bool)> {
+        match self.expect(&QueryRequest::Reload)? {
+            QueryResponse::Reload {
+                generation,
+                changed,
+            } => Ok((generation, changed)),
+            other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_within_jitter_bounds() {
+        let mut b = Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_millis(400),
+            7,
+        );
+        let mut expected_base = Duration::from_millis(50);
+        for _ in 0..6 {
+            let d = b.next_delay();
+            assert!(d >= expected_base / 2, "{d:?} < {expected_base:?}/2");
+            assert!(d <= expected_base, "{d:?} > {expected_base:?}");
+            expected_base = (expected_base * 2).min(Duration::from_millis(400));
+        }
+        // Two different seeds draw different jitter streams.
+        let base = Duration::from_secs(500);
+        let a = Backoff::new(base, base, 1).next_delay();
+        let c = Backoff::new(base, base, 2).next_delay();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn connect_with_gives_up_at_deadline() {
+        // A port nothing listens on: bind-then-drop reserves one.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let start = Instant::now();
+        let options = ConnectOptions {
+            deadline: Duration::from_millis(300),
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(50),
+            jitter_seed: 3,
+        };
+        assert!(QueryClient::connect_with(addr, &options).is_err());
+        let elapsed = start.elapsed();
+        assert!(elapsed < Duration::from_secs(5), "kept retrying: {elapsed:?}");
+    }
+
+    #[test]
+    fn connect_with_succeeds_once_server_appears() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept in the background so the TCP handshake completes.
+        let accept = std::thread::spawn(move || listener.accept().map(|_| ()));
+        let client = QueryClient::connect_with(addr, &ConnectOptions::default());
+        assert!(client.is_ok());
+        accept.join().unwrap().unwrap();
     }
 }

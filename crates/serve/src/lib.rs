@@ -15,16 +15,26 @@
 //! * **Stats/health** — sketch shape plus a query counter.
 //!
 //! The wire protocol rides the cluster crate's length-prefixed frames
-//! with its own strict codecs ([`proto`]); the [`Server`] is a
-//! thread-per-connection pool over an immutable [`Sketch`] (queries
-//! evaluate through read-only [`dim_coverage::QueryCursor`]s, so no
-//! locking is involved), and [`QueryClient`] is the matching blocking
-//! client used by `dim query`.
+//! with its own strict codecs ([`proto`]), including a pipelined
+//! `REQ_BATCH` opcode (one frame, N queries, replies in request order)
+//! and an admin `REQ_RELOAD`. The [`Server`] is a bounded worker pool
+//! over a shared accept queue serving a hot-swappable generation-tagged
+//! [`Sketch`] (queries evaluate through read-only
+//! [`dim_coverage::QueryCursor`]s pinned to one generation, so no
+//! locking sits on the answer path), with connection-limit load shedding
+//! and latency/throughput metrics ([`ServeMetrics`]). [`QueryClient`] is
+//! the matching blocking client used by `dim query` and `dim-loadgen`,
+//! with rendezvous-style retrying connects ([`ConnectOptions`]).
 
 pub mod client;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
-pub use client::{QueryClient, TopKResult};
-pub use proto::{spread_estimate, QueryRequest, QueryResponse, SketchStats};
-pub use server::{Server, Sketch};
+pub use client::{ConnectOptions, QueryClient, TopKResult};
+pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use proto::{
+    decode_batch, decode_response_batch, encode_batch, encode_response_batch, spread_estimate,
+    QueryRequest, QueryResponse, SketchStats,
+};
+pub use server::{ReloadError, ReloadSource, ServeOptions, Server, Sketch};

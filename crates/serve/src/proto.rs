@@ -14,16 +14,31 @@ use dim_cluster::ops::{put_u32, put_u64, Reader};
 pub const REQ_SPREAD: u8 = 0x01;
 pub const REQ_TOP_K: u8 = 0x02;
 pub const REQ_STATS: u8 = 0x03;
+/// A pipelined batch of read-only queries: one frame, N queries, N
+/// replies in request order. Not a [`QueryRequest`] variant — batches are
+/// framed by [`encode_batch`]/[`decode_batch`] and cannot nest.
+pub const REQ_BATCH: u8 = 0x04;
+/// Admin: re-scan the snapshot store and hot-swap to the latest
+/// generation.
+pub const REQ_RELOAD: u8 = 0x05;
 
 /// Response opcodes (request opcode with the high bit set, plus error).
 pub const RESP_SPREAD: u8 = 0x81;
 pub const RESP_TOP_K: u8 = 0x82;
 pub const RESP_STATS: u8 = 0x83;
+pub const RESP_BATCH: u8 = 0x84;
+pub const RESP_RELOAD: u8 = 0x85;
 pub const RESP_ERROR: u8 = 0xEE;
 
 /// Error codes carried by [`QueryResponse::Error`].
 pub const ERR_MALFORMED: u8 = 1;
 pub const ERR_UNSUPPORTED: u8 = 2;
+/// The server is at its connection limit; the connection is closed after
+/// this reply. Retry later against a less loaded server.
+pub const ERR_OVERLOADED: u8 = 3;
+/// A reload was requested but failed (no store configured, or the store
+/// scan/load errored). The serving sketch is unchanged.
+pub const ERR_RELOAD: u8 = 4;
 
 /// One influence query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +54,8 @@ pub enum QueryRequest {
     },
     /// Sketch statistics and a liveness check.
     Stats,
+    /// Admin: hot-swap to the latest committed store generation.
+    Reload,
 }
 
 /// Sketch-wide statistics (the stats/health reply).
@@ -54,6 +71,14 @@ pub struct SketchStats {
     pub total_rr_size: u64,
     /// Queries answered since the server started.
     pub queries_answered: u64,
+    /// Store generation of the sketch that answered *this* request.
+    pub generation: u64,
+    /// Connections refused with [`ERR_OVERLOADED`] since start.
+    pub shed: u64,
+    /// Query-latency percentiles (µs) since start.
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
 }
 
 /// One reply. `covered`/`theta`/`num_nodes` travel together so a client
@@ -73,6 +98,10 @@ pub enum QueryResponse {
         num_nodes: u64,
     },
     Stats(SketchStats),
+    /// Reply to [`QueryRequest::Reload`]: the generation now serving, and
+    /// whether the request actually swapped sketches (`false` when the
+    /// store had nothing newer).
+    Reload { generation: u64, changed: bool },
     Error { code: u8, message: String },
 }
 
@@ -114,6 +143,7 @@ impl QueryRequest {
             QueryRequest::Spread { .. } => REQ_SPREAD,
             QueryRequest::TopK { .. } => REQ_TOP_K,
             QueryRequest::Stats => REQ_STATS,
+            QueryRequest::Reload => REQ_RELOAD,
         }
     }
 
@@ -131,7 +161,7 @@ impl QueryRequest {
                 put_ids(&mut out, include);
                 put_ids(&mut out, exclude);
             }
-            QueryRequest::Stats => {}
+            QueryRequest::Stats | QueryRequest::Reload => {}
         }
         out
     }
@@ -149,11 +179,87 @@ impl QueryRequest {
                 exclude: take_ids(&mut r)?,
             },
             REQ_STATS => QueryRequest::Stats,
+            REQ_RELOAD => QueryRequest::Reload,
             _ => return None,
         };
         r.finish()?;
         Some(req)
     }
+}
+
+/// Encodes a batch body: `count u32`, then per entry `opcode u8 ·
+/// body_len u32 · body`. One frame carries the whole pipeline; the reply
+/// is a [`RESP_BATCH`] frame with the responses in request order.
+pub fn encode_batch(requests: &[QueryRequest]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, requests.len() as u32);
+    for req in requests {
+        let body = req.encode();
+        out.push(req.opcode());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Strict decode of a [`REQ_BATCH`] body. Only read-only queries may ride
+/// in a batch: a nested batch or a [`QueryRequest::Reload`] entry rejects
+/// the whole frame, as does any malformed entry. The entry count is
+/// bounds-checked against the body length (≥ 5 bytes per entry) before
+/// any allocation.
+pub fn decode_batch(body: &[u8]) -> Option<Vec<QueryRequest>> {
+    let mut r = Reader::new(body);
+    let count = r.u32()?;
+    if count as u64 * 5 > r.remaining() as u64 {
+        return None;
+    }
+    let mut requests = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let opcode = r.u8()?;
+        if opcode == REQ_BATCH || opcode == REQ_RELOAD {
+            return None;
+        }
+        let len = r.u32()? as usize;
+        let entry = r.take(len)?;
+        requests.push(QueryRequest::decode(opcode, entry)?);
+    }
+    r.finish()?;
+    Some(requests)
+}
+
+/// Encodes a [`RESP_BATCH`] body: same entry framing as [`encode_batch`].
+pub fn encode_response_batch(responses: &[QueryResponse]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, responses.len() as u32);
+    for resp in responses {
+        let body = resp.encode();
+        out.push(resp.opcode());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Strict decode of a [`RESP_BATCH`] body. Per-query failures travel as
+/// [`QueryResponse::Error`] entries; nested batches are rejected.
+pub fn decode_response_batch(body: &[u8]) -> Option<Vec<QueryResponse>> {
+    let mut r = Reader::new(body);
+    let count = r.u32()?;
+    if count as u64 * 5 > r.remaining() as u64 {
+        return None;
+    }
+    let mut responses = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let opcode = r.u8()?;
+        if opcode == RESP_BATCH {
+            return None;
+        }
+        let len = r.u32()? as usize;
+        let entry = r.take(len)?;
+        responses.push(QueryResponse::decode(opcode, entry)?);
+    }
+    r.finish()?;
+    Some(responses)
 }
 
 impl QueryResponse {
@@ -163,6 +269,7 @@ impl QueryResponse {
             QueryResponse::Spread { .. } => RESP_SPREAD,
             QueryResponse::TopK { .. } => RESP_TOP_K,
             QueryResponse::Stats(_) => RESP_STATS,
+            QueryResponse::Reload { .. } => RESP_RELOAD,
             QueryResponse::Error { .. } => RESP_ERROR,
         }
     }
@@ -202,6 +309,18 @@ impl QueryResponse {
                 put_u32(&mut out, s.shard_count);
                 put_u64(&mut out, s.total_rr_size);
                 put_u64(&mut out, s.queries_answered);
+                put_u64(&mut out, s.generation);
+                put_u64(&mut out, s.shed);
+                put_u64(&mut out, s.p50_us);
+                put_u64(&mut out, s.p95_us);
+                put_u64(&mut out, s.p99_us);
+            }
+            QueryResponse::Reload {
+                generation,
+                changed,
+            } => {
+                put_u64(&mut out, *generation);
+                out.push(*changed as u8);
             }
             QueryResponse::Error { code, message } => {
                 out.push(*code);
@@ -239,7 +358,20 @@ impl QueryResponse {
                 shard_count: r.u32()?,
                 total_rr_size: r.u64()?,
                 queries_answered: r.u64()?,
+                generation: r.u64()?,
+                shed: r.u64()?,
+                p50_us: r.u64()?,
+                p95_us: r.u64()?,
+                p99_us: r.u64()?,
             }),
+            RESP_RELOAD => QueryResponse::Reload {
+                generation: r.u64()?,
+                changed: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+            },
             RESP_ERROR => {
                 let code = r.u8()?;
                 let len = r.u32()? as usize;
@@ -282,6 +414,7 @@ mod tests {
             exclude: vec![3],
         });
         roundtrip_req(QueryRequest::Stats);
+        roundtrip_req(QueryRequest::Reload);
     }
 
     #[test]
@@ -304,11 +437,92 @@ mod tests {
             shard_count: 4,
             total_rr_size: 300,
             queries_answered: 12,
+            generation: 3,
+            shed: 2,
+            p50_us: 11,
+            p95_us: 220,
+            p99_us: 900,
         }));
+        roundtrip_resp(QueryResponse::Reload {
+            generation: 7,
+            changed: true,
+        });
+        roundtrip_resp(QueryResponse::Reload {
+            generation: 7,
+            changed: false,
+        });
         roundtrip_resp(QueryResponse::Error {
             code: ERR_MALFORMED,
             message: "bad frame".into(),
         });
+    }
+
+    #[test]
+    fn reload_bool_is_strict() {
+        let mut body = Vec::new();
+        put_u64(&mut body, 7);
+        body.push(2); // neither 0 nor 1
+        assert_eq!(QueryResponse::decode(RESP_RELOAD, &body), None);
+    }
+
+    #[test]
+    fn batch_roundtrips_in_order() {
+        let reqs = vec![
+            QueryRequest::Stats,
+            QueryRequest::Spread { seeds: vec![1, 2] },
+            QueryRequest::TopK {
+                k: 3,
+                include: vec![0],
+                exclude: vec![],
+            },
+            QueryRequest::Spread { seeds: vec![] },
+        ];
+        assert_eq!(decode_batch(&encode_batch(&reqs)), Some(reqs));
+        assert_eq!(decode_batch(&encode_batch(&[])), Some(vec![]));
+
+        let resps = vec![
+            QueryResponse::Spread {
+                covered: 1,
+                theta: 2,
+                num_nodes: 3,
+            },
+            QueryResponse::Error {
+                code: ERR_UNSUPPORTED,
+                message: "nope".into(),
+            },
+        ];
+        assert_eq!(decode_response_batch(&encode_response_batch(&resps)), Some(resps));
+    }
+
+    #[test]
+    fn batch_rejects_nesting_admin_and_truncation() {
+        // A Reload entry rejects the whole frame: batches are read-only.
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        body.push(REQ_RELOAD);
+        put_u32(&mut body, 0);
+        assert_eq!(decode_batch(&body), None);
+        // So does a nested batch.
+        let inner = encode_batch(&[QueryRequest::Stats]);
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        body.push(REQ_BATCH);
+        put_u32(&mut body, inner.len() as u32);
+        body.extend_from_slice(&inner);
+        assert_eq!(decode_batch(&body), None);
+        // Every truncation of a valid batch fails.
+        let body = encode_batch(&[
+            QueryRequest::Spread { seeds: vec![1] },
+            QueryRequest::Stats,
+        ]);
+        for cut in 0..body.len() {
+            assert_eq!(decode_batch(&body[..cut]), None, "prefix of {cut} bytes");
+        }
+        // Hostile count fails before allocation.
+        let mut body = Vec::new();
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(decode_batch(&body), None);
+        assert_eq!(decode_response_batch(&body), None);
     }
 
     #[test]

@@ -1,21 +1,53 @@
-//! The query server: a frozen [`Sketch`] shared by a thread-per-connection
-//! pool behind a nonblocking accept loop.
+//! The query server: a bounded worker pool over a shared accept queue,
+//! serving a hot-swappable generation-tagged [`Sketch`].
+//!
+//! # Architecture
+//!
+//! One accept thread owns the listener. Each accepted connection is
+//! registered (so shutdown can unblock its reader) and pushed onto an
+//! mpsc queue; a fixed pool of worker threads pulls connections off the
+//! queue and runs each request/reply loop to completion. The pool bounds
+//! CPU concurrency — `workers` connections are served at once, further
+//! accepted connections wait in the queue — while `max_conns` bounds
+//! admission: past it, a connection gets one typed
+//! `RESP_ERROR`/[`ERR_OVERLOADED`] reply and is closed (load shedding,
+//! counted in [`ServeMetrics::shed`]).
+//!
+//! # Hot reload
+//!
+//! The serving sketch lives behind `RwLock<Arc<SketchState>>`. Every
+//! request (or batch) clones the `Arc` once — pinning a generation — and
+//! answers entirely against it, so a concurrent [`Server::reload`] swaps
+//! the pointer without ever stalling or corrupting an in-flight query:
+//! readers on the old generation finish there; the next request sees the
+//! new one. Reloads re-scan a generation store
+//! ([`dim_store::load_latest_snapshot`]) and swap only when a newer
+//! committed generation exists.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dim_cluster::wire::{read_frame, write_frame};
-use dim_coverage::{constrained_greedy, seed_set_coverage, CoverageShard};
-use dim_store::Snapshot;
+use dim_coverage::{constrained_greedy, seed_set_coverage, CoverageShard, SketchCursors};
+use dim_store::{Snapshot, SnapshotRequest, StoreError};
 
-use crate::proto::{QueryRequest, QueryResponse, SketchStats, ERR_MALFORMED};
+use crate::metrics::{LatencyHistogram, ServeMetrics};
+use crate::proto::{
+    decode_batch, encode_response_batch, QueryRequest, QueryResponse, SketchStats, ERR_MALFORMED,
+    ERR_OVERLOADED, ERR_RELOAD, ERR_UNSUPPORTED, REQ_BATCH, RESP_BATCH,
+};
 
 /// How often the accept loop polls the stop flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// How often an idle worker polls the stop flag.
+const WORKER_POLL: Duration = Duration::from_millis(50);
 
 /// An immutable in-memory RR sketch: the per-machine coverage shards of
 /// one sampling run plus the scalars queries need. Queries evaluate
@@ -73,7 +105,9 @@ impl Sketch {
         &self.shards
     }
 
-    /// Answers one query against the frozen sketch.
+    /// Answers one query against the frozen sketch. [`QueryRequest::Reload`]
+    /// is a server-level operation, not a sketch query, and returns a
+    /// typed [`ERR_UNSUPPORTED`] error here.
     pub fn answer(&self, req: &QueryRequest) -> QueryResponse {
         match req {
             QueryRequest::Spread { seeds } => QueryResponse::Spread {
@@ -101,53 +135,168 @@ impl Sketch {
                 shard_count: self.shards.len() as u32,
                 total_rr_size: self.total_rr_size,
                 queries_answered: 0, // filled in by the server
+                ..SketchStats::default()
             }),
+            QueryRequest::Reload => QueryResponse::Error {
+                code: ERR_UNSUPPORTED,
+                message: "reload is a server operation, not a sketch query".into(),
+            },
         }
     }
 }
 
-struct Shared {
-    sketch: Sketch,
-    stop: AtomicBool,
-    queries: AtomicU64,
-    /// Clones of every accepted stream, so shutdown can unblock readers.
-    conns: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
+/// Where a server re-reads its sketch from on [`Server::reload`].
+pub struct ReloadSource {
+    /// Generation store root (see `dim_store::generation`).
+    pub root: PathBuf,
+    /// Provenance every loaded snapshot must match.
+    pub request: SnapshotRequest,
+    /// Node count of the graph the snapshots describe.
+    pub num_nodes: usize,
 }
 
-/// A running `dim serve` instance: one accept thread plus one handler
-/// thread per live connection, all sharing the sketch read-only.
+/// Server tuning knobs; `Default` matches the PR-5 prototype's behavior
+/// (no reload source, generation 0) with bounded threading.
+pub struct ServeOptions {
+    /// Worker threads — connections served concurrently.
+    pub workers: usize,
+    /// Admission limit: connections past this are shed with
+    /// [`ERR_OVERLOADED`].
+    pub max_conns: usize,
+    /// Generation id of the initial sketch (0 for a flat/unversioned
+    /// store).
+    pub generation: u64,
+    /// Store to re-scan on reload; `None` makes reload a typed error.
+    pub reload: Option<ReloadSource>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 8,
+            max_conns: 1024,
+            generation: 0,
+            reload: None,
+        }
+    }
+}
+
+/// Why a [`Server::reload`] did not swap sketches.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The server was started without a [`ReloadSource`].
+    Unsupported,
+    /// Scanning or loading the store failed; the serving sketch is
+    /// unchanged.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Unsupported => write!(f, "server has no snapshot store to reload from"),
+            ReloadError::Store(e) => write!(f, "reload failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// One generation of the serving sketch. Requests pin a generation by
+/// cloning the `Arc` and answer entirely against it.
+struct SketchState {
+    generation: u64,
+    sketch: Sketch,
+}
+
+struct Shared {
+    state: RwLock<Arc<SketchState>>,
+    reload_source: Option<ReloadSource>,
+    /// Serializes reloads (the state lock is only held for the swap).
+    reload_lock: Mutex<()>,
+    stop: AtomicBool,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    reloads: AtomicU64,
+    shed: AtomicU64,
+    latency: LatencyHistogram,
+    /// Clones of every registered stream keyed by connection id, so
+    /// shutdown can unblock readers; workers reap entries as their
+    /// connections finish, keeping the map bounded by live connections.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    max_conns: usize,
+}
+
+impl Shared {
+    /// Pins the current generation.
+    fn pinned(&self) -> Arc<SketchState> {
+        Arc::clone(&self.state.read().unwrap())
+    }
+}
+
+/// A running `dim serve` instance: one accept thread plus a bounded
+/// worker pool, all sharing the (hot-swappable) sketch read-only.
 ///
 /// Shutdown is deterministic: [`Server::shutdown`] (or drop) stops the
-/// accept loop, closes every connection to unblock its reader, and joins
-/// all threads — no orphan threads or sockets survive it.
+/// accept loop, closes every registered connection to unblock its reader,
+/// and joins all threads — no orphan threads or sockets survive it.
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `sketch`.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `sketch`
+    /// with default [`ServeOptions`].
     pub fn start(addr: impl ToSocketAddrs, sketch: Sketch) -> io::Result<Server> {
+        Server::start_with(addr, sketch, ServeOptions::default())
+    }
+
+    /// Binds `addr` and starts serving `sketch` with explicit options.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        sketch: Sketch,
+        options: ServeOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            sketch,
+            state: RwLock::new(Arc::new(SketchState {
+                generation: options.generation,
+                sketch,
+            })),
+            reload_source: options.reload,
+            reload_lock: Mutex::new(()),
             stop: AtomicBool::new(false),
             queries: AtomicU64::new(0),
-            conns: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
+            batches: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            conns: Mutex::new(HashMap::new()),
+            max_conns: options.max_conns.max(1),
         });
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..options.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(rx, shared))
+            })
+            .collect();
         let accept = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, shared))
+            std::thread::spawn(move || accept_loop(listener, shared, tx))
         };
         Ok(Server {
             addr,
             shared,
             accept: Some(accept),
+            workers,
         })
     }
 
@@ -156,10 +305,46 @@ impl Server {
         self.addr
     }
 
-    /// Queries answered so far (all request kinds, excluding malformed
-    /// frames).
+    /// Queries answered so far (batch entries each count once; malformed
+    /// frames and reloads do not).
     pub fn queries_answered(&self) -> u64 {
         self.shared.queries.load(Ordering::Relaxed)
+    }
+
+    /// Store generation currently serving.
+    pub fn generation(&self) -> u64 {
+        self.shared.state.read().unwrap().generation
+    }
+
+    /// Connections currently registered (being served or queued).
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
+    }
+
+    /// A point-in-time snapshot of the serving metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        let s = &self.shared;
+        ServeMetrics {
+            active_generation: s.state.read().unwrap().generation,
+            queries_answered: s.queries.load(Ordering::Relaxed),
+            batches_answered: s.batches.load(Ordering::Relaxed),
+            reloads: s.reloads.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            live_connections: s.conns.lock().unwrap().len() as u64,
+            p50_us: s.latency.quantile(0.5),
+            p95_us: s.latency.quantile(0.95),
+            p99_us: s.latency.quantile(0.99),
+            max_us: s.latency.max(),
+        }
+    }
+
+    /// Re-scans the reload source and atomically swaps to the newest
+    /// committed generation. Returns `(generation, changed)`; in-flight
+    /// queries finish on their pinned generation either way. Also
+    /// triggered over the wire by [`QueryRequest::Reload`] (and by SIGHUP
+    /// in the CLI).
+    pub fn reload(&self) -> Result<(u64, bool), ReloadError> {
+        try_reload(&self.shared)
     }
 
     /// Stops accepting, closes every live connection, and joins all
@@ -170,16 +355,17 @@ impl Server {
 
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Join the accept loop first: afterwards the connection list is
-        // complete, so closing it unblocks every handler.
+        // Join the accept loop first: afterwards the registry is complete
+        // (and the queue's sender is dropped), so closing every
+        // registered stream unblocks both in-service readers and queued
+        // connections, and the workers drain to Disconnected.
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for conn in self.shared.conns.lock().unwrap().drain(..) {
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
-        let handlers: Vec<_> = self.shared.handlers.lock().unwrap().drain(..).collect();
-        for h in handlers {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -191,18 +377,55 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+fn try_reload(shared: &Shared) -> Result<(u64, bool), ReloadError> {
+    let src = shared
+        .reload_source
+        .as_ref()
+        .ok_or(ReloadError::Unsupported)?;
+    let _guard = shared.reload_lock.lock().unwrap();
+    let current = shared.state.read().unwrap().generation;
+    let (generation, snapshot) =
+        dim_store::load_latest_snapshot(&src.root, &src.request).map_err(ReloadError::Store)?;
+    if generation == current {
+        return Ok((generation, false));
+    }
+    let sketch = Sketch::from_snapshot(src.num_nodes, snapshot);
+    *shared.state.write().unwrap() = Arc::new(SketchState { generation, sketch });
+    shared.reloads.fetch_add(1, Ordering::Relaxed);
+    Ok((generation, true))
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, queue: Sender<(u64, TcpStream)>) {
+    let mut next_id = 0u64;
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
                     continue;
                 }
+                let mut conns = shared.conns.lock().unwrap();
+                if conns.len() >= shared.max_conns {
+                    drop(conns);
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    let resp = QueryResponse::Error {
+                        code: ERR_OVERLOADED,
+                        message: format!(
+                            "connection limit reached ({} live)",
+                            shared.max_conns
+                        ),
+                    };
+                    let _ = write_frame(&mut stream, resp.opcode(), &resp.encode());
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap().push(clone);
-                    let shared2 = Arc::clone(&shared);
-                    let handle = std::thread::spawn(move || serve_connection(stream, shared2));
-                    shared.handlers.lock().unwrap().push(handle);
+                    let id = next_id;
+                    next_id += 1;
+                    conns.insert(id, clone);
+                    drop(conns);
+                    if queue.send((id, stream)).is_err() {
+                        break;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
@@ -211,29 +434,117 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// One worker: pull connections off the shared queue and serve each to
+/// completion, then reap its registry entry.
+fn worker_loop(queue: Arc<Mutex<Receiver<(u64, TcpStream)>>>, shared: Arc<Shared>) {
+    loop {
+        let next = {
+            let queue = queue.lock().unwrap();
+            queue.recv_timeout(WORKER_POLL)
+        };
+        match next {
+            Ok((id, stream)) => {
+                serve_connection(stream, &shared);
+                if let Some(conn) = shared.conns.lock().unwrap().remove(&id) {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Answers one decoded query against a pinned generation, recording
+/// latency and the query count. Spread queries inside a batch evaluate
+/// through the batch's reusable [`SketchCursors`] (the allocation
+/// amortization `REQ_BATCH` exists for).
+fn answer_query(
+    shared: &Shared,
+    state: &SketchState,
+    req: &QueryRequest,
+    cursors: Option<&mut SketchCursors<'_>>,
+) -> QueryResponse {
+    let start = Instant::now();
+    let mut resp = match (req, cursors) {
+        (QueryRequest::Spread { seeds }, Some(cursors)) => QueryResponse::Spread {
+            covered: cursors.seed_set_coverage(seeds),
+            theta: state.sketch.theta(),
+            num_nodes: state.sketch.num_nodes() as u64,
+        },
+        (req, _) => state.sketch.answer(req),
+    };
+    let answered = shared.queries.fetch_add(1, Ordering::Relaxed) + 1;
+    shared
+        .latency
+        .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    if let QueryResponse::Stats(s) = &mut resp {
+        s.queries_answered = answered;
+        s.generation = state.generation;
+        s.shed = shared.shed.load(Ordering::Relaxed);
+        s.p50_us = shared.latency.quantile(0.5);
+        s.p95_us = shared.latency.quantile(0.95);
+        s.p99_us = shared.latency.quantile(0.99);
+    }
+    resp
+}
+
 /// One connection: a strict request/reply loop until EOF, a wire error,
 /// or server shutdown (which closes the stream under us).
-fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     loop {
         let (opcode, body) = match read_frame(&mut stream) {
             Ok(frame) => frame,
             Err(_) => break, // EOF, shutdown, or a framing violation
         };
-        let resp = match QueryRequest::decode(opcode, &body) {
-            Some(req) => {
-                let mut resp = shared.sketch.answer(&req);
-                let answered = shared.queries.fetch_add(1, Ordering::Relaxed) + 1;
-                if let QueryResponse::Stats(s) = &mut resp {
-                    s.queries_answered = answered;
-                }
-                resp
-            }
-            None => QueryResponse::Error {
-                code: ERR_MALFORMED,
-                message: format!("malformed request frame (opcode {opcode:#04x})"),
-            },
+        let malformed = || QueryResponse::Error {
+            code: ERR_MALFORMED,
+            message: format!("malformed request frame (opcode {opcode:#04x})"),
         };
-        if write_frame(&mut stream, resp.opcode(), &resp.encode()).is_err() {
+        let (resp_opcode, payload) = if opcode == REQ_BATCH {
+            match decode_batch(&body) {
+                Some(requests) => {
+                    // The whole batch answers against one pinned
+                    // generation and one set of reusable cursors.
+                    let state = shared.pinned();
+                    let mut cursors = SketchCursors::new(state.sketch.shards());
+                    let responses: Vec<QueryResponse> = requests
+                        .iter()
+                        .map(|req| answer_query(shared, &state, req, Some(&mut cursors)))
+                        .collect();
+                    shared.batches.fetch_add(1, Ordering::Relaxed);
+                    (RESP_BATCH, encode_response_batch(&responses))
+                }
+                None => {
+                    let resp = malformed();
+                    (resp.opcode(), resp.encode())
+                }
+            }
+        } else {
+            let resp = match QueryRequest::decode(opcode, &body) {
+                Some(QueryRequest::Reload) => match try_reload(shared) {
+                    Ok((generation, changed)) => QueryResponse::Reload {
+                        generation,
+                        changed,
+                    },
+                    Err(e) => QueryResponse::Error {
+                        code: ERR_RELOAD,
+                        message: e.to_string(),
+                    },
+                },
+                Some(req) => {
+                    let state = shared.pinned();
+                    answer_query(shared, &state, &req, None)
+                }
+                None => malformed(),
+            };
+            (resp.opcode(), resp.encode())
+        };
+        if write_frame(&mut stream, resp_opcode, &payload).is_err() {
             break;
         }
         if shared.stop.load(Ordering::SeqCst) {
@@ -246,6 +557,10 @@ fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
 mod tests {
     use super::*;
     use crate::client::QueryClient;
+    use crate::proto::encode_batch;
+    use dim_cluster::SamplerSpec;
+    use dim_coverage::PooledSets;
+    use std::sync::atomic::AtomicUsize;
 
     /// The paper's Fig. 2 instance split over two shards.
     fn sketch() -> Sketch {
@@ -287,6 +602,10 @@ mod tests {
         assert_eq!(stats.shard_count, 2);
         assert_eq!(stats.total_rr_size, 10);
         assert_eq!(stats.queries_answered, 2); // the spread query + this one
+        assert_eq!(stats.generation, 0);
+        assert_eq!(stats.shed, 0);
+        // Both answered queries are in the histogram by now.
+        assert!(stats.p99_us >= stats.p50_us);
         assert_eq!(server.queries_answered(), 2);
         server.shutdown();
     }
@@ -337,5 +656,248 @@ mod tests {
         let shard = CoverageShard::from_records(4, [&[0u32][..]]);
         let result = std::panic::catch_unwind(|| Sketch::new(5, 1, 1, vec![shard]));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn batch_replies_equal_singles_in_request_order() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut single = QueryClient::connect(server.local_addr()).unwrap();
+        let mut batched = QueryClient::connect(server.local_addr()).unwrap();
+        let requests = vec![
+            QueryRequest::Spread { seeds: vec![0, 1] },
+            QueryRequest::TopK {
+                k: 2,
+                include: vec![],
+                exclude: vec![1],
+            },
+            QueryRequest::Spread { seeds: vec![] },
+            QueryRequest::Spread { seeds: vec![4] },
+        ];
+        let replies = batched.batch(&requests).unwrap();
+        assert_eq!(replies.len(), requests.len());
+        for (req, got) in requests.iter().zip(&replies) {
+            // Stats replies embed counters, so compare non-stats queries
+            // only — and they must match a fresh single-shot answer.
+            let expect = single.request(req).unwrap();
+            assert_eq!(got, &expect, "{req:?}");
+        }
+        // One frame, four queries.
+        assert_eq!(server.metrics().batches_answered, 1);
+        assert_eq!(server.queries_answered(), 4 + requests.len() as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_stats_count_every_entry() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut client = QueryClient::connect(server.local_addr()).unwrap();
+        let replies = client
+            .batch(&[
+                QueryRequest::Spread { seeds: vec![0] },
+                QueryRequest::Stats,
+            ])
+            .unwrap();
+        match &replies[1] {
+            QueryResponse::Stats(s) => {
+                assert_eq!(s.queries_answered, 2);
+                assert_eq!(s.generation, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_inside_batch_is_malformed() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut body = Vec::new();
+        dim_cluster::ops::put_u32(&mut body, 1);
+        body.push(crate::proto::REQ_RELOAD);
+        dim_cluster::ops::put_u32(&mut body, 0);
+        write_frame(&mut stream, REQ_BATCH, &body).unwrap();
+        let (op, resp) = read_frame(&mut stream).unwrap();
+        match QueryResponse::decode(op, &resp) {
+            Some(QueryResponse::Error { code, .. }) => assert_eq!(code, ERR_MALFORMED),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+        assert_eq!(server.queries_answered(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_error() {
+        let server = Server::start_with(
+            "127.0.0.1:0",
+            sketch(),
+            ServeOptions {
+                workers: 2,
+                max_conns: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut first = QueryClient::connect(addr).unwrap();
+        first.spread(&[0]).unwrap(); // guarantees registration
+        // The second connection is shed with a typed reply, then closed.
+        let mut second = TcpStream::connect(addr).unwrap();
+        let (op, body) = read_frame(&mut second).unwrap();
+        match QueryResponse::decode(op, &body) {
+            Some(QueryResponse::Error { code, .. }) => assert_eq!(code, ERR_OVERLOADED),
+            other => panic!("expected overload error, got {other:?}"),
+        }
+        assert_eq!(server.metrics().shed, 1);
+        // The first connection is unaffected, and its stats see the shed.
+        let stats = first.stats().unwrap();
+        assert_eq!(stats.shed, 1);
+        // Releasing the slot re-admits new connections.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(mut c) = QueryClient::connect(addr) {
+                if c.spread(&[0]).is_ok() {
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "slot never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn finished_connections_are_reaped() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        for _ in 0..5 {
+            let mut client = QueryClient::connect(server.local_addr()).unwrap();
+            client.spread(&[0]).unwrap();
+            drop(client);
+        }
+        // Workers reap asynchronously after EOF; the registry must drain
+        // back to zero instead of growing per connection.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.live_connections() > 0 {
+            assert!(Instant::now() < deadline, "connections never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.queries_answered(), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_without_store_is_typed_error() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        assert!(matches!(server.reload(), Err(ReloadError::Unsupported)));
+        let mut client = QueryClient::connect(server.local_addr()).unwrap();
+        let err = client.reload().unwrap_err();
+        assert!(err.to_string().contains("4"), "{err}");
+        // The connection survives the failed reload.
+        client.spread(&[0]).unwrap();
+        server.shutdown();
+    }
+
+    /// Writes a complete one-shard snapshot whose single RR set is
+    /// `{mark}` — so `spread([mark]) == 1` identifies the generation.
+    fn write_generation(root: &std::path::Path, mark: u32) -> u64 {
+        let (id, dir) = dim_store::begin_generation(root).unwrap();
+        let mut elements = PooledSets::new();
+        elements.push(&[mark]);
+        let header = dim_store::ShardHeader {
+            fingerprint: 0xabcd,
+            sampler: SamplerSpec::Subsim,
+            seed: mark as u64,
+            theta: 1,
+            shard_id: 0,
+            shard_count: 1,
+            num_sets: 5,
+            num_elements: 1,
+            edges_examined: 0,
+        };
+        dim_store::write_shard(&dir, &header, &elements).unwrap();
+        dim_store::commit_generation(&dir, id).unwrap();
+        id
+    }
+
+    #[test]
+    fn wire_reload_swaps_to_latest_generation() {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "dim-serve-reload-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let request = SnapshotRequest {
+            fingerprint: 0xabcd,
+            sampler: SamplerSpec::Subsim,
+            shard_count: None,
+        };
+        let gen1 = write_generation(&root, 0);
+        let (id, snapshot) = dim_store::load_latest_snapshot(&root, &request).unwrap();
+        assert_eq!(id, gen1);
+        let server = Server::start_with(
+            "127.0.0.1:0",
+            Sketch::from_snapshot(5, snapshot),
+            ServeOptions {
+                generation: id,
+                reload: Some(ReloadSource {
+                    root: root.clone(),
+                    request,
+                    num_nodes: 5,
+                }),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let mut client = QueryClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.spread(&[0]).unwrap().0, 1);
+        assert_eq!(client.spread(&[3]).unwrap().0, 0);
+
+        // Nothing new yet: reload reports unchanged.
+        assert_eq!(client.reload().unwrap(), (gen1, false));
+
+        // A new committed generation swaps in without dropping the
+        // connection; answers now reflect the new sketch.
+        let gen2 = write_generation(&root, 3);
+        assert_eq!(client.reload().unwrap(), (gen2, true));
+        assert_eq!(server.generation(), gen2);
+        assert_eq!(client.spread(&[0]).unwrap().0, 0);
+        assert_eq!(client.spread(&[3]).unwrap().0, 1);
+        assert_eq!(client.stats().unwrap().generation, gen2);
+        assert_eq!(server.metrics().reloads, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn batch_frame_opcode_roundtrip_over_wire() {
+        // Drive REQ_BATCH at the frame level (no client sugar) to pin the
+        // wire contract: one frame in, one RESP_BATCH frame out.
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let body = encode_batch(&[
+            QueryRequest::Spread { seeds: vec![0] },
+            QueryRequest::Spread { seeds: vec![1] },
+        ]);
+        write_frame(&mut stream, REQ_BATCH, &body).unwrap();
+        let (op, resp) = read_frame(&mut stream).unwrap();
+        assert_eq!(op, RESP_BATCH);
+        let replies = crate::proto::decode_response_batch(&resp).unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                QueryResponse::Spread {
+                    covered: 3,
+                    theta: 6,
+                    num_nodes: 5
+                },
+                QueryResponse::Spread {
+                    covered: 3,
+                    theta: 6,
+                    num_nodes: 5
+                },
+            ]
+        );
+        server.shutdown();
     }
 }

@@ -3,10 +3,14 @@
 //! The encodings are canonical (one byte string per message), so beyond
 //! roundtripping we can assert the strong form of corruption detection:
 //! a mutated body either fails to decode or decodes to a *different*
-//! message — it can never impersonate the original.
+//! message — it can never impersonate the original. Batch frames get the
+//! same treatment: roundtrip in order, truncation always detected, and
+//! admin/nested entries always rejected.
 
 use dim_serve::proto::{
-    QueryRequest, QueryResponse, SketchStats, RESP_ERROR, RESP_SPREAD, RESP_STATS, RESP_TOP_K,
+    decode_batch, decode_response_batch, encode_batch, encode_response_batch, QueryRequest,
+    QueryResponse, SketchStats, REQ_BATCH, REQ_RELOAD, RESP_BATCH, RESP_ERROR, RESP_RELOAD,
+    RESP_SPREAD, RESP_STATS, RESP_TOP_K,
 };
 use proptest::prelude::*;
 
@@ -25,7 +29,15 @@ fn any_request() -> impl Strategy<Value = QueryRequest> {
             }
         }),
         Just(QueryRequest::Stats),
+        Just(QueryRequest::Reload),
     ]
+}
+
+/// Requests allowed inside a batch (everything except admin ops).
+fn any_batchable_request() -> impl Strategy<Value = QueryRequest> {
+    any_request().prop_filter("batches carry read-only queries", |r| {
+        !matches!(r, QueryRequest::Reload)
+    })
 }
 
 fn any_response() -> impl Strategy<Value = QueryResponse> {
@@ -54,21 +66,43 @@ fn any_response() -> impl Strategy<Value = QueryResponse> {
                 }
             }),
         (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u32>(),
-            any::<u64>(),
-            any::<u64>(),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u32>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
+            (
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+                any::<u64>(),
+            ),
         )
-            .prop_map(|(num_nodes, theta, shard_count, total_rr_size, queries_answered)| {
+            .prop_map(|(shape, serving)| {
+                let (num_nodes, theta, shard_count, total_rr_size, queries_answered) = shape;
+                let (generation, shed, p50_us, p95_us, p99_us) = serving;
                 QueryResponse::Stats(SketchStats {
                     num_nodes,
                     theta,
                     shard_count,
                     total_rr_size,
                     queries_answered,
+                    generation,
+                    shed,
+                    p50_us,
+                    p95_us,
+                    p99_us,
                 })
             }),
+        (any::<u64>(), any::<bool>()).prop_map(|(generation, changed)| {
+            QueryResponse::Reload {
+                generation,
+                changed,
+            }
+        }),
         (any::<u8>(), "[ -~]{0,60}").prop_map(|(code, message)| {
             QueryResponse::Error { code, message }
         }),
@@ -141,6 +175,8 @@ proptest! {
     ) {
         let _ = QueryRequest::decode(opcode, &body);
         let _ = QueryResponse::decode(opcode, &body);
+        let _ = decode_batch(&body);
+        let _ = decode_response_batch(&body);
     }
 
     #[test]
@@ -150,8 +186,74 @@ proptest! {
         let body = resp.encode();
         prop_assert!(matches!(
             resp.opcode(),
-            RESP_SPREAD | RESP_TOP_K | RESP_STATS | RESP_ERROR
+            RESP_SPREAD | RESP_TOP_K | RESP_STATS | RESP_RELOAD | RESP_ERROR
         ));
         prop_assert_eq!(QueryRequest::decode(resp.opcode(), &body), None);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_order(
+        reqs in prop::collection::vec(any_batchable_request(), 0..12),
+    ) {
+        let body = encode_batch(&reqs);
+        prop_assert_eq!(decode_batch(&body), Some(reqs));
+    }
+
+    #[test]
+    fn response_batch_roundtrip_preserves_order(
+        resps in prop::collection::vec(any_response(), 0..12),
+    ) {
+        let body = encode_response_batch(&resps);
+        prop_assert_eq!(decode_response_batch(&body), Some(resps));
+    }
+
+    #[test]
+    fn batch_truncation_detected(
+        reqs in prop::collection::vec(any_batchable_request(), 1..8),
+    ) {
+        let body = encode_batch(&reqs);
+        for cut in 0..body.len() {
+            prop_assert_eq!(decode_batch(&body[..cut]), None);
+        }
+    }
+
+    #[test]
+    fn batch_mutation_never_impersonates(
+        reqs in prop::collection::vec(any_batchable_request(), 1..8),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut body = encode_batch(&reqs);
+        let i = byte.index(body.len());
+        body[i] ^= 1 << bit;
+        prop_assert_ne!(decode_batch(&body), Some(reqs));
+    }
+
+    #[test]
+    fn batch_rejects_admin_and_nested_entries(
+        reqs in prop::collection::vec(any_batchable_request(), 0..6),
+        evil_opcode in prop_oneof![Just(REQ_BATCH), Just(REQ_RELOAD)],
+        position in any::<prop::sample::Index>(),
+    ) {
+        // Splice a forbidden (but individually well-formed) entry into an
+        // otherwise valid batch: the whole frame must be rejected.
+        let mut entries: Vec<(u8, Vec<u8>)> = reqs
+            .iter()
+            .map(|r| (r.opcode(), r.encode()))
+            .collect();
+        let evil_body = if evil_opcode == REQ_BATCH {
+            encode_batch(&[])
+        } else {
+            Vec::new()
+        };
+        entries.insert(position.index(entries.len() + 1), (evil_opcode, evil_body));
+        let mut body = Vec::new();
+        dim_cluster::ops::put_u32(&mut body, entries.len() as u32);
+        for (op, entry) in &entries {
+            body.push(*op);
+            dim_cluster::ops::put_u32(&mut body, entry.len() as u32);
+            body.extend_from_slice(entry);
+        }
+        prop_assert_eq!(decode_batch(&body), None);
     }
 }

@@ -1,0 +1,400 @@
+//! Generation-aware snapshot store layout.
+//!
+//! A *store root* holds a sequence of snapshot directories, one per
+//! sampling run, named `gen-<id>` with a monotonically increasing
+//! decimal id:
+//!
+//! ```text
+//! store/
+//!   gen-00000001/   shard-0-of-2.rrs  shard-1-of-2.rrs  MANIFEST
+//!   gen-00000002/   shard-0-of-2.rrs  shard-1-of-2.rrs  MANIFEST
+//! ```
+//!
+//! Each generation directory is an ordinary snapshot directory (the flat
+//! layout [`crate::load_snapshot`] reads), plus a one-line `MANIFEST`
+//! sidecar written *after* every shard landed. The manifest is the commit
+//! record: a generation without one is in progress (or abandoned) and is
+//! never served. Shard files and the manifest are both written through
+//! atomic tmp-file renames, so a reader scanning the root concurrently
+//! with a writer sees either a committed generation or nothing — the
+//! property `dim serve`'s zero-downtime hot-reload rests on.
+//!
+//! The write protocol is [`begin_generation`] (reserve the next id, even
+//! over uncommitted attempts) → write shards → [`commit_generation`];
+//! [`load_latest_snapshot`] serves readers and [`gc_generations`] bounds
+//! disk use. A root with shard files directly inside it (the pre-
+//! generation flat layout) is still readable: it loads as generation 0.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::{load_snapshot, Snapshot, SnapshotRequest, StoreError};
+
+/// Prefix of generation directory names inside a store root.
+pub const GENERATION_PREFIX: &str = "gen-";
+/// Name of the commit-marker file inside a generation directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// First line tag of a manifest (versioned for forward compatibility).
+const MANIFEST_TAG: &str = "dim-generation-v1";
+
+/// Canonical directory name for generation `id` (zero-padded so lexical
+/// and numeric order agree for the first 10^8 generations; parsing is
+/// numeric, so larger ids still work).
+pub fn generation_dir_name(id: u64) -> String {
+    format!("{GENERATION_PREFIX}{id:08}")
+}
+
+/// Parses a directory name as a generation id. Strict: the prefix
+/// followed by ASCII digits only.
+pub fn parse_generation_dir(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix(GENERATION_PREFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// Every generation directory under `root` (committed or not), sorted by
+/// ascending id. Entries that do not match the naming scheme — including
+/// a flat layout's shard files — are ignored. A root that does not exist
+/// yet lists as empty rather than erroring, so "first sample into a fresh
+/// store" needs no special casing.
+pub fn list_generations(root: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let entries = match fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err(root, e)),
+    };
+    let mut gens: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(root, e))?;
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        if let Some(id) = entry.file_name().to_str().and_then(parse_generation_dir) {
+            gens.push((id, path));
+        }
+    }
+    gens.sort();
+    Ok(gens)
+}
+
+/// Reserves the next generation id under `root` — one past the highest
+/// existing directory, committed or not, so a crashed writer's leftover
+/// never gets overwritten — and creates its directory.
+pub fn begin_generation(root: &Path) -> Result<(u64, PathBuf), StoreError> {
+    let next = list_generations(root)?
+        .last()
+        .map(|&(id, _)| id + 1)
+        .unwrap_or(1);
+    let dir = root.join(generation_dir_name(next));
+    fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+    Ok((next, dir))
+}
+
+/// Writes the commit-marker manifest into a generation directory,
+/// atomically (tmp file + rename). Only after this returns does the
+/// generation become visible to [`load_latest_snapshot`].
+pub fn commit_generation(dir: &Path, id: u64) -> Result<(), StoreError> {
+    let tmp = dir.join(format!(".{MANIFEST_FILE}.tmp"));
+    let content = format!("{MANIFEST_TAG} {id}\n");
+    fs::write(&tmp, content).map_err(|e| io_err(&tmp, e))?;
+    let path = dir.join(MANIFEST_FILE);
+    fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+    Ok(())
+}
+
+/// Reads a generation directory's manifest: `Ok(None)` when absent
+/// (uncommitted), the committed id when present, `Corrupt` when the file
+/// exists but does not parse or its id disagrees with the expectation.
+pub fn read_manifest(dir: &Path) -> Result<Option<u64>, StoreError> {
+    let path = dir.join(MANIFEST_FILE);
+    let content = match fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(&path, e)),
+    };
+    let corrupt = || StoreError::Corrupt {
+        path: Some(path.clone()),
+        detail: "malformed generation manifest",
+    };
+    let line = content.lines().next().ok_or_else(corrupt)?;
+    let id = line
+        .strip_prefix(MANIFEST_TAG)
+        .map(str::trim)
+        .and_then(|d| d.parse::<u64>().ok())
+        .ok_or_else(corrupt)?;
+    Ok(Some(id))
+}
+
+/// The newest *committed* generation under `root` (directory id and
+/// manifest agree), or `None` when the root has no committed generation.
+pub fn latest_generation(root: &Path) -> Result<Option<(u64, PathBuf)>, StoreError> {
+    for (id, dir) in list_generations(root)?.into_iter().rev() {
+        if read_manifest(&dir)? == Some(id) {
+            return Ok(Some((id, dir)));
+        }
+    }
+    Ok(None)
+}
+
+/// Loads the newest committed generation under `root` that validates
+/// against `request`, returning its id alongside the snapshot.
+///
+/// Uncommitted generations (no manifest) are skipped — they are still
+/// being written. So is a committed generation whose shards are
+/// incomplete ([`StoreError::MissingShard`] / [`StoreError::Empty`],
+/// which a crash between shard writes and GC can leave behind); any other
+/// failure — corruption, provenance mismatch, I/O — surfaces immediately,
+/// because silently falling back to an older sketch would mask it.
+///
+/// A root with no generation directories at all falls back to the flat
+/// pre-generation layout: the root itself is loaded as generation 0.
+pub fn load_latest_snapshot(
+    root: &Path,
+    request: &SnapshotRequest,
+) -> Result<(u64, Snapshot), StoreError> {
+    let gens = list_generations(root)?;
+    if gens.is_empty() {
+        return load_snapshot(root, request).map(|s| (0, s));
+    }
+    let mut any_committed = false;
+    for (id, dir) in gens.into_iter().rev() {
+        if read_manifest(&dir)? != Some(id) {
+            continue;
+        }
+        any_committed = true;
+        match load_snapshot(&dir, request) {
+            Ok(snapshot) => return Ok((id, snapshot)),
+            Err(StoreError::MissingShard { .. }) | Err(StoreError::Empty { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    // Distinguish "nothing committed yet" from "committed but unloadable".
+    let _ = any_committed;
+    Err(StoreError::Empty {
+        dir: root.to_path_buf(),
+    })
+}
+
+/// Deletes old generation directories, keeping the newest `keep` (by id,
+/// committed or not — an uncommitted newest generation is a write in
+/// progress and must survive). `keep` is clamped to at least 1. Returns
+/// the removed ids in ascending order.
+pub fn gc_generations(root: &Path, keep: usize) -> Result<Vec<u64>, StoreError> {
+    let keep = keep.max(1);
+    let gens = list_generations(root)?;
+    if gens.len() <= keep {
+        return Ok(Vec::new());
+    }
+    let mut removed = Vec::new();
+    for (id, dir) in &gens[..gens.len() - keep] {
+        fs::remove_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        removed.push(*id);
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{write_shard, ShardHeader};
+    use dim_cluster::SamplerSpec;
+    use dim_coverage::PooledSets;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_root(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "dim-store-gen-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn request() -> SnapshotRequest {
+        SnapshotRequest {
+            fingerprint: 0xfeed_f00d,
+            sampler: SamplerSpec::Subsim,
+            shard_count: None,
+        }
+    }
+
+    /// Writes a complete single-shard snapshot into `dir`; `mark`
+    /// distinguishes the generations' contents.
+    fn write_snapshot(dir: &Path, mark: u32) {
+        let mut elements = PooledSets::new();
+        elements.push(&[mark % 5]);
+        elements.push(&[(mark + 1) % 5, 4]);
+        let header = ShardHeader {
+            fingerprint: 0xfeed_f00d,
+            sampler: SamplerSpec::Subsim,
+            seed: mark as u64,
+            theta: 2,
+            shard_id: 0,
+            shard_count: 1,
+            num_sets: 5,
+            num_elements: 2,
+            edges_examined: 1,
+        };
+        write_shard(dir, &header, &elements).unwrap();
+    }
+
+    #[test]
+    fn dir_names_roundtrip_and_parse_strictly() {
+        assert_eq!(generation_dir_name(7), "gen-00000007");
+        assert_eq!(parse_generation_dir("gen-00000007"), Some(7));
+        assert_eq!(parse_generation_dir("gen-123456789012"), Some(123_456_789_012));
+        assert_eq!(parse_generation_dir("gen-"), None);
+        assert_eq!(parse_generation_dir("gen-07x"), None);
+        assert_eq!(parse_generation_dir("generation-7"), None);
+        assert_eq!(parse_generation_dir("shard-0-of-1.rrs"), None);
+    }
+
+    #[test]
+    fn begin_commit_list_latest() {
+        let root = temp_root("begin");
+        assert!(list_generations(&root).unwrap().is_empty());
+        assert!(latest_generation(&root).unwrap().is_none());
+
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        assert_eq!(id1, 1);
+        // In progress: listed, but not latest-committed.
+        assert_eq!(list_generations(&root).unwrap().len(), 1);
+        assert!(latest_generation(&root).unwrap().is_none());
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        assert_eq!(latest_generation(&root).unwrap().unwrap().0, 1);
+
+        // The next id is reserved past any existing directory, even an
+        // uncommitted one.
+        let (id2, _dir2) = begin_generation(&root).unwrap();
+        assert_eq!(id2, 2);
+        let (id3, dir3) = begin_generation(&root).unwrap();
+        assert_eq!(id3, 3);
+        write_snapshot(&dir3, 1);
+        commit_generation(&dir3, id3).unwrap();
+        assert_eq!(latest_generation(&root).unwrap().unwrap().0, 3);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_latest_skips_uncommitted_and_pins_id() {
+        let root = temp_root("load");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        // Generation 2 has shards but no manifest: a write in progress.
+        let (_id2, dir2) = begin_generation(&root).unwrap();
+        write_snapshot(&dir2, 7);
+        let (id, snap) = load_latest_snapshot(&root, &request()).unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(snap.seed, 0);
+        // Commit it: now it is the one served.
+        commit_generation(&dir2, 2).unwrap();
+        let (id, snap) = load_latest_snapshot(&root, &request()).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(snap.seed, 7);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_latest_falls_back_to_flat_layout() {
+        let root = temp_root("flat");
+        write_snapshot(&root, 3);
+        let (id, snap) = load_latest_snapshot(&root, &request()).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(snap.seed, 3);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_latest_reports_empty_store() {
+        let root = temp_root("empty");
+        assert!(matches!(
+            load_latest_snapshot(&root, &request()),
+            Err(StoreError::Empty { .. })
+        ));
+        // An uncommitted generation alone is still "nothing to serve".
+        let (_, dir) = begin_generation(&root).unwrap();
+        write_snapshot(&dir, 0);
+        assert!(matches!(
+            load_latest_snapshot(&root, &request()),
+            Err(StoreError::Empty { .. })
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_latest_surfaces_corruption_instead_of_falling_back() {
+        let root = temp_root("corrupt");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        let (id2, dir2) = begin_generation(&root).unwrap();
+        write_snapshot(&dir2, 1);
+        commit_generation(&dir2, id2).unwrap();
+        // Corrupt the newest generation's shard.
+        let victim = dir2.join(crate::shard_file_name(0, 1));
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        assert!(matches!(
+            load_latest_snapshot(&root, &request()),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn manifest_mismatch_is_corrupt() {
+        let root = temp_root("manifest");
+        let (_, dir) = begin_generation(&root).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), "not a manifest\n").unwrap();
+        assert!(matches!(
+            read_manifest(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // A manifest naming the wrong id does not commit this directory.
+        fs::write(dir.join(MANIFEST_FILE), format!("{MANIFEST_TAG} 99\n")).unwrap();
+        assert!(latest_generation(&root).unwrap().is_none());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_newest_and_reports_removed() {
+        let root = temp_root("gc");
+        for mark in 0..5 {
+            let (id, dir) = begin_generation(&root).unwrap();
+            write_snapshot(&dir, mark);
+            commit_generation(&dir, id).unwrap();
+        }
+        let removed = gc_generations(&root, 2).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        let left: Vec<u64> = list_generations(&root)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(left, vec![4, 5]);
+        // keep is clamped to 1: the latest always survives.
+        let removed = gc_generations(&root, 0).unwrap();
+        assert_eq!(removed, vec![4]);
+        assert_eq!(latest_generation(&root).unwrap().unwrap().0, 5);
+        // Ids keep increasing after GC (no reuse).
+        let (id, _) = begin_generation(&root).unwrap();
+        assert_eq!(id, 6);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -31,6 +31,14 @@
 //! (trailing bytes are an error), and the rebuilt index is cross-checked
 //! against the elements. Failures surface as typed [`StoreError`]s.
 
+pub mod generation;
+
+pub use generation::{
+    begin_generation, commit_generation, gc_generations, generation_dir_name, latest_generation,
+    list_generations, load_latest_snapshot, parse_generation_dir, read_manifest,
+    GENERATION_PREFIX, MANIFEST_FILE,
+};
+
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};

@@ -6,9 +6,11 @@
 //!              [--algorithm imm|diimm|opim|subsim] [--backend B] [--evaluate]
 //!              [--load-rr DIR]
 //! dim sample   --graph … --k 50 --out DIR [--machines 8] [--backend B]
+//!              [--generations [--keep N]]
 //! dim serve    --graph … --store DIR [--addr 127.0.0.1:7117] [--max-queries N]
-//! dim query    --addr HOST:PORT (--stats | --seeds 1,2,3 |
-//!              --k K [--include a,b] [--exclude c,d])
+//!              [--workers N] [--max-conns N]
+//! dim query    --addr HOST:PORT (--stats | --reload | --seeds 1,2,3 |
+//!              --k K [--include a,b] [--exclude c,d]) [--timeout SECS]
 //! dim coverage --graph … --k 50 [--machines 8] [--backend B]
 //! dim simulate --graph … --seeds 1,2,3 [--model ic|lt] [--sims 10000]
 //! dim generate --profile NAME[:SCALE] --out edges.txt
@@ -19,6 +21,12 @@
 //! from such a snapshot (byte-identical seeds, no sampling), and `serve`
 //! answers spread / constrained-top-k queries over it until stopped
 //! (`--max-queries` bounds the lifetime for scripted runs).
+//!
+//! With `--generations`, `sample` appends a new *committed generation*
+//! (`gen-N/` + manifest) under `--out` instead of overwriting it, GC'ing
+//! generations beyond `--keep`; `serve` auto-detects the newest committed
+//! generation and hot-swaps to later ones on SIGHUP or `query --reload`
+//! without dropping in-flight queries.
 //!
 //! `--backend` selects the cluster execution layer: `sequential` (default),
 //! `threads`, and `rayon` run the simulated cluster in-process; `proc`
@@ -83,11 +91,16 @@ commands:
   im        --graph <src> --k <k>           seed selection with (1-1/e-ε) guarantee
                                             (--load-rr DIR selects from a snapshot)
   sample    --graph <src> --k <k> --out DIR run DiIMM and persist the RR sketch
+                                            (--generations appends a committed
+                                            gen-N/, GC'd down to --keep N)
   serve     --graph <src> --store DIR       answer influence queries over a sketch
-                                            (--addr A, --max-queries N)
+                                            (--addr A, --max-queries N,
+                                            --workers N, --max-conns N; serves the
+                                            newest generation, reloads on SIGHUP)
   query     --addr HOST:PORT                query a running server: --stats,
-                                            --seeds a,b,c, or --k K
+                                            --reload, --seeds a,b,c, or --k K
                                             [--include a,b] [--exclude c,d]
+                                            (--timeout S retries the connect)
   coverage  --graph <src> --k <k>           max-coverage over neighborhoods (NewGreeDi)
   simulate  --graph <src> --seeds a,b,c     Monte-Carlo spread of a seed set
   generate  --profile NAME[:SCALE] --out F  write a synthetic profile graph
@@ -116,7 +129,12 @@ impl Flags {
             let name = flag
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {flag:?}"))?;
-            if name == "undirected" || name == "evaluate" || name == "breakdown" || name == "stats"
+            if name == "undirected"
+                || name == "evaluate"
+                || name == "breakdown"
+                || name == "stats"
+                || name == "generations"
+                || name == "reload"
             {
                 map.insert(name.to_string(), "true".to_string());
             } else {
@@ -410,60 +428,139 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
     }
     let machines = flags.num("machines", 1usize)?;
     let out = std::path::PathBuf::from(flags.required("out")?);
+    let keep = flags.num("keep", 3usize)?;
     let net = NetworkModel::shared_memory();
+    // With --generations the shards land in a fresh gen-N/ directory that
+    // becomes visible to loaders only once the manifest commits below, so
+    // a concurrently running `dim serve --store OUT` never sees a
+    // half-written snapshot.
+    let (gen_id, dir) = if flags.get("generations").is_some() {
+        let (id, dir) = begin_generation(&out).map_err(|e| e.to_string())?;
+        (Some(id), dir)
+    } else {
+        (None, out.clone())
+    };
     let r = match backend_of(flags)? {
-        Backend::Sim(mode) => diimm_sample(&g, &config, machines, net, mode, &out)
+        Backend::Sim(mode) => diimm_sample(&g, &config, machines, net, mode, &dir)
             .map_err(|e| e.to_string())?,
         #[cfg(feature = "proc-backend")]
         Backend::Proc => {
             let mut cluster = proc_cluster(machines, net, config.seed)?;
-            sample_on_ops(&mut cluster, &g, &config, &out)?
+            sample_on_ops(&mut cluster, &g, &config, &dir)?
         }
         #[cfg(feature = "proc-backend")]
         Backend::Join => {
             let mut cluster = join_cluster(machines, net, config.seed, flags)?;
-            sample_on_ops(&mut cluster, &g, &config, &out)?
+            sample_on_ops(&mut cluster, &g, &config, &dir)?
         }
     };
+    if let Some(id) = gen_id {
+        commit_generation(&dir, id).map_err(|e| e.to_string())?;
+        gc_generations(&out, keep).map_err(|e| e.to_string())?;
+    }
     println!("seeds: {:?}", r.seeds);
     println!(
         "estimated spread: {:.1} ({} RR sets)",
         r.est_spread, r.num_rr_sets
     );
-    println!("sketch: {machines} shard(s) in {}", out.display());
+    match gen_id {
+        Some(id) => println!(
+            "sketch: generation {id}, {machines} shard(s) in {}",
+            dir.display()
+        ),
+        None => println!("sketch: {machines} shard(s) in {}", out.display()),
+    }
     if flags.get("breakdown").is_some() {
         print_breakdown(&r.timeline);
     }
     Ok(())
 }
 
+/// SIGHUP → hot reload, the classic daemon idiom. Raw FFI against libc's
+/// `signal` keeps this dependency-free; the handler only flips an atomic,
+/// the actual store re-scan runs on the serve loop below.
+#[cfg(unix)]
+mod sighup {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PENDING: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sighup(_signum: i32) {
+        PENDING.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGHUP: i32 = 1;
+        unsafe {
+            signal(SIGHUP, on_sighup);
+        }
+    }
+
+    pub fn take() -> bool {
+        PENDING.swap(false, Ordering::SeqCst)
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let g = load_graph(flags)?;
     let (config, _) = im_config(flags, &g)?;
     let dir = std::path::PathBuf::from(flags.required("store")?);
-    let snapshot = load_rr_snapshot(&g, &config, &dir).map_err(|e| e.to_string())?;
+    let (generation, snapshot) =
+        load_latest_rr_snapshot(&g, &config, &dir).map_err(|e| e.to_string())?;
     let (theta, shard_count) = (snapshot.theta, snapshot.shard_count);
     let sketch = Sketch::from_snapshot(g.num_nodes(), snapshot);
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7117");
-    let server =
-        Server::start(addr, sketch).map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    let options = ServeOptions {
+        workers: flags.num("workers", 8usize)?,
+        max_conns: flags.num("max-conns", 1024usize)?,
+        generation,
+        reload: Some(ReloadSource {
+            root: dir.clone(),
+            request: rr_snapshot_request(&g, &config),
+            num_nodes: g.num_nodes(),
+        }),
+    };
+    let server = Server::start_with(addr, sketch, options)
+        .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
     let max_queries = flags.num("max-queries", 0u64)?;
     println!(
-        "dim-serve: listening on {} ({theta} RR sets in {shard_count} shard(s), n = {})",
+        "dim-serve: listening on {} ({theta} RR sets in {shard_count} shard(s), n = {}, \
+         generation {generation})",
         server.local_addr(),
         g.num_nodes()
     );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    #[cfg(unix)]
+    sighup::install();
     loop {
         std::thread::sleep(std::time::Duration::from_millis(20));
+        #[cfg(unix)]
+        if sighup::take() {
+            match server.reload() {
+                Ok((id, true)) => println!("dim-serve: reloaded, now at generation {id}"),
+                Ok((id, false)) => println!("dim-serve: already at generation {id}"),
+                Err(e) => eprintln!("dim-serve: reload failed: {e}"),
+            }
+            let _ = std::io::stdout().flush();
+        }
         if max_queries > 0 && server.queries_answered() >= max_queries {
             break;
         }
     }
     let answered = server.queries_answered();
+    let m = server.metrics();
     server.shutdown();
     println!("dim-serve: shut down after {answered} queries");
+    println!(
+        "dim-serve: generation {}, latency p50 {}µs p95 {}µs p99 {}µs, \
+         {} shed, {} reload(s)",
+        m.active_generation, m.p50_us, m.p95_us, m.p99_us, m.shed, m.reloads
+    );
     Ok(())
 }
 
@@ -475,8 +572,25 @@ fn parse_ids(list: &str) -> Result<Vec<u32>, String> {
 
 fn cmd_query(flags: &Flags) -> Result<(), String> {
     let addr = flags.required("addr")?;
-    let mut client =
-        QueryClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timeout = flags.num("timeout", 0u64)?;
+    let mut client = if timeout > 0 {
+        let options = ConnectOptions {
+            deadline: std::time::Duration::from_secs(timeout),
+            ..ConnectOptions::default()
+        };
+        QueryClient::connect_with(addr, &options)
+    } else {
+        QueryClient::connect(addr)
+    }
+    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if flags.get("reload").is_some() {
+        let (generation, changed) = client.reload().map_err(|e| e.to_string())?;
+        println!(
+            "generation {generation} ({})",
+            if changed { "reloaded" } else { "unchanged" }
+        );
+        return Ok(());
+    }
     if flags.get("stats").is_some() {
         let s = client.stats().map_err(|e| e.to_string())?;
         println!(
@@ -484,6 +598,11 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
             s.num_nodes, s.theta, s.shard_count, s.total_rr_size
         );
         println!("queries answered: {}", s.queries_answered);
+        println!("generation: {}", s.generation);
+        println!(
+            "latency: p50 {}µs, p95 {}µs, p99 {}µs ({} connection(s) shed)",
+            s.p50_us, s.p95_us, s.p99_us, s.shed
+        );
         return Ok(());
     }
     if let Some(seeds) = flags.get("seeds") {
@@ -494,7 +613,7 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
     }
     let k: u32 = flags.num("k", 0u32)?;
     if k == 0 {
-        return Err("query needs --stats, --seeds a,b,c, or --k K".into());
+        return Err("query needs --stats, --reload, --seeds a,b,c, or --k K".into());
     }
     let include = flags.get("include").map(parse_ids).transpose()?.unwrap_or_default();
     let exclude = flags.get("exclude").map(parse_ids).transpose()?.unwrap_or_default();

@@ -74,8 +74,8 @@ pub mod prelude {
     pub use dim_core::opim::{dopim_c, opim_c};
     pub use dim_core::ssa::{dssa, ssa};
     pub use dim_core::snapshot::{
-        diimm_load_rr, diimm_sample, load_rr_snapshot, persist_rr_shards, snapshot_shards,
-        SnapshotError,
+        diimm_load_rr, diimm_sample, diimm_sample_generation, load_latest_rr_snapshot,
+        load_rr_snapshot, persist_rr_shards, rr_snapshot_request, snapshot_shards, SnapshotError,
     };
     pub use dim_core::{
         setup_im_cluster, ImConfig, ImParams, ImResult, SamplerKind, Timings, WorkerHost,
@@ -85,8 +85,15 @@ pub mod prelude {
     pub use dim_coverage::{
         budgeted_greedy, newgreedi, newgreedi_until, CoverageProblem, CoverageShard,
     };
-    pub use dim_serve::{QueryClient, QueryRequest, QueryResponse, Server, Sketch, SketchStats};
-    pub use dim_store::{graph_fingerprint, load_snapshot, Snapshot, SnapshotRequest, StoreError};
+    pub use dim_serve::{
+        ConnectOptions, QueryClient, QueryRequest, QueryResponse, ReloadSource, ServeMetrics,
+        ServeOptions, Server, Sketch, SketchStats,
+    };
+    pub use dim_store::{
+        begin_generation, commit_generation, gc_generations, generation_dir_name,
+        graph_fingerprint, latest_generation, list_generations, load_latest_snapshot,
+        load_snapshot, Snapshot, SnapshotRequest, StoreError,
+    };
     pub use dim_diffusion::exact::{exact_opt, exact_spread};
     pub use dim_diffusion::forward::{estimate_spread, estimate_spread_ci, SpreadEstimate};
     pub use dim_diffusion::{DiffusionModel, IcRrSampler, LtRrSampler, RrSampler, SubsimRrSampler};

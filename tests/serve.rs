@@ -110,6 +110,160 @@ fn concurrent_queries_match_direct_computation() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Hot reload under fire: eight threads hammer the server with pipelined
+/// `[Stats, Spread]` batches while the main thread commits three fresh
+/// generations to the store and hot-reloads into each one. The server
+/// pins every batch to a single generation, so the stats reply inside a
+/// batch names exactly which reference sketch its spread answer must be
+/// byte-identical to. No query may error, and the generation ids each
+/// connection observes must advance monotonically.
+#[test]
+fn hot_reload_under_fire() {
+    let g = DatasetProfile::Facebook.generate(0.08, 5);
+    let base = ImConfig {
+        k: 4,
+        ..ImConfig::paper_defaults(&g, 0.5, 21)
+    };
+    let root = temp_dir("reload-fire");
+    let net = NetworkModel::shared_memory();
+
+    // Per-generation reference shards, loaded straight from the store so
+    // clients can verify answers against direct evaluation. A generation
+    // is inserted here BEFORE the server is told to reload into it, so a
+    // hammering thread can always resolve whatever id the server reports.
+    type References =
+        std::sync::RwLock<std::collections::HashMap<u64, Arc<(u64, Vec<CoverageShard>)>>>;
+    let references: Arc<References> = Arc::default();
+    let load_reference = |id: u64| {
+        let snap = load_snapshot(
+            &root.join(generation_dir_name(id)),
+            &rr_snapshot_request(&g, &base),
+        )
+        .expect("load committed generation");
+        Arc::new((snap.theta, snapshot_shards(snap)))
+    };
+
+    let (first, _) = diimm_sample_generation(&g, &base, 2, net, ExecMode::Sequential, &root, 10)
+        .expect("sample generation 1");
+    assert_eq!(first, 1);
+    references.write().unwrap().insert(1, load_reference(1));
+
+    let (generation, snapshot) = load_latest_rr_snapshot(&g, &base, &root).unwrap();
+    assert_eq!(generation, 1);
+    let server = dim_serve::Server::start_with(
+        "127.0.0.1:0",
+        Sketch::from_snapshot(g.num_nodes(), snapshot),
+        ServeOptions {
+            // One worker stays tied to each connection for its lifetime:
+            // 8 hammer connections + the admin client need headroom.
+            workers: 12,
+            generation,
+            reload: Some(ReloadSource {
+                root: root.clone(),
+                request: rr_snapshot_request(&g, &base),
+                num_nodes: g.num_nodes(),
+            }),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let n = g.num_nodes() as u32;
+    const HAMMERS: u64 = 8;
+    let workers: Vec<_> = (0..HAMMERS)
+        .map(|t| {
+            let references = Arc::clone(&references);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = QueryClient::connect(addr).expect("connect");
+                let mut last_generation = 0u64;
+                let mut seen = std::collections::BTreeSet::new();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) || round < 20 {
+                    let seeds = pseudo_ids(t, round, n, (round % 7) as usize);
+                    let replies = client
+                        .batch(&[
+                            QueryRequest::Stats,
+                            QueryRequest::Spread {
+                                seeds: seeds.clone(),
+                            },
+                        ])
+                        .expect("batched query during reload");
+                    let [QueryResponse::Stats(stats), QueryResponse::Spread { covered, theta, .. }] =
+                        &replies[..]
+                    else {
+                        panic!("thread {t} round {round}: unexpected replies {replies:?}");
+                    };
+                    assert!(
+                        stats.generation >= last_generation,
+                        "thread {t}: generation went backwards ({} after {})",
+                        stats.generation,
+                        last_generation
+                    );
+                    last_generation = stats.generation;
+                    seen.insert(stats.generation);
+                    let reference = references
+                        .read()
+                        .unwrap()
+                        .get(&stats.generation)
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            panic!("server reported unknown generation {}", stats.generation)
+                        });
+                    assert_eq!(*theta, reference.0, "theta must match the pinned generation");
+                    assert_eq!(
+                        *covered,
+                        dim_coverage::seed_set_coverage(&reference.1, &seeds),
+                        "thread {t} round {round} generation {}: {seeds:?}",
+                        stats.generation
+                    );
+                    round += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Commit and reload three newer generations while the hammering runs.
+    // A different sampling seed per generation changes the sketch content,
+    // so a stale answer would be caught by the byte-identical check.
+    let mut admin = QueryClient::connect(addr).expect("admin connect");
+    for expected in 2..=4u64 {
+        let config = ImConfig {
+            seed: base.seed + expected,
+            ..base
+        };
+        let (id, _) = diimm_sample_generation(&g, &config, 2, net, ExecMode::Sequential, &root, 10)
+            .expect("sample newer generation");
+        assert_eq!(id, expected);
+        references.write().unwrap().insert(id, load_reference(id));
+        let (gen, changed) = admin.reload().expect("wire reload");
+        assert_eq!(gen, expected);
+        assert!(changed, "reload must swap to the newer generation");
+        thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let mut observed = std::collections::BTreeSet::new();
+    for w in workers {
+        observed.extend(w.join().expect("hammer thread panicked"));
+    }
+    assert!(
+        observed.contains(&1) && observed.contains(&4),
+        "hammering threads never straddled the swaps: observed {observed:?}"
+    );
+
+    assert_eq!(server.generation(), 4);
+    let metrics = server.metrics();
+    assert_eq!(metrics.active_generation, 4);
+    assert_eq!(metrics.reloads, 3);
+    assert!(metrics.batches_answered >= HAMMERS * 20);
+    server.shutdown();
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The unconstrained top-k answer served over the wire IS the persisted
 /// run's seed set — sample once, query forever.
 #[test]

@@ -121,6 +121,17 @@ $RUSTC $FLAGS $FEAT --crate-name repro crates/bench/src/bin/repro.rs \
     --extern serde="$OUT/libserde.rlib" \
     --extern serde_json="$OUT/libserde_json.rlib"
 
+say "bin dim-loadgen"
+# shellcheck disable=SC2086
+$RUSTC $FLAGS $FEAT --crate-name dim_loadgen crates/bench/src/bin/loadgen.rs \
+    -o "$OUT/dim-loadgen" --extern dim_bench="$OUT/libdim_bench.rlib" \
+    $DIM_DEPS $RAND
+say "bin dim-benchrec"
+# shellcheck disable=SC2086
+$RUSTC $FLAGS $FEAT --crate-name dim_benchrec crates/bench/src/bin/benchrec.rs \
+    -o "$OUT/dim-benchrec" --extern dim_bench="$OUT/libdim_bench.rlib" \
+    $DIM_DEPS $RAND
+
 say "bin dim"
 # shellcheck disable=SC2086
 $RUSTC $FLAGS $FEAT --crate-name dim src/bin/dim.rs -o "$OUT/dim" \
