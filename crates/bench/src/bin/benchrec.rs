@@ -9,15 +9,32 @@
 //! dim-benchrec [--graph facebook] [--scale 1.0] [--theta 20000]
 //!              [--shards 4] [--k 50] [--batch 64] [--iters 3]
 //!              [--out BENCH_sample_select.json] [--provenance LABEL]
+//!              [--label NAME] [--append true] [--check FILE]
 //! ```
+//!
+//! `--label` tags the recorded line (e.g. `before` / `after` around an
+//! optimization). `--append true` appends to `--out` instead of
+//! overwriting, building up the JSONL trajectory. `--check FILE` is the
+//! CI regression guard: measure fresh, compare each timed phase against
+//! the last entry of the committed FILE, and exit nonzero if any phase
+//! regressed by more than 20% (plus a small absolute slack for
+//! sub-millisecond phases); in check mode nothing is written unless
+//! `--out` is given explicitly.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use dim_bench::sample_select::{
-    batch_seed_sets, build_shards, select_top_k, spread_batch, time_best_of, SampleSelectReport,
+    batch_seed_sets, build_shards, json_number, select_top_k, spread_batch, time_best_of,
+    SampleSelectReport, PHASE_KEYS,
 };
 use dim_graph::DatasetProfile;
+
+/// Relative regression budget for `--check`.
+const CHECK_TOLERANCE: f64 = 0.20;
+/// Absolute slack in ms, so scheduler jitter on sub-millisecond phases
+/// (spread_batch runs in ~0.1 ms) cannot trip the relative gate.
+const CHECK_SLACK_MS: f64 = 0.5;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -74,6 +91,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let (batch_elapsed, coverage) = time_best_of(iters, || spread_batch(&sketch, &seed_sets));
 
     let report = SampleSelectReport {
+        label: flags.get("label").map_or("current", |s| s).to_string(),
         provenance: flags.get("provenance").map_or("local", |s| s).to_string(),
         graph: format!("{name}:{scale}"),
         num_nodes: graph.num_nodes(),
@@ -100,9 +118,63 @@ fn record(args: &[String]) -> Result<(), String> {
         "  spread x{batch}: {:>10.3} ms (coverage checksum {coverage})",
         report.spread_batch_ms
     );
-    let out = flags.get("out").map_or("BENCH_sample_select.json", |s| s);
-    std::fs::write(out, format!("{}\n", report.to_json()))
-        .map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!("wrote {out}");
-    Ok(())
+    let check_result = match flags.get("check") {
+        Some(committed) => Some(check_regression(committed, &report)?),
+        None => None,
+    };
+
+    // In check mode, only write when the caller names a destination —
+    // the guard must never clobber the committed trajectory file.
+    let out = match (flags.get("out"), check_result.is_some()) {
+        (Some(o), _) => Some(o.as_str()),
+        (None, true) => None,
+        (None, false) => Some("BENCH_sample_select.json"),
+    };
+    if let Some(out) = out {
+        let line = format!("{}\n", report.to_json());
+        let append = flags.get("append").map(String::as_str) == Some("true");
+        let payload = if append {
+            let mut existing = std::fs::read_to_string(out).unwrap_or_default();
+            existing.push_str(&line);
+            existing
+        } else {
+            line
+        };
+        std::fs::write(out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    match check_result {
+        Some(true) | None => Ok(()),
+        Some(false) => Err("bench regression gate failed".into()),
+    }
+}
+
+/// Compares the fresh measurement against the last recorded entry of
+/// `committed`. Returns `Ok(false)` when any phase regressed beyond the
+/// budget; errors only on unreadable/unparsable files.
+fn check_regression(committed: &str, fresh: &SampleSelectReport) -> Result<bool, String> {
+    let contents =
+        std::fs::read_to_string(committed).map_err(|e| format!("cannot read {committed}: {e}"))?;
+    let baseline = contents
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or_else(|| format!("{committed} has no recorded entries"))?;
+    let label = baseline
+        .split("\"label\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or("?");
+    println!("checking against {committed} (entry {label:?}):");
+    let mut ok = true;
+    for key in PHASE_KEYS {
+        let was = json_number(baseline, key)
+            .ok_or_else(|| format!("{committed}: entry lacks numeric {key}"))?;
+        let now = fresh.phase_ms(key).expect("known phase key");
+        let budget = was * (1.0 + CHECK_TOLERANCE) + CHECK_SLACK_MS;
+        let verdict = if now <= budget { "ok" } else { "REGRESSED" };
+        println!("  {key}: {now:.3} ms vs recorded {was:.3} ms (budget {budget:.3}) {verdict}");
+        ok &= now <= budget;
+    }
+    Ok(ok)
 }

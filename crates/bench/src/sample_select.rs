@@ -17,21 +17,33 @@ use dim_graph::Graph;
 
 /// Samples `theta` RR sets under IC and builds the per-machine coverage
 /// shards — what one `dim sample` machine does before persisting.
+///
+/// Each RR set is pushed straight into its shard's pooled arena instead of
+/// being staged through a `Vec<Vec<u32>>`: one allocation per shard rather
+/// than one per RR set. The RNG draw order and the shard assignment
+/// (`theta.div_ceil(shards)` consecutive sets per shard) are unchanged, so
+/// the sketch — and every seed selected from it — is byte-identical to the
+/// staged construction.
 pub fn build_shards(graph: &Graph, theta: usize, shards: usize, seed: u64) -> Vec<CoverageShard> {
     let sampler = AnySampler::for_model(graph, DiffusionModel::IndependentCascade);
     let mut rng = Pcg64::seed_from_u64(seed);
     let mut visited = VisitTracker::new(graph.num_nodes());
-    let mut records: Vec<Vec<u32>> = Vec::with_capacity(theta);
-    let mut out = Vec::new();
-    for _ in 0..theta {
-        sampler.sample(&mut rng, &mut out, &mut visited);
-        records.push(out.clone());
+    if theta == 0 {
+        return Vec::new();
     }
     let per_shard = theta.div_ceil(shards.max(1));
-    records
-        .chunks(per_shard)
-        .map(|chunk| CoverageShard::from_records(theta, chunk.iter().map(Vec::as_slice)))
-        .collect()
+    let num_shards = theta.div_ceil(per_shard);
+    let mut result: Vec<CoverageShard> =
+        (0..num_shards).map(|_| CoverageShard::new(theta)).collect();
+    let mut out = Vec::new();
+    for i in 0..theta {
+        sampler.sample(&mut rng, &mut out, &mut visited);
+        result[i / per_shard].push_element(&out);
+    }
+    for s in &mut result {
+        s.prepare();
+    }
+    result
 }
 
 /// Greedy top-k over the sharded sketch — the selection hot path.
@@ -78,9 +90,14 @@ pub fn time_best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) 
     (best.unwrap(), last.unwrap())
 }
 
-/// The record `dim-benchrec` writes to `BENCH_sample_select.json`.
+/// The record `dim-benchrec` writes to `BENCH_sample_select.json` (one
+/// JSON object per line; the file accumulates labeled entries such as
+/// `before`/`after` pairs across optimization passes).
 #[derive(Clone, Debug)]
 pub struct SampleSelectReport {
+    /// What this entry measures relative to its neighbors in the file
+    /// (e.g. `"before-flat-hot-paths"`, `"after-flat-hot-paths"`).
+    pub label: String,
     pub provenance: String,
     pub graph: String,
     pub num_nodes: usize,
@@ -93,16 +110,21 @@ pub struct SampleSelectReport {
     pub spread_batch_ms: f64,
 }
 
+/// The timed-phase keys a report records, shared by the writer and the
+/// `--check` regression guard.
+pub const PHASE_KEYS: [&str; 3] = ["sample_build_ms", "select_top_k_ms", "spread_batch_ms"];
+
 impl SampleSelectReport {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"bench\":\"sample_select\",\"provenance\":\"{}\",",
+                "{{\"bench\":\"sample_select\",\"label\":\"{}\",\"provenance\":\"{}\",",
                 "\"graph\":\"{}\",\"num_nodes\":{},\"theta\":{},",
                 "\"shards\":{},\"k\":{},\"batch\":{},",
                 "\"sample_build_ms\":{:.3},\"select_top_k_ms\":{:.3},",
                 "\"spread_batch_ms\":{:.3}}}"
             ),
+            self.label,
             self.provenance,
             self.graph,
             self.num_nodes,
@@ -115,6 +137,30 @@ impl SampleSelectReport {
             self.spread_batch_ms,
         )
     }
+
+    /// Reads one phase timing back by key.
+    pub fn phase_ms(&self, key: &str) -> Option<f64> {
+        match key {
+            "sample_build_ms" => Some(self.sample_build_ms),
+            "select_top_k_ms" => Some(self.select_top_k_ms),
+            "spread_batch_ms" => Some(self.spread_batch_ms),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts field `key`'s numeric value from one serialized report line.
+/// A minimal scanner (the report format is flat, fields never contain `,`
+/// or `}`), so the `--check` regression guard works in offline-stub
+/// builds where no real JSON parser is available.
+pub fn json_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -164,6 +210,7 @@ mod tests {
     #[test]
     fn report_serializes_every_field() {
         let report = SampleSelectReport {
+            label: "after".into(),
             provenance: "unit-test".into(),
             graph: "facebook:1".into(),
             num_nodes: 4039,
@@ -178,6 +225,7 @@ mod tests {
         let json = report.to_json();
         for key in [
             "\"bench\":\"sample_select\"",
+            "\"label\":\"after\"",
             "\"provenance\":\"unit-test\"",
             "\"graph\":\"facebook:1\"",
             "\"theta\":20000",
@@ -190,5 +238,34 @@ mod tests {
         let (elapsed, value) = time_best_of(3, || 41 + 1);
         assert_eq!(value, 42);
         assert!(elapsed < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn json_number_roundtrips_phases() {
+        let report = SampleSelectReport {
+            label: "before".into(),
+            provenance: "unit-test".into(),
+            graph: "facebook:1".into(),
+            num_nodes: 4039,
+            theta: 20_000,
+            shards: 4,
+            k: 50,
+            batch: 64,
+            sample_build_ms: 92.897,
+            select_top_k_ms: 5.644,
+            spread_batch_ms: 0.107,
+        };
+        let line = report.to_json();
+        for key in PHASE_KEYS {
+            let parsed = json_number(&line, key).unwrap();
+            let original = report.phase_ms(key).unwrap();
+            assert!(
+                (parsed - original).abs() < 1e-9,
+                "{key}: {parsed} vs {original}"
+            );
+        }
+        assert_eq!(json_number(&line, "theta"), Some(20_000.0));
+        assert_eq!(json_number(&line, "no_such_key"), None);
+        assert_eq!(json_number("not json", "sample_build_ms"), None);
     }
 }

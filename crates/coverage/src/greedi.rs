@@ -26,6 +26,7 @@ use dim_cluster::{phase, wire, ClusterBackend};
 use crate::greedy::bucket_greedy;
 use crate::pooled::PooledSets;
 use crate::problem::{CoverageProblem, SetShard};
+use crate::scratch;
 
 /// Result of a GreeDi run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -55,45 +56,48 @@ impl Candidates {
 }
 
 /// Local greedy on a set shard: CELF over the machine's sets, covering the
-/// *global* element domain (each machine pays an `O(num_elements)` covered
-/// bitmap — the set-distributed layout's memory redundancy).
+/// *global* element domain. The covered flags come from the pooled
+/// epoch-stamped scratch, so repeated invocations (every machine, every
+/// round) reuse one thread-local buffer instead of allocating an
+/// `O(num_elements)` bitmap each time.
 fn local_greedy(shard: &SetShard, kappa: usize) -> Candidates {
-    let mut covered = vec![false; shard.num_elements];
-    let mut heap: BinaryHeap<(u64, Reverse<usize>)> = shard
-        .set_ids
-        .iter()
-        .enumerate()
-        .map(|(i, _)| (shard.set_elements.get(i).len() as u64, Reverse(i)))
-        .filter(|&(c, _)| c > 0)
-        .collect();
-    let mut ids = Vec::with_capacity(kappa);
-    let mut element_lists = PooledSets::new();
-    while ids.len() < kappa {
-        let Some((stale, Reverse(i))) = heap.pop() else {
-            break;
-        };
-        let fresh = shard
-            .set_elements
-            .get(i)
+    scratch::with_flags(shard.num_elements, |covered| {
+        let mut heap: BinaryHeap<(u64, Reverse<usize>)> = shard
+            .set_ids
             .iter()
-            .filter(|&&e| !covered[e as usize])
-            .count() as u64;
-        debug_assert!(fresh <= stale);
-        if fresh == 0 {
-            continue;
-        }
-        let next_best = heap.peek().map(|&(c, _)| c).unwrap_or(0);
-        if fresh >= next_best {
-            for &e in shard.set_elements.get(i) {
-                covered[e as usize] = true;
+            .enumerate()
+            .map(|(i, _)| (shard.set_elements.get(i).len() as u64, Reverse(i)))
+            .filter(|&(c, _)| c > 0)
+            .collect();
+        let mut ids = Vec::with_capacity(kappa);
+        let mut element_lists = PooledSets::new();
+        while ids.len() < kappa {
+            let Some((stale, Reverse(i))) = heap.pop() else {
+                break;
+            };
+            let fresh = shard
+                .set_elements
+                .get(i)
+                .iter()
+                .filter(|&&e| !covered.is_set(e as usize))
+                .count() as u64;
+            debug_assert!(fresh <= stale);
+            if fresh == 0 {
+                continue;
             }
-            ids.push(shard.set_ids[i]);
-            element_lists.push(shard.set_elements.get(i));
-        } else {
-            heap.push((fresh, Reverse(i)));
+            let next_best = heap.peek().map(|&(c, _)| c).unwrap_or(0);
+            if fresh >= next_best {
+                for &e in shard.set_elements.get(i) {
+                    covered.set(e as usize);
+                }
+                ids.push(shard.set_ids[i]);
+                element_lists.push(shard.set_elements.get(i));
+            } else {
+                heap.push((fresh, Reverse(i)));
+            }
         }
-    }
-    Candidates { ids, element_lists }
+        Candidates { ids, element_lists }
+    })
 }
 
 /// Runs GreeDi with core-set size `kappa` (the paper sets `κ = k`).
@@ -138,26 +142,26 @@ where
         };
 
         let mut best = merged;
-        let mut covered_buf = vec![false; num_elements];
-        for c in &candidates {
-            covered_buf.fill(false);
-            let take = k.min(c.ids.len());
-            let mut covered = 0u64;
-            for pos in 0..take {
-                for &e in c.element_lists.get(pos) {
-                    if !covered_buf[e as usize] {
-                        covered_buf[e as usize] = true;
-                        covered += 1;
+        scratch::with_flags(num_elements, |covered_buf| {
+            for c in &candidates {
+                covered_buf.clear();
+                let take = k.min(c.ids.len());
+                let mut covered = 0u64;
+                for pos in 0..take {
+                    for &e in c.element_lists.get(pos) {
+                        if covered_buf.set(e as usize) {
+                            covered += 1;
+                        }
                     }
                 }
+                if covered > best.covered {
+                    best = GreediResult {
+                        seeds: c.ids[..take].to_vec(),
+                        covered,
+                    };
+                }
             }
-            if covered > best.covered {
-                best = GreediResult {
-                    seeds: c.ids[..take].to_vec(),
-                    covered,
-                };
-            }
-        }
+        });
         best
     })
 }

@@ -61,9 +61,9 @@ pub fn bucket_greedy(shard: &mut CoverageShard, k: usize) -> GreedyResult {
         };
         seeds.push(u);
         marginals.push(cov);
-        for (v, d) in shard.apply_seed(u) {
-            selector.decrease(v, d as u64);
-        }
+        // Per-occurrence decrements: `decrease` is commutative, so skipping
+        // the aggregation/sort of `apply_seed` leaves identical state.
+        shard.apply_seed_each(u, |v| selector.decrease(v, 1));
     }
     GreedyResult {
         seeds,

@@ -26,6 +26,8 @@
 //! * [`query`] — read-only influence queries over frozen shards
 //!   ([`QueryCursor`]): seed-set spread and constrained top-k, the
 //!   substrate of `dim serve`.
+//! * [`scratch`] — epoch-stamped reusable flag buffers ([`scratch::EpochFlags`])
+//!   that replace per-call `vec![false; n]` allocations on the hot paths.
 //!
 //! # Example
 //!
@@ -51,6 +53,7 @@ pub mod newgreedi;
 pub mod pooled;
 pub mod problem;
 pub mod query;
+pub mod scratch;
 pub mod selector;
 pub mod shard;
 

@@ -4,10 +4,25 @@
 /// in one pool. Mirrors `dim_diffusion::RrStore` but lives here so the
 /// coverage layer has no dependency on diffusion (maximum coverage is a
 /// standalone problem — Fig. 10 runs it on graph neighborhoods).
-#[derive(Clone, Debug, Default)]
+///
+/// The offset array is `u32` (struct-of-arrays over one arena), halving
+/// the index footprint versus `usize` offsets so more of the hot transpose
+/// index stays cache-resident; the pool is therefore capped at `u32::MAX`
+/// entries and `u32::MAX` lists, enforced by [`PooledSets::push`].
+///
+/// **Invariant** (maintained by every constructor and relied on by the
+/// unchecked hot-path accessors): `offsets` is non-empty, starts at 0, is
+/// monotone non-decreasing, and ends at `pool.len()`.
+#[derive(Clone, Debug)]
 pub struct PooledSets {
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     pool: Vec<u32>,
+}
+
+impl Default for PooledSets {
+    fn default() -> Self {
+        PooledSets::new()
+    }
 }
 
 impl PooledSets {
@@ -30,28 +45,66 @@ impl PooledSets {
         }
     }
 
-    /// Reassembles storage from raw parts (inverse of [`Self::into_parts`]).
+    /// Validated reassembly from raw parts (inverse of
+    /// [`Self::into_parts`]): `Err` with the violated condition instead of
+    /// panicking, so callers holding untrusted bytes (dim-store snapshot
+    /// decoding) can surface a typed corruption error.
+    pub fn try_from_parts(offsets: Vec<usize>, pool: Vec<u32>) -> Result<Self, &'static str> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err("offset array must start at zero");
+        }
+        if *offsets.last().unwrap() != pool.len() {
+            return Err("offset array must end at the pool length");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset array must be monotone");
+        }
+        if pool.len() > u32::MAX as usize || offsets.len() - 1 > u32::MAX as usize {
+            return Err("pool or list count exceeds the u32 arena bound");
+        }
+        Ok(PooledSets {
+            offsets: offsets.into_iter().map(|o| o as u32).collect(),
+            pool,
+        })
+    }
+
+    /// Reassembles storage from raw parts.
     ///
     /// # Panics
     /// Panics if `offsets` is not a valid monotone offset array over `pool`.
+    /// Use [`Self::try_from_parts`] when the parts are untrusted.
     pub fn from_parts(offsets: Vec<usize>, pool: Vec<u32>) -> Self {
-        assert!(!offsets.is_empty() && offsets[0] == 0);
-        assert_eq!(*offsets.last().unwrap(), pool.len());
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        PooledSets { offsets, pool }
+        Self::try_from_parts(offsets, pool).expect("malformed PooledSets parts")
     }
 
-    /// Decomposes into `(offsets, pool)` without copying.
+    /// Decomposes into `(offsets, pool)` without copying the pool.
     pub fn into_parts(self) -> (Vec<usize>, Vec<u32>) {
-        (self.offsets, self.pool)
+        (
+            self.offsets.into_iter().map(|o| o as usize).collect(),
+            self.pool,
+        )
     }
 
     /// Appends one list; returns its id.
+    ///
+    /// # Panics
+    /// Panics (with a message naming the bound) instead of silently
+    /// truncating when the list count would exceed `u32::MAX` ids or the
+    /// pool would outgrow the `u32` offset range.
     pub fn push(&mut self, list: &[u32]) -> u32 {
-        let id = self.len() as u32;
+        let id = self.offsets.len() - 1;
+        assert!(
+            id <= u32::MAX as usize,
+            "PooledSets: list id would exceed u32::MAX (2^32 lists stored)"
+        );
+        let end = self.pool.len() + list.len();
+        assert!(
+            end <= u32::MAX as usize,
+            "PooledSets: pool length {end} exceeds the u32 offset range"
+        );
         self.pool.extend_from_slice(list);
-        self.offsets.push(self.pool.len());
-        id
+        self.offsets.push(end as u32);
+        id as u32
     }
 
     /// Number of lists.
@@ -65,8 +118,13 @@ impl PooledSets {
     }
 
     /// The `id`-th list.
+    #[inline]
     pub fn get(&self, id: usize) -> &[u32] {
-        &self.pool[self.offsets[id]..self.offsets[id + 1]]
+        let lo = self.offsets[id] as usize;
+        let hi = self.offsets[id + 1] as usize;
+        // SAFETY: the struct invariant guarantees offsets are monotone and
+        // bounded by `pool.len()`, so `lo..hi` is always in range.
+        unsafe { self.pool.get_unchecked(lo..hi) }
     }
 
     /// Total entries across all lists.
@@ -78,14 +136,15 @@ impl PooledSets {
     pub fn iter(&self) -> impl Iterator<Item = &[u32]> {
         self.offsets
             .windows(2)
-            .map(move |w| &self.pool[w[0]..w[1]])
+            .map(move |w| &self.pool[w[0] as usize..w[1] as usize])
     }
 
     /// Builds the transpose over value domain `0..domain`: for each value
     /// `v`, the ids of lists containing `v`. Returned in the same
     /// `PooledSets` representation (list `v` = ids containing `v`).
     pub fn transpose(&self, domain: usize) -> PooledSets {
-        let mut counts = vec![0usize; domain + 1];
+        // Counting sort; the pool invariant bounds every count by u32.
+        let mut counts = vec![0u32; domain + 1];
         for &v in &self.pool {
             counts[v as usize + 1] += 1;
         }
@@ -97,7 +156,7 @@ impl PooledSets {
         let mut ids = vec![0u32; self.pool.len()];
         for id in 0..self.len() {
             for &v in self.get(id) {
-                ids[cursor[v as usize]] = id as u32;
+                ids[cursor[v as usize] as usize] = id as u32;
                 cursor[v as usize] += 1;
             }
         }
@@ -116,9 +175,9 @@ mod tests {
     fn push_get_iter() {
         let mut p = PooledSets::new();
         assert!(p.is_empty());
-        p.push(&[1, 2]);
-        p.push(&[]);
-        p.push(&[0]);
+        assert_eq!(p.push(&[1, 2]), 0);
+        assert_eq!(p.push(&[]), 1);
+        assert_eq!(p.push(&[0]), 2);
         assert_eq!(p.len(), 3);
         assert_eq!(p.get(0), &[1, 2]);
         assert_eq!(p.get(1), &[] as &[u32]);
@@ -133,6 +192,7 @@ mod tests {
         p.push(&[3, 1]);
         p.push(&[2]);
         let (o, pool) = p.clone().into_parts();
+        assert_eq!(o, vec![0, 2, 3]);
         let q = PooledSets::from_parts(o, pool);
         assert_eq!(q.get(0), p.get(0));
         assert_eq!(q.get(1), p.get(1));
@@ -159,5 +219,23 @@ mod tests {
     #[should_panic]
     fn from_parts_validates() {
         PooledSets::from_parts(vec![0, 5], vec![1, 2]);
+    }
+
+    #[test]
+    fn try_from_parts_reports_each_violation() {
+        assert!(PooledSets::try_from_parts(vec![], vec![])
+            .unwrap_err()
+            .contains("start at zero"));
+        assert!(PooledSets::try_from_parts(vec![1, 2], vec![1, 2])
+            .unwrap_err()
+            .contains("start at zero"));
+        assert!(PooledSets::try_from_parts(vec![0, 5], vec![1, 2])
+            .unwrap_err()
+            .contains("end at the pool length"));
+        assert!(PooledSets::try_from_parts(vec![0, 2, 1, 3], vec![1, 2, 3])
+            .unwrap_err()
+            .contains("monotone"));
+        let ok = PooledSets::try_from_parts(vec![0, 1, 3], vec![7, 8, 9]).unwrap();
+        assert_eq!(ok.get(1), &[8, 9]);
     }
 }

@@ -8,6 +8,7 @@
 //! query threads with no locking.
 
 use crate::greedy::GreedyResult;
+use crate::scratch;
 use crate::selector::BucketSelector;
 use crate::shard::{CoverageShard, QueryCursor};
 
@@ -116,37 +117,39 @@ pub fn constrained_greedy(
         seeds.push(u);
         marginals.push(counts[u as usize]);
         for cursor in &mut cursors {
-            for (v, d) in cursor.apply_seed(u) {
-                counts[v as usize] -= d as u64;
+            cursor.apply_seed_each(u, |v| counts[v as usize] -= 1);
+        }
+    }
+    // The exclusion flags come from the pooled epoch-stamped scratch, so
+    // repeated queries (dim-serve) stop allocating them once warm.
+    scratch::with_flags(num_sets, |excluded| {
+        for &u in exclude {
+            if (u as usize) < num_sets {
+                counts[u as usize] = 0;
+                excluded.set(u as usize);
             }
         }
-    }
-    let mut excluded = vec![false; num_sets];
-    for &u in exclude {
-        if (u as usize) < num_sets {
-            counts[u as usize] = 0;
-            excluded[u as usize] = true;
-        }
-    }
-    // Forced seeds end at zero count (all their elements are covered), and
-    // excluded nodes were just zeroed, so neither enters the selector.
-    let mut selector = BucketSelector::new(&counts);
-    while seeds.len() < k {
-        let Some((u, cov)) = selector.select_next() else {
-            break;
-        };
-        seeds.push(u);
-        marginals.push(cov);
-        for cursor in &mut cursors {
-            for (v, d) in cursor.apply_seed(u) {
+        // Forced seeds end at zero count (all their elements are covered),
+        // and excluded nodes were just zeroed, so neither enters the
+        // selector.
+        let mut selector = BucketSelector::new(&counts);
+        while seeds.len() < k {
+            let Some((u, cov)) = selector.select_next() else {
+                break;
+            };
+            seeds.push(u);
+            marginals.push(cov);
+            for cursor in &mut cursors {
                 // Excluded nodes sit at a forced zero; their true coverage
                 // may still shrink, but the selector never revisits them.
-                if !excluded[v as usize] {
-                    selector.decrease(v, d as u64);
-                }
+                cursor.apply_seed_each(u, |v| {
+                    if !excluded.is_set(v as usize) {
+                        selector.decrease(v, 1);
+                    }
+                });
             }
         }
-    }
+    });
     GreedyResult {
         seeds,
         covered: cursors.iter().map(|c| c.covered_count() as u64).sum(),

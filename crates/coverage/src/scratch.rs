@@ -1,0 +1,166 @@
+//! Reusable epoch-stamped scratch flags for the coverage hot paths.
+//!
+//! Several selection paths need a transient "seen" flag per element or per
+//! set. Allocating `vec![false; n]` on every invocation puts an O(n)
+//! allocation + zeroing on paths that are otherwise linear in the touched
+//! entries; an epoch-stamped array clears in O(1) (bump the epoch) and a
+//! thread-local pool makes the buffer survive across invocations, so
+//! repeated queries stop allocating entirely once warm.
+
+use std::cell::RefCell;
+
+/// O(1)-clearable boolean flags over indices `0..len`, cleared by bumping
+/// an epoch instead of sweeping the array (the coverage-side sibling of
+/// `dim_diffusion::visit::VisitTracker`).
+#[derive(Clone, Debug, Default)]
+pub struct EpochFlags {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochFlags {
+    /// Creates flags for `n` indices, all unset.
+    pub fn new(n: usize) -> Self {
+        EpochFlags {
+            stamp: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Number of tracked indices.
+    pub fn len(&self) -> usize {
+        self.stamp.len()
+    }
+
+    /// True when no indices are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stamp.is_empty()
+    }
+
+    /// Grows the tracked range to at least `n` indices (new indices unset).
+    /// Never shrinks, so a pooled instance keeps its largest allocation.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+        }
+    }
+
+    /// Unsets every flag in amortized O(1) (a full sweep happens once per
+    /// `u32::MAX` clears to survive epoch wraparound).
+    #[inline]
+    pub fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Sets flag `i`. Returns `true` if it was previously unset.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        let slot = &mut self.stamp[i];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// True when flag `i` is set.
+    #[inline]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<EpochFlags> = RefCell::new(EpochFlags::default());
+}
+
+/// Runs `f` with a cleared thread-local [`EpochFlags`] covering `0..n`.
+///
+/// The buffer persists across calls on the same thread, so steady-state
+/// invocations perform no allocation (it only grows toward the largest `n`
+/// seen). Re-entrant: a nested call simply gets a fresh buffer for its own
+/// scope instead of aliasing the outer one.
+pub fn with_flags<T>(n: usize, f: impl FnOnce(&mut EpochFlags) -> T) -> T {
+    let mut flags = POOL.with(|cell| cell.take());
+    flags.grow(n);
+    flags.clear();
+    let out = f(&mut flags);
+    POOL.with(|cell| {
+        // Keep the larger buffer if a nested call left one behind.
+        if cell.borrow().len() <= flags.len() {
+            cell.replace(flags);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_query_clear() {
+        let mut f = EpochFlags::new(4);
+        assert!(!f.is_set(2));
+        assert!(f.set(2));
+        assert!(!f.set(2), "second set reports already-set");
+        assert!(f.is_set(2));
+        f.clear();
+        assert!(!f.is_set(2));
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn grow_keeps_existing_flags() {
+        let mut f = EpochFlags::new(2);
+        f.set(1);
+        f.grow(5);
+        assert!(f.is_set(1));
+        assert!(!f.is_set(4));
+        assert_eq!(f.len(), 5);
+        f.grow(3);
+        assert_eq!(f.len(), 5, "never shrinks");
+    }
+
+    #[test]
+    fn many_clears_stay_correct() {
+        let mut f = EpochFlags::new(1);
+        for _ in 0..10_000 {
+            f.clear();
+            assert!(!f.is_set(0));
+            f.set(0);
+            assert!(f.is_set(0));
+        }
+    }
+
+    #[test]
+    fn with_flags_is_reentrant() {
+        let outer = with_flags(8, |a| {
+            a.set(3);
+            let inner = with_flags(4, |b| {
+                // The nested buffer is independent and starts cleared.
+                assert!(!b.is_set(3));
+                b.set(1);
+                b.is_set(1)
+            });
+            assert!(inner);
+            a.is_set(3) && !a.is_set(1)
+        });
+        assert!(outer);
+        // The pooled buffer is cleared on reuse.
+        with_flags(8, |a| assert!(!a.is_set(3)));
+    }
+
+    #[test]
+    fn with_flags_keeps_largest_buffer() {
+        with_flags(100, |f| assert_eq!(f.len(), 100));
+        // A smaller request reuses the grown buffer.
+        with_flags(10, |f| assert!(f.len() >= 100));
+    }
+}

@@ -3,6 +3,7 @@
 use dim_cluster::{OpExecutor, WorkerOp, WorkerReply, WorkerStats};
 
 use crate::pooled::PooledSets;
+use crate::scratch::EpochFlags;
 
 /// One machine's shard of the elements in an element-distributed maximum
 /// coverage instance (the machine's RR sets `R_i` in the paper).
@@ -205,6 +206,27 @@ impl CoverageShard {
         self.drain_scratch()
     }
 
+    /// The map stage for seed `u` with a per-occurrence callback instead of
+    /// aggregated deltas: invokes `f(v)` once per occurrence of set `v` in
+    /// a newly covered element. Local selection loops feed these straight
+    /// into `BucketSelector::decrease` — which is commutative, so the
+    /// unaggregated, unsorted order yields identical selector state — and
+    /// skip the dense-counter aggregation, sort, and `Vec` that
+    /// [`Self::apply_seed`] pays for the deterministic wire format.
+    pub fn apply_seed_each(&mut self, u: u32, mut f: impl FnMut(u32)) {
+        assert!(!self.needs_prepare(), "call prepare() first");
+        for &e in self.index.get(u as usize) {
+            let e = e as usize;
+            if !self.covered[e] {
+                for &v in self.elements.get(e) {
+                    f(v);
+                }
+                self.covered[e] = true;
+                self.covered_count += 1;
+            }
+        }
+    }
+
     /// Number of locally covered elements after the seeds applied so far.
     pub fn covered_count(&self) -> usize {
         self.covered_count
@@ -243,7 +265,10 @@ const _: () = {
 /// [`CoverageShard::apply_seed`] would on a freshly prepared shard.
 pub struct QueryCursor<'a> {
     shard: &'a CoverageShard,
-    covered: Vec<bool>,
+    /// Epoch-stamped labels: [`QueryCursor::reset`] is an O(1) epoch bump,
+    /// so pooled cursors (dim-serve's `SketchCursors`) pay nothing to
+    /// start a fresh query.
+    covered: EpochFlags,
     covered_count: usize,
     scratch_counts: Vec<u32>,
     scratch_touched: Vec<u32>,
@@ -258,7 +283,7 @@ impl<'a> QueryCursor<'a> {
         assert!(!shard.needs_prepare(), "call prepare() first");
         QueryCursor {
             shard,
-            covered: vec![false; shard.num_elements()],
+            covered: EpochFlags::new(shard.num_elements()),
             covered_count: 0,
             scratch_counts: vec![0; shard.num_sets()],
             scratch_touched: Vec::new(),
@@ -273,14 +298,13 @@ impl<'a> QueryCursor<'a> {
     pub fn apply_seed(&mut self, u: u32) -> Vec<(u32, u32)> {
         for &e in self.shard.index.get(u as usize) {
             let e = e as usize;
-            if !self.covered[e] {
+            if self.covered.set(e) {
                 for &v in self.shard.elements.get(e) {
                     if self.scratch_counts[v as usize] == 0 {
                         self.scratch_touched.push(v);
                     }
                     self.scratch_counts[v as usize] += 1;
                 }
-                self.covered[e] = true;
                 self.covered_count += 1;
             }
         }
@@ -297,6 +321,24 @@ impl<'a> QueryCursor<'a> {
         out
     }
 
+    /// The map stage for seed `u` with a per-occurrence callback: same
+    /// contract as [`CoverageShard::apply_seed_each`], against this
+    /// cursor's private labels. No aggregation, sort, or allocation.
+    ///
+    /// # Panics
+    /// Panics if `u` is outside the set universe.
+    pub fn apply_seed_each(&mut self, u: u32, mut f: impl FnMut(u32)) {
+        for &e in self.shard.index.get(u as usize) {
+            let e = e as usize;
+            if self.covered.set(e) {
+                for &v in self.shard.elements.get(e) {
+                    f(v);
+                }
+                self.covered_count += 1;
+            }
+        }
+    }
+
     /// Applies seed `u` without aggregating deltas, returning only the
     /// number of newly covered elements — the cheap path for spread
     /// queries, which never feed a selector.
@@ -306,9 +348,7 @@ impl<'a> QueryCursor<'a> {
     pub fn cover(&mut self, u: u32) -> usize {
         let before = self.covered_count;
         for &e in self.shard.index.get(u as usize) {
-            let e = e as usize;
-            if !self.covered[e] {
-                self.covered[e] = true;
+            if self.covered.set(e as usize) {
                 self.covered_count += 1;
             }
         }
@@ -322,17 +362,28 @@ impl<'a> QueryCursor<'a> {
 
     /// Coverage set `u` would add right now.
     pub fn marginal(&self, u: u32) -> usize {
-        self.shard
-            .index
-            .get(u as usize)
+        // Chunked counting with independent accumulators: the flag probes
+        // are gathers, but four data-independent lanes keep the loads in
+        // flight instead of serializing on one counter.
+        let idx = self.shard.index.get(u as usize);
+        let mut lanes = [0usize; 4];
+        let mut chunks = idx.chunks_exact(4);
+        for c in &mut chunks {
+            for (lane, &e) in lanes.iter_mut().zip(c) {
+                *lane += !self.covered.is_set(e as usize) as usize;
+            }
+        }
+        let tail: usize = chunks
+            .remainder()
             .iter()
-            .filter(|&&e| !self.covered[e as usize])
-            .count()
+            .filter(|&&e| !self.covered.is_set(e as usize))
+            .count();
+        lanes.iter().sum::<usize>() + tail
     }
 
-    /// Labels everything uncovered again, reusing the allocations.
+    /// Labels everything uncovered again in O(1) (epoch bump).
     pub fn reset(&mut self) {
-        self.covered.iter_mut().for_each(|c| *c = false);
+        self.covered.clear();
         self.covered_count = 0;
     }
 }

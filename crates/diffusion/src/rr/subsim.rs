@@ -7,6 +7,15 @@
 //! between consecutive successful edges is geometric with parameter `p`, so
 //! the expected work per node drops from `O(indeg)` to `O(p · indeg + 1)`.
 //! Nodes with non-uniform in-probabilities fall back to per-edge coin flips.
+//!
+//! Jumps are the *default* on high-degree nodes, but they are not free: a
+//! geometric draw costs two transcendental ops (`ln`, division) versus one
+//! multiply-compare per coin, so on low-degree nodes the scalar coin loop
+//! wins even though it touches every edge. The constructor therefore
+//! applies a degree-threshold cutover per node: jumps when the expected
+//! coin work `d` exceeds [`JUMP_ALPHA`] times the expected jump work
+//! `p·d + 1`, i.e. when `d ≥ JUMP_ALPHA / (1 − p)` — on weighted-cascade
+//! graphs (`p = 1/d`) that is every node with in-degree above ≈`JUMP_ALPHA`.
 
 use rand::Rng;
 
@@ -15,19 +24,27 @@ use dim_graph::Graph;
 use crate::rr::RrSampler;
 use crate::visit::VisitTracker;
 
+/// Cost ratio of a geometric draw to a coin flip: a node uses jumps only
+/// when `indeg ≥ JUMP_ALPHA / (1 − p)`, so the expected number of jumps
+/// (`≈ p·d + 1`) is at least `JUMP_ALPHA` times cheaper than `d` coins.
+const JUMP_ALPHA: f64 = 4.0;
+
 /// Geometric-jump IC RR-set sampler.
 pub struct SubsimRrSampler<'g> {
     graph: &'g Graph,
-    /// Per node: `Some(ln(1 − p))` when all in-probabilities equal `p < 1`;
-    /// `Some(0.0)` encodes `p = 1` (every edge succeeds); `None` means
-    /// non-uniform (fallback path).
-    uniform_log1p: Vec<Option<f64>>,
+    /// Per node: `Some(ln(1 − p))` when all in-probabilities equal `p < 1`
+    /// *and* the degree clears the [`JUMP_ALPHA`] cutover; `Some(0.0)`
+    /// encodes `p = 1` (every edge succeeds, no RNG at all); `None` means
+    /// per-edge coin flips (non-uniform probabilities, or a degree too low
+    /// for jumps to pay).
+    jump_ln_q: Vec<Option<f64>>,
 }
 
 impl<'g> SubsimRrSampler<'g> {
-    /// Creates a sampler over `graph`, precomputing per-node uniformity.
+    /// Creates a sampler over `graph`, precomputing the per-node path
+    /// choice (jump / all-live / coins).
     pub fn new(graph: &'g Graph) -> Self {
-        let uniform_log1p = graph
+        let jump_ln_q = graph
             .nodes()
             .map(|v| {
                 let probs = graph.in_probs(v);
@@ -35,18 +52,18 @@ impl<'g> SubsimRrSampler<'g> {
                 if rest.iter().all(|&p| p == first) {
                     if first >= 1.0 {
                         Some(0.0)
-                    } else {
+                    } else if probs.len() as f64 >= JUMP_ALPHA / (1.0 - first as f64) {
                         Some((1.0 - first as f64).ln())
+                    } else {
+                        // Uniform but low-degree: coins are cheaper.
+                        None
                     }
                 } else {
                     None
                 }
             })
             .collect();
-        SubsimRrSampler {
-            graph,
-            uniform_log1p,
-        }
+        SubsimRrSampler { graph, jump_ln_q }
     }
 
     /// Processes `u`'s in-edges via geometric jumps; pushes newly reached
@@ -124,12 +141,15 @@ impl RrSampler for SubsimRrSampler<'_> {
             if sources.is_empty() {
                 continue;
             }
-            match self.uniform_log1p[u as usize] {
+            match self.jump_ln_q[u as usize] {
                 Some(ln_q) => {
                     work += self.jump_scan(sources, ln_q, rng, out, visited);
                 }
                 None => {
-                    // Non-uniform fallback: ordinary per-edge coins.
+                    // Coin path: ordinary per-edge flips. Already-visited
+                    // sources skip the draw entirely — their coin is
+                    // unobservable, so dropping it leaves the joint law of
+                    // observables unchanged.
                     let probs = self.graph.in_probs(u);
                     work += sources.len() as u64;
                     for (&w, &p) in sources.iter().zip(probs) {
@@ -238,7 +258,7 @@ mod tests {
         b.add_weighted_edge(2, 3, 0.2);
         let g = b.build(WeightModel::WeightedCascade);
         let sub = SubsimRrSampler::new(&g);
-        assert!(sub.uniform_log1p[3].is_none());
+        assert!(sub.jump_ln_q[3].is_none());
         let mut rng = Pcg64::seed_from_u64(5);
         let mut out = Vec::new();
         let mut visited = VisitTracker::new(4);
@@ -252,6 +272,88 @@ mod tests {
         }
         let est = 4.0 * hits as f64 / trials as f64;
         assert!((est - 3.664).abs() < 0.02, "RIS estimate {est}");
+    }
+
+    #[test]
+    fn cutover_picks_jumps_only_on_high_degree() {
+        // Hub in-degree 20, p = 0.05: 20 ≥ 4/(0.95) → jumps.
+        let g = star(20);
+        let sub = SubsimRrSampler::new(&g);
+        assert!(sub.jump_ln_q[20].is_some());
+        // Hub in-degree 3, p = 1/3: 3 < 4/(2/3) = 6 → coins, even though
+        // the in-probabilities are perfectly uniform.
+        let g = star(3);
+        let sub = SubsimRrSampler::new(&g);
+        assert!(sub.jump_ln_q[3].is_none());
+        // Spokes have no in-edges at all: `None` via the empty-probs path.
+        assert!(sub.jump_ln_q[0].is_none());
+    }
+
+    #[test]
+    fn probability_one_ignores_cutover() {
+        // p = 1 needs no RNG regardless of degree: all-live path.
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 2, 1.0);
+        b.add_weighted_edge(1, 2, 1.0);
+        let g = b.build(WeightModel::WeightedCascade);
+        let sub = SubsimRrSampler::new(&g);
+        assert_eq!(sub.jump_ln_q[2], Some(0.0));
+    }
+
+    /// Mixed-degree fixture: a 200-node double ring (in-degree 2, p = 1/2
+    /// → coin path) where most nodes also point at hub 0 (in-degree 199
+    /// → jump path), weighted-cascade probabilities.
+    fn mixed_fixture() -> Graph {
+        let n = 200u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            b.add_edge(i, (i + 1) % n);
+            b.add_edge(i, (i + 2) % n);
+            // Hub spokes, skipping sources whose ring edge already lands
+            // on 0 (no parallel edges).
+            if (1..=197).contains(&i) {
+                b.add_edge(i, 0);
+            }
+        }
+        b.build(WeightModel::WeightedCascade)
+    }
+
+    #[test]
+    fn size_distribution_matches_ic_sampler() {
+        // Kolmogorov–Smirnov two-sample test on RR-set sizes drawn by the
+        // jump sampler (cutover active: the fixture exercises both paths)
+        // versus the reverse-BFS sampler. Same distribution ⇒ the statistic
+        // stays under the α = 0.001 critical value.
+        let g = mixed_fixture();
+        let sub = SubsimRrSampler::new(&g);
+        let bfs = IcRrSampler::new(&g);
+        assert!(sub.jump_ln_q[0].is_some(), "hub must take the jump path");
+        assert!(sub.jump_ln_q[1].is_none(), "ring nodes take the coin path");
+        let trials = 8000usize;
+        let mut rng_a = Pcg64::seed_from_u64(11);
+        let mut rng_b = Pcg64::seed_from_u64(12);
+        let mut out = Vec::new();
+        let mut visited = VisitTracker::new(200);
+        let max_size = 200usize;
+        let mut hist_a = vec![0u32; max_size + 1];
+        let mut hist_b = vec![0u32; max_size + 1];
+        for _ in 0..trials {
+            sub.sample(&mut rng_a, &mut out, &mut visited);
+            hist_a[out.len().min(max_size)] += 1;
+            bfs.sample(&mut rng_b, &mut out, &mut visited);
+            hist_b[out.len().min(max_size)] += 1;
+        }
+        let mut cum_a = 0f64;
+        let mut cum_b = 0f64;
+        let mut ks = 0f64;
+        for s in 0..=max_size {
+            cum_a += hist_a[s] as f64 / trials as f64;
+            cum_b += hist_b[s] as f64 / trials as f64;
+            ks = ks.max((cum_a - cum_b).abs());
+        }
+        // Two-sample critical value c(α)·sqrt(2/n), c(0.001) ≈ 1.95.
+        let crit = 1.95 * (2.0 / trials as f64).sqrt();
+        assert!(ks < crit, "KS statistic {ks:.4} ≥ critical {crit:.4}");
     }
 
     #[test]

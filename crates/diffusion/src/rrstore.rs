@@ -35,11 +35,20 @@ impl RrStore {
     }
 
     /// Appends one RR set; returns its id within this store.
+    ///
+    /// # Panics
+    /// Panics instead of silently truncating the returned id when the
+    /// store already holds `u32::MAX` RR sets (same bound as
+    /// `PooledSets::push`).
     pub fn push(&mut self, rr: &[u32]) -> u32 {
-        let id = self.num_sets() as u32;
+        let id = self.num_sets();
+        assert!(
+            id <= u32::MAX as usize,
+            "RrStore: RR-set id would exceed u32::MAX (2^32 sets stored)"
+        );
         self.pool.extend_from_slice(rr);
         self.offsets.push(self.pool.len());
-        id
+        id as u32
     }
 
     /// Number of stored RR sets (`|R_i|`).

@@ -344,9 +344,12 @@ fn take_sets(r: &mut Reader<'_>, bound: usize, max_value: u64) -> Result<PooledS
         }
         pool.push(v);
     }
-    // Offsets were validated monotone with first == 0 and last == pool
-    // length, so `from_parts` cannot panic.
-    Ok(PooledSets::from_parts(offsets, pool))
+    // The checks above should make reassembly infallible, but these are
+    // hostile bytes: route through the validating constructor so any gap
+    // (e.g. a u64 offset overflowing the u32 arena bound) surfaces as
+    // `Corrupt` instead of a panic.
+    PooledSets::try_from_parts(offsets, pool)
+        .map_err(|_| StoreError::corrupt("section offsets malformed"))
 }
 
 /// Serializes a shard file: header + elements + transpose index, both

@@ -129,6 +129,34 @@ proptest! {
         let _ = decode_shard(&soup);
     }
 
+    /// Targeted offset-array corruption: overwrite one u64 in the elements
+    /// section's offset array with an arbitrary value and *re-fix the body
+    /// checksum*, so the hostile offsets reach the deep `PooledSets`
+    /// reassembly path rather than being stopped by the checksum. Decoding
+    /// must surface `StoreError::Corrupt` — never panic, never succeed.
+    #[test]
+    fn offset_corruption_surfaces_corrupt((header, elements) in any_shard(),
+                                          slot in any::<prop::sample::Index>(),
+                                          value in any::<u64>()) {
+        let bytes = encode(&header, &elements);
+        let hdr_end = 4 + 4 + 4 + header.encode().len() + 8;
+        // Elements section: count u64, then count+1 offsets.
+        let off0 = hdr_end + 8;
+        let i = slot.index(elements.len() + 1);
+        let pos = off0 + i * 8;
+        let original = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        prop_assume!(value != original);
+        let mut mutated = bytes;
+        mutated[pos..pos + 8].copy_from_slice(&value.to_le_bytes());
+        let body_end = mutated.len() - 8;
+        let sum = fnv1a(&mutated[hdr_end..body_end]);
+        mutated[body_end..].copy_from_slice(&sum.to_le_bytes());
+        prop_assert!(
+            matches!(decode_shard(&mutated), Err(StoreError::Corrupt { .. })),
+            "offset slot {} set to {} was not rejected as Corrupt", i, value
+        );
+    }
+
     /// FNV-1a matches the reference test vectors' structure: empty input
     /// hashes to the offset basis, and the hash is order-sensitive.
     #[test]

@@ -1,0 +1,112 @@
+//! Regression guard for per-call scratch allocations on the query hot
+//! paths: repeated queries against a frozen sketch must reuse their
+//! buffers, not re-allocate them.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. The whole
+//! guard lives in ONE test function — the counter is process-global, so a
+//! second concurrently running test would make the deltas meaningless.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dim_coverage::{constrained_greedy, scratch, CoverageShard, SketchCursors};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Deterministic little sketch: 3 shards over a 100-set universe.
+fn fixture() -> Vec<CoverageShard> {
+    (0..3u32)
+        .map(|s| {
+            let records: Vec<Vec<u32>> = (0..200u32)
+                .map(|e| {
+                    (0..(e % 7 + 1))
+                        .map(|j| (s * 31 + e * 13 + j * 41) % 100)
+                        .collect()
+                })
+                .collect();
+            CoverageShard::from_records(100, records.iter().map(Vec::as_slice))
+        })
+        .collect()
+}
+
+#[test]
+fn hot_query_paths_do_not_allocate_in_steady_state() {
+    let shards = fixture();
+
+    // The pooled epoch-stamped scratch allocates only while growing.
+    scratch::with_flags(100, |f| {
+        f.set(3);
+    });
+    let baseline = allocs();
+    for round in 0..10usize {
+        scratch::with_flags(100, |f| {
+            assert!(!f.is_set(3), "flags leaked across with_flags calls");
+            f.set(round);
+        });
+    }
+    assert_eq!(
+        allocs(),
+        baseline,
+        "warm pooled scratch re-allocated on reuse"
+    );
+
+    // Batched spread queries through reused cursors: after the first
+    // evaluation, resets are epoch bumps and covering allocates nothing.
+    let mut cursors = SketchCursors::new(&shards);
+    cursors.seed_set_coverage(&[1, 2, 3]);
+    let baseline = allocs();
+    let mut checksum = 0u64;
+    for i in 0..50u32 {
+        checksum += cursors.seed_set_coverage(&[i % 100, (i + 7) % 100, (i + 31) % 100]);
+    }
+    assert!(checksum > 0);
+    assert_eq!(
+        allocs(),
+        baseline,
+        "repeated spread queries allocated in steady state"
+    );
+
+    // Full constrained selection allocates per call (cursors, counts,
+    // selector), but the per-call count must be flat across repeats —
+    // growth would mean some scratch escaped the reuse pools.
+    let run = || constrained_greedy(&shards, 5, &[], &[2, 17]);
+    let first = run();
+    let a = allocs();
+    let second = run();
+    let per_call = allocs() - a;
+    let b = allocs();
+    let third = run();
+    assert_eq!(
+        allocs() - b,
+        per_call,
+        "constrained_greedy per-call allocations grew between runs"
+    );
+    assert_eq!(first.seeds, second.seeds);
+    assert_eq!(second.seeds, third.seeds);
+    assert!(!first.seeds.contains(&2) && !first.seeds.contains(&17));
+}

@@ -66,6 +66,43 @@ fn diimm_identical_across_backends() {
     }
 }
 
+/// The SUBSIM sampler — including its degree-based geometric-jump cutover,
+/// which routes high-in-degree nodes through the jump path and everything
+/// else through per-edge coins — is held to the same contract: the cutover
+/// is a per-node *speed* decision inside one machine's sampler, so seeds,
+/// marginals, and RR-set mass must be byte-identical across every backend
+/// and machine count.
+#[test]
+fn diimm_subsim_cutover_identical_across_backends() {
+    let g = DatasetProfile::Facebook.generate(0.1, 11);
+    let config = ImConfig {
+        k: 6,
+        sampler: SamplerKind::Subsim,
+        ..ImConfig::paper_defaults(&g, 0.4, 29)
+    };
+    for machines in MACHINE_COUNTS {
+        let reference = diimm(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        )
+        .unwrap();
+        assert_eq!(reference.seeds.len(), 6);
+        for mode in [ExecMode::Threads, ExecMode::Rayon] {
+            let r = diimm(&g, &config, machines, NetworkModel::cluster_1gbps(), mode).unwrap();
+            let ctx = format!("ℓ = {machines}, {mode:?}");
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+        }
+    }
+}
+
 /// NewGreeDi: the full result — seeds, coverage, *and per-seed marginals* —
 /// is identical across backends for every sharding.
 #[test]
@@ -241,6 +278,41 @@ mod proc_backend {
                 assert_measured_transfers(&r.timeline, &format!("diimm {ctx}"));
                 assert_eq!(cluster.link_errors(), 0, "{ctx}");
             }
+        }
+    }
+
+    /// The SUBSIM cutover on the process backend: worker-resident samplers
+    /// (initialized over the wire via `InitSampler`) make the same per-node
+    /// jump/coin decisions as the simulator's, so the answer is identical.
+    #[test]
+    fn diimm_subsim_proc_matches_sequential() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = ImConfig {
+            k: 6,
+            sampler: SamplerKind::Subsim,
+            ..ImConfig::paper_defaults(&g, 0.4, 29)
+        };
+        for machines in [1usize, 2] {
+            let reference = diimm::diimm_with_options(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+                true,
+            )
+            .unwrap();
+            let mut cluster = proc_cluster(machines, config.seed);
+            setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+            let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+            let ctx = format!("subsim ℓ = {machines}");
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+            assert_eq!(cluster.link_errors(), 0, "{ctx}");
         }
     }
 
@@ -490,6 +562,44 @@ mod join_backend {
             for w in workers {
                 assert_eq!(w.join().unwrap(), vec![SessionEnd::Shutdown], "{ctx}");
             }
+        }
+    }
+
+    /// The SUBSIM cutover on the join backend: registered (not spawned)
+    /// workers running the jump/coin sampler reproduce the sequential
+    /// simulator bit for bit.
+    #[test]
+    fn diimm_subsim_join_matches_sequential() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = ImConfig {
+            k: 6,
+            sampler: SamplerKind::Subsim,
+            ..ImConfig::paper_defaults(&g, 0.4, 29)
+        };
+        let machines = 2;
+        let reference = diimm_with_options(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+            true,
+        )
+        .unwrap();
+        let mut rendezvous = Rendezvous::bind("127.0.0.1:0", join_config(machines)).unwrap();
+        let workers = start_workers(rendezvous.local_addr().unwrap(), machines, 1, None);
+        let mut cluster = accept(&mut rendezvous, config.seed);
+        setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+        let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+        assert_eq!(r.seeds, reference.seeds);
+        assert_eq!(r.marginals, reference.marginals);
+        assert_eq!(r.coverage, reference.coverage);
+        assert_eq!(r.num_rr_sets, reference.num_rr_sets);
+        assert_eq!(r.total_rr_size, reference.total_rr_size);
+        assert_eq!(cluster.link_errors(), 0);
+        drop(cluster);
+        for w in workers {
+            assert_eq!(w.join().unwrap(), vec![SessionEnd::Shutdown]);
         }
     }
 

@@ -19,10 +19,13 @@ set -eu
 
 cd "$(dirname "$0")/../.."
 ROOT="$PWD"
-OUT="$ROOT/target/offline-check"
+# OPT="-O" builds optimized artifacts into a separate target directory —
+# what the bench-recording workflow (dim-benchrec) uses offline.
+OPT="${OPT:-}"
+OUT="$ROOT/target/offline-check${OPT:+-opt}"
 mkdir -p "$OUT"
 RUSTC="${RUSTC:-rustc}"
-FLAGS="--edition 2021 -L dependency=$OUT"
+FLAGS="--edition 2021 $OPT -L dependency=$OUT"
 FEAT='--cfg feature="proc-backend"'
 
 BUILD_ONLY=0
@@ -185,6 +188,7 @@ itest() { # itest <name> <src>
         -o "$OUT/$name" --extern dim="$OUT/libdim.rlib" $DIM_DEPS $RAND
 }
 
+itest alloc_regression tests/alloc_regression.rs
 itest backend_equivalence tests/backend_equivalence.rs
 itest distributed_equivalence tests/distributed_equivalence.rs
 itest end_to_end tests/end_to_end.rs
@@ -198,8 +202,8 @@ itest serve tests/serve.rs
 FAILED=0
 for t in dim_graph_unit dim_diffusion_unit dim_cluster_unit dim_coverage_unit \
          dim_store_unit dim_serve_unit dim_core_unit dim_bench_unit \
-         backend_equivalence distributed_equivalence end_to_end concentration \
-         cli proc_backend serve; do
+         alloc_regression backend_equivalence distributed_equivalence \
+         end_to_end concentration cli proc_backend serve; do
     say "run $t"
     # incremental_reporting_preserves_output asserts a *strict* traffic
     # decrease, which depends on the real RNG stream's RR-set shapes; under
