@@ -7,7 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use dim_bench::sample_select::{batch_seed_sets, build_shards, select_top_k, spread_batch};
+use dim_bench::sample_select::{
+    batch_seed_sets, build_shards, select_top_k, spread_batch, time_stream_apply,
+};
 use dim_graph::DatasetProfile;
 
 /// RR sets per benchmark sketch.
@@ -50,5 +52,25 @@ fn bench_select(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sample, bench_select);
+fn bench_stream(c: &mut Criterion) {
+    let graph = DatasetProfile::Facebook.generate(1.0, 42);
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+
+    // Edge-stream repair: apply one 64-op edit batch to a machine holding
+    // THETA resident RR sets and re-sample exactly the invalidated sets
+    // (the `WorkerOp::ApplyDelta` hot path of `dim stream`). The worker
+    // rebuild between measurements is excluded by `time_stream_apply`.
+    group.bench_function(format!("apply_64_edits_{THETA}_sets"), |b| {
+        b.iter_custom(|iters| {
+            (0..iters)
+                .map(|_| time_stream_apply(&graph, THETA, 64, 1, 7).0)
+                .sum()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample, bench_select, bench_stream);
 criterion_main!(benches);

@@ -7,9 +7,10 @@
 //!
 //! ```text
 //! dim-benchrec [--graph facebook] [--scale 1.0] [--theta 20000]
-//!              [--shards 4] [--k 50] [--batch 64] [--iters 3]
-//!              [--out BENCH_sample_select.json] [--provenance LABEL]
-//!              [--label NAME] [--append true] [--check FILE]
+//!              [--shards 4] [--k 50] [--batch 64] [--edits 64]
+//!              [--iters 3] [--out BENCH_sample_select.json]
+//!              [--provenance LABEL] [--label NAME] [--append true]
+//!              [--check FILE]
 //! ```
 //!
 //! `--label` tags the recorded line (e.g. `before` / `after` around an
@@ -26,7 +27,7 @@ use std::process::ExitCode;
 
 use dim_bench::sample_select::{
     batch_seed_sets, build_shards, json_number, select_top_k, spread_batch, time_best_of,
-    SampleSelectReport, PHASE_KEYS,
+    time_stream_apply, SampleSelectReport, PHASE_KEYS,
 };
 use dim_graph::DatasetProfile;
 
@@ -82,6 +83,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let shards: usize = num(&flags, "shards", 4usize)?;
     let k: usize = num(&flags, "k", 50usize)?;
     let batch: usize = num(&flags, "batch", 64usize)?;
+    let edits: usize = num(&flags, "edits", 64usize)?;
     let iters: usize = num(&flags, "iters", 3usize)?.max(1);
     let graph = profile.generate(scale, 42);
 
@@ -89,6 +91,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let (select_elapsed, seeds) = time_best_of(iters, || select_top_k(&sketch, k));
     let seed_sets = batch_seed_sets(graph.num_nodes(), batch, 4);
     let (batch_elapsed, coverage) = time_best_of(iters, || spread_batch(&sketch, &seed_sets));
+    let (stream_elapsed, stream) = time_stream_apply(&graph, theta, edits, iters, 7);
 
     let report = SampleSelectReport {
         label: flags.get("label").map_or("current", |s| s).to_string(),
@@ -102,6 +105,9 @@ fn record(args: &[String]) -> Result<(), String> {
         sample_build_ms: sample_elapsed.as_secs_f64() * 1e3,
         select_top_k_ms: select_elapsed.as_secs_f64() * 1e3,
         spread_batch_ms: batch_elapsed.as_secs_f64() * 1e3,
+        stream_apply_ms: stream_elapsed.as_secs_f64() * 1e3,
+        stream_edits: stream.edits,
+        stream_resampled: stream.sets_resampled,
     };
     println!(
         "dim-benchrec: {name}:{scale} (n = {}), θ = {theta} in {shards} shard(s), \
@@ -117,6 +123,11 @@ fn record(args: &[String]) -> Result<(), String> {
     println!(
         "  spread x{batch}: {:>10.3} ms (coverage checksum {coverage})",
         report.spread_batch_ms
+    );
+    let edits_per_sec = report.stream_edits as f64 / (report.stream_apply_ms / 1e3).max(1e-9);
+    println!(
+        "  stream x{edits}: {:>10.3} ms ({edits_per_sec:.0} edits/s, {} sets resampled)",
+        report.stream_apply_ms, report.stream_resampled
     );
     let check_result = match flags.get("check") {
         Some(committed) => Some(check_regression(committed, &report)?),
@@ -168,8 +179,13 @@ fn check_regression(committed: &str, fresh: &SampleSelectReport) -> Result<bool,
     println!("checking against {committed} (entry {label:?}):");
     let mut ok = true;
     for key in PHASE_KEYS {
-        let was = json_number(baseline, key)
-            .ok_or_else(|| format!("{committed}: entry lacks numeric {key}"))?;
+        // A committed entry may predate a phase (e.g. `stream_apply_ms`
+        // landed after the trajectory started): skip it instead of
+        // failing, so --check keeps working against older baselines.
+        let Some(was) = json_number(baseline, key) else {
+            println!("  {key}: not recorded in baseline entry, skipped");
+            continue;
+        };
         let now = fresh.phase_ms(key).expect("known phase key");
         let budget = was * (1.0 + CHECK_TOLERANCE) + CHECK_SLACK_MS;
         let verdict = if now <= budget { "ok" } else { "REGRESSED" };

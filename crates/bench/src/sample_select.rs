@@ -9,11 +9,13 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
+use dim_core::diimm::DiimmWorker;
+use dim_core::{ImConfig, SamplerKind};
 use dim_coverage::{constrained_greedy, CoverageShard, SketchCursors};
 use dim_diffusion::rr::{AnySampler, RrSampler};
 use dim_diffusion::visit::VisitTracker;
 use dim_diffusion::DiffusionModel;
-use dim_graph::Graph;
+use dim_graph::{DeltaBatch, EdgeOp, Graph};
 
 /// Samples `theta` RR sets under IC and builds the per-machine coverage
 /// shards — what one `dim sample` machine does before persisting.
@@ -72,6 +74,84 @@ pub fn spread_batch(shards: &[CoverageShard], seed_sets: &[Vec<u32>]) -> u64 {
         .sum()
 }
 
+/// The deterministic edit batch the stream-apply workload applies:
+/// `edits` ops cycling insert → reweight → delete over spread-out node
+/// pairs. Delta semantics make every op valid on any graph of `num_nodes`
+/// nodes: inserts overwrite, reweights/deletes of missing edges are
+/// no-ops — so the batch needs no knowledge of the edge set.
+pub fn stream_edit_batch(num_nodes: usize, edits: usize, seq: u64) -> DeltaBatch {
+    let n = num_nodes.max(2) as u32;
+    let ops = (0..edits as u32)
+        .map(|i| {
+            let u = (i * 131 + 7) % n;
+            // `1 + offset` is in `[1, n − 1]`, so `v` can never equal `u`.
+            let v = (u + 1 + (i * 37) % (n - 1)) % n;
+            match i % 3 {
+                0 => EdgeOp::Insert { u, v, p: 0.3 },
+                1 => EdgeOp::Reweight { u, v, p: 0.6 },
+                _ => EdgeOp::Delete { u, v },
+            }
+        })
+        .collect();
+    DeltaBatch::new(seq, ops)
+}
+
+/// What one stream-apply pass did, alongside its timing.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamApplyOutcome {
+    /// Edge ops the batch carried.
+    pub edits: usize,
+    /// RR sets the batch invalidated — each one re-sampled on its
+    /// original per-set stream against the mutated graph.
+    pub sets_resampled: usize,
+}
+
+/// Best-of-`iters` timing of the edge-stream repair hot path: one DiIMM
+/// machine holding `theta` resident RR sets applies an `edits`-op batch
+/// and incrementally re-samples exactly the invalidated sets — what
+/// `WorkerOp::ApplyDelta` costs per machine in `dim stream`. Each
+/// iteration rebuilds an identical resident worker outside the timed
+/// region (including the shard index build), so the measurement covers
+/// only validate + graph rebuild + invalidation scan + re-sample +
+/// element replacement.
+pub fn time_stream_apply(
+    graph: &Graph,
+    theta: usize,
+    edits: usize,
+    iters: usize,
+    seed: u64,
+) -> (Duration, StreamApplyOutcome) {
+    assert!(iters >= 1);
+    let config = ImConfig {
+        k: 1,
+        epsilon: 0.5,
+        delta: 0.1,
+        seed,
+        sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+    };
+    let batch = stream_edit_batch(graph.num_nodes(), edits, 0);
+    let mut best: Option<Duration> = None;
+    let mut outcome = None;
+    for _ in 0..iters {
+        let mut worker = DiimmWorker::new(graph, &config, 0);
+        worker.generate(theta);
+        worker.shard.prepare();
+        let start = Instant::now();
+        let repaired = worker
+            .apply_delta(&batch)
+            .expect("generated batch is valid for the graph");
+        let elapsed = start.elapsed();
+        if best.map_or(true, |b| elapsed < b) {
+            best = Some(elapsed);
+        }
+        outcome = Some(StreamApplyOutcome {
+            edits: batch.ops.len(),
+            sets_resampled: repaired.len(),
+        });
+    }
+    (best.unwrap(), outcome.unwrap())
+}
+
 /// Best-of-`iters` wall-clock of `f` (minimum is the standard
 /// noise-robust point estimate for CPU-bound microbenchmarks).
 pub fn time_best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
@@ -108,11 +188,23 @@ pub struct SampleSelectReport {
     pub sample_build_ms: f64,
     pub select_top_k_ms: f64,
     pub spread_batch_ms: f64,
+    pub stream_apply_ms: f64,
+    /// Edge ops the stream-apply phase pushed through one machine.
+    pub stream_edits: usize,
+    /// RR sets those edits invalidated (and the repair re-sampled).
+    pub stream_resampled: usize,
 }
 
 /// The timed-phase keys a report records, shared by the writer and the
-/// `--check` regression guard.
-pub const PHASE_KEYS: [&str; 3] = ["sample_build_ms", "select_top_k_ms", "spread_batch_ms"];
+/// `--check` regression guard. The guard skips any key the committed
+/// baseline entry predates, so adding a phase here never breaks `--check`
+/// against an older trajectory file.
+pub const PHASE_KEYS: [&str; 4] = [
+    "sample_build_ms",
+    "select_top_k_ms",
+    "spread_batch_ms",
+    "stream_apply_ms",
+];
 
 impl SampleSelectReport {
     pub fn to_json(&self) -> String {
@@ -122,7 +214,8 @@ impl SampleSelectReport {
                 "\"graph\":\"{}\",\"num_nodes\":{},\"theta\":{},",
                 "\"shards\":{},\"k\":{},\"batch\":{},",
                 "\"sample_build_ms\":{:.3},\"select_top_k_ms\":{:.3},",
-                "\"spread_batch_ms\":{:.3}}}"
+                "\"spread_batch_ms\":{:.3},\"stream_apply_ms\":{:.3},",
+                "\"stream_edits\":{},\"stream_resampled\":{}}}"
             ),
             self.label,
             self.provenance,
@@ -135,6 +228,9 @@ impl SampleSelectReport {
             self.sample_build_ms,
             self.select_top_k_ms,
             self.spread_batch_ms,
+            self.stream_apply_ms,
+            self.stream_edits,
+            self.stream_resampled,
         )
     }
 
@@ -144,6 +240,7 @@ impl SampleSelectReport {
             "sample_build_ms" => Some(self.sample_build_ms),
             "select_top_k_ms" => Some(self.select_top_k_ms),
             "spread_batch_ms" => Some(self.spread_batch_ms),
+            "stream_apply_ms" => Some(self.stream_apply_ms),
             _ => None,
         }
     }
@@ -208,6 +305,24 @@ mod tests {
     }
 
     #[test]
+    fn stream_apply_workload_is_deterministic_and_repairs_sets() {
+        let graph = barabasi_albert(200, 3, WeightModel::WeightedCascade, 7);
+        let batch = stream_edit_batch(graph.num_nodes(), 30, 0);
+        assert_eq!(batch.ops.len(), 30);
+        batch.validate(graph.num_nodes()).expect("generated batch is valid");
+
+        let (_, first) = time_stream_apply(&graph, 400, 30, 1, 11);
+        let (_, again) = time_stream_apply(&graph, 400, 30, 2, 11);
+        assert_eq!(first.edits, 30);
+        assert!(first.sets_resampled > 0, "30 edits must invalidate some sets");
+        assert!(first.sets_resampled <= 400);
+        assert_eq!(
+            first.sets_resampled, again.sets_resampled,
+            "same seed, same invalidation"
+        );
+    }
+
+    #[test]
     fn report_serializes_every_field() {
         let report = SampleSelectReport {
             label: "after".into(),
@@ -221,6 +336,9 @@ mod tests {
             sample_build_ms: 12.5,
             select_top_k_ms: 3.25,
             spread_batch_ms: 1.125,
+            stream_apply_ms: 2.75,
+            stream_edits: 64,
+            stream_resampled: 301,
         };
         let json = report.to_json();
         for key in [
@@ -232,6 +350,9 @@ mod tests {
             "\"sample_build_ms\":12.500",
             "\"select_top_k_ms\":3.250",
             "\"spread_batch_ms\":1.125",
+            "\"stream_apply_ms\":2.750",
+            "\"stream_edits\":64",
+            "\"stream_resampled\":301",
         ] {
             assert!(json.contains(key), "{json} missing {key}");
         }
@@ -254,6 +375,9 @@ mod tests {
             sample_build_ms: 92.897,
             select_top_k_ms: 5.644,
             spread_batch_ms: 0.107,
+            stream_apply_ms: 4.012,
+            stream_edits: 64,
+            stream_resampled: 512,
         };
         let line = report.to_json();
         for key in PHASE_KEYS {

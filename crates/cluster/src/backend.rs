@@ -75,6 +75,11 @@ pub mod phase {
     /// Loading RR-sketch snapshot shards from disk (`dim im --load-rr`,
     /// `dim serve`). Master-side wall clock; no modeled traffic.
     pub const STORE_LOAD: &str = "store_load";
+    /// Applying a streamed edge batch and incrementally repairing the
+    /// resident RR shards (`dim stream` / `WorkerOp::ApplyDelta`). The
+    /// encoded batch is broadcast to every machine; repaired sets stay
+    /// local (workers persist their own delta shards).
+    pub const STREAM_APPLY: &str = "stream-apply";
 }
 
 /// A master/worker cluster of `ℓ` machines, each owning a worker state

@@ -78,7 +78,7 @@ pub use rendezvous::{
     connect_and_join, run_join_worker, Backoff, JoinCluster, JoinConfig, JoinOptions,
     JoinedSession, Rendezvous,
 };
-pub use rng::stream_seed;
+pub use rng::{rr_set_seed, stream_seed};
 pub use runtime::{ExecMode, SimCluster};
 #[cfg(feature = "proc-backend")]
 pub use tcp::{ProcCluster, SessionEnd, WorkerFault};

@@ -150,6 +150,39 @@ pub enum WorkerOp {
         /// Which sampler generated the RR sets.
         spec: SamplerSpec,
     },
+    /// Apply an edge-delta batch to the resident graph and repair the
+    /// resident RR shard incrementally: invalidate exactly the RR sets that
+    /// visited a mutated node and re-sample them (with their original
+    /// per-set RNG streams) on the mutated graph. → `Count` (number of sets
+    /// repaired), or `Err`.
+    ///
+    /// When `persist_dir` is set the worker also writes its own `dim-store`
+    /// delta shard (`DIMD` file) into that directory — like
+    /// [`WorkerOp::PersistShard`], no shard bytes transit the master. The
+    /// master supplies the chain provenance (base generation, pre/post
+    /// graph fingerprints, run seed, θ); the worker contributes the batch
+    /// bytes and its repaired sets.
+    ApplyDelta {
+        /// The encoded [`dim-graph` `DeltaBatch`] (canonical LE codec).
+        batch: Vec<u8>,
+        /// Directory for the worker-written delta shard; `None` skips
+        /// persistence (in-memory repair only).
+        persist_dir: Option<String>,
+        /// Generation id of the base snapshot this delta chain extends.
+        base_generation: u64,
+        /// Fingerprint of the graph *after* this batch.
+        fingerprint: u64,
+        /// Fingerprint of the graph *before* this batch (chain linkage).
+        parent_fingerprint: u64,
+        /// The run's master seed (per-set streams derive from it).
+        seed: u64,
+        /// Global θ — total RR sets across all shards.
+        theta: u64,
+        /// Total number of shards in the snapshot.
+        shard_count: u32,
+        /// Which sampler generated (and re-generates) the RR sets.
+        spec: SamplerSpec,
+    },
     /// Exit cleanly. → `Ok` (process workers exit afterwards).
     Shutdown,
 }
@@ -182,6 +215,7 @@ const OP_STATS: u8 = 8;
 const OP_VALIDATE: u8 = 9;
 const OP_SHUTDOWN: u8 = 10;
 const OP_PERSIST_SHARD: u8 = 11;
+const OP_APPLY_DELTA: u8 = 12;
 
 const REPLY_OK: u8 = 0;
 const REPLY_DELTAS: u8 = 1;
@@ -320,6 +354,36 @@ impl WorkerOp {
                 put_u32(&mut out, dir.len() as u32);
                 out.extend_from_slice(dir.as_bytes());
             }
+            WorkerOp::ApplyDelta {
+                batch,
+                persist_dir,
+                base_generation,
+                fingerprint,
+                parent_fingerprint,
+                seed,
+                theta,
+                shard_count,
+                spec,
+            } => {
+                out.push(OP_APPLY_DELTA);
+                put_u64(&mut out, *base_generation);
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *parent_fingerprint);
+                put_u64(&mut out, *seed);
+                put_u64(&mut out, *theta);
+                put_u32(&mut out, *shard_count);
+                out.push(spec.tag());
+                match persist_dir {
+                    Some(dir) => {
+                        out.push(1);
+                        put_u32(&mut out, dir.len() as u32);
+                        out.extend_from_slice(dir.as_bytes());
+                    }
+                    None => out.push(0),
+                }
+                put_u32(&mut out, batch.len() as u32);
+                out.extend_from_slice(batch);
+            }
             WorkerOp::Shutdown => out.push(OP_SHUTDOWN),
         }
         out
@@ -383,6 +447,36 @@ impl WorkerOp {
                     seed,
                     theta,
                     shard_id,
+                    shard_count,
+                    spec,
+                }
+            }
+            OP_APPLY_DELTA => {
+                let base_generation = r.u64()?;
+                let fingerprint = r.u64()?;
+                let parent_fingerprint = r.u64()?;
+                let seed = r.u64()?;
+                let theta = r.u64()?;
+                let shard_count = r.u32()?;
+                let spec = SamplerSpec::from_tag(r.u8()?)?;
+                let persist_dir = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = r.u32()? as usize;
+                        Some(String::from_utf8(r.take(len)?.to_vec()).ok()?)
+                    }
+                    _ => return None,
+                };
+                let len = r.u32()? as usize;
+                let batch = r.take(len)?.to_vec();
+                WorkerOp::ApplyDelta {
+                    batch,
+                    persist_dir,
+                    base_generation,
+                    fingerprint,
+                    parent_fingerprint,
+                    seed,
+                    theta,
                     shard_count,
                     spec,
                 }
@@ -699,6 +793,28 @@ mod tests {
                 shard_count: 0,
                 spec: SamplerSpec::StandardIc,
             },
+            WorkerOp::ApplyDelta {
+                batch: vec![7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+                persist_dir: Some("/tmp/dim-deltas".into()),
+                base_generation: 3,
+                fingerprint: 0xFEED_FACE_0123_4567,
+                parent_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                seed: 29,
+                theta: 10_000,
+                shard_count: 4,
+                spec: SamplerSpec::Subsim,
+            },
+            WorkerOp::ApplyDelta {
+                batch: vec![],
+                persist_dir: None,
+                base_generation: 0,
+                fingerprint: 0,
+                parent_fingerprint: u64::MAX,
+                seed: 0,
+                theta: 0,
+                shard_count: 0,
+                spec: SamplerSpec::StandardIc,
+            },
             WorkerOp::Shutdown,
         ]
     }
@@ -761,6 +877,28 @@ mod tests {
         assert!(WorkerReply::decode(&[]).is_none());
         assert!(WorkerOp::decode(&[200]).is_none());
         assert!(WorkerReply::decode(&[200]).is_none());
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_dir_flag() {
+        let op = WorkerOp::ApplyDelta {
+            batch: vec![1, 2, 3],
+            persist_dir: None,
+            base_generation: 1,
+            fingerprint: 2,
+            parent_fingerprint: 3,
+            seed: 4,
+            theta: 5,
+            shard_count: 6,
+            spec: SamplerSpec::Subsim,
+        };
+        let mut bytes = op.encode();
+        // The Option<persist_dir> flag byte sits right after the sampler
+        // tag; anything other than 0/1 must be rejected.
+        let flag_pos = 1 + 8 * 5 + 4 + 1;
+        assert_eq!(bytes[flag_pos], 0);
+        bytes[flag_pos] = 2;
+        assert!(WorkerOp::decode(&bytes).is_none());
     }
 
     #[test]

@@ -15,51 +15,144 @@ use rand_pcg::Pcg64;
 
 use dim_cluster::ops::{expect_ok, expect_stats};
 use dim_cluster::{
-    phase, stream_seed, ClusterBackend, ExecMode, NetworkModel, OpCluster, OpExecutor, SimCluster,
-    WireError, WorkerOp, WorkerReply, WorkerStats,
+    phase, rr_set_seed, stream_seed, ExecMode, NetworkModel, OpCluster,
+    OpExecutor, SimCluster, WireError, WorkerOp, WorkerReply, WorkerStats,
 };
 use dim_coverage::newgreedi::{newgreedi_incremental, newgreedi_with, NewGreediResult};
 use dim_coverage::{execute_coverage_op, CoverageShard};
-use dim_diffusion::rr::{AnySampler, RrSampler};
+use dim_diffusion::rr::RrSampler;
 use dim_diffusion::visit::VisitTracker;
-use dim_graph::Graph;
+use dim_graph::{DeltaBatch, Graph};
 
-use crate::config::{ImConfig, ImResult, Timings};
+use crate::config::{ImConfig, ImResult, SamplerKind, Timings};
 use crate::params::ImParams;
 
-/// One machine's state: its sampler, RNG stream, and element shard.
+/// One machine's state: its graph view, RNG discipline, and element shard.
+///
+/// RR set `j` of a machine is always drawn from the dedicated stream
+/// `rr_set_seed(machine_seed, j)` rather than one sequential per-machine
+/// stream. That makes every set's randomness a pure function of
+/// `(master seed, machine, set index)` — the property edge-stream repair
+/// rests on: re-sampling an invalidated set on the mutated graph
+/// reproduces exactly what a from-scratch run on that graph would have
+/// drawn for it, so an applied [`DeltaBatch`] is byte-identical to a full
+/// re-sample (see [`DiimmWorker::apply_delta`]).
 pub struct DiimmWorker<'g> {
-    sampler: AnySampler<'g>,
-    rng: Pcg64,
+    /// The graph the worker was installed with.
+    base: &'g Graph,
+    /// The mutated graph after applied edge batches (`None` until the
+    /// first batch: `base` is current).
+    current: Option<Graph>,
+    sampler_kind: SamplerKind,
+    machine_seed: u64,
+    machine_id: u32,
     /// The machine's RR sets, stored directly as coverage elements
     /// (element record = the RR set's member nodes).
     pub shard: CoverageShard,
     buf: Vec<u32>,
     visited: VisitTracker,
     edges_examined: u64,
+    /// RR sets generated so far — the next set's stream index.
+    sets: u64,
 }
 
 impl<'g> DiimmWorker<'g> {
     /// Creates the worker for `machine_id` with its derived RNG stream.
     pub fn new(graph: &'g Graph, config: &ImConfig, machine_id: usize) -> Self {
         DiimmWorker {
-            sampler: config.sampler.make(graph),
-            rng: Pcg64::seed_from_u64(stream_seed(config.seed, machine_id)),
+            base: graph,
+            current: None,
+            sampler_kind: config.sampler,
+            machine_seed: stream_seed(config.seed, machine_id),
+            machine_id: machine_id as u32,
             shard: CoverageShard::new(graph.num_nodes()),
             buf: Vec::new(),
             visited: VisitTracker::new(graph.num_nodes()),
             edges_examined: 0,
+            sets: 0,
         }
     }
 
-    /// Samples `count` RR sets into the shard (Algorithm 2, lines 6/12).
-    pub fn generate(&mut self, count: usize) {
-        for _ in 0..count {
-            self.edges_examined +=
-                self.sampler
-                    .sample(&mut self.rng, &mut self.buf, &mut self.visited);
-            self.shard.push_element(&self.buf);
+    /// Restores a machine's worker from persisted state: its resident RR
+    /// sets (stream position resumes after them), prior sampling stats,
+    /// and — for a streamed chain — the mutated tip graph the sets are
+    /// valid against (`None` when `base` is current).
+    pub fn restore(
+        base: &'g Graph,
+        current: Option<Graph>,
+        config: &ImConfig,
+        machine_id: usize,
+        shard: CoverageShard,
+        edges_examined: u64,
+    ) -> Self {
+        let sets = shard.num_elements() as u64;
+        DiimmWorker {
+            base,
+            current,
+            sampler_kind: config.sampler,
+            machine_seed: stream_seed(config.seed, machine_id),
+            machine_id: machine_id as u32,
+            shard,
+            buf: Vec::new(),
+            visited: VisitTracker::new(base.num_nodes()),
+            edges_examined,
+            sets,
         }
+    }
+
+    /// The graph RR sets are currently drawn from.
+    pub fn current_graph(&self) -> &Graph {
+        self.current.as_ref().unwrap_or(self.base)
+    }
+
+    /// Samples `count` RR sets into the shard (Algorithm 2, lines 6/12),
+    /// each from its own per-set RNG stream.
+    pub fn generate(&mut self, count: usize) {
+        let graph = self.current.as_ref().unwrap_or(self.base);
+        let sampler = self.sampler_kind.make(graph);
+        for _ in 0..count {
+            let mut rng = Pcg64::seed_from_u64(rr_set_seed(self.machine_seed, self.sets));
+            self.edges_examined += sampler.sample(&mut rng, &mut self.buf, &mut self.visited);
+            self.shard.push_element(&self.buf);
+            self.sets += 1;
+        }
+    }
+
+    /// Applies an edge batch to the resident graph and repairs the shard
+    /// incrementally: exactly the RR sets whose traversal touched a
+    /// mutated in-list are re-sampled (on their original per-set streams,
+    /// against the mutated graph); every other set is left untouched.
+    ///
+    /// Soundness: every sampler draws RNG only while scanning the in-lists
+    /// of visited nodes, and an edge op on `u→v` changes only `v`'s
+    /// in-list — so a set that contains no touched node replays
+    /// byte-identically on the mutated graph, and a set that does is
+    /// regenerated exactly as a fresh run would. The repaired shard is
+    /// therefore byte-identical to a full re-sample of the mutated graph.
+    ///
+    /// Returns the repaired records `(set index, new member nodes)` in
+    /// increasing index order.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<Vec<(u32, Vec<u32>)>, String> {
+        let graph = self.current.as_ref().unwrap_or(self.base);
+        batch
+            .validate(graph.num_nodes())
+            .map_err(|e| e.to_string())?;
+        let mutated = dim_graph::apply_batch(graph, batch).map_err(|e| e.to_string())?;
+        if self.shard.needs_prepare() {
+            self.shard.prepare();
+        }
+        let invalid = self.shard.elements_containing(&batch.touched_nodes());
+        let sampler = self.sampler_kind.make(&mutated);
+        let mut repaired = Vec::with_capacity(invalid.len());
+        for &j in &invalid {
+            let mut rng = Pcg64::seed_from_u64(rr_set_seed(self.machine_seed, j as u64));
+            self.edges_examined += sampler.sample(&mut rng, &mut self.buf, &mut self.visited);
+            repaired.push((j, self.buf.clone()));
+        }
+        drop(sampler);
+        self.shard.replace_elements(&repaired);
+        self.current = Some(mutated);
+        Ok(repaired)
     }
 }
 
@@ -113,6 +206,56 @@ impl OpExecutor for DiimmWorker<'_> {
                     Ok(_) => WorkerReply::Ok,
                     Err(e) => WorkerReply::Err(format!("PersistShard: {e}")),
                 }
+            }
+            // Apply an edge batch and repair the resident shard in place
+            // (the edge-stream half of sample-once/select-many). As with
+            // PersistShard, the master supplies chain provenance and the
+            // worker persists only its own repairs — shard bytes never
+            // cross the wire. Replies with the number of repaired sets.
+            WorkerOp::ApplyDelta {
+                batch,
+                persist_dir,
+                base_generation,
+                fingerprint,
+                parent_fingerprint,
+                seed,
+                theta,
+                shard_count,
+                spec,
+            } => {
+                let decoded = match DeltaBatch::decode(batch) {
+                    Ok(b) => b,
+                    Err(e) => return WorkerReply::Err(format!("ApplyDelta: {e}")),
+                };
+                let repaired = match self.apply_delta(&decoded) {
+                    Ok(r) => r,
+                    Err(e) => return WorkerReply::Err(format!("ApplyDelta: {e}")),
+                };
+                if let Some(dir) = persist_dir {
+                    let header = dim_store::DeltaShardHeader {
+                        base_generation: *base_generation,
+                        parent_fingerprint: *parent_fingerprint,
+                        fingerprint: *fingerprint,
+                        sampler: *spec,
+                        seed: *seed,
+                        theta: *theta,
+                        batch_seq: decoded.seq,
+                        shard_id: self.machine_id,
+                        shard_count: *shard_count,
+                        num_sets: self.shard.num_sets() as u64,
+                        num_elements: self.shard.num_elements() as u64,
+                        repaired_count: repaired.len() as u64,
+                    };
+                    if let Err(e) = dim_store::write_delta_shard(
+                        std::path::Path::new(dir),
+                        &header,
+                        &decoded,
+                        &repaired,
+                    ) {
+                        return WorkerReply::Err(format!("ApplyDelta: {e}"));
+                    }
+                }
+                WorkerReply::Count(repaired.len() as u64)
             }
             other => execute_coverage_op(&mut self.shard, other)
                 .unwrap_or_else(|| WorkerReply::Err("op unsupported by DiIMM worker".into())),
@@ -405,6 +548,66 @@ mod tests {
         .unwrap();
         assert_eq!(r.seeds.len(), 4);
         assert!(r.est_spread > 4.0);
+    }
+
+    #[test]
+    fn delta_repair_matches_full_resample() {
+        use dim_graph::EdgeOp;
+        let g = erdos_renyi(120, 600, WeightModel::WeightedCascade, 21);
+        for sampler in [
+            SamplerKind::Standard(DiffusionModel::IndependentCascade),
+            SamplerKind::Subsim,
+        ] {
+            let mut cfg = config(3, 5);
+            cfg.sampler = sampler;
+            let mut incremental = DiimmWorker::new(&g, &cfg, 0);
+            incremental.generate(400);
+            let (u, v, _p) = g.edges().next().unwrap();
+            let batch = DeltaBatch::new(
+                0,
+                vec![
+                    EdgeOp::Delete { u, v },
+                    EdgeOp::Insert { u: 1, v: 0, p: 0.9 },
+                    EdgeOp::Reweight { u, v, p: 0.4 }, // deleted above: no-op
+                ],
+            );
+            let repaired = incremental.apply_delta(&batch).unwrap();
+            assert!(
+                !repaired.is_empty() && repaired.len() < 400,
+                "expected a partial repair, got {} of 400",
+                repaired.len()
+            );
+            // The repaired shard must be byte-identical to sampling the
+            // mutated graph from scratch — including sets generated AFTER
+            // the batch (per-set streams keep their positions).
+            let mutated = dim_graph::apply_batch(&g, &batch).unwrap();
+            let mut full = DiimmWorker::new(&mutated, &cfg, 0);
+            full.generate(400);
+            incremental.generate(50);
+            full.generate(50);
+            assert_eq!(incremental.shard.num_elements(), full.shard.num_elements());
+            for j in 0..incremental.shard.num_elements() {
+                assert_eq!(
+                    incremental.shard.elements().get(j),
+                    full.shard.elements().get(j),
+                    "set {j} diverged ({sampler:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_repair_rejects_invalid_batch() {
+        use dim_graph::EdgeOp;
+        let g = erdos_renyi(50, 200, WeightModel::WeightedCascade, 3);
+        let mut w = DiimmWorker::new(&g, &config(2, 1), 0);
+        w.generate(10);
+        let oob = DeltaBatch::new(0, vec![EdgeOp::Delete { u: 0, v: 5000 }]);
+        assert!(w.apply_delta(&oob).is_err());
+        // The failed batch left the worker untouched and still usable.
+        assert_eq!(w.shard.num_elements(), 10);
+        w.generate(5);
+        assert_eq!(w.shard.num_elements(), 15);
     }
 
     #[test]

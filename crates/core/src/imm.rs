@@ -13,7 +13,7 @@ use std::time::Instant;
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
-use dim_cluster::{stream_seed, ClusterMetrics, PhaseTimeline};
+use dim_cluster::{rr_set_seed, stream_seed, ClusterMetrics, PhaseTimeline};
 use dim_coverage::greedy::bucket_greedy;
 use dim_coverage::CoverageShard;
 use dim_diffusion::rr::RrSampler;
@@ -28,8 +28,11 @@ pub fn imm(graph: &Graph, config: &ImConfig) -> ImResult {
     let n = graph.num_nodes();
     let params = ImParams::derive(n, config.k, config.epsilon, config.delta);
     let sampler = config.sampler.make(graph);
-    // Machine-0 stream: keeps imm() bit-identical to diimm() with ℓ = 1.
-    let mut rng = Pcg64::seed_from_u64(stream_seed(config.seed, 0));
+    // Machine-0 per-set streams: keeps imm() bit-identical to diimm() with
+    // ℓ = 1 (each RR set draws from its own seeded RNG, so a set's bytes
+    // depend only on its index, never on how sets were batched).
+    let machine_seed = stream_seed(config.seed, 0);
+    let mut sets = 0u64;
     let mut shard = CoverageShard::new(n);
     let mut buf = Vec::new();
     let mut visited = VisitTracker::new(n);
@@ -42,8 +45,10 @@ pub fn imm(graph: &Graph, config: &ImConfig) -> ImResult {
                         edges: &mut u64| {
         let start = Instant::now();
         for _ in 0..count {
+            let mut rng = Pcg64::seed_from_u64(rr_set_seed(machine_seed, sets));
             *edges += sampler.sample(&mut rng, &mut buf, &mut visited);
             shard.push_element(&buf);
+            sets += 1;
         }
         timings.sampling += start.elapsed();
     };

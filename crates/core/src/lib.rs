@@ -60,8 +60,9 @@ pub mod worker;
 
 pub use config::{ImConfig, ImResult, SamplerKind, Timings};
 pub use snapshot::{
-    diimm_load_rr, diimm_sample, load_rr_snapshot, persist_rr_shards, snapshot_shards,
-    SnapshotError,
+    diimm_load_rr, diimm_sample, diimm_sample_generation, load_latest_rr_snapshot,
+    load_rr_snapshot, persist_rr_shards, rr_snapshot_request, snapshot_shards, SnapshotError,
+    StreamApplied, StreamSession,
 };
 pub use worker::{setup_im_cluster, WorkerHost};
 pub use diimm::diimm;

@@ -10,17 +10,17 @@
 //! a deterministic function of the per-machine RR collections, which the
 //! snapshot preserves exactly (including machine order).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use dim_cluster::ops::expect_ok;
+use dim_cluster::ops::{expect_counts, expect_ok, expect_stats};
 use dim_cluster::{
     phase, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster, SimCluster,
     WireError, WorkerOp,
 };
 use dim_coverage::newgreedi::newgreedi_with;
 use dim_coverage::CoverageShard;
-use dim_graph::Graph;
+use dim_graph::{apply_batch, DeltaBatch, DeltaError, EdgeOp, Graph};
 use dim_store::{
     graph_fingerprint, load_snapshot, Snapshot, SnapshotRequest, StoreError,
 };
@@ -28,12 +28,14 @@ use dim_store::{
 use crate::config::{ImConfig, ImResult, Timings};
 use crate::diimm::{diimm_on, DiimmWorker};
 
-/// Failures of the persisted-sketch entry points: either the snapshot
-/// layer (I/O, corruption, provenance mismatch) or the cluster layer.
+/// Failures of the persisted-sketch entry points: the snapshot layer
+/// (I/O, corruption, provenance mismatch), the cluster layer, or a
+/// streamed edge batch that does not apply to the resident graph.
 #[derive(Debug)]
 pub enum SnapshotError {
     Store(StoreError),
     Wire(WireError),
+    Delta(DeltaError),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -41,6 +43,7 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::Store(e) => write!(f, "{e}"),
             SnapshotError::Wire(e) => write!(f, "{e}"),
+            SnapshotError::Delta(e) => write!(f, "{e}"),
         }
     }
 }
@@ -50,6 +53,7 @@ impl std::error::Error for SnapshotError {
         match self {
             SnapshotError::Store(e) => Some(e),
             SnapshotError::Wire(e) => Some(e),
+            SnapshotError::Delta(e) => Some(e),
         }
     }
 }
@@ -63,6 +67,12 @@ impl From<StoreError> for SnapshotError {
 impl From<WireError> for SnapshotError {
     fn from(e: WireError) -> Self {
         SnapshotError::Wire(e)
+    }
+}
+
+impl From<DeltaError> for SnapshotError {
+    fn from(e: DeltaError) -> Self {
+        SnapshotError::Delta(e)
     }
 }
 
@@ -179,6 +189,247 @@ pub fn diimm_sample_generation(
     dim_store::commit_generation(&dir, id)?;
     dim_store::gc_generations(root, keep)?;
     Ok((id, result))
+}
+
+/// What one streamed batch did to the session: the generation it
+/// committed (if persisted), and the repair volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamApplied {
+    /// Generation id the delta committed as, `None` for an in-memory
+    /// apply (`persist = false`).
+    pub generation: Option<u64>,
+    /// Edge operations in the applied batch.
+    pub ops: usize,
+    /// RR sets invalidated and re-sampled, summed across machines.
+    pub sets_repaired: u64,
+}
+
+/// A resident edge-stream session: the restored cluster plus the chain
+/// bookkeeping needed to extend it — the `dim stream` entry point.
+///
+/// Opening a session restores the newest committed chain under `root`
+/// (base shards + any stacked delta generations, folded by the store)
+/// into per-machine [`DiimmWorker`]s, and replays the chain's batches
+/// over the base graph so the resident graph matches the resident
+/// shards. Each [`apply`](Self::apply) then broadcasts one batch to
+/// every machine ([`WorkerOp::ApplyDelta`], under
+/// [`phase::STREAM_APPLY`]): workers repair exactly the RR sets whose
+/// traversal touched a mutated in-list — on their original per-set RNG
+/// streams, so the repaired state is byte-identical to a full re-sample
+/// of the mutated graph — and, when persisting, each writes its own
+/// delta shard into a fresh generation that commits atomically.
+///
+/// The store is single-writer: run one streaming session per root at a
+/// time. Mixing in-memory applies (`persist = false`) with persisted
+/// ones breaks the on-disk chain (a missing link fails fingerprint
+/// validation at the next load), so a persistent session should persist
+/// every batch.
+pub struct StreamSession<'g> {
+    cluster: SimCluster<DiimmWorker<'g>>,
+    config: ImConfig,
+    root: PathBuf,
+    request: SnapshotRequest,
+    theta: u64,
+    generation: u64,
+    base_generation: u64,
+    tip_fingerprint: u64,
+    next_seq: u64,
+    current: Graph,
+}
+
+impl<'g> StreamSession<'g> {
+    /// Restores the newest committed chain under `root` (validated
+    /// against `base`/`config`) into a resident cluster. `base` is the
+    /// graph the *base snapshot* was sampled from; if the chain carries
+    /// batches (or a compacted base), the session's resident graph is
+    /// the replayed tip, not `base`.
+    pub fn open(
+        base: &'g Graph,
+        config: &ImConfig,
+        root: &Path,
+        network: NetworkModel,
+        mode: ExecMode,
+    ) -> Result<Self, SnapshotError> {
+        let request = rr_snapshot_request(base, config);
+        let (generation, snapshot, chain) = dim_store::load_latest_chain(root, &request)?;
+        // Graph lineage: a compacted base persists its mutated graph
+        // next to its shards; an uncompacted one was sampled from the
+        // boot graph itself.
+        let mut current = match dim_store::read_graph_file(&chain.base_dir)? {
+            Some(g) => g,
+            None => base.clone(),
+        };
+        let mutated = chain.next_seq > 0 || graph_fingerprint(&current) != request.fingerprint;
+        for batch in &chain.batches {
+            current = apply_batch(&current, batch)?;
+        }
+        if graph_fingerprint(&current) != chain.tip_fingerprint {
+            return Err(SnapshotError::Store(StoreError::Mismatch {
+                path: chain.base_dir.clone(),
+                field: "tip fingerprint",
+                expected: chain.tip_fingerprint,
+                found: graph_fingerprint(&current),
+            }));
+        }
+        let theta = snapshot.theta;
+        let n = snapshot.num_sets as usize;
+        let workers: Vec<DiimmWorker<'g>> = snapshot
+            .shards
+            .into_iter()
+            .map(|s| {
+                let machine_id = s.header.shard_id as usize;
+                let edges = s.header.edges_examined;
+                let shard = CoverageShard::from_pooled(n, s.elements, s.index);
+                DiimmWorker::restore(
+                    base,
+                    mutated.then(|| current.clone()),
+                    config,
+                    machine_id,
+                    shard,
+                    edges,
+                )
+            })
+            .collect();
+        Ok(StreamSession {
+            cluster: SimCluster::new(workers, network, mode),
+            config: *config,
+            root: root.to_path_buf(),
+            request,
+            theta,
+            generation,
+            base_generation: chain.base_generation,
+            tip_fingerprint: chain.tip_fingerprint,
+            next_seq: chain.next_seq,
+            current,
+        })
+    }
+
+    /// Newest committed generation id under the root.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sequence number the next applied batch will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The resident (tip) graph — base graph plus every applied batch.
+    pub fn current_graph(&self) -> &Graph {
+        &self.current
+    }
+
+    /// Number of machines holding shards.
+    pub fn num_machines(&self) -> usize {
+        self.cluster.num_machines()
+    }
+
+    /// Applies one batch of edge operations to every machine, repairing
+    /// the resident RR shards incrementally. With `persist`, each worker
+    /// writes its delta shard into a fresh generation which is committed
+    /// atomically once all machines succeed; generations beyond the
+    /// newest `keep` are then garbage-collected (chain bases are always
+    /// retained).
+    pub fn apply(
+        &mut self,
+        ops: Vec<EdgeOp>,
+        persist: bool,
+        keep: usize,
+    ) -> Result<StreamApplied, SnapshotError> {
+        let batch = DeltaBatch {
+            seq: self.next_seq,
+            ops,
+        };
+        batch.validate(self.current.num_nodes())?;
+        let mutated = apply_batch(&self.current, &batch)?;
+        let fingerprint = graph_fingerprint(&mutated);
+        let staged = if persist {
+            Some(dim_store::begin_generation(&self.root)?)
+        } else {
+            None
+        };
+        let persist_dir = staged.as_ref().map(|(_, dir)| dir.display().to_string());
+        let encoded = batch.encode();
+        let shard_count = self.cluster.num_machines() as u32;
+        let spec = self.config.sampler.into();
+        let replies = self.cluster.control(phase::STREAM_APPLY, |_| WorkerOp::ApplyDelta {
+            batch: encoded.clone(),
+            persist_dir: persist_dir.clone(),
+            base_generation: self.base_generation,
+            fingerprint,
+            parent_fingerprint: self.tip_fingerprint,
+            seed: self.config.seed,
+            theta: self.theta,
+            shard_count,
+            spec,
+        })?;
+        let counts = expect_counts(&replies, phase::STREAM_APPLY)?;
+        let generation = match staged {
+            Some((id, dir)) => {
+                dim_store::commit_generation(&dir, id)?;
+                dim_store::gc_generations(&self.root, keep)?;
+                self.generation = id;
+                Some(id)
+            }
+            None => None,
+        };
+        let ops = batch.ops.len();
+        self.current = mutated;
+        self.tip_fingerprint = fingerprint;
+        self.next_seq += 1;
+        Ok(StreamApplied {
+            generation,
+            ops,
+            sets_repaired: counts.iter().sum(),
+        })
+    }
+
+    /// Folds the resident chain into a fresh standalone base generation
+    /// (shards carry the chain's root fingerprint; the tip graph rides
+    /// along as [`dim_store::GRAPH_FILE`]), then GCs down to `keep`.
+    /// Returns the new base's id, or `None` when there is nothing to
+    /// fold (no batches applied since the last base). Subsequent applies
+    /// chain from the new base at sequence 0.
+    pub fn compact(&mut self, keep: usize) -> Result<Option<u64>, SnapshotError> {
+        match dim_store::compact_generation(&self.root, &self.request, &self.current)? {
+            Some((id, _dir)) => {
+                dim_store::gc_generations(&self.root, keep)?;
+                self.generation = id;
+                self.base_generation = id;
+                self.next_seq = 0;
+                Ok(Some(id))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Reruns seed selection over the resident (repaired) shards —
+    /// byte-identical to a full re-sample + select on the tip graph.
+    pub fn select(&mut self) -> Result<ImResult, SnapshotError> {
+        let n = self.current.num_nodes();
+        let sel = newgreedi_with(&mut self.cluster, n, self.config.k)?;
+        let replies = self.cluster.control(phase::SETUP, |_| WorkerOp::Stats)?;
+        let stats = expect_stats(&replies, phase::SETUP)?;
+        let total_rr_size: usize = stats.iter().map(|s| s.total_size as usize).sum();
+        let edges_examined: u64 = stats.iter().map(|s| s.edges_examined).sum();
+        let theta = self.theta as usize;
+        let est_spread = n as f64 * sel.covered as f64 / theta as f64;
+        let timeline = self.cluster.timeline().clone();
+        Ok(ImResult {
+            seeds: sel.seeds,
+            marginals: sel.marginals,
+            coverage: sel.covered,
+            num_rr_sets: theta,
+            total_rr_size,
+            edges_examined,
+            est_spread,
+            lower_bound: 0.0,
+            rounds: 0,
+            timings: Timings::from_timeline(&timeline),
+            metrics: timeline.total(),
+            timeline,
+        })
+    }
 }
 
 /// Restores a validated snapshot into per-machine coverage shards, in
@@ -399,6 +650,100 @@ mod tests {
         assert_eq!(id, 0);
         assert_eq!(snapshot.seed, 9);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stream_apply_persists_chain_reloads_and_compacts() {
+        let g = erdos_renyi(200, 1000, WeightModel::WeightedCascade, 7);
+        let cfg = config(4, 33);
+        let root = temp_dir("stream");
+        let net = NetworkModel::zero();
+        let (base_id, _) =
+            diimm_sample_generation(&g, &cfg, 3, net, ExecMode::Sequential, &root, 4).unwrap();
+        assert_eq!(base_id, 1);
+
+        // Apply one persisted batch: delete a real edge, add a fresh one.
+        let (u, v, _) = g.edges().next().unwrap();
+        let batch = vec![
+            EdgeOp::Delete { u, v },
+            EdgeOp::Insert {
+                u: (u + 1) % 200,
+                v: (u + 3) % 200,
+                p: 0.6,
+            },
+        ];
+        let mut session =
+            StreamSession::open(&g, &cfg, &root, net, ExecMode::Sequential).unwrap();
+        assert_eq!(session.generation(), 1);
+        assert_eq!(session.next_seq(), 0);
+        let applied = session.apply(batch.clone(), true, 4).unwrap();
+        assert_eq!(applied.generation, Some(2));
+        assert_eq!(applied.ops, 2);
+        assert!(applied.sets_repaired > 0, "the deleted edge was sampled");
+        let sel = session.select().unwrap();
+        let tip = session.current_graph().clone();
+
+        // A fresh session restores the committed chain byte-identically.
+        let mut reloaded =
+            StreamSession::open(&g, &cfg, &root, net, ExecMode::Sequential).unwrap();
+        assert_eq!(reloaded.generation(), 2);
+        assert_eq!(reloaded.next_seq(), 1);
+        assert_eq!(
+            dim_store::graph_fingerprint(reloaded.current_graph()),
+            dim_store::graph_fingerprint(&tip)
+        );
+        let sel2 = reloaded.select().unwrap();
+        assert_eq!(sel2.seeds, sel.seeds);
+        assert_eq!(sel2.marginals, sel.marginals);
+
+        // Compaction folds the chain into a standalone base; the next
+        // session resumes from it (sequence restarts) and still selects
+        // the same seeds.
+        let compacted = reloaded.compact(1).unwrap();
+        assert_eq!(compacted, Some(3));
+        let mut resumed =
+            StreamSession::open(&g, &cfg, &root, net, ExecMode::Sequential).unwrap();
+        assert_eq!(resumed.generation(), 3);
+        assert_eq!(resumed.next_seq(), 0);
+        let sel3 = resumed.select().unwrap();
+        assert_eq!(sel3.seeds, sel.seeds);
+        assert_eq!(sel3.marginals, sel.marginals);
+
+        // The compacted base keeps streaming: another persisted batch
+        // chains from the tip graph file.
+        let applied2 = resumed
+            .apply(vec![EdgeOp::Reweight { u, v, p: 0.2 }], true, 4)
+            .unwrap();
+        assert_eq!(applied2.generation, Some(4));
+        let final_reload =
+            StreamSession::open(&g, &cfg, &root, net, ExecMode::Sequential).unwrap();
+        assert_eq!(final_reload.generation(), 4);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn stream_apply_rejects_invalid_batch_without_side_effects() {
+        let g = erdos_renyi(120, 500, WeightModel::WeightedCascade, 19);
+        let cfg = config(3, 41);
+        let root = temp_dir("stream-bad");
+        let net = NetworkModel::zero();
+        diimm_sample_generation(&g, &cfg, 2, net, ExecMode::Sequential, &root, 4).unwrap();
+        let mut session =
+            StreamSession::open(&g, &cfg, &root, net, ExecMode::Sequential).unwrap();
+        // Out-of-range endpoint: typed error, no generation staged.
+        let err = session
+            .apply(vec![EdgeOp::Insert { u: 0, v: 500, p: 0.5 }], true, 4)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Delta(_)), "got {err:?}");
+        assert_eq!(session.next_seq(), 0, "failed apply advances nothing");
+        let left = dim_store::list_generations(&root).unwrap();
+        assert_eq!(left.len(), 1, "no new generation from the failed apply");
+        // The session is still usable.
+        let ok = session
+            .apply(vec![EdgeOp::Reweight { u: 0, v: 1, p: 0.3 }], true, 4)
+            .unwrap();
+        assert_eq!(ok.generation, Some(2));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

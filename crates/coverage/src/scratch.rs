@@ -140,6 +140,39 @@ mod tests {
     }
 
     #[test]
+    fn epoch_wraparound_no_false_positives() {
+        // Force the counter to the edge of its range: the next clear() must
+        // take the sweep path (fill + restart at epoch 1) and flags set at
+        // epoch u32::MAX must NOT read as set afterwards — a stale stamp of
+        // u32::MAX colliding with a post-wrap epoch would be a false
+        // positive that silently corrupts coverage counts.
+        let mut f = EpochFlags {
+            stamp: vec![0; 8],
+            epoch: u32::MAX - 2,
+        };
+        for _ in 0..2 {
+            f.clear(); // reaches u32::MAX without wrapping
+        }
+        assert_eq!(f.epoch, u32::MAX);
+        assert!(f.set(3));
+        assert!(f.set(7));
+        assert!(f.is_set(3) && f.is_set(7));
+
+        f.clear(); // the wraparound sweep
+        assert_eq!(f.epoch, 1);
+        for i in 0..8 {
+            assert!(!f.is_set(i), "false positive at {i} after wraparound");
+        }
+        // Flags keep working across the boundary: set/clear cycles behave
+        // exactly like a fresh instance.
+        assert!(f.set(3));
+        assert!(!f.set(3));
+        f.clear();
+        assert!(!f.is_set(3));
+        assert!(f.set(0));
+    }
+
+    #[test]
     fn with_flags_is_reentrant() {
         let outer = with_flags(8, |a| {
             a.set(3);

@@ -245,6 +245,58 @@ impl CoverageShard {
     pub fn elements(&self) -> &PooledSets {
         &self.elements
     }
+
+    /// Local element ids whose record contains any of the `touched` sets,
+    /// sorted and deduped — the RR-set invalidation lookup for incremental
+    /// repair: an edge mutation on `(·, v)` can only change the traversal
+    /// of RR sets that visited `v`, and those are exactly the elements the
+    /// transpose index lists under `v`.
+    ///
+    /// # Panics
+    /// Panics if the index is stale (`needs_prepare`) or a touched id is
+    /// outside the set universe.
+    pub fn elements_containing(&self, touched: &[u32]) -> Vec<u32> {
+        assert!(!self.needs_prepare(), "call prepare() first");
+        let mut ids: Vec<u32> = touched
+            .iter()
+            .flat_map(|&v| self.index.get(v as usize).iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Replaces the records named in `replacements` (sorted by strictly
+    /// increasing element id) and rebuilds the shard: new arena, fresh
+    /// transpose index, everything uncovered and unreported — exactly the
+    /// state [`CoverageShard::from_records`] would produce for the repaired
+    /// record set. The incremental-repair path calls this with the
+    /// re-sampled RR sets after an edge batch.
+    ///
+    /// # Panics
+    /// Panics if ids are out of range or not strictly increasing.
+    pub fn replace_elements(&mut self, replacements: &[(u32, Vec<u32>)]) {
+        let n = self.elements.len();
+        let mut rebuilt = PooledSets::with_capacity(n, self.elements.total_size());
+        let mut next = replacements.iter().peekable();
+        let mut prev: Option<u32> = None;
+        for e in 0..n {
+            let record = match next.peek() {
+                Some(&&(id, ref rec)) if id as usize == e => {
+                    assert!(prev.is_none_or(|p| p < id), "replacement ids must increase");
+                    prev = Some(id);
+                    next.next();
+                    rec.as_slice()
+                }
+                _ => self.elements.get(e),
+            };
+            rebuilt.push(record);
+        }
+        assert!(next.peek().is_none(), "replacement id out of range");
+        self.elements = rebuilt;
+        self.reported_elements = 0;
+        self.prepare();
+    }
 }
 
 /// dim-serve shares one sketch across worker threads as
@@ -593,6 +645,46 @@ mod tests {
             assert_eq!(via_cover.covered_count(), via_deltas.covered_count());
             assert!(gained <= shard.num_elements());
         }
+    }
+
+    #[test]
+    fn elements_containing_uses_transpose() {
+        let shard = example3();
+        // Set 0 appears in elements 0, 2, 4; set 2 in elements 1, 2.
+        assert_eq!(shard.elements_containing(&[0]), vec![0, 2, 4]);
+        assert_eq!(shard.elements_containing(&[2]), vec![1, 2]);
+        // Union is deduped and sorted.
+        assert_eq!(shard.elements_containing(&[0, 2]), vec![0, 1, 2, 4]);
+        assert_eq!(shard.elements_containing(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn replace_elements_matches_fresh_build() {
+        let mut repaired = example3();
+        repaired.replace_elements(&[(1, vec![3, 4]), (4, vec![2])]);
+        let fresh = CoverageShard::from_records(
+            5,
+            [&[0u32][..], &[3, 4], &[0, 2], &[1, 4], &[2], &[1, 3]],
+        );
+        assert_eq!(repaired.initial_coverage(), fresh.initial_coverage());
+        assert_eq!(repaired.num_elements(), fresh.num_elements());
+        assert_eq!(repaired.total_size(), fresh.total_size());
+        let mut a = repaired.clone();
+        let mut b = fresh.clone();
+        assert_eq!(a.apply_seed(4), b.apply_seed(4));
+        // Everything counts as unreported again after a repair.
+        assert_eq!(repaired.clone().take_new_coverage(), fresh.initial_coverage());
+        // Empty replacement list is an identity rebuild.
+        let mut id = example3();
+        id.replace_elements(&[]);
+        assert_eq!(id.initial_coverage(), example3().initial_coverage());
+    }
+
+    #[test]
+    #[should_panic]
+    fn replace_elements_rejects_out_of_range_id() {
+        let mut shard = example3();
+        shard.replace_elements(&[(99, vec![0])]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   propagation probability per edge. Reverse adjacency is first-class
 //!   because reverse influence sampling (RIS) traverses incoming edges.
 //! * [`GraphBuilder`] — the mutable builder used by parsers and generators.
+//! * [`delta`] — edge-stream mutations ([`EdgeOp`] / [`DeltaBatch`]) and the
+//!   [`DeltaGraph`] overlay that replays them into a fresh CSR.
 //! * [`WeightModel`] — the standard ways of assigning propagation
 //!   probabilities (weighted-cascade `1/indeg`, uniform, trivalency).
 //! * [`generators`] — synthetic social-network generators plus the dataset
@@ -35,6 +37,7 @@ pub mod analysis;
 pub mod binary;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod io;
@@ -44,6 +47,7 @@ pub mod weights;
 pub use analysis::GraphStats;
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use delta::{apply_batch, DeltaBatch, DeltaError, DeltaGraph, EdgeOp};
 pub use error::GraphError;
 pub use generators::profiles::DatasetProfile;
 pub use weights::WeightModel;

@@ -24,16 +24,40 @@
 //! [`load_latest_snapshot`] serves readers and [`gc_generations`] bounds
 //! disk use. A root with shard files directly inside it (the pre-
 //! generation flat layout) is still readable: it loads as generation 0.
+//!
+//! # Delta chains
+//!
+//! A generation holding `*.rrd` files (see [`crate::delta`]) is a *delta
+//! generation*: one applied edge batch plus the re-sampled RR sets it
+//! invalidated. A committed streamed state is then a *chain* — a `DIMR`
+//! base generation followed by contiguous delta generations, each linked
+//! to its predecessor by graph fingerprint. [`load_latest_chain`] resolves
+//! and folds a chain into an ordinary [`Snapshot`] (so readers like
+//! `dim serve` need no delta awareness), [`compact_generation`] folds it
+//! on disk into a fresh base, and [`gc_generations`] keeps every
+//! generation a live chain still references. A compacted base carries the
+//! chain's *root* fingerprint in its shard headers (what requests match)
+//! and persists the mutated graph alongside as [`GRAPH_FILE`], which is
+//! where later deltas and resumed streams pick the true tip graph up
+//! from. The store is single-writer: compaction and GC must not run
+//! concurrently with another writer on the same root.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::{load_snapshot, Snapshot, SnapshotRequest, StoreError};
+use dim_coverage::PooledSets;
+use dim_graph::{DeltaBatch, Graph};
+
+use crate::delta::{delta_base_of, delta_paths, read_delta_shard, DeltaShard};
+use crate::{fnv1a, load_snapshot, write_shard, Snapshot, SnapshotRequest, StoreError};
 
 /// Prefix of generation directory names inside a store root.
 pub const GENERATION_PREFIX: &str = "gen-";
 /// Name of the commit-marker file inside a generation directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+/// Name of the serialized mutated graph a compacted generation carries.
+pub const GRAPH_FILE: &str = "graph.dimg";
 /// First line tag of a manifest (versioned for forward compatibility).
 const MANIFEST_TAG: &str = "dim-generation-v1";
 
@@ -146,6 +170,230 @@ pub fn latest_generation(root: &Path) -> Result<Option<(u64, PathBuf)>, StoreErr
     Ok(None)
 }
 
+/// How a loaded generation relates to its delta chain: which base it
+/// folds over, the edge batches applied on top (empty for a plain base),
+/// and where a resumed stream continues.
+#[derive(Clone, Debug)]
+pub struct ChainInfo {
+    /// Generation id of the `DIMR` base (the loaded generation itself
+    /// when no deltas are stacked on it).
+    pub base_generation: u64,
+    /// Directory of that base generation.
+    pub base_dir: PathBuf,
+    /// The chain's edge batches in application order.
+    pub batches: Vec<DeltaBatch>,
+    /// Fingerprint of the graph after every batch (the base graph's when
+    /// `batches` is empty) — what the next delta must name as parent.
+    pub tip_fingerprint: u64,
+    /// Sequence number the next batch in this chain must carry.
+    pub next_seq: u64,
+}
+
+/// Fingerprint of the graph a base generation describes: the hash of its
+/// persisted [`GRAPH_FILE`] when present (a compacted base, whose shard
+/// headers keep the chain's *root* fingerprint), the shard fingerprint
+/// otherwise.
+fn base_graph_fingerprint(dir: &Path, fallback: u64) -> Result<u64, StoreError> {
+    let path = dir.join(GRAPH_FILE);
+    match fs::read(&path) {
+        Ok(bytes) => Ok(fnv1a(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(fallback),
+        Err(e) => Err(io_err(&path, e)),
+    }
+}
+
+/// Loads the mutated graph a compacted generation persisted alongside its
+/// shards, or `None` for generations without one.
+pub fn read_graph_file(dir: &Path) -> Result<Option<Graph>, StoreError> {
+    let path = dir.join(GRAPH_FILE);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err(&path, e)),
+    };
+    dim_graph::binary::read_binary(&bytes[..])
+        .map(Some)
+        .map_err(|_| StoreError::Corrupt {
+            path: Some(path),
+            detail: "malformed graph file",
+        })
+}
+
+/// Reads one delta generation: every `*.rrd` shard, mutually consistent
+/// (same linkage, provenance, and batch), complete `0..shard_count`,
+/// sorted by shard id.
+fn read_delta_generation(dir: &Path) -> Result<Vec<DeltaShard>, StoreError> {
+    let paths = delta_paths(dir)?;
+    if paths.is_empty() {
+        return Err(StoreError::Empty {
+            dir: dir.to_path_buf(),
+        });
+    }
+    let mut shards: Vec<DeltaShard> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let shard = read_delta_shard(path)?;
+        if let Some(first) = shards.first() {
+            let a = &shard.header;
+            let b = &first.header;
+            let agree = a.base_generation == b.base_generation
+                && a.parent_fingerprint == b.parent_fingerprint
+                && a.fingerprint == b.fingerprint
+                && a.sampler == b.sampler
+                && a.seed == b.seed
+                && a.theta == b.theta
+                && a.batch_seq == b.batch_seq
+                && a.shard_count == b.shard_count
+                && a.num_sets == b.num_sets;
+            if !agree {
+                return Err(StoreError::Corrupt {
+                    path: Some(path.clone()),
+                    detail: "delta shards disagree on provenance",
+                });
+            }
+            if shard.batch != first.batch {
+                return Err(StoreError::Corrupt {
+                    path: Some(path.clone()),
+                    detail: "delta shards carry different batches",
+                });
+            }
+        }
+        shards.push(shard);
+    }
+    let shard_count = shards[0].header.shard_count;
+    let mut seen = vec![false; shard_count as usize];
+    for (shard, path) in shards.iter().zip(&paths) {
+        let id = shard.header.shard_id as usize;
+        if seen[id] {
+            return Err(StoreError::Corrupt {
+                path: Some(path.clone()),
+                detail: "duplicate delta shard id",
+            });
+        }
+        seen[id] = true;
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(StoreError::MissingShard {
+            dir: dir.to_path_buf(),
+            shard_id: missing as u32,
+            shard_count,
+        });
+    }
+    shards.sort_by_key(|s| s.header.shard_id);
+    Ok(shards)
+}
+
+/// Resolves and folds the delta chain whose tip is `gens[tip_idx]`: loads
+/// the base snapshot, validates every link (base id, sequence, graph
+/// fingerprints, provenance), and applies the repaired RR sets in order.
+fn load_chain(
+    gens: &[(u64, PathBuf)],
+    tip_idx: usize,
+    request: &SnapshotRequest,
+) -> Result<(Snapshot, ChainInfo), StoreError> {
+    let (tip_id, tip_dir) = &gens[tip_idx];
+    let corrupt = |detail: &'static str| StoreError::Corrupt {
+        path: Some(tip_dir.clone()),
+        detail,
+    };
+    let base_id = read_delta_generation(tip_dir)?[0].header.base_generation;
+    if base_id >= *tip_id {
+        return Err(corrupt("delta chain base not older than tip"));
+    }
+    // The chain is the committed generations in [base, tip]; uncommitted
+    // ids in between are crashed or in-progress attempts and do not
+    // participate.
+    let mut base_dir: Option<&PathBuf> = None;
+    let mut link_dirs: Vec<&PathBuf> = Vec::new();
+    for (id, dir) in &gens[..=tip_idx] {
+        if *id < base_id || read_manifest(dir)? != Some(*id) {
+            continue;
+        }
+        if *id == base_id {
+            base_dir = Some(dir);
+        } else {
+            link_dirs.push(dir);
+        }
+    }
+    let base_dir = base_dir.ok_or_else(|| corrupt("delta chain base generation missing"))?;
+    let snapshot = load_snapshot(base_dir, request)?;
+    let base_fp = base_graph_fingerprint(base_dir, snapshot.fingerprint)?;
+    let mut tip_fp = base_fp;
+    let mut batches: Vec<DeltaBatch> = Vec::with_capacity(link_dirs.len());
+    let mut links: Vec<Vec<DeltaShard>> = Vec::with_capacity(link_dirs.len());
+    for dir in link_dirs {
+        let shards = match read_delta_generation(dir) {
+            Ok(shards) => shards,
+            Err(StoreError::Empty { .. }) => {
+                return Err(corrupt("delta chain interrupted by a non-delta generation"))
+            }
+            Err(e) => return Err(e),
+        };
+        let h = shards[0].header;
+        if h.base_generation != base_id {
+            return Err(corrupt("delta chain link names a different base"));
+        }
+        if h.batch_seq != batches.len() as u64 {
+            return Err(corrupt("delta chain sequence gap"));
+        }
+        if h.parent_fingerprint != tip_fp {
+            return Err(corrupt("delta chain fingerprint mismatch"));
+        }
+        if h.sampler != snapshot.sampler
+            || h.seed != snapshot.seed
+            || h.theta != snapshot.theta
+            || h.num_sets != snapshot.num_sets
+            || h.shard_count != snapshot.shard_count
+        {
+            return Err(corrupt("delta chain provenance mismatch"));
+        }
+        for (s, d) in shards.iter().enumerate() {
+            if d.header.num_elements != snapshot.shards[s].header.num_elements {
+                return Err(corrupt("delta chain shard size mismatch"));
+            }
+        }
+        tip_fp = h.fingerprint;
+        batches.push(shards[0].batch.clone());
+        links.push(shards);
+    }
+    // Fold: for each shard, the last repair of a set wins; untouched sets
+    // keep their base bytes.
+    let num_sets = snapshot.num_sets as usize;
+    let mut folded = snapshot;
+    for s in 0..folded.shards.len() {
+        let mut overrides: BTreeMap<u32, &[u32]> = BTreeMap::new();
+        for link in &links {
+            for (idx, nodes) in &link[s].repaired {
+                overrides.insert(*idx, nodes.as_slice());
+            }
+        }
+        if overrides.is_empty() {
+            continue;
+        }
+        let shard = &mut folded.shards[s];
+        let mut rebuilt = PooledSets::new();
+        for i in 0..shard.elements.len() {
+            match overrides.get(&(i as u32)) {
+                Some(nodes) => rebuilt.push(nodes),
+                None => rebuilt.push(shard.elements.get(i)),
+            };
+        }
+        shard.index = rebuilt.transpose(num_sets);
+        shard.elements = rebuilt;
+    }
+    let base_generation = base_id;
+    let next_seq = batches.len() as u64;
+    Ok((
+        folded,
+        ChainInfo {
+            base_generation,
+            base_dir: base_dir.clone(),
+            batches,
+            tip_fingerprint: tip_fp,
+            next_seq,
+        },
+    ))
+}
+
 /// Loads the newest committed generation under `root` that validates
 /// against `request`, returning its id alongside the snapshot.
 ///
@@ -154,53 +402,211 @@ pub fn latest_generation(root: &Path) -> Result<Option<(u64, PathBuf)>, StoreErr
 /// incomplete ([`StoreError::MissingShard`] / [`StoreError::Empty`],
 /// which a crash between shard writes and GC can leave behind); any other
 /// failure — corruption, provenance mismatch, I/O — surfaces immediately,
-/// because silently falling back to an older sketch would mask it.
+/// because silently falling back to an older sketch would mask it. A root
+/// holding *only* uncommitted generations reports
+/// [`StoreError::Uncommitted`] naming the newest attempt, so callers can
+/// tell "nothing sampled yet" from "writer crashed before commit".
 ///
-/// A root with no generation directories at all falls back to the flat
+/// A generation holding delta shards loads as its whole chain (base +
+/// deltas folded in order), so serving layers stay delta-oblivious. A
+/// root with no generation directories at all falls back to the flat
 /// pre-generation layout: the root itself is loaded as generation 0.
 pub fn load_latest_snapshot(
     root: &Path,
     request: &SnapshotRequest,
 ) -> Result<(u64, Snapshot), StoreError> {
+    load_latest_chain(root, request).map(|(id, snapshot, _)| (id, snapshot))
+}
+
+/// [`load_latest_snapshot`] plus the resolved [`ChainInfo`] — what
+/// streaming writers need to extend or compact the chain.
+pub fn load_latest_chain(
+    root: &Path,
+    request: &SnapshotRequest,
+) -> Result<(u64, Snapshot, ChainInfo), StoreError> {
     let gens = list_generations(root)?;
     if gens.is_empty() {
-        return load_snapshot(root, request).map(|s| (0, s));
+        let snapshot = load_snapshot(root, request)?;
+        let tip_fingerprint = base_graph_fingerprint(root, snapshot.fingerprint)?;
+        return Ok((
+            0,
+            snapshot,
+            ChainInfo {
+                base_generation: 0,
+                base_dir: root.to_path_buf(),
+                batches: Vec::new(),
+                tip_fingerprint,
+                next_seq: 0,
+            },
+        ));
     }
     let mut any_committed = false;
-    for (id, dir) in gens.into_iter().rev() {
-        if read_manifest(&dir)? != Some(id) {
+    let mut newest_uncommitted: Option<u64> = None;
+    for tip_idx in (0..gens.len()).rev() {
+        let (id, dir) = &gens[tip_idx];
+        if read_manifest(dir)? != Some(*id) {
+            newest_uncommitted.get_or_insert(*id);
             continue;
         }
         any_committed = true;
-        match load_snapshot(&dir, request) {
-            Ok(snapshot) => return Ok((id, snapshot)),
+        let result = if delta_paths(dir)?.is_empty() {
+            load_snapshot(dir, request).and_then(|snapshot| {
+                let tip_fingerprint = base_graph_fingerprint(dir, snapshot.fingerprint)?;
+                Ok((
+                    snapshot,
+                    ChainInfo {
+                        base_generation: *id,
+                        base_dir: dir.clone(),
+                        batches: Vec::new(),
+                        tip_fingerprint,
+                        next_seq: 0,
+                    },
+                ))
+            })
+        } else {
+            load_chain(&gens, tip_idx, request)
+        };
+        match result {
+            Ok((snapshot, chain)) => return Ok((*id, snapshot, chain)),
             Err(StoreError::MissingShard { .. }) | Err(StoreError::Empty { .. }) => continue,
             Err(e) => return Err(e),
         }
     }
     // Distinguish "nothing committed yet" from "committed but unloadable".
-    let _ = any_committed;
-    Err(StoreError::Empty {
-        dir: root.to_path_buf(),
-    })
+    match newest_uncommitted {
+        Some(newest) if !any_committed => Err(StoreError::Uncommitted {
+            dir: root.to_path_buf(),
+            newest,
+        }),
+        _ => Err(StoreError::Empty {
+            dir: root.to_path_buf(),
+        }),
+    }
+}
+
+/// Folds the newest committed chain into a fresh full base generation:
+/// base + deltas become one new `DIMR` generation carrying the chain's
+/// root fingerprint in its shard headers and the mutated tip graph as
+/// [`GRAPH_FILE`].
+///
+/// `graph` must be the chain's tip graph (base graph with every batch
+/// applied) — its fingerprint is checked against the chain before
+/// anything is written. Shards are staged in a `gen-<id>.tmp` directory
+/// and renamed into place, so a crashed compaction leaves only a staging
+/// directory for [`gc_generations`] to sweep, never a half-visible
+/// generation. Returns `Ok(None)` when the newest generation has no
+/// deltas to fold.
+pub fn compact_generation(
+    root: &Path,
+    request: &SnapshotRequest,
+    graph: &Graph,
+) -> Result<Option<(u64, PathBuf)>, StoreError> {
+    let (_tip, snapshot, chain) = load_latest_chain(root, request)?;
+    if chain.batches.is_empty() {
+        return Ok(None);
+    }
+    let found = crate::graph_fingerprint(graph);
+    if found != chain.tip_fingerprint {
+        return Err(StoreError::Mismatch {
+            path: root.to_path_buf(),
+            field: "tip fingerprint",
+            expected: chain.tip_fingerprint,
+            found,
+        });
+    }
+    let next = list_generations(root)?
+        .last()
+        .map(|&(id, _)| id + 1)
+        .unwrap_or(1);
+    let dir = root.join(generation_dir_name(next));
+    let stage = root.join(format!("{}.tmp", generation_dir_name(next)));
+    if stage.exists() {
+        fs::remove_dir_all(&stage).map_err(|e| io_err(&stage, e))?;
+    }
+    fs::create_dir_all(&stage).map_err(|e| io_err(&stage, e))?;
+    for shard in &snapshot.shards {
+        write_shard(&stage, &shard.header, &shard.elements)?;
+    }
+    let mut buf = Vec::new();
+    dim_graph::binary::write_binary(graph, &mut buf)
+        .expect("in-memory serialization cannot fail");
+    let graph_path = stage.join(GRAPH_FILE);
+    fs::write(&graph_path, &buf).map_err(|e| io_err(&graph_path, e))?;
+    fs::rename(&stage, &dir).map_err(|e| io_err(&dir, e))?;
+    commit_generation(&dir, next)?;
+    Ok(Some((next, dir)))
 }
 
 /// Deletes old generation directories, keeping the newest `keep` (by id,
 /// committed or not — an uncommitted newest generation is a write in
-/// progress and must survive). `keep` is clamped to at least 1. Returns
-/// the removed ids in ascending order.
+/// progress and must survive) *plus* every generation a kept delta chain
+/// still references: a kept delta generation pins its base and all
+/// intermediate links, so a served chain never loses its foundation.
+/// `keep` is clamped to at least 1. Also sweeps `gen-<id>.tmp` staging
+/// directories left behind by crashed compactions (the store is
+/// single-writer, so none can belong to a live one). Returns the removed
+/// generation ids in ascending order.
 pub fn gc_generations(root: &Path, keep: usize) -> Result<Vec<u64>, StoreError> {
+    sweep_staging(root)?;
     let keep = keep.max(1);
     let gens = list_generations(root)?;
     if gens.len() <= keep {
         return Ok(Vec::new());
     }
+    let mut first_kept = gens.len() - keep;
+    // Chain closure: lower the boundary until every kept delta
+    // generation's base (and therefore every intermediate link — ids are
+    // ordered) is kept too.
+    loop {
+        let mut min_base: Option<u64> = None;
+        for (_, dir) in &gens[first_kept..] {
+            if let Some(base) = delta_base_of(dir)? {
+                min_base = Some(min_base.map_or(base, |m| m.min(base)));
+            }
+        }
+        match min_base {
+            Some(base) => {
+                let lowered = gens.partition_point(|&(id, _)| id < base);
+                if lowered >= first_kept {
+                    break;
+                }
+                first_kept = lowered;
+            }
+            None => break,
+        }
+    }
     let mut removed = Vec::new();
-    for (id, dir) in &gens[..gens.len() - keep] {
+    for (id, dir) in &gens[..first_kept] {
         fs::remove_dir_all(dir).map_err(|e| io_err(dir, e))?;
         removed.push(*id);
     }
     Ok(removed)
+}
+
+/// Removes `gen-<id>.tmp` staging directories (crashed compactions).
+fn sweep_staging(root: &Path) -> Result<(), StoreError> {
+    let entries = match fs::read_dir(root) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(io_err(root, e)),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(root, e))?;
+        let path = entry.path();
+        if !path.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let is_staging = name
+            .to_str()
+            .and_then(|n| n.strip_suffix(".tmp"))
+            .and_then(parse_generation_dir)
+            .is_some();
+        if is_staging {
+            fs::remove_dir_all(&path).map_err(|e| io_err(&path, e))?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -325,9 +731,23 @@ mod tests {
             load_latest_snapshot(&root, &request()),
             Err(StoreError::Empty { .. })
         ));
-        // An uncommitted generation alone is still "nothing to serve".
+        // A root holding only uncommitted generations is not "empty" — it
+        // names the newest attempt so the operator can tell a crashed
+        // writer from a store that was never sampled into.
         let (_, dir) = begin_generation(&root).unwrap();
         write_snapshot(&dir, 0);
+        let (id2, dir2) = begin_generation(&root).unwrap();
+        write_snapshot(&dir2, 1);
+        match load_latest_snapshot(&root, &request()) {
+            Err(StoreError::Uncommitted { dir, newest }) => {
+                assert_eq!(dir, root);
+                assert_eq!(newest, id2);
+            }
+            other => panic!("expected Uncommitted, got {other:?}"),
+        }
+        // Once anything commits, unloadable leftovers report Empty again.
+        commit_generation(&dir2, id2).unwrap();
+        fs::remove_file(dir2.join(crate::shard_file_name(0, 1))).unwrap();
         assert!(matches!(
             load_latest_snapshot(&root, &request()),
             Err(StoreError::Empty { .. })
@@ -395,6 +815,172 @@ mod tests {
         // Ids keep increasing after GC (no reuse).
         let (id, _) = begin_generation(&root).unwrap();
         assert_eq!(id, 6);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    use crate::delta::{write_delta_shard, DeltaShardHeader};
+    use dim_graph::{DeltaBatch, EdgeOp, GraphBuilder, WeightModel};
+
+    /// Writes a committed single-shard delta generation chained onto
+    /// `base_generation` with the given fingerprint link and repairs.
+    fn write_delta_generation(
+        root: &Path,
+        base_generation: u64,
+        seq: u64,
+        parent_fingerprint: u64,
+        fingerprint: u64,
+        repaired: Vec<(u32, Vec<u32>)>,
+    ) -> (u64, PathBuf) {
+        let (id, dir) = begin_generation(root).unwrap();
+        let header = DeltaShardHeader {
+            base_generation,
+            parent_fingerprint,
+            fingerprint,
+            sampler: SamplerSpec::Subsim,
+            seed: 0,
+            theta: 2,
+            batch_seq: seq,
+            shard_id: 0,
+            shard_count: 1,
+            num_sets: 5,
+            num_elements: 2,
+            repaired_count: repaired.len() as u64,
+        };
+        let batch = DeltaBatch::new(seq, vec![EdgeOp::Delete { u: 0, v: 1 }]);
+        write_delta_shard(&dir, &header, &batch, &repaired).unwrap();
+        commit_generation(&dir, id).unwrap();
+        (id, dir)
+    }
+
+    #[test]
+    fn chain_loads_folded_snapshot() {
+        let root = temp_root("chain");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0); // elements [[0], [1, 4]], fp 0xfeed_f00d
+        commit_generation(&dir1, id1).unwrap();
+        write_delta_generation(&root, id1, 0, 0xfeed_f00d, 0xaaaa, vec![(1, vec![2, 3])]);
+        write_delta_generation(&root, id1, 1, 0xaaaa, 0xbbbb, vec![(0, vec![1])]);
+
+        let (id, snap, chain) = load_latest_chain(&root, &request()).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(chain.base_generation, id1);
+        assert_eq!(chain.batches.len(), 2);
+        assert_eq!(chain.tip_fingerprint, 0xbbbb);
+        assert_eq!(chain.next_seq, 2);
+        let shard = &snap.shards[0];
+        assert_eq!(shard.elements.get(0), &[1][..]);
+        assert_eq!(shard.elements.get(1), &[2, 3][..]);
+        // The folded index is the transpose of the folded elements.
+        assert_eq!(shard.index.get(1), &[0][..]);
+        assert_eq!(shard.index.get(2), &[1][..]);
+        assert_eq!(shard.index.get(4), &[] as &[u32]);
+        // The request still names the ROOT graph; the plain loader agrees.
+        let (id, snap2) = load_latest_snapshot(&root, &request()).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(snap2.shards[0].elements.get(0), &[1][..]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn chain_rejects_broken_fingerprint_link() {
+        let root = temp_root("chainlink");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        // parent_fingerprint does not match the base graph.
+        write_delta_generation(&root, id1, 0, 0xdead, 0xaaaa, vec![(0, vec![1])]);
+        match load_latest_chain(&root, &request()) {
+            Err(StoreError::Corrupt { detail, .. }) => {
+                assert_eq!(detail, "delta chain fingerprint mismatch")
+            }
+            other => panic!("expected corrupt chain, got {other:?}"),
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_chain_base_and_sweeps_staging() {
+        let root = temp_root("gcchain");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        write_delta_generation(&root, id1, 0, 0xfeed_f00d, 0xaaaa, vec![(0, vec![1])]);
+        write_delta_generation(&root, id1, 1, 0xaaaa, 0xbbbb, vec![(1, vec![2])]);
+        // Keeping only the tip must pin the whole chain down to its base.
+        assert!(gc_generations(&root, 1).unwrap().is_empty());
+        assert_eq!(list_generations(&root).unwrap().len(), 3);
+
+        // A fresh base makes the old chain collectable.
+        let (id4, dir4) = begin_generation(&root).unwrap();
+        write_snapshot(&dir4, 1);
+        commit_generation(&dir4, id4).unwrap();
+        let (id5, _) = write_delta_generation(&root, id4, 0, 0xfeed_f00d, 0xcccc, vec![]);
+
+        // A crashed compaction's staging dir gets swept; non-staging names
+        // survive.
+        let staging = root.join("gen-00000009.tmp");
+        fs::create_dir_all(&staging).unwrap();
+        fs::write(staging.join("shard-0-of-1.rrs"), b"junk").unwrap();
+        let unrelated = root.join("scratch.tmp");
+        fs::create_dir_all(&unrelated).unwrap();
+
+        let removed = gc_generations(&root, 1).unwrap();
+        assert_eq!(removed, vec![1, 2, 3]);
+        let left: Vec<u64> = list_generations(&root)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(left, vec![id4, id5]);
+        assert!(!staging.exists(), "staging dir swept");
+        assert!(unrelated.exists(), "non-generation tmp dir untouched");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn compact_folds_chain_and_resumes_from_graph_file() {
+        let root = temp_root("compact");
+        let (id1, dir1) = begin_generation(&root).unwrap();
+        write_snapshot(&dir1, 0);
+        commit_generation(&dir1, id1).unwrap();
+        // The "mutated" graph the chain supposedly produced.
+        let mut b = GraphBuilder::new(5);
+        b.add_weighted_edge(0, 1, 0.5);
+        b.add_weighted_edge(1, 2, 0.25);
+        let graph = b.build(WeightModel::WeightedCascade);
+        let tip_fp = crate::graph_fingerprint(&graph);
+        write_delta_generation(&root, id1, 0, 0xfeed_f00d, tip_fp, vec![(0, vec![3])]);
+
+        // Compacting with the wrong graph is refused before any write.
+        let wrong = GraphBuilder::new(5).build(WeightModel::WeightedCascade);
+        assert!(matches!(
+            compact_generation(&root, &request(), &wrong),
+            Err(StoreError::Mismatch { field: "tip fingerprint", .. })
+        ));
+
+        let (id3, dir3) = compact_generation(&root, &request(), &graph)
+            .unwrap()
+            .expect("chain had deltas to fold");
+        assert_eq!(id3, 3);
+        // The compacted base answers the ROOT request, serves the folded
+        // sets, and exposes the tip graph for resumed streams.
+        let (id, snap, chain) = load_latest_chain(&root, &request()).unwrap();
+        assert_eq!(id, id3);
+        assert_eq!(snap.shards[0].elements.get(0), &[3][..]);
+        assert!(chain.batches.is_empty());
+        assert_eq!(chain.next_seq, 0);
+        assert_eq!(chain.tip_fingerprint, tip_fp);
+        let restored = read_graph_file(&dir3).unwrap().expect("graph persisted");
+        assert_eq!(crate::graph_fingerprint(&restored), tip_fp);
+        // No deltas left: compaction is idempotent.
+        assert!(compact_generation(&root, &request(), &graph).unwrap().is_none());
+        // A post-compaction delta chains off the persisted tip graph.
+        write_delta_generation(&root, id3, 0, tip_fp, 0x1234, vec![(1, vec![0])]);
+        let (id, snap, chain) = load_latest_chain(&root, &request()).unwrap();
+        assert_eq!(id, id3 + 1);
+        assert_eq!(snap.shards[0].elements.get(1), &[0][..]);
+        assert_eq!(chain.base_generation, id3);
+        assert_eq!(chain.tip_fingerprint, 0x1234);
         fs::remove_dir_all(&root).unwrap();
     }
 }

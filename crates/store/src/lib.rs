@@ -31,12 +31,19 @@
 //! (trailing bytes are an error), and the rebuilt index is cross-checked
 //! against the elements. Failures surface as typed [`StoreError`]s.
 
+pub mod delta;
 pub mod generation;
 
+pub use delta::{
+    decode_delta_shard, delta_base_of, delta_file_name, delta_paths, encode_delta_shard,
+    read_delta_shard, write_delta_shard, DeltaShard, DeltaShardHeader, DELTA_EXTENSION,
+    DELTA_MAGIC, DELTA_VERSION,
+};
 pub use generation::{
-    begin_generation, commit_generation, gc_generations, generation_dir_name, latest_generation,
-    list_generations, load_latest_snapshot, parse_generation_dir, read_manifest,
-    GENERATION_PREFIX, MANIFEST_FILE,
+    begin_generation, commit_generation, compact_generation, gc_generations, generation_dir_name,
+    latest_generation, list_generations, load_latest_chain, load_latest_snapshot,
+    parse_generation_dir, read_graph_file, read_manifest, ChainInfo, GENERATION_PREFIX,
+    GRAPH_FILE, MANIFEST_FILE,
 };
 
 use std::fmt;
@@ -88,6 +95,11 @@ pub enum StoreError {
     },
     /// The directory contains no shard files at all.
     Empty { dir: PathBuf },
+    /// The store root holds generation directories but none is committed
+    /// — every attempt is still being written or crashed before its
+    /// manifest landed. `newest` names the newest uncommitted id so the
+    /// operator can tell "writer still running" from "writer crashed".
+    Uncommitted { dir: PathBuf, newest: u64 },
 }
 
 impl StoreError {
@@ -141,6 +153,12 @@ impl fmt::Display for StoreError {
             StoreError::Empty { dir } => {
                 write!(f, "no snapshot shards (*.{SHARD_EXTENSION}) in {}", dir.display())
             }
+            StoreError::Uncommitted { dir, newest } => write!(
+                f,
+                "no committed generation in {}: newest generation {newest} has no \
+                 manifest (writer still running, or crashed before commit)",
+                dir.display()
+            ),
         }
     }
 }

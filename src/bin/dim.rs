@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "im" => cmd_im(&flags),
         "sample" => cmd_sample(&flags),
+        "stream" => cmd_stream(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
         "coverage" => cmd_coverage(&flags),
@@ -93,6 +94,12 @@ commands:
   sample    --graph <src> --k <k> --out DIR run DiIMM and persist the RR sketch
                                             (--generations appends a committed
                                             gen-N/, GC'd down to --keep N)
+  stream    --graph <src> --store DIR       apply streamed edge edits to a sketch:
+            --apply EDITS.jsonl             each batch repairs the resident RR sets
+                                            incrementally and commits a delta
+                                            generation (--batch-size N ops/batch,
+                                            --keep N, --compact folds the chain,
+                                            --select reruns seed selection)
   serve     --graph <src> --store DIR       answer influence queries over a sketch
                                             (--addr A, --max-queries N,
                                             --workers N, --max-conns N; serves the
@@ -135,6 +142,8 @@ impl Flags {
                 || name == "stats"
                 || name == "generations"
                 || name == "reload"
+                || name == "compact"
+                || name == "select"
             {
                 map.insert(name.to_string(), "true".to_string());
             } else {
@@ -472,6 +481,125 @@ fn cmd_sample(flags: &Flags) -> Result<(), String> {
     }
     if flags.get("breakdown").is_some() {
         print_breakdown(&r.timeline);
+    }
+    Ok(())
+}
+
+/// Pulls one JSON field value out of a single-line object without a JSON
+/// dependency: finds `"key"`, skips `:` and whitespace, and returns the
+/// raw token up to the next `,`/`}` (or the quoted string contents).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.split('"').next()
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// One edit line: `{"op":"insert","u":1,"v":2,"p":0.5}` (or `delete` /
+/// `reweight`; `delete` needs no `p`).
+fn parse_edit(line: &str) -> Result<EdgeOp, String> {
+    let op = json_field(line, "op").ok_or("missing \"op\"")?;
+    let node = |key: &str| -> Result<u32, String> {
+        let raw = json_field(line, key).ok_or(format!("missing \"{key}\""))?;
+        raw.parse().map_err(|_| format!("bad \"{key}\" value {raw:?}"))
+    };
+    let prob = || -> Result<f32, String> {
+        let raw = json_field(line, "p").ok_or("missing \"p\"")?;
+        raw.parse().map_err(|_| format!("bad \"p\" value {raw:?}"))
+    };
+    let (u, v) = (node("u")?, node("v")?);
+    match op {
+        "insert" => Ok(EdgeOp::Insert { u, v, p: prob()? }),
+        "delete" => Ok(EdgeOp::Delete { u, v }),
+        "reweight" => Ok(EdgeOp::Reweight { u, v, p: prob()? }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn cmd_stream(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let (config, _) = im_config(flags, &g)?;
+    let algorithm = flags.get("algorithm").unwrap_or("diimm");
+    if !matches!(algorithm, "diimm" | "subsim") {
+        return Err("stream repairs a DiIMM sketch; use --algorithm diimm|subsim".into());
+    }
+    let root = std::path::PathBuf::from(flags.required("store")?);
+    let edits_path = flags.required("apply")?;
+    let keep = flags.num("keep", 3usize)?;
+    let batch_size = flags.num("batch-size", 0usize)?;
+    let mode = match backend_of(flags)? {
+        Backend::Sim(mode) => mode,
+        #[cfg(feature = "proc-backend")]
+        _ => return Err("stream repairs the sketch locally; use a simulated backend".into()),
+    };
+
+    let text = std::fs::read_to_string(edits_path)
+        .map_err(|e| format!("cannot read {edits_path}: {e}"))?;
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        ops.push(parse_edit(line).map_err(|e| format!("{edits_path}:{}: {e}", i + 1))?);
+    }
+    if ops.is_empty() {
+        return Err(format!("{edits_path} holds no edits"));
+    }
+
+    let net = NetworkModel::shared_memory();
+    let mut session = StreamSession::open(&g, &config, &root, net, mode)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "stream: resumed at generation {} (seq {}, {} machine(s))",
+        session.generation(),
+        session.next_seq(),
+        session.num_machines()
+    );
+    let chunk = if batch_size == 0 { ops.len() } else { batch_size };
+    let mut total_ops = 0usize;
+    let mut total_repaired = 0u64;
+    let start = std::time::Instant::now();
+    for batch in ops.chunks(chunk) {
+        let applied = session
+            .apply(batch.to_vec(), true, keep)
+            .map_err(|e| e.to_string())?;
+        total_ops += applied.ops;
+        total_repaired += applied.sets_repaired;
+        println!(
+            "stream: batch seq {} ({} op(s)) -> generation {}, {} RR set(s) repaired",
+            session.next_seq() - 1,
+            applied.ops,
+            applied.generation.expect("persisted apply commits"),
+            applied.sets_repaired
+        );
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "stream: {total_ops} edit(s) applied, {total_repaired} RR set(s) repaired \
+         in {:.3}s ({:.0} edits/s)",
+        elapsed.as_secs_f64(),
+        total_ops as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    if flags.get("compact").is_some() {
+        match session.compact(keep).map_err(|e| e.to_string())? {
+            Some(id) => println!("stream: compacted chain into base generation {id}"),
+            None => println!("stream: nothing to compact"),
+        }
+    }
+    if flags.get("select").is_some() {
+        let r = session.select().map_err(|e| e.to_string())?;
+        println!("seeds: {:?}", r.seeds);
+        println!(
+            "estimated spread: {:.1} ({} RR sets)",
+            r.est_spread, r.num_rr_sets
+        );
     }
     Ok(())
 }

@@ -76,6 +76,7 @@ pub mod prelude {
     pub use dim_core::snapshot::{
         diimm_load_rr, diimm_sample, diimm_sample_generation, load_latest_rr_snapshot,
         load_rr_snapshot, persist_rr_shards, rr_snapshot_request, snapshot_shards, SnapshotError,
+        StreamApplied, StreamSession,
     };
     pub use dim_core::{
         setup_im_cluster, ImConfig, ImParams, ImResult, SamplerKind, Timings, WorkerHost,
@@ -90,9 +91,10 @@ pub mod prelude {
         ServeOptions, Server, Sketch, SketchStats,
     };
     pub use dim_store::{
-        begin_generation, commit_generation, gc_generations, generation_dir_name,
-        graph_fingerprint, latest_generation, list_generations, load_latest_snapshot,
-        load_snapshot, Snapshot, SnapshotRequest, StoreError,
+        begin_generation, commit_generation, compact_generation, gc_generations,
+        generation_dir_name, graph_fingerprint, latest_generation, list_generations,
+        load_latest_chain, load_latest_snapshot, load_snapshot, read_graph_file, ChainInfo,
+        Snapshot, SnapshotRequest, StoreError, GRAPH_FILE,
     };
     pub use dim_diffusion::exact::{exact_opt, exact_spread};
     pub use dim_diffusion::forward::{estimate_spread, estimate_spread_ci, SpreadEstimate};
@@ -102,5 +104,8 @@ pub mod prelude {
     };
     pub use dim_graph::analysis::{influence_pagerank, pagerank};
     pub use dim_graph::scc::strongly_connected_components;
-    pub use dim_graph::{DatasetProfile, Graph, GraphBuilder, GraphStats, NodeId, WeightModel};
+    pub use dim_graph::{
+        apply_batch, DatasetProfile, DeltaBatch, EdgeOp, Graph, GraphBuilder, GraphStats, NodeId,
+        WeightModel,
+    };
 }

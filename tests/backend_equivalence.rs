@@ -190,6 +190,194 @@ fn snapshot_roundtrip_matches_direct_run() {
     }
 }
 
+/// Edge-stream repair is an execution path, never an algorithm change:
+/// applying a delta batch and repairing only the touched RR sets must be
+/// byte-identical — seeds *and* marginals — to throwing the sketch away
+/// and re-sampling the mutated graph from scratch with the same per-set
+/// RNG streams, at every machine count, on the simulated and the process
+/// backend alike.
+mod stream {
+    use super::*;
+    use dim_core::diimm::DiimmWorker;
+
+    const STREAM_MACHINE_COUNTS: [usize; 3] = [1, 2, 4];
+
+    fn stream_config(g: &Graph) -> ImConfig {
+        ImConfig {
+            k: 6,
+            ..ImConfig::paper_defaults(g, 0.4, 29)
+        }
+    }
+
+    /// Two chained batches over real edges of `g`: the first deletes an
+    /// existing edge and inserts a fresh one, the second reweights
+    /// another existing edge and deletes the fresh insert again.
+    fn chained_batches(g: &Graph) -> [Vec<EdgeOp>; 2] {
+        let n = g.num_nodes() as u32;
+        let mut edges = g.edges();
+        let (u1, v1, _) = edges.next().expect("graph has edges");
+        let (u2, v2, _) = edges.next().expect("graph has two edges");
+        let (iu, iv) = ((u1 + 1) % n, (u1 + 2) % n);
+        [
+            vec![
+                EdgeOp::Delete { u: u1, v: v1 },
+                EdgeOp::Insert { u: iu, v: iv, p: 0.3 },
+            ],
+            vec![
+                EdgeOp::Reweight { u: u2, v: v2, p: 0.7 },
+                EdgeOp::Delete { u: iu, v: iv },
+            ],
+        ]
+    }
+
+    /// Ground truth: sample `counts[i]` RR sets per machine from scratch
+    /// on `g` (same master seed → same per-set streams) and select.
+    fn resample_select(
+        g: &Graph,
+        config: &ImConfig,
+        counts: &[u64],
+    ) -> (Vec<u32>, Vec<u64>) {
+        let workers: Vec<DiimmWorker> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let mut w = DiimmWorker::new(g, config, i);
+                w.generate(count as usize);
+                w
+            })
+            .collect();
+        let mut cluster =
+            SimCluster::new(workers, NetworkModel::cluster_1gbps(), ExecMode::Sequential);
+        let r = dim_coverage::newgreedi_with(&mut cluster, g.num_nodes(), config.k).unwrap();
+        (r.seeds, r.marginals)
+    }
+
+    /// Incremental apply + select over a persisted chain equals a full
+    /// re-sample of the final graph, and a fresh session restored from
+    /// the committed chain agrees byte for byte.
+    #[test]
+    fn stream_repair_matches_full_resample_sim() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = stream_config(&g);
+        let batches = chained_batches(&g);
+        for machines in STREAM_MACHINE_COUNTS {
+            let root = std::env::temp_dir().join(format!(
+                "dim-equiv-stream-{}-{machines}",
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&root).ok();
+            let net = NetworkModel::cluster_1gbps();
+            diimm_sample_generation(&g, &config, machines, net, ExecMode::Sequential, &root, 8)
+                .unwrap();
+            let (_, snapshot) = load_latest_rr_snapshot(&g, &config, &root).unwrap();
+            let counts: Vec<u64> = snapshot
+                .shards
+                .iter()
+                .map(|s| s.header.num_elements)
+                .collect();
+
+            let mut session =
+                StreamSession::open(&g, &config, &root, net, ExecMode::Sequential).unwrap();
+            let mut tip = g.clone();
+            for ops in &batches {
+                let applied = session.apply(ops.clone(), true, 8).unwrap();
+                assert!(applied.sets_repaired > 0, "ℓ = {machines}: batch repaired nothing");
+                let batch = DeltaBatch {
+                    seq: 0,
+                    ops: ops.clone(),
+                };
+                tip = apply_batch(&tip, &batch).unwrap();
+            }
+            let incremental = session.select().unwrap();
+            let (seeds, marginals) = resample_select(&tip, &config, &counts);
+            assert_eq!(incremental.seeds, seeds, "ℓ = {machines}");
+            assert_eq!(incremental.marginals, marginals, "ℓ = {machines}");
+
+            // A cold restart from the committed chain sees the same state.
+            let mut reloaded =
+                StreamSession::open(&g, &config, &root, net, ExecMode::Sequential).unwrap();
+            assert_eq!(reloaded.next_seq(), 2, "ℓ = {machines}");
+            let replayed = reloaded.select().unwrap();
+            assert_eq!(replayed.seeds, seeds, "ℓ = {machines} (reloaded)");
+            assert_eq!(replayed.marginals, marginals, "ℓ = {machines} (reloaded)");
+            std::fs::remove_dir_all(&root).ok();
+        }
+    }
+
+    /// The same contract on the TCP process backend: workers sample a
+    /// fixed θ, the master broadcasts `ApplyDelta`, every worker repairs
+    /// its resident shard locally, and selection over the repaired
+    /// cluster equals a from-scratch re-sample of the mutated graph.
+    #[cfg(feature = "proc-backend")]
+    #[test]
+    fn stream_repair_matches_full_resample_proc() {
+        use dim_cluster::ops::{expect_counts, expect_ok};
+        use dim_cluster::ProcCluster;
+
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = stream_config(&g);
+        let batches = chained_batches(&g);
+        let theta = 4000u64;
+        for machines in STREAM_MACHINE_COUNTS {
+            let counts: Vec<u64> = (0..machines as u64)
+                .map(|i| theta / machines as u64 + u64::from(i < theta % machines as u64))
+                .collect();
+            let mut proc = ProcCluster::auto_with(
+                machines,
+                NetworkModel::cluster_1gbps(),
+                config.seed,
+                move |i| WorkerHost::new(i, config.seed),
+            )
+            .expect("loopback worker cluster");
+            setup_im_cluster(&mut proc, &g, config.sampler).unwrap();
+            let replies = proc
+                .control(phase::RR_SAMPLING, |i| WorkerOp::SampleRr {
+                    count: counts[i],
+                })
+                .unwrap();
+            expect_ok(&replies, phase::RR_SAMPLING).unwrap();
+
+            let mut tip = g.clone();
+            for (seq, ops) in batches.iter().enumerate() {
+                let batch = DeltaBatch {
+                    seq: seq as u64,
+                    ops: ops.clone(),
+                };
+                let mutated = apply_batch(&tip, &batch).unwrap();
+                let encoded = batch.encode();
+                let parent = graph_fingerprint(&tip);
+                let fingerprint = graph_fingerprint(&mutated);
+                let spec: SamplerSpec = config.sampler.into();
+                let replies = proc
+                    .control(phase::STREAM_APPLY, |_| WorkerOp::ApplyDelta {
+                        batch: encoded.clone(),
+                        persist_dir: None,
+                        base_generation: 0,
+                        fingerprint,
+                        parent_fingerprint: parent,
+                        seed: config.seed,
+                        theta,
+                        shard_count: machines as u32,
+                        spec,
+                    })
+                    .unwrap();
+                let repaired = expect_counts(&replies, phase::STREAM_APPLY).unwrap();
+                assert!(
+                    repaired.iter().sum::<u64>() > 0,
+                    "ℓ = {machines}, seq {seq}: batch repaired nothing"
+                );
+                tip = mutated;
+            }
+
+            let r = dim_coverage::newgreedi_with(&mut proc, g.num_nodes(), config.k).unwrap();
+            let (seeds, marginals) = resample_select(&tip, &config, &counts);
+            assert_eq!(r.seeds, seeds, "ℓ = {machines}");
+            assert_eq!(r.marginals, marginals, "ℓ = {machines}");
+            assert_eq!(proc.link_errors(), 0, "ℓ = {machines}");
+        }
+    }
+}
+
 /// The TCP process backend is the fourth execution strategy: worker state
 /// lives in the endpoints (threads or real `dim-worker` processes), every
 /// phase ships real op/reply payloads, and the answer — seeds, marginals,

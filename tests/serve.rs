@@ -264,6 +264,201 @@ fn hot_reload_under_fire() {
     std::fs::remove_dir_all(&root).ok();
 }
 
+/// Streamed delta generations are first-class reload targets: while
+/// client threads hammer the server, a [`StreamSession`] applies edge
+/// batches (each committing a delta generation), compacts the chain into
+/// a fresh standalone base, streams past the compaction, and GCs old
+/// generations — and the server hot-reloads through every one of them
+/// with zero query errors, every answer byte-identical to the folded
+/// chain the reported generation pins.
+#[test]
+fn stream_generations_hot_reload_under_fire() {
+    let g = DatasetProfile::Facebook.generate(0.08, 5);
+    let base = ImConfig {
+        k: 4,
+        ..ImConfig::paper_defaults(&g, 0.5, 37)
+    };
+    let root = temp_dir("stream-fire");
+    let net = NetworkModel::shared_memory();
+    let request = rr_snapshot_request(&g, &base);
+
+    // Per-generation reference shards: each entry is the *folded chain*
+    // as of that generation's commit, loaded through the same chain-aware
+    // path the server reloads through, and inserted BEFORE the server is
+    // told to reload — so hammering threads can always resolve whatever
+    // id the server reports.
+    type References =
+        std::sync::RwLock<std::collections::HashMap<u64, Arc<(u64, Vec<CoverageShard>)>>>;
+    let references: Arc<References> = Arc::default();
+    let load_latest_reference = |expected: u64| {
+        let (id, snap) = load_latest_snapshot(&root, &request).expect("load folded chain");
+        assert_eq!(id, expected, "newest committed generation");
+        Arc::new((snap.theta, snapshot_shards(snap)))
+    };
+
+    let (first, _) = diimm_sample_generation(&g, &base, 2, net, ExecMode::Sequential, &root, 10)
+        .expect("sample generation 1");
+    assert_eq!(first, 1);
+    references
+        .write()
+        .unwrap()
+        .insert(1, load_latest_reference(1));
+
+    let (generation, snapshot) = load_latest_rr_snapshot(&g, &base, &root).unwrap();
+    let server = dim_serve::Server::start_with(
+        "127.0.0.1:0",
+        Sketch::from_snapshot(g.num_nodes(), snapshot),
+        ServeOptions {
+            workers: 10,
+            generation,
+            reload: Some(ReloadSource {
+                root: root.clone(),
+                request: request.clone(),
+                num_nodes: g.num_nodes(),
+            }),
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let n = g.num_nodes() as u32;
+    const HAMMERS: u64 = 6;
+    let workers: Vec<_> = (0..HAMMERS)
+        .map(|t| {
+            let references = Arc::clone(&references);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut client = QueryClient::connect(addr).expect("connect");
+                let mut last_generation = 0u64;
+                let mut seen = std::collections::BTreeSet::new();
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) || round < 20 {
+                    let seeds = pseudo_ids(t ^ 0xBEEF, round, n, (round % 7) as usize);
+                    let replies = client
+                        .batch(&[
+                            QueryRequest::Stats,
+                            QueryRequest::Spread {
+                                seeds: seeds.clone(),
+                            },
+                        ])
+                        .expect("batched query during streamed reload");
+                    let [QueryResponse::Stats(stats), QueryResponse::Spread { covered, theta, .. }] =
+                        &replies[..]
+                    else {
+                        panic!("thread {t} round {round}: unexpected replies {replies:?}");
+                    };
+                    assert!(
+                        stats.generation >= last_generation,
+                        "thread {t}: generation went backwards ({} after {})",
+                        stats.generation,
+                        last_generation
+                    );
+                    last_generation = stats.generation;
+                    seen.insert(stats.generation);
+                    let reference = references
+                        .read()
+                        .unwrap()
+                        .get(&stats.generation)
+                        .cloned()
+                        .unwrap_or_else(|| {
+                            panic!("server reported unknown generation {}", stats.generation)
+                        });
+                    assert_eq!(*theta, reference.0, "theta must match the pinned generation");
+                    assert_eq!(
+                        *covered,
+                        dim_coverage::seed_set_coverage(&reference.1, &seeds),
+                        "thread {t} round {round} generation {}: {seeds:?}",
+                        stats.generation
+                    );
+                    round += 1;
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Stream against the store while the hammering runs: two delta
+    // generations, a compaction, and one more delta past it. Every commit
+    // is followed by a wire reload.
+    let mut session =
+        StreamSession::open(&g, &base, &root, net, ExecMode::Sequential).expect("open session");
+    let mut edges = g.edges();
+    let (u1, v1, _) = edges.next().expect("graph has edges");
+    let (u2, v2, _) = edges.next().expect("graph has two edges");
+    let steps: Vec<(Option<Vec<EdgeOp>>, u64)> = vec![
+        // Delta generation 2: delete a sampled edge, insert a fresh one.
+        (
+            Some(vec![
+                EdgeOp::Delete { u: u1, v: v1 },
+                EdgeOp::Insert {
+                    u: (u1 + 1) % n,
+                    v: (u1 + 2) % n,
+                    p: 0.4,
+                },
+            ]),
+            2,
+        ),
+        // Delta generation 3.
+        (Some(vec![EdgeOp::Reweight { u: u2, v: v2, p: 0.8 }]), 3),
+        // Generation 4: the chain folded into a standalone base.
+        (None, 4),
+        // Delta generation 5, chained off the compacted base. keep = 2
+        // GCs generations 1–3 out from under the server mid-flight.
+        (Some(vec![EdgeOp::Delete { u: u2, v: v2 }]), 5),
+    ];
+    let mut admin = QueryClient::connect(addr).expect("admin connect");
+    for (ops, expected) in steps {
+        let committed = match ops {
+            Some(ops) => {
+                let keep = if expected == 5 { 2 } else { 10 };
+                let applied = session.apply(ops, true, keep).expect("apply batch");
+                assert!(applied.sets_repaired > 0, "generation {expected} repaired nothing");
+                applied.generation.expect("persisted apply commits")
+            }
+            None => session
+                .compact(10)
+                .expect("compact chain")
+                .expect("chain has batches to fold"),
+        };
+        assert_eq!(committed, expected);
+        references
+            .write()
+            .unwrap()
+            .insert(expected, load_latest_reference(expected));
+        let (gen, changed) = admin.reload().expect("wire reload");
+        assert_eq!(gen, expected);
+        assert!(changed, "reload must swap to generation {expected}");
+        thread::sleep(std::time::Duration::from_millis(40));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let mut observed = std::collections::BTreeSet::new();
+    for w in workers {
+        observed.extend(w.join().expect("hammer thread panicked"));
+    }
+    assert!(
+        observed.contains(&1) && observed.contains(&5),
+        "hammering threads never straddled the swaps: observed {observed:?}"
+    );
+
+    assert_eq!(server.generation(), 5);
+    let metrics = server.metrics();
+    assert_eq!(metrics.active_generation, 5);
+    assert_eq!(metrics.reloads, 4);
+    server.shutdown();
+    // GC swept the pre-compaction generations; the compacted base (the
+    // live chain's root) and its delta survive.
+    let left: Vec<u64> = list_generations(&root)
+        .unwrap()
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    assert_eq!(left, vec![4, 5]);
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The unconstrained top-k answer served over the wire IS the persisted
 /// run's seed set — sample once, query forever.
 #[test]

@@ -216,4 +216,28 @@ for t in dim_graph_unit dim_diffusion_unit dim_cluster_unit dim_coverage_unit \
         FAILED=1
     fi
 done
+# End-to-end edge-stream smoke over the CLI (debug-speed sizes): sample a
+# generation store, apply a JSONL edit log (delta generations, compaction,
+# re-select), then run the bench recorder's regression gate against a
+# baseline that predates the stream_apply phase — the new key must be
+# reported as skipped, never fail the gate.
+say "smoke: dim stream + dim-benchrec --check"
+SMOKE="$OUT/stream-smoke"
+rm -rf "$SMOKE"; mkdir -p "$SMOKE"
+"$OUT/dim" generate --profile facebook:0.05 --out "$SMOKE/edges.txt"
+"$OUT/dim" sample --graph "$SMOKE/edges.txt" --k 5 --seed 7 --machines 2 \
+    --out "$SMOKE/store" --generations
+printf '%s\n' '{"op":"insert","u":1,"v":5,"p":0.1}' \
+    '{"op":"delete","u":0,"v":1}' > "$SMOKE/edits.jsonl"
+"$OUT/dim" stream --graph "$SMOKE/edges.txt" --k 5 --seed 7 --machines 2 \
+    --store "$SMOKE/store" --apply "$SMOKE/edits.jsonl" --compact --select
+printf '%s\n' \
+    '{"bench":"sample_select","label":"pre-stream","provenance":"offline-stub","graph":"facebook:0.05","num_nodes":202,"theta":2000,"shards":4,"k":50,"batch":64,"sample_build_ms":99999.0,"select_top_k_ms":99999.0,"spread_batch_ms":99999.0}' \
+    > "$SMOKE/baseline.json"
+"$OUT/dim-benchrec" --graph facebook --scale 0.05 --theta 2000 --iters 1 \
+    --provenance offline-stub --check "$SMOKE/baseline.json" \
+    --out "$SMOKE/bench.json" > "$SMOKE/check.out"
+grep -q 'stream_apply_ms: not recorded in baseline entry, skipped' "$SMOKE/check.out"
+grep -q '"stream_apply_ms"' "$SMOKE/bench.json"
+
 [ "$FAILED" = 0 ] && say "offline check PASSED" || { say "offline check FAILED"; exit 1; }
