@@ -27,7 +27,7 @@ use std::process::ExitCode;
 
 use dim_bench::sample_select::{
     batch_seed_sets, build_shards, json_number, select_top_k, spread_batch, time_best_of,
-    time_stream_apply, SampleSelectReport, PHASE_KEYS,
+    time_fault_recover, time_stream_apply, SampleSelectReport, PHASE_KEYS,
 };
 use dim_graph::DatasetProfile;
 
@@ -92,6 +92,7 @@ fn record(args: &[String]) -> Result<(), String> {
     let seed_sets = batch_seed_sets(graph.num_nodes(), batch, 4);
     let (batch_elapsed, coverage) = time_best_of(iters, || spread_batch(&sketch, &seed_sets));
     let (stream_elapsed, stream) = time_stream_apply(&graph, theta, edits, iters, 7);
+    let (recover_elapsed, recover) = time_fault_recover(&graph, theta, 4, iters, 7);
 
     let report = SampleSelectReport {
         label: flags.get("label").map_or("current", |s| s).to_string(),
@@ -108,6 +109,8 @@ fn record(args: &[String]) -> Result<(), String> {
         stream_apply_ms: stream_elapsed.as_secs_f64() * 1e3,
         stream_edits: stream.edits,
         stream_resampled: stream.sets_resampled,
+        fault_recover_ms: recover_elapsed.as_secs_f64() * 1e3,
+        recover_rebuilt: recover.rebuilt_sets,
     };
     println!(
         "dim-benchrec: {name}:{scale} (n = {}), θ = {theta} in {shards} shard(s), \
@@ -128,6 +131,10 @@ fn record(args: &[String]) -> Result<(), String> {
     println!(
         "  stream x{edits}: {:>10.3} ms ({edits_per_sec:.0} edits/s, {} sets resampled)",
         report.stream_apply_ms, report.stream_resampled
+    );
+    println!(
+        "  fault recover: {:>9.3} ms ({} sets rebuilt after a single-machine loss)",
+        report.fault_recover_ms, report.recover_rebuilt
     );
     let check_result = match flags.get("check") {
         Some(committed) => Some(check_regression(committed, &report)?),

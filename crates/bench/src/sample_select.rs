@@ -9,7 +9,11 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use rand_pcg::Pcg64;
 
+use dim_cluster::{
+    phase, ExecMode, FaultInjector, FaultPlan, NetworkModel, OpCluster, SimCluster, WorkerOp,
+};
 use dim_core::diimm::DiimmWorker;
+use dim_core::recover::{RecoveringCluster, RecoveryPolicy};
 use dim_core::{ImConfig, SamplerKind};
 use dim_coverage::{constrained_greedy, CoverageShard, SketchCursors};
 use dim_diffusion::rr::{AnySampler, RrSampler};
@@ -152,6 +156,77 @@ pub fn time_stream_apply(
     (best.unwrap(), outcome.unwrap())
 }
 
+/// What one speculative recovery pass rebuilt, alongside its timing.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRecoverOutcome {
+    /// RR sets the surviving machine re-derived for the lost shard.
+    pub rebuilt_sets: usize,
+    /// Op rounds the victim completed before its link died.
+    pub healthy_rounds: usize,
+}
+
+/// Best-of-`iters` timing of the speculative-recovery hot path: a 2-machine
+/// cluster samples `theta` RR sets over `rounds` op rounds, machine 1's
+/// link is killed on the final round, and the recovery layer rebuilds its
+/// entire shard by replaying the op log on the lost machine's per-set RNG
+/// streams. The timed region is exactly the killed round — quorum check,
+/// source-fresh worker, full replay, and local service of the in-flight op
+/// — which is what a real `Degraded` completion pays over a healthy run.
+pub fn time_fault_recover(
+    graph: &Graph,
+    theta: usize,
+    rounds: usize,
+    iters: usize,
+    seed: u64,
+) -> (Duration, FaultRecoverOutcome) {
+    assert!(iters >= 1 && rounds >= 2);
+    let config = ImConfig {
+        k: 1,
+        epsilon: 0.5,
+        delta: 0.1,
+        seed,
+        sampler: SamplerKind::Standard(DiffusionModel::IndependentCascade),
+    };
+    let per_round = theta.div_ceil(rounds) as u64;
+    let mut best: Option<Duration> = None;
+    let mut outcome = None;
+    for _ in 0..iters {
+        let workers: Vec<DiimmWorker> =
+            (0..2).map(|i| DiimmWorker::new(graph, &config, i)).collect();
+        let sim = SimCluster::new(workers, NetworkModel::cluster_1gbps(), ExecMode::Sequential)
+            .with_faults(FaultInjector::new(
+                FaultPlan::kill_machine(1, rounds as u64 - 1),
+                2,
+            ));
+        let policy = RecoveryPolicy {
+            min_survivors: 1,
+            ..RecoveryPolicy::resample()
+        };
+        let mut cluster = RecoveringCluster::new(sim, graph, &config, policy);
+        for _ in 0..rounds - 1 {
+            cluster
+                .control(phase::RR_SAMPLING, |_| WorkerOp::SampleRr { count: per_round })
+                .expect("rounds before the kill are healthy");
+        }
+        let start = Instant::now();
+        cluster
+            .control(phase::RR_SAMPLING, |_| WorkerOp::SampleRr { count: per_round })
+            .expect("single loss recovers under min_survivors = 1");
+        let elapsed = start.elapsed();
+        if best.map_or(true, |b| elapsed < b) {
+            best = Some(elapsed);
+        }
+        let degraded = cluster
+            .degraded_outcome()
+            .expect("the kill round engaged recovery");
+        outcome = Some(FaultRecoverOutcome {
+            rebuilt_sets: degraded.rebuilt_sets as usize,
+            healthy_rounds: rounds - 1,
+        });
+    }
+    (best.unwrap(), outcome.unwrap())
+}
+
 /// Best-of-`iters` wall-clock of `f` (minimum is the standard
 /// noise-robust point estimate for CPU-bound microbenchmarks).
 pub fn time_best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
@@ -193,17 +268,21 @@ pub struct SampleSelectReport {
     pub stream_edits: usize,
     /// RR sets those edits invalidated (and the repair re-sampled).
     pub stream_resampled: usize,
+    pub fault_recover_ms: f64,
+    /// RR sets the speculative-recovery phase rebuilt for the lost shard.
+    pub recover_rebuilt: usize,
 }
 
 /// The timed-phase keys a report records, shared by the writer and the
 /// `--check` regression guard. The guard skips any key the committed
 /// baseline entry predates, so adding a phase here never breaks `--check`
 /// against an older trajectory file.
-pub const PHASE_KEYS: [&str; 4] = [
+pub const PHASE_KEYS: [&str; 5] = [
     "sample_build_ms",
     "select_top_k_ms",
     "spread_batch_ms",
     "stream_apply_ms",
+    "fault_recover_ms",
 ];
 
 impl SampleSelectReport {
@@ -215,7 +294,8 @@ impl SampleSelectReport {
                 "\"shards\":{},\"k\":{},\"batch\":{},",
                 "\"sample_build_ms\":{:.3},\"select_top_k_ms\":{:.3},",
                 "\"spread_batch_ms\":{:.3},\"stream_apply_ms\":{:.3},",
-                "\"stream_edits\":{},\"stream_resampled\":{}}}"
+                "\"stream_edits\":{},\"stream_resampled\":{},",
+                "\"fault_recover_ms\":{:.3},\"recover_rebuilt\":{}}}"
             ),
             self.label,
             self.provenance,
@@ -231,6 +311,8 @@ impl SampleSelectReport {
             self.stream_apply_ms,
             self.stream_edits,
             self.stream_resampled,
+            self.fault_recover_ms,
+            self.recover_rebuilt,
         )
     }
 
@@ -241,6 +323,7 @@ impl SampleSelectReport {
             "select_top_k_ms" => Some(self.select_top_k_ms),
             "spread_batch_ms" => Some(self.spread_batch_ms),
             "stream_apply_ms" => Some(self.stream_apply_ms),
+            "fault_recover_ms" => Some(self.fault_recover_ms),
             _ => None,
         }
     }
@@ -323,6 +406,17 @@ mod tests {
     }
 
     #[test]
+    fn fault_recover_workload_rebuilds_the_full_lost_shard() {
+        let graph = barabasi_albert(200, 3, WeightModel::WeightedCascade, 7);
+        let (_, first) = time_fault_recover(&graph, 400, 4, 1, 11);
+        let (_, again) = time_fault_recover(&graph, 400, 4, 2, 11);
+        // The victim had completed 3 of 4 rounds of ⌈400/4⌉ sets each.
+        assert_eq!(first.healthy_rounds, 3);
+        assert_eq!(first.rebuilt_sets, 300, "replay rebuilds the whole shard");
+        assert_eq!(first.rebuilt_sets, again.rebuilt_sets);
+    }
+
+    #[test]
     fn report_serializes_every_field() {
         let report = SampleSelectReport {
             label: "after".into(),
@@ -339,6 +433,8 @@ mod tests {
             stream_apply_ms: 2.75,
             stream_edits: 64,
             stream_resampled: 301,
+            fault_recover_ms: 6.5,
+            recover_rebuilt: 15_000,
         };
         let json = report.to_json();
         for key in [
@@ -353,6 +449,8 @@ mod tests {
             "\"stream_apply_ms\":2.750",
             "\"stream_edits\":64",
             "\"stream_resampled\":301",
+            "\"fault_recover_ms\":6.500",
+            "\"recover_rebuilt\":15000",
         ] {
             assert!(json.contains(key), "{json} missing {key}");
         }
@@ -378,6 +476,8 @@ mod tests {
             stream_apply_ms: 4.012,
             stream_edits: 64,
             stream_resampled: 512,
+            fault_recover_ms: 9.301,
+            recover_rebuilt: 15_000,
         };
         let line = report.to_json();
         for key in PHASE_KEYS {

@@ -58,6 +58,7 @@
 //! [`ClusterMetrics::comm_time`].
 
 pub mod backend;
+pub mod faults;
 pub mod metrics;
 pub mod network;
 pub mod ops;
@@ -70,6 +71,9 @@ pub mod tcp;
 pub mod wire;
 
 pub use backend::{phase, ClusterBackend};
+pub use faults::{
+    FaultEvent, FaultEventKind, FaultInjector, FaultPlan, LinkDecision, LinkFault, Partition,
+};
 pub use metrics::{ClusterMetrics, PhaseTimeline};
 pub use network::NetworkModel;
 pub use ops::{OpCluster, OpExecutor, SamplerSpec, WorkerOp, WorkerReply, WorkerStats};

@@ -618,6 +618,32 @@ pub trait OpCluster: ClusterBackend {
     where
         F: Fn(usize) -> WorkerOp + Sync;
 
+    /// Like [`OpCluster::exec_ops`] but *partial-failure aware*: returns a
+    /// per-machine `Result` so one dead link does not discard the replies
+    /// of the survivors. This is the seam the recovery layer
+    /// (`dim_core::recover`) drives — on a single-machine loss it needs
+    /// every surviving machine's reply to keep the round going.
+    ///
+    /// The default delegates to [`OpCluster::exec_ops`] and, on failure,
+    /// reports the failing error for every machine (conservative: no
+    /// survivor replies are available). Backends that can distinguish
+    /// per-link outcomes override this.
+    fn exec_ops_each<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Vec<Result<WorkerReply, WireError>>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        let l = self.num_machines();
+        match self.exec_ops(down_label, up_label, op) {
+            Ok(replies) => replies.into_iter().map(Ok).collect(),
+            Err(e) => (0..l).map(|_| Err(e.clone())).collect(),
+        }
+    }
+
     /// An op round with no modeled traffic: setup, sampling commands,
     /// stats — control flow the paper does not count as algorithm
     /// communication.
@@ -671,20 +697,53 @@ pub trait OpCluster: ClusterBackend {
 impl<W: Send + OpExecutor> OpCluster for SimCluster<W> {
     fn exec_ops<F>(
         &mut self,
-        _down_label: Option<&'static str>,
+        down_label: Option<&'static str>,
         up_label: &'static str,
         op: F,
     ) -> Result<Vec<WorkerReply>, WireError>
     where
         F: Fn(usize) -> WorkerOp + Sync,
     {
-        let replies = self.par_step(up_label, |i, w| w.execute(&op(i)));
-        for (i, reply) in replies.iter().enumerate() {
-            if matches!(reply, WorkerReply::Err(_)) {
-                return Err(WireError::malformed(up_label, i));
-            }
+        // Fail-stop view over the partial-failure primitive: the first
+        // per-machine error aborts the round.
+        let mut out = Vec::with_capacity(self.num_machines());
+        for reply in self.exec_ops_each(down_label, up_label, op) {
+            out.push(reply?);
         }
-        Ok(replies)
+        Ok(out)
+    }
+
+    fn exec_ops_each<F>(
+        &mut self,
+        _down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Vec<Result<WorkerReply, WireError>>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        // Chaos hook: when a fault injector is armed, this round's injected
+        // delays are charged to `up_label` in virtual time, and killed
+        // machines do not execute their op at all — exactly the observable
+        // a real dead link has (no reply, typed link error).
+        let killed = self.inject_round(up_label);
+        let dead = |i: usize| killed.as_ref().is_some_and(|k| k[i]);
+        let replies = self.par_step(up_label, |i, w| {
+            if dead(i) {
+                None
+            } else {
+                Some(w.execute(&op(i)))
+            }
+        });
+        replies
+            .into_iter()
+            .enumerate()
+            .map(|(i, reply)| match reply {
+                None => Err(WireError::link(up_label, i)),
+                Some(WorkerReply::Err(_)) => Err(WireError::malformed(up_label, i)),
+                Some(reply) => Ok(reply),
+            })
+            .collect()
     }
 }
 
@@ -1002,6 +1061,32 @@ mod tests {
             cluster.timeline().get(phase::COUNT_UPLOAD).bytes_to_master,
             2 * u64_wire_size()
         );
+    }
+
+    #[test]
+    fn chaos_kill_surfaces_link_error_with_survivor_replies() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        use crate::wire::WireErrorKind;
+        let mut cluster = SimCluster::new(
+            vec![Tally(1), Tally(2), Tally(3)],
+            NetworkModel::zero(),
+            ExecMode::Sequential,
+        )
+        .with_faults(FaultInjector::new(FaultPlan::kill_machine(1, 0), 3));
+        // Partial-failure view: survivors answer, the killed link is typed.
+        let replies =
+            cluster.exec_ops_each(None, phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount);
+        assert_eq!(replies[0], Ok(WorkerReply::Count(1)));
+        assert_eq!(replies[1].as_ref().unwrap_err().kind, WireErrorKind::Link);
+        assert_eq!(replies[2], Ok(WorkerReply::Count(3)));
+        // Fail-stop view over the same dead link aborts naming the machine.
+        let err = cluster
+            .control(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap_err();
+        assert_eq!(err.machine, Some(1));
+        assert_eq!(err.kind, WireErrorKind::Link);
+        let events = cluster.fault_injector().unwrap().events();
+        assert!(!events.is_empty());
     }
 
     #[test]

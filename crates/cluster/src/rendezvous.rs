@@ -849,6 +849,20 @@ impl JoinCluster {
     pub fn heartbeat(&mut self) -> Result<(), WireError> {
         self.inner.heartbeat()
     }
+
+    /// Arms (or clears) the socket-level chaos injector — see
+    /// [`ProcCluster::set_chaos`].
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, injector: Option<crate::faults::FaultInjector>) {
+        self.inner.set_chaos(injector);
+    }
+
+    /// The armed chaos injector, if any — see
+    /// [`ProcCluster::chaos_injector`].
+    #[cfg(feature = "chaos")]
+    pub fn chaos_injector(&self) -> Option<&crate::faults::FaultInjector> {
+        self.inner.chaos_injector()
+    }
 }
 
 impl ClusterBackend for JoinCluster {
@@ -901,6 +915,18 @@ impl OpCluster for JoinCluster {
         F: Fn(usize) -> WorkerOp + Sync,
     {
         self.inner.exec_ops(down_label, up_label, op)
+    }
+
+    fn exec_ops_each<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Vec<Result<WorkerReply, WireError>>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        self.inner.exec_ops_each(down_label, up_label, op)
     }
 }
 

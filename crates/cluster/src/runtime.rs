@@ -3,6 +3,7 @@
 use std::time::{Duration, Instant};
 
 use crate::backend::ClusterBackend;
+use crate::faults::{FaultInjector, LinkDecision};
 use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
 
@@ -45,6 +46,11 @@ pub struct SimCluster<W> {
     /// modeling heterogeneous clusters and stragglers, which the paper's
     /// balance analysis (Corollary 1) assumes away.
     speeds: Vec<f64>,
+    /// Optional chaos layer: when set, every op round consults the
+    /// injector (see [`crate::faults`]) — injected delay is charged to the
+    /// round's phase in **virtual time** and killed machines stop
+    /// answering (their ops surface as link errors instead of executing).
+    faults: Option<FaultInjector>,
 }
 
 impl<W: Send> SimCluster<W> {
@@ -82,7 +88,56 @@ impl<W: Send> SimCluster<W> {
             mode,
             timeline: PhaseTimeline::new(),
             speeds,
+            faults: None,
         }
+    }
+
+    /// Arms the chaos layer: subsequent op rounds replay `injector`'s
+    /// schedule in virtual time (see [`crate::faults`]).
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Replaces (or clears) the armed fault injector.
+    pub fn set_faults(&mut self, injector: Option<FaultInjector>) {
+        self.faults = injector;
+    }
+
+    /// The armed injector, if any — its event log is the observable for
+    /// determinism tests.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Runs one chaos round against the armed injector, if any: decides
+    /// every machine's link, charges the worst injected delay to `label`
+    /// as communication time (the master waits for the slowest link in a
+    /// star topology), advances the injector's round counter, and returns
+    /// per-machine kill flags (`true` = this machine's link is dead and
+    /// its op must not execute). `None` when no injector is armed.
+    pub(crate) fn inject_round(&mut self, label: &'static str) -> Option<Vec<bool>> {
+        let l = self.workers.len();
+        let inj = self.faults.as_mut()?;
+        let mut killed = vec![false; l];
+        let mut worst = Duration::ZERO;
+        for (i, flag) in killed.iter_mut().enumerate() {
+            match inj.decide(i) {
+                LinkDecision::Healthy { delay } => worst = worst.max(delay),
+                LinkDecision::Killed => *flag = true,
+            }
+        }
+        inj.next_round();
+        if worst > Duration::ZERO {
+            self.record(
+                label,
+                ClusterMetrics {
+                    comm_time: worst,
+                    ..Default::default()
+                },
+            );
+        }
+        Some(killed)
     }
 
     /// Resets accumulated metrics to an empty timeline (worker state is

@@ -74,13 +74,15 @@ use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use crate::backend::{phase, ClusterBackend};
+#[cfg(feature = "chaos")]
+use crate::faults::{FaultInjector, LinkDecision};
 use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
 use crate::ops::{OpCluster, OpExecutor, WorkerOp, WorkerReply};
 use crate::rendezvous::{
     self, Heartbeat, JoinHello, MembershipTable, Reject, PROTOCOL_VERSION,
 };
-use crate::wire::WireError;
+use crate::wire::{WireError, WireErrorKind};
 
 pub use crate::wire::MAX_FRAME;
 pub(crate) use crate::wire::{protocol_err, read_frame, write_frame};
@@ -336,7 +338,16 @@ pub struct ProcCluster {
     link_errors: u64,
     /// How long a heartbeat echo may take before the link fail-stops.
     heartbeat_timeout: Duration,
+    /// Probe idle links this often *during* op rounds (`None` = only
+    /// between rounds). See [`default_heartbeat_interval`].
+    heartbeat_interval: Option<Duration>,
     heartbeat_seq: u64,
+    /// Socket-level fault injector (see [`crate::faults`]): the same
+    /// [`FaultInjector`] schedule `SimCluster` interprets in virtual time,
+    /// applied here for real — stalls become socket sleeps, kills become
+    /// mid-frame connection teardown.
+    #[cfg(feature = "chaos")]
+    chaos: Option<FaultInjector>,
 }
 
 /// The master's listening address: `DIM_MASTER_BIND` or loopback.
@@ -527,8 +538,40 @@ impl ProcCluster {
             served,
             link_errors: 0,
             heartbeat_timeout,
+            heartbeat_interval: default_heartbeat_interval(),
             heartbeat_seq: 0,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         })
+    }
+
+    /// Arms (or clears) the socket-level chaos injector. Subsequent op
+    /// rounds consult the injector per machine: `Healthy { delay }` sleeps
+    /// `delay` before the OP frame goes out (a real write stall on the
+    /// wire), `Killed` tears the connection down mid-frame — the worker
+    /// sees a truncated frame then a reset, exactly like a crashed master,
+    /// and the master's round surfaces a typed link error for that
+    /// machine.
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, injector: Option<FaultInjector>) {
+        self.chaos = injector;
+    }
+
+    /// The armed chaos injector, if any (its event log is the determinism
+    /// observable).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_injector(&self) -> Option<&FaultInjector> {
+        self.chaos.as_ref()
+    }
+
+    /// Mid-frame kill: ship a torn frame prefix (2 of the 4 length-header
+    /// bytes) so the peer is mid-`read_exact` when the socket resets, then
+    /// shut the connection down both ways.
+    #[cfg(feature = "chaos")]
+    fn kill_link_mid_frame(&mut self, i: usize) {
+        let _ = self.links[i].stream.write_all(&[0xAA, 0x55]);
+        let _ = self.links[i].stream.flush();
+        let _ = self.links[i].stream.shutdown(std::net::Shutdown::Both);
     }
 
     /// The master seed the worker streams were derived from.
@@ -586,19 +629,26 @@ impl ProcCluster {
                 return Err(WireError::link(phase::HEARTBEAT, i));
             }
             if write_frame(&mut self.links[i].stream, frame::HEARTBEAT, &body).is_err() {
-                return Err(self.fail_link(phase::HEARTBEAT, i, false));
+                return Err(self.fail_link(phase::HEARTBEAT, i, WireErrorKind::Link));
             }
         }
         for i in 0..l {
             if self.links[i].stream.set_read_timeout(Some(self.heartbeat_timeout)).is_err() {
-                return Err(self.fail_link(phase::HEARTBEAT, i, false));
+                return Err(self.fail_link(phase::HEARTBEAT, i, WireErrorKind::Link));
             }
             let echo = read_frame(&mut self.links[i].stream);
             let _ = self.links[i].stream.set_read_timeout(Some(REPLY_TIMEOUT));
             match echo {
                 Ok((frame::HEARTBEAT, echo_body)) if echo_body == body => messages += 2,
-                Ok(_) => return Err(self.fail_link(phase::HEARTBEAT, i, true)),
-                Err(_) => return Err(self.fail_link(phase::HEARTBEAT, i, false)),
+                // A short echo body is a truncation, typed as such; any
+                // other wrong echo is a protocol violation.
+                Ok((frame::HEARTBEAT, echo_body)) if echo_body.len() < body.len() => {
+                    return Err(self.fail_link(phase::HEARTBEAT, i, WireErrorKind::Truncated))
+                }
+                Ok(_) => {
+                    return Err(self.fail_link(phase::HEARTBEAT, i, WireErrorKind::Malformed))
+                }
+                Err(_) => return Err(self.fail_link(phase::HEARTBEAT, i, WireErrorKind::Link)),
             }
         }
         self.record(
@@ -614,13 +664,100 @@ impl ProcCluster {
     }
 
     /// Marks link `i` dead and returns the typed error for `phase`.
-    fn fail_link(&mut self, phase: &'static str, i: usize, malformed: bool) -> WireError {
+    fn fail_link(&mut self, phase: &'static str, i: usize, kind: WireErrorKind) -> WireError {
         self.links[i].alive = false;
         self.link_errors += 1;
-        if malformed {
-            WireError::malformed(phase, i)
-        } else {
-            WireError::link(phase, i)
+        WireError {
+            phase,
+            machine: Some(i),
+            kind,
+        }
+    }
+
+    /// Probes one idle link with a HEARTBEAT and waits for the echo under
+    /// the heartbeat timeout. Returns `false` (link unhealthy) on any
+    /// failure; the caller decides whether to fail-stop the link.
+    fn probe_link(&mut self, j: usize) -> bool {
+        self.heartbeat_seq += 1;
+        let body = Heartbeat {
+            session: self.session,
+            seq: self.heartbeat_seq,
+        }
+        .encode();
+        if write_frame(&mut self.links[j].stream, frame::HEARTBEAT, &body).is_err() {
+            return false;
+        }
+        if self.links[j].stream.set_read_timeout(Some(self.heartbeat_timeout)).is_err() {
+            return false;
+        }
+        let echo = read_frame(&mut self.links[j].stream);
+        let _ = self.links[j].stream.set_read_timeout(Some(REPLY_TIMEOUT));
+        matches!(echo, Ok((frame::HEARTBEAT, b)) if b == body)
+    }
+
+    /// Waits for link `i`'s next frame. With no probe interval configured
+    /// this is one blocking read under [`REPLY_TIMEOUT`]. With
+    /// [`default_heartbeat_interval`] set, the wait is chopped into
+    /// interval-sized slices: each tick with no reply yet, every *idle*
+    /// link in `replied` (machines whose reply this round already arrived
+    /// — their next inbound frame can only be an echo, so probing cannot
+    /// interleave with a pending REPLY) is heartbeat-probed, detecting a
+    /// mid-phase death within one interval instead of at phase end. The
+    /// straggler link itself is never probed — its REPLY is in flight —
+    /// but it stays bounded by [`REPLY_TIMEOUT`]. Uses `peek` so a tick
+    /// never consumes partial frame bytes.
+    fn read_reply(
+        &mut self,
+        up_label: &'static str,
+        i: usize,
+        replied: &[usize],
+    ) -> Result<(u8, Vec<u8>), WireError> {
+        let Some(interval) = self.heartbeat_interval else {
+            return match read_frame(&mut self.links[i].stream) {
+                Ok(f) => Ok(f),
+                Err(_) => Err(self.fail_link(up_label, i, WireErrorKind::Link)),
+            };
+        };
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.fail_link(up_label, i, WireErrorKind::Link));
+            }
+            let wait = interval.min(deadline - now);
+            if self.links[i].stream.set_read_timeout(Some(wait)).is_err() {
+                return Err(self.fail_link(up_label, i, WireErrorKind::Link));
+            }
+            let mut first = [0u8; 1];
+            match self.links[i].stream.peek(&mut first) {
+                // EOF before any reply byte: the worker is gone.
+                Ok(0) => return Err(self.fail_link(up_label, i, WireErrorKind::Link)),
+                Ok(_) => {
+                    // The reply has started arriving; switch back to the
+                    // full deadline and read the frame normally.
+                    let _ = self.links[i].stream.set_read_timeout(Some(REPLY_TIMEOUT));
+                    return match read_frame(&mut self.links[i].stream) {
+                        Ok(f) => Ok(f),
+                        Err(_) => Err(self.fail_link(up_label, i, WireErrorKind::Link)),
+                    };
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Interval tick: probe the idle links. A failed probe
+                    // fail-stops that link for subsequent rounds (its
+                    // reply this round already landed and stands).
+                    for &j in replied {
+                        if self.links[j].alive && !self.probe_link(j) {
+                            let _ = self.fail_link(phase::HEARTBEAT, j, WireErrorKind::Link);
+                        }
+                    }
+                }
+                Err(_) => return Err(self.fail_link(up_label, i, WireErrorKind::Link)),
+            }
         }
     }
 }
@@ -634,6 +771,25 @@ pub(crate) fn default_heartbeat_timeout() -> Duration {
         .filter(|&secs| secs > 0)
         .map(Duration::from_secs)
         .unwrap_or(Duration::from_secs(5))
+}
+
+/// The *mid-phase* idle-link probe interval: `DIM_HEARTBEAT_INTERVAL_SECS`
+/// (whole seconds); unset or 0 disables mid-phase probing (the default).
+///
+/// [`ProcCluster::heartbeat`] only runs *between* rounds, so a worker that
+/// dies while the master waits on a long-running straggler goes unnoticed
+/// until the phase ends. With this knob set, the master slices its reply
+/// wait into interval-sized ticks and heartbeat-probes every idle link
+/// (machines whose reply already arrived this round) on each tick,
+/// fail-stopping dead links within one interval. Each probe's echo is
+/// bounded by the companion knob `DIM_HEARTBEAT_TIMEOUT_SECS` (see
+/// [`default_heartbeat_timeout`] above).
+pub(crate) fn default_heartbeat_interval() -> Option<Duration> {
+    std::env::var("DIM_HEARTBEAT_INTERVAL_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&secs| secs > 0)
+        .map(Duration::from_secs)
 }
 
 /// Accepts exactly `n` connections, bounded by [`handshake_timeout`]
@@ -820,45 +976,117 @@ impl OpCluster for ProcCluster {
     where
         F: Fn(usize) -> WorkerOp + Sync,
     {
-        let l = self.links.len();
-        for i in 0..l {
-            if !self.links[i].alive {
-                return Err(WireError::link(up_label, i));
-            }
+        // Fail-stop view over the partial-failure primitive: the first
+        // per-machine error aborts the round. Unlike the pre-recovery
+        // implementation this still *drains* every live link's reply
+        // first (inside `exec_ops_each`), so a failed round leaves no
+        // stale REPLY frames buffered on surviving links.
+        let mut out = Vec::with_capacity(self.links.len());
+        for reply in self.exec_ops_each(down_label, up_label, op) {
+            out.push(reply?);
         }
+        Ok(out)
+    }
+
+    /// The partial-failure round primitive: every live link gets its OP
+    /// and is read back even when another link fails mid-round — the seam
+    /// speculative recovery needs (one dead machine must not discard the
+    /// survivors' replies, which would leave their sockets desynchronized
+    /// for the rebuild rounds that follow).
+    fn exec_ops_each<F>(
+        &mut self,
+        down_label: Option<&'static str>,
+        up_label: &'static str,
+        op: F,
+    ) -> Vec<Result<WorkerReply, WireError>>
+    where
+        F: Fn(usize) -> WorkerOp + Sync,
+    {
+        let l = self.links.len();
+        let mut out: Vec<Option<Result<WorkerReply, WireError>>> = (0..l).map(|_| None).collect();
+
+        // Socket-level chaos: fix this round's decisions up front (the
+        // injector is round-ordered, matching SimCluster's interpretation
+        // of the same plan).
+        #[cfg(feature = "chaos")]
+        let decisions: Option<Vec<LinkDecision>> = self.chaos.as_mut().map(|inj| {
+            let d = (0..l).map(|i| inj.decide(i)).collect();
+            inj.next_round();
+            d
+        });
+
         let send_start = Instant::now();
         for i in 0..l {
+            if !self.links[i].alive {
+                out[i] = Some(Err(WireError::link(up_label, i)));
+                continue;
+            }
+            #[cfg(feature = "chaos")]
+            if let Some(ds) = &decisions {
+                match ds[i] {
+                    LinkDecision::Killed => {
+                        self.kill_link_mid_frame(i);
+                        out[i] = Some(Err(self.fail_link(up_label, i, WireErrorKind::Link)));
+                        continue;
+                    }
+                    LinkDecision::Healthy { delay } if delay > Duration::ZERO => {
+                        // Write stall: the injected delay really elapses
+                        // on the socket before this OP frame goes out.
+                        std::thread::sleep(delay);
+                    }
+                    LinkDecision::Healthy { .. } => {}
+                }
+            }
             let encoded = op(i).encode();
             if write_frame(&mut self.links[i].stream, frame::OP, &encoded).is_err() {
-                return Err(self.fail_link(up_label, i, false));
+                out[i] = Some(Err(self.fail_link(up_label, i, WireErrorKind::Link)));
             }
         }
         let send_wall = send_start.elapsed();
 
         let recv_start = Instant::now();
-        let mut replies = Vec::with_capacity(l);
         let mut max_elapsed = Duration::ZERO;
         let mut sum_elapsed = Duration::ZERO;
+        let mut replied: Vec<usize> = Vec::with_capacity(l);
         for i in 0..l {
-            let (opcode, body) = match read_frame(&mut self.links[i].stream) {
+            if out[i].is_some() {
+                continue;
+            }
+            let (opcode, body) = match self.read_reply(up_label, i, &replied) {
                 Ok(f) => f,
-                Err(_) => return Err(self.fail_link(up_label, i, false)),
+                Err(e) => {
+                    out[i] = Some(Err(e));
+                    continue;
+                }
             };
-            if opcode != frame::REPLY || body.len() < 8 {
-                return Err(self.fail_link(up_label, i, true));
+            if opcode != frame::REPLY {
+                out[i] = Some(Err(self.fail_link(up_label, i, WireErrorKind::Malformed)));
+                continue;
+            }
+            // A REPLY body shorter than its 8-byte elapsed-time prefix is
+            // a *truncation*, typed as such (it used to fold into the
+            // generic malformed path; the `[..8].try_into()` below is
+            // guarded by this check).
+            if body.len() < 8 {
+                out[i] = Some(Err(self.fail_link(up_label, i, WireErrorKind::Truncated)));
+                continue;
             }
             let nanos = u64::from_le_bytes(body[..8].try_into().unwrap());
             let Some(reply) = WorkerReply::decode(&body[8..]) else {
-                return Err(self.fail_link(up_label, i, true));
+                out[i] = Some(Err(self.fail_link(up_label, i, WireErrorKind::Malformed)));
+                continue;
             };
             if let WorkerReply::Err(msg) = &reply {
+                // A typed worker-side failure: the link itself is healthy.
                 eprintln!("dim worker {i} failed op in phase `{up_label}`: {msg}");
-                return Err(WireError::malformed(up_label, i));
+                out[i] = Some(Err(WireError::malformed(up_label, i)));
+                continue;
             }
             let elapsed = Duration::from_nanos(nanos);
             max_elapsed = max_elapsed.max(elapsed);
             sum_elapsed += elapsed;
-            replies.push(reply);
+            replied.push(i);
+            out[i] = Some(Ok(reply));
         }
         let recv_wall = recv_start.elapsed();
 
@@ -885,7 +1113,9 @@ impl OpCluster for ProcCluster {
                 ..Default::default()
             },
         );
-        Ok(replies)
+        out.into_iter()
+            .map(|r| r.expect("every machine resolved"))
+            .collect()
     }
 }
 
@@ -1126,6 +1356,90 @@ mod tests {
         };
         assert!(err.to_string().contains("seed mismatch"), "{err}");
         let _ = bogus.join();
+    }
+
+    #[test]
+    fn short_reply_body_is_typed_truncated() {
+        // A hostile worker answers its OP with a REPLY whose body is
+        // shorter than the 8-byte elapsed-time prefix. The old decode path
+        // folded this into generic malformed; it must surface as a typed
+        // truncation naming the machine — and never panic.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hostile = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            rendezvous::join_handshake(&mut s, JoinHello::new(Some(0))).unwrap();
+            let (opcode, _) = read_frame(&mut s).unwrap();
+            assert_eq!(opcode, frame::OP);
+            write_frame(&mut s, frame::REPLY, &[0xde, 0xad, 0xbe]).unwrap();
+            // Hold the socket until the master tears it down.
+            let _ = read_frame(&mut s);
+        });
+        let streams = accept_n(&listener, 1).unwrap();
+        let mut cluster =
+            ProcCluster::assemble(1, NetworkModel::zero(), 7, streams, Vec::new()).unwrap();
+        let err = cluster
+            .control(phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount)
+            .unwrap_err();
+        assert_eq!(err.kind, WireErrorKind::Truncated);
+        assert_eq!(err.machine, Some(0));
+        assert_eq!(cluster.link_errors(), 1);
+        assert_eq!(cluster.live_links(), 0);
+        drop(cluster);
+        let _ = hostile.join();
+    }
+
+    #[test]
+    fn exec_ops_each_keeps_survivor_replies_past_a_dead_link() {
+        // Machine 0 truncates its reply mid-round; the partial-failure
+        // primitive must still deliver machine 1's and 2's replies and
+        // keep their sockets consistent for the next round.
+        let faults = vec![Some(WorkerFault::TruncateUpload { request: 1 }), None, None];
+        let mut cluster = ProcCluster::local_with_faults(
+            3,
+            NetworkModel::zero(),
+            21,
+            |i| Tally(i as u64 + 1),
+            faults,
+        )
+        .unwrap();
+        let replies =
+            cluster.exec_ops_each(None, phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount);
+        assert!(replies[0].is_err());
+        assert_eq!(replies[1], Ok(WorkerReply::Count(2)));
+        assert_eq!(replies[2], Ok(WorkerReply::Count(3)));
+        assert_eq!(cluster.live_links(), 2);
+        // Survivors answer the next round normally.
+        let again = cluster.exec_ops_each(None, phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount);
+        assert_eq!(again[0].as_ref().unwrap_err().kind, WireErrorKind::Link);
+        assert_eq!(again[1], Ok(WorkerReply::Count(2)));
+        assert_eq!(again[2], Ok(WorkerReply::Count(3)));
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_kill_tears_link_mid_frame_and_types_the_error() {
+        use crate::faults::{FaultInjector, FaultPlan};
+        let mut cluster =
+            ProcCluster::local_with(2, NetworkModel::zero(), 13, |i| Tally(10 + i as u64))
+                .unwrap();
+        // Round 0 healthy, machine 1 dies at round 1.
+        cluster.set_chaos(Some(FaultInjector::new(FaultPlan::kill_machine(1, 1), 2)));
+        let first = cluster.exec_ops_each(None, phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount);
+        assert_eq!(first[0], Ok(WorkerReply::Count(10)));
+        assert_eq!(first[1], Ok(WorkerReply::Count(11)));
+        let second =
+            cluster.exec_ops_each(None, phase::COUNT_UPLOAD, |_| WorkerOp::CoveredCount);
+        assert_eq!(second[0], Ok(WorkerReply::Count(10)));
+        assert_eq!(second[1].as_ref().unwrap_err().kind, WireErrorKind::Link);
+        assert_eq!(cluster.live_links(), 1);
+        let events = cluster.chaos_injector().unwrap().events().to_vec();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == crate::faults::FaultEventKind::Kill && e.machine == 1));
+        // The torn-down worker thread exits as a clean disconnect — drop
+        // joins it; a hang here fails the test by timeout.
+        drop(cluster);
     }
 
     #[test]

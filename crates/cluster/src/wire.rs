@@ -39,6 +39,11 @@ pub struct WireError {
 pub enum WireErrorKind {
     /// Header or body truncated / trailing garbage / count overflow.
     Malformed,
+    /// A frame arrived shorter than its fixed-size preamble (e.g. a REPLY
+    /// body without its 8-byte elapsed-time prefix). Distinguished from
+    /// [`WireErrorKind::Malformed`] so hostile-truncation paths are typed
+    /// rather than folded into generic decode failure.
+    Truncated,
     /// Decoded fine but referenced an out-of-range node/set id.
     IdOutOfRange,
     /// The transport link to a machine failed (connection reset, timeout).
@@ -61,6 +66,15 @@ impl WireError {
             phase,
             machine: Some(machine),
             kind: WireErrorKind::Malformed,
+        }
+    }
+
+    /// A truncated-frame error in `phase` from machine `machine`.
+    pub fn truncated(phase: &'static str, machine: usize) -> Self {
+        WireError {
+            phase,
+            machine: Some(machine),
+            kind: WireErrorKind::Truncated,
         }
     }
 
@@ -105,6 +119,7 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let what = match self.kind {
             WireErrorKind::Malformed => "malformed wire message",
+            WireErrorKind::Truncated => "truncated wire message",
             WireErrorKind::IdOutOfRange => "out-of-range id in wire message",
             WireErrorKind::Link => "dead link",
             WireErrorKind::DuplicateId => "duplicate machine id in registration",
@@ -376,5 +391,9 @@ mod tests {
         let e = WireError::id_out_of_range("coverage-upload", 0);
         assert_eq!(e.kind, WireErrorKind::IdOutOfRange);
         assert!(e.to_string().contains("out-of-range"));
+        let e = WireError::truncated("coverage-upload", 2);
+        assert_eq!(e.kind, WireErrorKind::Truncated);
+        let s = e.to_string();
+        assert!(s.contains("truncated") && s.contains("machine 2"), "{s}");
     }
 }

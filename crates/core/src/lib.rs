@@ -54,11 +54,16 @@ pub mod heuristics;
 pub mod imm;
 pub mod opim;
 pub mod params;
+pub mod recover;
 pub mod snapshot;
 pub mod ssa;
 pub mod worker;
 
 pub use config::{ImConfig, ImResult, SamplerKind, Timings};
+pub use recover::{
+    diimm_on_recovering, DegradedOutcome, RecoveredRun, RecoveringCluster, RecoveryPolicy,
+    RecoverySource, StragglerEvent,
+};
 pub use snapshot::{
     diimm_load_rr, diimm_sample, diimm_sample_generation, load_latest_rr_snapshot,
     load_rr_snapshot, persist_rr_shards, rr_snapshot_request, snapshot_shards, SnapshotError,

@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         "coverage" => cmd_coverage(&flags),
         "simulate" => cmd_simulate(&flags),
         "generate" => cmd_generate(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -111,6 +112,12 @@ commands:
   coverage  --graph <src> --k <k>           max-coverage over neighborhoods (NewGreeDi)
   simulate  --graph <src> --seeds a,b,c     Monte-Carlo spread of a seed set
   generate  --profile NAME[:SCALE] --out F  write a synthetic profile graph
+  chaos     --graph <src> --plan PLAN.json  replay a fault schedule against a
+                                            backend and assert seeds/marginals
+                                            match a fault-free reference run
+                                            (--min-survivors N, --straggler-ms M,
+                                            --recover-from DIR rebuilds lost
+                                            shards from that snapshot)
 
 graph sources: a SNAP edge-list path, or profile:NAME[:SCALE]
   (facebook, googleplus, livejournal, twitter)
@@ -838,6 +845,117 @@ fn cmd_coverage(flags: &Flags) -> Result<(), String> {
     println!("{metrics}");
     if flags.get("breakdown").is_some() {
         print_breakdown(&timeline);
+    }
+    Ok(())
+}
+
+/// Replays a `FaultPlan` against a live run and asserts the recovered
+/// result is byte-identical to a fault-free reference — the chaos-CI
+/// entry point. The reference always runs on the deterministic
+/// sequential simulator; the chaos run goes to `--backend` (sim modes
+/// interpret the plan in virtual time, `proc` injects it at the socket
+/// layer when built with the `chaos` feature). Divergence is a hard
+/// error, so the exit code is the assertion.
+fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let (config, _) = im_config(flags, &g)?;
+    let algorithm = flags.get("algorithm").unwrap_or("diimm");
+    if !matches!(algorithm, "diimm" | "subsim") {
+        return Err("chaos replays a DiIMM run; use --algorithm diimm|subsim".into());
+    }
+    let machines = flags.num("machines", 2usize)?;
+    let plan_path = flags.required("plan")?;
+    let text = std::fs::read_to_string(plan_path)
+        .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
+    let plan = FaultPlan::from_json(&text).map_err(|e| format!("{plan_path}: {e}"))?;
+    let policy = RecoveryPolicy {
+        min_survivors: flags.num("min-survivors", 0usize)?,
+        straggler_deadline: match flags.num("straggler-ms", 0u64)? {
+            0 => std::time::Duration::MAX,
+            ms => std::time::Duration::from_millis(ms),
+        },
+        source: match flags.get("recover-from") {
+            Some(dir) => RecoverySource::Store(dir.into()),
+            None => RecoverySource::Resample,
+        },
+    };
+    let net = NetworkModel::shared_memory();
+
+    // The fault-free reference: same graph/config/ℓ on the deterministic
+    // simulator. Backend equivalence makes this the right target for the
+    // proc backend too.
+    let reference = diimm(&g, &config, machines, net, ExecMode::Sequential)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+
+    let injector = FaultInjector::new(plan, machines);
+    let run = match backend_of(flags)? {
+        Backend::Sim(mode) => {
+            let workers: Vec<_> = (0..machines)
+                .map(|i| dim_core::diimm::DiimmWorker::new(&g, &config, i))
+                .collect();
+            let cluster = SimCluster::new(workers, net, mode).with_faults(injector);
+            diimm_on_recovering(cluster, &g, &config, true, policy).map_err(|e| e.to_string())?
+        }
+        #[cfg(feature = "proc-backend")]
+        Backend::Proc => {
+            #[cfg(feature = "chaos")]
+            {
+                let mut cluster = proc_cluster(machines, net, config.seed)?;
+                setup_im_cluster(&mut cluster, &g, config.sampler).map_err(|e| e.to_string())?;
+                // Armed after setup, so plan rounds count op rounds from
+                // the first algorithm phase — same clock as the simulator.
+                cluster.set_chaos(Some(injector));
+                diimm_on_recovering(cluster, &g, &config, true, policy)
+                    .map_err(|e| e.to_string())?
+            }
+            #[cfg(not(feature = "chaos"))]
+            {
+                return Err("--backend proc chaos injection needs the `chaos` feature \
+                            (cargo build --features chaos)"
+                    .into());
+            }
+        }
+        #[cfg(feature = "proc-backend")]
+        Backend::Join => {
+            return Err("chaos replay drives sequential|threads|rayon|proc backends".into())
+        }
+    };
+
+    println!("chaos: replayed {plan_path} on {machines} machine(s)");
+    match &run.degraded {
+        None => println!("chaos: completed clean (no machine lost, no stragglers)"),
+        Some(d) => {
+            println!(
+                "chaos: degraded — lost machine(s) {:?}, {} RR set(s) rebuilt, \
+                 {} straggler event(s)",
+                d.lost,
+                d.rebuilt_sets,
+                d.stragglers.len()
+            );
+            for ev in &d.stragglers {
+                println!(
+                    "chaos:   straggler: {} took {:.3}s (deadline {:.3}s)",
+                    ev.phase,
+                    ev.observed.as_secs_f64(),
+                    ev.deadline.as_secs_f64()
+                );
+            }
+        }
+    }
+    if run.result.seeds != reference.seeds || run.result.marginals != reference.marginals {
+        return Err(format!(
+            "DIVERGENCE: chaos run selected {:?}, fault-free reference {:?}",
+            run.result.seeds, reference.seeds
+        ));
+    }
+    println!("chaos: seeds and marginals byte-identical to the fault-free reference");
+    println!("seeds: {:?}", run.result.seeds);
+    println!(
+        "estimated spread: {:.1} ({} RR sets)",
+        run.result.est_spread, run.result.num_rr_sets
+    );
+    if flags.get("breakdown").is_some() {
+        print_breakdown(&run.result.timeline);
     }
     Ok(())
 }

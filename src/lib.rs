@@ -54,8 +54,9 @@ pub use dim_store;
 /// The commonly needed types and functions in one import.
 pub mod prelude {
     pub use dim_cluster::{
-        phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster,
-        OpExecutor, PhaseTimeline, SamplerSpec, SimCluster, WireError, WireErrorKind, WorkerOp,
+        phase, stream_seed, ClusterBackend, ClusterMetrics, ExecMode, FaultEvent, FaultEventKind,
+        FaultInjector, FaultPlan, LinkDecision, LinkFault, NetworkModel, OpCluster, OpExecutor,
+        Partition, PhaseTimeline, SamplerSpec, SimCluster, WireError, WireErrorKind, WorkerOp,
         WorkerReply, WorkerStats,
     };
     #[cfg(feature = "proc-backend")]
@@ -77,6 +78,10 @@ pub mod prelude {
         diimm_load_rr, diimm_sample, diimm_sample_generation, load_latest_rr_snapshot,
         load_rr_snapshot, persist_rr_shards, rr_snapshot_request, snapshot_shards, SnapshotError,
         StreamApplied, StreamSession,
+    };
+    pub use dim_core::recover::{
+        diimm_on_recovering, DegradedOutcome, RecoveredRun, RecoveringCluster, RecoveryPolicy,
+        RecoverySource, StragglerEvent,
     };
     pub use dim_core::{
         setup_im_cluster, ImConfig, ImParams, ImResult, SamplerKind, Timings, WorkerHost,

@@ -867,3 +867,250 @@ mod join_backend {
         }
     }
 }
+
+/// Chaos is the sixth equivalence axis: a fault schedule is an
+/// *execution perturbation*, never an algorithm change. Losses and
+/// stalls within the configured timeouts must leave the answer
+/// byte-identical, and a machine killed mid-run must be speculatively
+/// rebuilt (same per-set RNG streams ⇒ same shard) so the degraded run
+/// still returns the fault-free seeds and marginals bit for bit.
+mod chaos {
+    use super::*;
+    use dim_core::diimm::{diimm_on, DiimmWorker};
+
+    const CHAOS_MACHINE_COUNTS: [usize; 2] = [2, 4];
+
+    fn chaos_config(g: &Graph) -> ImConfig {
+        ImConfig {
+            k: 6,
+            ..ImConfig::paper_defaults(g, 0.4, 29)
+        }
+    }
+
+    /// A single-loss policy: ℓ = 2 cannot muster a strict majority after
+    /// one kill, so the acceptance runs pin `min_survivors` to 1 — the
+    /// paper's fault model tolerates ℓ − 1 losses when the operator
+    /// opts in.
+    fn single_loss_policy() -> RecoveryPolicy {
+        RecoveryPolicy {
+            min_survivors: 1,
+            ..RecoveryPolicy::resample()
+        }
+    }
+
+    fn sim_workers<'g>(g: &'g Graph, config: &ImConfig, machines: usize) -> Vec<DiimmWorker<'g>> {
+        (0..machines).map(|i| DiimmWorker::new(g, config, i)).collect()
+    }
+
+    /// Single-machine loss during RR sampling on the simulated backend:
+    /// the run completes via speculative shard rebuild and every output
+    /// field — seeds, marginals, coverage, θ, RR mass, edge work — is
+    /// byte-identical to the fault-free reference, at ℓ = 2 and ℓ = 4.
+    #[test]
+    fn single_kill_recovers_byte_identically_sim() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = chaos_config(&g);
+        for machines in CHAOS_MACHINE_COUNTS {
+            let reference = diimm(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .unwrap();
+            let victim = machines - 1;
+            let cluster = SimCluster::new(
+                sim_workers(&g, &config, machines),
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .with_faults(FaultInjector::new(
+                FaultPlan::kill_machine(victim as u32, 1),
+                machines,
+            ));
+            let run = diimm_on_recovering(cluster, &g, &config, true, single_loss_policy())
+                .unwrap();
+            let ctx = format!("ℓ = {machines}");
+            let r = &run.result;
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+            let degraded = run.degraded.unwrap_or_else(|| panic!("{ctx}: kill not recorded"));
+            assert_eq!(degraded.lost, vec![victim], "{ctx}");
+            assert!(degraded.rebuilt_sets > 0, "{ctx}: rebuild produced no sets");
+        }
+    }
+
+    /// Loss and stall schedules within the configured timeouts cost
+    /// virtual time only: a plain `diimm_on` run (no recovery layer at
+    /// all) over a lossy, stalling, jittery cluster returns the exact
+    /// fault-free answer, while the injector's event log proves the
+    /// faults really fired.
+    #[test]
+    fn loss_and_stalls_within_timeouts_zero_divergence_sim() {
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = chaos_config(&g);
+        for machines in CHAOS_MACHINE_COUNTS {
+            let reference = diimm(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .unwrap();
+            let plan = FaultPlan {
+                chaos_seed: 0xC0FFEE,
+                link_faults: (0..machines as u32)
+                    .map(|m| LinkFault {
+                        machine: m,
+                        extra_latency_us: 400,
+                        jitter_us: 150,
+                        loss_prob_ppm: 300_000,
+                        loss_retry_us: 900,
+                        stall_prob_ppm: 150_000,
+                        stall_ms: 2,
+                        ..LinkFault::default()
+                    })
+                    .collect(),
+                ..FaultPlan::default()
+            };
+            let mut cluster = SimCluster::new(
+                sim_workers(&g, &config, machines),
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .with_faults(FaultInjector::new(plan, machines));
+            let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+            let ctx = format!("ℓ = {machines}");
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+            // Faults must have actually fired for the assertion to mean
+            // anything — an empty event log would be a vacuous pass.
+            let events = cluster
+                .fault_injector()
+                .expect("injector stays armed")
+                .events();
+            assert!(!events.is_empty(), "{ctx}: no fault events fired");
+        }
+    }
+
+    /// The same single-loss acceptance on the process backend: the
+    /// socket-level injector tears the victim's link mid-frame, and the
+    /// recovery layer rebuilds its shard from the op log — seeds and
+    /// marginals byte-identical to the fault-free sequential reference
+    /// at ℓ = 2 and ℓ = 4.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn single_kill_recovers_byte_identically_proc() {
+        use dim_cluster::ProcCluster;
+
+        let g = DatasetProfile::Facebook.generate(0.1, 11);
+        let config = chaos_config(&g);
+        for machines in CHAOS_MACHINE_COUNTS {
+            let reference = diimm(
+                &g,
+                &config,
+                machines,
+                NetworkModel::cluster_1gbps(),
+                ExecMode::Sequential,
+            )
+            .unwrap();
+            let victim = machines - 1;
+            let seed = config.seed;
+            let mut cluster = ProcCluster::auto_with(
+                machines,
+                NetworkModel::cluster_1gbps(),
+                seed,
+                move |i| WorkerHost::new(i, seed),
+            )
+            .expect("loopback worker cluster");
+            setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+            // Armed after setup so round 0 is the first algorithm op
+            // round — the same clock the simulator's plan uses.
+            cluster.set_chaos(Some(FaultInjector::new(
+                FaultPlan::kill_machine(victim as u32, 1),
+                machines,
+            )));
+            let run = diimm_on_recovering(cluster, &g, &config, true, single_loss_policy())
+                .unwrap();
+            let ctx = format!("ℓ = {machines} (proc)");
+            let r = &run.result;
+            assert_eq!(r.seeds, reference.seeds, "{ctx}");
+            assert_eq!(r.marginals, reference.marginals, "{ctx}");
+            assert_eq!(r.coverage, reference.coverage, "{ctx}");
+            assert_eq!(r.num_rr_sets, reference.num_rr_sets, "{ctx}");
+            assert_eq!(r.total_rr_size, reference.total_rr_size, "{ctx}");
+            assert_eq!(r.edges_examined, reference.edges_examined, "{ctx}");
+            let degraded = run.degraded.unwrap_or_else(|| panic!("{ctx}: kill not recorded"));
+            assert_eq!(degraded.lost, vec![victim], "{ctx}");
+            assert!(degraded.rebuilt_sets > 0, "{ctx}: rebuild produced no sets");
+        }
+    }
+
+    /// Stall-only schedules on the process backend are real socket
+    /// sleeps, well inside `DIM_HEARTBEAT_TIMEOUT_SECS`: no link dies,
+    /// no recovery engages, and the answer does not diverge by a byte.
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn stall_schedule_zero_divergence_proc() {
+        use dim_cluster::ProcCluster;
+
+        let g = DatasetProfile::Facebook.generate(0.08, 17);
+        let config = ImConfig {
+            k: 4,
+            ..ImConfig::paper_defaults(&g, 0.5, 7)
+        };
+        let machines = 2;
+        let reference = diimm(
+            &g,
+            &config,
+            machines,
+            NetworkModel::cluster_1gbps(),
+            ExecMode::Sequential,
+        )
+        .unwrap();
+        let seed = config.seed;
+        let mut cluster = ProcCluster::auto_with(
+            machines,
+            NetworkModel::cluster_1gbps(),
+            seed,
+            move |i| WorkerHost::new(i, seed),
+        )
+        .expect("loopback worker cluster");
+        setup_im_cluster(&mut cluster, &g, config.sampler).unwrap();
+        cluster.set_chaos(Some(FaultInjector::new(
+            FaultPlan {
+                chaos_seed: 0x5742,
+                link_faults: vec![LinkFault {
+                    machine: 1,
+                    extra_latency_us: 500,
+                    stall_prob_ppm: 400_000,
+                    stall_ms: 5,
+                    ..LinkFault::default()
+                }],
+                ..FaultPlan::default()
+            },
+            machines,
+        )));
+        let r = diimm_on(&mut cluster, &g, &config, true).unwrap();
+        assert_eq!(r.seeds, reference.seeds);
+        assert_eq!(r.marginals, reference.marginals);
+        assert_eq!(r.coverage, reference.coverage);
+        assert_eq!(r.num_rr_sets, reference.num_rr_sets);
+        assert_eq!(cluster.link_errors(), 0, "stalls within timeouts kill no link");
+        let events = cluster
+            .chaos_injector()
+            .expect("injector stays armed")
+            .events();
+        assert!(!events.is_empty(), "no stall events fired");
+    }
+}

@@ -26,7 +26,7 @@ OUT="$ROOT/target/offline-check${OPT:+-opt}"
 mkdir -p "$OUT"
 RUSTC="${RUSTC:-rustc}"
 FLAGS="--edition 2021 $OPT -L dependency=$OUT"
-FEAT='--cfg feature="proc-backend"'
+FEAT='--cfg feature="proc-backend" --cfg feature="chaos"'
 
 BUILD_ONLY=0
 FILTER=""
@@ -239,5 +239,25 @@ printf '%s\n' \
     --out "$SMOKE/bench.json" > "$SMOKE/check.out"
 grep -q 'stream_apply_ms: not recorded in baseline entry, skipped' "$SMOKE/check.out"
 grep -q '"stream_apply_ms"' "$SMOKE/bench.json"
+grep -q 'fault_recover_ms: not recorded in baseline entry, skipped' "$SMOKE/check.out"
+grep -q '"fault_recover_ms"' "$SMOKE/bench.json"
+
+# Chaos smoke: replay a kill plan against the sim and proc backends and
+# require a byte-identical Degraded completion (ℓ = 2 needs the explicit
+# --min-survivors 1 opt-in: a strict majority cannot survive one loss).
+say "smoke: dim chaos --plan (sim + proc)"
+printf '%s\n' \
+    '{"chaos_seed": 7, "link_faults": [{"machine": 1, "kill_at_round": 2}], "partitions": []}' \
+    > "$SMOKE/kill.json"
+"$OUT/dim" chaos --graph profile:facebook:0.1 --k 5 --seed 11 --machines 4 \
+    --plan "$SMOKE/kill.json" > "$SMOKE/chaos-sim.out"
+grep -q 'byte-identical' "$SMOKE/chaos-sim.out"
+"$OUT/dim" chaos --graph profile:facebook:0.1 --k 5 --seed 11 --machines 2 \
+    --min-survivors 1 --plan "$SMOKE/kill.json" > "$SMOKE/chaos-sim2.out"
+grep -q 'byte-identical' "$SMOKE/chaos-sim2.out"
+DIM_WORKER_BIN="$OUT/dim-worker" \
+    "$OUT/dim" chaos --graph profile:facebook:0.1 --k 5 --seed 11 --machines 4 \
+    --backend proc --plan "$SMOKE/kill.json" > "$SMOKE/chaos-proc.out"
+grep -q 'byte-identical' "$SMOKE/chaos-proc.out"
 
 [ "$FAILED" = 0 ] && say "offline check PASSED" || { say "offline check FAILED"; exit 1; }
