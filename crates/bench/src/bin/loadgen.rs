@@ -4,7 +4,7 @@
 //! dim-loadgen --addr 127.0.0.1:7117 [--concurrency 8] [--requests 200]
 //!             [--batch 32] [--seeds-per-query 4] [--seed 42]
 //!             [--timeout 10] [--out BENCH_serve.json]
-//!             [--provenance LABEL]
+//!             [--provenance LABEL] [--tenants N]
 //! ```
 //!
 //! Drives the same deterministic spread-query stream twice at equal
@@ -13,12 +13,22 @@
 //! to `--out` (the `BENCH_serve.json` artifact CI uploads). Exits
 //! non-zero if any query errored; the batched-vs-unbatched comparison is
 //! recorded, not enforced, so a noisy runner cannot flake the build.
+//!
+//! `--tenants N` targets a multi-tenant server (`dim serve --tenants`)
+//! whose registry uses the bench credential convention (`tenant-0` …
+//! `tenant-{N-1}` with tokens `tenant-<i>-token`): the baseline phases
+//! run authenticated as `tenant-0`, then a third phase splits the same
+//! total concurrency round-robin across all N tenants and appends the
+//! per-tenant throughput as the report's `multi_tenant` key (absent from
+//! older baselines, so consumers must treat it as optional).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dim_bench::serve_bench::{run, LoadgenConfig, PhaseResult};
+use dim_bench::serve_bench::{
+    default_tenant_credentials, run, run_multi_tenant, LoadgenConfig, PhaseResult,
+};
 use dim_serve::ConnectOptions;
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -77,8 +87,12 @@ fn run_loadgen(args: &[String]) -> Result<bool, String> {
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7117".to_string());
+    let tenants = num(&flags, "tenants", 0usize)?;
+    let credentials = default_tenant_credentials(tenants);
     let connect = ConnectOptions {
         deadline: Duration::from_secs(num(&flags, "timeout", 10u64)?),
+        // Against a multi-tenant server the baseline runs as tenant-0.
+        credentials: credentials.first().cloned(),
         ..ConnectOptions::default()
     };
     // Discover the node-id space from the server itself.
@@ -104,8 +118,25 @@ fn run_loadgen(args: &[String]) -> Result<bool, String> {
         stats.num_nodes,
         stats.generation
     );
-    let report = run(&config, flags.get("provenance").map_or("local", |s| s))
+    let mut report = run(&config, flags.get("provenance").map_or("local", |s| s))
         .map_err(|e| format!("load generation failed: {e}"))?;
+    if !credentials.is_empty() {
+        let m = run_multi_tenant(&config, &credentials)
+            .map_err(|e| format!("multi-tenant phase failed: {e}"))?;
+        println!(
+            "multi-tenant: {} tenants x {:.1} qps each = {:.1} qps aggregate \
+             ({} queries, {} errors)",
+            m.tenants,
+            m.per_tenant
+                .iter()
+                .map(|t| t.throughput_qps)
+                .fold(f64::INFINITY, f64::min),
+            m.throughput_qps,
+            m.queries,
+            m.errors
+        );
+        report.multi_tenant = Some(m);
+    }
     println!(
         "{:>10} {:>6} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9}",
         "phase", "batch", "queries", "qps", "p50_us", "p95_us", "p99_us", "max_us"
@@ -126,7 +157,9 @@ fn run_loadgen(args: &[String]) -> Result<bool, String> {
     std::fs::write(out, format!("{}\n", report.to_json()))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
-    let errors = report.unbatched.errors + report.batched.errors;
+    let errors = report.unbatched.errors
+        + report.batched.errors
+        + report.multi_tenant.as_ref().map_or(0, |m| m.errors);
     if errors > 0 {
         eprintln!("dim-loadgen: {errors} queries errored");
     }

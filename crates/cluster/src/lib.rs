@@ -57,8 +57,10 @@
 //! transfer time in [`ClusterMetrics::measured_comm`] next to the modeled
 //! [`ClusterMetrics::comm_time`].
 
+pub mod auth;
 pub mod backend;
 pub mod faults;
+pub mod json;
 pub mod metrics;
 pub mod network;
 pub mod ops;
@@ -70,6 +72,7 @@ pub mod runtime;
 pub mod tcp;
 pub mod wire;
 
+pub use auth::{cluster_token_digest, ct_eq, sha256, token_digest, Digest};
 pub use backend::{phase, ClusterBackend};
 pub use faults::{
     FaultEvent, FaultEventKind, FaultInjector, FaultPlan, LinkDecision, LinkFault, Partition,

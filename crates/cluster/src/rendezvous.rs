@@ -89,7 +89,10 @@ const ANY_SLOT: u32 = u32::MAX;
 ///
 /// `requested` pins a specific machine id (spawned workers request the id
 /// they were launched with; operators can pin via `--machine-id`); `None`
-/// asks for any free slot.
+/// asks for any free slot. `auth` is the SHA-256 digest of the cluster
+/// token (`DIM_CLUSTER_TOKEN`), all-zeros when no token is configured —
+/// an auth-requiring master refuses the zero digest like any other
+/// mismatch ([`RejectReason::Unauthorized`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct JoinHello {
     /// Protocol version the worker speaks (must be [`PROTOCOL_VERSION`]).
@@ -98,24 +101,37 @@ pub struct JoinHello {
     pub caps: u8,
     /// Requested machine id, or `None` for any free slot.
     pub requested: Option<u32>,
+    /// SHA-256 digest of the cluster token; all-zeros when tokenless.
+    pub auth: crate::auth::Digest,
 }
 
 impl JoinHello {
-    /// A v2, full-capability join asking for `requested`.
+    /// A v2, full-capability join asking for `requested`, presenting the
+    /// `DIM_CLUSTER_TOKEN` digest when that variable is set.
     pub fn new(requested: Option<u32>) -> Self {
         JoinHello {
             version: PROTOCOL_VERSION,
             caps: caps::ALL,
             requested,
+            auth: crate::auth::cluster_token_digest().unwrap_or([0; crate::auth::DIGEST_LEN]),
         }
     }
 
-    /// Serializes to the 6-byte wire form.
+    /// [`JoinHello::new`] with an explicit token instead of the env var.
+    pub fn with_token(requested: Option<u32>, token: &str) -> Self {
+        JoinHello {
+            auth: crate::auth::token_digest(token),
+            ..JoinHello::new(requested)
+        }
+    }
+
+    /// Serializes to the 38-byte wire form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(6);
+        let mut out = Vec::with_capacity(6 + crate::auth::DIGEST_LEN);
         out.push(self.version);
         out.push(self.caps);
         put_u32(&mut out, self.requested.unwrap_or(ANY_SLOT));
+        out.extend_from_slice(&self.auth);
         out
     }
 
@@ -128,11 +144,14 @@ impl JoinHello {
             ANY_SLOT => None,
             id => Some(id),
         };
+        let mut auth = [0u8; crate::auth::DIGEST_LEN];
+        auth.copy_from_slice(r.take(crate::auth::DIGEST_LEN)?);
         r.finish()?;
         Some(JoinHello {
             version,
             caps,
             requested,
+            auth,
         })
     }
 }
@@ -271,6 +290,9 @@ pub enum RejectReason {
     /// The HELLO's stream seed does not match
     /// [`stream_seed`]`(master_seed, machine_id)`.
     SeedMismatch,
+    /// The master requires a cluster token (`DIM_CLUSTER_TOKEN`) and the
+    /// JOIN's auth digest did not match it.
+    Unauthorized,
 }
 
 impl RejectReason {
@@ -281,6 +303,7 @@ impl RejectReason {
             RejectReason::Duplicate => 3,
             RejectReason::SessionFull => 4,
             RejectReason::SeedMismatch => 5,
+            RejectReason::Unauthorized => 6,
         }
     }
 
@@ -291,6 +314,7 @@ impl RejectReason {
             3 => RejectReason::Duplicate,
             4 => RejectReason::SessionFull,
             5 => RejectReason::SeedMismatch,
+            6 => RejectReason::Unauthorized,
             _ => return None,
         })
     }
@@ -303,6 +327,7 @@ impl RejectReason {
             RejectReason::Duplicate => "requested machine id already registered",
             RejectReason::SessionFull => "session membership already full",
             RejectReason::SeedMismatch => "stream seed mismatch",
+            RejectReason::Unauthorized => "cluster token mismatch (set DIM_CLUSTER_TOKEN)",
         }
     }
 
@@ -325,11 +350,13 @@ impl RejectReason {
                 WireError::id_out_of_range(phase::RENDEZVOUS, machine.unwrap_or(0))
             }
             RejectReason::SessionFull => WireError::session_full(phase::RENDEZVOUS),
-            RejectReason::Version | RejectReason::SeedMismatch => WireError {
-                phase: phase::RENDEZVOUS,
-                machine,
-                kind: crate::wire::WireErrorKind::Malformed,
-            },
+            RejectReason::Version | RejectReason::SeedMismatch | RejectReason::Unauthorized => {
+                WireError {
+                    phase: phase::RENDEZVOUS,
+                    machine,
+                    kind: crate::wire::WireErrorKind::Malformed,
+                }
+            }
         }
     }
 }
@@ -506,11 +533,34 @@ impl From<io::Error> for HandshakeError {
 /// seed against [`stream_seed`]`(master_seed, id)`. Any failure after the
 /// slot was assigned releases it, so a crashed joiner does not leak a
 /// slot. Every read is bounded by [`handshake_timeout`].
+///
+/// When `DIM_CLUSTER_TOKEN` is set in the master's environment, the
+/// JOIN's auth digest must match it (constant-time) or the joiner is
+/// refused with [`RejectReason::Unauthorized`] before any slot is
+/// assigned.
 pub fn master_handshake(
     stream: &mut TcpStream,
     table: &mut MembershipTable,
     session: u64,
     master_seed: u64,
+) -> Result<u32, HandshakeError> {
+    master_handshake_with(
+        stream,
+        table,
+        session,
+        master_seed,
+        crate::auth::cluster_token_digest().as_ref(),
+    )
+}
+
+/// [`master_handshake`] with an explicit required-token digest instead of
+/// the `DIM_CLUSTER_TOKEN` environment variable (`None` = open port).
+pub fn master_handshake_with(
+    stream: &mut TcpStream,
+    table: &mut MembershipTable,
+    session: u64,
+    master_seed: u64,
+    required: Option<&crate::auth::Digest>,
 ) -> Result<u32, HandshakeError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(handshake_timeout()))?;
@@ -527,6 +577,13 @@ pub fn master_handshake(
             kind: crate::wire::WireErrorKind::Malformed,
         })
     })?;
+    if let Some(expected) = required {
+        if !crate::auth::verify_digest(&join.auth, expected) {
+            let reason = RejectReason::Unauthorized;
+            let _ = write_frame(stream, frame::REJECT, &Reject { reason }.encode());
+            return Err(HandshakeError::Wire(reason.wire_error(join.requested)));
+        }
+    }
     let id = match table.register(&join) {
         Ok(id) => id,
         Err(reason) => {
@@ -1103,9 +1160,9 @@ mod tests {
     #[test]
     fn codec_roundtrips() {
         for requested in [None, Some(0), Some(7), Some(u32::MAX - 1)] {
-            let join = JoinHello::new(requested);
+            let join = JoinHello::with_token(requested, "hunter2");
             let bytes = join.encode();
-            assert_eq!(bytes.len(), 6);
+            assert_eq!(bytes.len(), 38);
             assert_eq!(JoinHello::decode(&bytes), Some(join));
         }
         let welcome = Welcome {
@@ -1133,6 +1190,7 @@ mod tests {
             RejectReason::Duplicate,
             RejectReason::SessionFull,
             RejectReason::SeedMismatch,
+            RejectReason::Unauthorized,
         ] {
             let reject = Reject { reason };
             assert_eq!(Reject::decode(&reject.encode()), Some(reject));
@@ -1158,8 +1216,68 @@ mod tests {
         assert!(Heartbeat::decode(&[0u8; 15]).is_none());
         // Unknown reject reason codes are refused, not mapped arbitrarily.
         assert!(Reject::decode(&[0]).is_none());
-        assert!(Reject::decode(&[6]).is_none());
+        assert!(Reject::decode(&[7]).is_none());
         assert!(Reject::decode(&[1, 0]).is_none());
+    }
+
+    /// Satellite contract: a token-requiring master refuses a joiner with
+    /// the wrong (or absent) token with a typed, non-retryable
+    /// [`RejectReason::Unauthorized`] before assigning a slot, and admits
+    /// a correctly-tokened joiner into the same table.
+    #[test]
+    fn token_requiring_master_rejects_wrong_token_joiner() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let required = crate::auth::token_digest("cluster-secret");
+        let master = std::thread::spawn(move || {
+            let mut table = MembershipTable::new(2);
+            let mut outcomes = Vec::new();
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                outcomes.push(master_handshake_with(
+                    &mut stream,
+                    &mut table,
+                    1,
+                    42,
+                    Some(&required),
+                ));
+            }
+            (outcomes, table.joined())
+        });
+        // Wrong token, then no token at all: both must be refused with the
+        // typed reason on the worker side too.
+        for join in [
+            JoinHello::with_token(None, "not-the-secret"),
+            JoinHello {
+                auth: [0; crate::auth::DIGEST_LEN],
+                ..JoinHello::new(None)
+            },
+        ] {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let err = join_handshake(&mut stream, join).unwrap_err();
+            match err {
+                HandshakeError::Rejected(reason) => {
+                    assert_eq!(reason, RejectReason::Unauthorized);
+                    assert!(!reason.retryable());
+                    assert!(reason.describe().contains("token"));
+                }
+                other => panic!("expected Unauthorized rejection, got {other}"),
+            }
+        }
+        // The right token joins fine afterwards.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let welcome =
+            join_handshake(&mut stream, JoinHello::with_token(None, "cluster-secret")).unwrap();
+        assert_eq!(welcome.session, 1);
+        let (outcomes, joined) = master.join().unwrap();
+        assert!(matches!(
+            &outcomes[0],
+            Err(HandshakeError::Wire(e)) if e.kind == WireErrorKind::Malformed
+        ));
+        assert!(matches!(&outcomes[1], Err(HandshakeError::Wire(_))));
+        assert_eq!(*outcomes[2].as_ref().unwrap(), welcome.machine_id);
+        // Unauthorized joiners never held a slot.
+        assert_eq!(joined, 1);
     }
 
     #[test]
@@ -1215,8 +1333,7 @@ mod tests {
         let mut table = MembershipTable::new(2);
         let old = JoinHello {
             version: 1,
-            caps: caps::ALL,
-            requested: Some(0),
+            ..JoinHello::new(Some(0))
         };
         assert_eq!(table.register(&old).unwrap_err(), RejectReason::Version);
         assert_eq!(table.register(&JoinHello::new(Some(0))), Ok(0));

@@ -79,9 +79,7 @@ use crate::faults::{FaultInjector, LinkDecision};
 use crate::metrics::{ClusterMetrics, PhaseTimeline};
 use crate::network::NetworkModel;
 use crate::ops::{OpCluster, OpExecutor, WorkerOp, WorkerReply};
-use crate::rendezvous::{
-    self, Heartbeat, JoinHello, MembershipTable, Reject, PROTOCOL_VERSION,
-};
+use crate::rendezvous::{self, Heartbeat, JoinHello, MembershipTable, Reject};
 use crate::wire::{WireError, WireErrorKind};
 
 pub use crate::wire::MAX_FRAME;
@@ -188,15 +186,8 @@ pub fn run_worker_with_fault<E: OpExecutor>(
     executor: &mut E,
     fault: Option<WorkerFault>,
 ) -> io::Result<()> {
-    let welcome = rendezvous::join_handshake(
-        &mut stream,
-        JoinHello {
-            version: PROTOCOL_VERSION,
-            caps: rendezvous::caps::ALL,
-            requested: Some(machine_id),
-        },
-    )
-    .map_err(|e| e.into_io())?;
+    let welcome = rendezvous::join_handshake(&mut stream, JoinHello::new(Some(machine_id)))
+        .map_err(|e| e.into_io())?;
     if welcome.master_seed != master_seed {
         return Err(protocol_err(&format!(
             "WELCOME master seed {} does not match --master-seed {}",
@@ -1122,6 +1113,7 @@ impl OpCluster for ProcCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rendezvous::PROTOCOL_VERSION;
     use crate::backend::phase;
     use crate::ops::{expect_counts, expect_ok};
     use crate::runtime::{ExecMode, SimCluster};

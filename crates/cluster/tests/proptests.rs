@@ -284,7 +284,12 @@ mod rendezvous_codecs {
             Just(RejectReason::Duplicate),
             Just(RejectReason::SessionFull),
             Just(RejectReason::SeedMismatch),
+            Just(RejectReason::Unauthorized),
         ]
+    }
+
+    fn any_digest() -> impl Strategy<Value = [u8; 32]> {
+        any::<[u8; 32]>()
     }
 
     /// `u32::MAX` is the wire value of "any slot", so `Some(u32::MAX)` is
@@ -315,10 +320,10 @@ mod rendezvous_codecs {
         /// JOIN round-trips, including the any-slot sentinel.
         #[test]
         fn join_hello_roundtrip(version in any::<u8>(), caps in any::<u8>(),
-                                requested in any_requested()) {
-            let join = JoinHello { version, caps, requested };
+                                requested in any_requested(), auth in any_digest()) {
+            let join = JoinHello { version, caps, requested, auth };
             let bytes = join.encode();
-            prop_assert_eq!(bytes.len(), 6);
+            prop_assert_eq!(bytes.len(), 38);
             prop_assert_eq!(JoinHello::decode(&bytes), Some(join));
             assert_strict(&bytes, JoinHello::decode)?;
         }
@@ -369,8 +374,10 @@ mod rendezvous_codecs {
         /// never produces a non-canonical decode.
         #[test]
         fn handshake_mutation_never_panics(
-            join in (any::<u8>(), any::<u8>(), any_requested())
-                .prop_map(|(version, caps, requested)| JoinHello { version, caps, requested }),
+            join in (any::<u8>(), any::<u8>(), any_requested(), any_digest())
+                .prop_map(|(version, caps, requested, auth)| JoinHello {
+                    version, caps, requested, auth,
+                }),
             welcome in (any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>())
                 .prop_map(|(session, machine_id, cluster_size, master_seed)| Welcome {
                     session, machine_id, cluster_size, master_seed,

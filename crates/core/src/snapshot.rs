@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use dim_cluster::ops::{expect_counts, expect_ok, expect_stats};
 use dim_cluster::{
-    phase, ClusterBackend, ClusterMetrics, ExecMode, NetworkModel, OpCluster, SimCluster,
-    WireError, WorkerOp,
+    phase, ClusterBackend, ClusterMetrics, ExecMode, FaultInjector, NetworkModel, OpCluster,
+    SimCluster, WireError, WorkerOp,
 };
 use dim_coverage::newgreedi::newgreedi_with;
 use dim_coverage::CoverageShard;
@@ -302,6 +302,23 @@ impl<'g> StreamSession<'g> {
             next_seq: chain.next_seq,
             current,
         })
+    }
+
+    /// Arms (or disarms) a fault injector on the resident cluster, so
+    /// subsequent applies and compactions run their repair broadcasts
+    /// under an injected stall/loss schedule — the chaos-test seam for
+    /// the streaming path. Repairs are deterministic functions of the
+    /// per-set RNG streams, so a schedule the link layer absorbs (stalls,
+    /// lossy sends within retry budgets) must not change a committed
+    /// byte.
+    pub fn set_faults(&mut self, injector: Option<FaultInjector>) {
+        self.cluster.set_faults(injector);
+    }
+
+    /// The armed injector, if any — inspect its event log to prove a
+    /// chaos schedule actually fired.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.cluster.fault_injector()
     }
 
     /// Newest committed generation id under the root.

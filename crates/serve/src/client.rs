@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use dim_cluster::wire::{protocol_err, read_frame, write_frame};
 
+use crate::auth::Credentials;
 use crate::proto::{
     decode_response_batch, encode_batch, spread_estimate, QueryRequest, QueryResponse,
     SketchStats, REQ_BATCH, RESP_BATCH,
@@ -29,7 +30,10 @@ pub struct TopKResult {
 /// `deadline` elapses, sleeping a jittered exponential backoff between
 /// attempts — the same shape as the cluster rendezvous join path, so a
 /// client riding out a server restart behaves like a (re)joining worker.
-#[derive(Clone, Copy, Debug)]
+/// With `credentials` set, every successful connect authenticates before
+/// the client is handed back, so callers never see a half-open tenant
+/// connection.
+#[derive(Clone, Debug)]
 pub struct ConnectOptions {
     /// Total time to keep retrying before giving up.
     pub deadline: Duration,
@@ -41,6 +45,9 @@ pub struct ConnectOptions {
     /// Seed for the jitter stream (vary per client to avoid thundering
     /// herds).
     pub jitter_seed: u64,
+    /// Tenant credentials for a multi-tenant server; `None` for
+    /// single-tenant servers (no AUTH handshake).
+    pub credentials: Option<Credentials>,
 }
 
 impl Default for ConnectOptions {
@@ -50,6 +57,7 @@ impl Default for ConnectOptions {
             base_delay: Duration::from_millis(50),
             max_delay: Duration::from_secs(2),
             jitter_seed: 0x51ce_5eed,
+            credentials: None,
         }
     }
 }
@@ -125,8 +133,18 @@ impl QueryClient {
         let deadline = Instant::now() + options.deadline;
         let mut backoff = Backoff::new(options.base_delay, options.max_delay, options.jitter_seed);
         loop {
-            match QueryClient::connect(&addrs[..]) {
+            let attempt = QueryClient::connect(&addrs[..]).and_then(|mut client| {
+                if let Some(creds) = &options.credentials {
+                    client.authenticate(creds)?;
+                }
+                Ok(client)
+            });
+            match attempt {
                 Ok(client) => return Ok(client),
+                // A typed rejection (wrong token, unknown tenant,
+                // protocol mismatch) will not heal with time — fail now
+                // instead of hammering the server until the deadline.
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
                 Err(e) => {
                     let delay = backoff.next_delay();
                     let now = Instant::now();
@@ -136,6 +154,25 @@ impl QueryClient {
                     std::thread::sleep(delay);
                 }
             }
+        }
+    }
+
+    /// Authenticates this connection as a tenant (the first frame on a
+    /// connection to a multi-tenant server). Returns the generation the
+    /// connection will query. Typed server rejections (wrong token,
+    /// unknown tenant) surface as errors carrying the server's message.
+    pub fn authenticate(&mut self, credentials: &Credentials) -> io::Result<u64> {
+        match self.expect(&credentials.auth_request())? {
+            QueryResponse::AuthOk { tenant, generation } => {
+                if tenant != credentials.tenant {
+                    return Err(protocol_err(&format!(
+                        "server scoped us to tenant {tenant:?}, asked for {:?}",
+                        credentials.tenant
+                    )));
+                }
+                Ok(generation)
+            }
+            other => Err(protocol_err(&format!("unexpected reply {other:?}"))),
         }
     }
 
@@ -313,6 +350,7 @@ mod tests {
             base_delay: Duration::from_millis(20),
             max_delay: Duration::from_millis(50),
             jitter_seed: 3,
+            credentials: None,
         };
         assert!(QueryClient::connect_with(addr, &options).is_err());
         let elapsed = start.elapsed();

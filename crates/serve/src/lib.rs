@@ -25,16 +25,27 @@
 //! and latency/throughput metrics ([`ServeMetrics`]). [`QueryClient`] is
 //! the matching blocking client used by `dim query` and `dim-loadgen`,
 //! with rendezvous-style retrying connects ([`ConnectOptions`]).
+//!
+//! One daemon can serve many tenants: [`Server::start_multi`] takes a
+//! [`TenantRegistry`] plus one sketch per tenant and scopes every
+//! connection to the tenant it authenticated as ([`auth`], [`tenant`]) —
+//! independent generations and hot reloads, per-tenant quotas
+//! ([`TenantQuota`]) with typed `ERR_QUOTA` shedding, and per-tenant
+//! metrics behind a tenant-scoped `REQ_STATS`.
 
+pub mod auth;
 pub mod client;
 pub mod metrics;
 pub mod proto;
 pub mod server;
+pub mod tenant;
 
+pub use auth::Credentials;
 pub use client::{ConnectOptions, QueryClient, TopKResult};
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use proto::{
     decode_batch, decode_response_batch, encode_batch, encode_response_batch, spread_estimate,
     QueryRequest, QueryResponse, SketchStats,
 };
-pub use server::{ReloadError, ReloadSource, ServeOptions, Server, Sketch};
+pub use server::{ReloadError, ReloadSource, ServeOptions, Server, Sketch, TenantBind, TenantHandle};
+pub use tenant::{AuthFailure, TenantQuota, TenantRegistry, TenantSpec};

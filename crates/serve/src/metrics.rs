@@ -95,6 +95,19 @@ impl LatencyHistogram {
     pub fn max(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
+
+    /// Adds every sample of `other` into `self` — how the admin
+    /// all-tenants view aggregates per-tenant histograms into one
+    /// daemon-wide quantile estimate.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let c = theirs.load(Ordering::Relaxed);
+            if c > 0 {
+                mine.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 impl Default for LatencyHistogram {
@@ -117,6 +130,9 @@ pub struct ServeMetrics {
     pub reloads: u64,
     /// Connections refused with `ERR_OVERLOADED`.
     pub shed: u64,
+    /// Requests refused with `ERR_QUOTA` (per-tenant limits; the
+    /// connection survives, unlike `shed`).
+    pub quota_shed: u64,
     /// Connections currently registered (live or awaiting a worker).
     pub live_connections: u64,
     /// Query-latency percentiles and maximum, µs.
@@ -135,14 +151,15 @@ impl ServeMetrics {
             concat!(
                 "{{\"active_generation\":{},\"queries_answered\":{},",
                 "\"batches_answered\":{},\"reloads\":{},\"shed\":{},",
-                "\"live_connections\":{},\"p50_us\":{},\"p95_us\":{},",
-                "\"p99_us\":{},\"max_us\":{}}}"
+                "\"quota_shed\":{},\"live_connections\":{},\"p50_us\":{},",
+                "\"p95_us\":{},\"p99_us\":{},\"max_us\":{}}}"
             ),
             self.active_generation,
             self.queries_answered,
             self.batches_answered,
             self.reloads,
             self.shed,
+            self.quota_shed,
             self.live_connections,
             self.p50_us,
             self.p95_us,
@@ -195,6 +212,22 @@ mod tests {
     }
 
     #[test]
+    fn merge_accumulates_counts_and_max() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for us in [3u64, 10, 100] {
+            a.record(us);
+        }
+        for us in [5u64, 900] {
+            b.record(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 900);
+        assert_eq!(a.quantile(1.0), 900);
+    }
+
+    #[test]
     fn small_exact_range_is_exact() {
         let h = LatencyHistogram::new();
         for us in [3u64, 3, 3, 9] {
@@ -212,6 +245,7 @@ mod tests {
             batches_answered: 10,
             reloads: 1,
             shed: 3,
+            quota_shed: 4,
             live_connections: 8,
             p50_us: 40,
             p95_us: 90,
@@ -226,6 +260,7 @@ mod tests {
             "\"batches_answered\":10",
             "\"reloads\":1",
             "\"shed\":3",
+            "\"quota_shed\":4",
             "\"live_connections\":8",
             "\"p50_us\":40",
             "\"p95_us\":90",

@@ -21,6 +21,10 @@ pub const REQ_BATCH: u8 = 0x04;
 /// Admin: re-scan the snapshot store and hot-swap to the latest
 /// generation.
 pub const REQ_RELOAD: u8 = 0x05;
+/// Tenant authentication: must be the first frame on a connection to a
+/// multi-tenant server. Carries a version byte, the tenant id, and the
+/// SHA-256 digest of the tenant token (the secret itself never travels).
+pub const REQ_AUTH: u8 = 0x06;
 
 /// Response opcodes (request opcode with the high bit set, plus error).
 pub const RESP_SPREAD: u8 = 0x81;
@@ -28,7 +32,16 @@ pub const RESP_TOP_K: u8 = 0x82;
 pub const RESP_STATS: u8 = 0x83;
 pub const RESP_BATCH: u8 = 0x84;
 pub const RESP_RELOAD: u8 = 0x85;
+pub const RESP_AUTH: u8 = 0x86;
 pub const RESP_ERROR: u8 = 0xEE;
+
+/// The AUTH frame version this build speaks; servers reject others with
+/// [`ERR_UNSUPPORTED`].
+pub const AUTH_VERSION: u8 = 1;
+
+/// Longest tenant id the codec accepts, bytes. Bounds the allocation a
+/// hostile AUTH frame can demand and keeps ids printable in logs.
+pub const MAX_TENANT_ID_LEN: usize = 128;
 
 /// Error codes carried by [`QueryResponse::Error`].
 pub const ERR_MALFORMED: u8 = 1;
@@ -39,6 +52,17 @@ pub const ERR_OVERLOADED: u8 = 3;
 /// A reload was requested but failed (no store configured, or the store
 /// scan/load errored). The serving sketch is unchanged.
 pub const ERR_RELOAD: u8 = 4;
+/// The presented token digest does not match the tenant's registered
+/// digest, or a query arrived before AUTH on a multi-tenant server. The
+/// connection is closed after this reply.
+pub const ERR_UNAUTHORIZED: u8 = 5;
+/// The AUTH frame named a tenant id absent from the registry. The
+/// connection is closed after this reply.
+pub const ERR_UNKNOWN_TENANT: u8 = 6;
+/// A per-tenant quota tripped (in-flight ceiling, queries/sec bucket, or
+/// batch size). Unlike the global [`ERR_OVERLOADED`] shed, the connection
+/// stays open — the caller should back off and retry.
+pub const ERR_QUOTA: u8 = 7;
 
 /// One influence query.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -56,6 +80,13 @@ pub enum QueryRequest {
     Stats,
     /// Admin: hot-swap to the latest committed store generation.
     Reload,
+    /// Tenant authentication (first frame on a multi-tenant connection).
+    /// `auth` is the SHA-256 digest of the tenant token.
+    Auth {
+        version: u8,
+        tenant: String,
+        auth: dim_cluster::auth::Digest,
+    },
 }
 
 /// Sketch-wide statistics (the stats/health reply).
@@ -75,6 +106,9 @@ pub struct SketchStats {
     pub generation: u64,
     /// Connections refused with [`ERR_OVERLOADED`] since start.
     pub shed: u64,
+    /// Requests refused with [`ERR_QUOTA`] for this tenant since start
+    /// (always 0 on a single-tenant server).
+    pub quota_shed: u64,
     /// Query-latency percentiles (µs) since start.
     pub p50_us: u64,
     pub p95_us: u64,
@@ -102,6 +136,9 @@ pub enum QueryResponse {
     /// whether the request actually swapped sketches (`false` when the
     /// store had nothing newer).
     Reload { generation: u64, changed: bool },
+    /// Reply to a successful [`QueryRequest::Auth`]: echoes the tenant id
+    /// the connection is now scoped to and the generation it will query.
+    AuthOk { tenant: String, generation: u64 },
     Error { code: u8, message: String },
 }
 
@@ -136,6 +173,27 @@ fn take_u64s(r: &mut Reader, count: u64) -> Option<Vec<u64>> {
     (0..count).map(|_| r.u64()).collect()
 }
 
+/// `len u32 · utf8 bytes`, capped at [`MAX_TENANT_ID_LEN`].
+fn put_tenant_id(out: &mut Vec<u8>, id: &str) {
+    let bytes = id.as_bytes();
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn take_tenant_id(r: &mut Reader) -> Option<String> {
+    let len = r.u32()? as usize;
+    if len > MAX_TENANT_ID_LEN {
+        return None;
+    }
+    String::from_utf8(r.take(len)?.to_vec()).ok()
+}
+
+fn take_digest(r: &mut Reader) -> Option<dim_cluster::auth::Digest> {
+    let mut digest = [0u8; dim_cluster::auth::DIGEST_LEN];
+    digest.copy_from_slice(r.take(dim_cluster::auth::DIGEST_LEN)?);
+    Some(digest)
+}
+
 impl QueryRequest {
     /// The frame opcode this request travels under.
     pub fn opcode(&self) -> u8 {
@@ -144,6 +202,7 @@ impl QueryRequest {
             QueryRequest::TopK { .. } => REQ_TOP_K,
             QueryRequest::Stats => REQ_STATS,
             QueryRequest::Reload => REQ_RELOAD,
+            QueryRequest::Auth { .. } => REQ_AUTH,
         }
     }
 
@@ -162,6 +221,15 @@ impl QueryRequest {
                 put_ids(&mut out, exclude);
             }
             QueryRequest::Stats | QueryRequest::Reload => {}
+            QueryRequest::Auth {
+                version,
+                tenant,
+                auth,
+            } => {
+                out.push(*version);
+                put_tenant_id(&mut out, tenant);
+                out.extend_from_slice(auth);
+            }
         }
         out
     }
@@ -180,6 +248,11 @@ impl QueryRequest {
             },
             REQ_STATS => QueryRequest::Stats,
             REQ_RELOAD => QueryRequest::Reload,
+            REQ_AUTH => QueryRequest::Auth {
+                version: r.u8()?,
+                tenant: take_tenant_id(&mut r)?,
+                auth: take_digest(&mut r)?,
+            },
             _ => return None,
         };
         r.finish()?;
@@ -203,10 +276,11 @@ pub fn encode_batch(requests: &[QueryRequest]) -> Vec<u8> {
 }
 
 /// Strict decode of a [`REQ_BATCH`] body. Only read-only queries may ride
-/// in a batch: a nested batch or a [`QueryRequest::Reload`] entry rejects
-/// the whole frame, as does any malformed entry. The entry count is
-/// bounds-checked against the body length (≥ 5 bytes per entry) before
-/// any allocation.
+/// in a batch: a nested batch, a [`QueryRequest::Reload`] entry, or a
+/// [`QueryRequest::Auth`] entry rejects the whole frame (auth scopes the
+/// connection, not a batch position), as does any malformed entry. The
+/// entry count is bounds-checked against the body length (≥ 5 bytes per
+/// entry) before any allocation.
 pub fn decode_batch(body: &[u8]) -> Option<Vec<QueryRequest>> {
     let mut r = Reader::new(body);
     let count = r.u32()?;
@@ -216,7 +290,7 @@ pub fn decode_batch(body: &[u8]) -> Option<Vec<QueryRequest>> {
     let mut requests = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let opcode = r.u8()?;
-        if opcode == REQ_BATCH || opcode == REQ_RELOAD {
+        if opcode == REQ_BATCH || opcode == REQ_RELOAD || opcode == REQ_AUTH {
             return None;
         }
         let len = r.u32()? as usize;
@@ -251,7 +325,7 @@ pub fn decode_response_batch(body: &[u8]) -> Option<Vec<QueryResponse>> {
     let mut responses = Vec::with_capacity(count as usize);
     for _ in 0..count {
         let opcode = r.u8()?;
-        if opcode == RESP_BATCH {
+        if opcode == RESP_BATCH || opcode == RESP_AUTH {
             return None;
         }
         let len = r.u32()? as usize;
@@ -270,6 +344,7 @@ impl QueryResponse {
             QueryResponse::TopK { .. } => RESP_TOP_K,
             QueryResponse::Stats(_) => RESP_STATS,
             QueryResponse::Reload { .. } => RESP_RELOAD,
+            QueryResponse::AuthOk { .. } => RESP_AUTH,
             QueryResponse::Error { .. } => RESP_ERROR,
         }
     }
@@ -311,6 +386,7 @@ impl QueryResponse {
                 put_u64(&mut out, s.queries_answered);
                 put_u64(&mut out, s.generation);
                 put_u64(&mut out, s.shed);
+                put_u64(&mut out, s.quota_shed);
                 put_u64(&mut out, s.p50_us);
                 put_u64(&mut out, s.p95_us);
                 put_u64(&mut out, s.p99_us);
@@ -321,6 +397,10 @@ impl QueryResponse {
             } => {
                 put_u64(&mut out, *generation);
                 out.push(*changed as u8);
+            }
+            QueryResponse::AuthOk { tenant, generation } => {
+                put_tenant_id(&mut out, tenant);
+                put_u64(&mut out, *generation);
             }
             QueryResponse::Error { code, message } => {
                 out.push(*code);
@@ -360,6 +440,7 @@ impl QueryResponse {
                 queries_answered: r.u64()?,
                 generation: r.u64()?,
                 shed: r.u64()?,
+                quota_shed: r.u64()?,
                 p50_us: r.u64()?,
                 p95_us: r.u64()?,
                 p99_us: r.u64()?,
@@ -371,6 +452,10 @@ impl QueryResponse {
                     1 => true,
                     _ => return None,
                 },
+            },
+            RESP_AUTH => QueryResponse::AuthOk {
+                tenant: take_tenant_id(&mut r)?,
+                generation: r.u64()?,
             },
             RESP_ERROR => {
                 let code = r.u8()?;
@@ -415,6 +500,16 @@ mod tests {
         });
         roundtrip_req(QueryRequest::Stats);
         roundtrip_req(QueryRequest::Reload);
+        roundtrip_req(QueryRequest::Auth {
+            version: AUTH_VERSION,
+            tenant: "acme".into(),
+            auth: dim_cluster::auth::token_digest("s3cret"),
+        });
+        roundtrip_req(QueryRequest::Auth {
+            version: 0,
+            tenant: String::new(),
+            auth: [0; 32],
+        });
     }
 
     #[test]
@@ -439,6 +534,7 @@ mod tests {
             queries_answered: 12,
             generation: 3,
             shed: 2,
+            quota_shed: 1,
             p50_us: 11,
             p95_us: 220,
             p99_us: 900,
@@ -451,10 +547,81 @@ mod tests {
             generation: 7,
             changed: false,
         });
+        roundtrip_resp(QueryResponse::AuthOk {
+            tenant: "acme".into(),
+            generation: 12,
+        });
         roundtrip_resp(QueryResponse::Error {
             code: ERR_MALFORMED,
             message: "bad frame".into(),
         });
+        roundtrip_resp(QueryResponse::Error {
+            code: ERR_QUOTA,
+            message: "tenant acme over qps".into(),
+        });
+    }
+
+    #[test]
+    fn auth_frame_is_strict() {
+        let req = QueryRequest::Auth {
+            version: AUTH_VERSION,
+            tenant: "tenant-a".into(),
+            auth: dim_cluster::auth::token_digest("tok"),
+        };
+        let body = req.encode();
+        // Every truncation fails; so does a trailing byte.
+        for cut in 0..body.len() {
+            assert_eq!(QueryRequest::decode(REQ_AUTH, &body[..cut]), None);
+        }
+        let mut padded = body.clone();
+        padded.push(0);
+        assert_eq!(QueryRequest::decode(REQ_AUTH, &padded), None);
+        // A hostile tenant-id length is refused before allocation.
+        let mut hostile = vec![AUTH_VERSION];
+        put_u32(&mut hostile, u32::MAX);
+        assert_eq!(QueryRequest::decode(REQ_AUTH, &hostile), None);
+        // ...as is one merely over the cap.
+        let long = "x".repeat(MAX_TENANT_ID_LEN + 1);
+        let mut over = vec![AUTH_VERSION];
+        put_u32(&mut over, long.len() as u32);
+        over.extend_from_slice(long.as_bytes());
+        over.extend_from_slice(&[0; 32]);
+        assert_eq!(QueryRequest::decode(REQ_AUTH, &over), None);
+        // Non-UTF-8 tenant ids are refused.
+        let mut bad = vec![AUTH_VERSION];
+        put_u32(&mut bad, 1);
+        bad.push(0xFF);
+        bad.extend_from_slice(&[0; 32]);
+        assert_eq!(QueryRequest::decode(REQ_AUTH, &bad), None);
+    }
+
+    #[test]
+    fn auth_never_rides_in_a_batch() {
+        // Request side: an AUTH entry rejects the whole frame.
+        let auth = QueryRequest::Auth {
+            version: AUTH_VERSION,
+            tenant: "a".into(),
+            auth: [7; 32],
+        };
+        let inner = auth.encode();
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        body.push(REQ_AUTH);
+        put_u32(&mut body, inner.len() as u32);
+        body.extend_from_slice(&inner);
+        assert_eq!(decode_batch(&body), None);
+        // Response side: an AuthOk entry rejects the whole frame.
+        let ok = QueryResponse::AuthOk {
+            tenant: "a".into(),
+            generation: 1,
+        };
+        let inner = ok.encode();
+        let mut body = Vec::new();
+        put_u32(&mut body, 1);
+        body.push(RESP_AUTH);
+        put_u32(&mut body, inner.len() as u32);
+        body.extend_from_slice(&inner);
+        assert_eq!(decode_response_batch(&body), None);
     }
 
     #[test]

@@ -23,6 +23,21 @@
 //! new one. Reloads re-scan a generation store
 //! ([`dim_store::load_latest_snapshot`]) and swap only when a newer
 //! committed generation exists.
+//!
+//! # Multi-tenant mode
+//!
+//! [`Server::start_multi`] binds one daemon to many tenants: each
+//! [`TenantBind`] carries its own sketch, generation, and reload source,
+//! so tenants hot-reload independently. A connection must authenticate
+//! with one `REQ_AUTH` frame before anything else; every subsequent
+//! opcode is scoped to that tenant — its sketch, its reload source, its
+//! counters. Per-tenant quotas ([`dim_serve::tenant::TenantQuota`]) shed
+//! with `ERR_QUOTA` (connection survives, unlike the global
+//! `ERR_OVERLOADED` admission shed): an in-flight ceiling, a queries/sec
+//! token bucket (burst = one second's allowance), and a batch-size cap.
+//! Single-tenant servers ([`Server::start`]) are the same machinery with
+//! one implicit open tenant — no AUTH frame required, wire-compatible
+//! with pre-tenant clients.
 
 use std::collections::HashMap;
 use std::io;
@@ -38,11 +53,14 @@ use dim_cluster::wire::{read_frame, write_frame};
 use dim_coverage::{constrained_greedy, seed_set_coverage, CoverageShard, SketchCursors};
 use dim_store::{Snapshot, SnapshotRequest, StoreError};
 
+use crate::auth::failure_error;
 use crate::metrics::{LatencyHistogram, ServeMetrics};
 use crate::proto::{
-    decode_batch, encode_response_batch, QueryRequest, QueryResponse, SketchStats, ERR_MALFORMED,
-    ERR_OVERLOADED, ERR_RELOAD, ERR_UNSUPPORTED, REQ_BATCH, RESP_BATCH,
+    decode_batch, encode_response_batch, QueryRequest, QueryResponse, SketchStats, AUTH_VERSION,
+    ERR_MALFORMED, ERR_OVERLOADED, ERR_QUOTA, ERR_RELOAD, ERR_UNAUTHORIZED, ERR_UNSUPPORTED,
+    REQ_AUTH, REQ_BATCH, RESP_BATCH,
 };
+use crate::tenant::{TenantQuota, TenantSpec};
 
 /// How often the accept loop polls the stop flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -141,6 +159,10 @@ impl Sketch {
                 code: ERR_UNSUPPORTED,
                 message: "reload is a server operation, not a sketch query".into(),
             },
+            QueryRequest::Auth { .. } => QueryResponse::Error {
+                code: ERR_UNSUPPORTED,
+                message: "auth is a session operation, not a sketch query".into(),
+            },
         }
     }
 }
@@ -209,17 +231,156 @@ struct SketchState {
     sketch: Sketch,
 }
 
-struct Shared {
+/// One tenant's sketch plus one [`Server::start_multi`] slot: how the
+/// caller binds registry entries to serving state.
+pub struct TenantBind {
+    /// Registry entry (id, token digest, quotas).
+    pub spec: TenantSpec,
+    /// Initial sketch.
+    pub sketch: Sketch,
+    /// Generation id of `sketch`.
+    pub generation: u64,
+    /// Store to re-scan on this tenant's reloads; `None` makes them a
+    /// typed error.
+    pub reload: Option<ReloadSource>,
+}
+
+/// A queries/sec token bucket: refills continuously at `max_qps`, caps
+/// at one second's allowance (the burst), charges one token per query
+/// (batch entries each count).
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(max_qps: u32) -> TokenBucket {
+        TokenBucket {
+            tokens: max_qps as f64,
+            last: Instant::now(),
+        }
+    }
+
+    /// Charges `cost` queries against a `max_qps` rate; `true` admits
+    /// (tokens consumed), `false` refuses (tokens untouched). A zero
+    /// rate means unlimited.
+    fn admit(&mut self, max_qps: u32, cost: u64) -> bool {
+        if max_qps == 0 {
+            return true;
+        }
+        let rate = max_qps as f64;
+        let now = Instant::now();
+        self.tokens = (self.tokens + now.duration_since(self.last).as_secs_f64() * rate).min(rate);
+        self.last = now;
+        if self.tokens >= cost as f64 {
+            self.tokens -= cost as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Everything one tenant's connections share: the hot-swappable sketch,
+/// its reload machinery, quota state, and per-tenant accounting. A
+/// single-tenant server is exactly one of these behind an open door.
+struct TenantServing {
+    spec: TenantSpec,
     state: RwLock<Arc<SketchState>>,
     reload_source: Option<ReloadSource>,
-    /// Serializes reloads (the state lock is only held for the swap).
+    /// Serializes this tenant's reloads (the state lock is only held for
+    /// the swap).
     reload_lock: Mutex<()>,
-    stop: AtomicBool,
     queries: AtomicU64,
     batches: AtomicU64,
     reloads: AtomicU64,
-    shed: AtomicU64,
+    /// Requests refused with `ERR_QUOTA`.
+    quota_shed: AtomicU64,
+    /// Request frames currently being answered for this tenant.
+    in_flight: AtomicU64,
+    /// Connections currently authenticated as this tenant.
+    connections: AtomicU64,
     latency: LatencyHistogram,
+    bucket: Mutex<TokenBucket>,
+}
+
+impl TenantServing {
+    fn new(spec: TenantSpec, sketch: Sketch, generation: u64, reload: Option<ReloadSource>) -> Self {
+        let bucket = TokenBucket::new(spec.quota.max_qps);
+        TenantServing {
+            spec,
+            state: RwLock::new(Arc::new(SketchState { generation, sketch })),
+            reload_source: reload,
+            reload_lock: Mutex::new(()),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            quota_shed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            bucket: Mutex::new(bucket),
+        }
+    }
+
+    /// Pins the current generation.
+    fn pinned(&self) -> Arc<SketchState> {
+        Arc::clone(&self.state.read().unwrap())
+    }
+
+    /// This tenant's point-in-time metrics (global admission sheds are
+    /// daemon-wide and excluded here).
+    fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            active_generation: self.state.read().unwrap().generation,
+            queries_answered: self.queries.load(Ordering::Relaxed),
+            batches_answered: self.batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            shed: 0,
+            quota_shed: self.quota_shed.load(Ordering::Relaxed),
+            live_connections: self.connections.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile(0.5),
+            p95_us: self.latency.quantile(0.95),
+            p99_us: self.latency.quantile(0.99),
+            max_us: self.latency.max(),
+        }
+    }
+
+    /// Admits `cost` queries against the qps bucket and the in-flight
+    /// ceiling, or names the limit that refused them. The returned guard
+    /// holds the in-flight slot.
+    fn admit<'a>(&'a self, cost: u64) -> Result<InFlightGuard<'a>, &'static str> {
+        let quota = self.spec.quota;
+        if !self.bucket.lock().unwrap().admit(quota.max_qps, cost) {
+            return Err("queries/sec");
+        }
+        let prev = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        if quota.max_in_flight > 0 && prev >= quota.max_in_flight as u64 {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+            return Err("in-flight");
+        }
+        Ok(InFlightGuard(&self.in_flight))
+    }
+}
+
+/// Releases a tenant's in-flight slot when the answer is written.
+struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Shared {
+    /// All tenants; exactly one in single-tenant mode.
+    tenants: Vec<Arc<TenantServing>>,
+    /// `true` iff connections must AUTH before querying
+    /// ([`Server::start_multi`]).
+    auth_required: bool,
+    stop: AtomicBool,
+    /// Connections refused with `ERR_OVERLOADED` (daemon-wide admission).
+    shed: AtomicU64,
     /// Clones of every registered stream keyed by connection id, so
     /// shutdown can unblock readers; workers reap entries as their
     /// connections finish, keeping the map bounded by live connections.
@@ -228,9 +389,8 @@ struct Shared {
 }
 
 impl Shared {
-    /// Pins the current generation.
-    fn pinned(&self) -> Arc<SketchState> {
-        Arc::clone(&self.state.read().unwrap())
+    fn find_tenant(&self, id: &str) -> Option<&Arc<TenantServing>> {
+        self.tenants.iter().find(|t| t.spec.id == id)
     }
 }
 
@@ -255,27 +415,76 @@ impl Server {
     }
 
     /// Binds `addr` and starts serving `sketch` with explicit options.
+    /// Single-tenant: one implicit open tenant, no AUTH handshake.
     pub fn start_with(
         addr: impl ToSocketAddrs,
         sketch: Sketch,
+        mut options: ServeOptions,
+    ) -> io::Result<Server> {
+        let spec = TenantSpec {
+            id: "default".into(),
+            auth: [0; dim_cluster::auth::DIGEST_LEN],
+            store: None,
+            graph: None,
+            quota: TenantQuota::default(),
+        };
+        let reload = options.reload.take();
+        let tenant = TenantServing::new(spec, sketch, options.generation, reload);
+        Server::launch(addr, vec![Arc::new(tenant)], false, &options)
+    }
+
+    /// Binds `addr` and starts serving every tenant in `binds` from one
+    /// daemon. Connections must authenticate (`REQ_AUTH`) before their
+    /// first query; each is then scoped to its tenant's sketch, reload
+    /// source, quotas, and counters. Duplicate or empty tenant ids are
+    /// an input error. `options.generation` / `options.reload` are
+    /// ignored — each bind carries its own.
+    pub fn start_multi(
+        addr: impl ToSocketAddrs,
+        binds: Vec<TenantBind>,
         options: ServeOptions,
+    ) -> io::Result<Server> {
+        if binds.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "start_multi needs at least one tenant",
+            ));
+        }
+        for (i, b) in binds.iter().enumerate() {
+            if b.spec.id.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "tenant id must be non-empty",
+                ));
+            }
+            if binds[..i].iter().any(|prev| prev.spec.id == b.spec.id) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate tenant id {:?}", b.spec.id),
+                ));
+            }
+        }
+        let tenants = binds
+            .into_iter()
+            .map(|b| Arc::new(TenantServing::new(b.spec, b.sketch, b.generation, b.reload)))
+            .collect();
+        Server::launch(addr, tenants, true, &options)
+    }
+
+    fn launch(
+        addr: impl ToSocketAddrs,
+        tenants: Vec<Arc<TenantServing>>,
+        auth_required: bool,
+        options: &ServeOptions,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
-            state: RwLock::new(Arc::new(SketchState {
-                generation: options.generation,
-                sketch,
-            })),
-            reload_source: options.reload,
-            reload_lock: Mutex::new(()),
+            tenants,
+            auth_required,
             stop: AtomicBool::new(false),
-            queries: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            reloads: AtomicU64::new(0),
             shed: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
             conns: Mutex::new(HashMap::new()),
             max_conns: options.max_conns.max(1),
         });
@@ -305,15 +514,20 @@ impl Server {
         self.addr
     }
 
-    /// Queries answered so far (batch entries each count once; malformed
-    /// frames and reloads do not).
+    /// Queries answered so far, summed over tenants (batch entries each
+    /// count once; malformed frames and reloads do not).
     pub fn queries_answered(&self) -> u64 {
-        self.shared.queries.load(Ordering::Relaxed)
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| t.queries.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Store generation currently serving.
+    /// Store generation currently serving (the first tenant's, which in
+    /// single-tenant mode is the only one).
     pub fn generation(&self) -> u64 {
-        self.shared.state.read().unwrap().generation
+        self.shared.tenants[0].state.read().unwrap().generation
     }
 
     /// Connections currently registered (being served or queued).
@@ -321,30 +535,67 @@ impl Server {
         self.shared.conns.lock().unwrap().len()
     }
 
-    /// A point-in-time snapshot of the serving metrics.
+    /// A point-in-time snapshot of the daemon-wide serving metrics:
+    /// counters summed over tenants, latency quantiles over the merged
+    /// histogram, plus the global admission shed.
     pub fn metrics(&self) -> ServeMetrics {
         let s = &self.shared;
-        ServeMetrics {
-            active_generation: s.state.read().unwrap().generation,
-            queries_answered: s.queries.load(Ordering::Relaxed),
-            batches_answered: s.batches.load(Ordering::Relaxed),
-            reloads: s.reloads.load(Ordering::Relaxed),
+        let merged = LatencyHistogram::new();
+        let mut m = ServeMetrics {
+            active_generation: self.generation(),
             shed: s.shed.load(Ordering::Relaxed),
             live_connections: s.conns.lock().unwrap().len() as u64,
-            p50_us: s.latency.quantile(0.5),
-            p95_us: s.latency.quantile(0.95),
-            p99_us: s.latency.quantile(0.99),
-            max_us: s.latency.max(),
+            ..ServeMetrics::default()
+        };
+        for t in &s.tenants {
+            m.queries_answered += t.queries.load(Ordering::Relaxed);
+            m.batches_answered += t.batches.load(Ordering::Relaxed);
+            m.reloads += t.reloads.load(Ordering::Relaxed);
+            m.quota_shed += t.quota_shed.load(Ordering::Relaxed);
+            merged.merge(&t.latency);
         }
+        m.p50_us = merged.quantile(0.5);
+        m.p95_us = merged.quantile(0.95);
+        m.p99_us = merged.quantile(0.99);
+        m.max_us = merged.max();
+        m
+    }
+
+    /// An admin handle to one tenant (any tenant id in multi mode;
+    /// `"default"` in single-tenant mode).
+    pub fn tenant(&self, id: &str) -> Option<TenantHandle> {
+        self.shared.find_tenant(id).map(|t| TenantHandle {
+            tenant: Arc::clone(t),
+        })
+    }
+
+    /// The admin all-tenants view: `(tenant id, per-tenant metrics)` in
+    /// bind order.
+    pub fn tenant_metrics(&self) -> Vec<(String, ServeMetrics)> {
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| (t.spec.id.clone(), t.metrics()))
+            .collect()
     }
 
     /// Re-scans the reload source and atomically swaps to the newest
-    /// committed generation. Returns `(generation, changed)`; in-flight
-    /// queries finish on their pinned generation either way. Also
-    /// triggered over the wire by [`QueryRequest::Reload`] (and by SIGHUP
-    /// in the CLI).
+    /// committed generation — single-tenant form, reloading the first
+    /// (only) tenant. Returns `(generation, changed)`; in-flight queries
+    /// finish on their pinned generation either way. Also triggered over
+    /// the wire by [`QueryRequest::Reload`] (and by SIGHUP in the CLI).
     pub fn reload(&self) -> Result<(u64, bool), ReloadError> {
-        try_reload(&self.shared)
+        try_reload(&self.shared.tenants[0])
+    }
+
+    /// Reloads every tenant independently (the SIGHUP path in multi
+    /// mode): one tenant's store error does not stop the others.
+    pub fn reload_all(&self) -> Vec<(String, Result<(u64, bool), ReloadError>)> {
+        self.shared
+            .tenants
+            .iter()
+            .map(|t| (t.spec.id.clone(), try_reload(t)))
+            .collect()
     }
 
     /// Stops accepting, closes every live connection, and joins all
@@ -377,21 +628,50 @@ impl Drop for Server {
     }
 }
 
-fn try_reload(shared: &Shared) -> Result<(u64, bool), ReloadError> {
-    let src = shared
+/// An admin handle to one tenant of a running [`Server`]: per-tenant
+/// generation, metrics, and reload without going over the wire.
+pub struct TenantHandle {
+    tenant: Arc<TenantServing>,
+}
+
+impl TenantHandle {
+    /// The tenant id this handle is scoped to.
+    pub fn id(&self) -> &str {
+        &self.tenant.spec.id
+    }
+
+    /// This tenant's serving generation.
+    pub fn generation(&self) -> u64 {
+        self.tenant.state.read().unwrap().generation
+    }
+
+    /// This tenant's point-in-time metrics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.tenant.metrics()
+    }
+
+    /// Reloads only this tenant; other tenants' generations are
+    /// untouched and their in-flight queries undisturbed.
+    pub fn reload(&self) -> Result<(u64, bool), ReloadError> {
+        try_reload(&self.tenant)
+    }
+}
+
+fn try_reload(tenant: &TenantServing) -> Result<(u64, bool), ReloadError> {
+    let src = tenant
         .reload_source
         .as_ref()
         .ok_or(ReloadError::Unsupported)?;
-    let _guard = shared.reload_lock.lock().unwrap();
-    let current = shared.state.read().unwrap().generation;
+    let _guard = tenant.reload_lock.lock().unwrap();
+    let current = tenant.state.read().unwrap().generation;
     let (generation, snapshot) =
         dim_store::load_latest_snapshot(&src.root, &src.request).map_err(ReloadError::Store)?;
     if generation == current {
         return Ok((generation, false));
     }
     let sketch = Sketch::from_snapshot(src.num_nodes, snapshot);
-    *shared.state.write().unwrap() = Arc::new(SketchState { generation, sketch });
-    shared.reloads.fetch_add(1, Ordering::Relaxed);
+    *tenant.state.write().unwrap() = Arc::new(SketchState { generation, sketch });
+    tenant.reloads.fetch_add(1, Ordering::Relaxed);
     Ok((generation, true))
 }
 
@@ -460,11 +740,12 @@ fn worker_loop(queue: Arc<Mutex<Receiver<(u64, TcpStream)>>>, shared: Arc<Shared
 }
 
 /// Answers one decoded query against a pinned generation, recording
-/// latency and the query count. Spread queries inside a batch evaluate
-/// through the batch's reusable [`SketchCursors`] (the allocation
-/// amortization `REQ_BATCH` exists for).
+/// latency and the query count on the owning tenant. Spread queries
+/// inside a batch evaluate through the batch's reusable [`SketchCursors`]
+/// (the allocation amortization `REQ_BATCH` exists for).
 fn answer_query(
     shared: &Shared,
+    tenant: &TenantServing,
     state: &SketchState,
     req: &QueryRequest,
     cursors: Option<&mut SketchCursors<'_>>,
@@ -478,25 +759,89 @@ fn answer_query(
         },
         (req, _) => state.sketch.answer(req),
     };
-    let answered = shared.queries.fetch_add(1, Ordering::Relaxed) + 1;
-    shared
+    let answered = tenant.queries.fetch_add(1, Ordering::Relaxed) + 1;
+    tenant
         .latency
         .record(start.elapsed().as_micros().min(u64::MAX as u128) as u64);
     if let QueryResponse::Stats(s) = &mut resp {
         s.queries_answered = answered;
         s.generation = state.generation;
         s.shed = shared.shed.load(Ordering::Relaxed);
-        s.p50_us = shared.latency.quantile(0.5);
-        s.p95_us = shared.latency.quantile(0.95);
-        s.p99_us = shared.latency.quantile(0.99);
+        s.quota_shed = tenant.quota_shed.load(Ordering::Relaxed);
+        s.p50_us = tenant.latency.quantile(0.5);
+        s.p95_us = tenant.latency.quantile(0.95);
+        s.p99_us = tenant.latency.quantile(0.99);
     }
     resp
 }
 
+/// Handles one AUTH frame; `Err` closes the connection after the reply.
+fn handle_auth(
+    shared: &Shared,
+    version: u8,
+    id: &str,
+    auth: &dim_cluster::auth::Digest,
+) -> Result<(Arc<TenantServing>, QueryResponse), QueryResponse> {
+    if !shared.auth_required {
+        // Single-tenant server: the handshake is not part of its
+        // protocol, but an old connection survives the probe.
+        return Err(QueryResponse::Error {
+            code: ERR_UNSUPPORTED,
+            message: "server is single-tenant; no auth required".into(),
+        });
+    }
+    if version != AUTH_VERSION {
+        return Err(QueryResponse::Error {
+            code: ERR_UNSUPPORTED,
+            message: format!("auth version {version} unsupported (speak {AUTH_VERSION})"),
+        });
+    }
+    let tenant = match shared.find_tenant(id) {
+        Some(t) => t,
+        None => {
+            let (code, message) = failure_error(id, crate::tenant::AuthFailure::UnknownTenant);
+            return Err(QueryResponse::Error { code, message });
+        }
+    };
+    if !dim_cluster::auth::verify_digest(auth, &tenant.spec.auth) {
+        let (code, message) = failure_error(id, crate::tenant::AuthFailure::BadToken);
+        return Err(QueryResponse::Error { code, message });
+    }
+    let generation = tenant.state.read().unwrap().generation;
+    Ok((
+        Arc::clone(tenant),
+        QueryResponse::AuthOk {
+            tenant: id.to_string(),
+            generation,
+        },
+    ))
+}
+
+/// The typed refusal for a tripped per-tenant quota; counted on the
+/// tenant, connection survives.
+fn quota_refused(tenant: &TenantServing, limit: &str) -> QueryResponse {
+    tenant.quota_shed.fetch_add(1, Ordering::Relaxed);
+    QueryResponse::Error {
+        code: ERR_QUOTA,
+        message: format!("tenant {:?} over its {limit} quota", tenant.spec.id),
+    }
+}
+
 /// One connection: a strict request/reply loop until EOF, a wire error,
-/// or server shutdown (which closes the stream under us).
+/// or server shutdown (which closes the stream under us). On a
+/// multi-tenant server the first frame must be AUTH; failed auth (or a
+/// query before it) gets its typed error and the connection closes.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    loop {
+    let mut tenant: Option<Arc<TenantServing>> = if shared.auth_required {
+        None
+    } else {
+        Some(Arc::clone(&shared.tenants[0]))
+    };
+    if let Some(t) = &tenant {
+        t.connections.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut close = false;
+    while !close {
         let (opcode, body) = match read_frame(&mut stream) {
             Ok(frame) => frame,
             Err(_) => break, // EOF, shutdown, or a framing violation
@@ -505,19 +850,80 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             code: ERR_MALFORMED,
             message: format!("malformed request frame (opcode {opcode:#04x})"),
         };
-        let (resp_opcode, payload) = if opcode == REQ_BATCH {
+        let (resp_opcode, payload) = if opcode == REQ_AUTH {
+            let resp = match QueryRequest::decode(opcode, &body) {
+                Some(QueryRequest::Auth {
+                    version,
+                    tenant: id,
+                    auth,
+                }) => {
+                    if tenant.is_some() && shared.auth_required {
+                        QueryResponse::Error {
+                            code: ERR_UNSUPPORTED,
+                            message: "connection is already authenticated".into(),
+                        }
+                    } else {
+                        match handle_auth(shared, version, &id, &auth) {
+                            Ok((t, ok)) => {
+                                t.connections.fetch_add(1, Ordering::Relaxed);
+                                tenant = Some(t);
+                                ok
+                            }
+                            Err(resp) => {
+                                // Failed auth on an auth-required server
+                                // ends the connection; a single-tenant
+                                // server just reports the probe.
+                                close = shared.auth_required;
+                                resp
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    close = shared.auth_required && tenant.is_none();
+                    malformed()
+                }
+            };
+            (resp.opcode(), resp.encode())
+        } else if tenant.is_none() {
+            // A query before AUTH on a multi-tenant server.
+            let resp = QueryResponse::Error {
+                code: ERR_UNAUTHORIZED,
+                message: "authenticate first (REQ_AUTH)".into(),
+            };
+            close = true;
+            (resp.opcode(), resp.encode())
+        } else if opcode == REQ_BATCH {
+            let t = tenant.as_ref().unwrap();
             match decode_batch(&body) {
                 Some(requests) => {
-                    // The whole batch answers against one pinned
-                    // generation and one set of reusable cursors.
-                    let state = shared.pinned();
-                    let mut cursors = SketchCursors::new(state.sketch.shards());
-                    let responses: Vec<QueryResponse> = requests
-                        .iter()
-                        .map(|req| answer_query(shared, &state, req, Some(&mut cursors)))
-                        .collect();
-                    shared.batches.fetch_add(1, Ordering::Relaxed);
-                    (RESP_BATCH, encode_response_batch(&responses))
+                    let max_batch = t.spec.quota.max_batch;
+                    if max_batch > 0 && requests.len() > max_batch as usize {
+                        let resp = quota_refused(t, "batch-size");
+                        (resp.opcode(), resp.encode())
+                    } else {
+                        match t.admit(requests.len() as u64) {
+                            Ok(_guard) => {
+                                // The whole batch answers against one
+                                // pinned generation and one set of
+                                // reusable cursors.
+                                let state = t.pinned();
+                                let mut cursors = SketchCursors::new(state.sketch.shards());
+                                let responses: Vec<QueryResponse> = requests
+                                    .iter()
+                                    .map(|req| {
+                                        answer_query(shared, t, &state, req, Some(&mut cursors))
+                                    })
+                                    .collect();
+                                t.batches.fetch_add(1, Ordering::Relaxed);
+                                (RESP_BATCH, encode_response_batch(&responses))
+                            }
+                            Err(limit) => {
+                                let resp = quota_refused(t, limit);
+                                (resp.opcode(), resp.encode())
+                            }
+                        }
+                    }
                 }
                 None => {
                     let resp = malformed();
@@ -525,8 +931,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 }
             }
         } else {
+            let t = tenant.as_ref().unwrap();
             let resp = match QueryRequest::decode(opcode, &body) {
-                Some(QueryRequest::Reload) => match try_reload(shared) {
+                Some(QueryRequest::Reload) => match try_reload(t) {
                     Ok((generation, changed)) => QueryResponse::Reload {
                         generation,
                         changed,
@@ -536,10 +943,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         message: e.to_string(),
                     },
                 },
-                Some(req) => {
-                    let state = shared.pinned();
-                    answer_query(shared, &state, &req, None)
-                }
+                Some(req) => match t.admit(1) {
+                    Ok(_guard) => {
+                        let state = t.pinned();
+                        answer_query(shared, t, &state, &req, None)
+                    }
+                    Err(limit) => quota_refused(t, limit),
+                },
                 None => malformed(),
             };
             (resp.opcode(), resp.encode())
@@ -550,6 +960,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
+    }
+    if let Some(t) = &tenant {
+        t.connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -867,6 +1280,327 @@ mod tests {
         assert_eq!(server.metrics().reloads, 1);
         server.shutdown();
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    /// A second, distinguishable instance: every RR set is `{4}`.
+    fn other_sketch() -> Sketch {
+        let shards = vec![CoverageShard::from_records(
+            5,
+            [&[4u32][..], &[4], &[4], &[4]],
+        )];
+        Sketch::new(5, 4, 4, shards)
+    }
+
+    fn tenant_spec(id: &str, token: &str, quota: TenantQuota) -> TenantSpec {
+        TenantSpec {
+            id: id.into(),
+            auth: dim_cluster::auth::token_digest(token),
+            store: None,
+            graph: None,
+            quota,
+        }
+    }
+
+    fn two_tenant_server(quota_a: TenantQuota) -> Server {
+        Server::start_multi(
+            "127.0.0.1:0",
+            vec![
+                TenantBind {
+                    spec: tenant_spec("acme", "acme-secret", quota_a),
+                    sketch: sketch(),
+                    generation: 0,
+                    reload: None,
+                },
+                TenantBind {
+                    spec: tenant_spec("globex", "globex-secret", TenantQuota::default()),
+                    sketch: other_sketch(),
+                    generation: 0,
+                    reload: None,
+                },
+            ],
+            ServeOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn raw_request(stream: &mut TcpStream, req: &QueryRequest) -> QueryResponse {
+        write_frame(stream, req.opcode(), &req.encode()).unwrap();
+        let (op, body) = read_frame(stream).unwrap();
+        QueryResponse::decode(op, &body).unwrap()
+    }
+
+    fn auth_frame(tenant: &str, token: &str) -> QueryRequest {
+        crate::auth::Credentials::new(tenant, token).auth_request()
+    }
+
+    #[test]
+    fn multi_tenant_scopes_answers_and_rejects_bad_credentials() {
+        let server = two_tenant_server(TenantQuota::default());
+        let addr = server.local_addr();
+
+        // A query before AUTH is refused with the typed error, then the
+        // connection closes.
+        let mut early = TcpStream::connect(addr).unwrap();
+        match raw_request(&mut early, &QueryRequest::Stats) {
+            QueryResponse::Error { code, .. } => assert_eq!(code, crate::proto::ERR_UNAUTHORIZED),
+            other => panic!("expected unauthorized, got {other:?}"),
+        }
+        assert!(read_frame(&mut early).is_err(), "connection must close");
+
+        // Wrong token and unknown tenant each get their distinct error.
+        let mut bad = TcpStream::connect(addr).unwrap();
+        match raw_request(&mut bad, &auth_frame("acme", "not-the-secret")) {
+            QueryResponse::Error { code, .. } => assert_eq!(code, crate::proto::ERR_UNAUTHORIZED),
+            other => panic!("expected unauthorized, got {other:?}"),
+        }
+        let mut nobody = TcpStream::connect(addr).unwrap();
+        match raw_request(&mut nobody, &auth_frame("nobody", "x")) {
+            QueryResponse::Error { code, .. } => {
+                assert_eq!(code, crate::proto::ERR_UNKNOWN_TENANT)
+            }
+            other => panic!("expected unknown tenant, got {other:?}"),
+        }
+
+        // Authenticated tenants get their own sketches.
+        let mut acme = TcpStream::connect(addr).unwrap();
+        match raw_request(&mut acme, &auth_frame("acme", "acme-secret")) {
+            QueryResponse::AuthOk { tenant, generation } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(generation, 0);
+            }
+            other => panic!("expected AuthOk, got {other:?}"),
+        }
+        let mut globex = TcpStream::connect(addr).unwrap();
+        assert!(matches!(
+            raw_request(&mut globex, &auth_frame("globex", "globex-secret")),
+            QueryResponse::AuthOk { .. }
+        ));
+        // acme's sketch covers node 0 in 3 of 6 sets; globex's in none.
+        let spread = QueryRequest::Spread { seeds: vec![0] };
+        assert_eq!(
+            raw_request(&mut acme, &spread),
+            QueryResponse::Spread {
+                covered: 3,
+                theta: 6,
+                num_nodes: 5
+            }
+        );
+        assert_eq!(
+            raw_request(&mut globex, &spread),
+            QueryResponse::Spread {
+                covered: 0,
+                theta: 4,
+                num_nodes: 5
+            }
+        );
+        // Per-tenant stats: each tenant sees only its own query count.
+        match raw_request(&mut acme, &QueryRequest::Stats) {
+            QueryResponse::Stats(s) => {
+                assert_eq!(s.queries_answered, 2);
+                assert_eq!(s.theta, 6);
+                assert_eq!(s.quota_shed, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // Admin view: both tenants accounted separately, aggregate sums.
+        let per_tenant = server.tenant_metrics();
+        assert_eq!(per_tenant.len(), 2);
+        assert_eq!(per_tenant[0].0, "acme");
+        assert_eq!(per_tenant[0].1.queries_answered, 2);
+        assert_eq!(per_tenant[1].1.queries_answered, 1);
+        assert_eq!(server.metrics().queries_answered, 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn auth_version_and_double_auth_are_refused() {
+        let server = two_tenant_server(TenantQuota::default());
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Future auth version: typed unsupported, connection closes.
+        let req = QueryRequest::Auth {
+            version: AUTH_VERSION + 1,
+            tenant: "acme".into(),
+            auth: dim_cluster::auth::token_digest("acme-secret"),
+        };
+        match raw_request(&mut stream, &req) {
+            QueryResponse::Error { code, .. } => assert_eq!(code, ERR_UNSUPPORTED),
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+        assert!(read_frame(&mut stream).is_err());
+        // Re-auth on an authenticated connection is refused but survives.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            raw_request(&mut stream, &auth_frame("acme", "acme-secret")),
+            QueryResponse::AuthOk { .. }
+        ));
+        match raw_request(&mut stream, &auth_frame("globex", "globex-secret")) {
+            QueryResponse::Error { code, .. } => assert_eq!(code, ERR_UNSUPPORTED),
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+        assert!(matches!(
+            raw_request(&mut stream, &QueryRequest::Stats),
+            QueryResponse::Stats(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn single_tenant_server_reports_auth_probe_and_survives() {
+        let server = Server::start("127.0.0.1:0", sketch()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        match raw_request(&mut stream, &auth_frame("anyone", "x")) {
+            QueryResponse::Error { code, .. } => assert_eq!(code, ERR_UNSUPPORTED),
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+        // The probe does not cost the connection.
+        assert!(matches!(
+            raw_request(&mut stream, &QueryRequest::Stats),
+            QueryResponse::Stats(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_quota_sheds_typed_without_closing() {
+        let server = two_tenant_server(TenantQuota {
+            max_batch: 2,
+            ..TenantQuota::default()
+        });
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            raw_request(&mut stream, &auth_frame("acme", "acme-secret")),
+            QueryResponse::AuthOk { .. }
+        ));
+        let spread = QueryRequest::Spread { seeds: vec![0] };
+        let over = encode_batch(&[spread.clone(), spread.clone(), spread.clone()]);
+        write_frame(&mut stream, REQ_BATCH, &over).unwrap();
+        let (op, body) = read_frame(&mut stream).unwrap();
+        match QueryResponse::decode(op, &body).unwrap() {
+            QueryResponse::Error { code, message } => {
+                assert_eq!(code, ERR_QUOTA);
+                assert!(message.contains("batch-size"), "{message}");
+            }
+            other => panic!("expected quota error, got {other:?}"),
+        }
+        // The connection survives and an in-quota batch answers.
+        let ok = encode_batch(&[spread.clone(), spread]);
+        write_frame(&mut stream, REQ_BATCH, &ok).unwrap();
+        let (op, _) = read_frame(&mut stream).unwrap();
+        assert_eq!(op, RESP_BATCH);
+        // The shed is accounted on the tenant, not globally.
+        let m = server.tenant_metrics();
+        assert_eq!(m[0].1.quota_shed, 1);
+        assert_eq!(m[1].1.quota_shed, 0);
+        assert_eq!(server.metrics().shed, 0);
+        assert_eq!(server.metrics().quota_shed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn qps_bucket_and_in_flight_ceiling_admit_and_refuse() {
+        // Unit-level: deterministic without wall-clock races.
+        let t = TenantServing::new(
+            tenant_spec(
+                "a",
+                "s",
+                TenantQuota {
+                    max_in_flight: 1,
+                    ..TenantQuota::default()
+                },
+            ),
+            sketch(),
+            0,
+            None,
+        );
+        let g1 = t.admit(1);
+        assert!(g1.is_ok());
+        assert!(matches!(t.admit(1), Err("in-flight")));
+        drop(g1);
+        assert!(t.admit(1).is_ok());
+
+        // Token bucket: a burst of max_qps, then refusal until refill.
+        let mut bucket = TokenBucket::new(2);
+        assert!(bucket.admit(2, 1));
+        assert!(bucket.admit(2, 1));
+        assert!(!bucket.admit(2, 1), "burst exhausted");
+        // An unlimited rate never refuses.
+        let mut open = TokenBucket::new(0);
+        for _ in 0..100 {
+            assert!(open.admit(0, 1_000));
+        }
+        // A batch charges its entry count at once.
+        let mut batchy = TokenBucket::new(10);
+        assert!(batchy.admit(10, 10));
+        assert!(!batchy.admit(10, 1));
+    }
+
+    #[test]
+    fn qps_quota_sheds_over_the_wire() {
+        let server = two_tenant_server(TenantQuota {
+            max_qps: 1,
+            ..TenantQuota::default()
+        });
+        let mut acme = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            raw_request(&mut acme, &auth_frame("acme", "acme-secret")),
+            QueryResponse::AuthOk { .. }
+        ));
+        let spread = QueryRequest::Spread { seeds: vec![0] };
+        // One second of burst = one query; back-to-back requests must
+        // trip the bucket at least once (refill would need >3 s between
+        // these frames).
+        let mut refused = 0;
+        let mut answered = 0;
+        for _ in 0..4 {
+            match raw_request(&mut acme, &spread) {
+                QueryResponse::Spread { .. } => answered += 1,
+                QueryResponse::Error { code, message } => {
+                    assert_eq!(code, ERR_QUOTA);
+                    assert!(message.contains("queries/sec"), "{message}");
+                    refused += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(answered >= 1, "the burst token must admit the first query");
+        assert!(refused >= 1, "the bucket never refused");
+        // The other tenant is unaffected.
+        let mut globex = TcpStream::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            raw_request(&mut globex, &auth_frame("globex", "globex-secret")),
+            QueryResponse::AuthOk { .. }
+        ));
+        for _ in 0..5 {
+            assert!(matches!(
+                raw_request(&mut globex, &spread),
+                QueryResponse::Spread { .. }
+            ));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn start_multi_rejects_bad_binds() {
+        let dup = Server::start_multi(
+            "127.0.0.1:0",
+            vec![
+                TenantBind {
+                    spec: tenant_spec("a", "x", TenantQuota::default()),
+                    sketch: sketch(),
+                    generation: 0,
+                    reload: None,
+                },
+                TenantBind {
+                    spec: tenant_spec("a", "y", TenantQuota::default()),
+                    sketch: sketch(),
+                    generation: 0,
+                    reload: None,
+                },
+            ],
+            ServeOptions::default(),
+        );
+        assert!(dup.is_err());
+        assert!(Server::start_multi("127.0.0.1:0", vec![], ServeOptions::default()).is_err());
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! The tenant registry: who may query, with what token, against which
+//! store, under which quotas.
+//!
+//! A multi-tenant server loads a `TENANTS.json` config at startup
+//! (`dim serve --tenants TENANTS.json`):
+//!
+//! ```json
+//! {
+//!   "tenants": [
+//!     {
+//!       "id": "acme",
+//!       "token": "acme-secret",
+//!       "store": "/var/dim/acme",
+//!       "graph": "graphs/acme.txt",
+//!       "max_in_flight": 64,
+//!       "max_qps": 500,
+//!       "max_batch": 128
+//!     },
+//!     { "id": "globex", "token_sha256": "9f86d0…(64 hex)", "store": "/var/dim/globex" }
+//!   ]
+//! }
+//! ```
+//!
+//! `token` (plaintext, hashed at load) and `token_sha256` (pre-hashed, so
+//! operators never store secrets on disk) are interchangeable; exactly
+//! one is required. Quota fields are optional and `0` means unlimited.
+//! `store`/`graph` are deployment hints consumed by the CLI (`dim serve`)
+//! — the serve library itself binds a tenant to whatever
+//! [`crate::server::Sketch`] and reload source the caller hands it.
+
+use std::path::PathBuf;
+
+use dim_cluster::auth::{parse_hex_digest, token_digest, verify_digest, Digest};
+use dim_cluster::json::Json;
+
+use crate::proto::MAX_TENANT_ID_LEN;
+
+/// Per-tenant admission limits. `0` disables the respective limit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Queries a tenant may have in flight at once, across all of its
+    /// connections. Excess requests get `ERR_QUOTA` and stay connected.
+    pub max_in_flight: u32,
+    /// Sustained queries/second, enforced by a token bucket with a burst
+    /// of one second's allowance.
+    pub max_qps: u32,
+    /// Largest batch a single `REQ_BATCH` frame may carry.
+    pub max_batch: u32,
+}
+
+/// One registry entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant id presented in the AUTH frame. Non-empty, at most
+    /// [`MAX_TENANT_ID_LEN`] bytes.
+    pub id: String,
+    /// SHA-256 digest of the tenant's bearer token.
+    pub auth: Digest,
+    /// Snapshot-store root this tenant's sketches load from (CLI hint).
+    pub store: Option<PathBuf>,
+    /// Graph spec this tenant's sketch was sampled from (CLI hint).
+    pub graph: Option<String>,
+    /// Admission limits.
+    pub quota: TenantQuota,
+}
+
+/// Why an AUTH attempt was refused. The two cases map to distinct wire
+/// errors ([`crate::proto::ERR_UNKNOWN_TENANT`] /
+/// [`crate::proto::ERR_UNAUTHORIZED`]) so callers can tell a typo'd
+/// tenant id from a bad secret.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthFailure {
+    /// No registry entry with the presented id.
+    UnknownTenant,
+    /// The entry exists but the presented digest does not match.
+    BadToken,
+}
+
+/// The set of tenants a server admits, loaded once at startup.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantRegistry {
+    tenants: Vec<TenantSpec>,
+}
+
+impl TenantRegistry {
+    /// A registry over explicit specs (tests, embedded servers).
+    /// Duplicate ids are rejected like in the JSON path.
+    pub fn new(tenants: Vec<TenantSpec>) -> Result<TenantRegistry, String> {
+        for (i, t) in tenants.iter().enumerate() {
+            validate_id(&t.id)?;
+            if tenants[..i].iter().any(|prev| prev.id == t.id) {
+                return Err(format!("duplicate tenant id {:?}", t.id));
+            }
+        }
+        Ok(TenantRegistry { tenants })
+    }
+
+    /// Parses the `TENANTS.json` shape. Every entry needs `id` and
+    /// exactly one of `token` / `token_sha256`; quota and store fields
+    /// are optional.
+    pub fn from_json(text: &str) -> Result<TenantRegistry, String> {
+        let root = Json::parse(text)?;
+        if !matches!(root, Json::Obj(_)) {
+            return Err("tenant config must be a JSON object".into());
+        }
+        let items = match root.get("tenants") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err("tenant config needs a \"tenants\" array".into()),
+        };
+        let mut tenants = Vec::with_capacity(items.len());
+        for item in items {
+            let id = item
+                .str_of("id")
+                .ok_or("tenant entry needs an \"id\" string")?
+                .to_string();
+            let auth = match (item.get("token"), item.get("token_sha256")) {
+                (Some(token), None) => token_digest(token.as_str("token")?),
+                (None, Some(hex)) => parse_hex_digest(hex.as_str("token_sha256")?)
+                    .ok_or_else(|| format!("tenant {id:?}: token_sha256 must be 64 hex chars"))?,
+                (Some(_), Some(_)) => {
+                    return Err(format!(
+                        "tenant {id:?}: give either token or token_sha256, not both"
+                    ))
+                }
+                (None, None) => {
+                    return Err(format!("tenant {id:?}: needs a token or token_sha256"))
+                }
+            };
+            tenants.push(TenantSpec {
+                id,
+                auth,
+                store: item.str_of("store").map(PathBuf::from),
+                graph: item.str_of("graph").map(str::to_string),
+                quota: TenantQuota {
+                    max_in_flight: item.u32_or("max_in_flight", 0)?,
+                    max_qps: item.u32_or("max_qps", 0)?,
+                    max_batch: item.u32_or("max_batch", 0)?,
+                },
+            });
+        }
+        TenantRegistry::new(tenants)
+    }
+
+    /// Loads and parses a `TENANTS.json` file.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<TenantRegistry, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        TenantRegistry::from_json(&text)
+    }
+
+    /// The registry entry for `id`, if any.
+    pub fn get(&self, id: &str) -> Option<&TenantSpec> {
+        self.tenants.iter().find(|t| t.id == id)
+    }
+
+    /// Verifies a presented `(id, digest)` pair; constant-time on the
+    /// digest so timing does not leak how much of it matched.
+    pub fn verify(&self, id: &str, presented: &Digest) -> Result<&TenantSpec, AuthFailure> {
+        let spec = self.get(id).ok_or(AuthFailure::UnknownTenant)?;
+        if verify_digest(presented, &spec.auth) {
+            Ok(spec)
+        } else {
+            Err(AuthFailure::BadToken)
+        }
+    }
+
+    /// All entries, registry order.
+    pub fn iter(&self) -> impl Iterator<Item = &TenantSpec> {
+        self.tenants.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+}
+
+fn validate_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("tenant id must be non-empty".into());
+    }
+    if id.len() > MAX_TENANT_ID_LEN {
+        return Err(format!(
+            "tenant id {:?}… exceeds {MAX_TENANT_ID_LEN} bytes",
+            &id[..16.min(id.len())]
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dim_cluster::auth::digest_hex;
+
+    fn spec(id: &str, token: &str) -> TenantSpec {
+        TenantSpec {
+            id: id.into(),
+            auth: token_digest(token),
+            store: None,
+            graph: None,
+            quota: TenantQuota::default(),
+        }
+    }
+
+    #[test]
+    fn parses_both_token_forms_and_quotas() {
+        let hex = digest_hex(&token_digest("globex-secret"));
+        let text = format!(
+            r#"{{"tenants": [
+                {{"id": "acme", "token": "acme-secret", "store": "/var/dim/acme",
+                  "graph": "g.txt", "max_in_flight": 64, "max_qps": 500, "max_batch": 128}},
+                {{"id": "globex", "token_sha256": "{hex}"}}
+            ]}}"#
+        );
+        let reg = TenantRegistry::from_json(&text).unwrap();
+        assert_eq!(reg.len(), 2);
+        let acme = reg.get("acme").unwrap();
+        assert_eq!(acme.store.as_deref(), Some(std::path::Path::new("/var/dim/acme")));
+        assert_eq!(acme.graph.as_deref(), Some("g.txt"));
+        assert_eq!(
+            acme.quota,
+            TenantQuota {
+                max_in_flight: 64,
+                max_qps: 500,
+                max_batch: 128
+            }
+        );
+        // Both forms hash to the same digest semantics.
+        assert!(reg.verify("acme", &token_digest("acme-secret")).is_ok());
+        assert!(reg.verify("globex", &token_digest("globex-secret")).is_ok());
+        // Defaults: no store, unlimited quotas.
+        let globex = reg.get("globex").unwrap();
+        assert_eq!(globex.store, None);
+        assert_eq!(globex.quota, TenantQuota::default());
+    }
+
+    #[test]
+    fn verify_distinguishes_unknown_from_bad_token() {
+        let reg = TenantRegistry::new(vec![spec("acme", "s")]).unwrap();
+        assert_eq!(
+            reg.verify("nobody", &token_digest("s")),
+            Err(AuthFailure::UnknownTenant)
+        );
+        assert_eq!(
+            reg.verify("acme", &token_digest("wrong")),
+            Err(AuthFailure::BadToken)
+        );
+        assert_eq!(reg.verify("acme", &token_digest("s")).unwrap().id, "acme");
+    }
+
+    #[test]
+    fn rejects_malformed_configs() {
+        for bad in [
+            r#"[]"#,                                              // not an object
+            r#"{}"#,                                              // no tenants key
+            r#"{"tenants": [{"token": "x"}]}"#,                   // missing id
+            r#"{"tenants": [{"id": "a"}]}"#,                      // missing token
+            r#"{"tenants": [{"id": "a", "token": "x", "token_sha256": "y"}]}"#,
+            r#"{"tenants": [{"id": "a", "token_sha256": "zz"}]}"#, // bad hex
+            r#"{"tenants": [{"id": "", "token": "x"}]}"#,          // empty id
+            r#"{"tenants": [{"id": "a", "token": "x"}, {"id": "a", "token": "y"}]}"#,
+            r#"{"tenants": []} trailing"#,                         // trailing bytes
+        ] {
+            assert!(TenantRegistry::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+        let long = format!(
+            r#"{{"tenants": [{{"id": "{}", "token": "x"}}]}}"#,
+            "i".repeat(MAX_TENANT_ID_LEN + 1)
+        );
+        assert!(TenantRegistry::from_json(&long).is_err());
+    }
+}

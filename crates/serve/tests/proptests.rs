@@ -9,13 +9,22 @@
 
 use dim_serve::proto::{
     decode_batch, decode_response_batch, encode_batch, encode_response_batch, QueryRequest,
-    QueryResponse, SketchStats, REQ_BATCH, REQ_RELOAD, RESP_BATCH, RESP_ERROR, RESP_RELOAD,
-    RESP_SPREAD, RESP_STATS, RESP_TOP_K,
+    QueryResponse, SketchStats, REQ_AUTH, REQ_BATCH, REQ_RELOAD, RESP_AUTH, RESP_BATCH,
+    RESP_ERROR, RESP_RELOAD, RESP_SPREAD, RESP_STATS, RESP_TOP_K,
 };
 use proptest::prelude::*;
 
 fn any_ids() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(any::<u32>(), 0..40)
+}
+
+/// Tenant ids within the wire cap (`MAX_TENANT_ID_LEN`), including empty.
+fn any_tenant_id() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_-]{0,40}"
+}
+
+fn any_digest() -> impl Strategy<Value = [u8; 32]> {
+    any::<[u8; 32]>()
 }
 
 fn any_request() -> impl Strategy<Value = QueryRequest> {
@@ -30,13 +39,20 @@ fn any_request() -> impl Strategy<Value = QueryRequest> {
         }),
         Just(QueryRequest::Stats),
         Just(QueryRequest::Reload),
+        (any::<u8>(), any_tenant_id(), any_digest()).prop_map(|(version, tenant, auth)| {
+            QueryRequest::Auth {
+                version,
+                tenant,
+                auth,
+            }
+        }),
     ]
 }
 
-/// Requests allowed inside a batch (everything except admin ops).
+/// Requests allowed inside a batch (everything except admin/session ops).
 fn any_batchable_request() -> impl Strategy<Value = QueryRequest> {
     any_request().prop_filter("batches carry read-only queries", |r| {
-        !matches!(r, QueryRequest::Reload)
+        !matches!(r, QueryRequest::Reload | QueryRequest::Auth { .. })
     })
 }
 
@@ -79,11 +95,12 @@ fn any_response() -> impl Strategy<Value = QueryResponse> {
                 any::<u64>(),
                 any::<u64>(),
                 any::<u64>(),
+                any::<u64>(),
             ),
         )
             .prop_map(|(shape, serving)| {
                 let (num_nodes, theta, shard_count, total_rr_size, queries_answered) = shape;
-                let (generation, shed, p50_us, p95_us, p99_us) = serving;
+                let (generation, shed, quota_shed, p50_us, p95_us, p99_us) = serving;
                 QueryResponse::Stats(SketchStats {
                     num_nodes,
                     theta,
@@ -92,6 +109,7 @@ fn any_response() -> impl Strategy<Value = QueryResponse> {
                     queries_answered,
                     generation,
                     shed,
+                    quota_shed,
                     p50_us,
                     p95_us,
                     p99_us,
@@ -102,6 +120,9 @@ fn any_response() -> impl Strategy<Value = QueryResponse> {
                 generation,
                 changed,
             }
+        }),
+        (any_tenant_id(), any::<u64>()).prop_map(|(tenant, generation)| {
+            QueryResponse::AuthOk { tenant, generation }
         }),
         (any::<u8>(), "[ -~]{0,60}").prop_map(|(code, message)| {
             QueryResponse::Error { code, message }
@@ -186,7 +207,7 @@ proptest! {
         let body = resp.encode();
         prop_assert!(matches!(
             resp.opcode(),
-            RESP_SPREAD | RESP_TOP_K | RESP_STATS | RESP_RELOAD | RESP_ERROR
+            RESP_SPREAD | RESP_TOP_K | RESP_STATS | RESP_RELOAD | RESP_AUTH | RESP_ERROR
         ));
         prop_assert_eq!(QueryRequest::decode(resp.opcode(), &body), None);
     }
@@ -232,7 +253,7 @@ proptest! {
     #[test]
     fn batch_rejects_admin_and_nested_entries(
         reqs in prop::collection::vec(any_batchable_request(), 0..6),
-        evil_opcode in prop_oneof![Just(REQ_BATCH), Just(REQ_RELOAD)],
+        evil_opcode in prop_oneof![Just(REQ_BATCH), Just(REQ_RELOAD), Just(REQ_AUTH)],
         position in any::<prop::sample::Index>(),
     ) {
         // Splice a forbidden (but individually well-formed) entry into an
@@ -243,6 +264,13 @@ proptest! {
             .collect();
         let evil_body = if evil_opcode == REQ_BATCH {
             encode_batch(&[])
+        } else if evil_opcode == REQ_AUTH {
+            QueryRequest::Auth {
+                version: 1,
+                tenant: "sneaky".to_string(),
+                auth: [7u8; 32],
+            }
+            .encode()
         } else {
             Vec::new()
         };
@@ -255,5 +283,32 @@ proptest! {
             body.extend_from_slice(entry);
         }
         prop_assert_eq!(decode_batch(&body), None);
+    }
+
+    #[test]
+    fn response_batch_rejects_auth_entries(
+        resps in prop::collection::vec(any_response(), 0..6),
+        position in any::<prop::sample::Index>(),
+    ) {
+        // An AuthOk spliced into a reply batch (well-formed on its own)
+        // must poison the whole frame — session-scope replies never ride
+        // inside a batch.
+        let evil = QueryResponse::AuthOk {
+            tenant: "sneaky".to_string(),
+            generation: 3,
+        };
+        let mut entries: Vec<(u8, Vec<u8>)> = resps
+            .iter()
+            .map(|r| (r.opcode(), r.encode()))
+            .collect();
+        entries.insert(position.index(entries.len() + 1), (evil.opcode(), evil.encode()));
+        let mut body = Vec::new();
+        dim_cluster::ops::put_u32(&mut body, entries.len() as u32);
+        for (op, entry) in &entries {
+            body.push(*op);
+            dim_cluster::ops::put_u32(&mut body, entry.len() as u32);
+            body.extend_from_slice(entry);
+        }
+        prop_assert_eq!(decode_response_batch(&body), None);
     }
 }

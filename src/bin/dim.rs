@@ -8,9 +8,10 @@
 //! dim sample   --graph … --k 50 --out DIR [--machines 8] [--backend B]
 //!              [--generations [--keep N]]
 //! dim serve    --graph … --store DIR [--addr 127.0.0.1:7117] [--max-queries N]
-//!              [--workers N] [--max-conns N]
+//!              [--workers N] [--max-conns N] [--tenants TENANTS.json]
 //! dim query    --addr HOST:PORT (--stats | --reload | --seeds 1,2,3 |
 //!              --k K [--include a,b] [--exclude c,d]) [--timeout SECS]
+//!              [--tenant ID --token SECRET]
 //! dim coverage --graph … --k 50 [--machines 8] [--backend B]
 //! dim simulate --graph … --seeds 1,2,3 [--model ic|lt] [--sims 10000]
 //! dim generate --profile NAME[:SCALE] --out edges.txt
@@ -104,11 +105,17 @@ commands:
   serve     --graph <src> --store DIR       answer influence queries over a sketch
                                             (--addr A, --max-queries N,
                                             --workers N, --max-conns N; serves the
-                                            newest generation, reloads on SIGHUP)
+                                            newest generation, reloads on SIGHUP;
+                                            --tenants TENANTS.json serves one
+                                            namespace per tenant behind token auth
+                                            with per-tenant quotas)
   query     --addr HOST:PORT                query a running server: --stats,
                                             --reload, --seeds a,b,c, or --k K
                                             [--include a,b] [--exclude c,d]
-                                            (--timeout S retries the connect)
+                                            (--timeout S retries the connect;
+                                            --tenant ID --token SECRET or
+                                            DIM_TENANT/DIM_TOKEN authenticate
+                                            against a multi-tenant server)
   coverage  --graph <src> --k <k>           max-coverage over neighborhoods (NewGreeDi)
   simulate  --graph <src> --seeds a,b,c     Monte-Carlo spread of a seed set
   generate  --profile NAME[:SCALE] --out F  write a synthetic profile graph
@@ -195,7 +202,13 @@ fn weight_model(flags: &Flags) -> Result<WeightModel, String> {
 }
 
 fn load_graph(flags: &Flags) -> Result<Graph, String> {
-    let src = flags.required("graph")?;
+    load_graph_spec(flags.required("graph")?, flags)
+}
+
+/// [`load_graph`] for an explicit source spec (per-tenant graphs in
+/// `dim serve --tenants` name their own source; everything else uses
+/// `--graph`).
+fn load_graph_spec(src: &str, flags: &Flags) -> Result<Graph, String> {
     let model = weight_model(flags)?;
     if let Some(spec) = src.strip_prefix("profile:") {
         let mut parts = spec.split(':');
@@ -641,6 +654,9 @@ mod sighup {
 }
 
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    if let Some(path) = flags.get("tenants") {
+        return cmd_serve_multi(flags, path);
+    }
     let g = load_graph(flags)?;
     let (config, _) = im_config(flags, &g)?;
     let dir = std::path::PathBuf::from(flags.required("store")?);
@@ -699,6 +715,118 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `dim serve --tenants TENANTS.json`: one daemon, one namespace per
+/// tenant. Each tenant's graph/store come from its registry entry,
+/// falling back to the run-wide `--graph` / `--store`; every tenant gets
+/// its own sketch, generation counter, and reload source, so a SIGHUP
+/// reload of one store never disturbs the others.
+fn cmd_serve_multi(flags: &Flags, path: &str) -> Result<(), String> {
+    let registry = TenantRegistry::from_file(path)
+        .map_err(|e| format!("cannot load tenant registry {path}: {e}"))?;
+    let mut binds = Vec::with_capacity(registry.len());
+    for spec in registry.iter() {
+        let src = match &spec.graph {
+            Some(src) => src.clone(),
+            None => flags
+                .required("graph")
+                .map_err(|_| {
+                    format!(
+                        "tenant {:?} names no graph and no --graph fallback was given",
+                        spec.id
+                    )
+                })?
+                .to_string(),
+        };
+        let g = load_graph_spec(&src, flags)?;
+        let (config, _) = im_config(flags, &g)?;
+        let dir = match &spec.store {
+            Some(dir) => dir.clone(),
+            None => std::path::PathBuf::from(flags.required("store").map_err(|_| {
+                format!(
+                    "tenant {:?} names no store and no --store fallback was given",
+                    spec.id
+                )
+            })?),
+        };
+        let (generation, snapshot) = load_latest_rr_snapshot(&g, &config, &dir)
+            .map_err(|e| format!("tenant {:?}: {e}", spec.id))?;
+        println!(
+            "dim-serve: tenant {:?}: {} RR sets in {} shard(s), n = {}, generation {}",
+            spec.id,
+            snapshot.theta,
+            snapshot.shard_count,
+            g.num_nodes(),
+            generation
+        );
+        binds.push(TenantBind {
+            spec: spec.clone(),
+            sketch: Sketch::from_snapshot(g.num_nodes(), snapshot),
+            generation,
+            reload: Some(ReloadSource {
+                root: dir,
+                request: rr_snapshot_request(&g, &config),
+                num_nodes: g.num_nodes(),
+            }),
+        });
+    }
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7117");
+    let options = ServeOptions {
+        workers: flags.num("workers", 8usize)?,
+        max_conns: flags.num("max-conns", 1024usize)?,
+        ..ServeOptions::default()
+    };
+    let tenant_count = binds.len();
+    let server = Server::start_multi(addr, binds, options)
+        .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    let max_queries = flags.num("max-queries", 0u64)?;
+    println!(
+        "dim-serve: listening on {} ({tenant_count} tenant(s), auth required)",
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    #[cfg(unix)]
+    sighup::install();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        #[cfg(unix)]
+        if sighup::take() {
+            for (id, outcome) in server.reload_all() {
+                match outcome {
+                    Ok((gen, true)) => {
+                        println!("dim-serve: tenant {id:?} reloaded, now at generation {gen}")
+                    }
+                    Ok((gen, false)) => {
+                        println!("dim-serve: tenant {id:?} already at generation {gen}")
+                    }
+                    Err(e) => eprintln!("dim-serve: tenant {id:?} reload failed: {e}"),
+                }
+            }
+            let _ = std::io::stdout().flush();
+        }
+        if max_queries > 0 && server.queries_answered() >= max_queries {
+            break;
+        }
+    }
+    let answered = server.queries_answered();
+    let per_tenant = server.tenant_metrics();
+    let m = server.metrics();
+    server.shutdown();
+    println!("dim-serve: shut down after {answered} queries");
+    for (id, t) in per_tenant {
+        println!(
+            "dim-serve: tenant {id:?}: generation {}, {} queries, {} quota-shed, \
+             {} reload(s), p99 {}µs",
+            t.active_generation, t.queries_answered, t.quota_shed, t.reloads, t.p99_us
+        );
+    }
+    println!(
+        "dim-serve: all tenants: latency p50 {}µs p95 {}µs p99 {}µs, {} shed",
+        m.p50_us, m.p95_us, m.p99_us, m.shed
+    );
+    Ok(())
+}
+
 fn parse_ids(list: &str) -> Result<Vec<u32>, String> {
     list.split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("bad node id {s:?}")))
@@ -708,14 +836,33 @@ fn parse_ids(list: &str) -> Result<Vec<u32>, String> {
 fn cmd_query(flags: &Flags) -> Result<(), String> {
     let addr = flags.required("addr")?;
     let timeout = flags.num("timeout", 0u64)?;
+    // --tenant/--token beat the DIM_TENANT/DIM_TOKEN environment; either
+    // way the token is hashed before it touches the wire.
+    let credentials = match flags.get("tenant") {
+        Some(tenant) => Some(Credentials::new(
+            tenant,
+            flags
+                .get("token")
+                .map(str::to_string)
+                .or_else(|| std::env::var("DIM_TOKEN").ok())
+                .unwrap_or_default(),
+        )),
+        None => Credentials::from_env(),
+    };
     let mut client = if timeout > 0 {
         let options = ConnectOptions {
             deadline: std::time::Duration::from_secs(timeout),
+            credentials,
             ..ConnectOptions::default()
         };
         QueryClient::connect_with(addr, &options)
     } else {
-        QueryClient::connect(addr)
+        QueryClient::connect(addr).and_then(|mut client| {
+            if let Some(creds) = &credentials {
+                client.authenticate(creds)?;
+            }
+            Ok(client)
+        })
     }
     .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     if flags.get("reload").is_some() {
@@ -735,8 +882,9 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         println!("queries answered: {}", s.queries_answered);
         println!("generation: {}", s.generation);
         println!(
-            "latency: p50 {}µs, p95 {}µs, p99 {}µs ({} connection(s) shed)",
-            s.p50_us, s.p95_us, s.p99_us, s.shed
+            "latency: p50 {}µs, p95 {}µs, p99 {}µs ({} connection(s) shed, \
+             {} quota-shed)",
+            s.p50_us, s.p95_us, s.p99_us, s.shed, s.quota_shed
         );
         return Ok(());
     }

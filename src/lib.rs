@@ -92,8 +92,9 @@ pub mod prelude {
         budgeted_greedy, newgreedi, newgreedi_until, CoverageProblem, CoverageShard,
     };
     pub use dim_serve::{
-        ConnectOptions, QueryClient, QueryRequest, QueryResponse, ReloadSource, ServeMetrics,
-        ServeOptions, Server, Sketch, SketchStats,
+        ConnectOptions, Credentials, QueryClient, QueryRequest, QueryResponse, ReloadSource,
+        ServeMetrics, ServeOptions, Server, Sketch, SketchStats, TenantBind, TenantHandle,
+        TenantQuota, TenantRegistry, TenantSpec,
     };
     pub use dim_store::{
         begin_generation, commit_generation, compact_generation, gc_generations,
